@@ -1,0 +1,262 @@
+(* The flick command-line compiler.
+
+   flick compile --idl corba --presentation corba-c --backend iiop \
+     mail.idl -o out/
+   flick dump-aoi --idl onc service.x
+   flick dump-presc --idl corba --presentation rpcgen-c mail.idl
+   flick list-interfaces --idl corba mail.idl *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let handle_diag f =
+  try f () with
+  | Diag.Error d ->
+      Printf.eprintf "%s\n" (Diag.to_string d);
+      exit 1
+  | Sys_error msg ->
+      Printf.eprintf "flick: %s\n" msg;
+      exit 1
+
+(* ---- common arguments ---------------------------------------------- *)
+
+let source_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"IDL source file.")
+
+let idl_arg =
+  let idl_conv =
+    Arg.conv
+      ( (fun s ->
+          match Driver.idl_of_string s with
+          | Some i -> Ok i
+          | None ->
+              Error (`Msg (Printf.sprintf "unknown IDL %S (expected %s)" s
+                             (String.concat ", " Driver.idl_names)))),
+        fun ppf i ->
+          Format.pp_print_string ppf
+            (match i with
+            | Driver.Idl_corba -> "corba"
+            | Driver.Idl_onc -> "onc"
+            | Driver.Idl_mig -> "mig") )
+  in
+  Arg.(
+    value
+    & opt idl_conv Driver.Idl_corba
+    & info [ "i"; "idl" ] ~docv:"IDL" ~doc:"Source IDL: corba, onc, or mig.")
+
+let pres_arg =
+  let pres_conv =
+    Arg.conv
+      ( (fun s ->
+          match Driver.presentation_of_string s with
+          | Some p -> Ok p
+          | None ->
+              Error (`Msg (Printf.sprintf "unknown presentation %S (expected %s)"
+                             s (String.concat ", " Driver.presentation_names)))),
+        fun ppf p ->
+          Format.pp_print_string ppf
+            (match p with
+            | Driver.Pres_corba -> "corba-c"
+            | Driver.Pres_corba_len -> "corba-len-c"
+            | Driver.Pres_rpcgen -> "rpcgen-c"
+            | Driver.Pres_fluke -> "fluke-c"
+            | Driver.Pres_mig -> "mig-c") )
+  in
+  Arg.(
+    value
+    & opt pres_conv Driver.Pres_corba
+    & info [ "p"; "presentation" ] ~docv:"PRES"
+        ~doc:"Presentation style: corba-c, corba-len-c, rpcgen-c, fluke-c, or mig-c.")
+
+let backend_arg =
+  let backend_conv =
+    Arg.conv
+      ( (fun s ->
+          match Driver.backend_of_string s with
+          | Some b -> Ok b
+          | None ->
+              Error (`Msg (Printf.sprintf "unknown back end %S (expected %s)" s
+                             (String.concat ", " Driver.backend_names)))),
+        fun ppf b ->
+          Format.pp_print_string ppf
+            (match b with
+            | Driver.Back_iiop -> "iiop"
+            | Driver.Back_oncrpc -> "oncrpc"
+            | Driver.Back_mach3 -> "mach3"
+            | Driver.Back_fluke -> "fluke") )
+  in
+  Arg.(
+    value
+    & opt backend_conv Driver.Back_iiop
+    & info [ "b"; "backend" ] ~docv:"BACKEND"
+        ~doc:"Message format and transport: iiop, oncrpc, mach3, or fluke.")
+
+let interface_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "interface" ] ~docv:"NAME"
+        ~doc:"Interface to compile (written A::B); defaults to the only one.")
+
+let outdir_arg =
+  Arg.(
+    value
+    & opt string "."
+    & info [ "o"; "output" ] ~docv:"DIR" ~doc:"Output directory.")
+
+(* ---- commands ------------------------------------------------------- *)
+
+let compile_cmd =
+  let run idl pres backend interface outdir file =
+    handle_diag (fun () ->
+        let source = read_file file in
+        let files = Driver.compile idl pres backend ~file ~source ~interface in
+        let rec mkdirs dir =
+          if not (Sys.file_exists dir) then begin
+            mkdirs (Filename.dirname dir);
+            Unix.mkdir dir 0o755
+          end
+        in
+        mkdirs outdir;
+        Runtime.write_to outdir;
+        List.iter
+          (fun (name, contents) ->
+            let path = Filename.concat outdir name in
+            let oc = open_out path in
+            output_string oc contents;
+            close_out oc;
+            Printf.printf "wrote %s\n" path)
+          files;
+        Printf.printf "wrote %s\n" (Filename.concat outdir "flick_runtime.h"))
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Generate C stubs, skeleton and header.")
+    Term.(
+      const run $ idl_arg $ pres_arg $ backend_arg $ interface_arg $ outdir_arg
+      $ source_arg)
+
+let dump_aoi_cmd =
+  let run idl file =
+    handle_diag (fun () ->
+        let source = read_file file in
+        let spec = Driver.parse_spec idl ~file source in
+        ignore (Aoi_check.check spec);
+        print_string (Aoi_pp.spec_to_string spec))
+  in
+  Cmd.v
+    (Cmd.info "dump-aoi"
+       ~doc:"Parse and print the AOI intermediate representation.")
+    Term.(const run $ idl_arg $ source_arg)
+
+let dump_presc_cmd =
+  let run idl pres interface file =
+    handle_diag (fun () ->
+        let source = read_file file in
+        let pc = Driver.present idl pres ~file ~source ~interface in
+        Format.printf "%a@." Pres_c.pp pc)
+  in
+  Cmd.v
+    (Cmd.info "dump-presc"
+       ~doc:"Print the PRES_C presentation description (MINT, PRES, CAST).")
+    Term.(const run $ idl_arg $ pres_arg $ interface_arg $ source_arg)
+
+let dump_plan_cmd =
+  let run idl pres backend interface op file =
+    handle_diag (fun () ->
+        let source = read_file file in
+        let pc = Driver.present idl pres ~file ~source ~interface in
+        let tr = Driver.transport_of backend in
+        let stubs =
+          match op with
+          | None -> pc.Pres_c.pc_stubs
+          | Some name ->
+              List.filter
+                (fun st -> st.Pres_c.os_op.Aoi.op_name = name)
+                pc.Pres_c.pc_stubs
+        in
+        List.iter
+          (fun (st : Pres_c.op_stub) ->
+            let roots =
+              List.filter_map
+                (fun (pi : Pres_c.param_info) ->
+                  match pi.Pres_c.pi_dir with
+                  | Aoi.In | Aoi.Inout ->
+                      Some
+                        (Plan_compile.Rvalue
+                           ( Mplan.Rparam
+                               {
+                                 index = 0;
+                                 name = pi.Pres_c.pi_name;
+                                 deref = pi.Pres_c.pi_byref;
+                               },
+                             pi.Pres_c.pi_mint,
+                             pi.Pres_c.pi_pres ))
+                  | Aoi.Out -> None)
+                st.Pres_c.os_params
+            in
+            let plan =
+              Plan_compile.compile ~enc:tr.Backend_base.tr_enc
+                ~mint:pc.Pres_c.pc_mint ~named:pc.Pres_c.pc_named roots
+            in
+            Format.printf "=== marshal plan: %s (%s) ===@.%a@."
+              st.Pres_c.os_client_name tr.Backend_base.tr_name Mplan.pp
+              plan.Plan_compile.p_ops;
+            List.iter
+              (fun (name, ops) ->
+                Format.printf "--- subroutine %s ---@.%a@." name Mplan.pp ops)
+              plan.Plan_compile.p_subs)
+          stubs)
+  in
+  let op_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "op" ] ~docv:"NAME" ~doc:"Only this operation.")
+  in
+  Cmd.v
+    (Cmd.info "dump-plan"
+       ~doc:
+         "Print the optimized marshal plans (chunks, blits, loops) for each \
+          stub.")
+    Term.(
+      const run $ idl_arg $ pres_arg $ backend_arg $ interface_arg $ op_arg
+      $ source_arg)
+
+let list_interfaces_cmd =
+  let run idl file =
+    handle_diag (fun () ->
+        let source = read_file file in
+        List.iter print_endline (Driver.interfaces idl ~file source))
+  in
+  Cmd.v
+    (Cmd.info "list-interfaces" ~doc:"List the interfaces in a source file.")
+    Term.(const run $ idl_arg $ source_arg)
+
+let reuse_cmd =
+  let run () = print_string (Reuse.render (Reuse.table1 ())) in
+  Cmd.v
+    (Cmd.info "reuse"
+       ~doc:"Print the code-reuse table of this compiler (paper Table 1).")
+    Term.(const run $ const ())
+
+let main =
+  Cmd.group
+    (Cmd.info "flick" ~version:"1.0"
+       ~doc:
+         "A flexible, optimizing IDL compiler (OCaml reproduction of Eide et \
+          al., PLDI 1997).")
+    [
+      compile_cmd; dump_aoi_cmd; dump_presc_cmd; dump_plan_cmd;
+      list_interfaces_cmd; reuse_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

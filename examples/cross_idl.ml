@@ -1,0 +1,51 @@
+(* Mix and match: one interface, three presentations, four back ends.
+
+   The paper's central flexibility claim is that front ends,
+   presentation generators and back ends combine freely.  This example
+   takes the ONC RPC Mail service, runs it through the rpcgen AND the
+   CORBA presentation generators, and generates stubs via all four
+   transports, printing the stub names and generated code sizes.
+
+   Run with: dune exec examples/cross_idl.exe *)
+
+let () =
+  let spec = Onc_parser.parse ~file:"mail.x" Paper_fixtures.mail_onc in
+  let presentations =
+    [
+      ("rpcgen-c", Presgen_rpcgen.generate spec [ "Mail"; "MailVers" ]);
+      ("corba-c", Presgen_corba.generate spec [ "Mail"; "MailVers" ]);
+      ("fluke-c", Presgen_fluke.generate spec [ "Mail"; "MailVers" ]);
+    ]
+  in
+  let backends =
+    [
+      ("iiop", Be_iiop.generate);
+      ("oncrpc", Be_xdr.generate);
+      ("mach3", Be_mach.generate);
+      ("fluke", Be_fluke.generate);
+    ]
+  in
+  Printf.printf "%-10s %-12s %-24s %8s %8s %8s\n" "pres." "backend"
+    "client stub" "hdr" "client" "server";
+  List.iter
+    (fun (pname, pc) ->
+      let stub = (List.hd pc.Pres_c.pc_stubs).Pres_c.os_client_name in
+      List.iter
+        (fun (bname, gen) ->
+          match gen pc with
+          | [ (_, h); (_, c); (_, s) ] ->
+              Printf.printf "%-10s %-12s %-24s %7dB %7dB %7dB\n" pname bname
+                stub (String.length h) (String.length c) (String.length s)
+          | _ -> assert false)
+        backends)
+    presentations;
+  print_newline ();
+  print_endline
+    "Every combination above is real generated C; the test suite compiles \
+     each with gcc.";
+  print_endline
+    "The presentation decides the programmer's contract (stub names, calling \
+     conventions);";
+  print_endline
+    "the back end decides the bytes on the wire - independently, as in the \
+     paper's Figure 1."

@@ -1,0 +1,38 @@
+(* The MIG path: a Mach device subsystem compiled to Mach 3 typed
+   message stubs (the paper's rigid-but-fast comparison point).
+
+   Run with: dune exec examples/mig_device.exe *)
+
+let device_defs =
+  "subsystem device 2800;\n\
+   type dev_buf = array[*:8192] of char;\n\
+   type dev_status = array[16] of int;\n\
+   routine device_open(in mode : int);\n\
+   routine device_read(in offset : int; in count : int; out data : dev_buf);\n\
+   routine device_write(in offset : int; in data : dev_buf);\n\
+   routine device_get_status(out status : dev_status);\n\
+   simpleroutine device_shutdown(in code : int);"
+
+let () =
+  print_endline "=== MIG subsystem ===";
+  print_endline device_defs;
+  let spec = Mig_parser.parse ~file:"device.defs" device_defs in
+  let pc = Presgen_mig.generate spec in
+  Printf.printf "\nsubsystem %s, message ids from %Ld\n"
+    spec.Mig_parser.sub_name spec.Mig_parser.sub_base;
+  Format.printf "%a@." Pres_c.pp_summary pc;
+  print_endline "\n=== generated header (Mach 3 typed messages) ===";
+  print_string (Backend_base.generate_header Be_mach.transport pc);
+  print_endline "\n=== why MIG is the rigid end of the spectrum ===";
+  (match
+     Mig_parser.parse ~file:"bad.defs"
+       "subsystem bad 1;\nroutine f(in rects : array[*:100] of array[2] of \
+        int);"
+   with
+  | _ -> ()
+  | exception Diag.Error d ->
+      Printf.printf "MIG front end rejects structured payloads:\n  %s\n"
+        (Diag.to_string d));
+  print_endline
+    "\n(The paper's Figure 7 experiment sends integer arrays precisely \
+     because MIG cannot express arrays of non-atomic types.)"

@@ -1,0 +1,137 @@
+type qname = string list
+type integer_kind = { bits : int; signed : bool }
+
+type const =
+  | Const_int of int64
+  | Const_bool of bool
+  | Const_char of char
+  | Const_string of string
+  | Const_float of float
+  | Const_enum of qname
+
+type typ =
+  | Void
+  | Boolean
+  | Char
+  | Octet
+  | Integer of integer_kind
+  | Float of int
+  | String of int option
+  | Sequence of typ * int option
+  | Array of typ * int list
+  | Named of qname
+  | Struct_type of field list
+  | Union_type of union_body
+  | Enum_type of (string * int64) list
+  | Optional of typ
+  | Object of qname
+
+and field = { f_name : string; f_type : typ }
+
+and union_body = {
+  u_discrim : typ;
+  u_cases : union_case list;
+  u_default : field option;
+}
+
+and union_case = { c_labels : const list; c_field : field }
+
+type param_dir = In | Out | Inout
+type param = { p_name : string; p_dir : param_dir; p_type : typ }
+
+type operation = {
+  op_name : string;
+  op_oneway : bool;
+  op_return : typ;
+  op_params : param list;
+  op_raises : qname list;
+  op_code : int64;
+}
+
+type attribute = { at_name : string; at_type : typ; at_readonly : bool }
+
+type interface = {
+  i_name : string;
+  i_parents : qname list;
+  i_defs : def list;
+  i_ops : operation list;
+  i_attrs : attribute list;
+  i_program : (int64 * int64) option;
+}
+
+and def =
+  | Dtype of string * typ
+  | Dconst of string * typ * const
+  | Dexception of string * field list
+  | Dinterface of interface
+  | Dmodule of string * def list
+
+type spec = { s_file : string; s_defs : def list }
+
+let def_name = function
+  | Dtype (n, _) -> n
+  | Dconst (n, _, _) -> n
+  | Dexception (n, _) -> n
+  | Dinterface i -> i.i_name
+  | Dmodule (n, _) -> n
+
+let qname_to_string q = String.concat "::" q
+
+let interfaces spec =
+  let rec defs_interfaces prefix defs =
+    List.concat_map
+      (fun def ->
+        match def with
+        | Dinterface i -> [ (prefix @ [ i.i_name ], i) ]
+        | Dmodule (n, sub) -> defs_interfaces (prefix @ [ n ]) sub
+        | Dtype _ | Dconst _ | Dexception _ -> [])
+      defs
+  in
+  defs_interfaces [] spec.s_defs
+
+let attribute_operations intf =
+  let next_code =
+    List.fold_left (fun acc op -> max acc (Int64.add op.op_code 1L)) 0L intf.i_ops
+  in
+  let code = ref next_code in
+  let fresh () =
+    let c = !code in
+    code := Int64.add c 1L;
+    c
+  in
+  List.concat_map
+    (fun at ->
+      let getter =
+        {
+          op_name = "_get_" ^ at.at_name;
+          op_oneway = false;
+          op_return = at.at_type;
+          op_params = [];
+          op_raises = [];
+          op_code = fresh ();
+        }
+      in
+      if at.at_readonly then [ getter ]
+      else
+        let setter =
+          {
+            op_name = "_set_" ^ at.at_name;
+            op_oneway = false;
+            op_return = Void;
+            op_params = [ { p_name = "value"; p_dir = In; p_type = at.at_type } ];
+            op_raises = [];
+            op_code = fresh ();
+          }
+        in
+        [ getter; setter ])
+    intf.i_attrs
+
+let equal_typ (a : typ) (b : typ) = a = b
+
+let pp_const ppf = function
+  | Const_int n -> Format.fprintf ppf "%Ld" n
+  | Const_bool b -> Format.fprintf ppf "%B" b
+  | Const_char c -> Format.fprintf ppf "%C" c
+  | Const_string s -> Format.fprintf ppf "%S" s
+  | Const_float f -> Format.fprintf ppf "%g" f
+  | Const_enum q -> Format.pp_print_string ppf (qname_to_string q)

@@ -1,0 +1,126 @@
+(** AOI: the Abstract Object Interface (paper section 2.1.1).
+
+    AOI is Flick's highest-level intermediate representation.  It
+    describes the {e network contract} declared by an IDL specification
+    — data types, constants, exceptions, interfaces, operations and
+    attributes — independently of any target-language mapping, message
+    encoding, or transport.  Both the CORBA and the ONC RPC front ends
+    produce AOI; the presentation generators consume it. *)
+
+type qname = string list
+(** Qualified name, outermost scope first; [["M"; "Mail"]] is [M::Mail]. *)
+
+type integer_kind = {
+  bits : int;  (** 8, 16, 32 or 64 *)
+  signed : bool;
+}
+
+(** Constant values, as produced by constant-expression evaluation. *)
+type const =
+  | Const_int of int64
+  | Const_bool of bool
+  | Const_char of char
+  | Const_string of string
+  | Const_float of float
+  | Const_enum of qname  (** reference to an enumerator *)
+
+type typ =
+  | Void
+  | Boolean
+  | Char
+  | Octet  (** uninterpreted 8-bit quantity (CORBA [octet], XDR opaque element) *)
+  | Integer of integer_kind
+  | Float of int  (** 32 or 64 bits *)
+  | String of int option  (** optional bound *)
+  | Sequence of typ * int option  (** CORBA sequence / XDR variable array *)
+  | Array of typ * int list  (** fixed array, one entry per dimension *)
+  | Named of qname  (** reference to a type definition in scope *)
+  | Struct_type of field list
+  | Union_type of union_body
+  | Enum_type of (string * int64) list
+      (** enumerators with explicit wire values; CORBA assigns 0..n-1 *)
+  | Optional of typ  (** XDR optional data ([type *name]); 0-or-1 sequence *)
+  | Object of qname  (** object reference to an interface *)
+
+and field = {
+  f_name : string;
+  f_type : typ;
+}
+
+and union_body = {
+  u_discrim : typ;  (** integral, enum, char or boolean type *)
+  u_cases : union_case list;
+  u_default : field option;
+}
+
+and union_case = {
+  c_labels : const list;  (** one arm may carry several [case] labels *)
+  c_field : field;
+}
+
+type param_dir = In | Out | Inout
+
+type param = {
+  p_name : string;
+  p_dir : param_dir;
+  p_type : typ;
+}
+
+(** An operation of an interface, with the codes used to identify its
+    request and reply messages on the wire (e.g. the ONC RPC procedure
+    number, or an index assigned by the CORBA front end for GIOP's
+    operation-name dispatch). *)
+type operation = {
+  op_name : string;
+  op_oneway : bool;
+  op_return : typ;
+  op_params : param list;
+  op_raises : qname list;  (** exceptions this operation may raise *)
+  op_code : int64;
+}
+
+type attribute = {
+  at_name : string;
+  at_type : typ;
+  at_readonly : bool;
+}
+
+type interface = {
+  i_name : string;
+  i_parents : qname list;
+  i_defs : def list;  (** types, constants and exceptions declared inside *)
+  i_ops : operation list;
+  i_attrs : attribute list;
+  i_program : (int64 * int64) option;
+      (** ONC RPC (program, version) numbers, when derived from an ONC
+          specification *)
+}
+
+and def =
+  | Dtype of string * typ  (** [typedef], [struct], [union], [enum] declaration *)
+  | Dconst of string * typ * const
+  | Dexception of string * field list
+  | Dinterface of interface
+  | Dmodule of string * def list
+
+type spec = {
+  s_file : string;
+  s_defs : def list;
+}
+
+val def_name : def -> string
+
+val qname_to_string : qname -> string
+(** Renders with ["::"] separators. *)
+
+val interfaces : spec -> (qname * interface) list
+(** All interfaces in the specification, with their fully qualified
+    names, in declaration order (recurses into modules). *)
+
+val attribute_operations : interface -> operation list
+(** The getter (and setter, unless [readonly]) operations implied by the
+    interface's attributes, in CORBA style ([_get_x] / [_set_x]), with
+    operation codes following the interface's explicit operations. *)
+
+val equal_typ : typ -> typ -> bool
+val pp_const : Format.formatter -> const -> unit

@@ -1,0 +1,292 @@
+
+type report = {
+  env : Aoi_env.t;
+  self_referential : Aoi.qname list;
+  exception_count : int;
+  warnings : Diag.t list;
+}
+
+let key q = String.concat "::" q
+
+(* ------------------------------------------------------------------ *)
+(* Structural checks on a single type                                  *)
+(* ------------------------------------------------------------------ *)
+
+let check_unique what names =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun n ->
+      if Hashtbl.mem seen n then Diag.error "duplicate %s %s" what n;
+      Hashtbl.add seen n ())
+    names
+
+let rec discrim_kind env scope (ty : Aoi.typ) =
+  match ty with
+  | Aoi.Integer _ -> `Int
+  | Aoi.Boolean -> `Bool
+  | Aoi.Char -> `Char
+  | Aoi.Enum_type names -> `Enum names
+  | Aoi.Named q -> (
+      match Aoi_env.resolve_exn env ~scope q with
+      | _, Aoi_env.Btype ty' -> discrim_kind env scope ty'
+      | _, ( Aoi_env.Bconst _ | Aoi_env.Benumerator _ | Aoi_env.Bexception _
+           | Aoi_env.Binterface _ | Aoi_env.Bmodule ) ->
+          Diag.error "union discriminator %s does not name a type"
+            (Aoi.qname_to_string q))
+  | Aoi.Void | Aoi.Octet | Aoi.Float _ | Aoi.String _ | Aoi.Sequence _
+  | Aoi.Array _ | Aoi.Struct_type _ | Aoi.Union_type _ | Aoi.Optional _
+  | Aoi.Object _ ->
+      Diag.error "invalid union discriminator type"
+
+let label_key (c : Aoi.const) =
+  match c with
+  | Aoi.Const_int n -> Printf.sprintf "i%Ld" n
+  | Aoi.Const_bool b -> Printf.sprintf "b%B" b
+  | Aoi.Const_char c -> Printf.sprintf "c%d" (Char.code c)
+  | Aoi.Const_enum q -> "e" ^ String.concat "::" q
+  | Aoi.Const_string _ | Aoi.Const_float _ ->
+      Diag.error "invalid union case label"
+
+let check_label_kind kind (c : Aoi.const) =
+  match (kind, c) with
+  | `Int, Aoi.Const_int _
+  | `Bool, Aoi.Const_bool _
+  | `Char, Aoi.Const_char _
+  | `Enum _, Aoi.Const_enum _
+  (* enum labels may also be written as bare integers by the ONC front end *)
+  | `Enum _, Aoi.Const_int _ ->
+      ()
+  | ( (`Int | `Bool | `Char | `Enum _),
+      ( Aoi.Const_int _ | Aoi.Const_bool _ | Aoi.Const_char _ | Aoi.Const_enum _
+      | Aoi.Const_string _ | Aoi.Const_float _ ) ) ->
+      Diag.error "union case label does not match the discriminator type"
+
+let rec check_typ env scope ~allow_void (ty : Aoi.typ) =
+  match ty with
+  | Aoi.Void -> if not allow_void then Diag.error "void is only valid as a return type"
+  | Aoi.Boolean | Aoi.Char | Aoi.Octet -> ()
+  | Aoi.Integer { bits; signed = _ } ->
+      if not (List.mem bits [ 8; 16; 32; 64 ]) then
+        Diag.error "invalid integer width %d" bits
+  | Aoi.Float bits ->
+      if bits <> 32 && bits <> 64 then Diag.error "invalid float width %d" bits
+  | Aoi.String bound -> (
+      match bound with
+      | Some b when b <= 0 -> Diag.error "string bound must be positive"
+      | Some _ | None -> ())
+  | Aoi.Sequence (elem, bound) ->
+      (match bound with
+      | Some b when b <= 0 -> Diag.error "sequence bound must be positive"
+      | Some _ | None -> ());
+      check_typ env scope ~allow_void:false elem
+  | Aoi.Array (elem, dims) ->
+      if dims = [] then Diag.error "array must have at least one dimension";
+      List.iter (fun d -> if d <= 0 then Diag.error "array dimension must be positive") dims;
+      check_typ env scope ~allow_void:false elem
+  | Aoi.Named q -> (
+      match Aoi_env.resolve_exn env ~scope q with
+      | _, (Aoi_env.Btype _ | Aoi_env.Binterface _) -> ()
+      | _, ( Aoi_env.Bconst _ | Aoi_env.Benumerator _ | Aoi_env.Bexception _
+           | Aoi_env.Bmodule ) ->
+          Diag.error "%s does not name a type" (Aoi.qname_to_string q))
+  | Aoi.Struct_type fields ->
+      if fields = [] then Diag.error "struct must have at least one member";
+      check_unique "struct member" (List.map (fun f -> f.Aoi.f_name) fields);
+      List.iter (fun f -> check_typ env scope ~allow_void:false f.Aoi.f_type) fields
+  | Aoi.Union_type u ->
+      let kind = discrim_kind env scope u.Aoi.u_discrim in
+      if u.Aoi.u_cases = [] && u.Aoi.u_default = None then
+        Diag.error "union must have at least one case";
+      let labels = List.concat_map (fun c -> c.Aoi.c_labels) u.Aoi.u_cases in
+      List.iter (check_label_kind kind) labels;
+      check_unique "union case label" (List.map label_key labels);
+      check_unique "union member"
+        (List.map (fun c -> c.Aoi.c_field.Aoi.f_name) u.Aoi.u_cases
+        @ match u.Aoi.u_default with None -> [] | Some f -> [ f.Aoi.f_name ]);
+      (* XDR permits void union arms ("case 0: void;") *)
+      List.iter
+        (fun c -> check_typ env scope ~allow_void:true c.Aoi.c_field.Aoi.f_type)
+        u.Aoi.u_cases;
+      (match u.Aoi.u_default with
+      | None -> ()
+      | Some f -> check_typ env scope ~allow_void:true f.Aoi.f_type)
+  | Aoi.Enum_type names ->
+      if names = [] then Diag.error "enum must have at least one enumerator";
+      check_unique "enumerator" (List.map fst names);
+      check_unique "enumerator value"
+        (List.map (fun (_, v) -> Int64.to_string v) names)
+  | Aoi.Optional elem -> check_typ env scope ~allow_void:false elem
+  | Aoi.Object q -> (
+      match Aoi_env.resolve_exn env ~scope q with
+      | _, Aoi_env.Binterface _ -> ()
+      | _, ( Aoi_env.Btype _ | Aoi_env.Bconst _ | Aoi_env.Benumerator _
+           | Aoi_env.Bexception _ | Aoi_env.Bmodule ) ->
+          Diag.error "%s does not name an interface" (Aoi.qname_to_string q))
+
+(* ------------------------------------------------------------------ *)
+(* Recursion classification                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Walk the type graph from every named type.  [path] holds the named
+   types currently being expanded, innermost last, each paired with a
+   flag saying whether the edge *into* it was guarded by an Optional or
+   Sequence constructor.  A cycle whose back edge cannot see a guard is
+   an illegal direct recursion; a guarded cycle marks every participant
+   as self-referential. *)
+let classify_recursion env (spec : Aoi.spec) =
+  let self_ref : (string, Aoi.qname) Hashtbl.t = Hashtbl.create 8 in
+  let finished : (string, unit) Hashtbl.t = Hashtbl.create 32 in
+  let rec walk scope path ~guarded (ty : Aoi.typ) =
+    match ty with
+    | Aoi.Void | Aoi.Boolean | Aoi.Char | Aoi.Octet | Aoi.Integer _ | Aoi.Float _
+    | Aoi.String _ | Aoi.Enum_type _ | Aoi.Object _ ->
+        ()
+    | Aoi.Sequence (elem, _) | Aoi.Optional elem ->
+        walk scope path ~guarded:true elem
+    | Aoi.Array (elem, _) -> walk scope path ~guarded elem
+    | Aoi.Struct_type fields ->
+        List.iter (fun f -> walk scope path ~guarded f.Aoi.f_type) fields
+    | Aoi.Union_type u ->
+        List.iter (fun c -> walk scope path ~guarded c.Aoi.c_field.Aoi.f_type) u.Aoi.u_cases;
+        (match u.Aoi.u_default with
+        | None -> ()
+        | Some f -> walk scope path ~guarded f.Aoi.f_type)
+    | Aoi.Named q -> (
+        match Aoi_env.resolve_exn env ~scope q with
+        | _, Aoi_env.Binterface _ -> ()
+        | qn, Aoi_env.Btype ty' -> visit qn path ~guarded ty'
+        | _, ( Aoi_env.Bconst _ | Aoi_env.Benumerator _ | Aoi_env.Bexception _
+             | Aoi_env.Bmodule ) ->
+            ())
+  and visit qn path ~guarded ty =
+    let k = key qn in
+    (* [path] lists the named types being expanded, innermost first, each
+       with the guardedness of the edge leading *into* it.  For a back
+       edge to [k], the cycle's edges are the current edge plus the
+       entering edges of every node above the older occurrence of [k];
+       the entering edge of [k] itself is outside the cycle. *)
+    let rec on_path acc = function
+      | [] -> None
+      | (k', g') :: rest -> if k' = k then Some acc else on_path (acc || g') rest
+    in
+    match on_path guarded path with
+    | Some cycle_guarded ->
+        if cycle_guarded then begin
+          let rec mark = function
+            | [] -> ()
+            | (k', _) :: rest ->
+                if not (Hashtbl.mem self_ref k') then Hashtbl.add self_ref k' qn;
+                if k' = k then () else mark rest
+          in
+          (* mark everything from the top of the path down to [k] *)
+          mark path;
+          if not (Hashtbl.mem self_ref k) then Hashtbl.add self_ref k qn
+        end
+        else
+          Diag.error "illegal recursive type %s (recursion must pass through \
+                      a sequence or optional constructor)"
+            (Aoi.qname_to_string qn)
+    | None ->
+        if not (Hashtbl.mem finished k) then begin
+          let scope = match List.rev qn with [] -> [] | _ :: r -> List.rev r in
+          walk scope ((k, guarded) :: path) ~guarded:false ty;
+          Hashtbl.replace finished k ()
+        end
+  in
+  let rec roots scope defs =
+    List.iter
+      (fun (def : Aoi.def) ->
+        match def with
+        | Aoi.Dtype (n, ty) -> visit (scope @ [ n ]) [] ~guarded:false ty
+        | Aoi.Dconst _ -> ()
+        | Aoi.Dexception (_, fields) ->
+            List.iter (fun f -> walk scope [] ~guarded:false f.Aoi.f_type) fields
+        | Aoi.Dinterface i -> roots (scope @ [ i.Aoi.i_name ]) i.Aoi.i_defs
+        | Aoi.Dmodule (n, sub) -> roots (scope @ [ n ]) sub)
+      defs
+  in
+  roots [] spec.Aoi.s_defs;
+  Hashtbl.fold (fun k _ acc -> String.split_on_char ':' k :: acc) self_ref []
+  |> List.map (fun parts -> List.filter (fun s -> s <> "") parts)
+
+(* ------------------------------------------------------------------ *)
+(* Interfaces and top-level walk                                       *)
+(* ------------------------------------------------------------------ *)
+
+let check_operation env scope collector (op : Aoi.operation) =
+  check_typ env scope ~allow_void:true op.Aoi.op_return;
+  check_unique "parameter" (List.map (fun p -> p.Aoi.p_name) op.Aoi.op_params);
+  List.iter (fun p -> check_typ env scope ~allow_void:false p.Aoi.p_type) op.Aoi.op_params;
+  List.iter
+    (fun q ->
+      match Aoi_env.resolve_exn env ~scope q with
+      | _, Aoi_env.Bexception _ -> ()
+      | _, ( Aoi_env.Btype _ | Aoi_env.Bconst _ | Aoi_env.Benumerator _
+           | Aoi_env.Binterface _ | Aoi_env.Bmodule ) ->
+          Diag.error "raises clause %s does not name an exception"
+            (Aoi.qname_to_string q))
+    op.Aoi.op_raises;
+  if op.Aoi.op_oneway then begin
+    if op.Aoi.op_return <> Aoi.Void then
+      Diag.error "oneway operation %s must return void" op.Aoi.op_name;
+    if List.exists (fun p -> p.Aoi.p_dir <> Aoi.In) op.Aoi.op_params then
+      Diag.error "oneway operation %s may only have 'in' parameters" op.Aoi.op_name;
+    if op.Aoi.op_raises <> [] then
+      Diag.warn collector "oneway operation %s has a raises clause" op.Aoi.op_name
+  end
+
+let check_interface env scope collector (i : Aoi.interface) =
+  let iscope = scope @ [ i.Aoi.i_name ] in
+  List.iter
+    (fun q ->
+      match Aoi_env.resolve_exn env ~scope q with
+      | _, Aoi_env.Binterface _ -> ()
+      | _, ( Aoi_env.Btype _ | Aoi_env.Bconst _ | Aoi_env.Benumerator _
+           | Aoi_env.Bexception _ | Aoi_env.Bmodule ) ->
+          Diag.error "parent %s of interface %s is not an interface"
+            (Aoi.qname_to_string q) i.Aoi.i_name)
+    i.Aoi.i_parents;
+  check_unique
+    (Printf.sprintf "operation/attribute in interface %s" i.Aoi.i_name)
+    (List.map (fun o -> o.Aoi.op_name) i.Aoi.i_ops
+    @ List.map (fun a -> a.Aoi.at_name) i.Aoi.i_attrs);
+  check_unique
+    (Printf.sprintf "operation code in interface %s" i.Aoi.i_name)
+    (List.map (fun o -> Int64.to_string o.Aoi.op_code) i.Aoi.i_ops);
+  List.iter (check_operation env iscope collector) i.Aoi.i_ops;
+  List.iter
+    (fun a -> check_typ env iscope ~allow_void:false a.Aoi.at_type)
+    i.Aoi.i_attrs
+
+let check (spec : Aoi.spec) =
+  let env = Aoi_env.build spec in
+  let collector = Diag.make_collector () in
+  let exception_count = ref 0 in
+  let rec check_defs scope defs =
+    List.iter
+      (fun (def : Aoi.def) ->
+        match def with
+        | Aoi.Dtype (_, ty) -> check_typ env scope ~allow_void:false ty
+        | Aoi.Dconst (_, ty, _) -> check_typ env scope ~allow_void:false ty
+        | Aoi.Dexception (_, fields) ->
+            incr exception_count;
+            check_unique "exception member" (List.map (fun f -> f.Aoi.f_name) fields);
+            List.iter (fun f -> check_typ env scope ~allow_void:false f.Aoi.f_type) fields
+        | Aoi.Dinterface i ->
+            check_interface env scope collector i;
+            check_defs (scope @ [ i.Aoi.i_name ]) i.Aoi.i_defs
+        | Aoi.Dmodule (n, sub) -> check_defs (scope @ [ n ]) sub)
+      defs
+  in
+  check_defs [] spec.Aoi.s_defs;
+  let self_referential = classify_recursion env spec in
+  {
+    env;
+    self_referential;
+    exception_count = !exception_count;
+    warnings = Diag.warnings collector;
+  }
+
+let is_self_referential report q =
+  let k = key q in
+  List.exists (fun q' -> key q' = k) report.self_referential

@@ -1,0 +1,23 @@
+(** Well-formedness checking of AOI specifications.
+
+    The checker resolves every name reference, validates type
+    constructions (union discriminators and labels, array dimensions,
+    bounds, enum contents, duplicate members), and classifies recursive
+    types.  Recursion is legal only when every cycle passes through an
+    {!Aoi.Optional} or {!Aoi.Sequence} constructor (XDR linked-list
+    style); such types are reported as {e self-referential}, which the
+    CORBA presentation generator uses to reject them (the paper's
+    footnote 3 restriction). *)
+
+type report = {
+  env : Aoi_env.t;
+  self_referential : Aoi.qname list;
+      (** named types involved in a legal recursion cycle *)
+  exception_count : int;  (** number of exception definitions *)
+  warnings : Diag.t list;
+}
+
+val check : Aoi.spec -> report
+(** Raises {!Diag.Error} on the first fatal problem. *)
+
+val is_self_referential : report -> Aoi.qname -> bool

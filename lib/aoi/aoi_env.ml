@@ -1,0 +1,80 @@
+
+type binding =
+  | Btype of Aoi.typ
+  | Bconst of Aoi.typ * Aoi.const
+  | Benumerator of Aoi.qname * int64
+  | Bexception of Aoi.field list
+  | Binterface of Aoi.interface
+  | Bmodule
+
+type t = { table : (string, Aoi.qname * binding) Hashtbl.t }
+
+let key (q : Aoi.qname) = String.concat "::" q
+
+let add t qname binding =
+  let k = key qname in
+  if Hashtbl.mem t.table k then
+    Diag.error "duplicate definition of %s" (Aoi.qname_to_string qname);
+  Hashtbl.add t.table k (qname, binding)
+
+(* Enumerators declared by a type [ty] named [owner] become constants in
+   the scope that declares the enum (the CORBA scoping rule). *)
+let add_enumerators t scope owner ty =
+  match (ty : Aoi.typ) with
+  | Aoi.Enum_type names ->
+      List.iter
+        (fun (n, value) -> add t (scope @ [ n ]) (Benumerator (owner, value)))
+        names
+  | Aoi.Void | Aoi.Boolean | Aoi.Char | Aoi.Octet | Aoi.Integer _ | Aoi.Float _
+  | Aoi.String _ | Aoi.Sequence _ | Aoi.Array _ | Aoi.Named _ | Aoi.Struct_type _
+  | Aoi.Union_type _ | Aoi.Optional _ | Aoi.Object _ ->
+      ()
+
+let rec add_defs t scope defs =
+  List.iter
+    (fun (def : Aoi.def) ->
+      match def with
+      | Aoi.Dtype (n, ty) ->
+          let qn = scope @ [ n ] in
+          add t qn (Btype ty);
+          add_enumerators t scope qn ty
+      | Aoi.Dconst (n, ty, v) -> add t (scope @ [ n ]) (Bconst (ty, v))
+      | Aoi.Dexception (n, fields) -> add t (scope @ [ n ]) (Bexception fields)
+      | Aoi.Dinterface i ->
+          let qn = scope @ [ i.Aoi.i_name ] in
+          add t qn (Binterface i);
+          add_defs t qn i.Aoi.i_defs
+      | Aoi.Dmodule (n, sub) ->
+          let qn = scope @ [ n ] in
+          add t qn Bmodule;
+          add_defs t qn sub)
+    defs
+
+let build (spec : Aoi.spec) =
+  let t = { table = Hashtbl.create 64 } in
+  add_defs t [] spec.Aoi.s_defs;
+  t
+
+let resolve t ~scope q =
+  match q with
+  | "" :: abs -> Hashtbl.find_opt t.table (key abs)
+  | _ ->
+      let rec search scope =
+        match Hashtbl.find_opt t.table (key (scope @ q)) with
+        | Some r -> Some r
+        | None -> (
+            match List.rev scope with
+            | [] -> None
+            | _ :: outer_rev -> search (List.rev outer_rev))
+      in
+      search scope
+
+let resolve_exn t ~scope q =
+  match resolve t ~scope q with
+  | Some r -> r
+  | None ->
+      Diag.error "unresolved name %s (in scope %s)" (Aoi.qname_to_string q)
+        (match scope with [] -> "<global>" | _ -> Aoi.qname_to_string scope)
+
+let fold f t init =
+  Hashtbl.fold (fun _ (qn, b) acc -> f qn b acc) t.table init

@@ -1,0 +1,32 @@
+(** Name resolution environments for AOI specifications.
+
+    An environment records every name introduced by a specification —
+    types, constants, enumerators, exceptions, interfaces and modules —
+    keyed by fully qualified name.  Resolution searches from an inner
+    scope outward, following the scoping rules shared by the CORBA and
+    ONC RPC IDLs. *)
+
+type binding =
+  | Btype of Aoi.typ
+  | Bconst of Aoi.typ * Aoi.const
+  | Benumerator of Aoi.qname * int64
+      (** enumerator: (qualified name of the enum type, wire value) *)
+  | Bexception of Aoi.field list
+  | Binterface of Aoi.interface
+  | Bmodule
+
+type t
+
+val build : Aoi.spec -> t
+(** Index a specification.  Raises {!Diag.Error} when two
+    definitions in the same scope share a name. *)
+
+val resolve : t -> scope:Aoi.qname -> Aoi.qname -> (Aoi.qname * binding) option
+(** [resolve t ~scope q] looks [q] up starting in [scope] and walking
+    outward to the global scope.  A [q] beginning with the empty string
+    (rendered "::q") is absolute. *)
+
+val resolve_exn : t -> scope:Aoi.qname -> Aoi.qname -> Aoi.qname * binding
+(** Like {!resolve} but raises a diagnostic for unknown names. *)
+
+val fold : (Aoi.qname -> binding -> 'a -> 'a) -> t -> 'a -> 'a

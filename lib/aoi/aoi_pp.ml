@@ -1,0 +1,186 @@
+let pp_qname ppf q = Format.pp_print_string ppf (Aoi.qname_to_string q)
+
+(* IDL puts array dimensions after the declared name, C style; nested
+   arrays flatten into one dimension list *)
+let rec split_array_dims (ty : Aoi.typ) =
+  match ty with
+  | Aoi.Array (elem, dims) ->
+      let base, inner = split_array_dims elem in
+      (base, dims @ inner)
+  | _ -> (ty, [])
+
+let integer_name (k : Aoi.integer_kind) =
+  match (k.bits, k.signed) with
+  | 8, true -> "int8"
+  | 8, false -> "uint8"
+  | 16, true -> "short"
+  | 16, false -> "unsigned short"
+  | 32, true -> "long"
+  | 32, false -> "unsigned long"
+  | 64, true -> "long long"
+  | 64, false -> "unsigned long long"
+  | _, _ -> Printf.sprintf "int%d" k.bits
+
+let rec pp_typ ppf (ty : Aoi.typ) =
+  match ty with
+  | Aoi.Void -> Format.pp_print_string ppf "void"
+  | Aoi.Boolean -> Format.pp_print_string ppf "boolean"
+  | Aoi.Char -> Format.pp_print_string ppf "char"
+  | Aoi.Octet -> Format.pp_print_string ppf "octet"
+  | Aoi.Integer k -> Format.pp_print_string ppf (integer_name k)
+  | Aoi.Float 32 -> Format.pp_print_string ppf "float"
+  | Aoi.Float _ -> Format.pp_print_string ppf "double"
+  | Aoi.String None -> Format.pp_print_string ppf "string"
+  | Aoi.String (Some b) -> Format.fprintf ppf "string<%d>" b
+  | Aoi.Sequence (elem, None) -> Format.fprintf ppf "sequence<%a>" pp_typ elem
+  | Aoi.Sequence (elem, Some b) -> Format.fprintf ppf "sequence<%a, %d>" pp_typ elem b
+  | Aoi.Array (elem, dims) ->
+      Format.fprintf ppf "%a%a" pp_typ elem
+        (Format.pp_print_list ~pp_sep:(fun _ () -> ())
+           (fun ppf d -> Format.fprintf ppf "[%d]" d))
+        dims
+  | Aoi.Named q -> pp_qname ppf q
+  | Aoi.Struct_type fields ->
+      Format.fprintf ppf "@[<v 2>struct {@,%a@]@,}" pp_fields fields
+  | Aoi.Union_type u -> pp_union ppf u
+  | Aoi.Enum_type names ->
+      Format.fprintf ppf "enum { %a }"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           (fun ppf (n, _) -> Format.pp_print_string ppf n))
+        names
+  | Aoi.Optional elem -> Format.fprintf ppf "%a?" pp_typ elem
+  | Aoi.Object q -> Format.fprintf ppf "object %a" pp_qname q
+
+and pp_declared ppf (ty, name) =
+  let base, dims = split_array_dims ty in
+  Format.fprintf ppf "%a %s%a" pp_typ base name
+    (Format.pp_print_list ~pp_sep:(fun _ () -> ())
+       (fun ppf d -> Format.fprintf ppf "[%d]" d))
+    dims
+
+and pp_fields ppf fields =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_cut ppf ())
+    (fun ppf (f : Aoi.field) ->
+      Format.fprintf ppf "%a;" pp_declared (f.Aoi.f_type, f.Aoi.f_name))
+    ppf fields
+
+and pp_union ppf (u : Aoi.union_body) =
+  Format.fprintf ppf "@[<v 2>union switch (%a) {@," pp_typ u.Aoi.u_discrim;
+  List.iter
+    (fun (c : Aoi.union_case) ->
+      List.iter
+        (fun label -> Format.fprintf ppf "case %a:@," Aoi.pp_const label)
+        c.Aoi.c_labels;
+      Format.fprintf ppf "  %a;@," pp_declared
+        (c.Aoi.c_field.Aoi.f_type, c.Aoi.c_field.Aoi.f_name))
+    u.Aoi.u_cases;
+  (match u.Aoi.u_default with
+  | None -> ()
+  | Some f ->
+      Format.fprintf ppf "default:@,  %a;@," pp_declared (f.Aoi.f_type, f.Aoi.f_name));
+  Format.fprintf ppf "@]}"
+
+let pp_param ppf (p : Aoi.param) =
+  let dir =
+    match p.Aoi.p_dir with
+    | Aoi.In -> "in"
+    | Aoi.Out -> "out"
+    | Aoi.Inout -> "inout"
+  in
+  Format.fprintf ppf "%s %a" dir pp_declared (p.Aoi.p_type, p.Aoi.p_name)
+
+let pp_operation ppf (op : Aoi.operation) =
+  Format.fprintf ppf "%s%a %s(%a)%a; // code %Ld"
+    (if op.Aoi.op_oneway then "oneway " else "")
+    pp_typ op.Aoi.op_return op.Aoi.op_name
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       pp_param)
+    op.Aoi.op_params
+    (fun ppf raises ->
+      match raises with
+      | [] -> ()
+      | _ ->
+          Format.fprintf ppf " raises (%a)"
+            (Format.pp_print_list
+               ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+               pp_qname)
+            raises)
+    op.Aoi.op_raises op.Aoi.op_code
+
+let rec pp_def ppf (def : Aoi.def) =
+  match def with
+  | Aoi.Dtype (n, (Aoi.Struct_type fields)) ->
+      Format.fprintf ppf "@[<v 2>struct %s {@,%a@]@,};" n pp_fields fields
+  | Aoi.Dtype (n, Aoi.Enum_type names) ->
+      Format.fprintf ppf "enum %s { %a };" n
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           (fun ppf (en, _) -> Format.pp_print_string ppf en))
+        names
+  | Aoi.Dtype (n, (Aoi.Union_type u)) ->
+      Format.fprintf ppf "@[<v>union %s switch (%a) %a;@]" n pp_typ u.Aoi.u_discrim
+        (fun ppf u -> pp_union_body_only ppf u) u
+  | Aoi.Dtype (n, ty) -> Format.fprintf ppf "typedef %a;" pp_declared (ty, n)
+  | Aoi.Dconst (n, ty, v) ->
+      Format.fprintf ppf "const %a %s = %a;" pp_typ ty n Aoi.pp_const v
+  | Aoi.Dexception (n, fields) ->
+      Format.fprintf ppf "@[<v 2>exception %s {@,%a@]@,};" n pp_fields fields
+  | Aoi.Dinterface i -> pp_interface ppf i
+  | Aoi.Dmodule (n, defs) ->
+      Format.fprintf ppf "@[<v 2>module %s {@,%a@]@,};" n pp_defs defs
+
+and pp_union_body_only ppf (u : Aoi.union_body) =
+  Format.fprintf ppf "@[<v 2>{@,";
+  List.iter
+    (fun (c : Aoi.union_case) ->
+      List.iter
+        (fun label -> Format.fprintf ppf "case %a:@," Aoi.pp_const label)
+        c.Aoi.c_labels;
+      Format.fprintf ppf "  %a;@," pp_declared
+        (c.Aoi.c_field.Aoi.f_type, c.Aoi.c_field.Aoi.f_name))
+    u.Aoi.u_cases;
+  (match u.Aoi.u_default with
+  | None -> ()
+  | Some f ->
+      Format.fprintf ppf "default:@,  %a;@," pp_declared (f.Aoi.f_type, f.Aoi.f_name));
+  Format.fprintf ppf "@]}"
+
+and pp_interface ppf (i : Aoi.interface) =
+  Format.fprintf ppf "@[<v 2>interface %s%a {" i.Aoi.i_name
+    (fun ppf parents ->
+      match parents with
+      | [] -> ()
+      | _ ->
+          Format.fprintf ppf " : %a"
+            (Format.pp_print_list
+               ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+               pp_qname)
+            parents)
+    i.Aoi.i_parents;
+  (match i.Aoi.i_program with
+  | None -> ()
+  | Some (prog, vers) ->
+      Format.fprintf ppf "@,// ONC RPC program 0x%Lx version %Ld" prog vers);
+  List.iter (fun d -> Format.fprintf ppf "@,%a" pp_def d) i.Aoi.i_defs;
+  List.iter
+    (fun (a : Aoi.attribute) ->
+      Format.fprintf ppf "@,%sattribute %a %s;"
+        (if a.Aoi.at_readonly then "readonly " else "")
+        pp_typ a.Aoi.at_type a.Aoi.at_name)
+    i.Aoi.i_attrs;
+  List.iter (fun op -> Format.fprintf ppf "@,%a" pp_operation op) i.Aoi.i_ops;
+  Format.fprintf ppf "@]@,};"
+
+and pp_defs ppf defs =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_cut ppf ())
+    pp_def ppf defs
+
+let pp_spec ppf (spec : Aoi.spec) =
+  Format.fprintf ppf "@[<v>// AOI for %s@,%a@]@." spec.Aoi.s_file pp_defs
+    spec.Aoi.s_defs
+
+let spec_to_string spec = Format.asprintf "%a" pp_spec spec

@@ -1,0 +1,11 @@
+(** Pretty-printing of AOI specifications.
+
+    Renders AOI in a CORBA-IDL-like concrete syntax.  The output is used
+    by [flick dump-aoi], in tests, and in error messages.  For
+    specifications originating from the CORBA front end the output is
+    itself valid CORBA IDL, which the round-trip tests exploit. *)
+
+val pp_typ : Format.formatter -> Aoi.typ -> unit
+val pp_def : Format.formatter -> Aoi.def -> unit
+val pp_spec : Format.formatter -> Aoi.spec -> unit
+val spec_to_string : Aoi.spec -> string

@@ -1,0 +1,48 @@
+(** The back-end base library (paper section 2.3).
+
+    A back end turns a PRES_C presentation into C source implementing it
+    over one message format and transport.  Almost everything — marshal
+    code generation, stub and dispatch-function shapes, the
+    demultiplexing switch — is shared; a concrete back end
+    ({!Be_iiop}, {!Be_xdr}, {!Be_mach}, {!Be_fluke}) contributes only
+    the encoding and the framing calls, which is the code-reuse
+    structure of the paper's Table 1.
+
+    Generated server dispatch functions demultiplex exactly as section
+    3.3 describes: integer keys become a C [switch]; operation-name
+    string keys are compared a machine word at a time through nested
+    [switch] statements over 32-bit chunks of the name. *)
+
+type transport = {
+  tr_name : string;
+  tr_enc : Encoding.t;
+  tr_description : string;
+  tr_begin_request : Pres_c.t -> Pres_c.op_stub -> Cast.stmt list;
+      (** open the request framing; [_buf] and the handle are in scope *)
+  tr_end_request : Cast.stmt list;
+  tr_recv_reply : Cast.stmt list;  (** skip the reply framing in [_msg] *)
+  tr_server_recv : Pres_c.t -> [ `Int_key of Cast.stmt list | `String_key of Cast.stmt list ];
+      (** read the request framing; [`Int_key] sets [_op],
+          [`String_key] fills [_key]/[_klen] *)
+  tr_begin_reply : Cast.stmt list;
+  tr_end_reply : Cast.stmt list;
+}
+
+val handle_expr : Pres_c.t -> Cast.expr
+(** The client-side transport handle ([_obj] for CORBA-style
+    presentations, [_clnt] for rpcgen-style). *)
+
+val generate_header : transport -> Pres_c.t -> string
+(** The [.h] file: presented types, stub prototypes, dispatch
+    prototype. *)
+
+val generate_client : transport -> Pres_c.t -> string
+(** The client-side [.c] file: one stub per operation. *)
+
+val generate_server : transport -> Pres_c.t -> string
+(** The server-side [.c] file: the dispatch function, expecting the
+    user-supplied work functions. *)
+
+val generate_files : transport -> Pres_c.t -> (string * string) list
+(** [(filename, contents)] for header, client and server, named after
+    the presentation. *)

@@ -1,0 +1,35 @@
+open Cast
+
+let msg_id (st : Pres_c.op_stub) =
+  match st.Pres_c.os_request_case with
+  | Mint.Cint n -> n
+  | Mint.Cstring _ | Mint.Cbool _ | Mint.Cchar _ -> st.Pres_c.os_op.Aoi.op_code
+
+let rekey (pc : Pres_c.t) =
+  {
+    pc with
+    Pres_c.pc_stubs =
+      List.map
+        (fun st -> { st with Pres_c.os_request_case = Mint.Cint (msg_id st) })
+        pc.Pres_c.pc_stubs;
+  }
+
+let transport =
+  {
+    Backend_base.tr_name = "fluke";
+    tr_enc = Encoding.fluke;
+    tr_description = "Fluke kernel IPC (register-window messages)";
+    tr_begin_request =
+      (fun _pc st ->
+        [ Sexpr (call "flick_fluke_begin" [ Eid "_buf"; Eint (msg_id st) ]) ]);
+    tr_end_request = [];
+    tr_recv_reply = [ Sexpr (Ecall ("flick_fluke_recv", [ Eid "_msg" ])) ];
+    tr_server_recv =
+      (fun _pc ->
+        `Int_key
+          [ Sdecl ("_op", uint32_t, Some (call "flick_fluke_recv" [ Eid "_msg" ])) ]);
+    tr_begin_reply = [ Sexpr (call "flick_fluke_begin" [ Eid "_out"; num 0 ]) ];
+    tr_end_reply = [];
+  }
+
+let generate pc = Backend_base.generate_files transport (rekey pc)

@@ -1,0 +1,9 @@
+(** The Fluke kernel IPC back end (paper Table 1: 514 lines over the
+    back-end base library).  Fluke messages are packed words with no
+    per-item descriptors; the first words of a small message travel in
+    machine registers across the kernel IPC path, which the loopback
+    transport models as the leading buffer words. *)
+
+val transport : Backend_base.transport
+
+val generate : Pres_c.t -> (string * string) list

@@ -1,0 +1,66 @@
+open Cast
+
+let operation_name (st : Pres_c.op_stub) =
+  match st.Pres_c.os_request_case with
+  | Mint.Cstring s -> s
+  | Mint.Cint _ | Mint.Cbool _ | Mint.Cchar _ ->
+      (* a non-CORBA presentation routed over IIOP: dispatch on the
+         operation name anyway, GIOP has no other key *)
+      st.Pres_c.os_op.Aoi.op_name
+
+(* GIOP dispatches on operation names regardless of the source
+   presentation *)
+let rekey (pc : Pres_c.t) =
+  {
+    pc with
+    Pres_c.pc_stubs =
+      List.map
+        (fun st ->
+          { st with Pres_c.os_request_case = Mint.Cstring (operation_name st) })
+        pc.Pres_c.pc_stubs;
+  }
+
+let transport =
+  {
+    Backend_base.tr_name = "iiop";
+    tr_enc = Encoding.cdr;
+    tr_description = "CORBA IIOP (GIOP 1.0, CDR) over TCP";
+    tr_begin_request =
+      (fun pc st ->
+        ignore pc;
+        [
+          Sexpr
+            (call "flick_giop_begin_request"
+               [
+                 Eid "_buf";
+                 Efield (Eunop (Deref, Backend_base.handle_expr pc), "key");
+                 Estr (operation_name st);
+                 num (if st.Pres_c.os_op.Aoi.op_oneway then 0 else 1);
+               ]);
+        ]);
+    tr_end_request = [ Sexpr (call "flick_giop_end" [ Eid "_buf" ]) ];
+    tr_recv_reply = [ Sexpr (call "flick_giop_recv_reply" [ Eid "_msg" ]) ];
+    tr_server_recv =
+      (fun _pc ->
+        `String_key
+          [
+            Sraw "  char _key[128];";
+            Sdecl ("_klen", uint32_t, None);
+            Sdecl
+              ( "_reqid",
+                uint32_t,
+                Some
+                  (call "flick_giop_recv_request"
+                     [
+                       Eid "_msg"; Eid "_key"; Esizeof (Tarray (Tchar, Some 128));
+                       Eunop (Addr, Eid "_klen");
+                     ]) );
+          ]);
+    tr_begin_reply =
+      [
+        Sexpr (call "flick_giop_begin_reply" [ Eid "_out"; Eid "_reqid" ]);
+      ];
+    tr_end_reply = [ Sexpr (call "flick_giop_end" [ Eid "_out" ]) ];
+  }
+
+let generate pc = Backend_base.generate_files transport (rekey pc)

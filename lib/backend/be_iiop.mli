@@ -1,0 +1,9 @@
+(** The CORBA IIOP back end: GIOP 1.0 framing with CDR data encoding
+    over the loopback transport (paper Table 1: 353 lines over the
+    back-end base library).  Requests carry the operation name, so the
+    generated dispatch function uses the word-chunked string
+    demultiplexer. *)
+
+val transport : Backend_base.transport
+
+val generate : Pres_c.t -> (string * string) list

@@ -1,0 +1,46 @@
+open Cast
+
+let msgh_base = 100L
+
+let msgh_id (st : Pres_c.op_stub) =
+  match st.Pres_c.os_request_case with
+  | Mint.Cint n -> Int64.add msgh_base n
+  | Mint.Cstring _ | Mint.Cbool _ | Mint.Cchar _ ->
+      Int64.add msgh_base st.Pres_c.os_op.Aoi.op_code
+
+(* dispatch matches on msgh_id, so the case labels must use it too *)
+let rekey (pc : Pres_c.t) =
+  {
+    pc with
+    Pres_c.pc_stubs =
+      List.map
+        (fun st -> { st with Pres_c.os_request_case = Mint.Cint (msgh_id st) })
+        pc.Pres_c.pc_stubs;
+  }
+
+let transport =
+  {
+    Backend_base.tr_name = "mach3";
+    tr_enc = Encoding.mach3;
+    tr_description = "Mach 3 typed messages between ports";
+    tr_begin_request =
+      (fun _pc st ->
+        (* the stub has already been rekeyed to its msgh_id *)
+        let id =
+          match st.Pres_c.os_request_case with
+          | Mint.Cint n -> n
+          | Mint.Cstring _ | Mint.Cbool _ | Mint.Cchar _ -> msgh_id st
+        in
+        [ Sexpr (call "flick_mach_begin" [ Eid "_buf"; Eint id ]) ]);
+    tr_end_request = [ Sexpr (call "flick_mach_end" [ Eid "_buf" ]) ];
+    tr_recv_reply = [ Sexpr (Ecall ("flick_mach_recv", [ Eid "_msg" ])) ];
+    tr_server_recv =
+      (fun _pc ->
+        `Int_key
+          [ Sdecl ("_op", uint32_t, Some (call "flick_mach_recv" [ Eid "_msg" ])) ]);
+    tr_begin_reply =
+      [ Sexpr (call "flick_mach_begin" [ Eid "_out"; num 200 ]) ];
+    tr_end_reply = [ Sexpr (call "flick_mach_end" [ Eid "_out" ]) ];
+  }
+
+let generate pc = Backend_base.generate_files transport (rekey pc)

@@ -1,0 +1,8 @@
+(** The Mach 3 back end: MIG-style typed messages between Mach ports
+    (paper Table 1: 664 lines over the back-end base library).  Every
+    data item carries a type-descriptor word; messages are keyed by
+    [msgh_id] (operation code plus the conventional base of 100). *)
+
+val transport : Backend_base.transport
+
+val generate : Pres_c.t -> (string * string) list

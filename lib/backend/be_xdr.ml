@@ -1,0 +1,53 @@
+open Cast
+
+let proc_number (st : Pres_c.op_stub) =
+  match st.Pres_c.os_request_case with
+  | Mint.Cint n -> n
+  | Mint.Cstring _ | Mint.Cbool _ | Mint.Cchar _ -> st.Pres_c.os_op.Aoi.op_code
+
+let program_numbers (pc : Pres_c.t) =
+  match pc.Pres_c.pc_program with Some (p, v) -> (p, v) | None -> (0x20000000L, 1L)
+
+(* dispatch is keyed by procedure number regardless of the source
+   presentation *)
+let rekey (pc : Pres_c.t) =
+  {
+    pc with
+    Pres_c.pc_stubs =
+      List.map
+        (fun st -> { st with Pres_c.os_request_case = Mint.Cint (proc_number st) })
+        pc.Pres_c.pc_stubs;
+  }
+
+let transport =
+  {
+    Backend_base.tr_name = "oncrpc";
+    tr_enc = Encoding.xdr;
+    tr_description = "ONC RPC (XDR) over TCP/UDP";
+    tr_begin_request =
+      (fun pc st ->
+        let prog, vers = program_numbers pc in
+        [
+          Sexpr
+            (call "flick_onc_begin_call"
+               [ Eid "_buf"; Eint prog; Eint vers; Eint (proc_number st) ]);
+        ]);
+    tr_end_request = [];
+    tr_recv_reply = [ Sexpr (call "flick_onc_recv_reply" [ Eid "_msg" ]) ];
+    tr_server_recv =
+      (fun _pc ->
+        `Int_key
+          [
+            Sdecl ("_xid", uint32_t, None);
+            Sdecl
+              ( "_op",
+                uint32_t,
+                Some (call "flick_onc_recv_call" [ Eid "_msg"; Eunop (Addr, Eid "_xid") ])
+              );
+          ]);
+    tr_begin_reply =
+      [ Sexpr (call "flick_onc_begin_reply" [ Eid "_out"; Eid "_xid" ]) ];
+    tr_end_reply = [];
+  }
+
+let generate pc = Backend_base.generate_files transport (rekey pc)

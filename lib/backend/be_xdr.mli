@@ -1,0 +1,8 @@
+(** The ONC RPC back end: RFC 1831 call/reply framing with XDR data
+    encoding (paper Table 1: 410 lines over the back-end base library).
+    Requests are keyed by procedure number, so dispatch is a plain
+    integer switch. *)
+
+val transport : Backend_base.transport
+
+val generate : Pres_c.t -> (string * string) list

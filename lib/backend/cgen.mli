@@ -1,0 +1,47 @@
+(** Lowering marshal plans to C statements (the code-generator half of
+    the back-end base library, section 2.3).
+
+    The marshal side prints {!Mplan} programs — so the emitted C embodies
+    exactly the optimization decisions the stub engine executes.  Chunks
+    become one capacity check, a chunk pointer, and stores at constant
+    offsets ("pointer-plus-offset instructions", section 3.2); byte runs
+    become [memcpy]; scalar arrays become a guarded [memcpy]-or-loop on
+    byte order; everything is emitted inline except {!Mplan.op.Call}
+    nodes, which call the per-type marshal functions emitted for
+    recursive types.
+
+    The unmarshal side is generated directly from (MINT, PRES) with the
+    same layout discipline, reading through the runtime's checked-view
+    helpers and allocating presented data with [flick_salloc] (the
+    parameter-management optimization of section 3.1). *)
+
+val expr_of_rv : vars:(int -> Cast.expr) -> Mplan.rv -> Cast.expr
+(** The C lvalue a plan path denotes; [vars] supplies loop variables. *)
+
+val marshal_stmts : enc:Encoding.t -> Mplan.op list -> Cast.stmt list
+(** Statements appending one message body to [_buf]. *)
+
+val marshal_sub_functions :
+  enc:Encoding.t -> (string * Mplan.op list) list -> Cast.decl list
+(** One [static void flick_enc_<name>(flick_buf_t *_buf, <T> *_v)]
+    definition per named (recursive) presentation. *)
+
+val unmarshal_stmts :
+  enc:Encoding.t ->
+  mint:Mint.t ->
+  named:(string * (Mint.idx * Pres.t)) list ->
+  dest:Cast.expr ->
+  Mint.idx ->
+  Pres.t ->
+  Cast.stmt list
+(** Statements decoding one value from [_msg] into [dest].  Allocation
+    sizes are taken from the destination lvalue with [sizeof]. *)
+
+val unmarshal_sub_functions :
+  enc:Encoding.t ->
+  mint:Mint.t ->
+  named:(string * (Mint.idx * Pres.t)) list ->
+  Cast.decl list
+
+val fresh_reset : unit -> unit
+(** Reset the generated-temporary counter (per compilation unit). *)

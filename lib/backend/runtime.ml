@@ -1,0 +1,572 @@
+let header =
+  {header|/* flick_runtime.h - runtime support for Flick-generated stubs.
+ *
+ * The buffer API mirrors the optimization contract of the stub
+ * compiler: flick_ensure() reserves capacity once per fixed-size
+ * segment, after which generated code stores at constant offsets from
+ * flick_ptr() and commits with one flick_advance() (the paper's
+ * "chunk" discipline).  Traditional per-datum stubs instead call the
+ * checked flick_put_* helpers.
+ */
+#ifndef FLICK_RUNTIME_H
+#define FLICK_RUNTIME_H
+
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+#include <stdio.h>
+
+#if defined(__BYTE_ORDER__) && (__BYTE_ORDER__ == __ORDER_BIG_ENDIAN__)
+#define FLICK_HOST_BIG_ENDIAN 1
+#endif
+
+/* ---- failure ----------------------------------------------------- */
+
+static inline void flick_fail(const char *why)
+{
+  fprintf(stderr, "flick: %s\n", why);
+  abort();
+}
+
+/* ---- marshal buffers ---------------------------------------------- */
+
+typedef struct flick_buf {
+  char *data;
+  size_t cap;
+  size_t pos;
+} flick_buf_t;
+
+static inline void flick_buf_init(flick_buf_t *b)
+{
+  b->cap = 256;
+  b->data = (char *)malloc(b->cap);
+  b->pos = 0;
+}
+
+static inline void flick_buf_reset(flick_buf_t *b) { b->pos = 0; }
+
+static inline void flick_ensure(flick_buf_t *b, size_t n)
+{
+  if (b->pos + n > b->cap) {
+    while (b->pos + n > b->cap) b->cap *= 2;
+    b->data = (char *)realloc(b->data, b->cap);
+  }
+}
+
+static inline char *flick_ptr(flick_buf_t *b) { return b->data + b->pos; }
+static inline void flick_advance(flick_buf_t *b, size_t n) { b->pos += n; }
+
+static inline void flick_align(flick_buf_t *b, size_t a)
+{
+  size_t rem = b->pos & (a - 1);
+  if (rem) {
+    size_t pad = a - rem;
+    flick_ensure(b, pad);
+    memset(b->data + b->pos, 0, pad);
+    b->pos += pad;
+  }
+}
+
+/* ---- endian stores ------------------------------------------------- */
+
+#define FLICK_ST_U8(p, v) (*(uint8_t *)(p) = (uint8_t)(v))
+#define FLICK_ST_16BE(p, v) flick_st16be((char *)(p), (uint16_t)(v))
+#define FLICK_ST_16LE(p, v) flick_st16le((char *)(p), (uint16_t)(v))
+#define FLICK_ST_32BE(p, v) flick_st32be((char *)(p), (uint32_t)(v))
+#define FLICK_ST_32LE(p, v) flick_st32le((char *)(p), (uint32_t)(v))
+#define FLICK_ST_64BE(p, v) flick_st64be((char *)(p), (uint64_t)(v))
+#define FLICK_ST_64LE(p, v) flick_st64le((char *)(p), (uint64_t)(v))
+#define FLICK_ST_F32BE(p, v) flick_stf32(p, (float)(v), 1)
+#define FLICK_ST_F32LE(p, v) flick_stf32(p, (float)(v), 0)
+#define FLICK_ST_F64BE(p, v) flick_stf64(p, (double)(v), 1)
+#define FLICK_ST_F64LE(p, v) flick_stf64(p, (double)(v), 0)
+
+static inline void flick_st16be(char *p, uint16_t v)
+{
+  p[0] = (char)(v >> 8); p[1] = (char)v;
+}
+static inline void flick_st16le(char *p, uint16_t v)
+{
+  p[0] = (char)v; p[1] = (char)(v >> 8);
+}
+static inline void flick_st32be(char *p, uint32_t v)
+{
+  p[0] = (char)(v >> 24); p[1] = (char)(v >> 16);
+  p[2] = (char)(v >> 8); p[3] = (char)v;
+}
+static inline void flick_st32le(char *p, uint32_t v)
+{
+  p[0] = (char)v; p[1] = (char)(v >> 8);
+  p[2] = (char)(v >> 16); p[3] = (char)(v >> 24);
+}
+static inline void flick_st64be(char *p, uint64_t v)
+{
+  flick_st32be(p, (uint32_t)(v >> 32));
+  flick_st32be(p + 4, (uint32_t)v);
+}
+static inline void flick_st64le(char *p, uint64_t v)
+{
+  flick_st32le(p, (uint32_t)v);
+  flick_st32le(p + 4, (uint32_t)(v >> 32));
+}
+static inline void flick_stf32(char *p, float v, int be)
+{
+  uint32_t bits;
+  memcpy(&bits, &v, 4);
+  if (be) flick_st32be(p, bits); else flick_st32le(p, bits);
+}
+static inline void flick_stf64(char *p, double v, int be)
+{
+  uint64_t bits;
+  memcpy(&bits, &v, 8);
+  if (be) flick_st64be(p, bits); else flick_st64le(p, bits);
+}
+
+/* ---- checked appends (traditional per-datum shape) ----------------- */
+
+static inline void flick_put_u32(flick_buf_t *b, uint32_t v, int be)
+{
+  flick_align(b, 4);
+  flick_ensure(b, 4);
+  if (be) flick_st32be(flick_ptr(b), v); else flick_st32le(flick_ptr(b), v);
+  b->pos += 4;
+}
+
+static inline void flick_put_str(flick_buf_t *b, const char *s, int nul, int pad,
+                          int be)
+{
+  size_t slen = strlen(s);
+  size_t data = slen + (nul ? 1 : 0);
+  size_t padded = (data + pad - 1) / pad * pad;
+  flick_put_u32(b, (uint32_t)data, be);
+  flick_ensure(b, padded);
+  memcpy(flick_ptr(b), s, slen);
+  memset(flick_ptr(b) + slen, 0, padded - slen);
+  b->pos += padded;
+}
+
+/* explicit-length variant: the optimized presentation never calls
+ * strlen (paper section 2.2) */
+static inline void flick_put_str_n(flick_buf_t *b, const char *s, uint32_t slen,
+                            int nul, int pad, int be)
+{
+  size_t data = slen + (nul ? 1 : 0);
+  size_t padded = (data + pad - 1) / pad * pad;
+  flick_put_u32(b, (uint32_t)data, be);
+  flick_ensure(b, padded);
+  memcpy(flick_ptr(b), s, slen);
+  memset(flick_ptr(b) + slen, 0, padded - slen);
+  b->pos += padded;
+}
+
+static inline void flick_put_bseq(flick_buf_t *b, const char *p, uint32_t n, int pad,
+                           int be)
+{
+  size_t padded = ((size_t)n + pad - 1) / pad * pad;
+  flick_put_u32(b, n, be);
+  flick_ensure(b, padded);
+  memcpy(flick_ptr(b), p, n);
+  memset(flick_ptr(b) + n, 0, padded - n);
+  b->pos += padded;
+}
+
+/* ---- message readers ------------------------------------------------ */
+
+typedef struct flick_msg {
+  const char *data;
+  size_t pos;
+  size_t end;
+} flick_msg_t;
+
+static inline void flick_need(flick_msg_t *m, size_t n)
+{
+  if (m->pos + n > m->end) flick_fail("short message");
+}
+
+static inline void flick_msg_align(flick_msg_t *m, size_t a)
+{
+  size_t rem = m->pos & (a - 1);
+  if (rem) { flick_need(m, a - rem); m->pos += a - rem; }
+}
+
+static inline void flick_msg_skip(flick_msg_t *m, size_t n)
+{
+  flick_need(m, n);
+  m->pos += n;
+}
+
+static inline void flick_msg_skip_pad(flick_msg_t *m, uint32_t n, int pad)
+{
+  uint32_t padded = (n + pad - 1) / pad * pad;
+  if (padded > n) flick_msg_skip(m, padded - n);
+}
+
+static inline void flick_msg_skip_hdr(flick_msg_t *m)
+{
+  flick_msg_align(m, 4);
+  flick_msg_skip(m, 4);
+}
+
+static inline uint8_t flick_get_u8(flick_msg_t *m)
+{
+  flick_need(m, 1);
+  return (uint8_t)m->data[m->pos++];
+}
+
+static inline uint16_t flick_get_16(flick_msg_t *m, int be)
+{
+  const unsigned char *p;
+  uint16_t v;
+  flick_msg_align(m, 2);
+  flick_need(m, 2);
+  p = (const unsigned char *)m->data + m->pos;
+  v = be ? (uint16_t)((p[0] << 8) | p[1]) : (uint16_t)((p[1] << 8) | p[0]);
+  m->pos += 2;
+  return v;
+}
+
+static inline uint32_t flick_get_32(flick_msg_t *m, int be)
+{
+  const unsigned char *p;
+  uint32_t v;
+  flick_msg_align(m, 4);
+  flick_need(m, 4);
+  p = (const unsigned char *)m->data + m->pos;
+  v = be ? ((uint32_t)p[0] << 24) | ((uint32_t)p[1] << 16)
+             | ((uint32_t)p[2] << 8) | p[3]
+         : ((uint32_t)p[3] << 24) | ((uint32_t)p[2] << 16)
+             | ((uint32_t)p[1] << 8) | p[0];
+  m->pos += 4;
+  return v;
+}
+
+static inline uint32_t flick_get_u32(flick_msg_t *m, int be) { return flick_get_32(m, be); }
+
+static inline uint64_t flick_get_64(flick_msg_t *m, int be, int align)
+{
+  uint64_t hi, lo;
+  flick_msg_align(m, align);
+  flick_need(m, 8);
+  if (be) {
+    hi = flick_get_32(m, 1);
+    lo = flick_get_32(m, 1);
+  } else {
+    lo = flick_get_32(m, 0);
+    hi = flick_get_32(m, 0);
+  }
+  return (hi << 32) | lo;
+}
+
+static inline float flick_get_f32(flick_msg_t *m, int be)
+{
+  uint32_t bits = flick_get_32(m, be);
+  float v;
+  memcpy(&v, &bits, 4);
+  return v;
+}
+
+static inline double flick_get_f64(flick_msg_t *m, int be, int align)
+{
+  uint64_t bits = flick_get_64(m, be, align);
+  double v;
+  memcpy(&v, &bits, 8);
+  return v;
+}
+
+static inline int flick_get_bool8(flick_msg_t *m)
+{
+  uint8_t v = flick_get_u8(m);
+  if (v > 1) flick_fail("invalid boolean");
+  return v;
+}
+
+static inline int flick_get_bool32(flick_msg_t *m, int be)
+{
+  uint32_t v = flick_get_32(m, be);
+  if (v > 1) flick_fail("invalid boolean");
+  return (int)v;
+}
+
+static inline void flick_get_bytes(flick_msg_t *m, void *dst, size_t n)
+{
+  flick_need(m, n);
+  memcpy(dst, m->data + m->pos, n);
+  m->pos += n;
+}
+
+/* Reads a counted string key (operation name, exception id) into a
+ * caller-supplied buffer. */
+static inline void flick_get_key(flick_msg_t *m, char *dst, size_t cap,
+                          uint32_t *len, int nul, int pad, int be)
+{
+  uint32_t wire = flick_get_u32(m, be);
+  uint32_t data = nul ? wire - 1 : wire;
+  if (nul && wire == 0) flick_fail("bad key length");
+  if (data + 1 > cap) flick_fail("key too long");
+  flick_get_bytes(m, dst, data);
+  dst[data] = 0;
+  *len = data;
+  if (nul) flick_msg_skip(m, 1);
+  flick_msg_skip_pad(m, wire, pad);
+}
+
+/* word-at-a-time loads for the demultiplexing switches (section 3.3) */
+static inline uint32_t flick_ld32be(const char *p)
+{
+  const unsigned char *u = (const unsigned char *)p;
+  return ((uint32_t)u[0] << 24) | ((uint32_t)u[1] << 16)
+       | ((uint32_t)u[2] << 8) | u[3];
+}
+#define FLICK_LD_32BE(p) flick_ld32be(p)
+
+/* ---- parameter storage (section 3.1) -------------------------------- */
+/* A bump arena stands in for the paper's stack/in-buffer parameter
+ * allocation: unmarshaled data lives until the work function returns,
+ * then the whole arena is recycled at once. */
+
+static char flick_arena[1 << 20];
+static size_t flick_arena_pos;
+
+static inline void *flick_salloc(size_t n)
+{
+  void *p;
+  n = (n + 7) & ~(size_t)7;
+  if (flick_arena_pos + n > sizeof(flick_arena))
+    flick_fail("parameter arena exhausted");
+  p = flick_arena + flick_arena_pos;
+  flick_arena_pos += n;
+  return p;
+}
+
+static inline void flick_salloc_reset(void) { flick_arena_pos = 0; }
+
+/* ---- presentation support ------------------------------------------- */
+
+typedef int flick_bool_t;
+
+typedef struct flick_env {
+  int _major;              /* 0 = no exception */
+  const char *exc_name;
+  void *exc_value;
+} flick_env_t;
+
+static inline void flick_env_clear(flick_env_t *ev)
+{
+  ev->_major = 0;
+  ev->exc_name = 0;
+  ev->exc_value = 0;
+}
+
+static inline void flick_env_raise(flick_env_t *ev, const char *name, void *value)
+{
+  ev->_major = 1;
+  ev->exc_name = name;
+  ev->exc_value = value;
+}
+
+/* ---- loopback transport --------------------------------------------- */
+/* Object references carry a direct pointer to the server dispatch
+ * function; flick_invoke runs it in-process over the marshaled request.
+ * This is the testing transport; the framing below is still the real
+ * wire format of each back end. */
+
+typedef void (*flick_dispatch_fn)(flick_msg_t *, flick_buf_t *, void *);
+
+typedef struct flick_object {
+  flick_dispatch_fn dispatch;
+  void *impl_state;
+  const char *key;         /* object key for GIOP framing */
+} *flick_objref_t;
+
+typedef struct flick_object flick_client_t;
+typedef struct flick_svc_req { int proc; } flick_svc_req_t;
+
+static flick_buf_t flick_reply_buf;
+
+static inline flick_msg_t flick_invoke(struct flick_object *obj, flick_buf_t *req)
+{
+  flick_msg_t in, out;
+  if (!flick_reply_buf.data) flick_buf_init(&flick_reply_buf);
+  flick_buf_reset(&flick_reply_buf);
+  in.data = req->data;
+  in.pos = 0;
+  in.end = req->pos;
+  obj->dispatch(&in, &flick_reply_buf, obj->impl_state);
+  out.data = flick_reply_buf.data;
+  out.pos = 0;
+  out.end = flick_reply_buf.pos;
+  return out;
+}
+
+/* ---- GIOP / IIOP framing -------------------------------------------- */
+
+static uint32_t flick_giop_request_id;
+
+static inline void flick_giop_begin_request(flick_buf_t *b, const char *obj_key,
+                                     const char *operation, int response)
+{
+  /* GIOP header: magic, version 1.0, flags (big endian), Request, size */
+  flick_ensure(b, 12);
+  memcpy(flick_ptr(b), "GIOP\x01\x00\x00\x00", 8);
+  flick_st32be(flick_ptr(b) + 8, 0);
+  b->pos += 12;
+  flick_put_u32(b, 0, 1);                    /* empty service context */
+  flick_put_u32(b, ++flick_giop_request_id, 1);
+  flick_ensure(b, 1);
+  *flick_ptr(b) = (char)response;
+  b->pos += 1;
+  flick_put_bseq(b, obj_key, (uint32_t)strlen(obj_key), 1, 1);
+  flick_put_str(b, operation, 1, 1, 1);
+  flick_put_u32(b, 0, 1);                    /* no principal */
+  flick_align(b, 8);                          /* body starts max-aligned */
+}
+
+static inline void flick_giop_end(flick_buf_t *b)
+{
+  flick_st32be(b->data + 8, (uint32_t)(b->pos - 12));
+}
+
+static inline void flick_giop_begin_reply(flick_buf_t *b, uint32_t request_id)
+{
+  flick_ensure(b, 12);
+  memcpy(flick_ptr(b), "GIOP\x01\x00\x00\x01", 8); /* Reply */
+  flick_st32be(flick_ptr(b) + 8, 0);
+  b->pos += 12;
+  flick_put_u32(b, 0, 1);                    /* empty service context */
+  flick_put_u32(b, request_id, 1);
+  flick_align(b, 8);
+}
+
+/* Reads the request header; copies the operation name into key (at most
+ * keycap bytes) and returns the request id. */
+static inline uint32_t flick_giop_recv_request(flick_msg_t *m, char *key,
+                                        size_t keycap, uint32_t *klen)
+{
+  uint32_t request_id, n;
+  flick_msg_skip(m, 12);                      /* GIOP header */
+  flick_get_u32(m, 1);                        /* service context */
+  request_id = flick_get_u32(m, 1);
+  flick_get_u8(m);                            /* response_expected */
+  n = flick_get_u32(m, 1);                    /* object key */
+  flick_msg_skip(m, n);
+  n = flick_get_u32(m, 1);                    /* operation (incl. NUL) */
+  if (n == 0 || n > keycap) flick_fail("operation name too long");
+  flick_get_bytes(m, key, n);
+  *klen = n - 1;                              /* drop the NUL */
+  flick_get_u32(m, 1);                        /* principal */
+  flick_msg_align(m, 8);
+  return request_id;
+}
+
+static inline void flick_giop_recv_reply(flick_msg_t *m)
+{
+  flick_msg_skip(m, 12);
+  flick_get_u32(m, 1);                        /* service context */
+  flick_get_u32(m, 1);                        /* request id */
+  flick_msg_align(m, 8);
+}
+
+/* ---- ONC RPC framing ------------------------------------------------- */
+
+static uint32_t flick_onc_xid;
+
+static inline void flick_onc_begin_call(flick_buf_t *b, uint32_t prog, uint32_t vers,
+                                 uint32_t proc)
+{
+  flick_put_u32(b, ++flick_onc_xid, 1);
+  flick_put_u32(b, 0, 1);                     /* CALL */
+  flick_put_u32(b, 2, 1);                     /* RPC version */
+  flick_put_u32(b, prog, 1);
+  flick_put_u32(b, vers, 1);
+  flick_put_u32(b, proc, 1);
+  flick_put_u32(b, 0, 1);                     /* cred AUTH_NONE */
+  flick_put_u32(b, 0, 1);
+  flick_put_u32(b, 0, 1);                     /* verf AUTH_NONE */
+  flick_put_u32(b, 0, 1);
+}
+
+static inline void flick_onc_begin_reply(flick_buf_t *b, uint32_t xid)
+{
+  flick_put_u32(b, xid, 1);
+  flick_put_u32(b, 1, 1);                     /* REPLY */
+  flick_put_u32(b, 0, 1);                     /* MSG_ACCEPTED */
+  flick_put_u32(b, 0, 1);                     /* verf AUTH_NONE */
+  flick_put_u32(b, 0, 1);
+  flick_put_u32(b, 0, 1);                     /* SUCCESS */
+}
+
+static inline uint32_t flick_onc_recv_call(flick_msg_t *m, uint32_t *xid)
+{
+  uint32_t proc;
+  *xid = flick_get_u32(m, 1);
+  flick_get_u32(m, 1);                        /* CALL */
+  flick_get_u32(m, 1);                        /* rpc version */
+  flick_get_u32(m, 1);                        /* prog */
+  flick_get_u32(m, 1);                        /* vers */
+  proc = flick_get_u32(m, 1);
+  flick_get_u32(m, 1); flick_get_u32(m, 1);   /* cred */
+  flick_get_u32(m, 1); flick_get_u32(m, 1);   /* verf */
+  return proc;
+}
+
+static inline void flick_onc_recv_reply(flick_msg_t *m)
+{
+  flick_get_u32(m, 1);                        /* xid */
+  flick_get_u32(m, 1);                        /* REPLY */
+  flick_get_u32(m, 1);                        /* MSG_ACCEPTED */
+  flick_get_u32(m, 1); flick_get_u32(m, 1);   /* verf */
+  if (flick_get_u32(m, 1) != 0) flick_fail("rpc call rejected");
+}
+
+/* ---- Mach 3 framing --------------------------------------------------- */
+
+static inline void flick_mach_begin(flick_buf_t *b, uint32_t msgh_id)
+{
+  flick_put_u32(b, 0, 0);                     /* msgh_bits */
+  flick_put_u32(b, 0, 0);                     /* msgh_size, patched */
+  flick_put_u32(b, 1, 0);                     /* remote port */
+  flick_put_u32(b, 2, 0);                     /* local port */
+  flick_put_u32(b, msgh_id, 0);
+  flick_align(b, 8);
+}
+
+static inline void flick_mach_end(flick_buf_t *b)
+{
+  flick_st32le(b->data + 4, (uint32_t)b->pos);
+}
+
+static inline uint32_t flick_mach_recv(flick_msg_t *m)
+{
+  uint32_t id;
+  flick_get_u32(m, 0); flick_get_u32(m, 0);
+  flick_get_u32(m, 0); flick_get_u32(m, 0);
+  id = flick_get_u32(m, 0);
+  flick_msg_align(m, 8);
+  return id;
+}
+
+/* ---- Fluke framing ----------------------------------------------------- */
+/* The first words of a Fluke message travel in registers; the loopback
+ * transport models them as the leading words of the buffer. */
+
+static inline void flick_fluke_begin(flick_buf_t *b, uint32_t msg_id)
+{
+  flick_put_u32(b, msg_id, 0);
+  flick_align(b, 8);
+}
+
+static inline uint32_t flick_fluke_recv(flick_msg_t *m)
+{
+  uint32_t id = flick_get_u32(m, 0);
+  flick_msg_align(m, 8);
+  return id;
+}
+
+#endif /* FLICK_RUNTIME_H */
+|header}
+
+let write_to dir =
+  let path = Filename.concat dir "flick_runtime.h" in
+  let oc = open_out path in
+  output_string oc header;
+  close_out oc

@@ -1,0 +1,19 @@
+(** The vendored C runtime header, [flick_runtime.h].
+
+    Flick-generated stubs are self-contained C except for a small
+    runtime: marshal buffers (reserve/store/advance split), checked
+    message readers, a bump allocator for unmarshaled parameters (the
+    section 3.1 parameter-management substrate), a loopback transport
+    used by the generated-code tests (client stubs invoke the server
+    dispatch function in-process), and the per-transport message
+    framing helpers (GIOP, ONC RPC, Mach, Fluke).
+
+    The header is emitted next to generated stubs by [flick compile]
+    and by the test suite, which compiles every generated file with
+    gcc. *)
+
+val header : string
+(** The complete text of [flick_runtime.h]. *)
+
+val write_to : string -> unit
+(** Write the header into the given directory. *)

@@ -1,0 +1,102 @@
+type ctype =
+  | Tvoid
+  | Tchar
+  | Tnamed of string
+  | Tfloat
+  | Tdouble
+  | Tptr of ctype
+  | Tconst_ptr of ctype
+  | Tarray of ctype * int option
+  | Tstruct_ref of string
+  | Tunion_ref of string
+  | Tenum_ref of string
+  | Tfunc_ptr of { ret : ctype; params : ctype list }
+
+type unop = Neg | Lognot | Bitnot | Deref | Addr
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Ne | Lt | Gt | Le | Ge
+  | Land | Lor
+  | Band | Bor | Bxor | Shl | Shr
+
+type expr =
+  | Eid of string
+  | Eint of int64
+  | Echar of char
+  | Estr of string
+  | Efloat of float
+  | Ecall of string * expr list
+  | Eunop of unop * expr
+  | Ebinop of binop * expr * expr
+  | Efield of expr * string
+  | Earrow of expr * string
+  | Eindex of expr * expr
+  | Ecast of ctype * expr
+  | Eassign of expr * expr
+  | Eassign_op of binop * expr * expr
+  | Econd of expr * expr * expr
+  | Esizeof of ctype
+  | Esizeof_expr of expr
+
+type stmt =
+  | Sexpr of expr
+  | Sdecl of string * ctype * expr option
+  | Sif of expr * stmt list * stmt list
+  | Swhile of expr * stmt list
+  | Sfor of expr option * expr option * expr option * stmt list
+  | Sreturn of expr option
+  | Sswitch of expr * switch_case list
+  | Sbreak
+  | Scontinue
+  | Sgoto of string
+  | Slabel of string
+  | Sblock of stmt list
+  | Scomment of string
+  | Sraw of string
+
+and switch_case = { sc_labels : expr list; sc_body : stmt list }
+
+type param = string * ctype
+type storage = Public | Static
+
+type decl =
+  | Dinclude of string
+  | Dinclude_local of string
+  | Dcomment of string
+  | Ddefine of string * string
+  | Dtypedef of string * ctype
+  | Dstruct of string * (string * ctype) list
+  | Dunion_decl of string * (string * ctype) list
+  | Denum_decl of string * (string * int64) list
+  | Dvar of storage * string * ctype * expr option
+  | Dfun_proto of storage * string * ctype * param list
+  | Dfun of storage * string * ctype * param list * stmt list
+  | Draw of string
+
+type file = decl list
+
+let int32_t = Tnamed "int32_t"
+let uint32_t = Tnamed "uint32_t"
+let int64_t = Tnamed "int64_t"
+let uint64_t = Tnamed "uint64_t"
+let int16_t = Tnamed "int16_t"
+let uint16_t = Tnamed "uint16_t"
+let int8_t = Tnamed "int8_t"
+let uint8_t = Tnamed "uint8_t"
+
+let int_of_bits ~bits ~signed =
+  match (bits, signed) with
+  | 8, true -> int8_t
+  | 8, false -> uint8_t
+  | 16, true -> int16_t
+  | 16, false -> uint16_t
+  | 32, true -> int32_t
+  | 32, false -> uint32_t
+  | 64, true -> int64_t
+  | 64, false -> uint64_t
+  | _, _ -> invalid_arg "Cast.int_of_bits"
+
+let e0 name = Eid name
+let call name args = Ecall (name, args)
+let num n = Eint (Int64.of_int n)

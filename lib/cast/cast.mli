@@ -1,0 +1,112 @@
+(** CAST: the C Abstract Syntax Tree (paper section 2.2.2).
+
+    Flick keeps an explicit representation of every C declaration and
+    statement it emits; presentation generators build the data type and
+    stub declarations here, and back ends build the stub bodies.  The
+    paper calls this explicit representation "critical to flexibility"
+    and "critical to optimization" — it is what lets back ends associate
+    target-language constructs with message constructs.
+
+    The tree is deliberately a C subset: exactly what IDL-generated
+    headers and stubs need.  {!Cast_pp} renders it as compilable C. *)
+
+type ctype =
+  | Tvoid
+  | Tchar  (** plain [char] *)
+  | Tnamed of string  (** a typedef name, e.g. [int32_t] *)
+  | Tfloat
+  | Tdouble
+  | Tptr of ctype
+  | Tconst_ptr of ctype  (** pointer to const, e.g. [const char *] *)
+  | Tarray of ctype * int option
+  | Tstruct_ref of string  (** [struct tag] *)
+  | Tunion_ref of string
+  | Tenum_ref of string
+  | Tfunc_ptr of { ret : ctype; params : ctype list }
+
+type unop = Neg | Lognot | Bitnot | Deref | Addr
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Ne | Lt | Gt | Le | Ge
+  | Land | Lor
+  | Band | Bor | Bxor | Shl | Shr
+
+type expr =
+  | Eid of string
+  | Eint of int64
+  | Echar of char
+  | Estr of string
+  | Efloat of float
+  | Ecall of string * expr list
+  | Eunop of unop * expr
+  | Ebinop of binop * expr * expr
+  | Efield of expr * string  (** [e.f] *)
+  | Earrow of expr * string  (** [e->f] *)
+  | Eindex of expr * expr
+  | Ecast of ctype * expr
+  | Eassign of expr * expr
+  | Eassign_op of binop * expr * expr  (** [e op= e'] *)
+  | Econd of expr * expr * expr
+  | Esizeof of ctype
+  | Esizeof_expr of expr
+
+type stmt =
+  | Sexpr of expr
+  | Sdecl of string * ctype * expr option
+  | Sif of expr * stmt list * stmt list
+  | Swhile of expr * stmt list
+  | Sfor of expr option * expr option * expr option * stmt list
+  | Sreturn of expr option
+  | Sswitch of expr * switch_case list
+  | Sbreak
+  | Scontinue
+  | Sgoto of string
+  | Slabel of string
+  | Sblock of stmt list
+  | Scomment of string
+  | Sraw of string  (** escape hatch: a preformatted line (e.g. [#ifdef]) *)
+
+and switch_case = {
+  sc_labels : expr list;  (** empty list means [default:] *)
+  sc_body : stmt list;  (** printer appends [break] when the body does
+                            not end in return/break/goto *)
+}
+
+type param = string * ctype
+
+type storage = Public | Static
+
+type decl =
+  | Dinclude of string  (** system include, printed in angle brackets *)
+  | Dinclude_local of string
+  | Dcomment of string
+  | Ddefine of string * string
+  | Dtypedef of string * ctype
+  | Dstruct of string * (string * ctype) list
+  | Dunion_decl of string * (string * ctype) list
+  | Denum_decl of string * (string * int64) list
+  | Dvar of storage * string * ctype * expr option
+  | Dfun_proto of storage * string * ctype * param list
+  | Dfun of storage * string * ctype * param list * stmt list
+  | Draw of string  (** preformatted text (vendored runtime snippets) *)
+
+type file = decl list
+
+(** Common helpers used throughout the compiler. *)
+
+val int32_t : ctype
+val uint32_t : ctype
+val int64_t : ctype
+val uint64_t : ctype
+val int16_t : ctype
+val uint16_t : ctype
+val int8_t : ctype
+val uint8_t : ctype
+val int_of_bits : bits:int -> signed:bool -> ctype
+
+val e0 : string -> expr
+(** [e0 name] is {!Eid}. *)
+
+val call : string -> expr list -> expr
+val num : int -> expr

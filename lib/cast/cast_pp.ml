@@ -1,0 +1,272 @@
+open Cast
+
+(* ------------------------------------------------------------------ *)
+(* Declarators                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* C declarations wrap the declared name: base specifier on the left,
+   array/function suffixes on the right, pointers binding tighter than
+   suffixes.  [inner] is the declarator text built so far. *)
+let rec declarator ty inner =
+  match ty with
+  | Tvoid -> ("void", inner)
+  | Tchar -> ("char", inner)
+  | Tnamed n -> (n, inner)
+  | Tfloat -> ("float", inner)
+  | Tdouble -> ("double", inner)
+  | Tstruct_ref n -> ("struct " ^ n, inner)
+  | Tunion_ref n -> ("union " ^ n, inner)
+  | Tenum_ref n -> ("enum " ^ n, inner)
+  | Tptr t -> declarator t ("*" ^ inner)
+  | Tconst_ptr t -> declarator t ("*" ^ inner) |> fun (base, d) -> ("const " ^ base, d)
+  | Tarray (t, n) ->
+      let dim = match n with Some n -> string_of_int n | None -> "" in
+      let inner = if needs_parens inner then "(" ^ inner ^ ")" else inner in
+      declarator t (inner ^ "[" ^ dim ^ "]")
+  | Tfunc_ptr { ret; params } ->
+      let args =
+        match params with
+        | [] -> "void"
+        | _ -> String.concat ", " (List.map (fun p -> ctype p "") params)
+      in
+      declarator ret ("(*" ^ inner ^ ")(" ^ args ^ ")")
+
+(* a pointer declarator directly inside an array/function suffix needs
+   parentheses *)
+and needs_parens inner = String.length inner > 0 && inner.[0] = '*'
+
+and ctype ty name =
+  let base, d = declarator ty name in
+  if d = "" then base else base ^ " " ^ d
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let binop_token = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Eq -> "==" | Ne -> "!=" | Lt -> "<" | Gt -> ">" | Le -> "<=" | Ge -> ">="
+  | Land -> "&&" | Lor -> "||"
+  | Band -> "&" | Bor -> "|" | Bxor -> "^" | Shl -> "<<" | Shr -> ">>"
+
+let binop_prec = function
+  | Mul | Div | Mod -> 13
+  | Add | Sub -> 12
+  | Shl | Shr -> 11
+  | Lt | Gt | Le | Ge -> 10
+  | Eq | Ne -> 9
+  | Band -> 8
+  | Bxor -> 7
+  | Bor -> 6
+  | Land -> 5
+  | Lor -> 4
+
+let unop_token = function
+  | Neg -> "-" | Lognot -> "!" | Bitnot -> "~" | Deref -> "*" | Addr -> "&"
+
+let escape_char c =
+  match c with
+  | '\n' -> "\\n"
+  | '\t' -> "\\t"
+  | '\r' -> "\\r"
+  | '\000' -> "\\0"
+  | '\\' -> "\\\\"
+  | '\'' -> "\\'"
+  | c when Char.code c >= 32 && Char.code c < 127 -> String.make 1 c
+  | c -> Printf.sprintf "\\%03o" (Char.code c)
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\'' -> Buffer.add_char buf '\''
+      | c -> Buffer.add_string buf (escape_char c))
+    s;
+  Buffer.contents buf
+
+(* [prec] is the precedence of the context; parenthesize when the
+   expression binds less tightly. *)
+let rec expr_prec prec e =
+  let text, my_prec =
+    match e with
+    | Eid s -> (s, 16)
+    | Eint n ->
+        (* INT64_MIN cannot be written as a plain literal *)
+        if n = Int64.min_int then ("(-9223372036854775807LL - 1)", 16)
+        else if Int64.compare n (Int64.of_int32 Int32.max_int) > 0
+                || Int64.compare n (Int64.of_int32 Int32.min_int) < 0 then
+          (Int64.to_string n ^ "LL", if Int64.compare n 0L < 0 then 14 else 16)
+        else (Int64.to_string n, if Int64.compare n 0L < 0 then 14 else 16)
+    | Echar c -> ("'" ^ escape_char c ^ "'", 16)
+    | Estr s -> ("\"" ^ escape_string s ^ "\"", 16)
+    | Efloat f -> (Printf.sprintf "%.17g" f, 16)
+    | Ecall (f, args) ->
+        (f ^ "(" ^ String.concat ", " (List.map (expr_prec 0) args) ^ ")", 15)
+    | Eunop (op, a) -> (unop_token op ^ expr_prec 14 a, 14)
+    | Ebinop (op, a, b) ->
+        let p = binop_prec op in
+        (* left-associative: right operand needs strictly higher prec *)
+        ( expr_prec p a ^ " " ^ binop_token op ^ " " ^ expr_prec (p + 1) b,
+          p )
+    | Efield (a, f) -> (expr_prec 15 a ^ "." ^ f, 15)
+    | Earrow (a, f) -> (expr_prec 15 a ^ "->" ^ f, 15)
+    | Eindex (a, i) -> (expr_prec 15 a ^ "[" ^ expr_prec 0 i ^ "]", 15)
+    | Ecast (ty, a) -> ("(" ^ ctype ty "" ^ ")" ^ expr_prec 14 a, 14)
+    | Eassign (l, r) -> (expr_prec 15 l ^ " = " ^ expr_prec 2 r, 2)
+    | Eassign_op (op, l, r) ->
+        (expr_prec 15 l ^ " " ^ binop_token op ^ "= " ^ expr_prec 2 r, 2)
+    | Econd (c, a, b) ->
+        (expr_prec 4 c ^ " ? " ^ expr_prec 0 a ^ " : " ^ expr_prec 3 b, 3)
+    | Esizeof ty -> ("sizeof(" ^ ctype ty "" ^ ")", 14)
+    | Esizeof_expr e -> ("sizeof(" ^ expr_prec 0 e ^ ")", 14)
+  in
+  if my_prec < prec then "(" ^ text ^ ")" else text
+
+let expr e = expr_prec 0 e
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec stmt_buf buf ind s =
+  let pad = String.make (2 * ind) ' ' in
+  let line text =
+    Buffer.add_string buf pad;
+    Buffer.add_string buf text;
+    Buffer.add_char buf '\n'
+  in
+  match s with
+  | Sexpr e -> line (expr e ^ ";")
+  | Sdecl (name, ty, init) ->
+      let d = ctype ty name in
+      (match init with
+      | None -> line (d ^ ";")
+      | Some e -> line (d ^ " = " ^ expr e ^ ";"))
+  | Sif (c, then_s, []) ->
+      line ("if (" ^ expr c ^ ") {");
+      List.iter (stmt_buf buf (ind + 1)) then_s;
+      line "}"
+  | Sif (c, then_s, else_s) ->
+      line ("if (" ^ expr c ^ ") {");
+      List.iter (stmt_buf buf (ind + 1)) then_s;
+      line "} else {";
+      List.iter (stmt_buf buf (ind + 1)) else_s;
+      line "}"
+  | Swhile (c, body) ->
+      line ("while (" ^ expr c ^ ") {");
+      List.iter (stmt_buf buf (ind + 1)) body;
+      line "}"
+  | Sfor (init, cond, step, body) ->
+      let p = function None -> "" | Some e -> expr e in
+      line ("for (" ^ p init ^ "; " ^ p cond ^ "; " ^ p step ^ ") {");
+      List.iter (stmt_buf buf (ind + 1)) body;
+      line "}"
+  | Sreturn None -> line "return;"
+  | Sreturn (Some e) -> line ("return " ^ expr e ^ ";")
+  | Sswitch (scrutinee, cases) ->
+      line ("switch (" ^ expr scrutinee ^ ") {");
+      List.iter
+        (fun { sc_labels; sc_body } ->
+          (match sc_labels with
+          | [] -> line "default:"
+          | ls -> List.iter (fun l -> line ("case " ^ expr l ^ ":")) ls);
+          List.iter (stmt_buf buf (ind + 1)) sc_body;
+          if not (ends_in_jump sc_body) then
+            stmt_buf buf (ind + 1) Sbreak)
+        cases;
+      line "}"
+  | Sbreak -> line "break;"
+  | Scontinue -> line "continue;"
+  | Sgoto l -> line ("goto " ^ l ^ ";")
+  | Slabel l ->
+      Buffer.add_string buf (l ^ ":\n")
+  | Sblock body ->
+      line "{";
+      List.iter (stmt_buf buf (ind + 1)) body;
+      line "}"
+  | Scomment text -> line ("/* " ^ text ^ " */")
+  | Sraw text ->
+      Buffer.add_string buf text;
+      Buffer.add_char buf '\n'
+
+and ends_in_jump body =
+  match List.rev body with
+  | (Sreturn _ | Sbreak | Scontinue | Sgoto _) :: _ -> true
+  | _ -> false
+
+let stmt ?(indent = 0) s =
+  let buf = Buffer.create 128 in
+  stmt_buf buf indent s;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Declarations                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let storage_prefix = function Public -> "" | Static -> "static "
+
+let params_text params =
+  match params with
+  | [] -> "void"
+  | _ -> String.concat ", " (List.map (fun (n, ty) -> ctype ty n) params)
+
+let decl_buf buf d =
+  let line text =
+    Buffer.add_string buf text;
+    Buffer.add_char buf '\n'
+  in
+  match d with
+  | Dinclude path -> line ("#include <" ^ path ^ ">")
+  | Dinclude_local path -> line ("#include \"" ^ path ^ "\"")
+  | Dcomment text -> line ("/* " ^ text ^ " */")
+  | Ddefine (name, value) -> line ("#define " ^ name ^ " " ^ value)
+  | Dtypedef (name, ty) -> line ("typedef " ^ ctype ty name ^ ";")
+  | Dstruct (tag, fields) ->
+      line ("struct " ^ tag ^ " {");
+      List.iter (fun (n, ty) -> line ("  " ^ ctype ty n ^ ";")) fields;
+      line "};"
+  | Dunion_decl (tag, fields) ->
+      line ("union " ^ tag ^ " {");
+      List.iter (fun (n, ty) -> line ("  " ^ ctype ty n ^ ";")) fields;
+      line "};"
+  | Denum_decl (tag, items) ->
+      line ("enum " ^ tag ^ " {");
+      List.iter (fun (n, v) -> line (Printf.sprintf "  %s = %Ld," n v)) items;
+      line "};"
+  | Dvar (st, name, ty, init) ->
+      let d = storage_prefix st ^ ctype ty name in
+      (match init with
+      | None -> line (d ^ ";")
+      | Some e -> line (d ^ " = " ^ expr e ^ ";"))
+  | Dfun_proto (st, name, ret, params) ->
+      line (storage_prefix st ^ ctype ret (name ^ "(" ^ params_text params ^ ")") ^ ";")
+  | Dfun (st, name, ret, params, body) ->
+      line (storage_prefix st ^ ctype ret (name ^ "(" ^ params_text params ^ ")"));
+      line "{";
+      List.iter (stmt_buf buf 1) body;
+      line "}"
+  | Draw text -> line text
+
+let decl d =
+  let buf = Buffer.create 256 in
+  decl_buf buf d;
+  Buffer.contents buf
+
+let file decls =
+  let buf = Buffer.create 4096 in
+  List.iteri
+    (fun i d ->
+      (match (i, d) with
+      | 0, _ | _, (Dinclude _ | Dinclude_local _ | Ddefine _) -> ()
+      | _, _ -> Buffer.add_char buf '\n');
+      decl_buf buf d)
+    decls;
+  Buffer.contents buf
+
+let guard name decls =
+  let g = String.uppercase_ascii name |> String.map (fun c ->
+    match c with 'A' .. 'Z' | '0' .. '9' -> c | _ -> '_') in
+  "#ifndef " ^ g ^ "\n#define " ^ g ^ "\n\n" ^ file decls ^ "\n#endif /* " ^ g
+  ^ " */\n"

@@ -1,0 +1,52 @@
+(** The Flick kit driver: pick a front end, a presentation generator and
+    a back end, and run the pipeline (the "mix and match" of the paper's
+    Figure 1).
+
+    The MIG front end is conjoined with its own presentation generator,
+    so selecting the MIG IDL fixes the presentation; the other two IDLs
+    combine freely with the CORBA, rpcgen and Fluke presentations, and
+    every presentation combines with every back end. *)
+
+type idl = Idl_corba | Idl_onc | Idl_mig
+type presentation =
+  | Pres_corba
+  | Pres_corba_len  (** section 2.2: explicit string-length parameters *)
+  | Pres_rpcgen
+  | Pres_fluke
+  | Pres_mig
+type backend = Back_iiop | Back_oncrpc | Back_mach3 | Back_fluke
+
+val idl_of_string : string -> idl option
+val presentation_of_string : string -> presentation option
+val backend_of_string : string -> backend option
+
+val idl_names : string list
+val presentation_names : string list
+val backend_names : string list
+
+val parse_spec : idl -> file:string -> string -> Aoi.spec
+(** Front end only (MIG is translated through its private contract). *)
+
+val interfaces : idl -> file:string -> string -> string list
+(** The fully qualified interface names available in a source file. *)
+
+val present :
+  idl -> presentation -> file:string -> source:string -> interface:string option ->
+  Pres_c.t
+(** Run front end and presentation generator.  [interface] selects one
+    of {!interfaces} (written with "::"); default: the only interface,
+    or an error if there are several. *)
+
+val transport_of : backend -> Backend_base.transport
+
+val compile :
+  idl ->
+  presentation ->
+  backend ->
+  file:string ->
+  source:string ->
+  interface:string option ->
+  (string * string) list
+(** The full pipeline; returns generated [(filename, contents)] pairs
+    (header, client, server).  Pair with {!Runtime.write_to} to obtain a
+    compilable directory. *)

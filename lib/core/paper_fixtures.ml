@@ -1,0 +1,121 @@
+let mail_corba = "interface Mail { void send(in string msg); };"
+
+let mail_onc =
+  "program Mail { version MailVers { void send(string) = 1; } = 1; } = \
+   0x20000001;"
+
+let bench_idl =
+  "struct stat_info { long fields[30]; char tag[16]; };\n\
+   struct dirent { string name; stat_info info; };\n\
+   struct coord { long x; long y; };\n\
+   struct rect { coord min; coord max; };\n\
+   typedef sequence<long> long_seq;\n\
+   typedef sequence<rect> rect_seq;\n\
+   typedef sequence<dirent> dirent_seq;\n\
+   interface Bench {\n\
+  \  void send_ints(in long_seq data);\n\
+  \  void send_rects(in rect_seq data);\n\
+  \  void send_dirents(in dirent_seq data);\n\
+   };"
+
+let dir_idl =
+  "struct stat_info { long fields[30]; char tag[16]; };\n\
+   struct dirent { string name; stat_info info; };\n\
+   typedef sequence<dirent> dirent_seq;\n\
+   exception NotFound { string why; };\n\
+   interface Dir {\n\
+  \  dirent_seq read_dir(in string path) raises (NotFound);\n\
+  \  long entry_count(in string path);\n\
+   };"
+
+let bench_spec = lazy (Corba_parser.parse ~file:"bench.idl" bench_idl)
+let dir_spec = lazy (Corba_parser.parse ~file:"dir.idl" dir_idl)
+
+(* the rpcgen presentation cannot express exceptions (footnote 3), so
+   its directory interface drops the raises clause *)
+let dir_idl_noexc =
+  "struct stat_info { long fields[30]; char tag[16]; };\n\
+   struct dirent { string name; stat_info info; };\n\
+   typedef sequence<dirent> dirent_seq;\n\
+   interface Dir {\n\
+  \  dirent_seq read_dir(in string path);\n\
+  \  long entry_count(in string path);\n\
+   };"
+
+let dir_spec_noexc = lazy (Corba_parser.parse ~file:"dir.idl" dir_idl_noexc)
+
+let bench_presc style =
+  let spec = Lazy.force bench_spec in
+  match style with
+  | `Corba -> Presgen_corba.generate spec [ "Bench" ]
+  | `Rpcgen -> Presgen_rpcgen.generate spec [ "Bench" ]
+  | `Fluke -> Presgen_fluke.generate spec [ "Bench" ]
+
+let dir_presc style =
+  match style with
+  | `Corba -> Presgen_corba.generate (Lazy.force dir_spec) [ "Dir" ]
+  | `Rpcgen -> Presgen_rpcgen.generate (Lazy.force dir_spec_noexc) [ "Dir" ]
+
+type method_spec = {
+  ms_name : string;
+  ms_mint : Mint.t;
+  ms_named : (string * (Mint.idx * Pres.t)) list;
+  ms_roots : Plan_compile.root list;
+  ms_droots : Stub_opt.droot list;
+}
+
+let u32_kind = Encoding.Kint { bits = 32; signed = false }
+
+let request_spec (pc : Pres_c.t) ~op =
+  let st =
+    match Pres_c.find_stub pc op with
+    | Some st -> st
+    | None -> invalid_arg ("Paper_fixtures.request_spec: no operation " ^ op)
+  in
+  let key_root, key_droot =
+    match st.Pres_c.os_request_case with
+    | Mint.Cstring s -> (Plan_compile.Rconst_str s, Stub_opt.Dconst_str s)
+    | Mint.Cint n ->
+        (Plan_compile.Rconst_int (n, u32_kind), Stub_opt.Dconst_int (n, u32_kind))
+    | Mint.Cbool _ | Mint.Cchar _ ->
+        invalid_arg "Paper_fixtures: unexpected request key"
+  in
+  let params =
+    List.filter
+      (fun (pi : Pres_c.param_info) ->
+        match pi.Pres_c.pi_dir with
+        | Aoi.In | Aoi.Inout -> true
+        | Aoi.Out -> false)
+      st.Pres_c.os_params
+  in
+  {
+    ms_name = op;
+    ms_mint = pc.Pres_c.pc_mint;
+    ms_named = pc.Pres_c.pc_named;
+    ms_roots =
+      key_root
+      :: List.mapi
+           (fun i (pi : Pres_c.param_info) ->
+             Plan_compile.Rvalue
+               ( Mplan.Rparam { index = i; name = pi.Pres_c.pi_name; deref = false },
+                 pi.Pres_c.pi_mint,
+                 pi.Pres_c.pi_pres ))
+           params;
+    ms_droots =
+      key_droot
+      :: List.map
+           (fun (pi : Pres_c.param_info) ->
+             Stub_opt.Dvalue (pi.Pres_c.pi_mint, pi.Pres_c.pi_pres))
+           params;
+  }
+
+let payload which ~bytes =
+  match which with
+  | `Ints -> Workload.int_array bytes
+  | `Rects -> Workload.rect_array bytes
+  | `Dirents -> Workload.dirent_array bytes
+
+let op_of_payload = function
+  | `Ints -> "send_ints"
+  | `Rects -> "send_rects"
+  | `Dirents -> "send_dirents"

@@ -1,0 +1,29 @@
+(** Code-reuse accounting: the reproduction of the paper's Table 1.
+
+    The paper reports, for each compilation phase, the size of the
+    shared base library and of each specialized component, with the
+    component's share of the combined total — the evidence for the claim
+    that front ends, presentation generators and back ends are small
+    specializations of large common libraries.  This module computes the
+    same table over this repository's own OCaml sources. *)
+
+type row = {
+  component : string;
+  lines : int;
+  percent : float;  (** of component + base, like the paper's column *)
+}
+
+type phase = {
+  phase_name : string;
+  base_lines : int;
+  rows : row list;
+}
+
+val substantive_lines : string -> int
+(** Count non-blank, non-comment lines of one OCaml source file. *)
+
+val table1 : ?root:string -> unit -> phase list
+(** [root] is the directory containing [lib/] (default: the current
+    directory, walking up until found). *)
+
+val render : phase list -> string

@@ -1,0 +1,33 @@
+(** Atom-level wire codec shared by the three stub engines.
+
+    These helpers fix, once, how each {!Mplan.atom} maps runtime values
+    to bytes under an encoding (endianness, widened XDR scalars, sign
+    handling), so that the optimized, rpcgen-style and interpretive
+    engines produce byte-identical messages — the property the central
+    qcheck test asserts. *)
+
+exception Decode_error of string
+(** Raised for malformed wire data: invalid booleans/characters,
+    out-of-range lengths, unknown discriminators. *)
+
+val write_at : Mbuf.t -> be:bool -> int -> Mplan.atom -> Value.t -> unit
+(** Unchecked store at a chunk offset ([Mbuf.ensure] already done). *)
+
+val write_const_at : Mbuf.t -> be:bool -> int -> Mplan.atom -> int64 -> unit
+
+val write_stream : Mbuf.t -> be:bool -> Mplan.atom -> Value.t -> unit
+(** Checked, aligned append — the per-datum shape of traditional
+    stubs. *)
+
+val read_stream : Mbuf.reader -> be:bool -> Mplan.atom -> Value.t
+(** Aligned, checked read; sign-extends or zero-extends per the atom's
+    signedness and rejects malformed booleans. *)
+
+val read_at : Mbuf.reader -> be:bool -> int -> Mplan.atom -> Value.t
+(** Unchecked read at an offset ([Mbuf.need] already done). *)
+
+val as_int : Value.t -> int
+val as_int64 : Value.t -> int64
+
+val const_to_value : Mint.const -> Value.t
+val const_matches : Mint.const -> Value.t -> bool

@@ -1,0 +1,28 @@
+(** The interpretive baseline stub engine (the ILU / SunSoft-IIOP shape
+    discussed in the paper's sections 4 and 5).
+
+    Instead of compiling stubs, interpretive systems walk a runtime
+    description of the message type for every value they marshal: each
+    datum costs a type-graph traversal step, a dynamic dispatch on the
+    node kind, and a table lookup at every named-type reference.  Hoschka
+    and Huitema's "small, slow interpreted stubs" and ILU's
+    per-datum marshal calls are this shape.
+
+    Byte-identical to {!Stub_opt} and {!Stub_naive}; only the work per
+    datum differs. *)
+
+val compile_encoder :
+  enc:Encoding.t ->
+  mint:Mint.t ->
+  named:(string * (Mint.idx * Pres.t)) list ->
+  Plan_compile.root list ->
+  Stub_opt.encoder
+(** "Compilation" here only records the roots: all type analysis happens
+    at marshal time, per message. *)
+
+val compile_decoder :
+  enc:Encoding.t ->
+  mint:Mint.t ->
+  named:(string * (Mint.idx * Pres.t)) list ->
+  Stub_opt.droot list ->
+  Stub_opt.decoder

@@ -1,0 +1,44 @@
+(** The rpcgen-style baseline stub engine (the code shape of the
+    compilers Flick is measured against in section 4).
+
+    Traditional IDL compilers emit stubs that "invoke separate functions
+    to marshal or unmarshal each datum in a message", check buffer space
+    before every atomic datum, bump a write pointer after each one, and
+    copy aggregates component by component.  This engine reproduces that
+    shape: one closure per datum, a checked append per datum, per-element
+    array processing, and (optionally) character-by-character string
+    copies.
+
+    It produces byte-identical messages to {!Stub_opt} — only the work
+    per byte differs — which is asserted by the qcheck equivalence
+    property. *)
+
+type config = {
+  per_char_strings : bool;
+      (** copy strings character by character (the shape the paper's
+          memcpy optimization removes); [false] restores the blit, for
+          the A3 ablation *)
+  per_elem_arrays : bool;
+      (** marshal scalar arrays one element (and one capacity check) at
+          a time; [false] restores the single-reservation tight loop,
+          for the A1/A5 ablations *)
+}
+
+val default_config : config
+(** Both flags on: the full rpcgen shape. *)
+
+val compile_encoder :
+  ?config:config ->
+  enc:Encoding.t ->
+  mint:Mint.t ->
+  named:(string * (Mint.idx * Pres.t)) list ->
+  Plan_compile.root list ->
+  Stub_opt.encoder
+
+val compile_decoder :
+  ?config:config ->
+  enc:Encoding.t ->
+  mint:Mint.t ->
+  named:(string * (Mint.idx * Pres.t)) list ->
+  Stub_opt.droot list ->
+  Stub_opt.decoder

@@ -1,0 +1,799 @@
+type encoder = Mbuf.t -> Value.t array -> unit
+type decoder = Mbuf.reader -> Value.t array
+
+type droot =
+  | Dconst_int of int64 * Encoding.atom_kind
+  | Dconst_str of string
+  | Dvalue of Mint.idx * Pres.t
+
+type env = { params : Value.t array; vars : Value.t array }
+
+let value_len (v : Value.t) =
+  match v with
+  | Value.Vstring s -> String.length s
+  | Value.Vbytes b -> Bytes.length b
+  | Value.Vint_array a -> Array.length a
+  | Value.Varray a -> Array.length a
+  | Value.Vopt None -> 0
+  | Value.Vopt (Some _) -> 1
+  | Value.Vvoid | Value.Vbool _ | Value.Vchar _ | Value.Vint _
+  | Value.Vint64 _ | Value.Vfloat _ | Value.Vstruct _ | Value.Vunion _ ->
+      invalid_arg "Stub_opt.value_len"
+
+(* ------------------------------------------------------------------ *)
+(* rv evaluation, precompiled to closure chains                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec compile_rv (rv : Mplan.rv) : env -> Value.t =
+  match rv with
+  | Mplan.Rparam { index; _ } -> fun e -> e.params.(index)
+  | Mplan.Rvar i -> fun e -> e.vars.(i)
+  | Mplan.Rfield { base; index; _ } -> (
+      let b = compile_rv base in
+      fun e ->
+        match b e with
+        | Value.Vstruct a -> a.(index)
+        | Value.Varray a -> a.(index)
+        | Value.Vint_array a -> Value.Vint a.(index)
+        | Value.Vbytes s -> Value.Vchar (Bytes.get s index)
+        | _ -> invalid_arg "Stub_opt: Rfield over a non-aggregate")
+  | Mplan.Rarm { base; case; _ } -> (
+      let b = compile_rv base in
+      fun e ->
+        match b e with
+        | Value.Vunion u ->
+            if u.case <> case then
+              invalid_arg "Stub_opt: union payload case mismatch"
+            else u.payload
+        | _ -> invalid_arg "Stub_opt: Rarm over a non-union")
+  | Mplan.Ropt base -> (
+      let b = compile_rv base in
+      fun e ->
+        match b e with
+        | Value.Vopt (Some v) -> v
+        | _ -> invalid_arg "Stub_opt: Ropt over empty optional")
+  | Mplan.Rdiscrim { base; _ } -> (
+      let b = compile_rv base in
+      fun e ->
+        match b e with
+        | Value.Vunion u -> Codec.const_to_value u.discrim
+        | _ -> invalid_arg "Stub_opt: Rdiscrim over a non-union")
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let max_var ops =
+  let m = ref (-1) in
+  let rec go ops =
+    List.iter
+      (fun (op : Mplan.op) ->
+        match op with
+        | Mplan.Loop { var; body; _ } ->
+            if var > !m then m := var;
+            go body
+        | Mplan.Switch { arms; default; _ } ->
+            List.iter (fun (a : Mplan.arm) -> go a.Mplan.a_body) arms;
+            (match default with None -> () | Some (_, b) -> go b)
+        | Mplan.Align _ | Mplan.Chunk _ | Mplan.Ensure_count _
+        | Mplan.Put_const_str _ | Mplan.Put_string _ | Mplan.Put_byteseq _
+        | Mplan.Put_atom_array _ | Mplan.Put_len _ | Mplan.Call _ ->
+            ())
+      ops
+  in
+  go ops;
+  !m
+
+(* Precompute the byte image of a constant counted string. *)
+let const_str_image ~be s nul pad_count =
+  let data = String.length s + if nul then 1 else 0 in
+  let total = 4 + data + pad_count in
+  let b = Bytes.make total '\000' in
+  if be then Bytes.set_int32_be b 0 (Int32.of_int data)
+  else Bytes.set_int32_le b 0 (Int32.of_int data);
+  Bytes.blit_string s 0 b 4 (String.length s);
+  b
+
+
+(* A loop body of the form [Align a?; Chunk items] whose items all read
+   from the loop element can be fused into one store sequence per
+   element.  Items must cover the whole chunk (no gaps) for the fused
+   writer to skip zero-filling; chunks with static padding fall back to
+   the generic path. *)
+let rec rooted_at_var ~var (rv : Mplan.rv) =
+  match rv with
+  | Mplan.Rvar v -> v = var
+  | Mplan.Rfield { base; _ } -> rooted_at_var ~var base
+  | Mplan.Rarm _ | Mplan.Ropt _ | Mplan.Rdiscrim _ | Mplan.Rparam _ -> false
+
+let gapless size (items : Mplan.item list) =
+  let covered =
+    List.map
+      (fun (it : Mplan.item) ->
+        match it with
+        | Mplan.It_atom { off; atom; _ } -> (off, off + atom.Mplan.size)
+        | Mplan.It_bytes { off; len; pad; _ } -> (off, off + len + pad)
+        | Mplan.It_const { off; atom; _ } -> (off, off + atom.Mplan.size))
+      items
+    |> List.sort compare
+  in
+  let rec walk pos = function
+    | [] -> pos = size
+    | (s, e) :: rest -> s = pos && walk (max pos e) rest
+  in
+  walk 0 covered
+
+let item_src_ok ~var (it : Mplan.item) =
+  match it with
+  | Mplan.It_atom { src; _ } | Mplan.It_bytes { src; _ } ->
+      rooted_at_var ~var src
+  | Mplan.It_const _ -> true
+
+let fused_loop_body ~var (body : Mplan.op list) =
+  let chunk = function
+    | Mplan.Chunk { size; items; check = false; align = _ }
+      when gapless size items && List.for_all (item_src_ok ~var) items ->
+        Some (size, items)
+    | _ -> None
+  in
+  match body with
+  | [ op ] -> Option.map (fun (size, items) -> (1, size, items)) (chunk op)
+  | [ Mplan.Align a; op ] ->
+      Option.map (fun (size, items) -> (a, size, items)) (chunk op)
+  | _ -> None
+
+(* navigation from the loop element, with the environment cut away *)
+let rec compile_elem_path ~var (rv : Mplan.rv) : Value.t -> Value.t =
+  match rv with
+  | Mplan.Rvar v when v = var -> fun v' -> v'
+  | Mplan.Rfield { base; index; _ } -> (
+      let b = compile_elem_path ~var base in
+      fun e ->
+        match b e with
+        | Value.Vstruct a -> Array.unsafe_get a index
+        | Value.Varray a -> a.(index)
+        | Value.Vint_array a -> Value.Vint a.(index)
+        | Value.Vbytes s -> Value.Vchar (Bytes.get s index)
+        | _ -> invalid_arg "Stub_opt: Rfield over a non-aggregate")
+  | _ -> invalid_arg "Stub_opt: unsupported fused path"
+
+let compile_ops ~(enc : Encoding.t) ~subs ops : (Mbuf.t -> env -> unit) list =
+  let be = enc.Encoding.big_endian in
+  let rec compile_op (op : Mplan.op) : Mbuf.t -> env -> unit =
+    match op with
+    | Mplan.Align n -> fun buf _ -> Mbuf.align buf n
+    | Mplan.Chunk { size; items; check; align = _ } ->
+        let writers = List.map compile_item items in
+        (* zero the spans items do not cover (alignment gaps) *)
+        let gaps =
+          let covered =
+            List.map
+              (fun (it : Mplan.item) ->
+                match it with
+                | Mplan.It_atom { off; atom; _ } -> (off, off + atom.Mplan.size)
+                | Mplan.It_bytes { off; len; pad; _ } -> (off, off + len + pad)
+                | Mplan.It_const { off; atom; _ } -> (off, off + atom.Mplan.size))
+              items
+            |> List.sort compare
+          in
+          let rec walk pos acc = function
+            | [] -> if pos < size then (pos, size - pos) :: acc else acc
+            | (s, e) :: rest ->
+                let acc = if s > pos then (pos, s - pos) :: acc else acc in
+                walk (max pos e) acc rest
+          in
+          List.rev (walk 0 [] covered)
+        in
+        fun buf env ->
+          if check then Mbuf.ensure buf size;
+          List.iter (fun (off, len) -> Mbuf.fill_zero buf off len) gaps;
+          List.iter (fun w -> w buf env) writers;
+          Mbuf.advance buf size
+    | Mplan.Ensure_count { arr; unit_size; via = _ } ->
+        let a = compile_rv arr in
+        fun buf env -> Mbuf.ensure buf (value_len (a env) * unit_size)
+    | Mplan.Put_const_str { s; nul; pad } ->
+        let image = const_str_image ~be s nul pad in
+        let n = Bytes.length image in
+        fun buf _ ->
+          Mbuf.ensure buf n;
+          Mbuf.set_bytes buf 0 image 0 n;
+          Mbuf.advance buf n
+    | Mplan.Put_string { src; nul; pad; len_src = _ } ->
+        let a = compile_rv src in
+        fun buf env ->
+          let s = match a env with
+            | Value.Vstring s -> s
+            | _ -> invalid_arg "Stub_opt: Put_string over a non-string"
+          in
+          let slen = String.length s in
+          let data = slen + if nul then 1 else 0 in
+          let padded = (data + pad - 1) / pad * pad in
+          Mbuf.ensure buf (4 + padded);
+          (if be then Mbuf.set_i32_be buf 0 data else Mbuf.set_i32_le buf 0 data);
+          Mbuf.set_string buf 4 s 0 slen;
+          Mbuf.fill_zero buf (4 + slen) (padded - slen);
+          Mbuf.advance buf (4 + padded)
+    | Mplan.Put_byteseq { arr; pad; via = _ } ->
+        let a = compile_rv arr in
+        fun buf env ->
+          let b = match a env with
+            | Value.Vbytes b -> b
+            | _ -> invalid_arg "Stub_opt: Put_byteseq over non-bytes"
+          in
+          let blen = Bytes.length b in
+          let padded = (blen + pad - 1) / pad * pad in
+          Mbuf.ensure buf (4 + padded);
+          (if be then Mbuf.set_i32_be buf 0 blen else Mbuf.set_i32_le buf 0 blen);
+          Mbuf.set_bytes buf 4 b 0 blen;
+          Mbuf.fill_zero buf (4 + blen) (padded - blen);
+          Mbuf.advance buf (4 + padded)
+    | Mplan.Put_atom_array { arr; atom; with_len; via = _ } ->
+        compile_atom_array arr atom with_len
+    | Mplan.Put_len { arr; via = _ } ->
+        let a = compile_rv arr in
+        fun buf env ->
+          Mbuf.align buf 4;
+          Mbuf.ensure buf 4;
+          let n = value_len (a env) in
+          (if be then Mbuf.set_i32_be buf 0 n else Mbuf.set_i32_le buf 0 n);
+          Mbuf.advance buf 4
+    | Mplan.Loop { arr; var; body; via = _ }
+      when fused_loop_body ~var body <> None -> (
+        (* the shape inlined C compiles a struct-array loop into: one
+           capacity reservation outside (Ensure_count), then per element
+           an alignment and a run of stores at constant offsets *)
+        let a = compile_rv arr in
+        let align, size, items =
+          match fused_loop_body ~var body with
+          | Some x -> x
+          | None -> assert false
+        in
+        let writers =
+          Array.of_list
+            (List.map
+               (fun (it : Mplan.item) ->
+                 match it with
+                 | Mplan.It_atom { off; atom; src } -> (
+                     let get = compile_elem_path ~var src in
+                     match (atom.Mplan.kind, atom.Mplan.size) with
+                     | Encoding.Kint { bits; _ }, 4 when bits <= 32 ->
+                         if be then fun buf v ->
+                           Mbuf.set_i32_be buf off (Codec.as_int (get v))
+                         else fun buf v ->
+                           Mbuf.set_i32_le buf off (Codec.as_int (get v))
+                     | _, _ ->
+                         fun buf v -> Codec.write_at buf ~be off atom (get v))
+                 | Mplan.It_const { off; atom; value } ->
+                     fun buf _ -> Codec.write_const_at buf ~be off atom value
+                 | Mplan.It_bytes { off; len; pad; src } -> (
+                     let get = compile_elem_path ~var src in
+                     fun buf v ->
+                       (match get v with
+                       | Value.Vbytes b -> Mbuf.set_bytes buf off b 0 len
+                       | Value.Vstring s -> Mbuf.set_string buf off s 0 len
+                       | _ -> invalid_arg "Stub_opt: It_bytes over non-bytes");
+                       if pad > 0 then Mbuf.fill_zero buf (off + len) pad))
+               items)
+        in
+        let nw = Array.length writers in
+        let write_elem buf v =
+          if align > 1 then Mbuf.align buf align;
+          Mbuf.ensure buf size;
+          for k = 0 to nw - 1 do
+            (Array.unsafe_get writers k) buf v
+          done;
+          Mbuf.advance buf size
+        in
+        fun buf env ->
+          match a env with
+          | Value.Varray elems ->
+              for i = 0 to Array.length elems - 1 do
+                write_elem buf (Array.unsafe_get elems i)
+              done
+          | Value.Vopt None -> ()
+          | Value.Vopt (Some v) -> write_elem buf v
+          | _ -> invalid_arg "Stub_opt: Loop over non-array")
+    | Mplan.Loop { arr; var; body; via = _ } -> (
+        let a = compile_rv arr in
+        let body_fns = Array.of_list (List.map compile_op body) in
+        let run_body buf env =
+          for k = 0 to Array.length body_fns - 1 do
+            (Array.unsafe_get body_fns k) buf env
+          done
+        in
+        fun buf env ->
+          match a env with
+          | Value.Varray elems ->
+              for i = 0 to Array.length elems - 1 do
+                env.vars.(var) <- Array.unsafe_get elems i;
+                run_body buf env
+              done
+          | Value.Vopt None -> ()
+          | Value.Vopt (Some v) ->
+              env.vars.(var) <- v;
+              run_body buf env
+          | Value.Vint_array elems ->
+              for i = 0 to Array.length elems - 1 do
+                env.vars.(var) <- Value.Vint (Array.unsafe_get elems i);
+                run_body buf env
+              done
+          | _ -> invalid_arg "Stub_opt: Loop over non-array")
+    | Mplan.Switch { u; arms; default; _ } -> (
+        let sel = compile_rv u in
+        let n_cases =
+          List.fold_left (fun acc (a : Mplan.arm) -> max acc a.Mplan.a_case) (-1)
+            arms
+          + 1
+        in
+        let table = Array.make (max n_cases 1) None in
+        List.iter
+          (fun (a : Mplan.arm) ->
+            let fns = List.map compile_op a.Mplan.a_body in
+            table.(a.Mplan.a_case) <- Some (fun buf env -> List.iter (fun f -> f buf env) fns))
+          arms;
+        let default_fn =
+          match default with
+          | None -> None
+          | Some (_, body) ->
+              let fns = List.map compile_op body in
+              Some (fun buf env -> List.iter (fun f -> f buf env) fns)
+        in
+        fun buf env ->
+          match sel env with
+          | Value.Vunion { case; _ } -> (
+              if case >= 0 && case < Array.length table then
+                match table.(case) with
+                | Some f -> f buf env
+                | None -> invalid_arg "Stub_opt: missing union arm"
+              else
+                match default_fn with
+                | Some f -> f buf env
+                | None -> invalid_arg "Stub_opt: union case out of range")
+          | _ -> invalid_arg "Stub_opt: Switch over a non-union")
+    | Mplan.Call (name, rv) -> (
+        let a = compile_rv rv in
+        let cell : (Mbuf.t -> env -> unit) ref =
+          match Hashtbl.find_opt subs name with
+          | Some c -> c
+          | None -> invalid_arg ("Stub_opt: unknown subroutine " ^ name)
+        in
+        fun buf env ->
+          let v = a env in
+          !cell buf { params = [| v |]; vars = env.vars })
+  and compile_item (it : Mplan.item) : Mbuf.t -> env -> unit =
+    match it with
+    | Mplan.It_const { off; atom; value } ->
+        fun buf _ -> Codec.write_const_at buf ~be off atom value
+    | Mplan.It_bytes { off; len; pad; src } -> (
+        let a = compile_rv src in
+        fun buf env ->
+          (match a env with
+          | Value.Vbytes b ->
+              if Bytes.length b <> len then
+                invalid_arg "Stub_opt: fixed byte array length mismatch"
+              else Mbuf.set_bytes buf off b 0 len
+          | Value.Vstring s -> Mbuf.set_string buf off s 0 len
+          | _ -> invalid_arg "Stub_opt: It_bytes over non-bytes");
+          if pad > 0 then Mbuf.fill_zero buf (off + len) pad)
+    | Mplan.It_atom { off; atom; src } -> (
+        let a = compile_rv src in
+        (* specialize the hot 32-bit case *)
+        match (atom.Mplan.kind, atom.Mplan.size) with
+        | Encoding.Kint { bits; _ }, 4 when bits <= 32 ->
+            if be then fun buf env -> Mbuf.set_i32_be buf off (Codec.as_int (a env))
+            else fun buf env -> Mbuf.set_i32_le buf off (Codec.as_int (a env))
+        | _, _ -> fun buf env -> Codec.write_at buf ~be off atom (a env))
+  and compile_atom_array arr (atom : Mplan.atom) with_len =
+    let a = compile_rv arr in
+    let size = atom.Mplan.size in
+    let write_len buf n =
+      Mbuf.align buf 4;
+      Mbuf.ensure buf 4;
+      (if be then Mbuf.set_i32_be buf 0 n else Mbuf.set_i32_le buf 0 n);
+      Mbuf.advance buf 4
+    in
+    match (atom.Mplan.kind, size) with
+    | Encoding.Kint { bits; _ }, 4 when bits <= 32 ->
+        (* the memcpy-analog fast path: one reservation, one tight loop *)
+        if be then (fun buf env ->
+          match a env with
+          | Value.Vint_array elems ->
+              let n = Array.length elems in
+              if with_len then write_len buf n;
+              Mbuf.ensure buf (n * 4);
+              for i = 0 to n - 1 do
+                Mbuf.set_i32_be buf (i * 4) (Array.unsafe_get elems i)
+              done;
+              Mbuf.advance buf (n * 4)
+          | _ -> invalid_arg "Stub_opt: atom array over non-int-array")
+        else
+          fun buf env ->
+          (match a env with
+          | Value.Vint_array elems ->
+              let n = Array.length elems in
+              if with_len then write_len buf n;
+              Mbuf.ensure buf (n * 4);
+              for i = 0 to n - 1 do
+                Mbuf.set_i32_le buf (i * 4) (Array.unsafe_get elems i)
+              done;
+              Mbuf.advance buf (n * 4)
+          | _ -> invalid_arg "Stub_opt: atom array over non-int-array")
+    | _, _ ->
+        fun buf env ->
+          let v = a env in
+          let n = value_len v in
+          if with_len then write_len buf n;
+          (* an empty run writes nothing, not even alignment *)
+          if n > 0 then Mbuf.align buf atom.Mplan.align;
+          Mbuf.ensure buf (n * size);
+          let write_elem i (e : Value.t) = Codec.write_at buf ~be (i * size) atom e in
+          (match v with
+          | Value.Vint_array elems ->
+              Array.iteri (fun i x -> write_elem i (Value.Vint x)) elems
+          | Value.Varray elems -> Array.iteri write_elem elems
+          | _ -> invalid_arg "Stub_opt: atom array over non-array");
+          Mbuf.advance buf (n * size)
+  in
+  List.map compile_op ops
+
+let encoder_of_plan ~enc (plan : Plan_compile.plan) : encoder =
+  let subs : (string, (Mbuf.t -> env -> unit) ref) Hashtbl.t = Hashtbl.create 4 in
+  List.iter
+    (fun (name, _) -> Hashtbl.replace subs name (ref (fun _ _ -> ())))
+    plan.Plan_compile.p_subs;
+  List.iter
+    (fun (name, body) ->
+      let fns = compile_ops ~enc ~subs body in
+      let nvars = max_var body + 1 in
+      let cell = Hashtbl.find subs name in
+      cell :=
+        fun buf env ->
+          let env = { env with vars = Array.make (max nvars 1) Value.Vvoid } in
+          List.iter (fun f -> f buf env) fns)
+    plan.Plan_compile.p_subs;
+  let fns = compile_ops ~enc ~subs plan.Plan_compile.p_ops in
+  let fns = Array.of_list fns in
+  let nvars = max_var plan.Plan_compile.p_ops + 1 in
+  fun buf params ->
+    let env = { params; vars = Array.make (max nvars 1) Value.Vvoid } in
+    for k = 0 to Array.length fns - 1 do
+      (Array.unsafe_get fns k) buf env
+    done
+
+let compile_encoder ~enc ~mint ~named roots : encoder =
+  let plan = Plan_compile.compile ~enc ~mint ~named roots in
+  encoder_of_plan ~enc plan
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let read_len r ~be =
+  Mbuf.ralign r 4;
+  let n = Mbuf.read_i32 r ~be in
+  if n < 0 then raise (Codec.Decode_error "negative length");
+  n
+
+let check_bounds ~what n ~min_len ~max_len =
+  if n < min_len then
+    raise (Codec.Decode_error (Printf.sprintf "%s shorter than minimum" what));
+  match max_len with
+  | Some m when n > m ->
+      raise (Codec.Decode_error (Printf.sprintf "%s exceeds its bound" what))
+  | Some _ | None -> ()
+
+let compile_value_decoder ~(enc : Encoding.t) ~mint
+    ~(named : (string * (Mint.idx * Pres.t)) list) root_idx root_pres :
+    Mbuf.reader -> Value.t =
+  let be = enc.Encoding.big_endian in
+  let atom_of kind = Plan_compile.atom_of enc kind in
+  let hdr =
+    if enc.Encoding.typed_headers then fun r ->
+      Mbuf.ralign r 4;
+      Mbuf.skip r 4
+    else fun _ -> ()
+  in
+  let subs : (string, (Mbuf.reader -> Value.t) ref) Hashtbl.t = Hashtbl.create 4 in
+  let rec dec idx (pres : Pres.t) : Mbuf.reader -> Value.t =
+    let def = Mint.get mint idx in
+    match (def, pres) with
+    | _, Pres.Ref name -> (
+        match Hashtbl.find_opt subs name with
+        | Some cell -> fun r -> !cell r
+        | None -> (
+            match List.assoc_opt name named with
+            | None -> invalid_arg ("Stub_opt: unknown presentation " ^ name)
+            | Some (sidx, spres) ->
+                let cell = ref (fun _ -> Value.Vvoid) in
+                Hashtbl.add subs name cell;
+                let d = dec sidx spres in
+                cell := d;
+                fun r -> !cell r))
+    | Mint.Void, _ -> fun _ -> Value.Vvoid
+    | (Mint.Bool | Mint.Char8 | Mint.Int _ | Mint.Float _), _ -> (
+        match Encoding.atom_of_mint def with
+        | Some kind ->
+            let atom = atom_of kind in
+            fun r ->
+              hdr r;
+              Codec.read_stream r ~be atom
+        | None -> assert false)
+    | Mint.Array { elem; min_len; max_len }, _ ->
+        dec_array ~elem ~min_len ~max_len pres
+    | Mint.Struct fields, Pres.Struct arms ->
+        let decs =
+          Array.of_list
+            (List.map2 (fun (_, fidx) (_, sub) -> dec fidx sub) fields arms)
+        in
+        fun r ->
+          let n = Array.length decs in
+          let out = Array.make n Value.Vvoid in
+          for i = 0 to n - 1 do
+            out.(i) <- decs.(i) r
+          done;
+          Value.Vstruct out
+    | ( Mint.Union { discrim; cases; default },
+        Pres.Union { arms; default_arm; _ } ) ->
+        dec_union ~discrim ~cases ~default ~arms ~default_arm
+    | (Mint.Struct _ | Mint.Union _), _ ->
+        invalid_arg "Stub_opt: PRES does not match MINT"
+  and dec_array ~elem ~min_len ~max_len (pres : Pres.t) =
+    let pad_unit = enc.Encoding.pad_unit in
+    let skip_pad r n =
+      let padded = (n + pad_unit - 1) / pad_unit * pad_unit in
+      if padded > n then Mbuf.skip r (padded - n)
+    in
+    match pres with
+    | Pres.Terminated_string | Pres.Terminated_string_len _ ->
+        let nul = enc.Encoding.string_nul in
+        fun r ->
+          hdr r;
+          let wire_len = read_len r ~be in
+          let data_len = if nul then wire_len - 1 else wire_len in
+          if data_len < 0 then raise (Codec.Decode_error "bad string length");
+          check_bounds ~what:"string" data_len ~min_len:0 ~max_len;
+          let s = Mbuf.read_string r data_len in
+          if nul then Mbuf.skip r 1;
+          skip_pad r wire_len;
+          Value.Vstring s
+    | Pres.Fixed_array sub -> (
+        match Mint.get mint elem with
+        | Mint.Char8 | Mint.Int { bits = 8; _ } ->
+            fun r ->
+              hdr r;
+              let b = Mbuf.read_bytes r min_len in
+              skip_pad r min_len;
+              Value.Vbytes b
+        | _ -> (
+            match Encoding.atom_of_mint (Mint.get mint elem) with
+            | Some kind -> dec_scalar_array ~fixed:(Some min_len) ~max_len kind
+            | None ->
+                let d = dec elem sub in
+                fun r ->
+                  hdr r;
+                  let out = Array.make min_len Value.Vvoid in
+                  for i = 0 to min_len - 1 do
+                    out.(i) <- d r
+                  done;
+                  Value.Varray out))
+    | Pres.Counted_seq { elem = sub; _ } -> (
+        match Mint.get mint elem with
+        | Mint.Char8 | Mint.Int { bits = 8; _ } ->
+            fun r ->
+              hdr r;
+              let n = read_len r ~be in
+              check_bounds ~what:"sequence" n ~min_len ~max_len;
+              let b = Mbuf.read_bytes r n in
+              skip_pad r n;
+              Value.Vbytes b
+        | _ -> (
+            match Encoding.atom_of_mint (Mint.get mint elem) with
+            | Some kind -> dec_scalar_array ~fixed:None ~max_len kind
+            | None ->
+                let d = dec elem sub in
+                fun r ->
+                  hdr r;
+                  let n = read_len r ~be in
+                  check_bounds ~what:"sequence" n ~min_len ~max_len;
+                  let out = Array.make n Value.Vvoid in
+                  for i = 0 to n - 1 do
+                    out.(i) <- d r
+                  done;
+                  Value.Varray out))
+    | Pres.Opt_ptr sub ->
+        let d = dec elem sub in
+        fun r ->
+          hdr r;
+          let n = read_len r ~be in
+          (match n with
+          | 0 -> Value.Vopt None
+          | 1 -> Value.Vopt (Some (d r))
+          | n ->
+              raise
+                (Codec.Decode_error (Printf.sprintf "optional count %d" n)))
+    | Pres.Direct | Pres.Enum_direct | Pres.Struct _ | Pres.Union _
+    | Pres.Void | Pres.Ref _ ->
+        invalid_arg "Stub_opt: array PRES mismatch"
+  and dec_scalar_array ~fixed ~max_len kind =
+    let atom = atom_of kind in
+    let size = atom.Mplan.size in
+    match (kind, size) with
+    | Encoding.Kint { bits; signed }, 4 when bits <= 32 ->
+        (* chunked read: one bounds check for the whole run *)
+        fun r ->
+          hdr r;
+          let n =
+            match fixed with
+            | Some n -> n
+            | None ->
+                let n = read_len r ~be in
+                check_bounds ~what:"array" n ~min_len:0 ~max_len;
+                n
+          in
+          Mbuf.ralign r 4;
+          Mbuf.need r (n * 4);
+          let out = Array.make n 0 in
+          (if be then
+             for i = 0 to n - 1 do
+               Array.unsafe_set out i (Mbuf.get_i32_be r (i * 4))
+             done
+           else
+             for i = 0 to n - 1 do
+               Array.unsafe_set out i (Mbuf.get_i32_le r (i * 4))
+             done);
+          Mbuf.skip r (n * 4);
+          let out =
+            if signed || bits > 32 then out
+            else if bits = 32 then Array.map (fun x -> x land 0xFFFFFFFF) out
+            else Array.map (fun x -> x land ((1 lsl bits) - 1)) out
+          in
+          Value.Vint_array out
+    | _, _ ->
+        fun r ->
+          hdr r;
+          let n =
+            match fixed with
+            | Some n -> n
+            | None ->
+                let n = read_len r ~be in
+                check_bounds ~what:"array" n ~min_len:0 ~max_len;
+                n
+          in
+          let out = Array.make n Value.Vvoid in
+          for i = 0 to n - 1 do
+            out.(i) <- Codec.read_stream r ~be atom
+          done;
+          (match kind with
+          | Encoding.Kint { bits; _ } when bits <= 32 ->
+              Value.Vint_array (Array.map Codec.as_int out)
+          | _ -> Value.Varray out)
+  and dec_union ~discrim ~cases ~default ~arms ~default_arm =
+    let datom = Encoding.atom_of_mint (Mint.get mint discrim) in
+    let arm_decs =
+      List.map2
+        (fun (i, (c : Mint.case)) (_, sub) ->
+          (c.Mint.c_const, i, dec c.Mint.c_body sub))
+        (List.mapi (fun i c -> (i, c)) cases)
+        arms
+    in
+    let default_dec =
+      match (default, default_arm) with
+      | Some didx, Some (_, sub) -> Some (dec didx sub)
+      | None, None -> None
+      | _, _ -> invalid_arg "Stub_opt: PRES/MINT default mismatch"
+    in
+    (* optimized dispatch: hash lookup rather than the linear compare
+       chains of traditional stubs *)
+    let table : (Mint.const, int * (Mbuf.reader -> Value.t)) Hashtbl.t =
+      Hashtbl.create 16
+    in
+    List.iter (fun (c, i, d) -> Hashtbl.replace table c (i, d)) arm_decs;
+    match datom with
+    | Some kind ->
+        let atom = atom_of kind in
+        fun r ->
+          hdr r;
+          let v = Codec.read_stream r ~be atom in
+          let const : Mint.const =
+            match v with
+            | Value.Vint n -> Mint.Cint (Int64.of_int n)
+            | Value.Vbool b -> Mint.Cbool b
+            | Value.Vchar c -> Mint.Cchar c
+            | _ -> raise (Codec.Decode_error "bad discriminator")
+          in
+          (match Hashtbl.find_opt table const with
+          | Some (case, d) ->
+              Value.Vunion { case; discrim = const; payload = d r }
+          | None -> (
+              match default_dec with
+              | Some d ->
+                  Value.Vunion { case = -1; discrim = const; payload = d r }
+              | None ->
+                  raise
+                    (Codec.Decode_error
+                       (Format.asprintf "unknown discriminator %a" Mint.pp_const
+                          const))))
+    | None ->
+        (* string-keyed operation union *)
+        let nul = enc.Encoding.string_nul in
+        let pad_unit = enc.Encoding.pad_unit in
+        fun r ->
+          hdr r;
+          let wire_len = read_len r ~be in
+          let data_len = if nul then wire_len - 1 else wire_len in
+          if data_len < 0 then raise (Codec.Decode_error "bad key length");
+          let key = Mbuf.read_string r data_len in
+          if nul then Mbuf.skip r 1;
+          let padded = (wire_len + pad_unit - 1) / pad_unit * pad_unit in
+          if padded > wire_len then Mbuf.skip r (padded - wire_len);
+          let const = Mint.Cstring key in
+          (match Hashtbl.find_opt table const with
+          | Some (case, d) ->
+              Value.Vunion { case; discrim = const; payload = d r }
+          | None ->
+              raise (Codec.Decode_error ("unknown operation " ^ key)))
+  in
+  dec root_idx root_pres
+
+let compile_decoder ~enc ~mint ~named droots : decoder =
+  let be = enc.Encoding.big_endian in
+  let hdr =
+    if enc.Encoding.typed_headers then fun r ->
+      Mbuf.ralign r 4;
+      Mbuf.skip r 4
+    else fun _ -> ()
+  in
+  let steps =
+    List.map
+      (fun droot ->
+        match droot with
+        | Dconst_int (expect, kind) ->
+            let atom = Plan_compile.atom_of enc kind in
+            `Skip
+              (fun r ->
+                hdr r;
+                let v = Codec.read_stream r ~be atom in
+                let got =
+                  match v with
+                  | Value.Vint n -> Int64.of_int n
+                  | Value.Vint64 n -> n
+                  | Value.Vbool b -> if b then 1L else 0L
+                  | Value.Vchar c -> Int64.of_int (Char.code c)
+                  | _ -> raise (Codec.Decode_error "bad constant")
+                in
+                if got <> expect then
+                  raise
+                    (Codec.Decode_error
+                       (Printf.sprintf "expected constant %Ld, found %Ld" expect
+                          got)))
+        | Dconst_str expect ->
+            let nul = enc.Encoding.string_nul in
+            let pad_unit = enc.Encoding.pad_unit in
+            `Skip
+              (fun r ->
+                hdr r;
+                let wire_len = read_len r ~be in
+                let data_len = if nul then wire_len - 1 else wire_len in
+                if data_len < 0 then raise (Codec.Decode_error "bad key length");
+                let key = Mbuf.read_string r data_len in
+                if nul then Mbuf.skip r 1;
+                let padded = (wire_len + pad_unit - 1) / pad_unit * pad_unit in
+                if padded > wire_len then Mbuf.skip r (padded - wire_len);
+                if key <> expect then
+                  raise
+                    (Codec.Decode_error
+                       (Printf.sprintf "expected key %S, found %S" expect key)))
+        | Dvalue (idx, pres) ->
+            `Value (compile_value_decoder ~enc ~mint ~named idx pres))
+      droots
+  in
+  fun r ->
+    let out = ref [] in
+    List.iter
+      (fun step ->
+        match step with
+        | `Skip f -> f r
+        | `Value d -> out := d r :: !out)
+      steps;
+    Array.of_list (List.rev !out)

@@ -1,0 +1,46 @@
+(** The optimized stub engine: executes the marshal plans produced by
+    {!Plan_compile}, embodying the same optimization decisions the C
+    back ends print (one capacity check per chunk, static-offset stores,
+    blits for byte runs, tight scalar-array loops, call-free inlined
+    control flow except at recursive types).
+
+    This engine stands in for running Flick-generated C stubs on the
+    paper's testbed; the rpcgen-style ({!Stub_naive}) and interpretive
+    ({!Stub_interp}) engines stand in for the compilers Flick was
+    measured against.  All three produce byte-identical messages. *)
+
+type encoder = Mbuf.t -> Value.t array -> unit
+(** Marshal the given parameter values into the buffer (appending at the
+    current position). *)
+
+type decoder = Mbuf.reader -> Value.t array
+(** Unmarshal one message body, returning one value per
+    {!Plan_compile.root.Rvalue}/[Dvalue] root.  Raises
+    {!Mbuf.Short_buffer} or {!Codec.Decode_error} on malformed input. *)
+
+(** Decoder-side description of a message body, mirroring
+    {!Plan_compile.root}. *)
+type droot =
+  | Dconst_int of int64 * Encoding.atom_kind
+      (** verify a constant discriminator *)
+  | Dconst_str of string
+  | Dvalue of Mint.idx * Pres.t
+
+val compile_encoder :
+  enc:Encoding.t ->
+  mint:Mint.t ->
+  named:(string * (Mint.idx * Pres.t)) list ->
+  Plan_compile.root list ->
+  encoder
+
+val compile_decoder :
+  enc:Encoding.t ->
+  mint:Mint.t ->
+  named:(string * (Mint.idx * Pres.t)) list ->
+  droot list ->
+  decoder
+
+val encoder_of_plan :
+  enc:Encoding.t -> Plan_compile.plan -> encoder
+(** Lower-level entry: execute an already compiled plan (used by the
+    ablation benchmarks, which tweak plans). *)

@@ -1,0 +1,130 @@
+type t =
+  | Vvoid
+  | Vbool of bool
+  | Vchar of char
+  | Vint of int
+  | Vint64 of int64
+  | Vfloat of float
+  | Vstring of string
+  | Vbytes of bytes
+  | Vint_array of int array
+  | Varray of t array
+  | Vopt of t option
+  | Vstruct of t array
+  | Vunion of { case : int; discrim : Mint.const; payload : t }
+
+type kind =
+  | Kvoid
+  | Kbool
+  | Kchar
+  | Kint
+  | Kint64
+  | Kfloat
+  | Kstring
+  | Kbytes
+  | Kint_array of Encoding.atom_kind
+  | Karray
+  | Kopt
+  | Kstruct
+  | Kunion
+
+let rep_kind mint idx (pres : Pres.t) =
+  match (Mint.get mint idx, pres) with
+  | _, Pres.Ref _ -> invalid_arg "Value.rep_kind: unresolved Ref"
+  | Mint.Void, _ -> Kvoid
+  | Mint.Bool, _ -> Kbool
+  | Mint.Char8, _ -> Kchar
+  | Mint.Int { bits = 64; _ }, _ -> Kint64
+  | Mint.Int _, _ -> Kint
+  | Mint.Float _, _ -> Kfloat
+  | Mint.Array _, (Pres.Terminated_string | Pres.Terminated_string_len _) -> Kstring
+  | Mint.Array _, Pres.Opt_ptr _ -> Kopt
+  | Mint.Array { elem; _ }, (Pres.Fixed_array _ | Pres.Counted_seq _) -> (
+      match Mint.get mint elem with
+      | Mint.Char8 | Mint.Int { bits = 8; _ } -> Kbytes
+      | Mint.Int { bits; signed } when bits <= 32 ->
+          Kint_array (Encoding.Kint { bits; signed })
+      | Mint.Void | Mint.Bool | Mint.Int _ | Mint.Float _ | Mint.Array _
+      | Mint.Struct _ | Mint.Union _ ->
+          Karray)
+  | Mint.Array _, _ -> Karray
+  | Mint.Struct _, _ -> Kstruct
+  | Mint.Union _, _ -> Kunion
+
+let rec equal a b =
+  match (a, b) with
+  | Vvoid, Vvoid -> true
+  | Vbool x, Vbool y -> x = y
+  | Vchar x, Vchar y -> x = y
+  | Vint x, Vint y -> x = y
+  | Vint64 x, Vint64 y -> Int64.equal x y
+  | Vfloat x, Vfloat y -> x = y || (x <> x && y <> y)
+  | Vstring x, Vstring y -> String.equal x y
+  | Vbytes x, Vbytes y -> Bytes.equal x y
+  | Vint_array x, Vint_array y -> x = y
+  | Varray x, Varray y ->
+      Array.length x = Array.length y
+      && (let ok = ref true in
+          Array.iteri (fun i xi -> if not (equal xi y.(i)) then ok := false) x;
+          !ok)
+  | Vopt x, Vopt y -> (
+      match (x, y) with
+      | None, None -> true
+      | Some x, Some y -> equal x y
+      | None, Some _ | Some _, None -> false)
+  | Vstruct x, Vstruct y ->
+      Array.length x = Array.length y
+      && (let ok = ref true in
+          Array.iteri (fun i xi -> if not (equal xi y.(i)) then ok := false) x;
+          !ok)
+  | Vunion x, Vunion y ->
+      x.case = y.case
+      && Mint.equal_const x.discrim y.discrim
+      && equal x.payload y.payload
+  | ( ( Vvoid | Vbool _ | Vchar _ | Vint _ | Vint64 _ | Vfloat _ | Vstring _
+      | Vbytes _ | Vint_array _ | Varray _ | Vopt _ | Vstruct _ | Vunion _ ),
+      _ ) ->
+      false
+
+let rec pp ppf = function
+  | Vvoid -> Format.pp_print_string ppf "()"
+  | Vbool b -> Format.fprintf ppf "%B" b
+  | Vchar c -> Format.fprintf ppf "%C" c
+  | Vint n -> Format.fprintf ppf "%d" n
+  | Vint64 n -> Format.fprintf ppf "%LdL" n
+  | Vfloat f -> Format.fprintf ppf "%h" f
+  | Vstring s -> Format.fprintf ppf "%S" s
+  | Vbytes b -> Format.fprintf ppf "bytes%S" (Bytes.to_string b)
+  | Vint_array a ->
+      Format.fprintf ppf "@[<hov 2>[|%a|]@]"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+           Format.pp_print_int)
+        (Array.to_list a)
+  | Varray a ->
+      Format.fprintf ppf "@[<hov 2>[%a]@]"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ") pp)
+        (Array.to_list a)
+  | Vopt None -> Format.pp_print_string ppf "null"
+  | Vopt (Some v) -> Format.fprintf ppf "&%a" pp v
+  | Vstruct fields ->
+      Format.fprintf ppf "@[<hov 2>{%a}@]"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ") pp)
+        (Array.to_list fields)
+  | Vunion { case; discrim; payload } ->
+      Format.fprintf ppf "@[<hov 2>union[%d=%a](%a)@]" case Mint.pp_const
+        discrim pp payload
+
+let rec byte_size = function
+  | Vvoid -> 0
+  | Vbool _ | Vchar _ -> 1
+  | Vint _ | Vfloat _ -> 4
+  | Vint64 _ -> 8
+  | Vstring s -> String.length s
+  | Vbytes b -> Bytes.length b
+  | Vint_array a -> 4 * Array.length a
+  | Varray a -> Array.fold_left (fun acc v -> acc + byte_size v) 0 a
+  | Vopt None -> 0
+  | Vopt (Some v) -> byte_size v
+  | Vstruct fields -> Array.fold_left (fun acc v -> acc + byte_size v) 0 fields
+  | Vunion { payload; _ } -> 4 + byte_size payload

@@ -1,0 +1,58 @@
+(** Runtime values for the executable stub engine.
+
+    The engine plays the role of the C programs that call
+    Flick-generated stubs: values model the presented C data structures
+    (the substitution DESIGN.md documents).  Every engine — optimized,
+    rpcgen-style, and interpretive — marshals and unmarshals exactly
+    these values, so their byte streams and timings are directly
+    comparable.
+
+    The representation of a (MINT, PRES) pair is fixed by {!rep_kind}:
+    scalar arrays use the unboxed {!Vint_array}/{!Vbytes} forms (the
+    targets of the paper's memcpy optimization), aggregate arrays use
+    boxed {!Varray} (which is why rectangle arrays marshal slower than
+    integer arrays, as in the paper's Figure 3). *)
+
+type t =
+  | Vvoid
+  | Vbool of bool
+  | Vchar of char
+  | Vint of int  (** integers up to 32 bits; unsigned values in [0, 2^32) *)
+  | Vint64 of int64
+  | Vfloat of float
+  | Vstring of string  (** NUL-terminated [char *] *)
+  | Vbytes of bytes  (** packed octet/char array *)
+  | Vint_array of int array  (** array of scalars up to 32 bits *)
+  | Varray of t array
+  | Vopt of t option
+  | Vstruct of t array
+  | Vunion of { case : int; discrim : Mint.const; payload : t }
+      (** [case] indexes the MINT union's case list; [-1] selects the
+          default arm, with [discrim] carrying the wire tag *)
+
+type kind =
+  | Kvoid
+  | Kbool
+  | Kchar
+  | Kint
+  | Kint64
+  | Kfloat
+  | Kstring
+  | Kbytes
+  | Kint_array of Encoding.atom_kind  (** element kind *)
+  | Karray
+  | Kopt
+  | Kstruct
+  | Kunion
+
+val rep_kind : Mint.t -> Mint.idx -> Pres.t -> kind
+(** The canonical runtime representation for a MINT/PRES pair.
+    {!Pres.Ref} nodes are resolved by the caller before use; passing one
+    raises [Invalid_argument]. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val byte_size : t -> int
+(** Approximate payload size in bytes (used to label benchmark series by
+    message size). *)

@@ -1,0 +1,151 @@
+module P = Parser_util
+module T = Idl_token
+
+let to_int (c : Aoi.const) =
+  match c with
+  | Aoi.Const_int n -> n
+  | Aoi.Const_char ch -> Int64.of_int (Char.code ch)
+  | Aoi.Const_bool b -> if b then 1L else 0L
+  | Aoi.Const_enum q ->
+      Diag.error "enumerator %s used where an integer constant is required"
+        (Aoi.qname_to_string q)
+  | Aoi.Const_string _ | Aoi.Const_float _ ->
+      Diag.error "integer constant required"
+
+let positive_int c =
+  let n = to_int c in
+  if Int64.compare n 1L < 0 || Int64.compare n (Int64.of_int max_int) > 0 then
+    Diag.error "constant %Ld is not a valid positive size" n
+  else Int64.to_int n
+
+let int_binop _name f a b = Aoi.Const_int (f (to_int a) (to_int b))
+
+let arith _name fi ff (a : Aoi.const) (b : Aoi.const) =
+  match (a, b) with
+  | Aoi.Const_float x, Aoi.Const_float y -> Aoi.Const_float (ff x y)
+  | Aoi.Const_float x, _ -> Aoi.Const_float (ff x (Int64.to_float (to_int b)))
+  | _, Aoi.Const_float y -> Aoi.Const_float (ff (Int64.to_float (to_int a)) y)
+  | _, _ -> int_binop _name fi a b
+
+let shift_amount b =
+  let n = to_int b in
+  if Int64.compare n 0L < 0 || Int64.compare n 63L > 0 then
+    Diag.error "shift amount %Ld out of range" n
+  else Int64.to_int n
+
+let rec parse p ~lookup = or_expr p ~lookup
+
+and or_expr p ~lookup =
+  let rec go acc =
+    if P.accept p T.Pipe then go (int_binop "|" Int64.logor acc (xor_expr p ~lookup))
+    else acc
+  in
+  go (xor_expr p ~lookup)
+
+and xor_expr p ~lookup =
+  let rec go acc =
+    if P.accept p T.Caret then go (int_binop "^" Int64.logxor acc (and_expr p ~lookup))
+    else acc
+  in
+  go (and_expr p ~lookup)
+
+and and_expr p ~lookup =
+  let rec go acc =
+    if P.accept p T.Amp then go (int_binop "&" Int64.logand acc (shift_expr p ~lookup))
+    else acc
+  in
+  go (shift_expr p ~lookup)
+
+and shift_expr p ~lookup =
+  let rec go acc =
+    if P.accept p T.Lshift then
+      go
+        (int_binop "<<"
+           (fun a b -> Int64.shift_left a (shift_amount (Aoi.Const_int b)))
+           acc
+           (add_expr p ~lookup))
+    else if P.accept p T.Rshift then
+      go
+        (int_binop ">>"
+           (fun a b -> Int64.shift_right a (shift_amount (Aoi.Const_int b)))
+           acc
+           (add_expr p ~lookup))
+    else acc
+  in
+  go (add_expr p ~lookup)
+
+and add_expr p ~lookup =
+  let rec go acc =
+    if P.accept p T.Plus then go (arith "+" Int64.add ( +. ) acc (mul_expr p ~lookup))
+    else if P.accept p T.Minus then
+      go (arith "-" Int64.sub ( -. ) acc (mul_expr p ~lookup))
+    else acc
+  in
+  go (mul_expr p ~lookup)
+
+and mul_expr p ~lookup =
+  let rec go acc =
+    if P.accept p T.Star then go (arith "*" Int64.mul ( *. ) acc (unary p ~lookup))
+    else if P.accept p T.Slash then
+      go
+        (arith "/"
+           (fun a b ->
+             if b = 0L then Diag.error "division by zero in constant expression"
+             else Int64.div a b)
+           ( /. ) acc (unary p ~lookup))
+    else if P.accept p T.Percent then
+      go
+        (int_binop "%"
+           (fun a b ->
+             if b = 0L then Diag.error "division by zero in constant expression"
+             else Int64.rem a b)
+           acc (unary p ~lookup))
+    else acc
+  in
+  go (unary p ~lookup)
+
+and unary p ~lookup =
+  if P.accept p T.Minus then
+    match unary p ~lookup with
+    | Aoi.Const_int n -> Aoi.Const_int (Int64.neg n)
+    | Aoi.Const_float f -> Aoi.Const_float (-.f)
+    | Aoi.Const_bool _ | Aoi.Const_char _ | Aoi.Const_string _ | Aoi.Const_enum _
+      ->
+        Diag.error "operand of unary '-' must be numeric"
+  else if P.accept p T.Plus then unary p ~lookup
+  else if P.accept p T.Tilde then Aoi.Const_int (Int64.lognot (to_int (unary p ~lookup)))
+  else primary p ~lookup
+
+and primary p ~lookup =
+  match P.peek p with
+  | T.Int_lit n ->
+      ignore (P.next p);
+      Aoi.Const_int n
+  | T.Float_lit f ->
+      ignore (P.next p);
+      Aoi.Const_float f
+  | T.Char_lit c ->
+      ignore (P.next p);
+      Aoi.Const_char c
+  | T.String_lit s ->
+      ignore (P.next p);
+      Aoi.Const_string s
+  | T.Lparen ->
+      ignore (P.next p);
+      let v = parse p ~lookup in
+      P.expect p T.Rparen;
+      v
+  | T.Ident "TRUE" ->
+      ignore (P.next p);
+      Aoi.Const_bool true
+  | T.Ident "FALSE" ->
+      ignore (P.next p);
+      Aoi.Const_bool false
+  | T.Ident _ | T.Coloncolon -> (
+      let loc = P.cur_loc p in
+      let q = P.scoped_name p in
+      match lookup q with
+      | Some v -> v
+      | None ->
+          Diag.error ~loc "unknown constant %s" (Aoi.qname_to_string q))
+  | _ -> P.syntax_error p ~expected:"a constant expression"

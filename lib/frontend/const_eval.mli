@@ -1,0 +1,23 @@
+(** Constant-expression parsing and evaluation.
+
+    Both the CORBA and ONC RPC IDLs allow constant expressions wherever
+    a constant is required (array dimensions, bounds, case labels, const
+    declarations).  The grammar and operator precedence follow CORBA 2.0
+    (which is a superset of what rpcgen accepts): [|], [^], [&], [<<]
+    [>>], [+] [-], [*] [/] [%], unary [- + ~], literals, parenthesised
+    expressions, and scoped names referring to previously declared
+    constants or enumerators. *)
+
+val parse :
+  Parser_util.t -> lookup:(Aoi.qname -> Aoi.const option) -> Aoi.const
+(** Parse and evaluate a constant expression.  [lookup] resolves scoped
+    names to previously evaluated constants.  Raises {!Diag.Error} on
+    type errors (e.g. shifting a float) or unknown names. *)
+
+val to_int : Aoi.const -> int64
+(** Coerce to an integer, raising a diagnostic for non-integer consts.
+    Enumerator references are not integers; callers that allow them must
+    handle {!Aoi.Const_enum} themselves. *)
+
+val positive_int : Aoi.const -> int
+(** Coerce to a strictly positive OCaml int (for bounds/dimensions). *)

@@ -1,0 +1,447 @@
+module P = Parser_util
+module T = Idl_token
+
+type ctx = {
+  p : P.t;
+  consts : (string, Aoi.const) Hashtbl.t;  (* qualified name -> value *)
+  mutable scope : string list;
+}
+
+let key q = String.concat "::" q
+
+let lookup ctx q =
+  match q with
+  | "" :: abs -> Hashtbl.find_opt ctx.consts (key abs)
+  | _ ->
+      let rec search scope =
+        match Hashtbl.find_opt ctx.consts (key (scope @ q)) with
+        | Some v -> Some v
+        | None -> (
+            match List.rev scope with
+            | [] -> None
+            | _ :: outer_rev -> search (List.rev outer_rev))
+      in
+      search ctx.scope
+
+let add_const ctx name v = Hashtbl.replace ctx.consts (key (ctx.scope @ [ name ])) v
+
+let const_expr ctx = Const_eval.parse ctx.p ~lookup:(lookup ctx)
+
+(* Registering an enum makes each enumerator available as a constant in
+   the scope that declares the enum. *)
+let register_enum ctx names =
+  List.iter
+    (fun n -> add_const ctx n (Aoi.Const_enum (ctx.scope @ [ n ])))
+    names
+
+let unsupported ctx what =
+  Diag.error ~loc:(P.last_loc ctx.p) "CORBA IDL construct '%s' is not supported" what
+
+(* ------------------------------------------------------------------ *)
+(* Type specifications                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let integer ~bits ~signed : Aoi.typ = Aoi.Integer { bits; signed }
+
+(* [defs] accumulates definitions of the current scope so that inline
+   constructed types ([struct X {...}] used as a member type) are
+   registered as declarations, as CORBA scoping requires. *)
+let rec type_spec ctx defs : Aoi.typ =
+  match P.peek ctx.p with
+  | T.Ident "float" ->
+      ignore (P.next ctx.p);
+      Aoi.Float 32
+  | T.Ident "double" ->
+      ignore (P.next ctx.p);
+      Aoi.Float 64
+  | T.Ident "short" ->
+      ignore (P.next ctx.p);
+      integer ~bits:16 ~signed:true
+  | T.Ident "long" ->
+      ignore (P.next ctx.p);
+      if P.accept_kw ctx.p "long" then integer ~bits:64 ~signed:true
+      else if P.peek_is_kw ctx.p "double" then unsupported ctx "long double"
+      else integer ~bits:32 ~signed:true
+  | T.Ident "unsigned" ->
+      ignore (P.next ctx.p);
+      if P.accept_kw ctx.p "short" then integer ~bits:16 ~signed:false
+      else if P.accept_kw ctx.p "long" then
+        if P.accept_kw ctx.p "long" then integer ~bits:64 ~signed:false
+        else integer ~bits:32 ~signed:false
+      else P.syntax_error ctx.p ~expected:"'short' or 'long' after 'unsigned'"
+  | T.Ident "char" ->
+      ignore (P.next ctx.p);
+      Aoi.Char
+  | T.Ident "boolean" ->
+      ignore (P.next ctx.p);
+      Aoi.Boolean
+  | T.Ident "octet" ->
+      ignore (P.next ctx.p);
+      Aoi.Octet
+  | T.Ident "string" ->
+      ignore (P.next ctx.p);
+      if P.accept ctx.p T.Langle then begin
+        let bound = Const_eval.positive_int (const_expr ctx) in
+        P.expect ctx.p T.Rangle;
+        Aoi.String (Some bound)
+      end
+      else Aoi.String None
+  | T.Ident "sequence" ->
+      ignore (P.next ctx.p);
+      P.expect ctx.p T.Langle;
+      let elem = type_spec ctx defs in
+      let bound =
+        if P.accept ctx.p T.Comma then
+          Some (Const_eval.positive_int (const_expr ctx))
+        else None
+      in
+      P.expect ctx.p T.Rangle;
+      Aoi.Sequence (elem, bound)
+  | T.Ident "struct" ->
+      let name, fields = struct_decl ctx defs in
+      defs := Aoi.Dtype (name, Aoi.Struct_type fields) :: !defs;
+      Aoi.Named [ name ]
+  | T.Ident "union" ->
+      let name, u = union_decl ctx defs in
+      defs := Aoi.Dtype (name, Aoi.Union_type u) :: !defs;
+      Aoi.Named [ name ]
+  | T.Ident "enum" ->
+      let name, names = enum_decl ctx in
+      defs := Aoi.Dtype (name, Aoi.Enum_type names) :: !defs;
+      Aoi.Named [ name ]
+  | T.Ident ("any" | "wchar" | "wstring" | "fixed" | "Object") ->
+      let k = P.expect_ident ctx.p in
+      unsupported ctx k
+  | T.Ident _ | T.Coloncolon -> Aoi.Named (P.scoped_name ctx.p)
+  | _ -> P.syntax_error ctx.p ~expected:"a type specification"
+
+(* declarator: id with optional fixed-array dimensions *)
+and declarator ctx =
+  let name = P.expect_ident ctx.p in
+  let rec dims acc =
+    if P.accept ctx.p T.Lbracket then begin
+      let d = Const_eval.positive_int (const_expr ctx) in
+      P.expect ctx.p T.Rbracket;
+      dims (d :: acc)
+    end
+    else List.rev acc
+  in
+  (name, dims [])
+
+and apply_dims ty = function [] -> ty | dims -> Aoi.Array (ty, dims)
+
+and member_list ctx defs =
+  let rec go acc =
+    if P.peek ctx.p = T.Rbrace then List.rev acc
+    else begin
+      let ty = type_spec ctx defs in
+      let decls = P.comma_list ctx.p (fun _ -> declarator ctx) in
+      P.expect ctx.p T.Semi;
+      let fields =
+        List.map
+          (fun (name, dims) -> { Aoi.f_name = name; f_type = apply_dims ty dims })
+          decls
+      in
+      go (List.rev_append fields acc)
+    end
+  in
+  go []
+
+and struct_decl ctx defs =
+  (* Inline constructed member types are hoisted into [defs], the
+     enclosing scope, as CORBA scoping requires. *)
+  P.expect_kw ctx.p "struct";
+  let name = P.expect_ident ctx.p in
+  P.expect ctx.p T.Lbrace;
+  let fields = member_list ctx defs in
+  P.expect ctx.p T.Rbrace;
+  (name, fields)
+
+and union_decl ctx defs =
+  P.expect_kw ctx.p "union";
+  let name = P.expect_ident ctx.p in
+  P.expect_kw ctx.p "switch";
+  P.expect ctx.p T.Lparen;
+  let discrim = switch_type ctx in
+  P.expect ctx.p T.Rparen;
+  P.expect ctx.p T.Lbrace;
+  let cases = ref [] in
+  let default = ref None in
+  let rec go () =
+    if P.peek ctx.p = T.Rbrace then ()
+    else begin
+      let labels = ref [] in
+      let is_default = ref false in
+      let rec labels_loop () =
+        if P.accept_kw ctx.p "case" then begin
+          let v = const_expr ctx in
+          P.expect ctx.p T.Colon;
+          labels := v :: !labels;
+          labels_loop ()
+        end
+        else if P.accept_kw ctx.p "default" then begin
+          P.expect ctx.p T.Colon;
+          is_default := true;
+          labels_loop ()
+        end
+      in
+      labels_loop ();
+      if !labels = [] && not !is_default then
+        P.syntax_error ctx.p ~expected:"'case' or 'default'";
+      let ty = type_spec ctx defs in
+      let fname, dims = declarator ctx in
+      P.expect ctx.p T.Semi;
+      let field = { Aoi.f_name = fname; f_type = apply_dims ty dims } in
+      (if !is_default then
+         match !default with
+         | Some _ -> Diag.error ~loc:(P.last_loc ctx.p) "duplicate default case"
+         | None -> default := Some field);
+      if !labels <> [] then
+        cases := { Aoi.c_labels = List.rev !labels; c_field = field } :: !cases;
+      go ()
+    end
+  in
+  go ();
+  P.expect ctx.p T.Rbrace;
+  if !cases = [] && !default = None then
+    Diag.error ~loc:(P.last_loc ctx.p) "union %s has no cases" name;
+  (name, { Aoi.u_discrim = discrim; u_cases = List.rev !cases; u_default = !default })
+
+and switch_type ctx : Aoi.typ =
+  match P.peek ctx.p with
+  | T.Ident "long" | T.Ident "short" | T.Ident "unsigned" | T.Ident "char"
+  | T.Ident "boolean" ->
+      let defs = ref [] in
+      type_spec ctx defs
+  | T.Ident "enum" ->
+      let name, names = enum_decl ctx in
+      ignore name;
+      Aoi.Enum_type names
+  | T.Ident _ | T.Coloncolon -> Aoi.Named (P.scoped_name ctx.p)
+  | _ -> P.syntax_error ctx.p ~expected:"a switch type"
+
+and enum_decl ctx =
+  P.expect_kw ctx.p "enum";
+  let name = P.expect_ident ctx.p in
+  P.expect ctx.p T.Lbrace;
+  let ids = P.comma_list ctx.p (fun p -> P.expect_ident p) in
+  P.expect ctx.p T.Rbrace;
+  register_enum ctx ids;
+  (* CORBA enumerators take consecutive ordinals starting at zero *)
+  (name, List.mapi (fun i n -> (n, Int64.of_int i)) ids)
+
+(* ------------------------------------------------------------------ *)
+(* Declarations                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let const_decl ctx defs =
+  P.expect_kw ctx.p "const";
+  let ty = type_spec ctx defs in
+  let name = P.expect_ident ctx.p in
+  P.expect ctx.p T.Equal;
+  let v = const_expr ctx in
+  P.expect ctx.p T.Semi;
+  add_const ctx name v;
+  Aoi.Dconst (name, ty, v)
+
+let exception_decl ctx defs =
+  P.expect_kw ctx.p "exception";
+  let name = P.expect_ident ctx.p in
+  P.expect ctx.p T.Lbrace;
+  let fields = member_list ctx defs in
+  P.expect ctx.p T.Rbrace;
+  P.expect ctx.p T.Semi;
+  Aoi.Dexception (name, fields)
+
+let typedef_decl ctx defs =
+  P.expect_kw ctx.p "typedef";
+  let ty = type_spec ctx defs in
+  let decls = P.comma_list ctx.p (fun _ -> declarator ctx) in
+  P.expect ctx.p T.Semi;
+  List.map (fun (name, dims) -> Aoi.Dtype (name, apply_dims ty dims)) decls
+
+let param ctx defs : Aoi.param =
+  let dir =
+    if P.accept_kw ctx.p "in" then Aoi.In
+    else if P.accept_kw ctx.p "out" then Aoi.Out
+    else if P.accept_kw ctx.p "inout" then Aoi.Inout
+    else P.syntax_error ctx.p ~expected:"'in', 'out' or 'inout'"
+  in
+  let ty = type_spec ctx defs in
+  let name = P.expect_ident ctx.p in
+  { Aoi.p_name = name; p_dir = dir; p_type = ty }
+
+let operation ctx defs ~code : Aoi.operation =
+  let oneway = P.accept_kw ctx.p "oneway" in
+  let ret =
+    if P.accept_kw ctx.p "void" then Aoi.Void else type_spec ctx defs
+  in
+  let name = P.expect_ident ctx.p in
+  P.expect ctx.p T.Lparen;
+  let params =
+    if P.peek ctx.p = T.Rparen then []
+    else P.comma_list ctx.p (fun _ -> param ctx defs)
+  in
+  P.expect ctx.p T.Rparen;
+  let raises =
+    if P.accept_kw ctx.p "raises" then begin
+      P.expect ctx.p T.Lparen;
+      let names = P.comma_list ctx.p (fun p -> P.scoped_name p) in
+      P.expect ctx.p T.Rparen;
+      names
+    end
+    else []
+  in
+  (if P.accept_kw ctx.p "context" then begin
+     P.expect ctx.p T.Lparen;
+     let _ = P.comma_list ctx.p (fun p ->
+       match P.next p with
+       | T.String_lit s -> s
+       | _ -> P.syntax_error p ~expected:"a context string literal")
+     in
+     P.expect ctx.p T.Rparen
+   end);
+  P.expect ctx.p T.Semi;
+  {
+    Aoi.op_name = name;
+    op_oneway = oneway;
+    op_return = ret;
+    op_params = params;
+    op_raises = raises;
+    op_code = code;
+  }
+
+let attribute ctx defs : Aoi.attribute list =
+  let readonly = P.accept_kw ctx.p "readonly" in
+  P.expect_kw ctx.p "attribute";
+  let ty = type_spec ctx defs in
+  let names = P.comma_list ctx.p (fun p -> P.expect_ident p) in
+  P.expect ctx.p T.Semi;
+  List.map
+    (fun n -> { Aoi.at_name = n; at_type = ty; at_readonly = readonly })
+    names
+
+let rec interface_decl ctx =
+  P.expect_kw ctx.p "interface";
+  let name = P.expect_ident ctx.p in
+  if P.peek ctx.p = T.Semi then begin
+    (* forward declaration *)
+    ignore (P.next ctx.p);
+    None
+  end
+  else begin
+    let parents =
+      if P.accept ctx.p T.Colon then P.comma_list ctx.p (fun p -> P.scoped_name p)
+      else []
+    in
+    P.expect ctx.p T.Lbrace;
+    let saved_scope = ctx.scope in
+    ctx.scope <- ctx.scope @ [ name ];
+    let defs = ref [] in
+    let ops = ref [] in
+    let attrs = ref [] in
+    let code = ref 0L in
+    let next_code () =
+      let c = !code in
+      code := Int64.add c 1L;
+      c
+    in
+    let rec exports () =
+      if P.peek ctx.p = T.Rbrace then ()
+      else begin
+        (match P.peek ctx.p with
+        | T.Ident "typedef" -> defs := List.rev_append (typedef_decl ctx defs) !defs
+        | T.Ident "const" -> defs := const_decl ctx defs :: !defs
+        | T.Ident "exception" -> defs := exception_decl ctx defs :: !defs
+        | T.Ident "struct" ->
+            let n, fields = struct_decl ctx defs in
+            P.expect ctx.p T.Semi;
+            defs := Aoi.Dtype (n, Aoi.Struct_type fields) :: !defs
+        | T.Ident "union" ->
+            let n, u = union_decl ctx defs in
+            P.expect ctx.p T.Semi;
+            defs := Aoi.Dtype (n, Aoi.Union_type u) :: !defs
+        | T.Ident "enum" ->
+            let n, names = enum_decl ctx in
+            P.expect ctx.p T.Semi;
+            defs := Aoi.Dtype (n, Aoi.Enum_type names) :: !defs
+        | T.Ident "readonly" | T.Ident "attribute" ->
+            attrs := List.rev_append (attribute ctx defs) !attrs
+        | _ -> ops := operation ctx defs ~code:(next_code ()) :: !ops);
+        exports ()
+      end
+    in
+    exports ();
+    P.expect ctx.p T.Rbrace;
+    P.expect ctx.p T.Semi;
+    ctx.scope <- saved_scope;
+    Some
+      {
+        Aoi.i_name = name;
+        i_parents = parents;
+        i_defs = List.rev !defs;
+        i_ops = List.rev !ops;
+        i_attrs = List.rev !attrs;
+        i_program = None;
+      }
+  end
+
+and module_decl ctx =
+  P.expect_kw ctx.p "module";
+  let name = P.expect_ident ctx.p in
+  P.expect ctx.p T.Lbrace;
+  let saved_scope = ctx.scope in
+  ctx.scope <- ctx.scope @ [ name ];
+  let defs = definitions ctx in
+  P.expect ctx.p T.Rbrace;
+  P.expect ctx.p T.Semi;
+  ctx.scope <- saved_scope;
+  Aoi.Dmodule (name, defs)
+
+and definitions ctx =
+  let defs = ref [] in
+  let rec go () =
+    match P.peek ctx.p with
+    | T.Eof | T.Rbrace -> ()
+    | T.Ident "module" ->
+        defs := module_decl ctx :: !defs;
+        go ()
+    | T.Ident "interface" ->
+        (match interface_decl ctx with
+        | Some i -> defs := Aoi.Dinterface i :: !defs
+        | None -> ());
+        go ()
+    | T.Ident "typedef" ->
+        defs := List.rev_append (typedef_decl ctx defs) !defs;
+        go ()
+    | T.Ident "struct" ->
+        let n, fields = struct_decl ctx defs in
+        P.expect ctx.p T.Semi;
+        defs := Aoi.Dtype (n, Aoi.Struct_type fields) :: !defs;
+        go ()
+    | T.Ident "union" ->
+        let n, u = union_decl ctx defs in
+        P.expect ctx.p T.Semi;
+        defs := Aoi.Dtype (n, Aoi.Union_type u) :: !defs;
+        go ()
+    | T.Ident "enum" ->
+        let n, names = enum_decl ctx in
+        P.expect ctx.p T.Semi;
+        defs := Aoi.Dtype (n, Aoi.Enum_type names) :: !defs;
+        go ()
+    | T.Ident "const" ->
+        defs := const_decl ctx defs :: !defs;
+        go ()
+    | T.Ident "exception" ->
+        defs := exception_decl ctx defs :: !defs;
+        go ()
+    | _ -> P.syntax_error ctx.p ~expected:"a definition"
+  in
+  go ();
+  List.rev !defs
+
+let parse ?(file = "<string>") src =
+  let ctx = { p = P.of_string ~file src; consts = Hashtbl.create 16; scope = [] } in
+  let defs = definitions ctx in
+  P.expect ctx.p T.Eof;
+  { Aoi.s_file = file; s_defs = defs }

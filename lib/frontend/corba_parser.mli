@@ -1,0 +1,20 @@
+(** CORBA 2.0 IDL front end (paper section 2.1).
+
+    Parses a CORBA IDL specification and produces its AOI
+    representation.  Supports modules, interfaces (including
+    inheritance, attributes, [oneway] operations and [raises] clauses),
+    [typedef]s, structs, discriminated unions, enums, sequences, bounded
+    and unbounded strings, fixed arrays, constants with full
+    constant-expression evaluation, and exceptions.
+
+    [any], [wchar], [wstring], [fixed] and [Object] are rejected with a
+    diagnostic, mirroring the subset Flick's CORBA front end handled in
+    1997.  Preprocessor lines ([#include], [#pragma], ...) are skipped;
+    like Flick, we assume [cpp] has already run.
+
+    Operations are numbered in declaration order; the IIOP back end
+    dispatches on operation {e names} (GIOP semantics) while the ONC
+    back end uses these codes as procedure numbers. *)
+
+val parse : ?file:string -> string -> Aoi.spec
+(** Raises {!Diag.Error} on any syntax or semantic error. *)

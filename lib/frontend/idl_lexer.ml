@@ -1,0 +1,312 @@
+
+type t = {
+  src : string;
+  file : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int;  (* offset of beginning of current line *)
+  mutable lookahead : (Idl_token.t * Loc.t) list;
+}
+
+let of_string ?(file = "<string>") src =
+  { src; file; pos = 0; line = 1; bol = 0; lookahead = [] }
+
+let cur_pos t : Loc.pos = { line = t.line; col = t.pos - t.bol + 1 }
+
+let loc_from t (start_pos : Loc.pos) =
+  Loc.make ~file:t.file ~start_pos ~end_pos:(cur_pos t)
+
+let fail t start_pos fmt = Diag.error ~loc:(loc_from t start_pos) fmt
+
+let at_end t = t.pos >= String.length t.src
+let cur t = t.src.[t.pos]
+
+let advance t =
+  (if cur t = '\n' then begin
+     t.line <- t.line + 1;
+     t.bol <- t.pos + 1
+   end);
+  t.pos <- t.pos + 1
+
+let rec skip_line t =
+  if not (at_end t) then
+    if cur t = '\n' then advance t
+    else begin
+      advance t;
+      skip_line t
+    end
+
+(* Skip whitespace, comments, '#' preprocessor lines and '%' pass-through
+   lines.  Returns when positioned at the start of a real token. *)
+let rec skip_trivia t =
+  if at_end t then ()
+  else
+    match cur t with
+    | ' ' | '\t' | '\r' | '\n' ->
+        advance t;
+        skip_trivia t
+    | '#' ->
+        skip_line t;
+        skip_trivia t
+    | '%' when t.pos = t.bol ->
+        (* rpcgen pass-through line: only when '%' is in column one *)
+        skip_line t;
+        skip_trivia t
+    | '%' -> ()
+    | '/' when t.pos + 1 < String.length t.src && t.src.[t.pos + 1] = '/' ->
+        skip_line t;
+        skip_trivia t
+    | '/' when t.pos + 1 < String.length t.src && t.src.[t.pos + 1] = '*' ->
+        let start_pos = cur_pos t in
+        advance t;
+        advance t;
+        skip_block_comment t start_pos;
+        skip_trivia t
+    | 'a' .. 'z'
+    | 'A' .. 'Z' | '_' | '0' .. '9' | '"' | '\''
+    | '{' | '}' | '(' | ')' | '[' | ']' | '<' | '>' | ';' | ':' | ','
+    | '=' | '*' | '+' | '-' | '/' | '|' | '&' | '^' | '~' | '?' | '@' ->
+        ()
+    | c ->
+        let start_pos = cur_pos t in
+        fail t start_pos "unexpected character %C" c
+
+and skip_block_comment t start_pos =
+  if at_end t then fail t start_pos "unterminated comment"
+  else if
+    cur t = '*' && t.pos + 1 < String.length t.src && t.src.[t.pos + 1] = '/'
+  then begin
+    advance t;
+    advance t
+  end
+  else begin
+    advance t;
+    skip_block_comment t start_pos
+  end
+
+let is_ident_start = function 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false
+
+let is_ident_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true
+  | _ -> false
+
+let is_digit = function '0' .. '9' -> true | _ -> false
+
+let lex_ident t =
+  let start = t.pos in
+  let rec go () =
+    if (not (at_end t)) && is_ident_char (cur t) then begin
+      advance t;
+      go ()
+    end
+  in
+  go ();
+  String.sub t.src start (t.pos - start)
+
+(* Numbers: decimal, 0x hex, 0 octal, or floats (decimal point and/or
+   exponent).  IDL has no negative literals; '-' is an operator. *)
+let lex_number t start_pos =
+  let start = t.pos in
+  let two_prefix =
+    t.pos + 1 < String.length t.src
+    && cur t = '0'
+    && (t.src.[t.pos + 1] = 'x' || t.src.[t.pos + 1] = 'X')
+  in
+  if two_prefix then begin
+    advance t;
+    advance t;
+    let hstart = t.pos in
+    let rec go () =
+      if
+        (not (at_end t))
+        &&
+        match cur t with
+        | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true
+        | _ -> false
+      then begin
+        advance t;
+        go ()
+      end
+    in
+    go ();
+    if t.pos = hstart then fail t start_pos "malformed hexadecimal literal";
+    let s = String.sub t.src start (t.pos - start) in
+    Idl_token.Int_lit (Int64.of_string s)
+  end
+  else begin
+    let rec digits () =
+      if (not (at_end t)) && is_digit (cur t) then begin
+        advance t;
+        digits ()
+      end
+    in
+    digits ();
+    let is_float = ref false in
+    (if
+       (not (at_end t))
+       && cur t = '.'
+       && t.pos + 1 < String.length t.src
+       && is_digit t.src.[t.pos + 1]
+     then begin
+       is_float := true;
+       advance t;
+       digits ()
+     end);
+    (if (not (at_end t)) && (cur t = 'e' || cur t = 'E') then begin
+       is_float := true;
+       advance t;
+       if (not (at_end t)) && (cur t = '+' || cur t = '-') then advance t;
+       digits ()
+     end);
+    let s = String.sub t.src start (t.pos - start) in
+    if !is_float then Idl_token.Float_lit (float_of_string s)
+    else if String.length s > 1 && s.[0] = '0' then
+      (* octal, per C convention *)
+      Idl_token.Int_lit (Int64.of_string ("0o" ^ String.sub s 1 (String.length s - 1)))
+    else Idl_token.Int_lit (Int64.of_string s)
+  end
+
+let lex_escape t start_pos =
+  if at_end t then fail t start_pos "unterminated escape sequence";
+  let c = cur t in
+  advance t;
+  match c with
+  | 'n' -> '\n'
+  | 't' -> '\t'
+  | 'r' -> '\r'
+  | '0' -> '\000'
+  | '\\' -> '\\'
+  | '\'' -> '\''
+  | '"' -> '"'
+  | c -> fail t start_pos "unsupported escape sequence '\\%c'" c
+
+let lex_string t start_pos =
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if at_end t then fail t start_pos "unterminated string literal"
+    else
+      match cur t with
+      | '"' -> advance t
+      | '\\' ->
+          advance t;
+          Buffer.add_char buf (lex_escape t start_pos);
+          go ()
+      | c ->
+          advance t;
+          Buffer.add_char buf c;
+          go ()
+  in
+  go ();
+  Idl_token.String_lit (Buffer.contents buf)
+
+let lex_char t start_pos =
+  if at_end t then fail t start_pos "unterminated character literal";
+  let c =
+    match cur t with
+    | '\\' ->
+        advance t;
+        lex_escape t start_pos
+    | c ->
+        advance t;
+        c
+  in
+  if at_end t || cur t <> '\'' then fail t start_pos "unterminated character literal";
+  advance t;
+  Idl_token.Char_lit c
+
+let lex_token t : Idl_token.t * Loc.t =
+  skip_trivia t;
+  let start_pos = cur_pos t in
+  if at_end t then (Idl_token.Eof, loc_from t start_pos)
+  else
+    let tok =
+      match cur t with
+      | c when is_ident_start c -> Idl_token.Ident (lex_ident t)
+      | c when is_digit c -> lex_number t start_pos
+      | '"' ->
+          advance t;
+          lex_string t start_pos
+      | '\'' ->
+          advance t;
+          lex_char t start_pos
+      | '{' -> advance t; Idl_token.Lbrace
+      | '}' -> advance t; Idl_token.Rbrace
+      | '(' -> advance t; Idl_token.Lparen
+      | ')' -> advance t; Idl_token.Rparen
+      | '[' -> advance t; Idl_token.Lbracket
+      | ']' -> advance t; Idl_token.Rbracket
+      | '<' ->
+          advance t;
+          if (not (at_end t)) && cur t = '<' then begin
+            advance t;
+            Idl_token.Lshift
+          end
+          else Idl_token.Langle
+      | '>' ->
+          advance t;
+          if (not (at_end t)) && cur t = '>' then begin
+            advance t;
+            Idl_token.Rshift
+          end
+          else Idl_token.Rangle
+      | ';' -> advance t; Idl_token.Semi
+      | ':' ->
+          advance t;
+          if (not (at_end t)) && cur t = ':' then begin
+            advance t;
+            Idl_token.Coloncolon
+          end
+          else Idl_token.Colon
+      | ',' -> advance t; Idl_token.Comma
+      | '=' -> advance t; Idl_token.Equal
+      | '*' -> advance t; Idl_token.Star
+      | '+' -> advance t; Idl_token.Plus
+      | '-' -> advance t; Idl_token.Minus
+      | '/' -> advance t; Idl_token.Slash
+      | '%' -> advance t; Idl_token.Percent
+      | '|' -> advance t; Idl_token.Pipe
+      | '&' -> advance t; Idl_token.Amp
+      | '^' -> advance t; Idl_token.Caret
+      | '~' -> advance t; Idl_token.Tilde
+      | '?' -> advance t; Idl_token.Question
+      | '@' -> advance t; Idl_token.At
+      | c -> fail t start_pos "unexpected character %C" c
+    in
+    (tok, loc_from t start_pos)
+
+let next t =
+  match t.lookahead with
+  | tok :: rest ->
+      t.lookahead <- rest;
+      tok
+  | [] -> lex_token t
+
+let peek t =
+  match t.lookahead with
+  | tok :: _ -> tok
+  | [] ->
+      let tok = lex_token t in
+      t.lookahead <- [ tok ];
+      tok
+
+let peek2 t =
+  match t.lookahead with
+  | _ :: (tok, _) :: _ -> tok
+  | [ first ] ->
+      let second = lex_token t in
+      t.lookahead <- [ first; second ];
+      fst second
+  | [] ->
+      let first = lex_token t in
+      let second = lex_token t in
+      t.lookahead <- [ first; second ];
+      fst second
+
+let tokens_of_string ?file src =
+  let t = of_string ?file src in
+  let rec go acc =
+    match next t with
+    | Idl_token.Eof, _ -> List.rev acc
+    | tok -> go (tok :: acc)
+  in
+  go []

@@ -1,0 +1,25 @@
+(** Shared lexer for the three supported IDLs.
+
+    Handles C-style comments ([/* */] and [//]), preprocessor lines
+    beginning with [#] (skipped, as Flick relies on a prior cpp pass),
+    and rpcgen pass-through lines beginning with [%] (also skipped).
+    Integer literals may be decimal, octal ([0...]) or hexadecimal
+    ([0x...]).  Raises {!Diag.Error} on malformed input. *)
+
+type t
+
+val of_string : ?file:string -> string -> t
+(** Lex from an in-memory buffer.  [file] is used in locations. *)
+
+val next : t -> Idl_token.t * Loc.t
+(** Consume and return the next token.  Returns {!Idl_token.Eof} forever at
+    the end of input. *)
+
+val peek : t -> Idl_token.t * Loc.t
+(** Look at the next token without consuming it. *)
+
+val peek2 : t -> Idl_token.t
+(** Look two tokens ahead (used by parsers to disambiguate). *)
+
+val tokens_of_string : ?file:string -> string -> (Idl_token.t * Loc.t) list
+(** Convenience: lex a whole buffer, excluding the final [Eof]. *)

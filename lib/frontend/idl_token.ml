@@ -1,0 +1,69 @@
+type t =
+  | Ident of string
+  | Int_lit of int64
+  | Float_lit of float
+  | Char_lit of char
+  | String_lit of string
+  | Lbrace
+  | Rbrace
+  | Lparen
+  | Rparen
+  | Lbracket
+  | Rbracket
+  | Langle
+  | Rangle
+  | Semi
+  | Colon
+  | Coloncolon
+  | Comma
+  | Equal
+  | Star
+  | Plus
+  | Minus
+  | Slash
+  | Percent
+  | Pipe
+  | Amp
+  | Caret
+  | Tilde
+  | Lshift
+  | Rshift
+  | Question
+  | At
+  | Eof
+
+let pp ppf = function
+  | Ident s -> Format.fprintf ppf "identifier %S" s
+  | Int_lit n -> Format.fprintf ppf "integer literal %Ld" n
+  | Float_lit f -> Format.fprintf ppf "float literal %g" f
+  | Char_lit c -> Format.fprintf ppf "character literal %C" c
+  | String_lit s -> Format.fprintf ppf "string literal %S" s
+  | Lbrace -> Format.pp_print_string ppf "'{'"
+  | Rbrace -> Format.pp_print_string ppf "'}'"
+  | Lparen -> Format.pp_print_string ppf "'('"
+  | Rparen -> Format.pp_print_string ppf "')'"
+  | Lbracket -> Format.pp_print_string ppf "'['"
+  | Rbracket -> Format.pp_print_string ppf "']'"
+  | Langle -> Format.pp_print_string ppf "'<'"
+  | Rangle -> Format.pp_print_string ppf "'>'"
+  | Semi -> Format.pp_print_string ppf "';'"
+  | Colon -> Format.pp_print_string ppf "':'"
+  | Coloncolon -> Format.pp_print_string ppf "'::'"
+  | Comma -> Format.pp_print_string ppf "','"
+  | Equal -> Format.pp_print_string ppf "'='"
+  | Star -> Format.pp_print_string ppf "'*'"
+  | Plus -> Format.pp_print_string ppf "'+'"
+  | Minus -> Format.pp_print_string ppf "'-'"
+  | Slash -> Format.pp_print_string ppf "'/'"
+  | Percent -> Format.pp_print_string ppf "'%'"
+  | Pipe -> Format.pp_print_string ppf "'|'"
+  | Amp -> Format.pp_print_string ppf "'&'"
+  | Caret -> Format.pp_print_string ppf "'^'"
+  | Tilde -> Format.pp_print_string ppf "'~'"
+  | Lshift -> Format.pp_print_string ppf "'<<'"
+  | Rshift -> Format.pp_print_string ppf "'>>'"
+  | Question -> Format.pp_print_string ppf "'?'"
+  | At -> Format.pp_print_string ppf "'@'"
+  | Eof -> Format.pp_print_string ppf "end of input"
+
+let equal (a : t) (b : t) = a = b

@@ -1,0 +1,45 @@
+(** Tokens shared by the CORBA, ONC RPC, and MIG front ends.
+
+    The lexer is keyword-agnostic: all words are produced as {!Ident}
+    and each parser classifies the keywords of its own IDL.  This is
+    what lets one scanner serve three source languages (the "base
+    library" of Flick's front-end phase). *)
+
+type t =
+  | Ident of string
+  | Int_lit of int64
+  | Float_lit of float
+  | Char_lit of char
+  | String_lit of string
+  | Lbrace
+  | Rbrace
+  | Lparen
+  | Rparen
+  | Lbracket
+  | Rbracket
+  | Langle
+  | Rangle
+  | Semi
+  | Colon
+  | Coloncolon
+  | Comma
+  | Equal
+  | Star
+  | Plus
+  | Minus
+  | Slash
+  | Percent
+  | Pipe
+  | Amp
+  | Caret
+  | Tilde
+  | Lshift
+  | Rshift
+  | Question
+  | At
+  | Eof
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable rendering used in syntax-error messages. *)
+
+val equal : t -> t -> bool

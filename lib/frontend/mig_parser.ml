@@ -1,0 +1,154 @@
+module P = Parser_util
+module T = Idl_token
+
+type scalar = Sint | Schar | Sbool
+
+type mig_type =
+  | Tscalar of scalar
+  | Tfixed_array of scalar * int
+  | Tcounted_array of scalar * int
+
+type arg = { a_name : string; a_dir : Aoi.param_dir; a_type : mig_type }
+
+type routine = {
+  r_name : string;
+  r_oneway : bool;
+  r_args : arg list;
+  r_msg_id : int64;
+}
+
+type spec = {
+  sub_name : string;
+  sub_base : int64;
+  types : (string * mig_type) list;
+  routines : routine list;
+}
+
+let scalar_of p name =
+  match name with
+  | "int" | "integer_t" -> Sint
+  | "char" -> Schar
+  | "boolean" | "boolean_t" -> Sbool
+  | other ->
+      Diag.error ~loc:(P.last_loc p)
+        "MIG cannot express type '%s' (only scalars and arrays of scalars)"
+        other
+
+let rec mig_type p (types : (string * mig_type) list) : mig_type =
+  if P.accept_kw p "array" then begin
+    P.expect p T.Lbracket;
+    if P.accept p T.Star then begin
+      P.expect p T.Colon;
+      let bound =
+        match P.next p with
+        | T.Int_lit n -> Int64.to_int n
+        | _ -> P.syntax_error p ~expected:"an array bound"
+      in
+      P.expect p T.Rbracket;
+      P.expect_kw p "of";
+      match mig_type p types with
+      | Tscalar s -> Tcounted_array (s, bound)
+      | Tfixed_array _ | Tcounted_array _ ->
+          Diag.error ~loc:(P.last_loc p)
+            "MIG cannot express arrays of non-atomic types"
+    end
+    else begin
+      let len =
+        match P.next p with
+        | T.Int_lit n -> Int64.to_int n
+        | _ -> P.syntax_error p ~expected:"an array length"
+      in
+      P.expect p T.Rbracket;
+      P.expect_kw p "of";
+      match mig_type p types with
+      | Tscalar s -> Tfixed_array (s, len)
+      | Tfixed_array _ | Tcounted_array _ ->
+          Diag.error ~loc:(P.last_loc p)
+            "MIG cannot express arrays of non-atomic types"
+    end
+  end
+  else
+    let name = P.expect_ident p in
+    match List.assoc_opt name types with
+    | Some ty -> ty
+    | None -> Tscalar (scalar_of p name)
+
+let arg p types : arg =
+  let dir =
+    if P.accept_kw p "in" then Aoi.In
+    else if P.accept_kw p "out" then Aoi.Out
+    else if P.accept_kw p "inout" then Aoi.Inout
+    else Aoi.In
+  in
+  let name = P.expect_ident p in
+  P.expect p T.Colon;
+  let ty = mig_type p types in
+  { a_name = name; a_dir = dir; a_type = ty }
+
+let routine p types ~oneway ~msg_id : routine =
+  let name = P.expect_ident p in
+  P.expect p T.Lparen;
+  let args =
+    if P.peek p = T.Rparen then []
+    else
+      let rec go acc =
+        let a = arg p types in
+        if P.accept p T.Semi then go (a :: acc) else List.rev (a :: acc)
+      in
+      go []
+  in
+  P.expect p T.Rparen;
+  P.expect p T.Semi;
+  { r_name = name; r_oneway = oneway; r_args = args; r_msg_id = msg_id }
+
+let parse ?(file = "<string>") src =
+  let p = P.of_string ~file src in
+  P.expect_kw p "subsystem";
+  let sub_name = P.expect_ident p in
+  let sub_base =
+    match P.next p with
+    | T.Int_lit n -> n
+    | _ -> P.syntax_error p ~expected:"the subsystem message base"
+  in
+  P.expect p T.Semi;
+  let types = ref [] in
+  let routines = ref [] in
+  let next_id = ref sub_base in
+  let rec go () =
+    match P.peek p with
+    | T.Eof -> ()
+    | T.Ident "type" ->
+        ignore (P.next p);
+        let name = P.expect_ident p in
+        P.expect p T.Equal;
+        let ty = mig_type p !types in
+        P.expect p T.Semi;
+        types := (name, ty) :: !types;
+        go ()
+    | T.Ident "skip" ->
+        (* MIG's way of reserving a message id *)
+        ignore (P.next p);
+        P.expect p T.Semi;
+        next_id := Int64.add !next_id 1L;
+        go ()
+    | T.Ident "routine" ->
+        ignore (P.next p);
+        let id = !next_id in
+        next_id := Int64.add id 1L;
+        routines := routine p !types ~oneway:false ~msg_id:id :: !routines;
+        go ()
+    | T.Ident "simpleroutine" ->
+        ignore (P.next p);
+        let id = !next_id in
+        next_id := Int64.add id 1L;
+        routines := routine p !types ~oneway:true ~msg_id:id :: !routines;
+        go ()
+    | _ -> P.syntax_error p ~expected:"'type', 'routine' or 'simpleroutine'"
+  in
+  go ();
+  {
+    sub_name;
+    sub_base;
+    types = List.rev !types;
+    routines = List.rev !routines;
+  }

@@ -1,0 +1,56 @@
+(** MIG front end (paper section 2.1).
+
+    MIG, the Mach Interface Generator, is the paper's example of a rigid
+    IDL: its type system is essentially scalars and arrays of scalars,
+    and its interface definitions contain constructs specific to C and
+    to Mach messaging.  This parser accepts the core MIG subsystem
+    syntax:
+
+    {v
+    subsystem name base;
+    type int_array = array[64] of int;
+    type var_data = array[*:1024] of char;
+    routine echo(in x : int; out y : int);
+    simpleroutine notify(in code : int);
+    v}
+
+    [routine] declarations become operations with message ids assigned
+    from the subsystem base; [simpleroutine] is oneway.  Following the
+    paper, the MIG front end is conjoined with its presentation
+    generator ({!Presgen_mig}) rather than producing IDL-independent
+    AOI: the returned {!spec} is the private contract between the two.
+
+    MIG's restrictiveness is enforced: only [int], [char], [boolean],
+    fixed arrays and counted arrays ([array[*:n] of t]) of scalars are
+    accepted — "MIG cannot express arrays of non-atomic types". *)
+
+type scalar = Sint | Schar | Sbool
+
+type mig_type =
+  | Tscalar of scalar
+  | Tfixed_array of scalar * int
+  | Tcounted_array of scalar * int  (** [array[*:n] of t] *)
+
+type arg = {
+  a_name : string;
+  a_dir : Aoi.param_dir;
+  a_type : mig_type;
+}
+
+type routine = {
+  r_name : string;
+  r_oneway : bool;
+  r_args : arg list;
+  r_msg_id : int64;
+}
+
+type spec = {
+  sub_name : string;
+  sub_base : int64;
+  types : (string * mig_type) list;
+  routines : routine list;
+}
+
+val parse : ?file:string -> string -> spec
+(** Raises {!Diag.Error} on syntax errors or non-MIG-expressible
+    types. *)

@@ -1,0 +1,373 @@
+module P = Parser_util
+module T = Idl_token
+
+type ctx = {
+  p : P.t;
+  consts : (string, Aoi.const) Hashtbl.t;  (* flat XDR namespace *)
+}
+
+let lookup ctx q =
+  match q with
+  | [ name ] -> Hashtbl.find_opt ctx.consts name
+  | _ -> None
+
+let add_const ctx name v =
+  if Hashtbl.mem ctx.consts name then
+    Diag.error ~loc:(P.last_loc ctx.p) "duplicate constant %s" name;
+  Hashtbl.replace ctx.consts name v
+
+let const_expr ctx = Const_eval.parse ctx.p ~lookup:(lookup ctx)
+let const_int ctx = Const_eval.to_int (const_expr ctx)
+
+let integer ~bits ~signed : Aoi.typ = Aoi.Integer { bits; signed }
+
+(* ------------------------------------------------------------------ *)
+(* Type specifiers and declarations                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* A declaration in the XDR sense: a type specifier followed by a
+   declarator with optional array/pointer decorations, or bare "void".
+   Returns [None, Void] for void. *)
+let rec declaration ctx : string option * Aoi.typ =
+  if P.accept_kw ctx.p "void" then (None, Aoi.Void)
+  else if P.accept_kw ctx.p "opaque" then begin
+    let name = P.expect_ident ctx.p in
+    match array_suffix ctx with
+    | `Fixed n -> (Some name, Aoi.Array (Aoi.Octet, [ n ]))
+    | `Variable bound -> (Some name, Aoi.Sequence (Aoi.Octet, bound))
+    | `None ->
+        Diag.error ~loc:(P.last_loc ctx.p) "opaque requires an array declarator"
+  end
+  else if P.accept_kw ctx.p "string" then begin
+    let name = P.expect_ident ctx.p in
+    match array_suffix ctx with
+    | `Variable bound -> (Some name, Aoi.String bound)
+    | `Fixed _ | `None ->
+        Diag.error ~loc:(P.last_loc ctx.p)
+          "string requires a variable-length declarator <>"
+  end
+  else begin
+    let ty = type_spec ctx in
+    let optional = P.accept ctx.p T.Star in
+    let name = P.expect_ident ctx.p in
+    let ty =
+      match array_suffix ctx with
+      | `Fixed n -> Aoi.Array (ty, [ n ])
+      | `Variable bound -> Aoi.Sequence (ty, bound)
+      | `None -> ty
+    in
+    let ty = if optional then Aoi.Optional ty else ty in
+    (Some name, ty)
+  end
+
+and array_suffix ctx =
+  if P.accept ctx.p T.Lbracket then begin
+    let n = Const_eval.positive_int (const_expr ctx) in
+    P.expect ctx.p T.Rbracket;
+    `Fixed n
+  end
+  else if P.accept ctx.p T.Langle then
+    if P.accept ctx.p T.Rangle then `Variable None
+    else begin
+      let n = Const_eval.positive_int (const_expr ctx) in
+      P.expect ctx.p T.Rangle;
+      `Variable (Some n)
+    end
+  else `None
+
+and type_spec ctx : Aoi.typ =
+  match P.peek ctx.p with
+  | T.Ident "unsigned" ->
+      ignore (P.next ctx.p);
+      if P.accept_kw ctx.p "int" || P.accept_kw ctx.p "long" then
+        integer ~bits:32 ~signed:false
+      else if P.accept_kw ctx.p "hyper" then integer ~bits:64 ~signed:false
+      else if P.accept_kw ctx.p "short" then integer ~bits:16 ~signed:false
+      else if P.accept_kw ctx.p "char" then integer ~bits:8 ~signed:false
+      else integer ~bits:32 ~signed:false (* bare "unsigned" *)
+  | T.Ident "int" | T.Ident "long" ->
+      ignore (P.next ctx.p);
+      integer ~bits:32 ~signed:true
+  | T.Ident "hyper" ->
+      ignore (P.next ctx.p);
+      integer ~bits:64 ~signed:true
+  | T.Ident "short" ->
+      ignore (P.next ctx.p);
+      integer ~bits:16 ~signed:true
+  | T.Ident "char" ->
+      ignore (P.next ctx.p);
+      integer ~bits:8 ~signed:true
+  | T.Ident "float" ->
+      ignore (P.next ctx.p);
+      Aoi.Float 32
+  | T.Ident "double" ->
+      ignore (P.next ctx.p);
+      Aoi.Float 64
+  | T.Ident "quadruple" ->
+      Diag.error ~loc:(P.cur_loc ctx.p) "quadruple is not supported"
+  | T.Ident "bool" ->
+      ignore (P.next ctx.p);
+      Aoi.Boolean
+  | T.Ident "enum" -> Aoi.Enum_type (enum_body ctx)
+  | T.Ident "struct" ->
+      ignore (P.next ctx.p);
+      (* inline "struct { ... }" or a reference "struct foo" *)
+      if P.peek ctx.p = T.Lbrace then Aoi.Struct_type (struct_body ctx)
+      else Aoi.Named [ P.expect_ident ctx.p ]
+  | T.Ident "union" ->
+      ignore (P.next ctx.p);
+      if P.peek_is_kw ctx.p "switch" then Aoi.Union_type (union_body ctx)
+      else Aoi.Named [ P.expect_ident ctx.p ]
+  | T.Ident _ -> Aoi.Named [ P.expect_ident ctx.p ]
+  | _ -> P.syntax_error ctx.p ~expected:"a type specifier"
+
+and enum_body ctx =
+  P.expect_kw ctx.p "enum";
+  if P.peek ctx.p <> T.Lbrace then
+    (* reference to a named enum *)
+    P.syntax_error ctx.p ~expected:"'{' (inline enum bodies only)"
+  else begin
+    P.expect ctx.p T.Lbrace;
+    let next_implicit = ref 0L in
+    let enumerator p =
+      let name = P.expect_ident p in
+      let value =
+        if P.accept p T.Equal then Const_eval.to_int (const_expr ctx)
+        else !next_implicit
+      in
+      next_implicit := Int64.add value 1L;
+      add_const ctx name (Aoi.Const_int value);
+      (name, value)
+    in
+    let names = P.comma_list ctx.p enumerator in
+    P.expect ctx.p T.Rbrace;
+    names
+  end
+
+and struct_body ctx =
+  P.expect ctx.p T.Lbrace;
+  let rec go acc =
+    if P.accept ctx.p T.Rbrace then List.rev acc
+    else begin
+      let name, ty = declaration ctx in
+      P.expect ctx.p T.Semi;
+      match name with
+      | None ->
+          Diag.error ~loc:(P.last_loc ctx.p) "void is not a valid struct member"
+      | Some n -> go ({ Aoi.f_name = n; f_type = ty } :: acc)
+    end
+  in
+  go []
+
+and union_body ctx : Aoi.union_body =
+  P.expect_kw ctx.p "switch";
+  P.expect ctx.p T.Lparen;
+  let dname, dty = declaration ctx in
+  ignore dname;
+  P.expect ctx.p T.Rparen;
+  P.expect ctx.p T.Lbrace;
+  let cases = ref [] in
+  let default = ref None in
+  let arm () =
+    let name, ty = declaration ctx in
+    P.expect ctx.p T.Semi;
+    match name with
+    | None -> { Aoi.f_name = "_void"; f_type = Aoi.Void }
+    | Some n -> { Aoi.f_name = n; f_type = ty }
+  in
+  let rec go () =
+    if P.accept ctx.p T.Rbrace then ()
+    else if P.accept_kw ctx.p "case" then begin
+      let rec labels acc =
+        let v = const_expr ctx in
+        P.expect ctx.p T.Colon;
+        if P.accept_kw ctx.p "case" then labels (v :: acc) else List.rev (v :: acc)
+      in
+      let ls = labels [] in
+      let field = arm () in
+      cases := { Aoi.c_labels = ls; c_field = field } :: !cases;
+      go ()
+    end
+    else if P.accept_kw ctx.p "default" then begin
+      P.expect ctx.p T.Colon;
+      (match !default with
+      | Some _ -> Diag.error ~loc:(P.last_loc ctx.p) "duplicate default case"
+      | None -> default := Some (arm ()));
+      go ()
+    end
+    else P.syntax_error ctx.p ~expected:"'case', 'default' or '}'"
+  in
+  go ();
+  if !cases = [] && !default = None then
+    Diag.error ~loc:(P.last_loc ctx.p) "union has no cases";
+  { Aoi.u_discrim = dty; u_cases = List.rev !cases; u_default = !default }
+
+(* ------------------------------------------------------------------ *)
+(* Top-level definitions                                               *)
+(* ------------------------------------------------------------------ *)
+
+let enum_def ctx =
+  (* "enum" already peeked *)
+  ignore (P.next ctx.p);
+  let name = P.expect_ident ctx.p in
+  (* reuse enum_body's core by faking the keyword: inline here instead *)
+  P.expect ctx.p T.Lbrace;
+  let next_implicit = ref 0L in
+  let enumerator p =
+    let n = P.expect_ident p in
+    let value =
+      if P.accept p T.Equal then Const_eval.to_int (const_expr ctx)
+      else !next_implicit
+    in
+    next_implicit := Int64.add value 1L;
+    add_const ctx n (Aoi.Const_int value);
+    (n, value)
+  in
+  let names = P.comma_list ctx.p enumerator in
+  P.expect ctx.p T.Rbrace;
+  P.expect ctx.p T.Semi;
+  Aoi.Dtype (name, Aoi.Enum_type names)
+
+let struct_def ctx =
+  ignore (P.next ctx.p);
+  let name = P.expect_ident ctx.p in
+  let fields = struct_body ctx in
+  P.expect ctx.p T.Semi;
+  Aoi.Dtype (name, Aoi.Struct_type fields)
+
+let union_def ctx =
+  ignore (P.next ctx.p);
+  let name = P.expect_ident ctx.p in
+  let u = union_body ctx in
+  P.expect ctx.p T.Semi;
+  Aoi.Dtype (name, Aoi.Union_type u)
+
+let typedef_def ctx =
+  ignore (P.next ctx.p);
+  let name, ty = declaration ctx in
+  P.expect ctx.p T.Semi;
+  match name with
+  | None -> Diag.error ~loc:(P.last_loc ctx.p) "cannot typedef void"
+  | Some n -> Aoi.Dtype (n, ty)
+
+let const_def ctx =
+  ignore (P.next ctx.p);
+  let name = P.expect_ident ctx.p in
+  P.expect ctx.p T.Equal;
+  let v = const_expr ctx in
+  P.expect ctx.p T.Semi;
+  add_const ctx name v;
+  Aoi.Dconst (name, integer ~bits:32 ~signed:true, v)
+
+(* Procedure argument and result types allow bare "string" (meaning an
+   unbounded string) and "opaque<>" in addition to ordinary type
+   specifiers — an rpcgen convenience. *)
+let proc_type ctx : Aoi.typ =
+  if P.accept_kw ctx.p "string" then begin
+    match array_suffix ctx with
+    | `Variable bound -> Aoi.String bound
+    | `None -> Aoi.String None
+    | `Fixed _ ->
+        Diag.error ~loc:(P.last_loc ctx.p) "string cannot have a fixed bound"
+  end
+  else if P.accept_kw ctx.p "opaque" then begin
+    match array_suffix ctx with
+    | `Variable bound -> Aoi.Sequence (Aoi.Octet, bound)
+    | `Fixed n -> Aoi.Array (Aoi.Octet, [ n ])
+    | `None -> Aoi.Sequence (Aoi.Octet, None)
+  end
+  else begin
+    let ty = type_spec ctx in
+    (* "node *" as a result or argument type is optional data *)
+    if P.accept ctx.p T.Star then Aoi.Optional ty else ty
+  end
+
+(* A procedure: rettype name(argtype, ...) = number ; *)
+let procedure ctx : Aoi.operation =
+  let ret =
+    if P.accept_kw ctx.p "void" then Aoi.Void else proc_type ctx
+  in
+  let name = P.expect_ident ctx.p in
+  P.expect ctx.p T.Lparen;
+  let args =
+    if P.accept_kw ctx.p "void" then []
+    else if P.peek ctx.p = T.Rparen then []
+    else P.comma_list ctx.p (fun _ -> proc_type ctx)
+  in
+  P.expect ctx.p T.Rparen;
+  P.expect ctx.p T.Equal;
+  let code = const_int ctx in
+  P.expect ctx.p T.Semi;
+  let params =
+    List.mapi
+      (fun i ty ->
+        { Aoi.p_name = Printf.sprintf "arg%d" (i + 1); p_dir = Aoi.In; p_type = ty })
+      args
+  in
+  {
+    Aoi.op_name = name;
+    op_oneway = false;
+    op_return = ret;
+    op_params = params;
+    op_raises = [];
+    op_code = code;
+  }
+
+let version ctx : Aoi.interface * int64 =
+  P.expect_kw ctx.p "version";
+  let name = P.expect_ident ctx.p in
+  P.expect ctx.p T.Lbrace;
+  let rec procs acc =
+    if P.accept ctx.p T.Rbrace then List.rev acc
+    else procs (procedure ctx :: acc)
+  in
+  let ops = procs [] in
+  P.expect ctx.p T.Equal;
+  let vers_num = const_int ctx in
+  P.expect ctx.p T.Semi;
+  ( {
+      Aoi.i_name = name;
+      i_parents = [];
+      i_defs = [];
+      i_ops = ops;
+      i_attrs = [];
+      i_program = None;
+    },
+    vers_num )
+
+let program_def ctx =
+  P.expect_kw ctx.p "program";
+  let name = P.expect_ident ctx.p in
+  P.expect ctx.p T.Lbrace;
+  let rec versions acc =
+    if P.accept ctx.p T.Rbrace then List.rev acc
+    else versions (version ctx :: acc)
+  in
+  let parsed = versions [] in
+  P.expect ctx.p T.Equal;
+  (* the program number is only known after the versions are parsed *)
+  let prog_num = const_int ctx in
+  P.expect ctx.p T.Semi;
+  let interfaces =
+    List.map
+      (fun (i, vers_num) ->
+        Aoi.Dinterface { i with Aoi.i_program = Some (prog_num, vers_num) })
+      parsed
+  in
+  Aoi.Dmodule (name, interfaces)
+
+let parse ?(file = "<string>") src =
+  let ctx = { p = P.of_string ~file src; consts = Hashtbl.create 16 } in
+  let rec go acc =
+    match P.peek ctx.p with
+    | T.Eof -> List.rev acc
+    | T.Ident "enum" -> go (enum_def ctx :: acc)
+    | T.Ident "struct" -> go (struct_def ctx :: acc)
+    | T.Ident "union" -> go (union_def ctx :: acc)
+    | T.Ident "typedef" -> go (typedef_def ctx :: acc)
+    | T.Ident "const" -> go (const_def ctx :: acc)
+    | T.Ident "program" -> go (program_def ctx :: acc)
+    | _ -> P.syntax_error ctx.p ~expected:"a definition"
+  in
+  let defs = go [] in
+  { Aoi.s_file = file; s_defs = defs }

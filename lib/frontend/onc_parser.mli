@@ -1,0 +1,19 @@
+(** ONC RPC (rpcgen [.x]) front end (paper section 2.1).
+
+    Parses the XDR/RPC language of RFC 1832 plus the [program]/[version]
+    extension of RFC 1831, as accepted by Sun's rpcgen, and produces
+    AOI.  Each [version] block becomes an AOI interface named after the
+    version, nested in a module named after the program; procedure
+    numbers become operation codes and the (program, version) numbers
+    are recorded in {!Aoi.interface.i_program}.
+
+    Supported: [typedef] with XDR declarators (fixed [\[n\]] and
+    variable [<n>] arrays, [opaque], [string], [*] optional data),
+    [struct], discriminated [union] (including [void] arms), [enum]
+    with explicit values, [const], nested constant expressions, and
+    multi-argument procedures (an rpcgen extension).  [quadruple] is
+    rejected.  [%] pass-through lines and [#] directives are skipped by
+    the lexer. *)
+
+val parse : ?file:string -> string -> Aoi.spec
+(** Raises {!Diag.Error} on any syntax or semantic error. *)

@@ -1,0 +1,77 @@
+type t = { lx : Idl_lexer.t; mutable last : Loc.t }
+
+let make lx = { lx; last = Loc.dummy }
+let of_string ?file src = make (Idl_lexer.of_string ?file src)
+
+let peek t = fst (Idl_lexer.peek t.lx)
+let peek2 t = Idl_lexer.peek2 t.lx
+
+let next t =
+  let tok, loc = Idl_lexer.next t.lx in
+  t.last <- loc;
+  tok
+
+let cur_loc t = snd (Idl_lexer.peek t.lx)
+let last_loc t = t.last
+
+let syntax_error t ~expected =
+  let tok, loc = Idl_lexer.peek t.lx in
+  Diag.error ~loc "expected %s but found %a" expected Idl_token.pp tok
+
+let expect t tok =
+  let found = peek t in
+  if Idl_token.equal found tok then ignore (next t)
+  else syntax_error t ~expected:(Format.asprintf "%a" Idl_token.pp tok)
+
+let accept t tok =
+  if Idl_token.equal (peek t) tok then begin
+    ignore (next t);
+    true
+  end
+  else false
+
+let expect_ident t =
+  match peek t with
+  | Idl_token.Ident s ->
+      ignore (next t);
+      s
+  | Idl_token.Int_lit _ | Idl_token.Float_lit _ | Idl_token.Char_lit _
+  | Idl_token.String_lit _ | Idl_token.Lbrace | Idl_token.Rbrace
+  | Idl_token.Lparen | Idl_token.Rparen | Idl_token.Lbracket
+  | Idl_token.Rbracket | Idl_token.Langle | Idl_token.Rangle | Idl_token.Semi
+  | Idl_token.Colon | Idl_token.Coloncolon | Idl_token.Comma | Idl_token.Equal
+  | Idl_token.Star | Idl_token.Plus | Idl_token.Minus | Idl_token.Slash
+  | Idl_token.Percent | Idl_token.Pipe | Idl_token.Amp | Idl_token.Caret
+  | Idl_token.Tilde | Idl_token.Lshift | Idl_token.Rshift | Idl_token.Question
+  | Idl_token.At | Idl_token.Eof ->
+      syntax_error t ~expected:"an identifier"
+
+let accept_kw t kw =
+  match peek t with
+  | Idl_token.Ident s when s = kw ->
+      ignore (next t);
+      true
+  | _ -> false
+
+let expect_kw t kw =
+  if not (accept_kw t kw) then syntax_error t ~expected:(Printf.sprintf "'%s'" kw)
+
+let peek_is_kw t kw =
+  match peek t with Idl_token.Ident s -> s = kw | _ -> false
+
+let scoped_name t =
+  let absolute = accept t Idl_token.Coloncolon in
+  let first = expect_ident t in
+  let rec rest acc =
+    if accept t Idl_token.Coloncolon then rest (expect_ident t :: acc)
+    else List.rev acc
+  in
+  let parts = rest [ first ] in
+  if absolute then "" :: parts else parts
+
+let comma_list t elem =
+  let rec go acc =
+    let x = elem t in
+    if accept t Idl_token.Comma then go (x :: acc) else List.rev (x :: acc)
+  in
+  go []

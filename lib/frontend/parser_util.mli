@@ -1,0 +1,46 @@
+(** Recursive-descent parsing helpers shared by the three IDL parsers.
+
+    Wraps an {!Idl_lexer.t} with the expect/accept combinators the
+    CORBA, ONC RPC, and MIG grammars need.  Keywords are ordinary
+    identifiers classified by each parser, so [accept_kw "struct"] only
+    matches the identifier [struct]. *)
+
+type t
+
+val make : Idl_lexer.t -> t
+val of_string : ?file:string -> string -> t
+
+val peek : t -> Idl_token.t
+val peek2 : t -> Idl_token.t
+val next : t -> Idl_token.t
+val cur_loc : t -> Loc.t
+(** Location of the token {!peek} would return. *)
+
+val last_loc : t -> Loc.t
+(** Location of the most recently consumed token. *)
+
+val expect : t -> Idl_token.t -> unit
+(** Consume exactly the given token or raise a syntax error. *)
+
+val accept : t -> Idl_token.t -> bool
+(** Consume the given token if it is next; report whether it was. *)
+
+val expect_ident : t -> string
+(** Consume any identifier and return its text. *)
+
+val accept_kw : t -> string -> bool
+(** Consume the identifier [kw] if it is next. *)
+
+val expect_kw : t -> string -> unit
+val peek_is_kw : t -> string -> bool
+
+val syntax_error : t -> expected:string -> 'a
+(** Raise a positioned syntax error naming what was expected and what
+    was found instead. *)
+
+val scoped_name : t -> Aoi.qname
+(** Parse [::a::b] or [a::b]; a leading [::] yields a leading [""]
+    component (absolute name). *)
+
+val comma_list : t -> (t -> 'a) -> 'a list
+(** Parse one or more occurrences of an element separated by commas. *)

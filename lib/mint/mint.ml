@@ -1,0 +1,155 @@
+type idx = int
+
+type const =
+  | Cint of int64
+  | Cbool of bool
+  | Cchar of char
+  | Cstring of string
+
+type def =
+  | Void
+  | Bool
+  | Char8
+  | Int of { bits : int; signed : bool }
+  | Float of { bits : int }
+  | Array of { elem : idx; min_len : int; max_len : int option }
+  | Struct of (string * idx) list
+  | Union of { discrim : idx; cases : case list; default : idx option }
+
+and case = { c_const : const; c_body : idx }
+
+type slot = Filled of def | Reserved
+
+type t = {
+  mutable nodes : slot array;
+  mutable count : int;
+  interned : (def, idx) Hashtbl.t;
+}
+
+let create () = { nodes = Array.make 64 Reserved; count = 0; interned = Hashtbl.create 64 }
+
+let grow t =
+  if t.count = Array.length t.nodes then begin
+    let bigger = Array.make (2 * Array.length t.nodes) Reserved in
+    Array.blit t.nodes 0 bigger 0 t.count;
+    t.nodes <- bigger
+  end
+
+let alloc t slot =
+  grow t;
+  let i = t.count in
+  t.nodes.(i) <- slot;
+  t.count <- t.count + 1;
+  i
+
+let add t def =
+  match Hashtbl.find_opt t.interned def with
+  | Some i -> i
+  | None ->
+      let i = alloc t (Filled def) in
+      Hashtbl.add t.interned def i;
+      i
+
+let get t i =
+  if i < 0 || i >= t.count then invalid_arg "Mint.get: index out of range";
+  match t.nodes.(i) with
+  | Filled def -> def
+  | Reserved -> invalid_arg "Mint.get: node is reserved but not set"
+
+let size t = t.count
+let reserve t = alloc t Reserved
+
+let set t i def =
+  if i < 0 || i >= t.count then invalid_arg "Mint.set: index out of range";
+  match t.nodes.(i) with
+  | Reserved ->
+      (* deliberately not interned: a node built through reserve/set may
+         participate in a cycle, and structural equality on cyclic
+         definitions does not terminate *)
+      t.nodes.(i) <- Filled def
+  | Filled _ -> invalid_arg "Mint.set: node already set"
+
+let void t = add t Void
+let bool_ t = add t Bool
+let char8 t = add t Char8
+let int_ t ~bits ~signed = add t (Int { bits; signed })
+let int32 t = int_ t ~bits:32 ~signed:true
+let uint32 t = int_ t ~bits:32 ~signed:false
+let float_ t ~bits = add t (Float { bits })
+let array t ~elem ~min_len ~max_len = add t (Array { elem; min_len; max_len })
+let fixed_array t ~elem ~len = array t ~elem ~min_len:len ~max_len:(Some len)
+let string_ t ~max_len = array t ~elem:(char8 t) ~min_len:0 ~max_len
+let struct_ t fields = add t (Struct fields)
+let union t ~discrim ~cases ~default = add t (Union { discrim; cases; default })
+
+let equal_const (a : const) (b : const) = a = b
+
+let pp_const ppf = function
+  | Cint n -> Format.fprintf ppf "%Ld" n
+  | Cbool b -> Format.fprintf ppf "%B" b
+  | Cchar c -> Format.fprintf ppf "%C" c
+  | Cstring s -> Format.fprintf ppf "%S" s
+
+let pp t ppf root =
+  let visiting = Hashtbl.create 8 in
+  let rec go ppf i =
+    if Hashtbl.mem visiting i then Format.fprintf ppf "<node %d>" i
+    else begin
+      Hashtbl.add visiting i ();
+      (match get t i with
+      | Void -> Format.pp_print_string ppf "void"
+      | Bool -> Format.pp_print_string ppf "bool"
+      | Char8 -> Format.pp_print_string ppf "char8"
+      | Int { bits; signed } ->
+          Format.fprintf ppf "%sint%d" (if signed then "" else "u") bits
+      | Float { bits } -> Format.fprintf ppf "float%d" bits
+      | Array { elem; min_len; max_len } ->
+          let bound =
+            match max_len with
+            | Some m when m = min_len -> string_of_int m
+            | Some m -> Printf.sprintf "%d..%d" min_len m
+            | None -> Printf.sprintf "%d.." min_len
+          in
+          Format.fprintf ppf "@[<hov 2>array[%s](%a)@]" bound go elem
+      | Struct fields ->
+          Format.fprintf ppf "@[<hov 2>struct{";
+          List.iteri
+            (fun k (name, f) ->
+              if k > 0 then Format.fprintf ppf ";@ ";
+              Format.fprintf ppf "%s:%a" name go f)
+            fields;
+          Format.fprintf ppf "}@]"
+      | Union { discrim; cases; default } ->
+          Format.fprintf ppf "@[<hov 2>union(%a){" go discrim;
+          List.iteri
+            (fun k { c_const; c_body } ->
+              if k > 0 then Format.fprintf ppf ";@ ";
+              Format.fprintf ppf "%a=>%a" pp_const c_const go c_body)
+            cases;
+          (match default with
+          | None -> ()
+          | Some d -> Format.fprintf ppf ";@ default=>%a" go d);
+          Format.fprintf ppf "}@]");
+      Hashtbl.remove visiting i
+    end
+  in
+  go ppf root
+
+let iter_reachable t root f =
+  let seen = Hashtbl.create 16 in
+  let rec go i =
+    if not (Hashtbl.mem seen i) then begin
+      Hashtbl.add seen i ();
+      let def = get t i in
+      f i def;
+      match def with
+      | Void | Bool | Char8 | Int _ | Float _ -> ()
+      | Array { elem; min_len = _; max_len = _ } -> go elem
+      | Struct fields -> List.iter (fun (_, x) -> go x) fields
+      | Union { discrim; cases; default } ->
+          go discrim;
+          List.iter (fun { c_body; c_const = _ } -> go c_body) cases;
+          (match default with None -> () | Some d -> go d)
+    end
+  in
+  go root

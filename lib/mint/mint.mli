@@ -1,0 +1,84 @@
+(** MINT: the Message INTerface representation (paper section 2.2.1).
+
+    A MINT graph describes the {e abstract} format of every message a
+    client and server may exchange: the atomic values, aggregates and
+    alternations that make up requests and replies — but none of the
+    on-the-wire encoding details (byte order, alignment, length-prefix
+    width), which are the back end's business, and none of the target
+    language details, which PRES and CAST describe.
+
+    MINT types form a directed graph that may be cyclic (XDR
+    linked-list types).  Nodes live in an arena and are referenced by
+    index; acyclic nodes are hash-consed so that structurally equal
+    types share one node.  Cyclic nodes are created with
+    {!reserve}/{!set}. *)
+
+type idx = private int
+(** Index of a node within an arena. *)
+
+(** Constants used as union case labels.  Operation unions built by the
+    CORBA presentation generator are keyed by operation-name strings
+    (the GIOP convention); those built by the rpcgen presentation
+    generator are keyed by procedure numbers. *)
+type const =
+  | Cint of int64
+  | Cbool of bool
+  | Cchar of char
+  | Cstring of string
+
+type def =
+  | Void
+  | Bool
+  | Char8
+  | Int of { bits : int; signed : bool }
+  | Float of { bits : int }
+  | Array of { elem : idx; min_len : int; max_len : int option }
+      (** [min_len = max_len] is a fixed array; strings are arrays of
+          {!Char8}; XDR optional data is an array with bounds [0, 1]. *)
+  | Struct of (string * idx) list
+  | Union of { discrim : idx; cases : case list; default : idx option }
+
+and case = { c_const : const; c_body : idx }
+
+type t
+
+val create : unit -> t
+val add : t -> def -> idx
+(** Intern a definition (hash-consed for structurally equal acyclic
+    definitions). *)
+
+val get : t -> idx -> def
+val size : t -> int
+
+val reserve : t -> idx
+(** Allocate a node to be filled in later with {!set}; used to build
+    cyclic types.  Reading a reserved node before {!set} is an error. *)
+
+val set : t -> idx -> def -> unit
+(** Fill a reserved node.  Raises if the node was not reserved. *)
+
+(** Convenience constructors. *)
+
+val void : t -> idx
+val bool_ : t -> idx
+val char8 : t -> idx
+val int_ : t -> bits:int -> signed:bool -> idx
+val int32 : t -> idx
+val uint32 : t -> idx
+val float_ : t -> bits:int -> idx
+val array : t -> elem:idx -> min_len:int -> max_len:int option -> idx
+val fixed_array : t -> elem:idx -> len:int -> idx
+val string_ : t -> max_len:int option -> idx
+val struct_ : t -> (string * idx) list -> idx
+val union : t -> discrim:idx -> cases:case list -> default:idx option -> idx
+
+val equal_const : const -> const -> bool
+val pp_const : Format.formatter -> const -> unit
+
+val pp : t -> Format.formatter -> idx -> unit
+(** Structural pretty-printer; cycles are cut with [<node N>]
+    references. *)
+
+val iter_reachable : t -> idx -> (idx -> def -> unit) -> unit
+(** Apply a function once to every node reachable from the given root,
+    in depth-first preorder. *)

@@ -1,0 +1,99 @@
+type atom_kind =
+  | Kbool
+  | Kchar
+  | Kint of { bits : int; signed : bool }
+  | Kfloat of { bits : int }
+
+type layout = { size : int; align : int }
+
+type t = {
+  name : string;
+  big_endian : bool;
+  atom : atom_kind -> layout;
+  len_prefix : layout;
+  pad_unit : int;
+  string_nul : bool;
+  typed_headers : bool;
+  max_align : int;
+  granularity : int;
+}
+
+let natural = function
+  | Kbool -> { size = 1; align = 1 }
+  | Kchar -> { size = 1; align = 1 }
+  | Kint { bits; signed = _ } ->
+      let n = bits / 8 in
+      { size = n; align = n }
+  | Kfloat { bits } ->
+      let n = bits / 8 in
+      { size = n; align = n }
+
+(* XDR: every scalar occupies a 4-byte multiple; nothing needs more than
+   4-byte alignment. *)
+let xdr_layout = function
+  | Kbool | Kchar -> { size = 4; align = 4 }
+  | Kint { bits = 64; _ } | Kfloat { bits = 64 } -> { size = 8; align = 4 }
+  | Kint _ | Kfloat _ -> { size = 4; align = 4 }
+
+let cdr =
+  {
+    name = "cdr";
+    big_endian = true;
+    atom = natural;
+    len_prefix = { size = 4; align = 4 };
+    pad_unit = 1;
+    string_nul = true;
+    typed_headers = false;
+    max_align = 8;
+    granularity = 1;
+  }
+
+let xdr =
+  {
+    name = "xdr";
+    big_endian = true;
+    atom = xdr_layout;
+    len_prefix = { size = 4; align = 4 };
+    pad_unit = 4;
+    string_nul = false;
+    typed_headers = false;
+    max_align = 4;
+    granularity = 4;
+  }
+
+let mach3 =
+  {
+    name = "mach3";
+    big_endian = false;
+    atom = natural;
+    len_prefix = { size = 4; align = 4 };
+    pad_unit = 4;
+    string_nul = false;
+    typed_headers = true;
+    max_align = 8;
+    granularity = 1;
+  }
+
+let fluke =
+  {
+    name = "fluke";
+    big_endian = false;
+    atom = natural;
+    len_prefix = { size = 4; align = 4 };
+    pad_unit = 1;
+    string_nul = false;
+    typed_headers = false;
+    max_align = 8;
+    granularity = 1;
+  }
+
+let all = [ cdr; xdr; mach3; fluke ]
+let by_name n = List.find_opt (fun e -> e.name = n) all
+
+let atom_of_mint (def : Mint.def) =
+  match def with
+  | Mint.Bool -> Some Kbool
+  | Mint.Char8 -> Some Kchar
+  | Mint.Int { bits; signed } -> Some (Kint { bits; signed })
+  | Mint.Float { bits } -> Some (Kfloat { bits })
+  | Mint.Void | Mint.Array _ | Mint.Struct _ | Mint.Union _ -> None

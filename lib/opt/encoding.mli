@@ -1,0 +1,56 @@
+(** On-the-wire data encodings (the back-end half of the paper's type
+    chain: encoded type <-> MINT <-> PRES <-> CAST).
+
+    An encoding fixes everything MINT deliberately leaves open: sizes,
+    alignment, byte order, length-prefix format, padding, and whether
+    items carry Mach-style type descriptors.  The four encodings
+    correspond to the paper's four back ends. *)
+
+type atom_kind =
+  | Kbool
+  | Kchar
+  | Kint of { bits : int; signed : bool }
+  | Kfloat of { bits : int }
+
+type layout = { size : int; align : int }
+
+type t = {
+  name : string;
+  big_endian : bool;
+  atom : atom_kind -> layout;
+  len_prefix : layout;  (** variable-length array count *)
+  pad_unit : int;
+      (** packed byte runs (strings, char/octet arrays) are padded to a
+          multiple of this (XDR: 4, CDR: 1) *)
+  string_nul : bool;
+      (** CDR strings include the terminating NUL in the counted bytes *)
+  typed_headers : bool;
+      (** Mach 3 typed messages: a 4-byte type descriptor precedes every
+          data item *)
+  max_align : int;
+  granularity : int;
+      (** every layout advances the position by a multiple of this (XDR:
+          4, others: 1); the plan compiler's static-position tracking
+          survives loops and unions exactly at this granularity *)
+}
+
+val cdr : t
+(** CORBA CDR as used by IIOP: natural sizes and alignment, big-endian
+    (we always generate big-endian messages, like a SPARC sender). *)
+
+val xdr : t
+(** ONC XDR (RFC 1832): every scalar occupies a multiple of 4 bytes,
+    big-endian; opaque/string data padded to 4. *)
+
+val mach3 : t
+(** Mach 3 typed messages: little-endian host order with a descriptor
+    word before each item. *)
+
+val fluke : t
+(** Fluke kernel IPC: packed little-endian words, no descriptors — the
+    lean format whose small messages travel in registers. *)
+
+val all : t list
+val by_name : string -> t option
+val atom_of_mint : Mint.def -> atom_kind option
+(** The atom for a MINT leaf ([None] for aggregates and [Void]). *)

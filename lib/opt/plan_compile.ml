@@ -1,0 +1,578 @@
+type root =
+  | Rconst_int of int64 * Encoding.atom_kind
+  | Rconst_str of string
+  | Rvalue of Mplan.rv * Mint.idx * Pres.t
+
+type plan = {
+  p_ops : Mplan.op list;
+  p_subs : (string * Mplan.op list) list;
+}
+
+let atom_of (enc : Encoding.t) kind : Mplan.atom =
+  let { Encoding.size; align } = enc.Encoding.atom kind in
+  { Mplan.kind; size; align }
+
+let len_atom (enc : Encoding.t) : Mplan.atom =
+  {
+    Mplan.kind = Encoding.Kint { bits = 32; signed = false };
+    size = enc.Encoding.len_prefix.Encoding.size;
+    align = enc.Encoding.len_prefix.Encoding.align;
+  }
+
+let round_up n unit = (n + unit - 1) / unit * unit
+
+(* ------------------------------------------------------------------ *)
+(* Storage analysis (section 3.1): conservative upper bound on encoded  *)
+(* size, including worst-case alignment padding.                        *)
+(* ------------------------------------------------------------------ *)
+
+let max_size ~enc ~mint idx pres =
+  let rec go idx pres =
+    let def = Mint.get mint idx in
+    match (def, (pres : Pres.t)) with
+    | _, Pres.Ref _ -> None
+    | Mint.Void, _ -> Some 0
+    | (Mint.Bool | Mint.Char8 | Mint.Int _ | Mint.Float _), _ -> (
+        match Encoding.atom_of_mint def with
+        | Some kind ->
+            let a = atom_of enc kind in
+            let header = if enc.Encoding.typed_headers then 7 else 0 in
+            Some (header + a.Mplan.size + a.Mplan.align - 1)
+        | None -> None)
+    | Mint.Array { elem; max_len; min_len = _ }, _ -> (
+        match max_len with
+        | None -> None
+        | Some n -> (
+            let header = if enc.Encoding.typed_headers then 7 else 0 in
+            let prefix =
+              match pres with
+              | Pres.Fixed_array _ -> 0
+              | _ -> enc.Encoding.len_prefix.Encoding.size + 3
+            in
+            let elem_pres =
+              match pres with
+              | Pres.Fixed_array p | Pres.Counted_seq { elem = p; _ }
+              | Pres.Opt_ptr p ->
+                  Some p
+              | Pres.Terminated_string -> None
+              | _ -> None
+            in
+            match Mint.get mint elem with
+            | Mint.Char8 | Mint.Int { bits = 8; _ } ->
+                (* packed bytes (plus NUL for CDR strings) *)
+                let is_string =
+                  match pres with
+                  | Pres.Terminated_string | Pres.Terminated_string_len _ -> true
+                  | _ -> false
+                in
+                let nul = if is_string && enc.Encoding.string_nul then 1 else 0 in
+                Some
+                  (header + prefix
+                  + round_up (n + nul) enc.Encoding.pad_unit)
+            | _ -> (
+                match elem_pres with
+                | None -> None
+                | Some ep -> (
+                    match go elem ep with
+                    | None -> None
+                    | Some e -> Some (header + prefix + (n * e))))))
+    | Mint.Struct fields, Pres.Struct arms ->
+        List.fold_left2
+          (fun acc (_, fidx) (_, sub) ->
+            match (acc, go fidx sub) with
+            | Some a, Some b -> Some (a + b)
+            | _, _ -> None)
+          (Some 0) fields arms
+    | ( Mint.Union { discrim; cases; default },
+        Pres.Union { arms; default_arm; _ } ) ->
+        let discrim_sz =
+          match Encoding.atom_of_mint (Mint.get mint discrim) with
+          | Some kind ->
+              let a = atom_of enc kind in
+              Some (a.Mplan.size + a.Mplan.align - 1)
+          | None -> None
+        in
+        let arm_sizes =
+          List.map2 (fun (c : Mint.case) (_, sub) -> go c.Mint.c_body sub) cases
+            arms
+          @
+          match (default, default_arm) with
+          | Some d, Some (_, sub) -> [ go d sub ]
+          | _, _ -> []
+        in
+        let worst =
+          List.fold_left
+            (fun acc s ->
+              match (acc, s) with
+              | Some a, Some b -> Some (max a b)
+              | _, _ -> None)
+            (Some 0) arm_sizes
+        in
+        (match (discrim_sz, worst) with
+        | Some d, Some w -> Some (d + w)
+        | _, _ -> None)
+    | (Mint.Struct _ | Mint.Union _), _ -> None
+  in
+  go idx pres
+
+(* ------------------------------------------------------------------ *)
+(* The plan compiler state                                              *)
+(* ------------------------------------------------------------------ *)
+
+type chunk_state = { mutable c_size : int; mutable c_items : Mplan.item list }
+
+type st = {
+  enc : Encoding.t;
+  mint : Mint.t;
+  named : (string * (Mint.idx * Pres.t)) list;
+  unroll_limit : int;
+  chunked : bool;  (* false: flush after every atom (ablation A1/A4) *)
+  mutable ops_rev : Mplan.op list;
+  mutable chunk : chunk_state option;
+  mutable abase : int;  (* position ≡ aoff (mod abase); abase in {1,2,4,8} *)
+  mutable aoff : int;
+  mutable covered : bool;  (* capacity pre-ensured: chunks skip their check *)
+  mutable next_var : int;
+  subs : (string, Mplan.op list option) Hashtbl.t;
+      (* None while a subroutine is being compiled (recursion) *)
+}
+
+let flush st =
+  match st.chunk with
+  | None -> ()
+  | Some c ->
+      st.chunk <- None;
+      if c.c_size > 0 then
+        st.ops_rev <-
+          Mplan.Chunk
+            {
+              size = c.c_size;
+              align = 1;
+              items = List.rev c.c_items;
+              check = not st.covered;
+            }
+          :: st.ops_rev
+
+let emit st op =
+  flush st;
+  st.ops_rev <- op :: st.ops_rev
+
+(* advance the position congruence by a statically known n *)
+let advance_static st n = st.aoff <- (st.aoff + n) mod st.abase
+
+(* the position is now only known modulo [u] *)
+let lose_alignment st u =
+  let u = max u 1 in
+  st.abase <- min st.abase u;
+  (if st.abase < 1 then st.abase <- 1);
+  st.aoff <- 0
+
+(* Establish alignment [a].  Returns the number of statically known pad
+   bytes to insert (when the congruence suffices), or emits a dynamic
+   Align op. *)
+let align_for st a =
+  if a <= 1 then 0
+  else if a <= st.abase then begin
+    let pad = (a - (st.aoff mod a)) mod a in
+    pad
+  end
+  else begin
+    emit st (Mplan.Align a);
+    st.abase <- a;
+    st.aoff <- 0;
+    0
+  end
+
+let chunk st =
+  match st.chunk with
+  | Some c -> c
+  | None ->
+      let c = { c_size = 0; c_items = [] } in
+      st.chunk <- Some c;
+      c
+
+(* append one atom into the current chunk (starting one if needed) *)
+let put_atom st (atom : Mplan.atom) (make : int -> Mplan.item) =
+  if atom.Mplan.align > st.abase then begin
+    (* cannot place statically: flush and realign dynamically *)
+    flush st;
+    ignore (align_for st atom.Mplan.align)
+  end;
+  let pad = align_for st atom.Mplan.align in
+  let c = chunk st in
+  let off = c.c_size + pad in
+  c.c_items <- make off :: c.c_items;
+  c.c_size <- off + atom.Mplan.size;
+  advance_static st (pad + atom.Mplan.size);
+  if not st.chunked then flush st
+
+let put_header st =
+  if st.enc.Encoding.typed_headers then begin
+    let a = len_atom st.enc in
+    (* a Mach-style type descriptor: constant word *)
+    put_atom st a (fun off -> Mplan.It_const { off; atom = a; value = 0x4D544450L })
+  end
+
+let put_fixed_bytes st src len =
+  let padded = round_up len st.enc.Encoding.pad_unit in
+  let c = chunk st in
+  let off = c.c_size in
+  c.c_items <- Mplan.It_bytes { off; len; pad = padded - len; src } :: c.c_items;
+  c.c_size <- off + padded;
+  advance_static st padded
+
+(* state bookkeeping for the self-contained variable ops *)
+let after_variable st =
+  flush st;
+  lose_alignment st st.enc.Encoding.pad_unit
+
+let emit_const_str st s =
+  (* the advance is statically known: align(4) + len + data + padding *)
+  let pad_pre = align_for st st.enc.Encoding.len_prefix.Encoding.align in
+  flush st;
+  (* the pre-padding could not stay in a chunk: re-emit as Align when
+     non-zero.  Static pads before self-contained ops are folded into the
+     op by the engine's align; emitting Align is always correct. *)
+  if pad_pre > 0 then st.ops_rev <- Mplan.Align st.enc.Encoding.len_prefix.Encoding.align :: st.ops_rev;
+  let nul = st.enc.Encoding.string_nul in
+  let data = String.length s + if nul then 1 else 0 in
+  let padded = round_up data st.enc.Encoding.pad_unit in
+  st.ops_rev <-
+    Mplan.Put_const_str { s; nul; pad = padded - data } :: st.ops_rev;
+  advance_static st (pad_pre + st.enc.Encoding.len_prefix.Encoding.size + padded)
+
+(* ------------------------------------------------------------------ *)
+(* Main recursion                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_var st =
+  let v = st.next_var in
+  st.next_var <- v + 1;
+  v
+
+let is_byte_elem mint elem =
+  match Mint.get mint elem with
+  | Mint.Char8 | Mint.Int { bits = 8; _ } -> true
+  | Mint.Void | Mint.Bool | Mint.Int _ | Mint.Float _ | Mint.Array _
+  | Mint.Struct _ | Mint.Union _ ->
+      false
+
+let scalar_atom mint enc elem =
+  match Encoding.atom_of_mint (Mint.get mint elem) with
+  | Some kind -> Some (atom_of enc kind)
+  | None -> None
+
+let rec compile_value st (rv : Mplan.rv) idx (pres : Pres.t) =
+  let def = Mint.get st.mint idx in
+  match (def, pres) with
+  | _, Pres.Ref name ->
+      compile_sub st name;
+      emit st (Mplan.Call (name, rv))
+  | Mint.Void, _ -> ()
+  | (Mint.Bool | Mint.Char8 | Mint.Int _ | Mint.Float _), _ -> (
+      match Encoding.atom_of_mint def with
+      | Some kind ->
+          put_header st;
+          let atom = atom_of st.enc kind in
+          put_atom st atom (fun off -> Mplan.It_atom { off; atom; src = rv })
+      | None -> assert false)
+  | Mint.Array { elem; min_len; max_len }, _ ->
+      compile_array st rv ~elem ~min_len ~max_len pres
+  | Mint.Struct fields, Pres.Struct arms ->
+      List.iter2
+        (fun (i, (_, fidx)) (member, sub) ->
+          compile_value st
+            (Mplan.Rfield { base = rv; index = i; member })
+            fidx sub)
+        (List.mapi (fun i f -> (i, f)) fields)
+        arms
+  | ( Mint.Union { discrim; cases; default },
+      Pres.Union { discrim_field; union_field; arms; default_arm } ) ->
+      compile_union st rv ~discrim ~cases ~default ~discrim_field ~union_field
+        ~arms ~default_arm
+  | (Mint.Struct _ | Mint.Union _), _ ->
+      invalid_arg "Plan_compile: PRES does not match MINT"
+
+and compile_array st rv ~elem ~min_len ~max_len (pres : Pres.t) =
+  let enc = st.enc in
+  let fixed = Some min_len = max_len in
+  match pres with
+  | Pres.Terminated_string | Pres.Terminated_string_len _ ->
+      put_header st;
+      let len_src =
+        match pres with
+        | Pres.Terminated_string_len { len_param } ->
+            (* the explicit length parameter of the optimized
+               presentation: generated C never calls strlen *)
+            Some (Mplan.Rparam { index = 0; name = len_param; deref = false })
+        | _ -> None
+      in
+      let pad_pre = align_for st enc.Encoding.len_prefix.Encoding.align in
+      flush st;
+      if pad_pre > 0 then
+        st.ops_rev <- Mplan.Align enc.Encoding.len_prefix.Encoding.align :: st.ops_rev;
+      st.ops_rev <-
+        Mplan.Put_string
+          { src = rv; nul = enc.Encoding.string_nul; pad = enc.Encoding.pad_unit;
+            len_src }
+        :: st.ops_rev;
+      after_variable st
+  | Pres.Fixed_array sub when fixed && is_byte_elem st.mint elem ->
+      put_header st;
+      ignore sub;
+      put_fixed_bytes st rv min_len
+  | Pres.Fixed_array sub -> (
+      put_header st;
+      match scalar_atom st.mint enc elem with
+      | Some atom when min_len <= st.unroll_limit ->
+          (* unroll small scalar arrays into the surrounding chunk *)
+          let rec unroll i =
+            if i < min_len then begin
+              put_atom st atom (fun off ->
+                  Mplan.It_atom
+                    {
+                      off;
+                      atom;
+                      src = Mplan.Rfield { base = rv; index = i; member = Printf.sprintf "[%d]" i };
+                    });
+              unroll (i + 1)
+            end
+          in
+          unroll 0
+      | Some atom ->
+          emit st
+            (Mplan.Put_atom_array
+               { arr = rv; via = Mplan.Via_fixed min_len; atom; with_len = false });
+          lose_alignment st (min atom.Mplan.size 4)
+      | None -> compile_loop st rv (Mplan.Via_fixed min_len) elem sub)
+  | Pres.Counted_seq { len_field; buf_field; elem = sub } -> (
+      put_header st;
+      let via = Mplan.Via_seq { len_field; buf_field } in
+      if is_byte_elem st.mint elem then begin
+        let pad_pre = align_for st enc.Encoding.len_prefix.Encoding.align in
+        flush st;
+        if pad_pre > 0 then
+          st.ops_rev <- Mplan.Align enc.Encoding.len_prefix.Encoding.align :: st.ops_rev;
+        st.ops_rev <-
+          Mplan.Put_byteseq { arr = rv; via; pad = enc.Encoding.pad_unit }
+          :: st.ops_rev;
+        after_variable st
+      end
+      else
+        match scalar_atom st.mint enc elem with
+        | Some atom ->
+            emit st (Mplan.Put_atom_array { arr = rv; via; atom; with_len = true });
+            (* the run may be empty, leaving the position just after the
+               4-byte count *)
+            lose_alignment st (min atom.Mplan.size 4)
+        | None ->
+            emit st (Mplan.Put_len { arr = rv; via });
+            lose_alignment st enc.Encoding.len_prefix.Encoding.size;
+            compile_loop st rv via elem sub)
+  | Pres.Opt_ptr sub ->
+      put_header st;
+      let via = Mplan.Via_opt in
+      emit st (Mplan.Put_len { arr = rv; via });
+      lose_alignment st st.enc.Encoding.len_prefix.Encoding.size;
+      compile_loop st rv via elem sub
+  | Pres.Direct | Pres.Enum_direct | Pres.Struct _ | Pres.Union _ | Pres.Void
+  | Pres.Ref _ ->
+      invalid_arg "Plan_compile: array PRES mismatch"
+
+and compile_loop st arr via elem sub =
+  (* Arrays of statically bounded elements get one capacity reservation
+     for the whole run; their per-element chunks skip the check. *)
+  let bounded = max_size ~enc:st.enc ~mint:st.mint elem sub in
+  (match bounded with
+  | Some unit_size when unit_size > 0 ->
+      emit st (Mplan.Ensure_count { arr; via; unit_size })
+  | Some _ | None -> ());
+  let var = fresh_var st in
+  let saved_covered = st.covered in
+  let saved_base = st.abase and saved_off = st.aoff in
+  flush st;
+  let saved_ops = st.ops_rev in
+  st.ops_rev <- [];
+  st.covered <- (match bounded with Some _ -> true | None -> saved_covered);
+  (* element positions are data dependent: only the encoding's layout
+     granularity survives into and out of the body *)
+  lose_alignment st st.enc.Encoding.granularity;
+  compile_value st (Mplan.Rvar var) elem sub;
+  flush st;
+  let body = List.rev st.ops_rev in
+  st.ops_rev <- saved_ops;
+  st.covered <- saved_covered;
+  st.abase <- saved_base;
+  st.aoff <- saved_off;
+  emit st (Mplan.Loop { arr; via; var; body });
+  lose_alignment st st.enc.Encoding.granularity
+
+and compile_union st rv ~discrim ~cases ~default ~discrim_field ~union_field
+    ~arms ~default_arm =
+  let enc = st.enc in
+  let discrim_atom =
+    match Encoding.atom_of_mint (Mint.get st.mint discrim) with
+    | Some kind -> Some (atom_of enc kind)
+    | None -> None (* string-keyed: operation unions *)
+  in
+  flush st;
+  let entry_base = st.abase and entry_off = st.aoff in
+  let compile_arm ~discrim_write body_f =
+    let saved_ops = st.ops_rev in
+    st.ops_rev <- [];
+    st.chunk <- None;
+    st.abase <- entry_base;
+    st.aoff <- entry_off;
+    discrim_write ();
+    body_f ();
+    flush st;
+    let ops = List.rev st.ops_rev in
+    st.ops_rev <- saved_ops;
+    st.chunk <- None;
+    ops
+  in
+  let const_value (c : Mint.const) =
+    match c with
+    | Mint.Cint n -> n
+    | Mint.Cbool b -> if b then 1L else 0L
+    | Mint.Cchar ch -> Int64.of_int (Char.code ch)
+    | Mint.Cstring _ -> invalid_arg "Plan_compile: string label with atom discriminator"
+  in
+  let plan_arms =
+    List.map2
+      (fun (i, (case : Mint.case)) (member, sub) ->
+        let payload_rv =
+          Mplan.Rarm { base = rv; case = i; member; union_field }
+        in
+        let body =
+          compile_arm
+            ~discrim_write:(fun () ->
+              match discrim_atom with
+              | Some atom ->
+                  put_header st;
+                  let value = const_value case.Mint.c_const in
+                  put_atom st atom (fun off ->
+                      Mplan.It_const { off; atom; value })
+              | None -> (
+                  match case.Mint.c_const with
+                  | Mint.Cstring key ->
+                      put_header st;
+                      emit_const_str st key
+                  | Mint.Cint _ | Mint.Cbool _ | Mint.Cchar _ ->
+                      invalid_arg
+                        "Plan_compile: integer label with string discriminator"))
+            (fun () -> compile_value st payload_rv case.Mint.c_body sub)
+        in
+        { Mplan.a_const = case.Mint.c_const; a_case = i; a_member = member;
+          a_body = body })
+      (List.mapi (fun i c -> (i, c)) cases)
+      arms
+  in
+  let plan_default =
+    match (default, default_arm) with
+    | Some didx, Some (member, sub) ->
+        let payload_rv =
+          Mplan.Rarm { base = rv; case = -1; member; union_field }
+        in
+        let body =
+          compile_arm
+            ~discrim_write:(fun () ->
+              match discrim_atom with
+              | Some atom ->
+                  put_header st;
+                  put_atom st atom (fun off ->
+                      Mplan.It_atom
+                        {
+                          off;
+                          atom;
+                          src = Mplan.Rdiscrim { base = rv; member = discrim_field };
+                        })
+              | None ->
+                  invalid_arg
+                    "Plan_compile: default arm with string discriminator")
+            (fun () -> compile_value st payload_rv didx sub)
+        in
+        Some (member, body)
+    | None, None -> None
+    | _, _ -> invalid_arg "Plan_compile: PRES/MINT default mismatch"
+  in
+  st.ops_rev <-
+    Mplan.Switch
+      {
+        u = rv;
+        discrim_atom;
+        arms = plan_arms;
+        default = plan_default;
+        union_field;
+        discrim_field;
+      }
+    :: st.ops_rev;
+  (* arms end at data-dependent positions *)
+  lose_alignment st enc.Encoding.granularity
+
+and compile_sub st name =
+  match Hashtbl.find_opt st.subs name with
+  | Some _ -> ()
+  | None -> (
+      match List.assoc_opt name st.named with
+      | None -> invalid_arg ("Plan_compile: unknown named presentation " ^ name)
+      | Some (idx, pres) ->
+          Hashtbl.add st.subs name None;
+          (* compile the subroutine body with a fresh state sharing the
+             subs table; called at arbitrary positions *)
+          let sub_st =
+            {
+              st with
+              ops_rev = [];
+              chunk = None;
+              abase = max 1 st.enc.Encoding.granularity;
+              aoff = 0;
+              covered = false;
+              next_var = 0;
+            }
+          in
+          compile_value sub_st
+            (Mplan.Rparam { index = 0; name = "_v"; deref = true })
+            idx pres;
+          flush sub_st;
+          Hashtbl.replace st.subs name (Some (List.rev sub_st.ops_rev)))
+
+let compile ~enc ~mint ~named ?(start = (8, 0)) ?(unroll_limit = 64)
+    ?(chunked = true) roots =
+  let base, off = start in
+  let st =
+    {
+      enc;
+      mint;
+      named;
+      unroll_limit;
+      chunked;
+      ops_rev = [];
+      chunk = None;
+      abase = base;
+      aoff = off;
+      covered = false;
+      next_var = 0;
+      subs = Hashtbl.create 4;
+    }
+  in
+  List.iter
+    (fun root ->
+      match root with
+      | Rconst_int (value, kind) ->
+          put_header st;
+          let atom = atom_of enc kind in
+          put_atom st atom (fun o -> Mplan.It_const { off = o; atom; value })
+      | Rconst_str s ->
+          put_header st;
+          emit_const_str st s
+      | Rvalue (rv, idx, pres) -> compile_value st rv idx pres)
+    roots;
+  flush st;
+  let subs =
+    Hashtbl.fold
+      (fun name body acc ->
+        match body with Some b -> (name, b) :: acc | None -> acc)
+      st.subs []
+  in
+  { p_ops = List.rev st.ops_rev; p_subs = subs }

@@ -1,0 +1,127 @@
+type t =
+  | Direct
+  | Enum_direct
+  | Fixed_array of t
+  | Terminated_string
+  | Terminated_string_len of { len_param : string }
+  | Counted_seq of { len_field : string; buf_field : string; elem : t }
+  | Opt_ptr of t
+  | Struct of (string * t) list
+  | Union of {
+      discrim_field : string;
+      union_field : string;
+      arms : (string * t) list;
+      default_arm : (string * t) option;
+    }
+  | Void
+  | Ref of string
+
+let validate ?(named = fun _ -> None) mint root_idx root_pres =
+  let checked_refs = Hashtbl.create 4 in
+  let rec go idx pres =
+    let def = Mint.get mint idx in
+    match (def, pres) with
+    | _, Ref name -> (
+        if Hashtbl.mem checked_refs name then Ok ()
+        else
+          match named name with
+          | None -> Error (Printf.sprintf "unknown presentation reference %s" name)
+          | Some (ref_idx, ref_pres) ->
+              Hashtbl.add checked_refs name ();
+              if ref_idx <> idx then
+                Error
+                  (Printf.sprintf
+                     "presentation reference %s used at a different MINT node"
+                     name)
+              else go ref_idx ref_pres)
+    | (Mint.Bool | Mint.Char8 | Mint.Int _ | Mint.Float _), Direct -> Ok ()
+    | Mint.Int _, Enum_direct -> Ok ()
+    | Mint.Void, Void -> Ok ()
+    | Mint.Array { elem; min_len; max_len }, Fixed_array sub ->
+        if Some min_len <> max_len then
+          Error "Fixed_array presentation over a variable-length MINT array"
+        else go elem sub
+    | ( Mint.Array { elem; min_len = _; max_len = _ },
+        (Terminated_string | Terminated_string_len _) ) -> (
+        match Mint.get mint elem with
+        | Mint.Char8 -> Ok ()
+        | Mint.Void | Mint.Bool | Mint.Int _ | Mint.Float _ | Mint.Array _
+        | Mint.Struct _ | Mint.Union _ ->
+            Error "Terminated_string over a non-character array")
+    | Mint.Array { elem; min_len = _; max_len = _ }, Counted_seq { elem = sub; _ }
+      ->
+        go elem sub
+    | Mint.Array { elem; min_len; max_len }, Opt_ptr sub ->
+        if min_len <> 0 || max_len <> Some 1 then
+          Error "Opt_ptr presentation requires a 0..1 MINT array"
+        else go elem sub
+    | Mint.Struct fields, Struct arms ->
+        if List.length fields <> List.length arms then
+          Error "Struct presentation arity mismatch"
+        else
+          List.fold_left2
+            (fun acc (_, fidx) (_, sub) ->
+              match acc with Error _ -> acc | Ok () -> go fidx sub)
+            (Ok ()) fields arms
+    | Mint.Union { discrim = _; cases; default }, Union u ->
+        if List.length cases <> List.length u.arms then
+          Error "Union presentation arity mismatch"
+        else begin
+          let arms_ok =
+            List.fold_left2
+              (fun acc (case : Mint.case) (_, sub) ->
+                match acc with
+                | Error _ -> acc
+                | Ok () -> go case.Mint.c_body sub)
+              (Ok ()) cases u.arms
+          in
+          match (arms_ok, default, u.default_arm) with
+          | Error _, _, _ -> arms_ok
+          | Ok (), None, None -> Ok ()
+          | Ok (), Some d, Some (_, sub) -> go d sub
+          | Ok (), Some _, None ->
+              Error "MINT union has a default but PRES does not"
+          | Ok (), None, Some _ ->
+              Error "PRES union has a default but MINT does not"
+        end
+    | ( ( Mint.Void | Mint.Bool | Mint.Char8 | Mint.Int _ | Mint.Float _
+        | Mint.Array _ | Mint.Struct _ | Mint.Union _ ),
+        ( Direct | Enum_direct | Fixed_array _ | Terminated_string
+        | Terminated_string_len _ | Counted_seq _ | Opt_ptr _ | Struct _
+        | Union _ | Void ) ) ->
+        Error "PRES node kind does not match MINT node kind"
+  in
+  go root_idx root_pres
+
+let rec pp ppf = function
+  | Direct -> Format.pp_print_string ppf "direct"
+  | Enum_direct -> Format.pp_print_string ppf "enum"
+  | Fixed_array sub -> Format.fprintf ppf "@[<hov 2>fixed_array(%a)@]" pp sub
+  | Terminated_string -> Format.pp_print_string ppf "c_string"
+  | Terminated_string_len { len_param } ->
+      Format.fprintf ppf "c_string_len(%s)" len_param
+  | Counted_seq { len_field; buf_field; elem } ->
+      Format.fprintf ppf "@[<hov 2>counted_seq(%s,%s,%a)@]" len_field buf_field
+        pp elem
+  | Opt_ptr sub -> Format.fprintf ppf "@[<hov 2>opt_ptr(%a)@]" pp sub
+  | Struct arms ->
+      Format.fprintf ppf "@[<hov 2>struct{";
+      List.iteri
+        (fun i (name, sub) ->
+          if i > 0 then Format.fprintf ppf ";@ ";
+          Format.fprintf ppf "%s:%a" name pp sub)
+        arms;
+      Format.fprintf ppf "}@]"
+  | Union { discrim_field; union_field; arms; default_arm } ->
+      Format.fprintf ppf "@[<hov 2>union(%s,%s){" discrim_field union_field;
+      List.iteri
+        (fun i (name, sub) ->
+          if i > 0 then Format.fprintf ppf ";@ ";
+          Format.fprintf ppf "%s:%a" name pp sub)
+        arms;
+      (match default_arm with
+      | None -> ()
+      | Some (name, sub) -> Format.fprintf ppf ";@ default %s:%a" name pp sub);
+      Format.fprintf ppf "}@]"
+  | Void -> Format.pp_print_string ppf "void"
+  | Ref name -> Format.fprintf ppf "ref(%s)" name

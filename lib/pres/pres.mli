@@ -1,0 +1,66 @@
+(** PRES: the message presentation mapping (paper section 2.2.3).
+
+    A PRES tree connects a MINT message type with the C data structures
+    that present it: each node is a type conversion between a MINT node
+    and a CAST-level C representation.  The tree is structurally aligned
+    with the MINT type — a {!Struct} node's arms correspond one-to-one
+    with the MINT struct's fields, a {!Union} node's arms with the MINT
+    union's cases — while its constructors carry the C-side navigation
+    information (field names, length members, pointer conventions).
+
+    The node variants cover the presentation styles used by the CORBA
+    and rpcgen C mappings:
+
+    - {!Direct}: an atomic value stored directly in a C scalar.
+    - {!Enum_direct}: a C [enum] presented for a MINT integer.
+    - {!Fixed_array}: a C array of static size.
+    - {!Terminated_string}: a NUL-terminated [char *] whose wire form is
+      a counted character array — the paper's [OPT_STR]/string example;
+      a NULL pointer marshals as an empty array.
+    - {!Counted_seq}: a counted sequence presented as a (length, buffer
+      pointer) pair of struct members — CORBA sequences and rpcgen
+      variable-length arrays.
+    - {!Opt_ptr}: the paper's [OPT_PTR]: a nullable pointer presented
+      for a 0-or-1-element MINT array (XDR optional data).
+    - {!Struct} / {!Union}: aggregates, carrying C member names.
+    - {!Void}: no data (void returns, void union arms). *)
+
+type t =
+  | Direct
+  | Enum_direct
+  | Fixed_array of t
+  | Terminated_string
+  | Terminated_string_len of { len_param : string }
+      (** like {!Terminated_string}, but the presentation passes the
+          length as a separate parameter so stubs never call [strlen] —
+          the paper's section 2.2 example of changing the programmer's
+          contract to enable optimization *)
+  | Counted_seq of { len_field : string; buf_field : string; elem : t }
+  | Opt_ptr of t
+  | Struct of (string * t) list
+  | Union of {
+      discrim_field : string;
+      union_field : string;  (** name of the inner C union member *)
+      arms : (string * t) list;  (** C member name and sub-mapping per case *)
+      default_arm : (string * t) option;
+    }
+  | Void
+  | Ref of string
+      (** reference to a named presentation, used at the recursion
+          points of self-referential types; the paper's stubs switch
+          from inlined code to a call of a per-type marshal function
+          exactly here (section 3.3) *)
+
+val validate :
+  ?named:(string -> (Mint.idx * t) option) ->
+  Mint.t ->
+  Mint.idx ->
+  t ->
+  (unit, string) result
+(** Check the structural alignment between a MINT type and a PRES tree:
+    arms match cases, fields match fields, atoms map to atomic
+    presentations.  [named] resolves {!Ref} nodes (each named
+    presentation is checked once).  Returns a description of the first
+    mismatch. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,115 @@
+type param_info = {
+  pi_name : string;
+  pi_dir : Aoi.param_dir;
+  pi_ctype : Cast.ctype;
+  pi_byref : bool;
+  pi_mint : Mint.idx;
+  pi_pres : Pres.t;
+}
+
+type op_stub = {
+  os_op : Aoi.operation;
+  os_request_case : Mint.const;
+  os_client_name : string;
+  os_server_name : string;
+  os_params : param_info list;
+  os_return : param_info option;
+  os_exceptions : (string * param_info) list;
+}
+
+type style = Corba | Rpcgen | Mig | Fluke
+
+type t = {
+  pc_name : string;
+  pc_qname : Aoi.qname;
+  pc_program : (int64 * int64) option;
+  pc_style : style;
+  pc_mint : Mint.t;
+  pc_request : Mint.idx;
+  pc_reply : Mint.idx;
+  pc_decls : Cast.decl list;
+  pc_stubs : op_stub list;
+  pc_named : (string * (Mint.idx * Pres.t)) list;
+}
+
+let validate_param ~named mint (pi : param_info) =
+  match Pres.validate ~named mint pi.pi_mint pi.pi_pres with
+  | Ok () -> Ok ()
+  | Error msg -> Error (Printf.sprintf "parameter %s: %s" pi.pi_name msg)
+
+let rec first_error = function
+  | [] -> Ok ()
+  | Ok () :: rest -> first_error rest
+  | (Error _ as e) :: _ -> e
+
+let validate t =
+  let named name = List.assoc_opt name t.pc_named in
+  let stub_results =
+    List.concat_map
+      (fun st ->
+        List.map (validate_param ~named t.pc_mint) st.os_params
+        @ (match st.os_return with
+          | None -> []
+          | Some r -> [ validate_param ~named t.pc_mint r ])
+        @ List.map
+            (fun (_, pi) -> validate_param ~named t.pc_mint pi)
+            st.os_exceptions)
+      t.pc_stubs
+  in
+  let union_results =
+    match Mint.get t.pc_mint t.pc_request with
+    | Mint.Union { cases; _ } ->
+        let n_named = List.length cases in
+        let n_stubs = List.length t.pc_stubs in
+        if n_named <> n_stubs then
+          [
+            Error
+              (Printf.sprintf "request union has %d cases but %d stubs" n_named
+                 n_stubs);
+          ]
+        else []
+    | Mint.Void | Mint.Bool | Mint.Char8 | Mint.Int _ | Mint.Float _
+    | Mint.Array _ | Mint.Struct _ ->
+        [ Error "request message is not a union over operations" ]
+  in
+  first_error (stub_results @ union_results)
+
+let find_stub t name =
+  List.find_opt (fun st -> st.os_op.Aoi.op_name = name) t.pc_stubs
+
+let style_name = function
+  | Corba -> "corba-c"
+  | Rpcgen -> "rpcgen-c"
+  | Mig -> "mig-c"
+  | Fluke -> "fluke-c"
+
+let pp_summary ppf t =
+  Format.fprintf ppf "@[<v>presentation %s (%s)" t.pc_name (style_name t.pc_style);
+  (match t.pc_program with
+  | None -> ()
+  | Some (p, v) -> Format.fprintf ppf " program 0x%Lx version %Ld" p v);
+  List.iter
+    (fun st ->
+      Format.fprintf ppf "@,  stub %s / server %s: %d param(s)%s, case %a"
+        st.os_client_name st.os_server_name
+        (List.length st.os_params)
+        (match st.os_return with None -> "" | Some _ -> " + result")
+        Mint.pp_const st.os_request_case)
+    t.pc_stubs;
+  Format.fprintf ppf "@]"
+
+let pp ppf t =
+  pp_summary ppf t;
+  Format.fprintf ppf "@,@[<v>request MINT: %a@]" (Mint.pp t.pc_mint) t.pc_request;
+  Format.fprintf ppf "@,@[<v>reply MINT: %a@]" (Mint.pp t.pc_mint) t.pc_reply;
+  List.iter
+    (fun st ->
+      List.iter
+        (fun pi ->
+          Format.fprintf ppf "@,@[<hov 2>%s.%s: %a@ <-> %a@]"
+            st.os_op.Aoi.op_name pi.pi_name (Mint.pp t.pc_mint) pi.pi_mint
+            Pres.pp pi.pi_pres)
+        st.os_params)
+    t.pc_stubs;
+  Format.fprintf ppf "@,---- generated header ----@,%s"
+    (Cast_pp.file t.pc_decls)

@@ -1,0 +1,73 @@
+(** PRES_C: the complete description of a C presentation of an
+    interface (paper section 2.2.4).
+
+    A PRES_C value combines the three sublanguages: the CAST
+    declarations of the presented data types and stub prototypes, the
+    MINT descriptions of the request and reply messages, and the PRES
+    trees connecting each stub parameter to its place in those messages.
+    "It describes everything that a client or server must know in order
+    to invoke or implement the operations provided by the interface";
+    only the message encoding and transport are left to the back end. *)
+
+(** How one C parameter (or result) participates in the messages. *)
+type param_info = {
+  pi_name : string;
+  pi_dir : Aoi.param_dir;
+  pi_ctype : Cast.ctype;  (** the type in the stub signature *)
+  pi_byref : bool;
+      (** true when the stub receives/returns a pointer that must be
+          dereferenced to reach the presented value *)
+  pi_mint : Mint.idx;  (** this parameter's slice of the message *)
+  pi_pres : Pres.t;
+}
+
+(** Per-operation stub description. *)
+type op_stub = {
+  os_op : Aoi.operation;
+  os_request_case : Mint.const;
+      (** the discriminator constant keying this operation inside the
+          request union (an operation-name string for CORBA-style
+          presentations, a procedure number for rpcgen-style) *)
+  os_client_name : string;  (** name of the generated client stub *)
+  os_server_name : string;  (** name of the server work function *)
+  os_params : param_info list;
+  os_return : param_info option;  (** [None] for void *)
+  os_exceptions : (string * param_info) list;
+      (** user exceptions: (wire name, presentation of the exception
+          struct); empty for rpcgen-style presentations *)
+}
+
+(** Presentation style, used by back ends for naming and framing. *)
+type style = Corba | Rpcgen | Mig | Fluke
+
+type t = {
+  pc_name : string;  (** flat C name of the interface, e.g. [M_I] *)
+  pc_qname : Aoi.qname;
+  pc_program : (int64 * int64) option;  (** ONC (program, version) *)
+  pc_style : style;
+  pc_mint : Mint.t;
+  pc_request : Mint.idx;  (** union over all operations' in-data *)
+  pc_reply : Mint.idx;  (** union over all operations' reply data *)
+  pc_decls : Cast.decl list;
+      (** presented data types and stub prototypes — the contents of the
+          generated header *)
+  pc_stubs : op_stub list;
+  pc_named : (string * (Mint.idx * Pres.t)) list;
+      (** named presentations for self-referential types; {!Pres.Ref}
+          nodes resolve here and back ends emit one marshal/unmarshal
+          function per entry *)
+}
+
+val validate : t -> (unit, string) result
+(** Check every parameter's PRES tree against its MINT slice, and that
+    the request/reply unions have one case per (non-oneway) operation. *)
+
+val find_stub : t -> string -> op_stub option
+(** Look up a stub by operation name. *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** One-line-per-stub summary used by [flick dump-presc]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Full dump: decls, MINT graphs and PRES trees (the textual
+    equivalent of the paper's Figure 2). *)

@@ -1,0 +1,709 @@
+type hooks = {
+  style : Pres_c.style;
+  scoped_name : Aoi.qname -> string;
+  client_stub_name : string -> Aoi.operation -> string;
+  server_func_name : string -> Aoi.operation -> string;
+  request_case : Aoi.interface -> Aoi.operation -> Mint.const;
+  seq_len_field : string;
+  seq_buf_field : string;
+  objref_ctype : Cast.ctype;
+  supports_exceptions : bool;
+  supports_self_reference : bool;
+  client_first_params : string -> Cast.param list;
+  client_last_params : string -> Cast.param list;
+  server_last_params : string -> Cast.param list;
+  string_len_params : bool;
+      (* present 'in' string parameters as (char *, length) pairs so
+         stubs never call strlen - the paper's section 2.2 example *)
+}
+
+type gen = {
+  hooks : hooks;
+  env : Aoi_env.t;
+  report : Aoi_check.report;
+  mint : Mint.t;
+  mutable decls_rev : Cast.decl list;
+  emitted : (string, unit) Hashtbl.t;  (* C type names already declared *)
+  mint_memo : (string, Mint.idx) Hashtbl.t;
+  mutable named_pres : (string * (Mint.idx * Pres.t)) list;
+  pres_started : (string, unit) Hashtbl.t;
+}
+
+let key (q : Aoi.qname) = String.concat "::" q
+let scope_of (q : Aoi.qname) = match List.rev q with [] -> [] | _ :: r -> List.rev r
+let emit gen d = gen.decls_rev <- d :: gen.decls_rev
+
+let interfaces_of spec = List.map fst (Aoi.interfaces spec)
+
+(* ------------------------------------------------------------------ *)
+(* Name resolution helpers                                             *)
+(* ------------------------------------------------------------------ *)
+
+let resolve gen scope q = Aoi_env.resolve_exn gen.env ~scope q
+
+let enum_value gen scope q =
+  match resolve gen scope q with
+  | _, Aoi_env.Benumerator (_, v) -> v
+  | _, ( Aoi_env.Btype _ | Aoi_env.Bconst _ | Aoi_env.Bexception _
+       | Aoi_env.Binterface _ | Aoi_env.Bmodule ) ->
+      Diag.error "%s is not an enumerator" (Aoi.qname_to_string q)
+
+let mint_const_of_label gen scope (c : Aoi.const) : Mint.const =
+  match c with
+  | Aoi.Const_int n -> Mint.Cint n
+  | Aoi.Const_bool b -> Mint.Cbool b
+  | Aoi.Const_char ch -> Mint.Cchar ch
+  | Aoi.Const_enum q -> Mint.Cint (enum_value gen scope q)
+  | Aoi.Const_string _ | Aoi.Const_float _ ->
+      Diag.error "invalid union case label"
+
+let is_self_ref gen qn = Aoi_check.is_self_referential gen.report qn
+
+(* ------------------------------------------------------------------ *)
+(* AOI -> MINT                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec mint_of gen scope (ty : Aoi.typ) : Mint.idx =
+  let m = gen.mint in
+  match ty with
+  | Aoi.Void -> Mint.void m
+  | Aoi.Boolean -> Mint.bool_ m
+  | Aoi.Char -> Mint.char8 m
+  | Aoi.Octet -> Mint.int_ m ~bits:8 ~signed:false
+  | Aoi.Integer { bits; signed } -> Mint.int_ m ~bits ~signed
+  | Aoi.Float bits -> Mint.float_ m ~bits
+  | Aoi.String bound -> Mint.string_ m ~max_len:bound
+  | Aoi.Sequence (elem, bound) ->
+      Mint.array m ~elem:(mint_of gen scope elem) ~min_len:0 ~max_len:bound
+  | Aoi.Array (elem, dims) ->
+      let elem_idx = mint_of gen scope elem in
+      List.fold_right
+        (fun dim inner -> Mint.fixed_array m ~elem:inner ~len:dim)
+        dims elem_idx
+  | Aoi.Struct_type fields ->
+      Mint.struct_ m
+        (List.map (fun f -> (f.Aoi.f_name, mint_of gen scope f.Aoi.f_type)) fields)
+  | Aoi.Union_type u ->
+      let discrim = mint_of gen scope u.Aoi.u_discrim in
+      let cases =
+        List.concat_map
+          (fun (c : Aoi.union_case) ->
+            let body = mint_of gen scope c.Aoi.c_field.Aoi.f_type in
+            List.map
+              (fun label ->
+                { Mint.c_const = mint_const_of_label gen scope label;
+                  c_body = body })
+              c.Aoi.c_labels)
+          u.Aoi.u_cases
+      in
+      let default =
+        Option.map (fun f -> mint_of gen scope f.Aoi.f_type) u.Aoi.u_default
+      in
+      Mint.union m ~discrim ~cases ~default
+  | Aoi.Enum_type _ ->
+      (* enums travel as 32-bit integers; the value set is a presentation
+         concern *)
+      Mint.int32 m
+  | Aoi.Optional elem ->
+      Mint.array m ~elem:(mint_of gen scope elem) ~min_len:0 ~max_len:(Some 1)
+  | Aoi.Object _ ->
+      (* object references travel as stringified references *)
+      Mint.string_ m ~max_len:None
+  | Aoi.Named q -> (
+      match resolve gen scope q with
+      | _, Aoi_env.Binterface _ -> Mint.string_ m ~max_len:None
+      | qn, Aoi_env.Btype body -> (
+          let k = key qn in
+          match Hashtbl.find_opt gen.mint_memo k with
+          | Some i -> i
+          | None ->
+              if is_self_ref gen qn then begin
+                let r = Mint.reserve m in
+                Hashtbl.add gen.mint_memo k r;
+                let body_idx = mint_of gen (scope_of qn) body in
+                Mint.set m r (Mint.get m body_idx);
+                r
+              end
+              else begin
+                let i = mint_of gen (scope_of qn) body in
+                Hashtbl.add gen.mint_memo k i;
+                i
+              end)
+      | _, ( Aoi_env.Bconst _ | Aoi_env.Benumerator _ | Aoi_env.Bexception _
+           | Aoi_env.Bmodule ) ->
+          Diag.error "%s does not name a type" (Aoi.qname_to_string q))
+
+(* ------------------------------------------------------------------ *)
+(* AOI -> PRES                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec pres_of gen scope (ty : Aoi.typ) : Pres.t =
+  match ty with
+  | Aoi.Void -> Pres.Void
+  | Aoi.Boolean | Aoi.Char | Aoi.Octet | Aoi.Integer _ | Aoi.Float _ ->
+      Pres.Direct
+  | Aoi.Enum_type _ -> Pres.Enum_direct
+  | Aoi.String _ -> Pres.Terminated_string
+  | Aoi.Sequence (elem, _) ->
+      Pres.Counted_seq
+        {
+          len_field = gen.hooks.seq_len_field;
+          buf_field = gen.hooks.seq_buf_field;
+          elem = pres_of gen scope elem;
+        }
+  | Aoi.Array (elem, dims) ->
+      let sub = pres_of gen scope elem in
+      List.fold_right (fun _dim inner -> Pres.Fixed_array inner) dims sub
+  | Aoi.Struct_type fields ->
+      Pres.Struct
+        (List.map (fun f -> (f.Aoi.f_name, pres_of gen scope f.Aoi.f_type)) fields)
+  | Aoi.Union_type u ->
+      let arms =
+        List.concat_map
+          (fun (c : Aoi.union_case) ->
+            let member =
+              match c.Aoi.c_field.Aoi.f_type with
+              | Aoi.Void -> ""
+              | _ -> c.Aoi.c_field.Aoi.f_name
+            in
+            let sub = pres_of gen scope c.Aoi.c_field.Aoi.f_type in
+            List.map (fun _label -> (member, sub)) c.Aoi.c_labels)
+          u.Aoi.u_cases
+      in
+      let default_arm =
+        Option.map
+          (fun (f : Aoi.field) ->
+            let member = match f.Aoi.f_type with Aoi.Void -> "" | _ -> f.Aoi.f_name in
+            (member, pres_of gen scope f.Aoi.f_type))
+          u.Aoi.u_default
+      in
+      Pres.Union { discrim_field = "_d"; union_field = "_u"; arms; default_arm }
+  | Aoi.Optional elem -> Pres.Opt_ptr (pres_of gen scope elem)
+  | Aoi.Object _ -> Pres.Terminated_string
+  | Aoi.Named q -> (
+      match resolve gen scope q with
+      | _, Aoi_env.Binterface _ -> Pres.Terminated_string
+      | qn, Aoi_env.Btype body ->
+          if is_self_ref gen qn then begin
+            let name = gen.hooks.scoped_name qn in
+            if not (Hashtbl.mem gen.pres_started name) then begin
+              Hashtbl.add gen.pres_started name ();
+              let idx = mint_of gen scope (Aoi.Named q) in
+              let sub = pres_of gen (scope_of qn) body in
+              gen.named_pres <- (name, (idx, sub)) :: gen.named_pres
+            end;
+            Pres.Ref name
+          end
+          else pres_of gen (scope_of qn) body
+      | _, ( Aoi_env.Bconst _ | Aoi_env.Benumerator _ | Aoi_env.Bexception _
+           | Aoi_env.Bmodule ) ->
+          Diag.error "%s does not name a type" (Aoi.qname_to_string q))
+
+(* ------------------------------------------------------------------ *)
+(* AOI -> CAST types and declarations                                  *)
+(* ------------------------------------------------------------------ *)
+
+let rec ctype_of gen scope ~hint (ty : Aoi.typ) : Cast.ctype =
+  match ty with
+  | Aoi.Void -> Cast.Tvoid
+  | Aoi.Boolean -> Cast.Tnamed "flick_bool_t"
+  | Aoi.Char -> Cast.Tchar
+  | Aoi.Octet -> Cast.uint8_t
+  | Aoi.Integer { bits; signed } -> Cast.int_of_bits ~bits ~signed
+  | Aoi.Float 32 -> Cast.Tfloat
+  | Aoi.Float _ -> Cast.Tdouble
+  | Aoi.String _ -> Cast.Tptr Cast.Tchar
+  | Aoi.Sequence (elem, _) ->
+      let elem_ct = ctype_of gen scope ~hint:(hint ^ "_elem") elem in
+      let tag = hint ^ "_seq" in
+      declare_seq_struct gen tag elem_ct;
+      Cast.Tnamed tag
+  | Aoi.Array (elem, dims) ->
+      let elem_ct = ctype_of gen scope ~hint:(hint ^ "_elem") elem in
+      List.fold_right (fun d inner -> Cast.Tarray (inner, Some d)) dims elem_ct
+  | Aoi.Struct_type fields ->
+      declare_struct gen scope ~tag:hint fields;
+      Cast.Tnamed hint
+  | Aoi.Union_type u ->
+      declare_union gen scope ~tag:hint u;
+      Cast.Tnamed hint
+  | Aoi.Enum_type items ->
+      declare_enum gen scope ~tag:hint items;
+      Cast.Tnamed hint
+  | Aoi.Optional elem -> Cast.Tptr (ctype_of gen scope ~hint elem)
+  | Aoi.Object q ->
+      let _ = resolve gen scope q in
+      gen.hooks.objref_ctype
+  | Aoi.Named q -> (
+      match resolve gen scope q with
+      | qn, Aoi_env.Binterface _ ->
+          let name = gen.hooks.scoped_name qn in
+          declare_objref gen name;
+          Cast.Tnamed name
+      | qn, Aoi_env.Btype body ->
+          let name = gen.hooks.scoped_name qn in
+          declare_named gen qn name body;
+          Cast.Tnamed name
+      | _, ( Aoi_env.Bconst _ | Aoi_env.Benumerator _ | Aoi_env.Bexception _
+           | Aoi_env.Bmodule ) ->
+          Diag.error "%s does not name a type" (Aoi.qname_to_string q))
+
+and declare_seq_struct gen tag elem_ct =
+  if not (Hashtbl.mem gen.emitted tag) then begin
+    Hashtbl.add gen.emitted tag ();
+    emit gen
+      (Cast.Dstruct
+         ( tag,
+           [
+             (gen.hooks.seq_len_field, Cast.uint32_t);
+             (gen.hooks.seq_buf_field, Cast.Tptr elem_ct);
+           ] ));
+    emit gen (Cast.Dtypedef (tag, Cast.Tstruct_ref tag))
+  end
+
+and declare_struct gen scope ~tag fields =
+  if not (Hashtbl.mem gen.emitted tag) then begin
+    Hashtbl.add gen.emitted tag ();
+    (* typedef first so that recursive member pointers can use the name *)
+    emit gen (Cast.Dtypedef (tag, Cast.Tstruct_ref tag));
+    let cfields =
+      List.map
+        (fun (f : Aoi.field) ->
+          (f.Aoi.f_name, ctype_of gen scope ~hint:(tag ^ "_" ^ f.Aoi.f_name) f.Aoi.f_type))
+        fields
+    in
+    emit gen (Cast.Dstruct (tag, cfields))
+  end
+
+and declare_union gen scope ~tag (u : Aoi.union_body) =
+  if not (Hashtbl.mem gen.emitted tag) then begin
+    Hashtbl.add gen.emitted tag ();
+    emit gen (Cast.Dtypedef (tag, Cast.Tstruct_ref tag));
+    let discrim_ct = ctype_of gen scope ~hint:(tag ^ "_d") u.Aoi.u_discrim in
+    let arm (f : Aoi.field) =
+      match f.Aoi.f_type with
+      | Aoi.Void -> None
+      | _ ->
+          Some
+            ( f.Aoi.f_name,
+              ctype_of gen scope ~hint:(tag ^ "_" ^ f.Aoi.f_name) f.Aoi.f_type )
+    in
+    let arms =
+      List.filter_map (fun (c : Aoi.union_case) -> arm c.Aoi.c_field) u.Aoi.u_cases
+      @ (match u.Aoi.u_default with None -> [] | Some f -> Option.to_list (arm f))
+    in
+    let utag = tag ^ "_u" in
+    if arms <> [] then emit gen (Cast.Dunion_decl (utag, arms));
+    let fields =
+      ("_d", discrim_ct)
+      :: (if arms <> [] then [ ("_u", Cast.Tunion_ref utag) ] else [])
+    in
+    emit gen (Cast.Dstruct (tag, fields))
+  end
+
+and declare_enum gen scope ~tag items =
+  ignore scope;
+  if not (Hashtbl.mem gen.emitted tag) then begin
+    Hashtbl.add gen.emitted tag ();
+    let prefix = match tag with "" -> "" | _ -> tag ^ "_" in
+    emit gen
+      (Cast.Denum_decl (tag, List.map (fun (n, v) -> (prefix ^ n, v)) items));
+    emit gen (Cast.Dtypedef (tag, Cast.Tenum_ref tag))
+  end
+
+and declare_objref gen name =
+  if not (Hashtbl.mem gen.emitted name) then begin
+    Hashtbl.add gen.emitted name ();
+    emit gen (Cast.Dtypedef (name, gen.hooks.objref_ctype))
+  end
+
+and declare_named gen qn name body =
+  if not (Hashtbl.mem gen.emitted name) then
+    match (body : Aoi.typ) with
+    | Aoi.Struct_type fields -> declare_struct gen (scope_of qn) ~tag:name fields
+    | Aoi.Union_type u -> declare_union gen (scope_of qn) ~tag:name u
+    | Aoi.Enum_type items -> declare_enum gen (scope_of qn) ~tag:name items
+    | Aoi.Void | Aoi.Boolean | Aoi.Char | Aoi.Octet | Aoi.Integer _
+    | Aoi.Float _ | Aoi.String _ | Aoi.Sequence _ | Aoi.Array _ | Aoi.Named _
+    | Aoi.Optional _ | Aoi.Object _ ->
+        Hashtbl.add gen.emitted name ();
+        let ct = ctype_of gen (scope_of qn) ~hint:name body in
+        emit gen (Cast.Dtypedef (name, ct))
+
+(* ------------------------------------------------------------------ *)
+(* Declarations for a whole specification                              *)
+(* ------------------------------------------------------------------ *)
+
+let rec emit_defs gen scope defs =
+  List.iter
+    (fun (def : Aoi.def) ->
+      match def with
+      | Aoi.Dtype (n, body) ->
+          declare_named gen (scope @ [ n ]) (gen.hooks.scoped_name (scope @ [ n ])) body
+      | Aoi.Dconst (n, _, v) -> (
+          let cname = gen.hooks.scoped_name (scope @ [ n ]) in
+          match v with
+          | Aoi.Const_int i -> emit gen (Cast.Ddefine (cname, Int64.to_string i))
+          | Aoi.Const_bool b -> emit gen (Cast.Ddefine (cname, if b then "1" else "0"))
+          | Aoi.Const_char c ->
+              emit gen (Cast.Ddefine (cname, Printf.sprintf "'%c'" c))
+          | Aoi.Const_string s ->
+              emit gen (Cast.Ddefine (cname, Printf.sprintf "%S" s))
+          | Aoi.Const_float f ->
+              emit gen (Cast.Ddefine (cname, Printf.sprintf "%.17g" f))
+          | Aoi.Const_enum q ->
+              emit gen (Cast.Ddefine (cname, gen.hooks.scoped_name q)))
+      | Aoi.Dexception (n, fields) ->
+          declare_struct gen scope ~tag:(gen.hooks.scoped_name (scope @ [ n ])) fields
+      | Aoi.Dinterface i ->
+          let qn = scope @ [ i.Aoi.i_name ] in
+          declare_objref gen (gen.hooks.scoped_name qn);
+          emit_defs gen qn i.Aoi.i_defs
+      | Aoi.Dmodule (n, sub) -> emit_defs gen (scope @ [ n ]) sub)
+    defs
+
+(* ------------------------------------------------------------------ *)
+(* Stubs                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Classify the (resolved) shape of a type to pick parameter-passing
+   conventions. *)
+let rec passing_kind gen scope (ty : Aoi.typ) =
+  match ty with
+  | Aoi.Void -> `Void
+  | Aoi.Boolean | Aoi.Char | Aoi.Octet | Aoi.Integer _ | Aoi.Float _
+  | Aoi.Enum_type _ ->
+      `Atomic
+  | Aoi.String _ | Aoi.Object _ -> `Pointer
+  | Aoi.Optional _ -> `Pointer
+  | Aoi.Sequence _ | Aoi.Struct_type _ | Aoi.Union_type _ | Aoi.Array _ ->
+      `Aggregate
+  | Aoi.Named q -> (
+      match resolve gen scope q with
+      | _, Aoi_env.Binterface _ -> `Pointer
+      | qn, Aoi_env.Btype body -> passing_kind gen (scope_of qn) body
+      | _, ( Aoi_env.Bconst _ | Aoi_env.Benumerator _ | Aoi_env.Bexception _
+           | Aoi_env.Bmodule ) ->
+          Diag.error "%s does not name a type" (Aoi.qname_to_string q))
+
+(* is this (possibly typedef'd) type a string? *)
+let rec is_string_type gen scope (ty : Aoi.typ) =
+  match ty with
+  | Aoi.String _ -> true
+  | Aoi.Named q -> (
+      match resolve gen scope q with
+      | qn, Aoi_env.Btype body -> is_string_type gen (scope_of qn) body
+      | _, _ -> false)
+  | _ -> false
+
+let param_info gen scope ~hint (p : Aoi.param) : Pres_c.param_info =
+  let base_ct = ctype_of gen scope ~hint p.Aoi.p_type in
+  let kind = passing_kind gen scope p.Aoi.p_type in
+  let ctype, byref =
+    match (p.Aoi.p_dir, kind) with
+    | Aoi.In, (`Atomic | `Pointer) -> (base_ct, false)
+    | Aoi.In, `Aggregate -> (Cast.Tptr base_ct, true)
+    | (Aoi.Out | Aoi.Inout), (`Atomic | `Pointer | `Aggregate) ->
+        (Cast.Tptr base_ct, true)
+    | _, `Void -> Diag.error "void parameter %s" p.Aoi.p_name
+  in
+  let pres = pres_of gen scope p.Aoi.p_type in
+  let pres =
+    if
+      gen.hooks.string_len_params
+      && p.Aoi.p_dir = Aoi.In
+      && is_string_type gen scope p.Aoi.p_type
+    then Pres.Terminated_string_len { len_param = p.Aoi.p_name ^ "_len" }
+    else pres
+  in
+  {
+    Pres_c.pi_name = p.Aoi.p_name;
+    pi_dir = p.Aoi.p_dir;
+    pi_ctype = ctype;
+    pi_byref = byref;
+    pi_mint = mint_of gen scope p.Aoi.p_type;
+    pi_pres = pres;
+  }
+
+let return_info gen scope ~hint (ty : Aoi.typ) : Pres_c.param_info option =
+  match passing_kind gen scope ty with
+  | `Void -> None
+  | kind ->
+      let base_ct = ctype_of gen scope ~hint ty in
+      let ctype, byref =
+        match kind with
+        | `Atomic | `Pointer -> (base_ct, false)
+        | `Aggregate -> (Cast.Tptr base_ct, true)
+        | `Void -> assert false
+      in
+      Some
+        {
+          Pres_c.pi_name = "_return";
+          pi_dir = Aoi.Out;
+          pi_ctype = ctype;
+          pi_byref = byref;
+          pi_mint = mint_of gen scope ty;
+          pi_pres = pres_of gen scope ty;
+        }
+
+let exception_info gen scope q : string * Pres_c.param_info =
+  let qn, fields =
+    match resolve gen scope q with
+    | qn, Aoi_env.Bexception fields -> (qn, fields)
+    | _, ( Aoi_env.Btype _ | Aoi_env.Bconst _ | Aoi_env.Benumerator _
+         | Aoi_env.Binterface _ | Aoi_env.Bmodule ) ->
+        Diag.error "%s does not name an exception" (Aoi.qname_to_string q)
+  in
+  let cname = gen.hooks.scoped_name qn in
+  let as_struct = Aoi.Struct_type fields in
+  let escope = scope_of qn in
+  ( Aoi.qname_to_string qn,
+    {
+      Pres_c.pi_name = cname;
+      pi_dir = Aoi.Out;
+      pi_ctype = Cast.Tptr (Cast.Tnamed cname);
+      pi_byref = true;
+      pi_mint = mint_of gen escope as_struct;
+      pi_pres = pres_of gen escope as_struct;
+    } )
+
+(* All operations of an interface: inherited ones first (depth-first
+   over parents), then the interface's own, then those derived from
+   attributes.  Codes are reassigned sequentially unless the interface
+   carries ONC program numbers, whose procedure numbers are
+   authoritative. *)
+let rec gather_ops gen scope (intf : Aoi.interface) : Aoi.operation list =
+  let inherited =
+    List.concat_map
+      (fun q ->
+        match resolve gen scope q with
+        | qn, Aoi_env.Binterface parent -> gather_ops gen (scope_of qn) parent
+        | _, ( Aoi_env.Btype _ | Aoi_env.Bconst _ | Aoi_env.Benumerator _
+             | Aoi_env.Bexception _ | Aoi_env.Bmodule ) ->
+            Diag.error "%s is not an interface" (Aoi.qname_to_string q))
+      intf.Aoi.i_parents
+  in
+  let own = intf.Aoi.i_ops @ Aoi.attribute_operations intf in
+  let all = inherited @ own in
+  (* codes from the front end (procedure numbers, MIG message ids) are
+     authoritative; only inheritance merging needs renumbering *)
+  if inherited = [] then all
+  else
+    match intf.Aoi.i_program with
+    | Some _ -> all
+    | None ->
+        List.mapi (fun i op -> { op with Aoi.op_code = Int64.of_int i }) all
+
+let build_stub gen scope iface_cname (intf : Aoi.interface) (op : Aoi.operation)
+    : Pres_c.op_stub =
+  if (not gen.hooks.supports_exceptions) && op.Aoi.op_raises <> [] then
+    Diag.error
+      "operation %s raises exceptions, which the %s presentation cannot express"
+      op.Aoi.op_name
+      (match gen.hooks.style with
+      | Pres_c.Corba -> "corba-c"
+      | Pres_c.Rpcgen -> "rpcgen-c"
+      | Pres_c.Mig -> "mig-c"
+      | Pres_c.Fluke -> "fluke-c");
+  let iscope = scope @ [ intf.Aoi.i_name ] in
+  let hint = iface_cname ^ "_" ^ op.Aoi.op_name in
+  let params =
+    List.map
+      (fun p -> param_info gen iscope ~hint:(hint ^ "_" ^ p.Aoi.p_name) p)
+      op.Aoi.op_params
+  in
+  let ret = return_info gen iscope ~hint:(hint ^ "_ret") op.Aoi.op_return in
+  let exceptions =
+    List.map (exception_info gen iscope) op.Aoi.op_raises
+  in
+  {
+    Pres_c.os_op = op;
+    os_request_case = gen.hooks.request_case intf op;
+    os_client_name = gen.hooks.client_stub_name iface_cname op;
+    os_server_name = gen.hooks.server_func_name iface_cname op;
+    os_params = params;
+    os_return = ret;
+    os_exceptions = exceptions;
+  }
+
+(* Request union: one case per operation, carrying the in/inout data. *)
+let build_request gen (stubs : Pres_c.op_stub list) : Mint.idx =
+  let m = gen.mint in
+  let discrim =
+    match stubs with
+    | { Pres_c.os_request_case = Mint.Cstring _; _ } :: _ -> Mint.string_ m ~max_len:None
+    | _ -> Mint.uint32 m
+  in
+  let cases =
+    List.map
+      (fun (st : Pres_c.op_stub) ->
+        let fields =
+          List.filter_map
+            (fun (pi : Pres_c.param_info) ->
+              match pi.Pres_c.pi_dir with
+              | Aoi.In | Aoi.Inout -> Some (pi.Pres_c.pi_name, pi.Pres_c.pi_mint)
+              | Aoi.Out -> None)
+            st.Pres_c.os_params
+        in
+        { Mint.c_const = st.Pres_c.os_request_case;
+          c_body = Mint.struct_ m fields })
+      stubs
+  in
+  Mint.union m ~discrim ~cases ~default:None
+
+(* Reply union: one case per non-oneway operation.  For exception-aware
+   styles each case is itself a union over a completion status: 0 =
+   success carrying result and out/inout data, 1 = a union of the user
+   exceptions keyed by their wire names (the GIOP shape). *)
+let build_reply gen (stubs : Pres_c.op_stub list) : Mint.idx =
+  let m = gen.mint in
+  let discrim =
+    match stubs with
+    | { Pres_c.os_request_case = Mint.Cstring _; _ } :: _ -> Mint.string_ m ~max_len:None
+    | _ -> Mint.uint32 m
+  in
+  let cases =
+    List.filter_map
+      (fun (st : Pres_c.op_stub) ->
+        if st.Pres_c.os_op.Aoi.op_oneway then None
+        else begin
+          let out_fields =
+            (match st.Pres_c.os_return with
+            | None -> []
+            | Some r -> [ ("_return", r.Pres_c.pi_mint) ])
+            @ List.filter_map
+                (fun (pi : Pres_c.param_info) ->
+                  match pi.Pres_c.pi_dir with
+                  | Aoi.Out | Aoi.Inout ->
+                      Some (pi.Pres_c.pi_name, pi.Pres_c.pi_mint)
+                  | Aoi.In -> None)
+                st.Pres_c.os_params
+          in
+          let success = Mint.struct_ m out_fields in
+          let body =
+            if gen.hooks.supports_exceptions then begin
+              let exc_cases =
+                List.map
+                  (fun (wire_name, (pi : Pres_c.param_info)) ->
+                    { Mint.c_const = Mint.Cstring wire_name;
+                      c_body = pi.Pres_c.pi_mint })
+                  st.Pres_c.os_exceptions
+              in
+              let status_cases =
+                { Mint.c_const = Mint.Cint 0L; c_body = success }
+                ::
+                (if exc_cases = [] then []
+                 else
+                   [
+                     {
+                       Mint.c_const = Mint.Cint 1L;
+                       c_body =
+                         Mint.union m
+                           ~discrim:(Mint.string_ m ~max_len:None)
+                           ~cases:exc_cases ~default:None;
+                     };
+                   ])
+              in
+              Mint.union m ~discrim:(Mint.uint32 m) ~cases:status_cases
+                ~default:None
+            end
+            else success
+          in
+          Some { Mint.c_const = st.Pres_c.os_request_case; c_body = body }
+        end)
+      stubs
+  in
+  Mint.union m ~discrim ~cases ~default:None
+
+(* Stub prototypes for the generated header. *)
+let stub_prototypes gen iface_cname (st : Pres_c.op_stub) : Cast.decl list =
+  let param_decls =
+    List.concat_map
+      (fun (pi : Pres_c.param_info) ->
+        (pi.Pres_c.pi_name, pi.Pres_c.pi_ctype)
+        ::
+        (match pi.Pres_c.pi_pres with
+        | Pres.Terminated_string_len { len_param } ->
+            [ (len_param, Cast.uint32_t) ]
+        | _ -> []))
+      st.Pres_c.os_params
+  in
+  let ret_ct =
+    match st.Pres_c.os_return with
+    | None -> Cast.Tvoid
+    | Some r -> r.Pres_c.pi_ctype
+  in
+  let client_params =
+    gen.hooks.client_first_params iface_cname
+    @ param_decls
+    @ gen.hooks.client_last_params iface_cname
+  in
+  let server_params =
+    gen.hooks.client_first_params iface_cname
+    @ param_decls
+    @ gen.hooks.server_last_params iface_cname
+  in
+  [
+    Cast.Dfun_proto (Cast.Public, st.Pres_c.os_client_name, ret_ct, client_params);
+    Cast.Dfun_proto (Cast.Public, st.Pres_c.os_server_name, ret_ct, server_params);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let generate hooks (spec : Aoi.spec) (iface_q : Aoi.qname) : Pres_c.t =
+  let report = Aoi_check.check spec in
+  if (not hooks.supports_self_reference) && report.Aoi_check.self_referential <> []
+  then
+    Diag.error
+      "specification contains self-referential type %s, which the CORBA \
+       presentation cannot express"
+      (Aoi.qname_to_string (List.hd report.Aoi_check.self_referential));
+  let gen =
+    {
+      hooks;
+      env = report.Aoi_check.env;
+      report;
+      mint = Mint.create ();
+      decls_rev = [];
+      emitted = Hashtbl.create 32;
+      mint_memo = Hashtbl.create 32;
+      named_pres = [];
+      pres_started = Hashtbl.create 4;
+    }
+  in
+  let intf =
+    match List.find_opt (fun (q, _) -> q = iface_q) (Aoi.interfaces spec) with
+    | Some (_, i) -> i
+    | None -> Diag.error "no interface named %s" (Aoi.qname_to_string iface_q)
+  in
+  let scope = scope_of iface_q in
+  let iface_cname = hooks.scoped_name iface_q in
+  emit gen (Cast.Dinclude_local "flick_runtime.h");
+  emit_defs gen [] spec.Aoi.s_defs;
+  let ops = gather_ops gen scope intf in
+  let stubs = List.map (build_stub gen scope iface_cname intf) ops in
+  List.iter
+    (fun st -> List.iter (emit gen) (stub_prototypes gen iface_cname st))
+    stubs;
+  let request = build_request gen stubs in
+  let reply = build_reply gen stubs in
+  let presc =
+    {
+      Pres_c.pc_name = iface_cname;
+      pc_qname = iface_q;
+      pc_program = intf.Aoi.i_program;
+      pc_style = hooks.style;
+      pc_mint = gen.mint;
+      pc_request = request;
+      pc_reply = reply;
+      pc_decls = List.rev gen.decls_rev;
+      pc_stubs = stubs;
+      pc_named = gen.named_pres;
+    }
+  in
+  (match Pres_c.validate presc with
+  | Ok () -> ()
+  | Error msg -> Diag.error "internal presentation error: %s" msg);
+  presc

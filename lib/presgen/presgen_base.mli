@@ -1,0 +1,55 @@
+(** The presentation-generator base library (paper section 2.2).
+
+    Presentation generation decides how an AOI interface is mapped onto
+    C constructs: the names and shapes of the presented data types, the
+    stub signatures, the calling conventions, and the MINT/PRES
+    description of how parameters travel in messages.  Almost all of
+    that machinery is shared; a concrete presentation generator (CORBA,
+    rpcgen, Fluke) is a small {!hooks} record of style decisions layered
+    on this module — the code-reuse structure the paper's Table 1
+    reports.
+
+    A generator consumes {e any} AOI specification regardless of source
+    IDL, with two documented restrictions (the paper's footnote 3),
+    enforced here:
+
+    - a presentation style without exceptions (rpcgen, Fluke) rejects
+      interfaces whose operations have [raises] clauses;
+    - a presentation style without self-referential types (CORBA)
+      rejects specifications containing them. *)
+
+type hooks = {
+  style : Pres_c.style;
+  scoped_name : Aoi.qname -> string;
+      (** flatten a qualified name to a C identifier *)
+  client_stub_name : string -> Aoi.operation -> string;
+      (** interface C name -> operation -> client stub name *)
+  server_func_name : string -> Aoi.operation -> string;
+  request_case : Aoi.interface -> Aoi.operation -> Mint.const;
+      (** how requests are keyed on the wire: operation-name strings for
+          CORBA/GIOP, procedure numbers for ONC *)
+  seq_len_field : string;  (** length member of sequence structs *)
+  seq_buf_field : string;  (** buffer member of sequence structs *)
+  objref_ctype : Cast.ctype;  (** C type presenting an object reference *)
+  supports_exceptions : bool;
+  supports_self_reference : bool;
+  client_first_params : string -> Cast.param list;
+      (** fixed leading stub parameters (e.g. the CORBA object
+          reference), given the interface C name *)
+  client_last_params : string -> Cast.param list;
+      (** fixed trailing stub parameters (e.g. [CORBA_Environment *] or
+          the ONC [CLIENT *] handle) *)
+  server_last_params : string -> Cast.param list;
+  string_len_params : bool;
+      (** present [in] string parameters as (pointer, explicit length)
+          pairs — the paper's section 2.2 presentation variation *)
+}
+
+val generate : hooks -> Aoi.spec -> Aoi.qname -> Pres_c.t
+(** [generate hooks spec interface_qname] builds the complete PRES_C
+    description of one interface of [spec].  Runs {!Aoi_check.check}
+    first; raises {!Diag.Error} for ill-formed specifications or
+    unsupported style/feature combinations. *)
+
+val interfaces_of : Aoi.spec -> Aoi.qname list
+(** Qualified names of every interface in the specification. *)

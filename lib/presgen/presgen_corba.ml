@@ -1,0 +1,29 @@
+let scoped_name q = String.concat "_" (List.filter (fun s -> s <> "") q)
+
+let hooks =
+  {
+    Presgen_base.style = Pres_c.Corba;
+    scoped_name;
+    client_stub_name = (fun iface op -> iface ^ "_" ^ op.Aoi.op_name);
+    server_func_name = (fun iface op -> iface ^ "_" ^ op.Aoi.op_name ^ "_impl");
+    request_case = (fun _intf op -> Mint.Cstring op.Aoi.op_name);
+    seq_len_field = "_length";
+    seq_buf_field = "_buffer";
+    objref_ctype = Cast.Tnamed "flick_objref_t";
+    supports_exceptions = true;
+    supports_self_reference = false;
+    client_first_params = (fun iface -> [ ("_obj", Cast.Tnamed iface) ]);
+    client_last_params =
+      (fun _ -> [ ("_ev", Cast.Tptr (Cast.Tnamed "flick_env_t")) ]);
+    server_last_params =
+      (fun _ -> [ ("_ev", Cast.Tptr (Cast.Tnamed "flick_env_t")) ]);
+    string_len_params = false;
+  }
+
+let generate spec q = Presgen_base.generate hooks spec q
+
+(* The alternate presentation of section 2.2: 'in' strings carry an
+   explicit length parameter, so stubs never count characters. *)
+let hooks_len = { hooks with Presgen_base.string_len_params = true }
+
+let generate_len spec q = Presgen_base.generate hooks_len spec q

@@ -1,0 +1,20 @@
+(** The CORBA C presentation generator: the OMG C language mapping, as a
+    small specialization of {!Presgen_base} (paper Table 1: 770 + 3
+    lines over the generic library).
+
+    Scoped names flatten with underscores ([M::I] becomes [M_I]); the
+    client stub for operation [op] of interface [M::I] is [M_I_op]; the
+    object reference appears as the first parameter and a
+    [flick_env_t *] environment as the last (the paper's example omits
+    it "for clarity"); requests are keyed by operation-name strings, the
+    GIOP convention; user exceptions are supported; self-referential
+    types are rejected (the paper's footnote 3). *)
+
+val hooks : Presgen_base.hooks
+
+val generate : Aoi.spec -> Aoi.qname -> Pres_c.t
+
+val generate_len : Aoi.spec -> Aoi.qname -> Pres_c.t
+(** The paper's section 2.2 variation: [in] string parameters present as
+    (pointer, explicit length) pairs — [Mail_send(obj, msg, len)] — so
+    generated stubs marshal without calling [strlen]. *)

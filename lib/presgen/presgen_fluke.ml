@@ -1,0 +1,12 @@
+(* Derived from the CORBA presentation: same data-type mapping and stub
+   shapes, different request keying and no exception machinery. *)
+let hooks =
+  {
+    Presgen_corba.hooks with
+    Presgen_base.style = Pres_c.Fluke;
+    request_case = (fun _intf op -> Mint.Cint op.Aoi.op_code);
+    supports_exceptions = false;
+    supports_self_reference = true;
+  }
+
+let generate spec q = Presgen_base.generate hooks spec q

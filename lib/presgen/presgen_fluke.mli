@@ -1,0 +1,11 @@
+(** The Fluke presentation generator (paper Table 1: 301 lines, derived
+    from the CORBA presentation library).
+
+    Fluke's C mapping follows the CORBA mapping for data types and stub
+    shapes, but requests are keyed by small integer message ids (Fluke
+    kernel IPC has no operation-name strings) and exceptions are not
+    part of the contract. *)
+
+val hooks : Presgen_base.hooks
+
+val generate : Aoi.spec -> Aoi.qname -> Pres_c.t

@@ -1,0 +1,76 @@
+(* The MIG path reuses the presentation machinery by translating the
+   parsed subsystem into a private AOI spec; the restriction to scalars
+   and arrays of scalars was already enforced by the parser. *)
+
+let aoi_type (ty : Mig_parser.mig_type) : Aoi.typ =
+  let scalar (s : Mig_parser.scalar) : Aoi.typ =
+    match s with
+    | Mig_parser.Sint -> Aoi.Integer { bits = 32; signed = true }
+    | Mig_parser.Schar -> Aoi.Char
+    | Mig_parser.Sbool -> Aoi.Boolean
+  in
+  match ty with
+  | Mig_parser.Tscalar s -> scalar s
+  | Mig_parser.Tfixed_array (s, n) -> Aoi.Array (scalar s, [ n ])
+  | Mig_parser.Tcounted_array (s, bound) -> Aoi.Sequence (scalar s, Some bound)
+
+let aoi_of_mig (spec : Mig_parser.spec) : Aoi.spec =
+  let ops =
+    List.map
+      (fun (r : Mig_parser.routine) ->
+        {
+          Aoi.op_name = r.Mig_parser.r_name;
+          op_oneway = r.Mig_parser.r_oneway;
+          op_return = Aoi.Void;
+          op_params =
+            List.map
+              (fun (a : Mig_parser.arg) ->
+                {
+                  Aoi.p_name = a.Mig_parser.a_name;
+                  p_dir = a.Mig_parser.a_dir;
+                  p_type = aoi_type a.Mig_parser.a_type;
+                })
+              r.Mig_parser.r_args;
+          op_raises = [];
+          op_code = r.Mig_parser.r_msg_id;
+        })
+      spec.Mig_parser.routines
+  in
+  {
+    Aoi.s_file = spec.Mig_parser.sub_name ^ ".defs";
+    s_defs =
+      [
+        Aoi.Dinterface
+          {
+            Aoi.i_name = spec.Mig_parser.sub_name;
+            i_parents = [];
+            i_defs = [];
+            i_ops = ops;
+            i_attrs = [];
+            i_program = None;
+          };
+      ];
+  }
+
+let hooks =
+  {
+    Presgen_base.style = Pres_c.Mig;
+    scoped_name = (fun q -> String.concat "_" (List.filter (fun s -> s <> "") q));
+    (* MIG stubs are named after the routine alone *)
+    client_stub_name = (fun _iface op -> op.Aoi.op_name);
+    server_func_name = (fun _iface op -> op.Aoi.op_name ^ "_server");
+    request_case = (fun _intf op -> Mint.Cint op.Aoi.op_code);
+    seq_len_field = "count";
+    seq_buf_field = "data";
+    objref_ctype = Cast.Tnamed "flick_objref_t";
+    supports_exceptions = false;
+    supports_self_reference = false;
+    client_first_params = (fun iface -> [ ("_obj", Cast.Tnamed iface) ]);
+    client_last_params = (fun _ -> []);
+    server_last_params = (fun _ -> []);
+    string_len_params = false;
+  }
+
+let generate (spec : Mig_parser.spec) : Pres_c.t =
+  Presgen_base.generate hooks (aoi_of_mig spec)
+    [ spec.Mig_parser.sub_name ]

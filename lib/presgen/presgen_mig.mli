@@ -1,0 +1,16 @@
+(** The MIG presentation generator, conjoined with the MIG front end
+    (paper section 2.1 and Figure 1).
+
+    MIG interface definitions contain constructs applicable only to C
+    and to Mach messaging, so — unlike the CORBA and ONC RPC front ends
+    — the MIG path does not produce IDL-independent AOI: this module
+    translates a parsed MIG subsystem directly into PRES_C.  Routines
+    present as C functions named after themselves; requests are keyed by
+    Mach message id (subsystem base + position); variable arrays present
+    as MIG-style (count, data) pairs. *)
+
+val aoi_of_mig : Mig_parser.spec -> Aoi.spec
+(** The private AOI contract between the MIG front end and this
+    generator (exposed for [flick dump-aoi]). *)
+
+val generate : Mig_parser.spec -> Pres_c.t

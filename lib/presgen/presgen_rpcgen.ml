@@ -1,0 +1,47 @@
+let scoped_name q =
+  String.concat "_" (List.filter (fun s -> s <> "") q)
+
+(* rpcgen names stubs after the procedure and version number alone; the
+   program/interface name does not appear. *)
+let version_suffix (intf : Aoi.interface) =
+  match intf.Aoi.i_program with
+  | Some (_, vers) -> Int64.to_string vers
+  | None -> "1"
+
+let hooks =
+  {
+    Presgen_base.style = Pres_c.Rpcgen;
+    scoped_name;
+    client_stub_name = (fun _iface op -> op.Aoi.op_name ^ "_stubv");
+    server_func_name = (fun _iface op -> op.Aoi.op_name ^ "_stubv_svc");
+    request_case = (fun _intf op -> Mint.Cint op.Aoi.op_code);
+    seq_len_field = "len";
+    seq_buf_field = "val";
+    objref_ctype = Cast.Tnamed "flick_objref_t";
+    supports_exceptions = false;
+    supports_self_reference = true;
+    client_first_params = (fun _ -> []);
+    client_last_params =
+      (fun _ -> [ ("_clnt", Cast.Tptr (Cast.Tnamed "flick_client_t")) ]);
+    server_last_params =
+      (fun _ -> [ ("_rqstp", Cast.Tptr (Cast.Tnamed "flick_svc_req_t")) ]);
+    string_len_params = false;
+  }
+
+(* The version number is part of every stub name, so the hooks are
+   re-derived per interface. *)
+let hooks_for (intf : Aoi.interface) =
+  let v = version_suffix intf in
+  {
+    hooks with
+    Presgen_base.client_stub_name = (fun _iface op -> op.Aoi.op_name ^ "_" ^ v);
+    server_func_name = (fun _iface op -> op.Aoi.op_name ^ "_" ^ v ^ "_svc");
+  }
+
+let generate spec q =
+  let intf =
+    match List.find_opt (fun (q', _) -> q' = q) (Aoi.interfaces spec) with
+    | Some (_, i) -> i
+    | None -> Diag.error "no interface named %s" (Aoi.qname_to_string q)
+  in
+  Presgen_base.generate (hooks_for intf) spec q

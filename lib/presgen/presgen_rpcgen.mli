@@ -1,0 +1,15 @@
+(** The rpcgen C presentation generator: Sun's rpcgen-compatible mapping
+    as a small specialization of {!Presgen_base} (paper Table 1: 281
+    lines over the generic library).
+
+    Stub names follow rpcgen: operation [send] of a version numbered 1
+    presents as client stub [send_1] and server work function
+    [send_1_svc]; the client handle appears as a trailing
+    [flick_client_t *] parameter; requests are keyed by procedure
+    number; self-referential XDR types are supported; CORBA-style
+    exceptions are rejected (the paper's footnote 3: "there is no
+    concept of exceptions in standard rpcgen presentations"). *)
+
+val hooks : Presgen_base.hooks
+
+val generate : Aoi.spec -> Aoi.qname -> Pres_c.t

@@ -1,0 +1,33 @@
+(** A simulated network link.
+
+    Models the effective path between two hosts the way the paper's
+    measurements see it: an {e effective} bandwidth (what ttcp reports
+    after the OS protocol stack takes its share — 7.5 of 10 Mbps, 70 of
+    100 Mbps, 84.5 of 640 Mbps in the paper), a propagation latency, and
+    a fixed per-message protocol-stack CPU cost.  The link serializes:
+    a message occupies it for [bytes / bandwidth] seconds, and queued
+    messages wait. *)
+
+type t
+
+val make :
+  sim:Sim_core.t ->
+  name:string ->
+  bandwidth_bps:float ->
+  latency:float ->
+  per_msg_cpu:float ->
+  t
+
+val name : t -> string
+
+val transmit : t -> bytes:int -> (unit -> unit) -> unit
+(** Deliver [bytes] over the link, invoking the continuation at the
+    receiver when the last byte (plus per-message CPU cost at each end)
+    has arrived. *)
+
+(** The paper's three networks with their measured effective
+    bandwidths. *)
+
+val ethernet_10 : sim:Sim_core.t -> t
+val ethernet_100 : sim:Sim_core.t -> t
+val myrinet_640 : sim:Sim_core.t -> t

@@ -1,0 +1,38 @@
+type t = {
+  mig_fixed : float;
+  flick_fixed : float;
+  mig_per_byte : float;
+  flick_per_byte : float;
+}
+
+(* Anchors (paper, Figure 7): at 64-byte messages MIG throughput is 2x
+   Flick's; the curves cross at 8192 bytes.
+
+     t_flick(64)  = 2 * t_mig(64)
+     t_flick(8192) = t_mig(8192)
+
+   with t_x(B) = fixed_x + B * per_byte_x.  Solving:
+
+     flick_fixed - mig_fixed = 8192 * (mig_per_byte - flick_per_byte)
+     mig_fixed = delta + 64*flick_per_byte - 128*mig_per_byte
+*)
+let calibrate ~flick_per_byte ~mig_per_byte =
+  if mig_per_byte <= flick_per_byte then
+    invalid_arg "Mach_model.calibrate: MIG must be slower per byte";
+  let delta = 8192. *. (mig_per_byte -. flick_per_byte) in
+  let mig_fixed =
+    delta +. (64. *. flick_per_byte) -. (128. *. mig_per_byte)
+  in
+  let mig_fixed = Float.max mig_fixed (delta /. 16.) in
+  { mig_fixed; flick_fixed = mig_fixed +. delta; mig_per_byte; flick_per_byte }
+
+let time t which ~bytes =
+  match which with
+  | `Mig -> t.mig_fixed +. (float_of_int bytes *. t.mig_per_byte)
+  | `Flick -> t.flick_fixed +. (float_of_int bytes *. t.flick_per_byte)
+
+let throughput t which ~bytes =
+  float_of_int (8 * bytes) /. time t which ~bytes /. 1e6
+
+let crossover t =
+  (t.flick_fixed -. t.mig_fixed) /. (t.mig_per_byte -. t.flick_per_byte)

@@ -1,0 +1,30 @@
+(** The Mach IPC cost model behind the paper's Figure 7 (MIG vs Flick
+    end-to-end throughput on one host).
+
+    MIG's stubs are specialized for Mach messages: very low fixed
+    overhead, but typed-message per-byte processing.  Flick's stubs pay
+    a higher fixed cost for their generality but marshal bytes faster.
+    The model is calibrated to the paper's two anchor observations — MIG
+    delivers twice Flick's throughput on tiny messages, and the curves
+    cross at 8 KB — and then the whole curve is generated, so the
+    remaining shape (Flick about 17% ahead at 64 KB in the paper) is an
+    output, not an input. *)
+
+type t = {
+  mig_fixed : float;  (** seconds per message, MIG *)
+  flick_fixed : float;
+  mig_per_byte : float;
+  flick_per_byte : float;
+}
+
+val calibrate : flick_per_byte:float -> mig_per_byte:float -> t
+(** Solve the fixed costs from the two anchors, given measured per-byte
+    costs (Flick: the optimized engine on Mach messages; MIG: the
+    per-datum typed-message shape). *)
+
+val throughput : t -> [ `Mig | `Flick ] -> bytes:int -> float
+(** Single-host round-trip throughput in Mbit/s for an integer-array
+    message of the given size. *)
+
+val crossover : t -> float
+(** Message size at which the Flick curve overtakes MIG. *)

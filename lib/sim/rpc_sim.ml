@@ -1,0 +1,35 @@
+type stub_cost = {
+  sc_name : string;
+  sc_marshal : int -> float;
+  sc_unmarshal : int -> float;
+  sc_per_call : float;
+}
+
+let round_trip_throughput ~net ~cost ~msg_bytes ?(reply_bytes = 64)
+    ?(rounds = 32) () =
+  let sim = Sim_core.create () in
+  let link = net ~sim in
+  let finished = ref 0. in
+  (* one round trip: client marshal -> wire -> server unmarshal ->
+     server marshal reply -> wire -> client unmarshal -> next *)
+  let rec round n =
+    if n = 0 then finished := Sim_core.now sim
+    else
+      Sim_core.schedule sim
+        ~delay:(cost.sc_per_call +. cost.sc_marshal msg_bytes)
+        (fun () ->
+          Link.transmit link ~bytes:msg_bytes (fun () ->
+              Sim_core.schedule sim ~delay:(cost.sc_unmarshal msg_bytes)
+                (fun () ->
+                  Sim_core.schedule sim ~delay:(cost.sc_marshal reply_bytes)
+                    (fun () ->
+                      Link.transmit link ~bytes:reply_bytes (fun () ->
+                          Sim_core.schedule sim
+                            ~delay:(cost.sc_unmarshal reply_bytes) (fun () ->
+                              round (n - 1)))))))
+  in
+  round rounds;
+  Sim_core.run sim;
+  let total = !finished in
+  if total <= 0. then 0.
+  else float_of_int (8 * msg_bytes * rounds) /. total /. 1e6

@@ -1,0 +1,33 @@
+(** End-to-end RPC throughput simulation (paper Figures 4-6).
+
+    The paper measures round-trip invocations of stubs sending arrays of
+    increasing size across three networks, and explains the result
+    structure as: marshal time (stub quality) + protocol stack + wire
+    time, with the reply being a small message.  This module replays
+    that experiment in the discrete-event simulator: the stub costs are
+    {e measured} marshal/unmarshal seconds from the stub engines (scaled
+    to the paper's hardware era by a calibration factor), and the wire
+    is a {!Link} with the measured effective bandwidth.
+
+    Expected shapes: on the slow Ethernet all compilers saturate the
+    wire (the paper's 6-7.5 Mbps ceiling); on the fast links the
+    marshal-bound compilers flatline while Flick-style stubs climb
+    severalfold. *)
+
+type stub_cost = {
+  sc_name : string;
+  sc_marshal : int -> float;  (** seconds to marshal a request of n payload bytes *)
+  sc_unmarshal : int -> float;
+  sc_per_call : float;  (** fixed per-invocation stub overhead, seconds *)
+}
+
+val round_trip_throughput :
+  net:(sim:Sim_core.t -> Link.t) ->
+  cost:stub_cost ->
+  msg_bytes:int ->
+  ?reply_bytes:int ->
+  ?rounds:int ->
+  unit ->
+  float
+(** Simulated end-to-end throughput in Mbit/s of payload, running
+    [rounds] back-to-back round trips (default 32, reply 64 bytes). *)

@@ -1,0 +1,25 @@
+(** A small discrete-event simulation core.
+
+    Stands in for the paper's testbed networks: client and server
+    processes are callbacks scheduled on a virtual clock, links impose
+    serialization and propagation delays ({!Link}).  Events at equal
+    times fire in schedule order (deterministic runs). *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current virtual time in seconds. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** Schedule a callback [delay] seconds from now.  Negative delays are
+    rejected. *)
+
+val run : t -> unit
+(** Process events until none remain. *)
+
+val run_until : t -> float -> unit
+(** Process events with timestamps up to the given time. *)
+
+val events_processed : t -> int

@@ -1,0 +1,29 @@
+type severity = Warning | Error_sev
+type t = { severity : severity; loc : Loc.t; message : string }
+
+exception Error of t
+
+let error ?(loc = Loc.dummy) fmt =
+  Format.kasprintf
+    (fun message -> raise (Error { severity = Error_sev; loc; message }))
+    fmt
+
+let errorf_at loc fmt = error ~loc fmt
+
+let pp ppf t =
+  let tag = match t.severity with Warning -> "warning" | Error_sev -> "error" in
+  Format.fprintf ppf "%a: %s: %s" Loc.pp t.loc tag t.message
+
+let to_string t = Format.asprintf "%a" pp t
+
+type collector = { mutable items : t list }
+
+let make_collector () = { items = [] }
+
+let warn c ?(loc = Loc.dummy) fmt =
+  Format.kasprintf
+    (fun message ->
+      c.items <- { severity = Warning; loc; message } :: c.items)
+    fmt
+
+let warnings c = List.rev c.items

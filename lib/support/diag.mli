@@ -1,0 +1,31 @@
+(** Diagnostics: errors and warnings with source locations.
+
+    Every phase of the compiler reports problems through this module so
+    that the driver and the command-line tool can render them uniformly.
+    Fatal problems are raised as the {!Error} exception; warnings are
+    accumulated in a {!collector}. *)
+
+type severity = Warning | Error_sev
+
+type t = { severity : severity; loc : Loc.t; message : string }
+
+exception Error of t
+(** Raised for unrecoverable problems (syntax errors, unresolved names,
+    unsupported presentation combinations, ...). *)
+
+val error : ?loc:Loc.t -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** [error ~loc fmt ...] raises {!Error} with a formatted message. *)
+
+val errorf_at : Loc.t -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Alias of {!error} with a mandatory location. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Accumulator for non-fatal warnings emitted during a compilation. *)
+type collector
+
+val make_collector : unit -> collector
+val warn : collector -> ?loc:Loc.t -> ('a, Format.formatter, unit, unit) format4 -> 'a
+val warnings : collector -> t list
+(** Warnings in the order they were emitted. *)

@@ -1,0 +1,24 @@
+type pos = { line : int; col : int }
+type t = { file : string; start_pos : pos; end_pos : pos }
+
+let dummy =
+  { file = ""; start_pos = { line = 0; col = 0 }; end_pos = { line = 0; col = 0 } }
+
+let make ~file ~start_pos ~end_pos = { file; start_pos; end_pos }
+
+let is_dummy t = t.file = "" && t.start_pos.line = 0
+
+let merge a b =
+  if is_dummy a then b
+  else if is_dummy b then a
+  else { file = a.file; start_pos = a.start_pos; end_pos = b.end_pos }
+
+let pp ppf t =
+  if is_dummy t then Format.fprintf ppf "<unknown>"
+  else if t.start_pos.line = t.end_pos.line then
+    Format.fprintf ppf "%s:%d:%d" t.file t.start_pos.line t.start_pos.col
+  else
+    Format.fprintf ppf "%s:%d:%d-%d:%d" t.file t.start_pos.line t.start_pos.col
+      t.end_pos.line t.end_pos.col
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,32 @@
+(** Source locations for IDL input files.
+
+    A location identifies a half-open span of characters within a named
+    source file.  Locations are attached to tokens by the lexer and
+    propagated through the parsers into diagnostics. *)
+
+type pos = {
+  line : int;  (** 1-based line number *)
+  col : int;  (** 1-based column number *)
+}
+
+type t = {
+  file : string;  (** source file name, or ["<string>"] for in-memory input *)
+  start_pos : pos;
+  end_pos : pos;
+}
+
+val dummy : t
+(** A location for synthesized constructs with no source position. *)
+
+val make : file:string -> start_pos:pos -> end_pos:pos -> t
+
+val merge : t -> t -> t
+(** [merge a b] spans from the start of [a] to the end of [b].  Both
+    locations must come from the same file; if either is {!dummy} the
+    other is returned. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [file:line:col] (or [file:line:col-line:col] for
+    multi-line spans). *)
+
+val to_string : t -> string

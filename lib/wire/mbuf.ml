@@ -1,0 +1,237 @@
+exception Short_buffer
+
+external unsafe_set16 : bytes -> int -> int -> unit = "%caml_bytes_set16u"
+external unsafe_set32 : bytes -> int -> int32 -> unit = "%caml_bytes_set32u"
+external unsafe_set64 : bytes -> int -> int64 -> unit = "%caml_bytes_set64u"
+external unsafe_get16 : bytes -> int -> int = "%caml_bytes_get16u"
+external unsafe_get32 : bytes -> int -> int32 = "%caml_bytes_get32u"
+external unsafe_get64 : bytes -> int -> int64 = "%caml_bytes_get64u"
+external bswap16 : int -> int = "%bswap16"
+external bswap32 : int32 -> int32 = "%bswap_int32"
+external bswap64 : int64 -> int64 = "%bswap_int64"
+
+(* The primitives store in native order; convert when the requested
+   endianness differs from the machine's. *)
+let native_big = Sys.big_endian
+
+type t = { mutable buf : bytes; mutable pos : int }
+
+let create n = { buf = Bytes.create (max n 16); pos = 0 }
+let reset t = t.pos <- 0
+let pos t = t.pos
+let contents t = Bytes.sub t.buf 0 t.pos
+let unsafe_contents t = t.buf
+
+let ensure t n =
+  let want = t.pos + n in
+  if want > Bytes.length t.buf then begin
+    let cap = ref (Bytes.length t.buf * 2) in
+    while want > !cap do
+      cap := !cap * 2
+    done;
+    let bigger = Bytes.create !cap in
+    Bytes.blit t.buf 0 bigger 0 t.pos;
+    t.buf <- bigger
+  end
+
+let advance t n = t.pos <- t.pos + n
+
+let align t a =
+  let rem = t.pos land (a - 1) in
+  if rem <> 0 then begin
+    let pad = a - rem in
+    ensure t pad;
+    Bytes.fill t.buf t.pos pad '\000';
+    t.pos <- t.pos + pad
+  end
+
+(* -- unchecked stores ---------------------------------------------- *)
+
+let set_u8 t off v = Bytes.unsafe_set t.buf (t.pos + off) (Char.unsafe_chr (v land 0xff))
+
+let set_i16_be t off v =
+  unsafe_set16 t.buf (t.pos + off) (if native_big then v else bswap16 v)
+
+let set_i16_le t off v =
+  unsafe_set16 t.buf (t.pos + off) (if native_big then bswap16 v else v)
+
+let set_i32_be t off v =
+  let v = Int32.of_int v in
+  unsafe_set32 t.buf (t.pos + off) (if native_big then v else bswap32 v)
+
+let set_i32_le t off v =
+  let v = Int32.of_int v in
+  unsafe_set32 t.buf (t.pos + off) (if native_big then bswap32 v else v)
+
+let set_i64_be t off v =
+  unsafe_set64 t.buf (t.pos + off) (if native_big then v else bswap64 v)
+
+let set_i64_le t off v =
+  unsafe_set64 t.buf (t.pos + off) (if native_big then bswap64 v else v)
+
+let set_f32_be t off v =
+  let bits = Int32.bits_of_float v in
+  unsafe_set32 t.buf (t.pos + off) (if native_big then bits else bswap32 bits)
+
+let set_f32_le t off v =
+  let bits = Int32.bits_of_float v in
+  unsafe_set32 t.buf (t.pos + off) (if native_big then bswap32 bits else bits)
+
+let set_f64_be t off v =
+  let bits = Int64.bits_of_float v in
+  unsafe_set64 t.buf (t.pos + off) (if native_big then bits else bswap64 bits)
+
+let set_f64_le t off v =
+  let bits = Int64.bits_of_float v in
+  unsafe_set64 t.buf (t.pos + off) (if native_big then bswap64 bits else bits)
+
+let set_bytes t off src srcoff len = Bytes.blit src srcoff t.buf (t.pos + off) len
+let fill_zero t off len = Bytes.fill t.buf (t.pos + off) len '\000'
+let set_string t off src srcoff len = Bytes.blit_string src srcoff t.buf (t.pos + off) len
+
+(* -- checked appends ------------------------------------------------ *)
+
+let put_u8 t v =
+  ensure t 1;
+  set_u8 t 0 v;
+  t.pos <- t.pos + 1
+
+let put_i16 t ~be v =
+  ensure t 2;
+  if be then set_i16_be t 0 v else set_i16_le t 0 v;
+  t.pos <- t.pos + 2
+
+let put_i32 t ~be v =
+  ensure t 4;
+  if be then set_i32_be t 0 v else set_i32_le t 0 v;
+  t.pos <- t.pos + 4
+
+let put_i64 t ~be v =
+  ensure t 8;
+  if be then set_i64_be t 0 v else set_i64_le t 0 v;
+  t.pos <- t.pos + 8
+
+let put_f32 t ~be v =
+  ensure t 4;
+  if be then set_f32_be t 0 v else set_f32_le t 0 v;
+  t.pos <- t.pos + 4
+
+let put_f64 t ~be v =
+  ensure t 8;
+  if be then set_f64_be t 0 v else set_f64_le t 0 v;
+  t.pos <- t.pos + 8
+
+(* -- readers --------------------------------------------------------- *)
+
+type reader = { rbuf : bytes; mutable rpos : int; rend : int }
+
+let reader_of_bytes ?(off = 0) ?len b =
+  let len = match len with Some l -> l | None -> Bytes.length b - off in
+  if off < 0 || len < 0 || off + len > Bytes.length b then
+    invalid_arg "Mbuf.reader_of_bytes";
+  { rbuf = b; rpos = off; rend = off + len }
+
+let reader t = { rbuf = t.buf; rpos = 0; rend = t.pos }
+let rpos r = r.rpos
+let remaining r = r.rend - r.rpos
+let need r n = if r.rpos + n > r.rend then raise Short_buffer
+let skip r n =
+  need r n;
+  r.rpos <- r.rpos + n
+
+let ralign r a =
+  let rem = r.rpos land (a - 1) in
+  if rem <> 0 then skip r (a - rem)
+
+let get_u8 r off = Char.code (Bytes.unsafe_get r.rbuf (r.rpos + off))
+
+let get_i16_be r off =
+  let v = unsafe_get16 r.rbuf (r.rpos + off) in
+  if native_big then v else bswap16 v
+
+let get_i16_le r off =
+  let v = unsafe_get16 r.rbuf (r.rpos + off) in
+  if native_big then bswap16 v else v
+
+let get_i32_be r off =
+  let v = unsafe_get32 r.rbuf (r.rpos + off) in
+  Int32.to_int (if native_big then v else bswap32 v)
+
+let get_i32_le r off =
+  let v = unsafe_get32 r.rbuf (r.rpos + off) in
+  Int32.to_int (if native_big then bswap32 v else v)
+
+let get_i64_be r off =
+  let v = unsafe_get64 r.rbuf (r.rpos + off) in
+  if native_big then v else bswap64 v
+
+let get_i64_le r off =
+  let v = unsafe_get64 r.rbuf (r.rpos + off) in
+  if native_big then bswap64 v else v
+
+let get_f32_be r off =
+  let v = unsafe_get32 r.rbuf (r.rpos + off) in
+  Int32.float_of_bits (if native_big then v else bswap32 v)
+
+let get_f32_le r off =
+  let v = unsafe_get32 r.rbuf (r.rpos + off) in
+  Int32.float_of_bits (if native_big then bswap32 v else v)
+
+let get_f64_be r off =
+  let v = unsafe_get64 r.rbuf (r.rpos + off) in
+  Int64.float_of_bits (if native_big then v else bswap64 v)
+
+let get_f64_le r off =
+  let v = unsafe_get64 r.rbuf (r.rpos + off) in
+  Int64.float_of_bits (if native_big then bswap64 v else v)
+
+let get_bytes r off len = Bytes.sub r.rbuf (r.rpos + off) len
+let get_string r off len = Bytes.sub_string r.rbuf (r.rpos + off) len
+
+let read_u8 r =
+  need r 1;
+  let v = get_u8 r 0 in
+  r.rpos <- r.rpos + 1;
+  v
+
+let read_i16 r ~be =
+  need r 2;
+  let v = if be then get_i16_be r 0 else get_i16_le r 0 in
+  r.rpos <- r.rpos + 2;
+  v
+
+let read_i32 r ~be =
+  need r 4;
+  let v = if be then get_i32_be r 0 else get_i32_le r 0 in
+  r.rpos <- r.rpos + 4;
+  v
+
+let read_i64 r ~be =
+  need r 8;
+  let v = if be then get_i64_be r 0 else get_i64_le r 0 in
+  r.rpos <- r.rpos + 8;
+  v
+
+let read_f32 r ~be =
+  need r 4;
+  let v = if be then get_f32_be r 0 else get_f32_le r 0 in
+  r.rpos <- r.rpos + 4;
+  v
+
+let read_f64 r ~be =
+  need r 8;
+  let v = if be then get_f64_be r 0 else get_f64_le r 0 in
+  r.rpos <- r.rpos + 8;
+  v
+
+let read_bytes r len =
+  need r len;
+  let v = get_bytes r 0 len in
+  r.rpos <- r.rpos + len;
+  v
+
+let read_string r len =
+  need r len;
+  let v = get_string r 0 len in
+  r.rpos <- r.rpos + len;
+  v

@@ -1,0 +1,121 @@
+(** Marshal buffers: the runtime substrate Flick-generated stubs write
+    into and read from.
+
+    A writer is a growable byte buffer with an explicit
+    capacity-reservation step ({!ensure}) separated from the raw store
+    operations, exactly mirroring the split the paper's optimization
+    relies on (section 3.1): optimized stubs call {!ensure} once per
+    fixed-size message segment and then use the unchecked
+    [set_*]/[advance] operations at static offsets, while rpcgen-style
+    stubs call a checked [put_*] per datum.
+
+    Writers are reused across invocations ({!reset}) as Flick stubs
+    reuse their dynamically allocated buffers.
+
+    Multi-byte stores come in big- and little-endian variants; [set_*]
+    writes at an absolute offset without moving the cursor (chunk
+    addressing: pointer-plus-constant-offset), [put_*] appends at the
+    cursor with a bounds check and growth (the traditional stub shape).
+
+    A {!reader} is a bounded view used by unmarshal code, with checked
+    reads and a batched {!need} precheck for chunked decoding.  Reads
+    past the message raise {!Short_buffer} — truncated-message failure
+    injection in the tests relies on this. *)
+
+exception Short_buffer
+
+type t
+
+val create : int -> t
+val reset : t -> unit
+val pos : t -> int
+val contents : t -> bytes
+(** Copy of the bytes written so far. *)
+
+val unsafe_contents : t -> bytes
+(** The underlying storage (valid up to {!pos}); not a copy. *)
+
+val ensure : t -> int -> unit
+(** Guarantee capacity for [n] more bytes, growing geometrically. *)
+
+val advance : t -> int -> unit
+(** Move the cursor forward over bytes already stored with [set_*]. *)
+
+val align : t -> int -> unit
+(** Pad the cursor with zero bytes to the given power-of-two alignment
+    (message-relative); includes its own capacity check. *)
+
+(** Unchecked stores at [pos t + off]; call {!ensure} first. *)
+
+val set_u8 : t -> int -> int -> unit
+val set_i16_be : t -> int -> int -> unit
+val set_i16_le : t -> int -> int -> unit
+val set_i32_be : t -> int -> int -> unit
+val set_i32_le : t -> int -> int -> unit
+val set_i64_be : t -> int -> int64 -> unit
+val set_i64_le : t -> int -> int64 -> unit
+val set_f32_be : t -> int -> float -> unit
+val set_f32_le : t -> int -> float -> unit
+val set_f64_be : t -> int -> float -> unit
+val set_f64_le : t -> int -> float -> unit
+val set_bytes : t -> int -> bytes -> int -> int -> unit
+(** [set_bytes t off src srcoff len] — the memcpy path. *)
+
+val fill_zero : t -> int -> int -> unit
+(** [fill_zero t off len] zeroes a reserved span (chunk padding). *)
+
+val set_string : t -> int -> string -> int -> int -> unit
+
+(** Checked appends: each performs its own {!ensure} — the per-datum
+    shape of traditional stubs. *)
+
+val put_u8 : t -> int -> unit
+val put_i16 : t -> be:bool -> int -> unit
+val put_i32 : t -> be:bool -> int -> unit
+val put_i64 : t -> be:bool -> int64 -> unit
+val put_f32 : t -> be:bool -> float -> unit
+val put_f64 : t -> be:bool -> float -> unit
+
+(** Readers *)
+
+type reader
+
+val reader_of_bytes : ?off:int -> ?len:int -> bytes -> reader
+val reader : t -> reader
+(** Read back what was written (no copy). *)
+
+val rpos : reader -> int
+val remaining : reader -> int
+val need : reader -> int -> unit
+(** Raise {!Short_buffer} unless [n] bytes remain — the batched check
+    unmarshal chunks use. *)
+
+val skip : reader -> int -> unit
+val ralign : reader -> int -> unit
+
+(** Unchecked reads at [rpos + off]; call {!need} first. *)
+
+val get_u8 : reader -> int -> int
+val get_i16_be : reader -> int -> int
+val get_i16_le : reader -> int -> int
+val get_i32_be : reader -> int -> int
+val get_i32_le : reader -> int -> int
+val get_i64_be : reader -> int -> int64
+val get_i64_le : reader -> int -> int64
+val get_f32_be : reader -> int -> float
+val get_f32_le : reader -> int -> float
+val get_f64_be : reader -> int -> float
+val get_f64_le : reader -> int -> float
+val get_bytes : reader -> int -> int -> bytes
+val get_string : reader -> int -> int -> string
+
+(** Checked sequential reads (advance the cursor). *)
+
+val read_u8 : reader -> int
+val read_i16 : reader -> be:bool -> int
+val read_i32 : reader -> be:bool -> int
+val read_i64 : reader -> be:bool -> int64
+val read_f32 : reader -> be:bool -> float
+val read_f64 : reader -> be:bool -> float
+val read_bytes : reader -> int -> bytes
+val read_string : reader -> int -> string

@@ -1,0 +1,185 @@
+(* Fuzzing the front-end loop: a random AOI specification, printed by
+   Aoi_pp in CORBA-like syntax, must reparse through the CORBA front
+   end into an equivalent specification. *)
+
+module G = QCheck.Gen
+
+let ident_gen prefix st =
+  Printf.sprintf "%s%d" prefix (Random.State.int st 1000000)
+
+(* random well-formed AOI types over a set of already-declared names *)
+let rec typ_gen ?(allow_array = true) declared depth st : Aoi.typ =
+  let leaf () =
+    match Random.State.int st (if declared = [] then 6 else 7) with
+    | 0 -> Aoi.Integer { bits = 32; signed = true }
+    | 1 -> Aoi.Integer { bits = 16; signed = false }
+    | 2 -> Aoi.Boolean
+    | 3 -> Aoi.Char
+    | 4 -> Aoi.Octet
+    | 5 -> Aoi.String (if Random.State.bool st then Some 32 else None)
+    | _ -> Aoi.Named [ List.nth declared (Random.State.int st (List.length declared)) ]
+  in
+  if depth >= 2 then leaf ()
+  else
+    match Random.State.int st (if allow_array then 6 else 5) with
+    | 0 | 1 | 2 -> leaf ()
+    (* CORBA cannot write an anonymous array as a sequence element *)
+    | 3 ->
+        Aoi.Sequence
+          ( typ_gen ~allow_array:false declared (depth + 1) st,
+            Some (1 + Random.State.int st 16) )
+    | 5 -> Aoi.Array (typ_gen ~allow_array:false declared (depth + 1) st,
+                      [ 1 + Random.State.int st 8 ])
+    (* anonymous structs cannot be written inline in CORBA IDL; structs
+       enter the generated specs as named declarations (see spec_gen) *)
+    | _ -> leaf ()
+
+let spec_gen st : Aoi.spec =
+  let n_types = 1 + Random.State.int st 4 in
+  let declared = ref [] in
+  let defs = ref [] in
+  for i = 0 to n_types - 1 do
+    let name = Printf.sprintf "T%d_%s" i (ident_gen "x" st) in
+    let ty =
+      if Random.State.bool st then
+        Aoi.Struct_type
+          (List.init
+             (1 + Random.State.int st 3)
+             (fun k ->
+               { Aoi.f_name = Printf.sprintf "m%d" k;
+                 f_type = typ_gen !declared 0 st }))
+      else typ_gen !declared 0 st
+    in
+    defs := Aoi.Dtype (name, ty) :: !defs;
+    declared := name :: !declared
+  done;
+  let params =
+    List.init
+      (Random.State.int st 3)
+      (fun i ->
+        {
+          Aoi.p_name = Printf.sprintf "p%d" i;
+          p_dir =
+            (match Random.State.int st 3 with
+            | 0 -> Aoi.In
+            | 1 -> Aoi.Out
+            | _ -> Aoi.Inout);
+          (* CORBA parameters cannot carry array declarators; arrays
+             reach parameters only through typedefs *)
+          p_type = typ_gen ~allow_array:false !declared 0 st;
+        })
+  in
+  let intf =
+    {
+      Aoi.i_name = "I";
+      i_parents = [];
+      i_defs = [];
+      i_ops =
+        [
+          {
+            Aoi.op_name = "f";
+            op_oneway = false;
+            op_return = Aoi.Void;
+            op_params = params;
+            op_raises = [];
+            op_code = 0L;
+          };
+        ];
+      i_attrs = [];
+      i_program = None;
+    }
+  in
+  { Aoi.s_file = "<fuzz>"; s_defs = List.rev (Aoi.Dinterface intf :: !defs) }
+
+(* structural comparison after one round trip; the reparse may hoist
+   inline constructed types into named siblings, so compare the fully
+   resolved shapes of the interface parameters instead of raw defs *)
+let rec resolved_shape env scope (ty : Aoi.typ) : string =
+  match ty with
+  | Aoi.Void -> "void"
+  | Aoi.Boolean -> "bool"
+  | Aoi.Char -> "char"
+  | Aoi.Octet -> "octet"
+  | Aoi.Integer { bits; signed } -> Printf.sprintf "i%d%b" bits signed
+  | Aoi.Float bits -> Printf.sprintf "f%d" bits
+  | Aoi.String b -> Printf.sprintf "s%s" (match b with None -> "" | Some n -> string_of_int n)
+  | Aoi.Sequence (t, b) ->
+      Printf.sprintf "q%s(%s)"
+        (match b with None -> "" | Some n -> string_of_int n)
+        (resolved_shape env scope t)
+  | Aoi.Array (t, dims) ->
+      (* nested arrays and multi-dimension lists are the same shape *)
+      let rec flatten t dims =
+        match (t : Aoi.typ) with
+        | Aoi.Array (inner, more) -> flatten inner (dims @ more)
+        | _ -> (t, dims)
+      in
+      let base, dims = flatten t dims in
+      Printf.sprintf "a%s(%s)"
+        (String.concat "x" (List.map string_of_int dims))
+        (resolved_shape env scope base)
+  | Aoi.Struct_type fields ->
+      Printf.sprintf "{%s}"
+        (String.concat ";"
+           (List.map
+              (fun f ->
+                f.Aoi.f_name ^ ":" ^ resolved_shape env scope f.Aoi.f_type)
+              fields))
+  | Aoi.Union_type _ -> "union"
+  | Aoi.Enum_type names -> Printf.sprintf "e%d" (List.length names)
+  | Aoi.Optional t -> Printf.sprintf "o(%s)" (resolved_shape env scope t)
+  | Aoi.Object _ -> "objref"
+  | Aoi.Named q -> (
+      match Aoi_env.resolve env ~scope q with
+      | Some (qn, Aoi_env.Btype body) ->
+          resolved_shape env (match List.rev qn with [] -> [] | _ :: r -> List.rev r) body
+      | Some (_, Aoi_env.Binterface _) -> "objref"
+      | _ -> "?")
+
+let shape_of_spec spec =
+  let report = Aoi_check.check spec in
+  let env = report.Aoi_check.env in
+  match Aoi.interfaces spec with
+  | [ (q, i) ] ->
+      let scope = match List.rev q with [] -> [] | _ :: r -> List.rev r in
+      String.concat ","
+        (List.concat_map
+           (fun op ->
+             List.map
+               (fun p ->
+                 Printf.sprintf "%s/%s:%s" p.Aoi.p_name
+                   (match p.Aoi.p_dir with
+                   | Aoi.In -> "in"
+                   | Aoi.Out -> "out"
+                   | Aoi.Inout -> "inout")
+                   (resolved_shape env (scope @ [ i.Aoi.i_name ]) p.Aoi.p_type))
+               op.Aoi.op_params)
+           i.Aoi.i_ops)
+  | _ -> "<no single interface>"
+
+let roundtrip_prop spec =
+  let printed = Aoi_pp.spec_to_string spec in
+  match Corba_parser.parse ~file:"<fuzz>" printed with
+  | reparsed ->
+      let before = shape_of_spec spec in
+      let after = shape_of_spec reparsed in
+      if before <> after then
+        QCheck.Test.fail_reportf
+          "shapes differ@.before: %s@.after: %s@.--- printed ---@.%s" before
+          after printed
+      else true
+  | exception Diag.Error d ->
+      QCheck.Test.fail_reportf "reparse failed: %s@.--- printed ---@.%s"
+        (Diag.to_string d) printed
+
+let suite =
+  [
+    ( "aoi:fuzz",
+      [
+        QCheck_alcotest.to_alcotest
+          (QCheck.Test.make ~count:200
+             ~name:"printed AOI reparses with identical parameter shapes"
+             (QCheck.make ~print:Aoi_pp.spec_to_string spec_gen)
+             roundtrip_prop);
+      ] );
+  ]

@@ -1,0 +1,336 @@
+(* Back-end tests: every generated C file must compile with gcc, and
+   loopback client/server round trips must actually run.  This is the
+   strongest validation that the emitted stubs implement the wire
+   contracts they claim. *)
+
+let mail_idl =
+  "interface Mail { void send(in string msg); oneway void ping(in long x); };"
+
+let dir_idl =
+  "struct stat_info { long fields[30]; char tag[16]; };\n\
+   struct dirent { string name; stat_info info; };\n\
+   typedef sequence<dirent> dirent_seq;\n\
+   exception NotFound { string why; };\n\
+   interface Dir { dirent_seq read_dir(in string path) raises (NotFound); \
+   long count(in string path, out long total); };"
+
+let calc_x =
+  "program Calc { version CalcV { int add(int, int) = 1; int neg(int) = 2; } \
+   = 1; } = 200;"
+
+let list_x =
+  "struct node { int v; node *next; };\n\
+   program ListP { version ListV { node *reverse(node *) = 1; } = 1; } = 300;"
+
+let tmp_root =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "flick-ctest-%d" (Unix.getpid ()))
+  in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  dir
+
+let fresh_dir =
+  let n = ref 0 in
+  fun name ->
+    incr n;
+    let d = Filename.concat tmp_root (Printf.sprintf "%s-%d" name !n) in
+    (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    d
+
+let write_file dir name contents =
+  let oc = open_out (Filename.concat dir name) in
+  output_string oc contents;
+  close_out oc
+
+let sh dir cmd =
+  Sys.command (Printf.sprintf "cd %s && %s" (Filename.quote dir) cmd)
+
+let compile_check name files =
+  let dir = fresh_dir name in
+  Runtime.write_to dir;
+  List.iter (fun (fname, contents) -> write_file dir fname contents) files;
+  List.iter
+    (fun (fname, contents) ->
+      if Filename.check_suffix fname ".c" then begin
+        let rc =
+          sh dir
+            (Printf.sprintf
+               "gcc -std=c99 -Wall -Werror -Wno-unused-variable \
+                -Wno-unused-function -Wno-unused-but-set-variable -c %s -o \
+                %s.o 2> %s.err"
+               fname fname fname)
+        in
+        if rc <> 0 then begin
+          let err =
+            let ic = open_in (Filename.concat dir (fname ^ ".err")) in
+            let n = in_channel_length ic in
+            let s = really_input_string ic n in
+            close_in ic;
+            s
+          in
+          Alcotest.failf "gcc failed on %s/%s:\n%s\n--- %s ---\n%s" name fname
+            err fname contents
+        end
+      end)
+    files
+
+let run_loopback name files main_src =
+  let dir = fresh_dir name in
+  Runtime.write_to dir;
+  List.iter (fun (fname, contents) -> write_file dir fname contents) files;
+  write_file dir "main.c" main_src;
+  let c_files =
+    String.concat " "
+      ("main.c"
+      :: List.filter_map
+           (fun (f, _) -> if Filename.check_suffix f ".c" then Some f else None)
+           files)
+  in
+  let rc =
+    sh dir
+      (Printf.sprintf
+         "gcc -std=c99 -Wall -Wno-unused-variable -Wno-unused-function \
+          -Wno-unused-but-set-variable %s -o loop 2> build.err && ./loop > \
+          run.out 2>&1"
+         c_files)
+  in
+  if rc <> 0 then begin
+    let slurp f =
+      try
+        let ic = open_in (Filename.concat dir f) in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+      with Sys_error _ -> "<missing>"
+    in
+    Alcotest.failf "loopback %s failed (rc %d):\nbuild: %s\nrun: %s" name rc
+      (slurp "build.err") (slurp "run.out")
+  end
+
+let test name f = Alcotest.test_case name `Quick f
+
+let presentations () =
+  let mail = Corba_parser.parse ~file:"mail.idl" mail_idl in
+  let dir = Corba_parser.parse ~file:"dir.idl" dir_idl in
+  let calc = Onc_parser.parse ~file:"calc.x" calc_x in
+  let lst = Onc_parser.parse ~file:"list.x" list_x in
+  [
+    ("mail-corba", Presgen_corba.generate mail [ "Mail" ]);
+    ("dir-corba", Presgen_corba.generate dir [ "Dir" ]);
+    ("calc-rpcgen", Presgen_rpcgen.generate calc [ "Calc"; "CalcV" ]);
+    ("list-rpcgen", Presgen_rpcgen.generate lst [ "ListP"; "ListV" ]);
+    ("mail-fluke", Presgen_fluke.generate mail [ "Mail" ]);
+  ]
+
+let backends =
+  [
+    ("iiop", Be_iiop.generate);
+    ("oncrpc", Be_xdr.generate);
+    ("mach3", Be_mach.generate);
+    ("fluke", Be_fluke.generate);
+  ]
+
+let compile_tests =
+  List.concat_map
+    (fun (pname, pc) ->
+      List.map
+        (fun (bname, gen) ->
+          test
+            (Printf.sprintf "gcc compiles %s via %s" pname bname)
+            (fun () -> compile_check (pname ^ "-" ^ bname) (gen pc)))
+        backends)
+    (presentations ())
+
+let mail_main =
+  {c|#include <stdio.h>
+#include <string.h>
+#include "mail.h"
+
+static char received[256];
+static int pings;
+
+void Mail_send_impl(Mail _obj, char *msg, flick_env_t *_ev)
+{
+  (void)_obj; (void)_ev;
+  strcpy(received, msg);
+}
+
+void Mail_ping_impl(Mail _obj, int32_t x, flick_env_t *_ev)
+{
+  (void)_obj; (void)_ev;
+  pings += x;
+}
+
+int main(void)
+{
+  struct flick_object obj;
+  flick_env_t ev;
+  obj.dispatch = Mail_dispatch;
+  obj.impl_state = &obj;
+  obj.key = "mail-object";
+  flick_env_clear(&ev);
+  Mail_send(&obj, "hello through GIOP", &ev);
+  if (strcmp(received, "hello through GIOP") != 0) return 1;
+  Mail_ping(&obj, 21, &ev);
+  Mail_ping(&obj, 21, &ev);
+  if (pings != 42) return 2;
+  printf("mail ok\n");
+  return 0;
+}
+|c}
+
+let calc_main =
+  {c|#include <stdio.h>
+#include "calc_calcv.h"
+
+int32_t add_1_svc(int32_t a, int32_t b, flick_svc_req_t *rq)
+{
+  (void)rq;
+  return a + b;
+}
+
+int32_t neg_1_svc(int32_t a, flick_svc_req_t *rq)
+{
+  (void)rq;
+  return -a;
+}
+
+int main(void)
+{
+  flick_client_t clnt;
+  clnt.dispatch = Calc_CalcV_dispatch;
+  clnt.impl_state = 0;
+  clnt.key = "calc";
+  if (add_1(20, 22, &clnt) != 42) return 1;
+  if (neg_1(7, &clnt) != -7) return 2;
+  printf("calc ok\n");
+  return 0;
+}
+|c}
+
+let dir_main =
+  {c|#include <stdio.h>
+#include <string.h>
+#include "dir.h"
+
+static NotFound not_found;
+
+dirent_seq *Dir_read_dir_impl(Dir _obj, char *path, flick_env_t *_ev)
+{
+  static dirent_seq seq;
+  static dirent entries[2];
+  int i, k;
+  (void)_obj;
+  if (strcmp(path, "/missing") == 0) {
+    not_found.why = "no such directory";
+    flick_env_raise(_ev, "NotFound", &not_found);
+    return 0;
+  }
+  for (i = 0; i < 2; i++) {
+    entries[i].name = i == 0 ? "alpha" : "beta";
+    for (k = 0; k < 30; k++) entries[i].info.fields[k] = i * 100 + k;
+    memset(entries[i].info.tag, 'A' + i, 16);
+  }
+  seq._length = 2;
+  seq._buffer = entries;
+  return &seq;
+}
+
+int32_t Dir_count_impl(Dir _obj, char *path, int32_t *total, flick_env_t *_ev)
+{
+  (void)_obj; (void)_ev; (void)path;
+  *total = 99;
+  return 7;
+}
+
+int main(void)
+{
+  struct flick_object obj;
+  flick_env_t ev;
+  dirent_seq *res;
+  int32_t total = 0;
+  obj.dispatch = Dir_dispatch;
+  obj.impl_state = &obj;
+  obj.key = "dir-object";
+  flick_env_clear(&ev);
+  res = Dir_read_dir(&obj, "/home", &ev);
+  if (ev._major) return 1;
+  if (res->_length != 2) return 2;
+  if (strcmp(res->_buffer[0].name, "alpha") != 0) return 3;
+  if (res->_buffer[1].info.fields[3] != 103) return 4;
+  if (res->_buffer[1].info.tag[0] != 'B') return 5;
+  if (Dir_count(&obj, "/x", &total, &ev) != 7) return 6;
+  if (total != 99) return 7;
+  res = Dir_read_dir(&obj, "/missing", &ev);
+  if (!ev._major) return 8;
+  if (strcmp(ev.exc_name, "NotFound") != 0) return 9;
+  if (strcmp(((NotFound *)ev.exc_value)->why, "no such directory") != 0)
+    return 10;
+  printf("dir ok\n");
+  return 0;
+}
+|c}
+
+let list_main =
+  {c|#include <stdio.h>
+#include "listp_listv.h"
+
+/* reverse a linked list: exercises the per-type marshal functions
+   generated for recursive (self-referential) XDR types */
+node *reverse_1_svc(node *head, flick_svc_req_t *rq)
+{
+  node *rev = 0;
+  (void)rq;
+  while (head) {
+    node *next = head->next;
+    head->next = rev;
+    rev = head;
+    head = next;
+  }
+  return rev;
+}
+
+int main(void)
+{
+  flick_client_t clnt;
+  node n3 = { 3, 0 }, n2 = { 2, &n3 }, n1 = { 1, &n2 };
+  node *r;
+  clnt.dispatch = ListP_ListV_dispatch;
+  clnt.impl_state = 0;
+  clnt.key = "list";
+  r = reverse_1(&n1, &clnt);
+  if (!r || r->v != 3) return 1;
+  if (!r->next || r->next->v != 2) return 2;
+  if (!r->next->next || r->next->next->v != 1) return 3;
+  if (r->next->next->next != 0) return 4;
+  printf("list ok\n");
+  return 0;
+}
+|c}
+
+let loopback_tests =
+  [
+    test "loopback: Mail over IIOP round trips" (fun () ->
+        let pc = List.assoc "mail-corba" (presentations ()) in
+        run_loopback "mail-iiop" (Be_iiop.generate pc) mail_main);
+    test "loopback: Mail over Mach3 round trips" (fun () ->
+        let pc = List.assoc "mail-corba" (presentations ()) in
+        run_loopback "mail-mach3" (Be_mach.generate pc) mail_main);
+    test "loopback: Calc over ONC RPC round trips" (fun () ->
+        let pc = List.assoc "calc-rpcgen" (presentations ()) in
+        run_loopback "calc-oncrpc" (Be_xdr.generate pc) calc_main);
+    test "loopback: Calc over Fluke IPC round trips" (fun () ->
+        let pc = List.assoc "calc-rpcgen" (presentations ()) in
+        run_loopback "calc-fluke" (Be_fluke.generate pc) calc_main);
+    test "loopback: Dir with out params and exceptions over IIOP" (fun () ->
+        let pc = List.assoc "dir-corba" (presentations ()) in
+        run_loopback "dir-iiop" (Be_iiop.generate pc) dir_main);
+    test "loopback: recursive linked list over ONC RPC" (fun () ->
+        let pc = List.assoc "list-rpcgen" (presentations ()) in
+        run_loopback "list-oncrpc" (Be_xdr.generate pc) list_main);
+  ]
+
+let suite =
+  [ ("backend:compile", compile_tests); ("backend:loopback", loopback_tests) ]

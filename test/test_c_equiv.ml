@@ -1,0 +1,152 @@
+(* The strongest cross-validation: the marshal statements the C back end
+   emits, compiled by gcc and executed, must produce byte-for-byte the
+   same message as the OCaml stub engine executing the same plan.
+
+   This closes the loop on the central design decision (one marshal
+   plan, two consumers): the loopback tests prove generated C is
+   self-consistent, the qcheck properties prove the engines agree with
+   each other, and this test proves C and engine agree. *)
+
+let test name f = Alcotest.test_case name `Quick f
+
+let hex b =
+  String.concat ""
+    (List.map (Printf.sprintf "%02x")
+       (List.map Char.code (List.of_seq (String.to_seq (Bytes.to_string b)))))
+
+(* the value under test: two rectangles and a string, exercising chunks,
+   fused loops, string blits and padding *)
+let mint_and_pres () =
+  let m = Mint.create () in
+  let coord = Mint.struct_ m [ ("x", Mint.int32 m); ("y", Mint.int32 m) ] in
+  let rect = Mint.struct_ m [ ("min", coord); ("max", coord) ] in
+  let rects = Mint.array m ~elem:rect ~min_len:0 ~max_len:(Some 8) in
+  let s = Mint.string_ m ~max_len:(Some 32) in
+  let payload = Mint.struct_ m [ ("name", s); ("boxes", rects) ] in
+  let coord_pres = Pres.Struct [ ("x", Pres.Direct); ("y", Pres.Direct) ] in
+  let pres =
+    Pres.Struct
+      [
+        ("name", Pres.Terminated_string);
+        ( "boxes",
+          Pres.Counted_seq
+            {
+              len_field = "_length";
+              buf_field = "_buffer";
+              elem = Pres.Struct [ ("min", coord_pres); ("max", coord_pres) ];
+            } );
+      ]
+  in
+  (m, payload, pres)
+
+let value =
+  Value.Vstruct
+    [|
+      Value.Vstring "cross-check";
+      Value.Varray
+        [|
+          Value.Vstruct
+            [|
+              Value.Vstruct [| Value.Vint 1; Value.Vint (-2) |];
+              Value.Vstruct [| Value.Vint 300000; Value.Vint 4 |];
+            |];
+          Value.Vstruct
+            [|
+              Value.Vstruct [| Value.Vint (-5); Value.Vint 6 |];
+              Value.Vstruct [| Value.Vint 7; Value.Vint 8 |];
+            |];
+        |];
+    |]
+
+(* C initializers for the same value, against the generated-style types *)
+let c_value_decl =
+  {c|
+typedef struct { int32_t x; int32_t y; } coord;
+typedef struct { coord min; coord max; } rect;
+typedef struct { uint32_t _length; rect *_buffer; } rect_seq;
+typedef struct { char *name; rect_seq boxes; } payload;
+
+static rect boxes[2] = {
+  { { 1, -2 }, { 300000, 4 } },
+  { { -5, 6 }, { 7, 8 } },
+};
+static payload v = { "cross-check", { 2, boxes } };
+|c}
+
+let c_equiv_case enc =
+  test
+    (Printf.sprintf "generated C bytes equal engine bytes (%s)"
+       enc.Encoding.name)
+    (fun () ->
+      let m, idx, pres = mint_and_pres () in
+      let roots =
+        [
+          Plan_compile.Rvalue
+            (Mplan.Rparam { index = 0; name = "(v)"; deref = false }, idx, pres);
+        ]
+      in
+      (* engine bytes *)
+      let encoder = Stub_opt.compile_encoder ~enc ~mint:m ~named:[] roots in
+      let b = Mbuf.create 256 in
+      encoder b [| value |];
+      let expected = hex (Mbuf.contents b) in
+      (* generated C bytes *)
+      let plan = Plan_compile.compile ~enc ~mint:m ~named:[] roots in
+      let stmts = Cgen.marshal_stmts ~enc plan.Plan_compile.p_ops in
+      let body = String.concat "" (List.map (Cast_pp.stmt ~indent:1) stmts) in
+      let main_c =
+        Printf.sprintf
+          {c|#include <stdio.h>
+#include "flick_runtime.h"
+%s
+int main(void)
+{
+  size_t i;
+  flick_buf_t buf_store;
+  flick_buf_t *_buf = &buf_store;
+  flick_buf_init(_buf);
+%s
+  for (i = 0; i < _buf->pos; i++) printf("%%02x", (unsigned char)_buf->data[i]);
+  printf("\n");
+  return 0;
+}
+|c}
+          c_value_decl body
+      in
+      let dir =
+        Filename.concat (Filename.get_temp_dir_name ())
+          (Printf.sprintf "flick-cequiv-%d-%s" (Unix.getpid ())
+             enc.Encoding.name)
+      in
+      (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      Runtime.write_to dir;
+      let oc = open_out (Filename.concat dir "main.c") in
+      output_string oc main_c;
+      close_out oc;
+      let rc =
+        Sys.command
+          (Printf.sprintf
+             "cd %s && gcc -std=c99 -Wall -Wno-unused-function main.c -o eq \
+              2>build.err && ./eq > out.txt"
+             (Filename.quote dir))
+      in
+      if rc <> 0 then begin
+        let slurp f =
+          try
+            let ic = open_in (Filename.concat dir f) in
+            let n = in_channel_length ic in
+            let s = really_input_string ic n in
+            close_in ic;
+            s
+          with Sys_error _ -> "<missing>"
+        in
+        Alcotest.failf "C build/run failed:\n%s\n--- main.c ---\n%s"
+          (slurp "build.err") main_c
+      end;
+      let ic = open_in (Filename.concat dir "out.txt") in
+      let got = String.trim (input_line ic) in
+      close_in ic;
+      Alcotest.(check string) "bytes" expected got)
+
+let suite =
+  [ ("c-equivalence", List.map c_equiv_case Encoding.all) ]

@@ -1,0 +1,133 @@
+(* Unit tests for the C abstract syntax tree printer. *)
+
+open Cast
+
+let test name f = Alcotest.test_case name `Quick f
+
+let check_ctype name ty decl expected =
+  test name (fun () ->
+      Alcotest.(check string) name expected (Cast_pp.ctype ty decl))
+
+let check_expr name e expected =
+  test name (fun () ->
+      Alcotest.(check string) name expected (Cast_pp.expr e))
+
+let declarator_tests =
+  [
+    check_ctype "plain int" int32_t "x" "int32_t x";
+    check_ctype "pointer" (Tptr Tchar) "s" "char *s";
+    check_ctype "pointer to pointer" (Tptr (Tptr Tchar)) "pp" "char **pp";
+    check_ctype "array" (Tarray (int32_t, Some 4)) "v" "int32_t v[4]";
+    check_ctype "array of pointers" (Tarray (Tptr Tchar, Some 2)) "v"
+      "char *v[2]";
+    check_ctype "pointer to array" (Tptr (Tarray (int32_t, Some 8))) "p"
+      "int32_t (*p)[8]";
+    check_ctype "struct reference" (Tstruct_ref "foo") "f" "struct foo f";
+    check_ctype "const char pointer" (Tconst_ptr Tchar) "s" "const char *s";
+    check_ctype "function pointer"
+      (Tfunc_ptr { ret = Tvoid; params = [ int32_t; Tptr Tchar ] })
+      "cb" "void (*cb)(int32_t, char *)";
+    check_ctype "abstract declarator" (Tptr Tvoid) "" "void *";
+    check_ctype "2d array" (Tarray (Tarray (Tchar, Some 3), Some 2)) "m"
+      "char m[2][3]";
+  ]
+
+let expr_tests =
+  [
+    check_expr "precedence: mul over add"
+      (Ebinop (Mul, Ebinop (Add, e0 "a", e0 "b"), e0 "c"))
+      "(a + b) * c";
+    check_expr "no spurious parens"
+      (Ebinop (Add, Ebinop (Mul, e0 "a", e0 "b"), e0 "c"))
+      "a * b + c";
+    check_expr "left associativity"
+      (Ebinop (Sub, Ebinop (Sub, e0 "a", e0 "b"), e0 "c"))
+      "a - b - c";
+    check_expr "right operand parens"
+      (Ebinop (Sub, e0 "a", Ebinop (Sub, e0 "b", e0 "c")))
+      "a - (b - c)";
+    check_expr "shift inside compare"
+      (Ebinop (Lt, Ebinop (Shl, e0 "a", num 2), e0 "b"))
+      "a << 2 < b";
+    check_expr "deref and field"
+      (Efield (Eunop (Deref, e0 "p"), "x"))
+      "(*p).x";
+    check_expr "arrow" (Earrow (e0 "p", "x")) "p->x";
+    check_expr "index of call"
+      (Eindex (call "f" [ e0 "a" ], num 0))
+      "f(a)[0]";
+    check_expr "cast binds tighter than add"
+      (Ebinop (Add, Ecast (uint32_t, e0 "x"), num 1))
+      "(uint32_t)x + 1";
+    check_expr "conditional"
+      (Econd (e0 "c", e0 "a", e0 "b"))
+      "c ? a : b";
+    check_expr "assignment in expression"
+      (Eassign (e0 "x", Ebinop (Add, e0 "x", num 1)))
+      "x = x + 1";
+    check_expr "string literal escaped"
+      (Estr "a\"b\n")
+      "\"a\\\"b\\n\"";
+    check_expr "char literal" (Echar '\n') "'\\n'";
+    check_expr "sizeof type" (Esizeof (Tstruct_ref "s")) "sizeof(struct s)";
+    check_expr "sizeof expression"
+      (Esizeof_expr (Eunop (Deref, e0 "p")))
+      "sizeof(*p)";
+    check_expr "int64 literal gets LL suffix"
+      (Eint 0x2_0000_0001L) "8589934593LL";
+  ]
+
+let stmt_tests =
+  [
+    test "if/else and loops print with breaks in switches" (fun () ->
+        let s =
+          Sswitch
+            ( e0 "x",
+              [
+                { sc_labels = [ num 1 ]; sc_body = [ Sexpr (call "f" []) ] };
+                { sc_labels = []; sc_body = [ Sreturn None ] };
+              ] )
+        in
+        let printed = Cast_pp.stmt s in
+        let contains needle =
+          let nl = String.length needle and hl = String.length printed in
+          let rec go i = i + nl <= hl && (String.sub printed i nl = needle || go (i + 1)) in
+          go 0
+        in
+        Alcotest.(check bool) "break appended" true (contains "break;");
+        Alcotest.(check bool) "no break after return" false
+          (contains "return;\n  break"));
+    test "guarded header compiles stand-alone" (fun () ->
+        let header =
+          Cast_pp.guard "T_H"
+            [
+              Dinclude "stdint.h";
+              Dtypedef ("pair", Tstruct_ref "pair");
+              Dstruct ("pair", [ ("x", int32_t); ("y", int32_t) ]);
+              Denum_decl ("color", [ ("RED", 0L); ("GREEN", 1L) ]);
+              Dfun_proto (Public, "f", Tvoid, [ ("p", Tptr (Tnamed "pair")) ]);
+            ]
+        in
+        let dir = Filename.get_temp_dir_name () in
+        let path = Filename.concat dir "flick_cast_test.h" in
+        let cpath = Filename.concat dir "flick_cast_test.c" in
+        let oc = open_out path in
+        output_string oc header;
+        close_out oc;
+        let oc = open_out cpath in
+        output_string oc "#include \"flick_cast_test.h\"\nint main(void){return 0;}\n";
+        close_out oc;
+        let rc =
+          Sys.command
+            (Printf.sprintf "cd %s && gcc -std=c99 -Wall -Werror -c %s -o /dev/null 2>/dev/null"
+               (Filename.quote dir) "flick_cast_test.c")
+        in
+        Alcotest.(check int) "gcc accepts" 0 rc);
+  ]
+
+let suite =
+  [
+    ("cast:declarators", declarator_tests);
+    ("cast:expressions", expr_tests);
+    ("cast:statements", stmt_tests);
+  ]

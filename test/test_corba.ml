@@ -1,0 +1,344 @@
+(* Unit tests for the CORBA IDL front end. *)
+
+let parse = Corba_parser.parse ~file:"test.idl"
+
+let check_ok name src f =
+  Alcotest.test_case name `Quick (fun () -> f (parse src))
+
+let check_fails name src =
+  Alcotest.test_case name `Quick (fun () ->
+      match parse src with
+      | _ -> Alcotest.failf "expected a parse error"
+      | exception Diag.Error _ -> ())
+
+(* The paper's introductory example. *)
+let mail_idl = "interface Mail { void send(in string msg); };"
+
+let find_interface spec name =
+  match
+    List.find_opt (fun (q, _) -> q = [ name ]) (Aoi.interfaces spec)
+  with
+  | Some (_, i) -> i
+  | None -> Alcotest.failf "interface %s not found" name
+
+let structure_tests =
+  [
+    check_ok "paper Mail example" mail_idl (fun spec ->
+        let i = find_interface spec "Mail" in
+        Alcotest.(check int) "one op" 1 (List.length i.Aoi.i_ops);
+        let op = List.hd i.Aoi.i_ops in
+        Alcotest.(check string) "op name" "send" op.Aoi.op_name;
+        Alcotest.(check bool) "returns void" true (op.Aoi.op_return = Aoi.Void);
+        match op.Aoi.op_params with
+        | [ p ] ->
+            Alcotest.(check string) "param name" "msg" p.Aoi.p_name;
+            Alcotest.(check bool) "param dir" true (p.Aoi.p_dir = Aoi.In);
+            Alcotest.(check bool) "param type" true (p.Aoi.p_type = Aoi.String None)
+        | _ -> Alcotest.fail "expected one parameter");
+    check_ok "operation codes are assigned in order"
+      "interface I { void a(); void b(); long c(); };" (fun spec ->
+        let i = find_interface spec "I" in
+        Alcotest.(check (list int))
+          "codes" [ 0; 1; 2 ]
+          (List.map (fun o -> Int64.to_int o.Aoi.op_code) i.Aoi.i_ops));
+    check_ok "module nesting"
+      "module M { module N { interface I { void f(); }; }; };" (fun spec ->
+        match Aoi.interfaces spec with
+        | [ (q, _) ] ->
+            Alcotest.(check (list string)) "qname" [ "M"; "N"; "I" ] q
+        | _ -> Alcotest.fail "expected exactly one interface");
+    check_ok "typedef with array declarator" "typedef long vec10[10];"
+      (fun spec ->
+        match spec.Aoi.s_defs with
+        | [ Aoi.Dtype ("vec10", Aoi.Array (Aoi.Integer { bits = 32; signed = true }, [ 10 ])) ]
+          ->
+            ()
+        | _ -> Alcotest.fail "unexpected AOI for typedef");
+    check_ok "multi declarator typedef" "typedef short a, b[2];" (fun spec ->
+        Alcotest.(check int) "two defs" 2 (List.length spec.Aoi.s_defs));
+    check_ok "struct with several members"
+      "struct Point { long x, y; }; struct Rect { Point min, max; };"
+      (fun spec ->
+        match spec.Aoi.s_defs with
+        | [ Aoi.Dtype ("Point", Aoi.Struct_type ps); Aoi.Dtype ("Rect", Aoi.Struct_type rs) ]
+          ->
+            Alcotest.(check (list string))
+              "point members" [ "x"; "y" ]
+              (List.map (fun f -> f.Aoi.f_name) ps);
+            Alcotest.(check (list string))
+              "rect members" [ "min"; "max" ]
+              (List.map (fun f -> f.Aoi.f_name) rs)
+        | _ -> Alcotest.fail "unexpected AOI for structs");
+    check_ok "union with cases and default"
+      "union U switch (long) { case 1: long a; case 2: case 3: string b; \
+       default: octet c; };"
+      (fun spec ->
+        match spec.Aoi.s_defs with
+        | [ Aoi.Dtype ("U", Aoi.Union_type u) ] ->
+            Alcotest.(check int) "cases" 2 (List.length u.Aoi.u_cases);
+            Alcotest.(check int)
+              "labels of second case" 2
+              (List.length (List.nth u.Aoi.u_cases 1).Aoi.c_labels);
+            Alcotest.(check bool) "has default" true (u.Aoi.u_default <> None)
+        | _ -> Alcotest.fail "unexpected AOI for union");
+    check_ok "enum introduces enumerator constants"
+      "enum Color { RED, GREEN, BLUE }; const long c = BLUE;" (fun spec ->
+        match spec.Aoi.s_defs with
+        | [ Aoi.Dtype ("Color", Aoi.Enum_type names); Aoi.Dconst ("c", _, v) ] ->
+            Alcotest.(check (list string)) "names" [ "RED"; "GREEN"; "BLUE" ]
+              (List.map fst names);
+            Alcotest.(check bool) "const value" true (v = Aoi.Const_enum [ "BLUE" ])
+        | _ -> Alcotest.fail "unexpected AOI for enum");
+    check_ok "interface inheritance"
+      "interface A { void f(); }; interface B : A { void g(); };" (fun spec ->
+        let b = find_interface spec "B" in
+        Alcotest.(check bool) "parent" true (b.Aoi.i_parents = [ [ "A" ] ]));
+    check_ok "attributes"
+      "interface I { attribute long x; readonly attribute string name; };"
+      (fun spec ->
+        let i = find_interface spec "I" in
+        match i.Aoi.i_attrs with
+        | [ a1; a2 ] ->
+            Alcotest.(check bool) "x writable" false a1.Aoi.at_readonly;
+            Alcotest.(check bool) "name readonly" true a2.Aoi.at_readonly
+        | _ -> Alcotest.fail "expected two attributes");
+    check_ok "attribute operations derivation"
+      "interface I { void f(); attribute long x; readonly attribute long y; };"
+      (fun spec ->
+        let i = find_interface spec "I" in
+        let derived = Aoi.attribute_operations i in
+        Alcotest.(check (list string))
+          "derived ops" [ "_get_x"; "_set_x"; "_get_y" ]
+          (List.map (fun o -> o.Aoi.op_name) derived);
+        Alcotest.(check (list int))
+          "derived codes continue after ops" [ 1; 2; 3 ]
+          (List.map (fun o -> Int64.to_int o.Aoi.op_code) derived));
+    check_ok "oneway operation"
+      "interface I { oneway void ping(in long x); };" (fun spec ->
+        let i = find_interface spec "I" in
+        Alcotest.(check bool) "oneway" true (List.hd i.Aoi.i_ops).Aoi.op_oneway);
+    check_ok "raises clause"
+      "exception Bad { long code; }; interface I { void f() raises (Bad); };"
+      (fun spec ->
+        let i = find_interface spec "I" in
+        Alcotest.(check bool)
+          "raises" true
+          ((List.hd i.Aoi.i_ops).Aoi.op_raises = [ [ "Bad" ] ]));
+    check_ok "exceptions at top level and in interface"
+      "exception E1 { long a; }; interface I { exception E2 { string b; }; \
+       void f() raises (E1, E2); };"
+      (fun spec ->
+        let report = Aoi_check.check spec in
+        Alcotest.(check int) "two exceptions" 2 report.Aoi_check.exception_count);
+    check_ok "forward declaration is accepted"
+      "interface I; interface I { void f(); };" (fun spec ->
+        Alcotest.(check int) "one interface" 1 (List.length (Aoi.interfaces spec)));
+    check_ok "sequence types"
+      "typedef sequence<long> ls; typedef sequence<sequence<octet>, 8> nested;"
+      (fun spec ->
+        match spec.Aoi.s_defs with
+        | [ Aoi.Dtype (_, Aoi.Sequence (Aoi.Integer _, None));
+            Aoi.Dtype (_, Aoi.Sequence (Aoi.Sequence (Aoi.Octet, None), Some 8)) ] ->
+            ()
+        | _ -> Alcotest.fail "unexpected AOI for sequences");
+    check_ok "bounded string" "typedef string<80> line;" (fun spec ->
+        match spec.Aoi.s_defs with
+        | [ Aoi.Dtype (_, Aoi.String (Some 80)) ] -> ()
+        | _ -> Alcotest.fail "unexpected AOI");
+    check_ok "inline struct member is hoisted"
+      "struct Outer { struct Inner { long x; } i; long y; };" (fun spec ->
+        Alcotest.(check int) "two defs" 2 (List.length spec.Aoi.s_defs);
+        (* the hoisted definition must be resolvable *)
+        ignore (Aoi_check.check spec));
+    check_ok "unsigned integer family"
+      "struct S { unsigned short a; unsigned long b; unsigned long long c; \
+       long long d; };"
+      (fun spec ->
+        match spec.Aoi.s_defs with
+        | [ Aoi.Dtype (_, Aoi.Struct_type fields) ] ->
+            let bits =
+              List.map
+                (fun f ->
+                  match f.Aoi.f_type with
+                  | Aoi.Integer { bits; signed } -> (bits, signed)
+                  | _ -> Alcotest.fail "not an integer")
+                fields
+            in
+            Alcotest.(check bool)
+              "widths" true
+              (bits = [ (16, false); (32, false); (64, false); (64, true) ])
+        | _ -> Alcotest.fail "unexpected AOI");
+  ]
+
+let const_tests =
+  [
+    check_ok "constant arithmetic"
+      "const long a = 2 + 3 * 4; const long b = (2 + 3) * 4; const long c = \
+       1 << 10; const long d = 0xff & 0x0f; const long e = -5; const long f \
+       = ~0; const long g = 7 % 3; const long h = a + b;"
+      (fun spec ->
+        let value name =
+          match
+            List.find_opt
+              (fun d -> Aoi.def_name d = name)
+              spec.Aoi.s_defs
+          with
+          | Some (Aoi.Dconst (_, _, Aoi.Const_int n)) -> n
+          | _ -> Alcotest.failf "const %s not found" name
+        in
+        Alcotest.(check int64) "a" 14L (value "a");
+        Alcotest.(check int64) "b" 20L (value "b");
+        Alcotest.(check int64) "c" 1024L (value "c");
+        Alcotest.(check int64) "d" 15L (value "d");
+        Alcotest.(check int64) "e" (-5L) (value "e");
+        Alcotest.(check int64) "f" (-1L) (value "f");
+        Alcotest.(check int64) "g" 1L (value "g");
+        Alcotest.(check int64) "h" 34L (value "h"));
+    check_ok "const used as bound"
+      "const long N = 4; typedef long v[N * 2]; typedef string<N> s;"
+      (fun spec ->
+        match spec.Aoi.s_defs with
+        | [ _; Aoi.Dtype (_, Aoi.Array (_, [ 8 ])); Aoi.Dtype (_, Aoi.String (Some 4)) ]
+          ->
+            ()
+        | _ -> Alcotest.fail "unexpected AOI");
+    check_ok "boolean and char consts"
+      "const boolean t = TRUE; const char nl = '\\n';" (fun spec ->
+        match spec.Aoi.s_defs with
+        | [ Aoi.Dconst (_, _, Aoi.Const_bool true);
+            Aoi.Dconst (_, _, Aoi.Const_char '\n') ] ->
+            ()
+        | _ -> Alcotest.fail "unexpected AOI");
+    check_fails "division by zero" "const long x = 1 / 0;";
+    check_fails "unknown constant" "const long x = missing;";
+    check_fails "zero array dimension" "typedef long v[0];";
+  ]
+
+let error_tests =
+  [
+    check_fails "missing semicolon" "interface I { void f() }";
+    check_fails "bad keyword" "interfaceX I { };";
+    check_fails "any is unsupported" "typedef any x;";
+    check_fails "wstring is unsupported" "typedef wstring x;";
+    check_fails "missing param direction" "interface I { void f(long x); };";
+    check_fails "unterminated interface" "interface I { void f();";
+    check_fails "union without cases" "union U switch (long) { };";
+    check_fails "garbage at top level" "42;";
+  ]
+
+let check_sema_fails name src =
+  Alcotest.test_case name `Quick (fun () ->
+      match Aoi_check.check (parse src) with
+      | _ -> Alcotest.failf "expected a semantic error"
+      | exception Diag.Error _ -> ())
+
+let check_tests =
+  [
+    check_ok "checker accepts the directory interface"
+      "struct stat { long dev; long ino; }; struct dirent { string name; \
+       stat info; }; typedef sequence<dirent> dirents; interface Dir { \
+       dirents list_dir(in string path); };"
+      (fun spec -> ignore (Aoi_check.check spec));
+    check_sema_fails "checker rejects unresolved names"
+      "interface I { void f(in NoSuchType x); };";
+    Alcotest.test_case "checker rejects direct recursion" `Quick (fun () ->
+        let spec =
+          {
+            Aoi.s_file = "t";
+            s_defs =
+              [
+                Aoi.Dtype
+                  ( "A",
+                    Aoi.Struct_type
+                      [ { Aoi.f_name = "a"; f_type = Aoi.Named [ "A" ] } ] );
+              ];
+          }
+        in
+        match Aoi_check.check spec with
+        | _ -> Alcotest.fail "expected recursion error"
+        | exception Diag.Error _ -> ());
+    Alcotest.test_case "checker allows recursion through sequence" `Quick
+      (fun () ->
+        let spec =
+          {
+            Aoi.s_file = "t";
+            s_defs =
+              [
+                Aoi.Dtype
+                  ( "Tree",
+                    Aoi.Struct_type
+                      [
+                        { Aoi.f_name = "value"; f_type = Aoi.Integer { bits = 32; signed = true } };
+                        {
+                          Aoi.f_name = "kids";
+                          f_type = Aoi.Sequence (Aoi.Named [ "Tree" ], None);
+                        };
+                      ] );
+              ];
+          }
+        in
+        let report = Aoi_check.check spec in
+        Alcotest.(check bool)
+          "self referential" true
+          (Aoi_check.is_self_referential report [ "Tree" ]));
+    Alcotest.test_case "checker allows recursion through optional" `Quick
+      (fun () ->
+        let spec =
+          {
+            Aoi.s_file = "t";
+            s_defs =
+              [
+                Aoi.Dtype
+                  ( "List",
+                    Aoi.Struct_type
+                      [
+                        { Aoi.f_name = "head"; f_type = Aoi.Integer { bits = 32; signed = true } };
+                        { Aoi.f_name = "tail"; f_type = Aoi.Optional (Aoi.Named [ "List" ]) };
+                      ] );
+              ];
+          }
+        in
+        let report = Aoi_check.check spec in
+        Alcotest.(check bool)
+          "self referential" true
+          (Aoi_check.is_self_referential report [ "List" ]));
+    check_sema_fails "duplicate definitions rejected" "typedef long x; typedef short x;";
+    check_sema_fails "duplicate struct members rejected via checker"
+      "struct S { long a; short a; };";
+    Alcotest.test_case "oneway with out param rejected" `Quick (fun () ->
+        let src = "interface I { oneway void f(out long x); };" in
+        match Aoi_check.check (parse src) with
+        | _ -> Alcotest.fail "expected error"
+        | exception Diag.Error _ -> ());
+  ]
+
+let pp_roundtrip =
+  Alcotest.test_case "pretty printed AOI reparses" `Quick (fun () ->
+      let src =
+        "module M { struct Point { long x, y; }; enum Color { RED, GREEN }; \
+         union U switch (long) { case 1: Point p; default: Color c; }; \
+         exception Oops { string why; }; interface I { attribute long a; \
+         void f(in Point p, out U u) raises (Oops); }; };"
+      in
+      let spec = parse src in
+      let printed = Aoi_pp.spec_to_string spec in
+      let spec2 =
+        try Corba_parser.parse ~file:"printed.idl" printed
+        with Diag.Error d ->
+          Alcotest.failf "reparse failed: %s@.--- printed ---@.%s"
+            (Diag.to_string d) printed
+      in
+      ignore (Aoi_check.check spec2);
+      Alcotest.(check int)
+        "same number of interfaces"
+        (List.length (Aoi.interfaces spec))
+        (List.length (Aoi.interfaces spec2)))
+
+let suite =
+  [
+    ("corba:structure", structure_tests);
+    ("corba:consts", const_tests);
+    ("corba:errors", error_tests);
+    ("corba:check", check_tests);
+    ("corba:roundtrip", [ pp_roundtrip ]);
+  ]

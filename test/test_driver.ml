@@ -1,0 +1,183 @@
+(* Tests for the kit driver, the paper fixtures, and the code-reuse
+   accounting. *)
+
+let test name f = Alcotest.test_case name `Quick f
+
+let mail_corba = Paper_fixtures.mail_corba
+let mail_onc = Paper_fixtures.mail_onc
+
+let mig_src = "subsystem dev 10;\nroutine poke(in x : int);"
+
+let driver_tests =
+  [
+    test "every free IDL x presentation x backend combination compiles"
+      (fun () ->
+        let cases =
+          [
+            (Driver.Idl_corba, mail_corba); (Driver.Idl_onc, mail_onc);
+          ]
+        in
+        List.iter
+          (fun (idl, source) ->
+            List.iter
+              (fun pres ->
+                List.iter
+                  (fun backend ->
+                    let files =
+                      Driver.compile idl pres backend ~file:"t" ~source
+                        ~interface:None
+                    in
+                    Alcotest.(check int) "three files" 3 (List.length files);
+                    List.iter
+                      (fun (_, contents) ->
+                        Alcotest.(check bool) "nonempty" true
+                          (String.length contents > 100))
+                      files)
+                  [
+                    Driver.Back_iiop; Driver.Back_oncrpc; Driver.Back_mach3;
+                    Driver.Back_fluke;
+                  ])
+              [ Driver.Pres_corba; Driver.Pres_corba_len; Driver.Pres_rpcgen;
+                Driver.Pres_fluke ])
+          cases);
+    test "MIG input works through the conjoined path" (fun () ->
+        let files =
+          Driver.compile Driver.Idl_mig Driver.Pres_mig Driver.Back_mach3
+            ~file:"dev.defs" ~source:mig_src ~interface:None
+        in
+        Alcotest.(check int) "three files" 3 (List.length files));
+    test "MIG presentation rejects other IDLs" (fun () ->
+        match
+          Driver.present Driver.Idl_corba Driver.Pres_mig ~file:"t"
+            ~source:mail_corba ~interface:None
+        with
+        | _ -> Alcotest.fail "expected a diagnostic"
+        | exception Diag.Error _ -> ());
+    test "interface listing and selection" (fun () ->
+        let source = "interface A { void f(); }; interface B { void g(); };" in
+        Alcotest.(check (list string))
+          "list" [ "A"; "B" ]
+          (Driver.interfaces Driver.Idl_corba ~file:"t" source);
+        let pc =
+          Driver.present Driver.Idl_corba Driver.Pres_corba ~file:"t" ~source
+            ~interface:(Some "B")
+        in
+        Alcotest.(check string) "selected" "B" pc.Pres_c.pc_name;
+        (* ambiguous without a selection *)
+        match
+          Driver.present Driver.Idl_corba Driver.Pres_corba ~file:"t" ~source
+            ~interface:None
+        with
+        | _ -> Alcotest.fail "expected a diagnostic"
+        | exception Diag.Error _ -> ());
+    test "name parsing round trips" (fun () ->
+        List.iter
+          (fun n -> Alcotest.(check bool) n true (Driver.idl_of_string n <> None))
+          Driver.idl_names;
+        List.iter
+          (fun n ->
+            Alcotest.(check bool) n true
+              (Driver.presentation_of_string n <> None))
+          Driver.presentation_names;
+        List.iter
+          (fun n ->
+            Alcotest.(check bool) n true (Driver.backend_of_string n <> None))
+          Driver.backend_names);
+  ]
+
+let fixture_tests =
+  [
+    test "bench methods round trip through all engines on all encodings"
+      (fun () ->
+        List.iter
+          (fun style ->
+            let pc = Paper_fixtures.bench_presc style in
+            List.iter
+              (fun payload ->
+                let spec =
+                  Paper_fixtures.request_spec pc
+                    ~op:(Paper_fixtures.op_of_payload payload)
+                in
+                let value = Paper_fixtures.payload payload ~bytes:2048 in
+                List.iter
+                  (fun enc ->
+                    let encode =
+                      Stub_opt.compile_encoder ~enc
+                        ~mint:spec.Paper_fixtures.ms_mint
+                        ~named:spec.Paper_fixtures.ms_named
+                        spec.Paper_fixtures.ms_roots
+                    in
+                    let decode =
+                      Stub_opt.compile_decoder ~enc
+                        ~mint:spec.Paper_fixtures.ms_mint
+                        ~named:spec.Paper_fixtures.ms_named
+                        spec.Paper_fixtures.ms_droots
+                    in
+                    let b = Mbuf.create 4096 in
+                    encode b [| value |];
+                    let out = decode (Mbuf.reader b) in
+                    Alcotest.(check bool)
+                      (Printf.sprintf "%s roundtrip" enc.Encoding.name)
+                      true
+                      (Value.equal value out.(0)))
+                  Encoding.all)
+              [ `Ints; `Rects; `Dirents ])
+          [ `Corba; `Rpcgen ]);
+    test "directory entries encode near 256 bytes each" (fun () ->
+        let pc = Paper_fixtures.bench_presc `Rpcgen in
+        let spec = Paper_fixtures.request_spec pc ~op:"send_dirents" in
+        let one = Paper_fixtures.payload `Dirents ~bytes:256 in
+        let encode =
+          Stub_opt.compile_encoder ~enc:Encoding.xdr
+            ~mint:spec.Paper_fixtures.ms_mint
+            ~named:spec.Paper_fixtures.ms_named spec.Paper_fixtures.ms_roots
+        in
+        let b = Mbuf.create 512 in
+        encode b [| one |];
+        let per_entry = Mbuf.pos b - 8 (* proc key + count *) in
+        Alcotest.(check bool)
+          (Printf.sprintf "%d in [240, 272]" per_entry)
+          true
+          (per_entry >= 240 && per_entry <= 272));
+  ]
+
+let reuse_tests =
+  [
+    test "code accounting finds all phases and components" (fun () ->
+        let phases = Reuse.table1 () in
+        Alcotest.(check (list string))
+          "phases"
+          [ "Front End"; "Pres. Gen."; "Back End" ]
+          (List.map (fun p -> p.Reuse.phase_name) phases);
+        List.iter
+          (fun p ->
+            Alcotest.(check bool) "base library is substantial" true
+              (p.Reuse.base_lines > 300);
+            List.iter
+              (fun r ->
+                Alcotest.(check bool)
+                  (r.Reuse.component ^ " counted") true (r.Reuse.lines > 5);
+                (* the paper's structural claim: components are small
+                   fractions of their base libraries *)
+                Alcotest.(check bool)
+                  (r.Reuse.component ^ " below 50%")
+                  true (r.Reuse.percent < 50.))
+              p.Reuse.rows)
+          phases);
+    test "substantive counter ignores comments and blanks" (fun () ->
+        let path = Filename.temp_file "reuse" ".ml" in
+        let oc = open_out path in
+        output_string oc
+          "(* a comment *)\n\nlet x = 1\n(* multi\n   line *)\nlet y = \"(* not a comment *)\"\n";
+        close_out oc;
+        let n = Reuse.substantive_lines path in
+        Sys.remove path;
+        Alcotest.(check int) "two code lines" 2 n);
+  ]
+
+let suite =
+  [
+    ("driver:matrix", driver_tests);
+    ("driver:fixtures", fixture_tests);
+    ("driver:reuse", reuse_tests);
+  ]

@@ -1,0 +1,93 @@
+(* Unit tests for the shared IDL lexer. *)
+
+module T = Idl_token
+
+let toks src = List.map fst (Idl_lexer.tokens_of_string src)
+
+let token = Alcotest.testable (fun ppf t -> T.pp ppf t) T.equal
+
+let check_tokens name src expected =
+  Alcotest.test_case name `Quick (fun () ->
+      Alcotest.(check (list token)) name expected (toks src))
+
+let check_fails name src =
+  Alcotest.test_case name `Quick (fun () ->
+      match toks src with
+      | _ -> Alcotest.failf "expected a lexer error for %S" src
+      | exception Diag.Error _ -> ())
+
+let basic_tests =
+  [
+    check_tokens "idents and punctuation" "interface Mail { };"
+      [ T.Ident "interface"; T.Ident "Mail"; T.Lbrace; T.Rbrace; T.Semi ];
+    check_tokens "decimal literal" "42" [ T.Int_lit 42L ];
+    check_tokens "hex literal" "0x20000001" [ T.Int_lit 0x20000001L ];
+    check_tokens "octal literal" "0755" [ T.Int_lit 493L ];
+    check_tokens "zero" "0" [ T.Int_lit 0L ];
+    check_tokens "float literal" "3.5" [ T.Float_lit 3.5 ];
+    check_tokens "float with exponent" "1e3" [ T.Float_lit 1000.0 ];
+    check_tokens "negative is minus then literal" "-7" [ T.Minus; T.Int_lit 7L ];
+    check_tokens "string literal" "\"hi there\"" [ T.String_lit "hi there" ];
+    check_tokens "string with escapes" "\"a\\n\\t\\\"b\\\\\""
+      [ T.String_lit "a\n\t\"b\\" ];
+    check_tokens "char literal" "'x'" [ T.Char_lit 'x' ];
+    check_tokens "escaped char literal" "'\\n'" [ T.Char_lit '\n' ];
+    check_tokens "scope operator" "a::b"
+      [ T.Ident "a"; T.Coloncolon; T.Ident "b" ];
+    check_tokens "colon vs coloncolon" "a : b"
+      [ T.Ident "a"; T.Colon; T.Ident "b" ];
+    check_tokens "shifts vs angles" "< << > >>"
+      [ T.Langle; T.Lshift; T.Rangle; T.Rshift ];
+    check_tokens "all operators" "+ - * / % | & ^ ~ ? = , @"
+      [
+        T.Plus; T.Minus; T.Star; T.Slash; T.Percent; T.Pipe; T.Amp; T.Caret;
+        T.Tilde; T.Question; T.Equal; T.Comma; T.At;
+      ];
+  ]
+
+let trivia_tests =
+  [
+    check_tokens "line comment" "a // comment\nb" [ T.Ident "a"; T.Ident "b" ];
+    check_tokens "block comment" "a /* x\ny */ b" [ T.Ident "a"; T.Ident "b" ];
+    check_tokens "preprocessor line skipped" "#include <foo.h>\nx" [ T.Ident "x" ];
+    check_tokens "rpcgen percent line skipped" "%#define FOO\nx" [ T.Ident "x" ];
+    check_tokens "empty input" "" [];
+    check_tokens "whitespace only" "  \t\n  " [];
+    check_tokens "comment at eof" "x //end" [ T.Ident "x" ];
+  ]
+
+let error_tests =
+  [
+    check_fails "unterminated string" "\"abc";
+    check_fails "unterminated comment" "/* abc";
+    check_fails "unterminated char" "'a";
+    check_fails "bad escape" "\"\\q\"";
+    check_fails "stray backquote" "`";
+    check_fails "stray dollar" "$x";
+  ]
+
+let location_test =
+  Alcotest.test_case "locations track lines and columns" `Quick (fun () ->
+      let lx = Idl_lexer.of_string ~file:"f.idl" "ab\n  cd" in
+      let _, loc1 = Idl_lexer.next lx in
+      let _, loc2 = Idl_lexer.next lx in
+      Alcotest.(check int) "first line" 1 loc1.Loc.start_pos.Loc.line;
+      Alcotest.(check int) "first col" 1 loc1.Loc.start_pos.Loc.col;
+      Alcotest.(check int) "second line" 2 loc2.Loc.start_pos.Loc.line;
+      Alcotest.(check int) "second col" 3 loc2.Loc.start_pos.Loc.col)
+
+let peek_test =
+  Alcotest.test_case "peek and peek2 do not consume" `Quick (fun () ->
+      let lx = Idl_lexer.of_string "a b c" in
+      Alcotest.(check bool) "peek" true (fst (Idl_lexer.peek lx) = T.Ident "a");
+      Alcotest.(check bool) "peek2" true (Idl_lexer.peek2 lx = T.Ident "b");
+      Alcotest.(check bool) "next" true (fst (Idl_lexer.next lx) = T.Ident "a");
+      Alcotest.(check bool) "next2" true (fst (Idl_lexer.next lx) = T.Ident "b"))
+
+let suite =
+  [
+    ("lexer:basic", basic_tests);
+    ("lexer:trivia", trivia_tests);
+    ("lexer:errors", error_tests);
+    ("lexer:positions", [ location_test; peek_test ]);
+  ]

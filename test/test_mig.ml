@@ -1,0 +1,129 @@
+(* MIG front end tests: parsing, restriction enforcement, presentation,
+   and a loopback round trip over the Mach 3 back end. *)
+
+let device_defs =
+  "subsystem device 500;\n\
+   type buf_t = array[*:4096] of char;\n\
+   type regs_t = array[8] of int;\n\
+   routine device_write(in offset : int; in data : buf_t);\n\
+   routine device_regs(out regs : regs_t);\n\
+   skip;\n\
+   simpleroutine device_reset(in code : int);"
+
+let test name f = Alcotest.test_case name `Quick f
+
+let parse_tests =
+  [
+    test "parses the device subsystem" (fun () ->
+        let spec = Mig_parser.parse ~file:"device.defs" device_defs in
+        Alcotest.(check string) "name" "device" spec.Mig_parser.sub_name;
+        Alcotest.(check int) "base" 500 (Int64.to_int spec.Mig_parser.sub_base);
+        Alcotest.(check (list string))
+          "routines"
+          [ "device_write"; "device_regs"; "device_reset" ]
+          (List.map (fun r -> r.Mig_parser.r_name) spec.Mig_parser.routines);
+        (* ids: 500, 501, skip burns 502, reset gets 503 *)
+        Alcotest.(check (list int))
+          "msg ids" [ 500; 501; 503 ]
+          (List.map
+             (fun r -> Int64.to_int r.Mig_parser.r_msg_id)
+             spec.Mig_parser.routines);
+        let reset = List.nth spec.Mig_parser.routines 2 in
+        Alcotest.(check bool) "simpleroutine is oneway" true
+          reset.Mig_parser.r_oneway);
+    test "rejects structured types" (fun () ->
+        match
+          Mig_parser.parse ~file:"bad.defs"
+            "subsystem bad 1;\nroutine f(in x : array[4] of array[4] of int);"
+        with
+        | _ -> Alcotest.fail "expected a diagnostic"
+        | exception Diag.Error _ -> ());
+    test "rejects unknown type names" (fun () ->
+        match
+          Mig_parser.parse ~file:"bad.defs"
+            "subsystem bad 1;\nroutine f(in x : mystery_t);"
+        with
+        | _ -> Alcotest.fail "expected a diagnostic"
+        | exception Diag.Error _ -> ());
+  ]
+
+let presgen_tests =
+  [
+    test "presents routines keyed by message id" (fun () ->
+        let spec = Mig_parser.parse ~file:"device.defs" device_defs in
+        let pc = Presgen_mig.generate spec in
+        Alcotest.(check bool) "style" true (pc.Pres_c.pc_style = Pres_c.Mig);
+        let st = List.hd pc.Pres_c.pc_stubs in
+        Alcotest.(check string) "stub" "device_write" st.Pres_c.os_client_name;
+        Alcotest.(check string) "server" "device_write_server"
+          st.Pres_c.os_server_name;
+        Alcotest.(check bool) "key" true
+          (st.Pres_c.os_request_case = Mint.Cint 500L);
+        Alcotest.(check bool) "validates" true (Pres_c.validate pc = Ok ()));
+  ]
+
+let mig_main =
+  {c|#include <stdio.h>
+#include <string.h>
+#include "device.h"
+
+static char stored[4096];
+static uint32_t stored_len;
+static int resets;
+
+void device_write_server(device _obj, int32_t offset, device_device_write_data_seq *data)
+{
+  (void)_obj;
+  memcpy(stored + offset, data->data, data->count);
+  stored_len = offset + data->count;
+}
+
+void device_regs_server(device _obj, int32_t (*regs)[8])
+{
+  int i;
+  (void)_obj;
+  for (i = 0; i < 8; i++) (*regs)[i] = i * 11;
+}
+
+void device_reset_server(device _obj, int32_t code)
+{
+  (void)_obj;
+  resets += code;
+}
+
+int main(void)
+{
+  struct flick_object obj;
+  device_device_write_data_seq data;
+  int32_t regs[8];
+  obj.dispatch = device_dispatch;
+  obj.impl_state = &obj;
+  obj.key = "device0";
+  data.count = 5;
+  data.data = "hello";
+  device_write(&obj, 0, &data);
+  if (stored_len != 5 || memcmp(stored, "hello", 5) != 0) return 1;
+  device_regs(&obj, &regs);
+  if (regs[7] != 77) return 2;
+  device_reset(&obj, 9);
+  device_reset(&obj, 1);
+  if (resets != 10) return 3;
+  printf("device ok\n");
+  return 0;
+}
+|c}
+
+let loopback_tests =
+  [
+    test "loopback: MIG device subsystem over Mach 3" (fun () ->
+        let spec = Mig_parser.parse ~file:"device.defs" device_defs in
+        let pc = Presgen_mig.generate spec in
+        Test_backend.run_loopback "device-mach3" (Be_mach.generate pc) mig_main);
+  ]
+
+let suite =
+  [
+    ("mig:parse", parse_tests);
+    ("mig:presgen", presgen_tests);
+    ("mig:loopback", loopback_tests);
+  ]

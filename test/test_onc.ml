@@ -1,0 +1,179 @@
+(* Unit tests for the ONC RPC (.x) front end. *)
+
+let parse = Onc_parser.parse ~file:"test.x"
+
+let check_ok name src f =
+  Alcotest.test_case name `Quick (fun () -> f (parse src))
+
+let check_fails name src =
+  Alcotest.test_case name `Quick (fun () ->
+      match parse src with
+      | _ -> Alcotest.failf "expected a parse error"
+      | exception Diag.Error _ -> ())
+
+(* The paper's introductory example in ONC RPC IDL. *)
+let mail_x =
+  "program Mail { version MailVers { void send(string) = 1; } = 1; } = \
+   0x20000001;"
+
+let structure_tests =
+  [
+    check_ok "paper Mail example" mail_x (fun spec ->
+        match Aoi.interfaces spec with
+        | [ (q, i) ] ->
+            Alcotest.(check (list string)) "qname" [ "Mail"; "MailVers" ] q;
+            Alcotest.(check bool)
+              "program numbers" true
+              (i.Aoi.i_program = Some (0x20000001L, 1L));
+            let op = List.hd i.Aoi.i_ops in
+            Alcotest.(check string) "proc" "send" op.Aoi.op_name;
+            Alcotest.(check int64) "proc number" 1L op.Aoi.op_code;
+            Alcotest.(check bool)
+              "one string arg" true
+              (List.map (fun p -> p.Aoi.p_type) op.Aoi.op_params
+              = [ Aoi.String None ])
+        | _ -> Alcotest.fail "expected one interface");
+    check_ok "multiple versions"
+      "program P { version V1 { void a(void) = 1; } = 1; version V2 { void \
+       a(void) = 1; int b(int) = 2; } = 2; } = 77;"
+      (fun spec ->
+        let ifaces = Aoi.interfaces spec in
+        Alcotest.(check int) "two interfaces" 2 (List.length ifaces);
+        let _, v2 = List.nth ifaces 1 in
+        Alcotest.(check bool) "v2 numbers" true (v2.Aoi.i_program = Some (77L, 2L));
+        Alcotest.(check int) "v2 procs" 2 (List.length v2.Aoi.i_ops));
+    check_ok "xdr struct"
+      "struct point { int x; int y; }; struct rect { point min; point max; };"
+      (fun spec ->
+        ignore (Aoi_check.check spec);
+        match spec.Aoi.s_defs with
+        | [ Aoi.Dtype (_, Aoi.Struct_type _); Aoi.Dtype ("rect", Aoi.Struct_type fs) ]
+          ->
+            Alcotest.(check int) "two fields" 2 (List.length fs)
+        | _ -> Alcotest.fail "unexpected AOI");
+    check_ok "xdr declarators"
+      "struct s { int fixed_arr[8]; int var_arr<16>; int unbounded<>; opaque \
+       blob[4]; opaque data<100>; string name<32>; string any<>; int \
+       *maybe; };"
+      (fun spec ->
+        match spec.Aoi.s_defs with
+        | [ Aoi.Dtype (_, Aoi.Struct_type fields) ] ->
+            let ty n =
+              (List.find (fun f -> f.Aoi.f_name = n) fields).Aoi.f_type
+            in
+            Alcotest.(check bool) "fixed" true (ty "fixed_arr" = Aoi.Array (Aoi.Integer { bits = 32; signed = true }, [ 8 ]));
+            Alcotest.(check bool) "var" true (ty "var_arr" = Aoi.Sequence (Aoi.Integer { bits = 32; signed = true }, Some 16));
+            Alcotest.(check bool) "unbounded" true (ty "unbounded" = Aoi.Sequence (Aoi.Integer { bits = 32; signed = true }, None));
+            Alcotest.(check bool) "opaque fixed" true (ty "blob" = Aoi.Array (Aoi.Octet, [ 4 ]));
+            Alcotest.(check bool) "opaque var" true (ty "data" = Aoi.Sequence (Aoi.Octet, Some 100));
+            Alcotest.(check bool) "string bounded" true (ty "name" = Aoi.String (Some 32));
+            Alcotest.(check bool) "string unbounded" true (ty "any" = Aoi.String None);
+            Alcotest.(check bool) "optional" true (ty "maybe" = Aoi.Optional (Aoi.Integer { bits = 32; signed = true }))
+        | _ -> Alcotest.fail "unexpected AOI");
+    check_ok "enum with explicit values and use as constant"
+      "enum color { RED = 1, GREEN = 3, BLUE }; const N = GREEN; struct s { \
+       int a[N]; };"
+      (fun spec ->
+        match spec.Aoi.s_defs with
+        | [ Aoi.Dtype (_, Aoi.Enum_type vals); _; Aoi.Dtype (_, Aoi.Struct_type [ f ]) ]
+          ->
+            Alcotest.(check bool)
+              "values" true
+              (vals = [ ("RED", 1L); ("GREEN", 3L); ("BLUE", 4L) ]);
+            Alcotest.(check bool) "array uses enum const" true
+              (f.Aoi.f_type = Aoi.Array (Aoi.Integer { bits = 32; signed = true }, [ 3 ]))
+        | _ -> Alcotest.fail "unexpected AOI");
+    check_ok "union with void arms and default"
+      "enum tag { A = 0, B = 1 }; union u switch (tag t) { case A: void; \
+       case B: int n; default: opaque rest<>; };"
+      (fun spec ->
+        match List.rev spec.Aoi.s_defs with
+        | Aoi.Dtype (_, Aoi.Union_type u) :: _ ->
+            Alcotest.(check int) "cases" 2 (List.length u.Aoi.u_cases);
+            let first = List.hd u.Aoi.u_cases in
+            Alcotest.(check bool) "void arm" true
+              (first.Aoi.c_field.Aoi.f_type = Aoi.Void);
+            Alcotest.(check bool) "default" true (u.Aoi.u_default <> None)
+        | _ -> Alcotest.fail "unexpected AOI");
+    check_ok "linked list via optional"
+      "struct node { int value; node *next; };" (fun spec ->
+        let report = Aoi_check.check spec in
+        Alcotest.(check bool)
+          "self referential" true
+          (Aoi_check.is_self_referential report [ "node" ]));
+    check_ok "typedef forms"
+      "typedef int counter; typedef string name<255>; typedef int vec[3]; \
+       typedef int *opt;"
+      (fun spec ->
+        Alcotest.(check int) "four defs" 4 (List.length spec.Aoi.s_defs));
+    check_ok "const expressions and hex"
+      "const A = 1 << 4; const B = A + 0x10; struct s { int x[B]; };"
+      (fun spec ->
+        match List.rev spec.Aoi.s_defs with
+        | Aoi.Dtype (_, Aoi.Struct_type [ f ]) :: _ ->
+            Alcotest.(check bool) "dim 32" true
+              (f.Aoi.f_type = Aoi.Array (Aoi.Integer { bits = 32; signed = true }, [ 32 ]))
+        | _ -> Alcotest.fail "unexpected AOI");
+    check_ok "multi-argument procedure (rpcgen extension)"
+      "program P { version V { int add(int, int) = 1; } = 1; } = 5;"
+      (fun spec ->
+        let _, i = List.hd (Aoi.interfaces spec) in
+        let op = List.hd i.Aoi.i_ops in
+        Alcotest.(check (list string))
+          "arg names" [ "arg1"; "arg2" ]
+          (List.map (fun p -> p.Aoi.p_name) op.Aoi.op_params));
+    check_ok "pass-through and preprocessor lines are ignored"
+      "%#include \"foo.h\"\n#define X 1\nconst C = 2;" (fun spec ->
+        Alcotest.(check int) "one def" 1 (List.length spec.Aoi.s_defs));
+    check_ok "bool and hyper types"
+      "struct s { bool flag; hyper big; unsigned hyper ubig; };" (fun spec ->
+        match spec.Aoi.s_defs with
+        | [ Aoi.Dtype (_, Aoi.Struct_type [ f1; f2; f3 ]) ] ->
+            Alcotest.(check bool) "bool" true (f1.Aoi.f_type = Aoi.Boolean);
+            Alcotest.(check bool) "hyper" true
+              (f2.Aoi.f_type = Aoi.Integer { bits = 64; signed = true });
+            Alcotest.(check bool) "uhyper" true
+              (f3.Aoi.f_type = Aoi.Integer { bits = 64; signed = false })
+        | _ -> Alcotest.fail "unexpected AOI");
+  ]
+
+let error_tests =
+  [
+    check_fails "quadruple unsupported" "struct s { quadruple q; };";
+    check_fails "opaque without declarator" "struct s { opaque x; };";
+    check_fails "string with fixed declarator" "struct s { string x[4]; };";
+    check_fails "void struct member" "struct s { void; };";
+    check_fails "typedef void" "typedef void;";
+    check_fails "duplicate constant" "const A = 1; const A = 2;";
+    check_fails "missing proc number"
+      "program P { version V { void f(void); } = 1; } = 2;";
+    check_fails "union with no cases" "union u switch (int d) { };";
+    check_fails "garbage" "42;";
+  ]
+
+let checker_integration =
+  [
+    check_ok "full rpcgen-style file checks"
+      "const MAXNAMELEN = 255;\n\
+       typedef string nametype<MAXNAMELEN>;\n\
+       typedef struct namenode *namelist;\n\
+       struct namenode { nametype name; namelist next; };\n\
+       union readdir_res switch (int errno) {\n\
+       case 0: namelist list;\n\
+       default: void;\n\
+       };\n\
+       program DIRPROG { version DIRVERS { readdir_res READDIR(nametype) = \
+       1; } = 1; } = 0x20000076;"
+      (fun spec ->
+        let report = Aoi_check.check spec in
+        Alcotest.(check bool)
+          "namenode is self-referential" true
+          (Aoi_check.is_self_referential report [ "namenode" ]))
+  ]
+
+let suite =
+  [
+    ("onc:structure", structure_tests);
+    ("onc:errors", error_tests);
+    ("onc:integration", checker_integration);
+  ]

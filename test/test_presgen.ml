@@ -1,0 +1,219 @@
+(* Tests for the presentation generators (AOI -> PRES_C). *)
+
+let mail_idl = "interface Mail { void send(in string msg); };"
+
+let mail_x =
+  "program Mail { version MailVers { void send(string) = 1; } = 1; } = \
+   0x20000001;"
+
+(* The directory interface used throughout the paper's evaluation. *)
+let dir_idl =
+  "struct stat_info { long fields[30]; char tag[16]; };\n\
+   struct dirent { string name; stat_info info; };\n\
+   typedef sequence<dirent> dirent_seq;\n\
+   interface Dir {\n\
+  \  dirent_seq read_dir(in string path);\n\
+   };"
+
+let test name f = Alcotest.test_case name `Quick f
+
+let corba_tests =
+  [
+    test "Mail presents as Mail_send with obj and env params" (fun () ->
+        let spec = Corba_parser.parse ~file:"mail.idl" mail_idl in
+        let pc = Presgen_corba.generate spec [ "Mail" ] in
+        Alcotest.(check string) "name" "Mail" pc.Pres_c.pc_name;
+        let st = List.hd pc.Pres_c.pc_stubs in
+        Alcotest.(check string) "stub" "Mail_send" st.Pres_c.os_client_name;
+        Alcotest.(check bool)
+          "request keyed by op name" true
+          (st.Pres_c.os_request_case = Mint.Cstring "send");
+        (* header must contain the stub prototype with obj first, env last *)
+        let header = Cast_pp.file pc.Pres_c.pc_decls in
+        Alcotest.(check bool)
+          "prototype printed" true
+          (let expected =
+             "void Mail_send(Mail _obj, char *msg, flick_env_t *_ev);"
+           in
+           let found = ref false in
+           String.split_on_char '\n' header
+           |> List.iter (fun l -> if l = expected then found := true);
+           !found))
+    ;
+    test "paper directory interface presents and validates" (fun () ->
+        let spec = Corba_parser.parse ~file:"dir.idl" dir_idl in
+        let pc = Presgen_corba.generate spec [ "Dir" ] in
+        Alcotest.(check bool) "validates" true (Pres_c.validate pc = Ok ());
+        let st = List.hd pc.Pres_c.pc_stubs in
+        (match st.Pres_c.os_return with
+        | Some r ->
+            Alcotest.(check bool) "returns pointer" true r.Pres_c.pi_byref
+        | None -> Alcotest.fail "expected a return value");
+        (* the sequence must present as a counted struct *)
+        let header = Cast_pp.file pc.Pres_c.pc_decls in
+        Alcotest.(check bool)
+          "sequence struct emitted" true
+          (let contains hay needle =
+             let nl = String.length needle and hl = String.length hay in
+             let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+             go 0
+           in
+           contains header "uint32_t _length;"))
+    ;
+    test "CORBA presentation rejects self-referential types" (fun () ->
+        let spec =
+          Onc_parser.parse ~file:"list.x"
+            "struct node { int v; node *next; }; program P { version V { \
+             node *get(void) = 1; } = 1; } = 9;"
+        in
+        match Presgen_corba.generate spec [ "P"; "V" ] with
+        | _ -> Alcotest.fail "expected a diagnostic"
+        | exception Diag.Error _ -> ())
+    ;
+    test "exceptions produce a status reply union" (fun () ->
+        let spec =
+          Corba_parser.parse ~file:"exc.idl"
+            "exception NotFound { string why; }; interface I { long f(in \
+             long x) raises (NotFound); };"
+        in
+        let pc = Presgen_corba.generate spec [ "I" ] in
+        let st = List.hd pc.Pres_c.pc_stubs in
+        Alcotest.(check int) "one exception" 1 (List.length st.Pres_c.os_exceptions);
+        let wire, _ = List.hd st.Pres_c.os_exceptions in
+        Alcotest.(check string) "wire name" "NotFound" wire)
+    ;
+    test "attributes become stubs" (fun () ->
+        let spec =
+          Corba_parser.parse ~file:"attr.idl"
+            "interface I { attribute long x; readonly attribute string n; };"
+        in
+        let pc = Presgen_corba.generate spec [ "I" ] in
+        Alcotest.(check (list string))
+          "stub names"
+          [ "I__get_x"; "I__set_x"; "I__get_n" ]
+          (List.map (fun s -> s.Pres_c.os_client_name) pc.Pres_c.pc_stubs))
+    ;
+    test "interface inheritance pulls in parent operations" (fun () ->
+        let spec =
+          Corba_parser.parse ~file:"inh.idl"
+            "interface A { void f(); }; interface B : A { void g(); };"
+        in
+        let pc = Presgen_corba.generate spec [ "B" ] in
+        Alcotest.(check (list string))
+          "ops" [ "B_f"; "B_g" ]
+          (List.map (fun s -> s.Pres_c.os_client_name) pc.Pres_c.pc_stubs))
+    ;
+  ]
+
+let rpcgen_tests =
+  [
+    test "Mail presents rpcgen-style" (fun () ->
+        let spec = Onc_parser.parse ~file:"mail.x" mail_x in
+        let pc = Presgen_rpcgen.generate spec [ "Mail"; "MailVers" ] in
+        let st = List.hd pc.Pres_c.pc_stubs in
+        Alcotest.(check string) "stub" "send_1" st.Pres_c.os_client_name;
+        Alcotest.(check string) "server" "send_1_svc" st.Pres_c.os_server_name;
+        Alcotest.(check bool)
+          "request keyed by proc number" true
+          (st.Pres_c.os_request_case = Mint.Cint 1L);
+        Alcotest.(check bool)
+          "program recorded" true
+          (pc.Pres_c.pc_program = Some (0x20000001L, 1L)))
+    ;
+    test "rpcgen presentation accepts self-referential types" (fun () ->
+        let spec =
+          Onc_parser.parse ~file:"list.x"
+            "struct node { int v; node *next; }; program P { version V { \
+             node *get(void) = 1; } = 1; } = 9;"
+        in
+        let pc = Presgen_rpcgen.generate spec [ "P"; "V" ] in
+        Alcotest.(check bool) "has named presentation" true
+          (List.mem_assoc "node" pc.Pres_c.pc_named);
+        Alcotest.(check bool) "validates" true (Pres_c.validate pc = Ok ()))
+    ;
+    test "rpcgen presentation rejects CORBA exceptions" (fun () ->
+        let spec =
+          Corba_parser.parse ~file:"exc.idl"
+            "exception E { long c; }; interface I { void f() raises (E); };"
+        in
+        match Presgen_rpcgen.generate spec [ "I" ] with
+        | _ -> Alcotest.fail "expected a diagnostic"
+        | exception Diag.Error _ -> ())
+    ;
+    test "cross-IDL: CORBA input through rpcgen presentation" (fun () ->
+        let spec = Corba_parser.parse ~file:"mail.idl" mail_idl in
+        let pc = Presgen_rpcgen.generate spec [ "Mail" ] in
+        let st = List.hd pc.Pres_c.pc_stubs in
+        Alcotest.(check string) "stub" "send_1" st.Pres_c.os_client_name;
+        Alcotest.(check bool) "keyed by code" true
+          (st.Pres_c.os_request_case = Mint.Cint 0L))
+    ;
+    test "cross-IDL: ONC input through CORBA presentation" (fun () ->
+        let spec = Onc_parser.parse ~file:"mail.x" mail_x in
+        let pc = Presgen_corba.generate spec [ "Mail"; "MailVers" ] in
+        let st = List.hd pc.Pres_c.pc_stubs in
+        Alcotest.(check string) "stub" "Mail_MailVers_send"
+          st.Pres_c.os_client_name)
+    ;
+  ]
+
+let fluke_tests =
+  [
+    test "fluke presentation keys requests by message id" (fun () ->
+        let spec = Corba_parser.parse ~file:"mail.idl" mail_idl in
+        let pc = Presgen_fluke.generate spec [ "Mail" ] in
+        let st = List.hd pc.Pres_c.pc_stubs in
+        Alcotest.(check bool) "int key" true
+          (st.Pres_c.os_request_case = Mint.Cint 0L);
+        Alcotest.(check bool) "style" true (pc.Pres_c.pc_style = Pres_c.Fluke))
+    ;
+  ]
+
+let mint_tests =
+  [
+    test "request union shape for the directory interface" (fun () ->
+        let spec = Corba_parser.parse ~file:"dir.idl" dir_idl in
+        let pc = Presgen_corba.generate spec [ "Dir" ] in
+        match Mint.get pc.Pres_c.pc_mint pc.Pres_c.pc_request with
+        | Mint.Union { cases; _ } ->
+            Alcotest.(check int) "one op" 1 (List.length cases);
+            let case = List.hd cases in
+            (match Mint.get pc.Pres_c.pc_mint case.Mint.c_body with
+            | Mint.Struct [ ("path", p) ] -> (
+                match Mint.get pc.Pres_c.pc_mint p with
+                | Mint.Array { min_len = 0; max_len = None; _ } -> ()
+                | _ -> Alcotest.fail "path should be an unbounded array")
+            | _ -> Alcotest.fail "request case should be a struct of params")
+        | _ -> Alcotest.fail "request should be a union")
+    ;
+    test "mint hash-consing shares nodes" (fun () ->
+        let m = Mint.create () in
+        let a = Mint.int32 m in
+        let b = Mint.int_ m ~bits:32 ~signed:true in
+        Alcotest.(check bool) "same node" true (a = b);
+        let s1 = Mint.struct_ m [ ("x", a); ("y", b) ] in
+        let s2 = Mint.struct_ m [ ("x", b); ("y", a) ] in
+        Alcotest.(check bool) "same struct" true (s1 = s2))
+    ;
+    test "reserve/set builds cyclic types" (fun () ->
+        let m = Mint.create () in
+        let node = Mint.reserve m in
+        let next = Mint.array m ~elem:node ~min_len:0 ~max_len:(Some 1) in
+        Mint.set m node (Mint.Struct [ ("v", Mint.int32 m); ("next", next) ]);
+        match Mint.get m node with
+        | Mint.Struct [ _; ("next", n) ] -> (
+            match Mint.get m n with
+            | Mint.Array { elem; _ } ->
+                Alcotest.(check bool) "cycle closed" true (elem = node)
+            | _ -> Alcotest.fail "next should be an array")
+        | _ -> Alcotest.fail "node should be a struct")
+    ;
+  ]
+
+let suite =
+  [
+    ("presgen:corba", corba_tests);
+    ("presgen:rpcgen", rpcgen_tests);
+    ("presgen:fluke", fluke_tests);
+    ("presgen:mint", mint_tests);
+  ]

@@ -1,0 +1,159 @@
+(* Tests for the discrete-event simulator and the end-to-end models. *)
+
+let test name f = Alcotest.test_case name `Quick f
+
+let sim_core_tests =
+  [
+    test "events fire in time order" (fun () ->
+        let sim = Sim_core.create () in
+        let log = ref [] in
+        Sim_core.schedule sim ~delay:3. (fun () -> log := 3 :: !log);
+        Sim_core.schedule sim ~delay:1. (fun () -> log := 1 :: !log);
+        Sim_core.schedule sim ~delay:2. (fun () -> log := 2 :: !log);
+        Sim_core.run sim;
+        Alcotest.(check (list int)) "order" [ 1; 2; 3 ] (List.rev !log);
+        Alcotest.(check (float 1e-9)) "clock" 3. (Sim_core.now sim));
+    test "simultaneous events fire in schedule order" (fun () ->
+        let sim = Sim_core.create () in
+        let log = ref [] in
+        for i = 1 to 5 do
+          Sim_core.schedule sim ~delay:1. (fun () -> log := i :: !log)
+        done;
+        Sim_core.run sim;
+        Alcotest.(check (list int)) "order" [ 1; 2; 3; 4; 5 ] (List.rev !log));
+    test "events can schedule more events" (fun () ->
+        let sim = Sim_core.create () in
+        let count = ref 0 in
+        let rec tick n =
+          if n > 0 then
+            Sim_core.schedule sim ~delay:1. (fun () ->
+                incr count;
+                tick (n - 1))
+        in
+        tick 10;
+        Sim_core.run sim;
+        Alcotest.(check int) "ticks" 10 !count;
+        Alcotest.(check (float 1e-9)) "clock" 10. (Sim_core.now sim));
+    test "negative delays are rejected" (fun () ->
+        let sim = Sim_core.create () in
+        match Sim_core.schedule sim ~delay:(-1.) (fun () -> ()) with
+        | _ -> Alcotest.fail "expected Invalid_argument"
+        | exception Invalid_argument _ -> ());
+    test "run_until stops the clock" (fun () ->
+        let sim = Sim_core.create () in
+        let fired = ref 0 in
+        Sim_core.schedule sim ~delay:1. (fun () -> incr fired);
+        Sim_core.schedule sim ~delay:5. (fun () -> incr fired);
+        Sim_core.run_until sim 2.;
+        Alcotest.(check int) "only the first" 1 !fired);
+    test "heap survives many events" (fun () ->
+        let sim = Sim_core.create () in
+        let n = 10_000 in
+        let fired = ref 0 in
+        for i = 0 to n - 1 do
+          Sim_core.schedule sim ~delay:(float_of_int (i mod 97)) (fun () ->
+              incr fired)
+        done;
+        Sim_core.run sim;
+        Alcotest.(check int) "all fired" n !fired);
+  ]
+
+let link_tests =
+  [
+    test "serialization delay matches bandwidth" (fun () ->
+        let sim = Sim_core.create () in
+        let link =
+          Link.make ~sim ~name:"test" ~bandwidth_bps:8e6 ~latency:0.
+            ~per_msg_cpu:0.
+        in
+        let arrived = ref 0. in
+        Link.transmit link ~bytes:1000 (fun () -> arrived := Sim_core.now sim);
+        Sim_core.run sim;
+        (* 8000 bits at 8 Mbit/s = 1 ms *)
+        Alcotest.(check (float 1e-9)) "1ms" 1e-3 !arrived);
+    test "messages queue behind each other" (fun () ->
+        let sim = Sim_core.create () in
+        let link =
+          Link.make ~sim ~name:"test" ~bandwidth_bps:8e6 ~latency:0.
+            ~per_msg_cpu:0.
+        in
+        let second = ref 0. in
+        Link.transmit link ~bytes:1000 (fun () -> ());
+        Link.transmit link ~bytes:1000 (fun () -> second := Sim_core.now sim);
+        Sim_core.run sim;
+        Alcotest.(check (float 1e-9)) "2ms" 2e-3 !second);
+  ]
+
+let rpc_sim_tests =
+  [
+    test "fast stubs saturate a slow wire" (fun () ->
+        let free_stub =
+          {
+            Rpc_sim.sc_name = "free";
+            sc_marshal = (fun _ -> 0.);
+            sc_unmarshal = (fun _ -> 0.);
+            sc_per_call = 0.;
+          }
+        in
+        let net ~sim =
+          Link.make ~sim ~name:"t" ~bandwidth_bps:7.5e6 ~latency:0.
+            ~per_msg_cpu:0.
+        in
+        let tput =
+          Rpc_sim.round_trip_throughput ~net ~cost:free_stub
+            ~msg_bytes:1048576 ()
+        in
+        (* with free marshaling, throughput approaches the wire's
+           effective bandwidth *)
+        Alcotest.(check bool) "near 7.5 Mbit/s" true
+          (tput > 7.0 && tput <= 7.6));
+    test "slow stubs, not the wire, become the bottleneck" (fun () ->
+        let slow_stub =
+          {
+            Rpc_sim.sc_name = "slow";
+            (* 8 MB/s marshal: 1 Mbit of payload costs ~15.6ms *)
+            sc_marshal = (fun b -> float_of_int b /. 8e6);
+            sc_unmarshal = (fun b -> float_of_int b /. 8e6);
+            sc_per_call = 0.;
+          }
+        in
+        let net ~sim =
+          Link.make ~sim ~name:"t" ~bandwidth_bps:70e6 ~latency:0.
+            ~per_msg_cpu:0.
+        in
+        let tput =
+          Rpc_sim.round_trip_throughput ~net ~cost:slow_stub ~msg_bytes:1048576
+            ()
+        in
+        (* marshal+wire+unmarshal in series: well under the 70 Mbit wire *)
+        Alcotest.(check bool) "marshal-bound" true (tput < 30.));
+  ]
+
+let mach_model_tests =
+  [
+    test "calibration reproduces the paper's anchors" (fun () ->
+        let model =
+          Mach_model.calibrate ~flick_per_byte:50e-9 ~mig_per_byte:400e-9
+        in
+        let at bytes which = Mach_model.throughput model which ~bytes in
+        (* crossover at 8K *)
+        Alcotest.(check (float 1.)) "crossover" 8192. (Mach_model.crossover model);
+        Alcotest.(check bool) "MIG wins small" true (at 64 `Mig > at 64 `Flick);
+        Alcotest.(check bool) "Flick wins large" true
+          (at 65536 `Flick > at 65536 `Mig);
+        (* the 2x small-message anchor *)
+        let ratio = at 64 `Mig /. at 64 `Flick in
+        Alcotest.(check bool) "2x at 64B" true (ratio > 1.9 && ratio < 2.1));
+    test "calibration rejects impossible per-byte costs" (fun () ->
+        match Mach_model.calibrate ~flick_per_byte:10e-9 ~mig_per_byte:5e-9 with
+        | _ -> Alcotest.fail "expected Invalid_argument"
+        | exception Invalid_argument _ -> ());
+  ]
+
+let suite =
+  [
+    ("sim:core", sim_core_tests);
+    ("sim:link", link_tests);
+    ("sim:rpc", rpc_sim_tests);
+    ("sim:mach-model", mach_model_tests);
+  ]

@@ -1,0 +1,182 @@
+(* Wire-level tests: marshal buffers and golden byte layouts.
+
+   The XDR vectors follow RFC 1832's worked example conventions; the
+   CDR vectors check GIOP's alignment and NUL-counted strings. *)
+
+let test name f = Alcotest.test_case name `Quick f
+
+let hex b =
+  String.concat ""
+    (List.map (Printf.sprintf "%02x") (List.map Char.code (List.of_seq (String.to_seq (Bytes.to_string b)))))
+
+let mbuf_tests =
+  [
+    test "append and read back every width" (fun () ->
+        let b = Mbuf.create 4 in
+        Mbuf.put_u8 b 0xAB;
+        Mbuf.put_i16 b ~be:true 0x1234;
+        Mbuf.put_i32 b ~be:true 0x01020304;
+        Mbuf.put_i64 b ~be:true 0x1122334455667788L;
+        Mbuf.put_f64 b ~be:true 1.5;
+        let r = Mbuf.reader b in
+        Alcotest.(check int) "u8" 0xAB (Mbuf.read_u8 r);
+        Alcotest.(check int) "i16" 0x1234 (Mbuf.read_i16 r ~be:true);
+        Alcotest.(check int) "i32" 0x01020304 (Mbuf.read_i32 r ~be:true);
+        Alcotest.(check int64) "i64" 0x1122334455667788L (Mbuf.read_i64 r ~be:true);
+        Alcotest.(check (float 0.)) "f64" 1.5 (Mbuf.read_f64 r ~be:true));
+    test "little endian stores" (fun () ->
+        let b = Mbuf.create 4 in
+        Mbuf.put_i32 b ~be:false 0x01020304;
+        Alcotest.(check string) "layout" "04030201" (hex (Mbuf.contents b)));
+    test "align pads with zeros" (fun () ->
+        let b = Mbuf.create 4 in
+        Mbuf.put_u8 b 0xFF;
+        Mbuf.align b 4;
+        Mbuf.put_u8 b 0xEE;
+        Alcotest.(check string) "layout" "ff000000ee" (hex (Mbuf.contents b)));
+    test "growth preserves contents" (fun () ->
+        let b = Mbuf.create 4 in
+        for i = 0 to 999 do
+          Mbuf.put_i32 b ~be:true i
+        done;
+        let r = Mbuf.reader b in
+        for i = 0 to 999 do
+          Alcotest.(check int) "value" i (Mbuf.read_i32 r ~be:true)
+        done);
+    test "reader bounds are enforced" (fun () ->
+        let b = Mbuf.create 4 in
+        Mbuf.put_i32 b ~be:true 7;
+        let r = Mbuf.reader b in
+        ignore (Mbuf.read_i32 r ~be:true);
+        match Mbuf.read_u8 r with
+        | _ -> Alcotest.fail "expected Short_buffer"
+        | exception Mbuf.Short_buffer -> ());
+    test "set at offset then advance (chunk discipline)" (fun () ->
+        let b = Mbuf.create 16 in
+        Mbuf.ensure b 8;
+        Mbuf.set_i32_be b 4 0xBEEF;
+        Mbuf.set_i32_be b 0 0xCAFE;
+        Mbuf.advance b 8;
+        Alcotest.(check string) "layout" "0000cafe0000beef" (hex (Mbuf.contents b)));
+  ]
+
+(* golden vectors through the optimized engine *)
+let encode_with enc mint pres value =
+  let encoder =
+    Stub_opt.compile_encoder ~enc ~mint ~named:[]
+      [
+        Plan_compile.Rvalue
+          (Mplan.Rparam { index = 0; name = "v"; deref = false },
+           (match pres with `P (idx, _) -> idx),
+           (match pres with `P (_, p) -> p));
+      ]
+  in
+  let b = Mbuf.create 64 in
+  encoder b [| value |];
+  hex (Mbuf.contents b)
+
+let golden name enc build expected =
+  test name (fun () ->
+      let mint = Mint.create () in
+      let idx, pres, value = build mint in
+      Alcotest.(check string) name expected
+        (encode_with enc mint (`P (idx, pres)) value))
+
+let xdr_goldens =
+  [
+    (* RFC 1832: integers are 4-byte big-endian two's complement *)
+    golden "xdr: -1 is ffffffff" Encoding.xdr
+      (fun m -> (Mint.int32 m, Pres.Direct, Value.Vint (-1)))
+      "ffffffff";
+    golden "xdr: bool true is 4 bytes" Encoding.xdr
+      (fun m -> (Mint.bool_ m, Pres.Direct, Value.Vbool true))
+      "00000001";
+    golden "xdr: hyper" Encoding.xdr
+      (fun m ->
+        (Mint.int_ m ~bits:64 ~signed:true, Pres.Direct, Value.Vint64 0x1122334455667788L))
+      "1122334455667788";
+    (* RFC 1832 section 3.11's style of example: the string "sillyprog"
+       (9 bytes) occupies a 4-byte length plus 12 bytes of data+pad *)
+    golden "xdr: string pads to 4" Encoding.xdr
+      (fun m ->
+        (Mint.string_ m ~max_len:None, Pres.Terminated_string,
+         Value.Vstring "sillyprog"))
+      "0000000973696c6c7970726f67000000";
+    golden "xdr: opaque<> with 3 bytes" Encoding.xdr
+      (fun m ->
+        ( Mint.array m ~elem:(Mint.int_ m ~bits:8 ~signed:false) ~min_len:0
+            ~max_len:None,
+          Pres.Counted_seq { len_field = "len"; buf_field = "val"; elem = Pres.Direct },
+          Value.Vbytes (Bytes.of_string "\001\002\003") ))
+      "0000000301020300";
+    golden "xdr: variable int array" Encoding.xdr
+      (fun m ->
+        ( Mint.array m ~elem:(Mint.int32 m) ~min_len:0 ~max_len:None,
+          Pres.Counted_seq { len_field = "len"; buf_field = "val"; elem = Pres.Direct },
+          Value.Vint_array [| 1; 2 |] ))
+      "000000020000000100000002";
+    golden "xdr: optional present" Encoding.xdr
+      (fun m ->
+        ( Mint.array m ~elem:(Mint.int32 m) ~min_len:0 ~max_len:(Some 1),
+          Pres.Opt_ptr Pres.Direct,
+          Value.Vopt (Some (Value.Vint 5)) ))
+      "0000000100000005";
+    golden "xdr: small ints widen to 4 bytes" Encoding.xdr
+      (fun m ->
+        (Mint.int_ m ~bits:16 ~signed:true, Pres.Direct, Value.Vint (-2)))
+      "fffffffe";
+  ]
+
+let cdr_goldens =
+  [
+    (* CDR strings count the terminating NUL *)
+    golden "cdr: string counts its NUL" Encoding.cdr
+      (fun m ->
+        (Mint.string_ m ~max_len:None, Pres.Terminated_string, Value.Vstring "abc"))
+      "0000000461626300";
+    golden "cdr: char is one byte" Encoding.cdr
+      (fun m -> (Mint.char8 m, Pres.Direct, Value.Vchar 'A'))
+      "41";
+    golden "cdr: natural alignment inserts padding" Encoding.cdr
+      (fun m ->
+        ( Mint.struct_ m [ ("c", Mint.char8 m); ("n", Mint.int32 m) ],
+          Pres.Struct [ ("c", Pres.Direct); ("n", Pres.Direct) ],
+          Value.Vstruct [| Value.Vchar 'x'; Value.Vint 1 |] ))
+      "7800000000000001";
+    golden "cdr: double aligns to 8" Encoding.cdr
+      (fun m ->
+        ( Mint.struct_ m [ ("n", Mint.int32 m); ("d", Mint.float_ m ~bits:64) ],
+          Pres.Struct [ ("n", Pres.Direct); ("d", Pres.Direct) ],
+          Value.Vstruct [| Value.Vint 1; Value.Vfloat 1.0 |] ))
+      ("0000000100000000" ^ "3ff0000000000000");
+    golden "cdr: bool is one byte" Encoding.cdr
+      (fun m -> (Mint.bool_ m, Pres.Direct, Value.Vbool true))
+      "01";
+  ]
+
+let fluke_goldens =
+  [
+    golden "fluke: little endian packed" Encoding.fluke
+      (fun m ->
+        ( Mint.struct_ m [ ("a", Mint.int32 m); ("b", Mint.int32 m) ],
+          Pres.Struct [ ("a", Pres.Direct); ("b", Pres.Direct) ],
+          Value.Vstruct [| Value.Vint 1; Value.Vint 2 |] ))
+      "0100000002000000";
+  ]
+
+let mach_goldens =
+  [
+    golden "mach3: type descriptor precedes the datum" Encoding.mach3
+      (fun m -> (Mint.int32 m, Pres.Direct, Value.Vint 7))
+      (* 'MTDP' descriptor little-endian then the value *)
+      "5044544d07000000";
+  ]
+
+let suite =
+  [
+    ("wire:mbuf", mbuf_tests);
+    ("wire:xdr-golden", xdr_goldens);
+    ("wire:cdr-golden", cdr_goldens);
+    ("wire:fluke-golden", fluke_goldens);
+    ("wire:mach-golden", mach_goldens);
+  ]
