@@ -1,0 +1,23 @@
+# Build, test, and smoke-benchmark entry points (used by CI).
+
+.PHONY: all build test bench-smoke bench ci
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# The fast plan-optimizer/cache artifact: node counts, hit rates, and a
+# small throughput sample, written to BENCH_1.json.
+bench-smoke:
+	dune exec bench/main.exe -- planopt --smoke
+
+# Every artifact at default sizes (see EXPERIMENTS.md; --full for
+# paper-scale sweeps).
+bench:
+	dune exec bench/main.exe
+
+ci: build test bench-smoke

@@ -13,6 +13,7 @@
 open Bechamel
 
 let full = ref false
+let smoke = ref false
 
 (* ------------------------------------------------------------------ *)
 (* Measurement                                                          *)
@@ -672,6 +673,178 @@ let ablations () =
     ns_lin ns_sw (pct ns_lin ns_sw)
 
 (* ------------------------------------------------------------------ *)
+(* planopt - the peephole pass and the compiled-plan cache              *)
+(* ------------------------------------------------------------------ *)
+
+(* Reports, and records in BENCH_1.json:
+   - plan node counts before/after the peephole pass, per workload,
+     encoding, and compilation mode (the per-datum mode is where the
+     pass recovers the chunking the compiler was told to skip);
+   - encode throughput for the directory workload with and without the
+     pass, against the production chunked+cached path;
+   - cache hit rates on a repeated stub-compilation workload.
+   [--smoke] shrinks the payload so CI can run it in a few seconds. *)
+let planopt () =
+  print_endline "============================================================";
+  print_endline " planopt - peephole optimizer and compiled-plan cache";
+  print_endline "============================================================";
+  let plan_nodes (p : Plan_compile.plan) =
+    Mplan.count_ops p.Plan_compile.p_ops
+    + List.fold_left
+        (fun acc (_, ops) -> acc + Mplan.count_ops ops)
+        0 p.Plan_compile.p_subs
+  in
+  let json = Buffer.create 1024 in
+  Buffer.add_string json
+    (Printf.sprintf "{\n  \"artifact\": \"planopt\",\n  \"smoke\": %b"
+       !smoke);
+
+  (* -- plan node counts -------------------------------------------- *)
+  Printf.printf "\n%-6s %-13s %-10s %8s %8s %9s\n" "enc" "operation" "mode"
+    "before" "after" "rewrites";
+  Buffer.add_string json ",\n  \"node_counts\": [";
+  let first = ref true in
+  let dirents_reduced = ref false in
+  List.iter
+    (fun (ename, enc, style) ->
+      let pc = Paper_fixtures.bench_presc style in
+      List.iter
+        (fun op ->
+          let spec = Paper_fixtures.request_spec pc ~op in
+          List.iter
+            (fun (mode, chunked) ->
+              let raw =
+                Plan_compile.compile ~enc ~mint:spec.Paper_fixtures.ms_mint
+                  ~named:spec.Paper_fixtures.ms_named ~chunked
+                  spec.Paper_fixtures.ms_roots
+              in
+              let st = Peephole.fresh_stats () in
+              let opt = Peephole.optimize_plan ~stats:st raw in
+              let before = plan_nodes raw and after = plan_nodes opt in
+              if op = "send_dirents" && after < before then
+                dirents_reduced := true;
+              Printf.printf "%-6s %-13s %-10s %8d %8d %9d\n" ename op mode
+                before after (Peephole.rewrites st);
+              Buffer.add_string json
+                (Printf.sprintf
+                   "%s\n    { \"encoding\": %S, \"op\": %S, \"mode\": %S, \
+                    \"nodes_before\": %d, \"nodes_after\": %d, \
+                    \"chunks_merged\": %d, \"loops_fused\": %d, \
+                    \"ensures_hoisted\": %d, \"aligns_removed\": %d, \
+                    \"dead_removed\": %d }"
+                   (if !first then "" else ",")
+                   ename op mode before after st.Peephole.chunks_merged
+                   st.Peephole.loops_fused st.Peephole.ensures_hoisted
+                   st.Peephole.aligns_removed st.Peephole.dead_removed);
+              first := false)
+            [ ("chunked", true); ("per-datum", false) ])
+        [ "send_ints"; "send_rects"; "send_dirents" ])
+    [ ("xdr", Encoding.xdr, `Rpcgen); ("cdr", Encoding.cdr, `Corba) ];
+  Buffer.add_string json "\n  ]";
+  if not !dirents_reduced then
+    print_endline "WARNING: no node reduction on the directory workload";
+
+  (* -- encode throughput on the directory workload ------------------ *)
+  let bytes = if !smoke then 4096 else 65536 in
+  let enc = Encoding.xdr in
+  let pc = Paper_fixtures.bench_presc `Rpcgen in
+  let spec = Paper_fixtures.request_spec pc ~op:"send_dirents" in
+  let value = Paper_fixtures.payload `Dirents ~bytes in
+  let compile chunked =
+    Plan_compile.compile ~enc ~mint:spec.Paper_fixtures.ms_mint
+      ~named:spec.Paper_fixtures.ms_named ~chunked spec.Paper_fixtures.ms_roots
+  in
+  let rate name plan =
+    let encode = Stub_opt.encoder_of_plan ~enc plan in
+    let buf = Mbuf.create (bytes + 4096) in
+    encode buf [| value |];
+    let wire = Mbuf.pos buf in
+    let ns =
+      measure_ns name (fun () ->
+          Mbuf.reset buf;
+          encode buf [| value |])
+    in
+    let v = mbps wire ns in
+    if Float.is_nan v then 0. else v
+  in
+  let per_datum = compile false in
+  let mb_raw = rate "per-datum" per_datum in
+  let mb_peep = rate "per-datum+peephole" (Peephole.optimize_plan per_datum) in
+  let mb_chunked = rate "chunked" (compile true) in
+  Printf.printf
+    "\nencode throughput, directory entries (%dB, XDR):\n\
+    \  per-datum plan          %8.1f MB/s\n\
+    \  per-datum + peephole    %8.1f MB/s\n\
+    \  chunked (production)    %8.1f MB/s\n"
+    bytes mb_raw mb_peep mb_chunked;
+  Buffer.add_string json
+    (Printf.sprintf
+       ",\n  \"throughput_mbps\": { \"workload\": \"dirents-xdr\", \
+        \"bytes\": %d, \"per_datum_raw\": %.1f, \"per_datum_peephole\": \
+        %.1f, \"chunked_cached\": %.1f }"
+       bytes mb_raw mb_peep mb_chunked);
+
+  (* -- cache hit rate on a repeated compilation workload ------------ *)
+  Plan_cache.reset_all ();
+  let rounds = 20 in
+  for _round = 1 to rounds do
+    List.iter
+      (fun op ->
+        List.iter
+          (fun (_, enc, style) ->
+            let pc = Paper_fixtures.bench_presc style in
+            let spec = Paper_fixtures.request_spec pc ~op in
+            ignore
+              (Stub_opt.compile_encoder ~enc
+                 ~mint:spec.Paper_fixtures.ms_mint
+                 ~named:spec.Paper_fixtures.ms_named
+                 spec.Paper_fixtures.ms_roots
+                : Stub_opt.encoder);
+            ignore
+              (Stub_opt.compile_decoder ~enc
+                 ~mint:spec.Paper_fixtures.ms_mint
+                 ~named:spec.Paper_fixtures.ms_named
+                 spec.Paper_fixtures.ms_droots
+                : Stub_opt.decoder))
+          [ ("xdr", Encoding.xdr, `Rpcgen); ("cdr", Encoding.cdr, `Corba) ])
+      [ "send_ints"; "send_rects"; "send_dirents" ]
+  done;
+  let per_cache = Plan_cache.all_stats () in
+  let hits, misses =
+    List.fold_left
+      (fun (h, m) (_, st) -> (h + st.Plan_cache.hits, m + st.Plan_cache.misses))
+      (0, 0) per_cache
+  in
+  let hit_rate = float_of_int hits /. float_of_int (max 1 (hits + misses)) in
+  Printf.printf
+    "\ncompiled-plan caches over %d rounds x 12 stub compilations:\n" rounds;
+  List.iter
+    (fun (name, st) ->
+      Printf.printf "  %-18s %5d hits %5d misses %5d entries\n" name
+        st.Plan_cache.hits st.Plan_cache.misses st.Plan_cache.entries)
+    per_cache;
+  Printf.printf "  %-18s %.1f%% hit rate\n" "overall" (100. *. hit_rate);
+  Buffer.add_string json
+    (Printf.sprintf
+       ",\n  \"cache\": { \"rounds\": %d, \"hits\": %d, \"misses\": %d, \
+        \"hit_rate\": %.3f, \"per_cache\": [%s] }"
+       rounds hits misses hit_rate
+       (String.concat ", "
+          (List.map
+             (fun (name, st) ->
+               Printf.sprintf
+                 "{ \"name\": %S, \"hits\": %d, \"misses\": %d, \
+                  \"entries\": %d }"
+                 name st.Plan_cache.hits st.Plan_cache.misses
+                 st.Plan_cache.entries)
+             per_cache)));
+  Buffer.add_string json "\n}\n";
+  let oc = open_out "BENCH_1.json" in
+  Buffer.output_buffer oc json;
+  close_out oc;
+  print_endline "\nwrote BENCH_1.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -679,7 +852,7 @@ let artifacts =
   [
     ("table1", table1); ("table2", table2); ("table3", table3);
     ("fig3", fig3); ("fig4", fig4); ("fig5", fig5); ("fig6", fig6);
-    ("fig7", fig7); ("ablations", ablations);
+    ("fig7", fig7); ("ablations", ablations); ("planopt", planopt);
   ]
 
 let () =
@@ -689,11 +862,13 @@ let () =
       if i > 0 then
         match arg with
         | "--full" -> full := true
+        | "--smoke" -> smoke := true
         | "all" -> ()
         | name when List.mem_assoc name artifacts ->
             chosen := !chosen @ [ name ]
         | name ->
-            Printf.eprintf "unknown artifact %S (expected: %s, all, --full)\n"
+            Printf.eprintf
+              "unknown artifact %S (expected: %s, all, --full, --smoke)\n"
               name
               (String.concat ", " (List.map fst artifacts));
             exit 1)

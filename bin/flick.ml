@@ -204,7 +204,7 @@ let dump_plan_cmd =
                 st.Pres_c.os_params
             in
             let plan =
-              Plan_compile.compile ~enc:tr.Backend_base.tr_enc
+              Plan_cache.plan ~enc:tr.Backend_base.tr_enc
                 ~mint:pc.Pres_c.pc_mint ~named:pc.Pres_c.pc_named roots
             in
             Format.printf "=== marshal plan: %s (%s) ===@.%a@."

@@ -83,7 +83,7 @@ let client_stub (tr : transport) (pc : Pres_c.t) (st : Pres_c.op_stub) : decl =
   let named = pc.Pres_c.pc_named in
   let mint = pc.Pres_c.pc_mint in
   let plan =
-    Plan_compile.compile ~enc ~mint ~named (request_roots st)
+    Plan_cache.plan ~enc ~mint ~named (request_roots st)
   in
   let marshal = Cgen.marshal_stmts ~enc plan.Plan_compile.p_ops in
   let invoke =
@@ -402,7 +402,7 @@ let server_case (tr : transport) (pc : Pres_c.t) (st : Pres_c.op_stub)
               pi.Pres_c.pi_pres ))
         (out_params st)
   in
-  let reply_plan = Plan_compile.compile ~enc ~mint ~named reply_roots in
+  let reply_plan = Plan_cache.plan ~enc ~mint ~named reply_roots in
   let marshal_reply = Cgen.marshal_stmts ~enc reply_plan.Plan_compile.p_ops in
   let exception_replies =
     if has_status pc && st.Pres_c.os_exceptions <> [] then
@@ -410,7 +410,7 @@ let server_case (tr : transport) (pc : Pres_c.t) (st : Pres_c.op_stub)
         List.fold_right
           (fun (wire, (pi : Pres_c.param_info)) otherwise ->
             let exc_plan =
-              Plan_compile.compile ~enc ~mint ~named
+              Plan_cache.plan ~enc ~mint ~named
                 [
                   Plan_compile.Rconst_int (1L, u32_kind);
                   Plan_compile.Rconst_str wire;
@@ -550,7 +550,7 @@ let marshal_subs (tr : transport) (pc : Pres_c.t) =
   List.map
     (fun (name, (idx, pres)) ->
       let plan =
-        Plan_compile.compile ~enc:tr.tr_enc ~mint:pc.Pres_c.pc_mint
+        Plan_cache.plan ~enc:tr.tr_enc ~mint:pc.Pres_c.pc_mint
           ~named:pc.Pres_c.pc_named
           [
             Plan_compile.Rvalue

@@ -395,27 +395,27 @@ let compile_ops ~(enc : Encoding.t) ~subs ops : (Mbuf.t -> env -> unit) list =
     in
     match (atom.Mplan.kind, size) with
     | Encoding.Kint { bits; _ }, 4 when bits <= 32 ->
-        (* the memcpy-analog fast path: one reservation, one tight loop *)
-        if be then (fun buf env ->
-          match a env with
-          | Value.Vint_array elems ->
-              let n = Array.length elems in
-              if with_len then write_len buf n;
-              Mbuf.ensure buf (n * 4);
-              for i = 0 to n - 1 do
-                Mbuf.set_i32_be buf (i * 4) (Array.unsafe_get elems i)
-              done;
-              Mbuf.advance buf (n * 4)
-          | _ -> invalid_arg "Stub_opt: atom array over non-int-array")
-        else
-          fun buf env ->
+        (* the memcpy-analog fast path: one reservation, one tight loop.
+           Boxed arrays of ints (e.g. loops the peephole pass fused into
+           Put_atom_array) take the same path through a per-element
+           unbox. *)
+        let set = if be then Mbuf.set_i32_be else Mbuf.set_i32_le in
+        fun buf env ->
           (match a env with
           | Value.Vint_array elems ->
               let n = Array.length elems in
               if with_len then write_len buf n;
               Mbuf.ensure buf (n * 4);
               for i = 0 to n - 1 do
-                Mbuf.set_i32_le buf (i * 4) (Array.unsafe_get elems i)
+                set buf (i * 4) (Array.unsafe_get elems i)
+              done;
+              Mbuf.advance buf (n * 4)
+          | Value.Varray elems ->
+              let n = Array.length elems in
+              if with_len then write_len buf n;
+              Mbuf.ensure buf (n * 4);
+              for i = 0 to n - 1 do
+                set buf (i * 4) (Codec.as_int (Array.unsafe_get elems i))
               done;
               Mbuf.advance buf (n * 4)
           | _ -> invalid_arg "Stub_opt: atom array over non-int-array")
@@ -461,9 +461,18 @@ let encoder_of_plan ~enc (plan : Plan_compile.plan) : encoder =
       (Array.unsafe_get fns k) buf env
     done
 
+(* Compiled encoders are memoized: the closure chains carry no per-call
+   state (each invocation allocates its own env), so one encoder safely
+   serves every request with the same message structure.  The key is the
+   full structural fingerprint — see Plan_cache. *)
+let encoder_cache : encoder Plan_cache.t =
+  Plan_cache.create ~name:"stub_opt.encoder" ()
+
 let compile_encoder ~enc ~mint ~named roots : encoder =
-  let plan = Plan_compile.compile ~enc ~mint ~named roots in
-  encoder_of_plan ~enc plan
+  let fp = Plan_cache.fp_create ~enc ~mint ~named () in
+  List.iter (Plan_cache.fp_root fp) roots;
+  Plan_cache.find_or_add encoder_cache (Plan_cache.fp_contents fp) (fun () ->
+      encoder_of_plan ~enc (Plan_cache.plan ~enc ~mint ~named roots))
 
 (* ------------------------------------------------------------------ *)
 (* Decoding                                                             *)
@@ -736,7 +745,7 @@ let compile_value_decoder ~(enc : Encoding.t) ~mint
   in
   dec root_idx root_pres
 
-let compile_decoder ~enc ~mint ~named droots : decoder =
+let build_decoder ~enc ~mint ~named droots : decoder =
   let be = enc.Encoding.big_endian in
   let hdr =
     if enc.Encoding.typed_headers then fun r ->
@@ -797,3 +806,35 @@ let compile_decoder ~enc ~mint ~named droots : decoder =
         | `Value d -> out := d r :: !out)
       steps;
     Array.of_list (List.rev !out)
+
+(* Decoder closures are likewise stateless between calls (all per-call
+   state lives in the reader), so they are memoized under the same
+   structural fingerprints.  A cached decoder that raised on one
+   malformed message decodes the next message from scratch —
+   test/test_wire.ml injects failures against reused decoders to pin
+   this. *)
+let decoder_cache : decoder Plan_cache.t =
+  Plan_cache.create ~name:"stub_opt.decoder" ()
+
+let droot_key ~enc ~mint ~named droots =
+  let fp = Plan_cache.fp_create ~enc ~mint ~named () in
+  List.iter
+    (fun droot ->
+      match droot with
+      | Dconst_int (n, kind) ->
+          Plan_cache.fp_tag fp "Di";
+          Plan_cache.fp_tag fp (Int64.to_string n);
+          Plan_cache.fp_kind fp kind
+      | Dconst_str s ->
+          Plan_cache.fp_tag fp "Ds";
+          Plan_cache.fp_tag fp s
+      | Dvalue (idx, pres) ->
+          Plan_cache.fp_tag fp "Dv";
+          Plan_cache.fp_type fp idx pres)
+    droots;
+  Plan_cache.fp_contents fp
+
+let compile_decoder ~enc ~mint ~named droots : decoder =
+  Plan_cache.find_or_add decoder_cache
+    (droot_key ~enc ~mint ~named droots)
+    (fun () -> build_decoder ~enc ~mint ~named droots)

@@ -32,6 +32,10 @@ val compile_encoder :
   named:(string * (Mint.idx * Pres.t)) list ->
   Plan_compile.root list ->
   encoder
+(** Compile (through the shared {!Plan_cache}, with the {!Peephole}
+    pass applied) and memoize: structurally identical requests reuse
+    one encoder closure.  Encoders carry no per-call state, so sharing
+    is safe under any call pattern. *)
 
 val compile_decoder :
   enc:Encoding.t ->
@@ -39,6 +43,8 @@ val compile_decoder :
   named:(string * (Mint.idx * Pres.t)) list ->
   droot list ->
   decoder
+(** Memoized like {!compile_encoder}.  A cached decoder raises the same
+    typed errors as a fresh one and keeps no state across messages. *)
 
 val encoder_of_plan :
   enc:Encoding.t -> Plan_compile.plan -> encoder

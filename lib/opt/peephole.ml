@@ -1,0 +1,260 @@
+(* Peephole optimizer over marshal plans.  Every rewrite is
+   byte-preserving: the optimized plan writes exactly the bytes of the
+   original (Mbuf.ensure / flick_ensure only reserve capacity, so
+   checking earlier or for more is invisible on the wire).  The
+   differential qcheck suites in test/test_peephole.ml pin this. *)
+
+type stats = {
+  mutable chunks_merged : int;
+  mutable aligns_removed : int;
+  mutable loops_fused : int;
+  mutable ensures_hoisted : int;
+  mutable dead_removed : int;
+}
+
+let fresh_stats () =
+  {
+    chunks_merged = 0;
+    aligns_removed = 0;
+    loops_fused = 0;
+    ensures_hoisted = 0;
+    dead_removed = 0;
+  }
+
+let rewrites st =
+  st.chunks_merged + st.aligns_removed + st.loops_fused + st.ensures_hoisted
+  + st.dead_removed
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let shift_item delta (it : Mplan.item) =
+  match it with
+  | Mplan.It_atom a -> Mplan.It_atom { a with off = a.off + delta }
+  | Mplan.It_bytes b -> Mplan.It_bytes { b with off = b.off + delta }
+  | Mplan.It_const c -> Mplan.It_const { c with off = c.off + delta }
+
+(* ------------------------------------------------------------------ *)
+(* Ensure hoisting: static bound on how far one execution of an op can
+   advance the buffer position.  None = unbounded (dynamic lengths).    *)
+(* ------------------------------------------------------------------ *)
+
+let rec bounded_advance (op : Mplan.op) : int option =
+  match op with
+  | Mplan.Align a -> if is_pow2 a then Some (a - 1) else None
+  | Mplan.Chunk { size; _ } -> Some size
+  | Mplan.Ensure_count _ -> Some 0
+  | Mplan.Put_const_str { s; nul; pad } ->
+      Some (4 + String.length s + (if nul then 1 else 0) + pad)
+  | Mplan.Put_len _ -> Some 7 (* align 4 (≤ 3 bytes) + the 4-byte count *)
+  | Mplan.Loop { via = Mplan.Via_fixed n; body; _ } ->
+      Option.map (fun u -> n * u) (bounded_advance_ops body)
+  | Mplan.Switch { arms; default; _ } ->
+      let bodies =
+        List.map (fun (a : Mplan.arm) -> a.Mplan.a_body) arms
+        @ match default with None -> [] | Some (_, b) -> [ b ]
+      in
+      List.fold_left
+        (fun acc body ->
+          match (acc, bounded_advance_ops body) with
+          | Some m, Some u -> Some (max m u)
+          | _, _ -> None)
+        (Some 0) bodies
+  | Mplan.Put_string _ | Mplan.Put_byteseq _ | Mplan.Put_atom_array _
+  | Mplan.Loop _ | Mplan.Call _ ->
+      None
+
+and bounded_advance_ops ops =
+  List.fold_left
+    (fun acc op ->
+      match (acc, bounded_advance op) with
+      | Some a, Some b -> Some (a + b)
+      | _, _ -> None)
+    (Some 0) ops
+
+let rec has_checked_chunk ops =
+  List.exists
+    (fun (op : Mplan.op) ->
+      match op with
+      | Mplan.Chunk { check; _ } -> check
+      | Mplan.Loop { body; _ } -> has_checked_chunk body
+      | Mplan.Switch { arms; default; _ } ->
+          List.exists (fun (a : Mplan.arm) -> has_checked_chunk a.Mplan.a_body) arms
+          || (match default with
+             | None -> false
+             | Some (_, b) -> has_checked_chunk b)
+      | _ -> false)
+    ops
+
+(* After hoisting one reservation that covers the whole loop, the
+   chunks inside no longer need their own checks. *)
+let rec clear_checks ops =
+  List.map
+    (fun (op : Mplan.op) ->
+      match op with
+      | Mplan.Chunk { size; align; items; check = _ } ->
+          Mplan.Chunk { size; align; items; check = false }
+      | Mplan.Loop { arr; via; var; body } ->
+          Mplan.Loop { arr; via; var; body = clear_checks body }
+      | Mplan.Switch { u; discrim_atom; arms; default; union_field; discrim_field }
+        ->
+          Mplan.Switch
+            {
+              u;
+              discrim_atom;
+              union_field;
+              discrim_field;
+              arms =
+                List.map
+                  (fun (a : Mplan.arm) ->
+                    { a with Mplan.a_body = clear_checks a.Mplan.a_body })
+                  arms;
+              default = Option.map (fun (m, b) -> (m, clear_checks b)) default;
+            }
+      | op -> op)
+    ops
+
+(* ------------------------------------------------------------------ *)
+(* Loop fusion guard                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* A per-element store may become Put_atom_array only when neither
+   consumer would insert alignment the loop body did not have: atoms of
+   alignment ≤ 1, or the 32-bit-integer fast path, whose positions the
+   plan compiler only makes alignment-free when already aligned. *)
+let fusable_atom (atom : Mplan.atom) =
+  atom.Mplan.align <= 1
+  ||
+  match (atom.Mplan.kind, atom.Mplan.size) with
+  | Encoding.Kint { bits; _ }, 4 -> bits <= 32
+  | _, _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* The rewrite engine                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let droppable (op : Mplan.op) =
+  match op with
+  | Mplan.Align a -> a <= 1 (* Mbuf.align / flick_align are no-ops *)
+  | Mplan.Chunk { size = 0; items = []; _ } -> true
+  | _ -> false
+
+let rec optimize_ops st ops =
+  merge st (List.concat_map (optimize_op st) ops)
+
+and optimize_op st (op : Mplan.op) : Mplan.op list =
+  match op with
+  | Mplan.Loop { arr; via; var; body } -> (
+      let body = optimize_ops st body in
+      match (body, via) with
+      (* (b) gapless scalar loop -> one tight array blit; the engine and
+         the C emitter both self-ensure in Put_atom_array *)
+      | ( [
+            Mplan.Chunk
+              {
+                size;
+                items = [ Mplan.It_atom { off = 0; atom; src = Mplan.Rvar v } ];
+                check = _;
+                align = _;
+              };
+          ],
+          (Mplan.Via_seq _ | Mplan.Via_fixed _) )
+        when v = var && size = atom.Mplan.size && fusable_atom atom ->
+          st.loops_fused <- st.loops_fused + 1;
+          [ Mplan.Put_atom_array { arr; via; atom; with_len = false } ]
+      (* (c) every iteration advances at most [u] bytes: one reservation
+         of len * u outside the loop covers every chunk inside *)
+      | _, (Mplan.Via_seq _ | Mplan.Via_fixed _) when has_checked_chunk body
+        -> (
+          match bounded_advance_ops body with
+          | Some u when u > 0 ->
+              st.ensures_hoisted <- st.ensures_hoisted + 1;
+              [
+                Mplan.Ensure_count { arr; via; unit_size = u };
+                Mplan.Loop { arr; via; var; body = clear_checks body };
+              ]
+          | _ -> [ Mplan.Loop { arr; via; var; body } ])
+      | _, _ -> [ Mplan.Loop { arr; via; var; body } ])
+  | Mplan.Switch { u; discrim_atom; arms; default; union_field; discrim_field }
+    ->
+      [
+        Mplan.Switch
+          {
+            u;
+            discrim_atom;
+            union_field;
+            discrim_field;
+            arms =
+              List.map
+                (fun (a : Mplan.arm) ->
+                  { a with Mplan.a_body = optimize_ops st a.Mplan.a_body })
+                arms;
+            default = Option.map (fun (m, b) -> (m, optimize_ops st b)) default;
+          };
+      ]
+  | op -> [ op ]
+
+(* Adjacent-op rewriting, run to a fixpoint (each rewrite shortens the
+   list, so this terminates). *)
+and merge st = function
+  | [] -> []
+  | [ op ] when droppable op ->
+      st.dead_removed <- st.dead_removed + 1;
+      []
+  | [ op ] -> [ op ]
+  | op1 :: op2 :: rest -> (
+      match rewrite_pair st op1 op2 with
+      | Some ops -> merge st (ops @ rest)
+      | None -> op1 :: merge st (op2 :: rest))
+
+and rewrite_pair st (op1 : Mplan.op) (op2 : Mplan.op) : Mplan.op list option =
+  if droppable op1 then (
+    st.dead_removed <- st.dead_removed + 1;
+    Some [ op2 ])
+  else if droppable op2 then (
+    st.dead_removed <- st.dead_removed + 1;
+    Some [ op1 ])
+  else
+    match (op1, op2) with
+    (* consecutive power-of-two alignments: the larger one implies the
+       smaller, in either order *)
+    | Mplan.Align a, Mplan.Align b when is_pow2 a && is_pow2 b ->
+        st.aligns_removed <- st.aligns_removed + 1;
+        Some [ Mplan.Align (max a b) ]
+    (* (a) adjacent chunks become one: offsets of the second shift by the
+       first's size, one capacity check covers both *)
+    | Mplan.Chunk c1, Mplan.Chunk c2 ->
+        st.chunks_merged <- st.chunks_merged + 1;
+        Some
+          [
+            Mplan.Chunk
+              {
+                size = c1.size + c2.size;
+                align = c1.align;
+                items = c1.items @ List.map (shift_item c1.size) c2.items;
+                check = c1.check || c2.check;
+              };
+          ]
+    (* a reservation made redundant by a fused array op that reserves
+       for itself (compiler invariant: an Ensure_count covers exactly
+       the array op that follows it) *)
+    | ( Mplan.Ensure_count { arr; via; unit_size },
+        Mplan.Put_atom_array { arr = arr2; via = via2; atom; with_len = false }
+      )
+      when arr = arr2 && via = via2 && unit_size = atom.Mplan.size ->
+        st.dead_removed <- st.dead_removed + 1;
+        Some [ op2 ]
+    | _, _ -> None
+
+let optimize ?stats ops =
+  let st = match stats with Some st -> st | None -> fresh_stats () in
+  optimize_ops st ops
+
+let optimize_plan ?stats (plan : Plan_compile.plan) =
+  let st = match stats with Some st -> st | None -> fresh_stats () in
+  {
+    Plan_compile.p_ops = optimize_ops st plan.Plan_compile.p_ops;
+    p_subs =
+      List.map
+        (fun (name, ops) -> (name, optimize_ops st ops))
+        plan.Plan_compile.p_subs;
+  }

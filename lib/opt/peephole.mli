@@ -1,0 +1,46 @@
+(** Peephole optimizer over {!Mplan} programs.
+
+    A post-pass catching what {!Plan_compile}'s syntax-directed lowering
+    misses, in the spirit of the paper's section 3.2 "optimize the
+    generated code like a compiler would":
+
+    - {b chunk coalescing}: adjacent {!Mplan.op.Chunk}s merge into one —
+      the second chunk's static offsets shift by the first's size, and a
+      single capacity check covers both.  On per-datum plans
+      ([chunked:false]) this recovers the chunking the compiler was told
+      not to do, including across nested struct boundaries;
+    - {b loop fusion}: a loop whose body is a single gapless one-atom
+      chunk rooted at the loop variable becomes a
+      {!Mplan.op.Put_atom_array} blit;
+    - {b ensure hoisting}: when every iteration of a loop advances the
+      buffer by a statically bounded number of bytes, one
+      {!Mplan.op.Ensure_count} reservation outside the loop replaces the
+      per-chunk checks inside;
+    - {b dead-op removal}: no-op alignments ([align 1] and doubled
+      power-of-two alignments), empty chunks, and reservations made
+      redundant by self-ensuring array ops.
+
+    Every rewrite is byte-preserving: an optimized plan writes exactly
+    the bytes of the original, for both plan consumers (the stub engine
+    and the C emitter).  Capacity checks may move earlier or widen —
+    [ensure] only reserves, so that is invisible on the wire. *)
+
+type stats = {
+  mutable chunks_merged : int;
+  mutable aligns_removed : int;
+  mutable loops_fused : int;
+  mutable ensures_hoisted : int;
+  mutable dead_removed : int;
+}
+
+val fresh_stats : unit -> stats
+val rewrites : stats -> int
+(** Total rewrites recorded in a {!stats}. *)
+
+val optimize : ?stats:stats -> Mplan.op list -> Mplan.op list
+(** Optimize one op sequence.  Idempotent; counts rewrites into
+    [stats] when given. *)
+
+val optimize_plan : ?stats:stats -> Plan_compile.plan -> Plan_compile.plan
+(** {!optimize} applied to a plan's body and each of its marshal
+    subroutines. *)

@@ -158,6 +158,34 @@ let equivalence_prop enc (c : case) =
       (hex opt) (hex interp);
   true
 
+(* The peephole pass is invisible on the wire: executing the optimized
+   plan yields the same bytes as the raw plan and as both reference
+   engines.  (test_peephole.ml runs the heavyweight version of this at
+   >= 1000 cases per paper encoding; this keeps the property visible
+   next to its siblings.) *)
+let peephole_prop enc (c : case) =
+  let v = Workload.random rng c.mint ~named:c.named c.idx c.pres in
+  let raw = Plan_compile.compile ~enc ~mint:c.mint ~named:c.named (roots_of c) in
+  let encode plan =
+    let buf = Mbuf.create 64 in
+    Stub_opt.encoder_of_plan ~enc plan buf [| v |];
+    Bytes.to_string (Mbuf.contents buf)
+  in
+  let before = encode raw in
+  let after = encode (Peephole.optimize_plan raw) in
+  let naive =
+    encode_with
+      (Stub_naive.compile_encoder ~config:Stub_naive.default_config)
+      enc c (roots_of c) v
+  in
+  if before <> after then
+    QCheck.Test.fail_reportf "peephole changed bytes on %s:@.%s@.%s" c.label
+      (hex before) (hex after);
+  if after <> naive then
+    QCheck.Test.fail_reportf "peephole/naive bytes differ on %s:@.%s@.%s"
+      c.label (hex after) (hex naive);
+  true
+
 let roundtrip_prop enc decoder_of (c : case) =
   let v = Workload.random rng c.mint ~named:c.named c.idx c.pres in
   let bytes = encode_with Stub_opt.compile_encoder enc c (roots_of c) v in
@@ -194,6 +222,8 @@ let property_tests =
       let n = enc.Encoding.name in
       [
         qtest (n ^ ": three engines agree byte-for-byte") (equivalence_prop enc);
+        qtest (n ^ ": peephole-optimized plans are wire-invisible")
+          (peephole_prop enc);
         qtest (n ^ ": optimized decode inverts encode")
           (roundtrip_prop enc Stub_opt.compile_decoder);
         qtest (n ^ ": naive decode inverts encode")

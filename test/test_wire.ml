@@ -172,6 +172,113 @@ let mach_goldens =
       "5044544d07000000";
   ]
 
+(* Failure injection against *cached* decoders: Stub_opt memoizes
+   decoder closures, so the decoder under attack here is a cache hit.
+   Malformed input must raise the same typed errors as from a fresh
+   decoder, and the closure must keep working on valid input
+   afterwards (no state is poisoned by a failed decode). *)
+
+let cached_failure_tests =
+  let union_spec () =
+    let m = Mint.create () in
+    let seq =
+      Mint.array m ~elem:(Mint.int32 m) ~min_len:0 ~max_len:(Some 8)
+    in
+    let u =
+      Mint.union m ~discrim:(Mint.int32 m)
+        ~cases:
+          [
+            { Mint.c_const = Mint.Cint 1L; c_body = Mint.int32 m };
+            { Mint.c_const = Mint.Cint 2L; c_body = seq };
+          ]
+        ~default:None
+    in
+    let pres =
+      Pres.Union
+        {
+          discrim_field = "_d";
+          union_field = "_u";
+          arms =
+            [
+              ("n", Pres.Direct);
+              ( "xs",
+                Pres.Counted_seq
+                  { len_field = "len"; buf_field = "val"; elem = Pres.Direct }
+              );
+            ];
+          default_arm = None;
+        }
+    in
+    (m, u, pres)
+  in
+  let cached_decoder ~enc m u pres =
+    let droots = [ Stub_opt.Dvalue (u, pres) ] in
+    (* compile twice: the one we attack is served from the cache *)
+    let first = Stub_opt.compile_decoder ~enc ~mint:m ~named:[] droots in
+    let dec = Stub_opt.compile_decoder ~enc ~mint:m ~named:[] droots in
+    Alcotest.(check bool) "decoder came from the cache" true (first == dec);
+    dec
+  in
+  let reader_of s = Mbuf.reader_of_bytes (Bytes.of_string s) in
+  [
+    test "cached decoder raises Short_buffer on every truncation" (fun () ->
+        let m, u, pres = union_spec () in
+        let enc = Encoding.xdr in
+        let dec = cached_decoder ~enc m u pres in
+        let enc_fn = Stub_opt.compile_encoder ~enc ~mint:m ~named:[]
+            [ Plan_compile.Rvalue
+                (Mplan.Rparam { index = 0; name = "u"; deref = false }, u, pres) ]
+        in
+        let buf = Mbuf.create 64 in
+        enc_fn buf
+          [| Value.Vunion
+               { case = 1; discrim = Mint.Cint 2L;
+                 payload = Value.Vint_array [| 10; 20; 30 |] } |];
+        let bytes = Bytes.to_string (Mbuf.contents buf) in
+        (* sanity: the full message decodes *)
+        (match dec (reader_of bytes) with
+        | [| Value.Vunion { case = 1; _ } |] -> ()
+        | _ -> Alcotest.fail "expected the sequence arm back");
+        (* every strict prefix fails with a typed error, never succeeds:
+           the discriminator and the length header promise more bytes *)
+        for cut = 0 to String.length bytes - 1 do
+          match dec (reader_of (String.sub bytes 0 cut)) with
+          | _ -> Alcotest.failf "truncation at %d decoded" cut
+          | exception Mbuf.Short_buffer -> ()
+          | exception Codec.Decode_error _ -> ()
+        done);
+    test "cached decoder rejects a bad union discriminator" (fun () ->
+        let m, u, pres = union_spec () in
+        let enc = Encoding.cdr in
+        let dec = cached_decoder ~enc m u pres in
+        let buf = Mbuf.create 16 in
+        Mbuf.put_i32 buf ~be:true 9 (* no such case *);
+        Mbuf.put_i32 buf ~be:true 7;
+        (match dec (Mbuf.reader buf) with
+        | _ -> Alcotest.fail "expected a decode error"
+        | exception Codec.Decode_error _ -> ());
+        (* the same cached closure still decodes valid input *)
+        let ok = Mbuf.create 16 in
+        Mbuf.put_i32 ok ~be:true 1;
+        Mbuf.put_i32 ok ~be:true 42;
+        match dec (Mbuf.reader ok) with
+        | [| Value.Vunion { case = 0; payload = Value.Vint 42; _ } |] -> ()
+        | _ -> Alcotest.fail "cached decoder poisoned by failed decode");
+    test "cached decoder rejects an oversized sequence length" (fun () ->
+        let m, u, pres = union_spec () in
+        let enc = Encoding.xdr in
+        let dec = cached_decoder ~enc m u pres in
+        let buf = Mbuf.create 64 in
+        Mbuf.put_i32 buf ~be:true 2 (* the sequence arm *);
+        Mbuf.put_i32 buf ~be:true 99 (* claims 99 > bound 8 *);
+        for i = 1 to 99 do
+          Mbuf.put_i32 buf ~be:true i
+        done;
+        match dec (Mbuf.reader buf) with
+        | _ -> Alcotest.fail "expected a decode error"
+        | exception Codec.Decode_error _ -> ());
+  ]
+
 let suite =
   [
     ("wire:mbuf", mbuf_tests);
@@ -179,4 +286,5 @@ let suite =
     ("wire:cdr-golden", cdr_goldens);
     ("wire:fluke-golden", fluke_goldens);
     ("wire:mach-golden", mach_goldens);
+    ("wire:cached-decoder-failures", cached_failure_tests);
   ]
