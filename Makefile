@@ -10,10 +10,11 @@ build:
 test:
 	dune runtest
 
-# The fast plan-optimizer/cache artifact: node counts, hit rates, and a
-# small throughput sample, written to BENCH_1.json.
+# The fast artifacts: the plan-optimizer/cache report (BENCH_1.json)
+# and the scatter-gather wire report (BENCH_2.json, whose engine
+# byte-equality self-checks make the run exit non-zero on failure).
 bench-smoke:
-	dune exec bench/main.exe -- planopt --smoke
+	dune exec bench/main.exe -- planopt sgwire --smoke
 
 # Every artifact at default sizes (see EXPERIMENTS.md; --full for
 # paper-scale sweeps).

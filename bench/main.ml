@@ -184,8 +184,8 @@ let unmarshal_ns e payload bytes =
   let value = Paper_fixtures.payload payload ~bytes in
   let buf = Mbuf.create (bytes + 4096) in
   encode buf [| value |];
-  let wire = Mbuf.contents buf in
-  measure_ns "unmarshal" (fun () -> ignore (decode (Mbuf.reader_of_bytes wire)))
+  (* read straight over the writer's segments: no whole-message copy *)
+  measure_ns "unmarshal" (fun () -> ignore (decode (Mbuf.reader buf)))
 
 (* ------------------------------------------------------------------ *)
 (* Tables                                                               *)
@@ -590,7 +590,6 @@ let ablations () =
   in
   let buf = Mbuf.create 8192 in
   enc_small buf [| small |];
-  let wire = Mbuf.contents buf in
   let dec_opt =
     Stub_opt.compile_decoder ~enc ~mint:s.Paper_fixtures.ms_mint
       ~named:s.Paper_fixtures.ms_named s.Paper_fixtures.ms_droots
@@ -600,11 +599,10 @@ let ablations () =
       ~named:s.Paper_fixtures.ms_named s.Paper_fixtures.ms_droots
   in
   let ns_dopt =
-    measure_ns "dec-opt" (fun () -> ignore (dec_opt (Mbuf.reader_of_bytes wire)))
+    measure_ns "dec-opt" (fun () -> ignore (dec_opt (Mbuf.reader buf)))
   in
   let ns_dnaive =
-    measure_ns "dec-naive" (fun () ->
-        ignore (dec_naive (Mbuf.reader_of_bytes wire)))
+    measure_ns "dec-naive" (fun () -> ignore (dec_naive (Mbuf.reader buf)))
   in
   Printf.printf
     "A2 unmarshal parameter management (1KB directory entries):\n\
@@ -658,14 +656,11 @@ let ablations () =
   in
   let b = Mbuf.create 64 in
   encode b [| value |];
-  let wire = Mbuf.contents b in
   let ns_sw =
-    measure_ns "demux-switch" (fun () ->
-        ignore (dec_switch (Mbuf.reader_of_bytes wire)))
+    measure_ns "demux-switch" (fun () -> ignore (dec_switch (Mbuf.reader b)))
   in
   let ns_lin =
-    measure_ns "demux-linear" (fun () ->
-        ignore (dec_linear (Mbuf.reader_of_bytes wire)))
+    measure_ns "demux-linear" (fun () -> ignore (dec_linear (Mbuf.reader b)))
   in
   Printf.printf
     "A6 demultiplexing a 26-operation interface (string keys, worst case):\n\
@@ -845,6 +840,211 @@ let planopt () =
   print_endline "\nwrote BENCH_1.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* sgwire - zero-copy scatter-gather marshal buffers                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Reports, and records in BENCH_2.json:
+   - copy accounting per workload and size: payload bytes memcpy'd vs
+     spliced by reference, seal and segment counts, for the
+     scatter-gather path against the PR 1 contiguous baseline;
+   - encode throughput both ways for 4KB..4MB string and byte-sequence
+     payloads, plus the small messages that must not regress;
+   - engine self-checks: the flattened SG message must be
+     byte-identical to the contiguous baseline and to the naive and
+     interpretive engines; decoding straight over the segment list must
+     round-trip; handing the message to the simulated link must never
+     flatten it.  Any failure makes the whole run exit non-zero.
+   [--smoke] shrinks the size sweep so CI can run it in a few seconds. *)
+
+let sgwire_failed = ref false
+
+let sgwire () =
+  print_endline "============================================================";
+  print_endline " sgwire - zero-copy scatter-gather marshal buffers";
+  print_endline "============================================================";
+  let enc = Encoding.xdr in
+  let check what ok =
+    if not ok then begin
+      sgwire_failed := true;
+      Printf.printf "  SELF-CHECK FAILED: %s\n" what
+    end
+  in
+  let with_sg on f =
+    let old = Mbuf.sg_enabled () in
+    Mbuf.set_sg_enabled on;
+    Fun.protect ~finally:(fun () -> Mbuf.set_sg_enabled old) f
+  in
+  (* The large payloads: a string and a counted byte sequence — the two
+     blit-shaped data the engines can borrow by reference. *)
+  let mint = Mint.create () in
+  let str_t = Mint.string_ mint ~max_len:None in
+  let seq_t =
+    Mint.array mint ~elem:(Mint.char8 mint) ~min_len:0 ~max_len:None
+  in
+  let seq_pres =
+    Pres.Counted_seq { len_field = "len"; buf_field = "buf"; elem = Pres.Direct }
+  in
+  let root t pres =
+    [
+      Plan_compile.Rvalue
+        (Mplan.Rparam { index = 0; name = "p"; deref = false }, t, pres);
+    ]
+  in
+  let sizes =
+    if !smoke then [ 4096; 65536 ] else [ 4096; 65536; 1048576; 4194304 ]
+  in
+  let big_cases =
+    List.concat_map
+      (fun bytes ->
+        [
+          ( "string", mint, [], root str_t Pres.Terminated_string,
+            [ Stub_opt.Dvalue (str_t, Pres.Terminated_string) ],
+            Value.Vstring (String.init bytes (fun i -> Char.chr (97 + (i mod 23)))),
+            bytes );
+          ( "byteseq", mint, [], root seq_t seq_pres,
+            [ Stub_opt.Dvalue (seq_t, seq_pres) ],
+            Value.Vbytes (Bytes.init bytes (fun i -> Char.chr (i land 0xff))),
+            bytes );
+        ])
+      sizes
+  in
+  (* the small-message paths that must not regress: real request specs
+     whose payloads sit under the borrow threshold *)
+  let small_cases =
+    List.map
+      (fun (payload, bytes) ->
+        let pc = Paper_fixtures.bench_presc `Rpcgen in
+        let op = Paper_fixtures.op_of_payload payload in
+        let s = Paper_fixtures.request_spec pc ~op in
+        ( op, s.Paper_fixtures.ms_mint, s.Paper_fixtures.ms_named,
+          s.Paper_fixtures.ms_roots, s.Paper_fixtures.ms_droots,
+          Paper_fixtures.payload payload ~bytes, bytes ))
+      [ (`Ints, 64); (`Dirents, 256) ]
+  in
+  let json = Buffer.create 2048 in
+  Buffer.add_string json
+    (Printf.sprintf
+       "{\n  \"artifact\": \"sgwire\",\n  \"smoke\": %b,\n  \
+        \"borrow_threshold\": %d,\n  \"encoding\": \"xdr\",\n  \"cases\": ["
+       !smoke (Mbuf.borrow_threshold ()));
+  let first = ref true in
+  Printf.printf "\n%-12s %9s %9s %-11s %10s %10s %5s %9s\n" "workload" "bytes"
+    "wire" "mode" "copied" "borrowed" "segs" "MB/s";
+  List.iter
+    (fun (name, cmint, named, roots, droots, value, bytes) ->
+      let compile on =
+        with_sg on (fun () ->
+            Stub_opt.compile_encoder ~enc ~mint:cmint ~named roots)
+      in
+      let enc_sg = compile true and enc_ct = compile false in
+      let dec_opt = Stub_opt.compile_decoder ~enc ~mint:cmint ~named droots in
+      let dec_naive = naive_decoder ~enc ~mint:cmint ~named droots in
+      (* one instrumented encode per mode: copy accounting + segments *)
+      let account on encoder =
+        with_sg on (fun () ->
+            let buf = Mbuf.acquire ~size:(bytes + 4096) () in
+            Mbuf.reset_stats buf;
+            encoder buf [| value |];
+            (buf, Mbuf.stats buf, Mbuf.segment_count buf, Mbuf.pos buf))
+      in
+      let buf_sg, st_sg, segs_sg, wire_sg = account true enc_sg in
+      (* decode straight over the segment list, before anything flattens *)
+      let rt_ok dec =
+        try Value.equal (dec (Mbuf.reader buf_sg)).(0) value
+        with Mbuf.Short_buffer | Codec.Decode_error _ -> false
+      in
+      check (name ^ ": segmented decode round-trip (opt)") (rt_ok dec_opt);
+      check (name ^ ": segmented decode round-trip (naive)") (rt_ok dec_naive);
+      (* hand the message to the simulated link: length only, no flatten *)
+      let sim = Sim_core.create () in
+      let link = Link.ethernet_100 ~sim in
+      let delivered = ref false in
+      Link.transmit_mbuf link ~msg:buf_sg (fun () -> delivered := true);
+      Sim_core.run sim;
+      check (name ^ ": transmit_mbuf delivers") !delivered;
+      check
+        (name ^ ": decode and transmit never flatten")
+        ((Mbuf.stats buf_sg).Mbuf.flattens = 0);
+      (* byte equality across all engines *)
+      let wire_of encoder =
+        with_sg false (fun () ->
+            let b = Mbuf.create (bytes + 4096) in
+            encoder b [| value |];
+            Mbuf.contents b)
+      in
+      let flat_sg = with_sg true (fun () -> Mbuf.contents buf_sg) in
+      let flat_ct = wire_of enc_ct in
+      let flat_naive = wire_of (naive_encoder ~enc ~mint:cmint ~named roots) in
+      let flat_interp =
+        wire_of (Stub_interp.compile_encoder ~enc ~mint:cmint ~named roots)
+      in
+      check (name ^ ": SG bytes = contiguous bytes") (Bytes.equal flat_sg flat_ct);
+      check (name ^ ": SG bytes = naive engine") (Bytes.equal flat_sg flat_naive);
+      check
+        (name ^ ": SG bytes = interpretive engine")
+        (Bytes.equal flat_sg flat_interp);
+      Mbuf.release buf_sg;
+      let buf_ct, st_ct, segs_ct, wire_ct = account false enc_ct in
+      Mbuf.release buf_ct;
+      check (name ^ ": wire length matches") (wire_sg = wire_ct);
+      (* steady-state encode throughput, both modes *)
+      let rate on encoder label =
+        with_sg on (fun () ->
+            let buf = Mbuf.acquire ~size:(bytes + 4096) () in
+            encoder buf [| value |];
+            let wire = Mbuf.pos buf in
+            let ns =
+              measure_ns label (fun () ->
+                  Mbuf.reset buf;
+                  encoder buf [| value |])
+            in
+            Mbuf.release buf;
+            let v = mbps wire ns in
+            if Float.is_nan v then 0. else v)
+      in
+      (* warm both closures once so measurement order does not bias the
+         pair (the first-measured cell otherwise reads a few % low) *)
+      ignore (rate true enc_sg (name ^ "/warm") : float);
+      ignore (rate false enc_ct (name ^ "/warm") : float);
+      let mb_sg = rate true enc_sg (name ^ "/sg") in
+      let mb_ct = rate false enc_ct (name ^ "/contig") in
+      let reduction =
+        float_of_int st_ct.Mbuf.bytes_copied
+        /. float_of_int (max 1 st_sg.Mbuf.bytes_copied)
+      in
+      Printf.printf "%-12s %9d %9d %-11s %10d %10d %5d %9.1f\n" name bytes
+        wire_sg "sg" st_sg.Mbuf.bytes_copied st_sg.Mbuf.bytes_borrowed segs_sg
+        mb_sg;
+      Printf.printf "%-12s %9s %9s %-11s %10d %10d %5d %9.1f\n" "" "" ""
+        "contiguous" st_ct.Mbuf.bytes_copied 0 segs_ct mb_ct;
+      Buffer.add_string json
+        (Printf.sprintf
+           "%s\n    { \"workload\": %S, \"bytes\": %d, \"wire_bytes\": %d,\n\
+           \      \"sg\": { \"bytes_copied\": %d, \"bytes_borrowed\": %d, \
+            \"copies\": %d, \"borrows\": %d, \"seals\": %d, \"segments\": %d, \
+            \"mbps\": %.1f },\n\
+           \      \"contiguous\": { \"bytes_copied\": %d, \"segments\": %d, \
+            \"mbps\": %.1f },\n\
+           \      \"copy_reduction\": %.2f }"
+           (if !first then "" else ",")
+           name bytes wire_sg st_sg.Mbuf.bytes_copied st_sg.Mbuf.bytes_borrowed
+           st_sg.Mbuf.copies st_sg.Mbuf.borrows st_sg.Mbuf.seals segs_sg mb_sg
+           st_ct.Mbuf.bytes_copied segs_ct mb_ct reduction);
+      first := false)
+    (big_cases @ small_cases);
+  Buffer.add_string json
+    (Printf.sprintf "\n  ],\n  \"self_check_failed\": %b\n}\n" !sgwire_failed);
+  let oc = open_out "BENCH_2.json" in
+  Buffer.output_buffer oc json;
+  close_out oc;
+  if !sgwire_failed then
+    print_endline "\nsgwire: SELF-CHECK FAILURES above; exiting non-zero"
+  else
+    print_endline
+      "\nall byte-equality, round-trip, and no-flatten self-checks passed";
+  print_endline "wrote BENCH_2.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -853,6 +1053,7 @@ let artifacts =
     ("table1", table1); ("table2", table2); ("table3", table3);
     ("fig3", fig3); ("fig4", fig4); ("fig5", fig5); ("fig6", fig6);
     ("fig7", fig7); ("ablations", ablations); ("planopt", planopt);
+    ("sgwire", sgwire);
   ]
 
 let () =
@@ -863,12 +1064,22 @@ let () =
         match arg with
         | "--full" -> full := true
         | "--smoke" -> smoke := true
+        | "--no-sg" ->
+            (* ablation: disable scatter-gather borrowing everywhere,
+               restoring the PR 1 contiguous-copy wire path *)
+            Mbuf.set_sg_enabled false
+        | arg
+          when String.length arg > 15
+               && String.sub arg 0 15 = "--sg-threshold=" ->
+            Mbuf.set_borrow_threshold
+              (int_of_string (String.sub arg 15 (String.length arg - 15)))
         | "all" -> ()
         | name when List.mem_assoc name artifacts ->
             chosen := !chosen @ [ name ]
         | name ->
             Printf.eprintf
-              "unknown artifact %S (expected: %s, all, --full, --smoke)\n"
+              "unknown artifact %S (expected: %s, all, --full, --smoke, \
+               --no-sg, --sg-threshold=N)\n"
               name
               (String.concat ", " (List.map fst artifacts));
             exit 1)
@@ -878,4 +1089,5 @@ let () =
   in
   Printf.printf "Flick reproduction benchmarks (%s sizes; see EXPERIMENTS.md)\n\n"
     (if !full then "paper-scale" else "default");
-  List.iter (fun name -> (List.assoc name artifacts) ()) to_run
+  List.iter (fun name -> (List.assoc name artifacts) ()) to_run;
+  if !sgwire_failed then exit 1

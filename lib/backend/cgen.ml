@@ -169,7 +169,7 @@ let rec marshal_op ~enc ~vars (op : Mplan.op) : stmt list =
                num enc.Encoding.pad_unit; bee;
              ]);
       ]
-  | Mplan.Put_string { src; nul; pad = _; len_src = None } ->
+  | Mplan.Put_string { src; nul; pad = _; len_src = None; borrow = _ } ->
       [
         Sexpr
           (call "flick_put_str"
@@ -178,7 +178,7 @@ let rec marshal_op ~enc ~vars (op : Mplan.op) : stmt list =
                num enc.Encoding.pad_unit; bee;
              ]);
       ]
-  | Mplan.Put_string { src; nul; pad = _; len_src = Some len } ->
+  | Mplan.Put_string { src; nul; pad = _; len_src = Some len; borrow = _ } ->
       (* the explicit-length presentation: no strlen in the stub *)
       [
         Sexpr
@@ -188,13 +188,25 @@ let rec marshal_op ~enc ~vars (op : Mplan.op) : stmt list =
                num (if nul then 1 else 0); num enc.Encoding.pad_unit; bee;
              ]);
       ]
-  | Mplan.Put_byteseq { arr; via; pad = _ } ->
+  | Mplan.Put_byteseq { arr; via; pad = _; borrow = _ } ->
       [
         Sexpr
           (call "flick_put_bseq"
              [
                Eid "_buf"; Ecast (Tconst_ptr Tchar, buf_expr ~vars arr via);
                len_expr ~vars arr via; num enc.Encoding.pad_unit; bee;
+             ]);
+      ]
+  | Mplan.Put_blit { src; len; pad } ->
+      (* the C runtime marshals into one contiguous buffer, so the blit
+         stays a memcpy there; only the OCaml engine borrows.  A real
+         iovec-based C runtime would append a segment here instead. *)
+      [
+        Sexpr
+          (call "flick_put_blit"
+             [
+               Eid "_buf"; Ecast (Tconst_ptr Tchar, expr_of_rv ~vars src);
+               num len; num pad;
              ]);
       ]
   | Mplan.Put_atom_array { arr; via; atom; with_len } ->

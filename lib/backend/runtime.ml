@@ -170,6 +170,17 @@ static inline void flick_put_bseq(flick_buf_t *b, const char *p, uint32_t n, int
   b->pos += padded;
 }
 
+/* fixed-length packed run split out of its chunk (scatter-gather shape);
+ * the contiguous C runtime copies, an iovec runtime would borrow */
+static inline void flick_put_blit(flick_buf_t *b, const char *p, uint32_t n,
+                           uint32_t pad)
+{
+  flick_ensure(b, (size_t)n + pad);
+  memcpy(flick_ptr(b), p, n);
+  memset(flick_ptr(b) + n, 0, pad);
+  b->pos += (size_t)n + pad;
+}
+
 /* ---- message readers ------------------------------------------------ */
 
 typedef struct flick_msg {

@@ -77,7 +77,8 @@ let max_var ops =
             (match default with None -> () | Some (_, b) -> go b)
         | Mplan.Align _ | Mplan.Chunk _ | Mplan.Ensure_count _
         | Mplan.Put_const_str _ | Mplan.Put_string _ | Mplan.Put_byteseq _
-        | Mplan.Put_atom_array _ | Mplan.Put_len _ | Mplan.Call _ ->
+        | Mplan.Put_atom_array _ | Mplan.Put_blit _ | Mplan.Put_len _
+        | Mplan.Call _ ->
             ())
       ops
   in
@@ -199,8 +200,17 @@ let compile_ops ~(enc : Encoding.t) ~subs ops : (Mbuf.t -> env -> unit) list =
           Mbuf.ensure buf n;
           Mbuf.set_bytes buf 0 image 0 n;
           Mbuf.advance buf n
-    | Mplan.Put_string { src; nul; pad; len_src = _ } ->
+    | Mplan.Put_string { src; nul; pad; len_src = _; borrow } ->
         let a = compile_rv src in
+        (* the borrow decision is baked in when the closure is built —
+           the encoder fingerprint keys on the SG config, so a cached
+           closure's behaviour is fully determined by its key, and the
+           hot path pays one compare against a captured int instead of
+           two global reads per string *)
+        let thresh =
+          if borrow && Mbuf.sg_enabled () then Mbuf.borrow_threshold ()
+          else max_int
+        in
         fun buf env ->
           let s = match a env with
             | Value.Vstring s -> s
@@ -209,13 +219,35 @@ let compile_ops ~(enc : Encoding.t) ~subs ops : (Mbuf.t -> env -> unit) list =
           let slen = String.length s in
           let data = slen + if nul then 1 else 0 in
           let padded = (data + pad - 1) / pad * pad in
-          Mbuf.ensure buf (4 + padded);
-          (if be then Mbuf.set_i32_be buf 0 data else Mbuf.set_i32_le buf 0 data);
-          Mbuf.set_string buf 4 s 0 slen;
-          Mbuf.fill_zero buf (4 + slen) (padded - slen);
-          Mbuf.advance buf (4 + padded)
-    | Mplan.Put_byteseq { arr; pad; via = _ } ->
+          if slen >= thresh then begin
+            (* zero-copy: prefix in chunk storage, payload by reference,
+               NUL/padding tail in chunk storage — same bytes as below *)
+            Mbuf.ensure buf 4;
+            (if be then Mbuf.set_i32_be buf 0 data
+             else Mbuf.set_i32_le buf 0 data);
+            Mbuf.advance buf 4;
+            Mbuf.put_borrow_string buf s 0 slen;
+            let tail = padded - slen in
+            if tail > 0 then begin
+              Mbuf.ensure buf tail;
+              Mbuf.fill_zero buf 0 tail;
+              Mbuf.advance buf tail
+            end
+          end
+          else begin
+            Mbuf.ensure buf (4 + padded);
+            (if be then Mbuf.set_i32_be buf 0 data
+             else Mbuf.set_i32_le buf 0 data);
+            Mbuf.set_string buf 4 s 0 slen;
+            Mbuf.fill_zero buf (4 + slen) (padded - slen);
+            Mbuf.advance buf (4 + padded)
+          end
+    | Mplan.Put_byteseq { arr; pad; via = _; borrow } ->
         let a = compile_rv arr in
+        let thresh =
+          if borrow && Mbuf.sg_enabled () then Mbuf.borrow_threshold ()
+          else max_int
+        in
         fun buf env ->
           let b = match a env with
             | Value.Vbytes b -> b
@@ -223,13 +255,59 @@ let compile_ops ~(enc : Encoding.t) ~subs ops : (Mbuf.t -> env -> unit) list =
           in
           let blen = Bytes.length b in
           let padded = (blen + pad - 1) / pad * pad in
-          Mbuf.ensure buf (4 + padded);
-          (if be then Mbuf.set_i32_be buf 0 blen else Mbuf.set_i32_le buf 0 blen);
-          Mbuf.set_bytes buf 4 b 0 blen;
-          Mbuf.fill_zero buf (4 + blen) (padded - blen);
-          Mbuf.advance buf (4 + padded)
+          if blen >= thresh then begin
+            Mbuf.ensure buf 4;
+            (if be then Mbuf.set_i32_be buf 0 blen
+             else Mbuf.set_i32_le buf 0 blen);
+            Mbuf.advance buf 4;
+            Mbuf.put_borrow_bytes buf b 0 blen;
+            let tail = padded - blen in
+            if tail > 0 then begin
+              Mbuf.ensure buf tail;
+              Mbuf.fill_zero buf 0 tail;
+              Mbuf.advance buf tail
+            end
+          end
+          else begin
+            Mbuf.ensure buf (4 + padded);
+            (if be then Mbuf.set_i32_be buf 0 blen
+             else Mbuf.set_i32_le buf 0 blen);
+            Mbuf.set_bytes buf 4 b 0 blen;
+            Mbuf.fill_zero buf (4 + blen) (padded - blen);
+            Mbuf.advance buf (4 + padded)
+          end
     | Mplan.Put_atom_array { arr; atom; with_len; via = _ } ->
+        (* never borrowed: the copy doubles as the byte-order transform *)
         compile_atom_array arr atom with_len
+    | Mplan.Put_blit { src; len; pad } ->
+        let a = compile_rv src in
+        (* [len] is static, so the whole decision is compile-time *)
+        let borrow = Mbuf.borrow_eligible len in
+        fun buf env ->
+          (match a env with
+          | Value.Vbytes b ->
+              if Bytes.length b <> len then
+                invalid_arg "Stub_opt: fixed byte array length mismatch"
+              else if borrow then Mbuf.put_borrow_bytes buf b 0 len
+              else begin
+                Mbuf.ensure buf len;
+                Mbuf.set_bytes buf 0 b 0 len;
+                Mbuf.advance buf len
+              end
+          | Value.Vstring s ->
+              if borrow && String.length s >= len then
+                Mbuf.put_borrow_string buf s 0 len
+              else begin
+                Mbuf.ensure buf len;
+                Mbuf.set_string buf 0 s 0 len;
+                Mbuf.advance buf len
+              end
+          | _ -> invalid_arg "Stub_opt: Put_blit over non-bytes");
+          if pad > 0 then begin
+            Mbuf.ensure buf pad;
+            Mbuf.fill_zero buf 0 pad;
+            Mbuf.advance buf pad
+          end
     | Mplan.Put_len { arr; via = _ } ->
         let a = compile_rv arr in
         fun buf env ->
@@ -470,6 +548,10 @@ let encoder_cache : encoder Plan_cache.t =
 
 let compile_encoder ~enc ~mint ~named roots : encoder =
   let fp = Plan_cache.fp_create ~enc ~mint ~named () in
+  (* the compiled closures bake in the plan's scatter-gather decisions,
+     so the SG configuration is part of the encoder key too *)
+  Plan_cache.fp_tag fp
+    (Printf.sprintf "sg=%b,%d" (Mbuf.sg_enabled ()) (Mbuf.borrow_threshold ()));
   List.iter (Plan_cache.fp_root fp) roots;
   Plan_cache.find_or_add encoder_cache (Plan_cache.fp_contents fp) (fun () ->
       encoder_of_plan ~enc (Plan_cache.plan ~enc ~mint ~named roots))

@@ -24,9 +24,16 @@ type op =
   | Chunk of { size : int; align : int; items : item list; check : bool }
   | Ensure_count of { arr : rv; via : via; unit_size : int }
   | Put_const_str of { s : string; nul : bool; pad : int }
-  | Put_string of { src : rv; nul : bool; pad : int; len_src : rv option }
-  | Put_byteseq of { arr : rv; via : via; pad : int }
+  | Put_string of {
+      src : rv;
+      nul : bool;
+      pad : int;
+      len_src : rv option;
+      borrow : bool;
+    }
+  | Put_byteseq of { arr : rv; via : via; pad : int; borrow : bool }
   | Put_atom_array of { arr : rv; via : via; atom : atom; with_len : bool }
+  | Put_blit of { src : rv; len : int; pad : int }
   | Put_len of { arr : rv; via : via }
   | Loop of { arr : rv; via : via; var : int; body : op list }
   | Switch of {
@@ -86,14 +93,16 @@ let rec pp_op ppf = function
       Format.fprintf ppf "ensure len(%a) * %d" pp_rv arr unit_size
   | Put_const_str { s; nul; pad } ->
       Format.fprintf ppf "put_const_str %S nul=%B pad=%d" s nul pad
-  | Put_string { src; nul; pad; len_src } ->
+  | Put_string { src; nul; pad; len_src; borrow = _ } ->
       Format.fprintf ppf "put_string %a nul=%B pad=%d%s" pp_rv src nul pad
         (match len_src with None -> "" | Some _ -> " (explicit length)")
-  | Put_byteseq { arr; pad; via = _ } ->
+  | Put_byteseq { arr; pad; via = _; borrow = _ } ->
       Format.fprintf ppf "put_byteseq %a pad=%d" pp_rv arr pad
   | Put_atom_array { arr; atom; with_len; via = _ } ->
       Format.fprintf ppf "put_atom_array %a %a%s" pp_rv arr pp_atom atom
         (if with_len then "" else " (no len)")
+  | Put_blit { src; len; pad } ->
+      Format.fprintf ppf "put_blit %a len=%d pad=%d" pp_rv src len pad
   | Put_len { arr; via = _ } -> Format.fprintf ppf "put_len %a" pp_rv arr
   | Loop { arr; var; body; via = _ } ->
       Format.fprintf ppf "@[<v 2>for _e%d in %a {" var pp_rv arr;
@@ -133,7 +142,7 @@ let rec count_ops ops =
       +
       match op with
       | Align _ | Ensure_count _ | Put_const_str _ | Put_string _
-      | Put_byteseq _ | Put_atom_array _ | Put_len _ | Call _ ->
+      | Put_byteseq _ | Put_atom_array _ | Put_blit _ | Put_len _ | Call _ ->
           1
       | Chunk { items; _ } -> 1 + List.length items
       | Loop { body; _ } -> 1 + count_ops body

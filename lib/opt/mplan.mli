@@ -65,9 +65,24 @@ type op =
       (** reserve length * unit once for a whole array *)
   | Put_const_str of { s : string; nul : bool; pad : int }
       (** constant counted string (operation-name discriminators) *)
-  | Put_string of { src : rv; nul : bool; pad : int; len_src : rv option }
-  | Put_byteseq of { arr : rv; via : via; pad : int }
+  | Put_string of {
+      src : rv;
+      nul : bool;
+      pad : int;
+      len_src : rv option;
+      borrow : bool;
+          (** payload may be spliced by reference when scatter-gather is
+              on and the runtime length clears the borrow threshold *)
+    }
+  | Put_byteseq of { arr : rv; via : via; pad : int; borrow : bool }
   | Put_atom_array of { arr : rv; via : via; atom : atom; with_len : bool }
+      (** never borrowable: scalar arrays need a per-element byte-order
+          transform, so the copy is also the swap *)
+  | Put_blit of { src : rv; len : int; pad : int }
+      (** a fixed-length packed byte run large enough that it was split
+          out of its chunk so the engine can borrow it by reference
+          (zero-copy); falls back to a copy below the runtime
+          threshold *)
   | Put_len of { arr : rv; via : via }
   | Loop of { arr : rv; via : via; var : int; body : op list }
   | Switch of {

@@ -45,6 +45,7 @@ let rec bounded_advance (op : Mplan.op) : int option =
   | Mplan.Ensure_count _ -> Some 0
   | Mplan.Put_const_str { s; nul; pad } ->
       Some (4 + String.length s + (if nul then 1 else 0) + pad)
+  | Mplan.Put_blit { len; pad; _ } -> Some (len + pad)
   | Mplan.Put_len _ -> Some 7 (* align 4 (≤ 3 bytes) + the 4-byte count *)
   | Mplan.Loop { via = Mplan.Via_fixed n; body; _ } ->
       Option.map (fun u -> n * u) (bounded_advance_ops body)

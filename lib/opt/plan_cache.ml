@@ -282,7 +282,7 @@ let fp_contents fp = Buffer.contents fp.buf
 let plans : Plan_compile.plan t = create ~name:"plan" ()
 
 let plan_key ~enc ~mint ~named ?start ?(unroll_limit = 64) ?(chunked = true)
-    ?(peephole = true) roots =
+    ?(peephole = true) ~sg ~sg_threshold roots =
   let fp = fp_create ~enc ~mint ~named () in
   (match start with
   | None -> Buffer.add_char fp.buf '-'
@@ -291,14 +291,28 @@ let plan_key ~enc ~mint ~named ?start ?(unroll_limit = 64) ?(chunked = true)
       fp_int fp off);
   fp_int fp unroll_limit;
   fp_int fp ((if chunked then 1 else 0) + if peephole then 2 else 0);
+  (* scatter-gather options change the plan's structure (Put_blit
+     splitting, borrow marks), so they are part of the key *)
+  fp_int fp (if sg then 1 else 0);
+  fp_int fp sg_threshold;
   List.iter (fp_root fp) roots;
   fp_contents fp
 
 let plan ~enc ~mint ~named ?start ?unroll_limit ?chunked ?(peephole = true)
-    roots =
+    ?sg ?sg_threshold roots =
+  (* resolve the Mbuf-global defaults now so the key and the compile see
+     the same values even if the globals change between calls *)
+  let sg = match sg with Some b -> b | None -> Mbuf.sg_enabled () in
+  let sg_threshold =
+    match sg_threshold with Some n -> n | None -> Mbuf.borrow_threshold ()
+  in
   let key =
-    plan_key ~enc ~mint ~named ?start ?unroll_limit ?chunked ~peephole roots
+    plan_key ~enc ~mint ~named ?start ?unroll_limit ?chunked ~peephole ~sg
+      ~sg_threshold roots
   in
   find_or_add plans key (fun () ->
-      let p = Plan_compile.compile ~enc ~mint ~named ?start ?unroll_limit ?chunked roots in
+      let p =
+        Plan_compile.compile ~enc ~mint ~named ?start ?unroll_limit ?chunked
+          ~sg ~sg_threshold roots
+      in
       if peephole then Peephole.optimize_plan p else p)

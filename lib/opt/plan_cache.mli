@@ -79,7 +79,11 @@ val plan :
   ?unroll_limit:int ->
   ?chunked:bool ->
   ?peephole:bool ->
+  ?sg:bool ->
+  ?sg_threshold:int ->
   Plan_compile.root list ->
   Plan_compile.plan
 (** Cached, peephole-optimized {!Plan_compile.compile} (same defaults).
-    [peephole:false] skips the optimizer (and caches separately). *)
+    [peephole:false] skips the optimizer (and caches separately).  The
+    scatter-gather options (defaulting to the {!Mbuf} globals) are part
+    of the cache key, since they change plan structure. *)

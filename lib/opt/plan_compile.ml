@@ -127,6 +127,8 @@ type st = {
   named : (string * (Mint.idx * Pres.t)) list;
   unroll_limit : int;
   chunked : bool;  (* false: flush after every atom (ablation A1/A4) *)
+  sg : bool;  (* mark blit-shaped ops as borrowable (scatter-gather) *)
+  sg_thresh : int;  (* split It_bytes >= this out of chunks as Put_blit *)
   mutable ops_rev : Mplan.op list;
   mutable chunk : chunk_state option;
   mutable abase : int;  (* position ≡ aoff (mod abase); abase in {1,2,4,8} *)
@@ -215,11 +217,20 @@ let put_header st =
 
 let put_fixed_bytes st src len =
   let padded = round_up len st.enc.Encoding.pad_unit in
-  let c = chunk st in
-  let off = c.c_size in
-  c.c_items <- Mplan.It_bytes { off; len; pad = padded - len; src } :: c.c_items;
-  c.c_size <- off + padded;
-  advance_static st padded
+  if st.sg && len >= st.sg_thresh then begin
+    (* large packed run: split out of the chunk so the engine can borrow
+       the payload by reference instead of copying it *)
+    emit st (Mplan.Put_blit { src; len; pad = padded - len });
+    advance_static st padded
+  end
+  else begin
+    let c = chunk st in
+    let off = c.c_size in
+    c.c_items <-
+      Mplan.It_bytes { off; len; pad = padded - len; src } :: c.c_items;
+    c.c_size <- off + padded;
+    advance_static st padded
+  end
 
 (* state bookkeeping for the self-contained variable ops *)
 let after_variable st =
@@ -314,7 +325,7 @@ and compile_array st rv ~elem ~min_len ~max_len (pres : Pres.t) =
       st.ops_rev <-
         Mplan.Put_string
           { src = rv; nul = enc.Encoding.string_nul; pad = enc.Encoding.pad_unit;
-            len_src }
+            len_src; borrow = st.sg }
         :: st.ops_rev;
       after_variable st
   | Pres.Fixed_array sub when fixed && is_byte_elem st.mint elem ->
@@ -354,7 +365,8 @@ and compile_array st rv ~elem ~min_len ~max_len (pres : Pres.t) =
         if pad_pre > 0 then
           st.ops_rev <- Mplan.Align enc.Encoding.len_prefix.Encoding.align :: st.ops_rev;
         st.ops_rev <-
-          Mplan.Put_byteseq { arr = rv; via; pad = enc.Encoding.pad_unit }
+          Mplan.Put_byteseq
+            { arr = rv; via; pad = enc.Encoding.pad_unit; borrow = st.sg }
           :: st.ops_rev;
         after_variable st
       end
@@ -538,7 +550,7 @@ and compile_sub st name =
           Hashtbl.replace st.subs name (Some (List.rev sub_st.ops_rev)))
 
 let compile ~enc ~mint ~named ?(start = (8, 0)) ?(unroll_limit = 64)
-    ?(chunked = true) roots =
+    ?(chunked = true) ?sg ?sg_threshold roots =
   let base, off = start in
   let st =
     {
@@ -547,6 +559,11 @@ let compile ~enc ~mint ~named ?(start = (8, 0)) ?(unroll_limit = 64)
       named;
       unroll_limit;
       chunked;
+      sg = (match sg with Some b -> b | None -> Mbuf.sg_enabled ());
+      sg_thresh =
+        (match sg_threshold with
+        | Some n -> n
+        | None -> Mbuf.borrow_threshold ());
       ops_rev = [];
       chunk = None;
       abase = base;

@@ -45,6 +45,8 @@ val compile :
   ?start:int * int ->
   ?unroll_limit:int ->
   ?chunked:bool ->
+  ?sg:bool ->
+  ?sg_threshold:int ->
   root list ->
   plan
 (** [compile ~enc ~mint ~named roots] produces the marshal plan for the
@@ -54,7 +56,10 @@ val compile :
     are unrolled into their surrounding chunk.  [chunked:false] disables
     the section 3.1/3.2 chunk merging — every atom gets its own
     capacity check and pointer advance — and exists for the ablation
-    benchmarks. *)
+    benchmarks.  [sg] (default {!Mbuf.sg_enabled}) marks blit-shaped ops
+    borrowable for the scatter-gather wire path and splits fixed byte
+    runs of at least [sg_threshold] (default {!Mbuf.borrow_threshold})
+    bytes out of their chunk as {!Mplan.op.Put_blit}. *)
 
 val atom_of : Encoding.t -> Encoding.atom_kind -> Mplan.atom
 (** The encoding's layout for one atom, as a plan atom. *)

@@ -24,6 +24,11 @@ let transmit t ~bytes k =
   in
   Sim_core.schedule t.sim ~delay:arrival k
 
+(* Scatter-gather send: the link only needs the message length — a real
+   kernel would writev the iovec list — so a segmented message is
+   transmitted without ever being flattened. *)
+let transmit_mbuf t ~msg k = transmit t ~bytes:(Mbuf.pos msg) k
+
 (* Effective bandwidths measured by the paper with ttcp: 10 Mbps
    Ethernet delivers about 7.5, 100 Mbps about 70, and 640 Mbps Myrinet
    only 84.5 because of the host protocol stack.  Per-message CPU costs

@@ -25,6 +25,12 @@ val transmit : t -> bytes:int -> (unit -> unit) -> unit
     receiver when the last byte (plus per-message CPU cost at each end)
     has arrived. *)
 
+val transmit_mbuf : t -> msg:Mbuf.t -> (unit -> unit) -> unit
+(** Transmit a marshal buffer as it stands ({!Mbuf.pos} bytes).  Only
+    the length is read — the segment list is handed to the (simulated)
+    device as an iovec, so a scatter-gather message is never
+    flattened. *)
+
 (** The paper's three networks with their measured effective
     bandwidths. *)
 

@@ -14,25 +14,165 @@ external bswap64 : int64 -> int64 = "%bswap_int64"
    endianness differs from the machine's. *)
 let native_big = Sys.big_endian
 
-type t = { mutable buf : bytes; mutable pos : int }
+(* -- scatter-gather configuration ----------------------------------- *)
 
-let create n = { buf = Bytes.create (max n 16); pos = 0 }
-let reset t = t.pos <- 0
+let sg_on = ref true
+let sg_thresh = ref 512
+let sg_enabled () = !sg_on
+let set_sg_enabled b = sg_on := b
+let borrow_threshold () = !sg_thresh
+
+let set_borrow_threshold n =
+  if n < 1 then invalid_arg "Mbuf.set_borrow_threshold";
+  sg_thresh := n
+
+let borrow_eligible len = !sg_on && len >= !sg_thresh
+
+(* -- pooled chunk storage ------------------------------------------- *)
+
+let chunk_size = 8192
+let pool_max = 32
+let chunk_pool : bytes list ref = ref []
+let chunk_pool_len = ref 0
+
+let chunk_get n =
+  let n = if n < chunk_size then chunk_size else n in
+  match !chunk_pool with
+  | b :: rest when Bytes.length b >= n ->
+      chunk_pool := rest;
+      decr chunk_pool_len;
+      b
+  | _ -> Bytes.create n
+
+let chunk_put b =
+  if Bytes.length b >= chunk_size && !chunk_pool_len < pool_max then begin
+    chunk_pool := b :: !chunk_pool;
+    incr chunk_pool_len
+  end
+
+(* -- writer ---------------------------------------------------------- *)
+
+(* A sealed segment of the message.  [s_owned] segments live in chunk
+   storage this module allocated (recyclable on [reset]); borrowed
+   segments alias caller-owned payload bytes and are never written to
+   or recycled. *)
+type seg = { s_base : bytes; s_off : int; s_len : int; s_owned : bool }
+
+type t = {
+  mutable buf : bytes;  (* active chunk: unsealed tail of the message *)
+  mutable w_off : int;  (* where the active region starts inside [buf] *)
+  mutable base : int;  (* global position of the active region's start *)
+  mutable pos : int;  (* global cursor = message length so far *)
+  mutable promised : int;  (* high-water [ensure] mark (global), so
+                              unchecked stores stay in bounds even when a
+                              borrow seals the chunk mid-reservation *)
+  mutable segs_rev : seg list;  (* sealed segments, most recent first *)
+  mutable nsegs : int;
+  mutable exposed : bool;  (* internal storage aliased by a caller
+                              ([unsafe_contents]/[view]); [reset] must
+                              detach rather than recycle *)
+  mutable flat : bytes option;  (* cached flattening; at most one per
+                                   message generation *)
+  mutable st_copied : int;
+  mutable st_borrowed : int;
+  mutable st_copies : int;
+  mutable st_borrows : int;
+  mutable st_flattens : int;
+  mutable st_seals : int;
+}
+
+let create n =
+  {
+    buf = Bytes.create (max n 16);
+    w_off = 0;
+    base = 0;
+    pos = 0;
+    promised = 0;
+    segs_rev = [];
+    nsegs = 0;
+    exposed = false;
+    flat = None;
+    st_copied = 0;
+    st_borrowed = 0;
+    st_copies = 0;
+    st_borrows = 0;
+    st_flattens = 0;
+    st_seals = 0;
+  }
+
+let reset t =
+  (if t.exposed then
+     (* A caller still holds the storage ([unsafe_contents], [view], a
+        live reader): abandon it to the GC and start on fresh pooled
+        storage so the alias keeps seeing the old message. *)
+     t.buf <- chunk_get chunk_size
+   else begin
+     (* Recycle sealed own chunks (one chunk may back several segments;
+        recycle each physical chunk once, and never the active one). *)
+     let rec recycle seen = function
+       | [] -> ()
+       | s :: rest ->
+           if s.s_owned && s.s_base != t.buf && not (List.memq s.s_base seen)
+           then begin
+             chunk_put s.s_base;
+             recycle (s.s_base :: seen) rest
+           end
+           else recycle seen rest
+     in
+     recycle [] t.segs_rev
+   end);
+  t.w_off <- 0;
+  t.base <- 0;
+  t.pos <- 0;
+  t.promised <- 0;
+  t.segs_rev <- [];
+  t.nsegs <- 0;
+  t.exposed <- false;
+  t.flat <- None
+
 let pos t = t.pos
-let contents t = Bytes.sub t.buf 0 t.pos
-let unsafe_contents t = t.buf
+
+(* Physical address in the active chunk of global position [pos + off]. *)
+let apos t off = t.w_off + (t.pos - t.base) + off
+
+(* Seal the active region into a segment; writing continues in the same
+   chunk right after it. *)
+let seal t =
+  let len = t.pos - t.base in
+  if len > 0 then begin
+    t.segs_rev <-
+      { s_base = t.buf; s_off = t.w_off; s_len = len; s_owned = true }
+      :: t.segs_rev;
+    t.nsegs <- t.nsegs + 1;
+    t.st_seals <- t.st_seals + 1;
+    t.w_off <- t.w_off + len;
+    t.base <- t.pos
+  end
 
 let ensure t n =
-  let want = t.pos + n in
-  if want > Bytes.length t.buf then begin
-    let cap = ref (Bytes.length t.buf * 2) in
-    while want > !cap do
-      cap := !cap * 2
-    done;
-    let bigger = Bytes.create !cap in
-    Bytes.blit t.buf 0 bigger 0 t.pos;
-    t.buf <- bigger
-  end
+  t.flat <- None;
+  if t.pos + n > t.promised then t.promised <- t.pos + n;
+  if apos t n > Bytes.length t.buf then
+    if t.segs_rev = [] then begin
+      (* Single-segment message: grow geometrically in place (the
+         contiguous PR-1 behaviour; also keeps any exposed alias valid,
+         since the old storage is left untouched). *)
+      let want = t.pos + n in
+      let cap = ref (max 16 (Bytes.length t.buf * 2)) in
+      while want > !cap do
+        cap := !cap * 2
+      done;
+      let bigger = Bytes.create !cap in
+      Bytes.blit t.buf 0 bigger 0 t.pos;
+      t.buf <- bigger
+    end
+    else begin
+      (* Segmented message: seal the active region and continue in a
+         fresh pooled chunk sized for everything still promised. *)
+      seal t;
+      t.buf <- chunk_get (t.promised - t.base);
+      t.w_off <- 0
+    end
 
 let advance t n = t.pos <- t.pos + n
 
@@ -41,53 +181,62 @@ let align t a =
   if rem <> 0 then begin
     let pad = a - rem in
     ensure t pad;
-    Bytes.fill t.buf t.pos pad '\000';
+    Bytes.fill t.buf (apos t 0) pad '\000';
     t.pos <- t.pos + pad
   end
 
 (* -- unchecked stores ---------------------------------------------- *)
 
-let set_u8 t off v = Bytes.unsafe_set t.buf (t.pos + off) (Char.unsafe_chr (v land 0xff))
+let set_u8 t off v =
+  Bytes.unsafe_set t.buf (apos t off) (Char.unsafe_chr (v land 0xff))
 
 let set_i16_be t off v =
-  unsafe_set16 t.buf (t.pos + off) (if native_big then v else bswap16 v)
+  unsafe_set16 t.buf (apos t off) (if native_big then v else bswap16 v)
 
 let set_i16_le t off v =
-  unsafe_set16 t.buf (t.pos + off) (if native_big then bswap16 v else v)
+  unsafe_set16 t.buf (apos t off) (if native_big then bswap16 v else v)
 
 let set_i32_be t off v =
   let v = Int32.of_int v in
-  unsafe_set32 t.buf (t.pos + off) (if native_big then v else bswap32 v)
+  unsafe_set32 t.buf (apos t off) (if native_big then v else bswap32 v)
 
 let set_i32_le t off v =
   let v = Int32.of_int v in
-  unsafe_set32 t.buf (t.pos + off) (if native_big then bswap32 v else v)
+  unsafe_set32 t.buf (apos t off) (if native_big then bswap32 v else v)
 
 let set_i64_be t off v =
-  unsafe_set64 t.buf (t.pos + off) (if native_big then v else bswap64 v)
+  unsafe_set64 t.buf (apos t off) (if native_big then v else bswap64 v)
 
 let set_i64_le t off v =
-  unsafe_set64 t.buf (t.pos + off) (if native_big then bswap64 v else v)
+  unsafe_set64 t.buf (apos t off) (if native_big then bswap64 v else v)
 
 let set_f32_be t off v =
   let bits = Int32.bits_of_float v in
-  unsafe_set32 t.buf (t.pos + off) (if native_big then bits else bswap32 bits)
+  unsafe_set32 t.buf (apos t off) (if native_big then bits else bswap32 bits)
 
 let set_f32_le t off v =
   let bits = Int32.bits_of_float v in
-  unsafe_set32 t.buf (t.pos + off) (if native_big then bswap32 bits else bits)
+  unsafe_set32 t.buf (apos t off) (if native_big then bswap32 bits else bits)
 
 let set_f64_be t off v =
   let bits = Int64.bits_of_float v in
-  unsafe_set64 t.buf (t.pos + off) (if native_big then bits else bswap64 bits)
+  unsafe_set64 t.buf (apos t off) (if native_big then bits else bswap64 bits)
 
 let set_f64_le t off v =
   let bits = Int64.bits_of_float v in
-  unsafe_set64 t.buf (t.pos + off) (if native_big then bswap64 bits else bits)
+  unsafe_set64 t.buf (apos t off) (if native_big then bswap64 bits else bits)
 
-let set_bytes t off src srcoff len = Bytes.blit src srcoff t.buf (t.pos + off) len
-let fill_zero t off len = Bytes.fill t.buf (t.pos + off) len '\000'
-let set_string t off src srcoff len = Bytes.blit_string src srcoff t.buf (t.pos + off) len
+let set_bytes t off src srcoff len =
+  Bytes.blit src srcoff t.buf (apos t off) len;
+  t.st_copied <- t.st_copied + len;
+  t.st_copies <- t.st_copies + 1
+
+let fill_zero t off len = Bytes.fill t.buf (apos t off) len '\000'
+
+let set_string t off src srcoff len =
+  Bytes.blit_string src srcoff t.buf (apos t off) len;
+  t.st_copied <- t.st_copied + len;
+  t.st_copies <- t.st_copies + 1
 
 (* -- checked appends ------------------------------------------------ *)
 
@@ -121,26 +270,268 @@ let put_f64 t ~be v =
   if be then set_f64_be t 0 v else set_f64_le t 0 v;
   t.pos <- t.pos + 8
 
+(* -- borrowed (zero-copy) segments ---------------------------------- *)
+
+let put_borrow_string t s off len =
+  if off < 0 || len < 0 || off + len > String.length s then
+    invalid_arg "Mbuf.put_borrow_string";
+  if len > 0 then begin
+    t.flat <- None;
+    seal t;
+    t.segs_rev <-
+      { s_base = Bytes.unsafe_of_string s; s_off = off; s_len = len;
+        s_owned = false }
+      :: t.segs_rev;
+    t.nsegs <- t.nsegs + 1;
+    t.pos <- t.pos + len;
+    t.base <- t.pos;
+    t.st_borrowed <- t.st_borrowed + len;
+    t.st_borrows <- t.st_borrows + 1
+  end
+
+let put_borrow_bytes t b off len =
+  put_borrow_string t (Bytes.unsafe_to_string b) off len
+
+(* -- whole-message access ------------------------------------------- *)
+
+(* Copy the full message into [dst.(0 .. pos)]. *)
+let blit_all t dst =
+  let off = ref 0 in
+  List.iter
+    (fun s ->
+      Bytes.blit s.s_base s.s_off dst !off s.s_len;
+      off := !off + s.s_len)
+    (List.rev t.segs_rev);
+  let alen = t.pos - t.base in
+  if alen > 0 then Bytes.blit t.buf t.w_off dst !off alen
+
+let flatten t =
+  if t.segs_rev = [] then t.buf (* w_off = 0: buf.(0 .. pos) is the message *)
+  else
+    match t.flat with
+    | Some b -> b
+    | None ->
+        let out = Bytes.create t.pos in
+        blit_all t out;
+        t.st_flattens <- t.st_flattens + 1;
+        t.st_copied <- t.st_copied + t.pos;
+        t.flat <- Some out;
+        out
+
+let contents t =
+  let out = Bytes.create t.pos in
+  blit_all t out;
+  t.st_copied <- t.st_copied + t.pos;
+  t.st_copies <- t.st_copies + 1;
+  out
+
+let unsafe_contents t =
+  t.exposed <- true;
+  flatten t
+
+let view t =
+  t.exposed <- true;
+  (flatten t, t.pos)
+
+let iter_segments t f =
+  List.iter (fun s -> f s.s_base s.s_off s.s_len) (List.rev t.segs_rev);
+  let alen = t.pos - t.base in
+  if alen > 0 then f t.buf t.w_off alen
+
+let segment_count t = t.nsegs + (if t.pos > t.base then 1 else 0)
+
+(* -- stats ----------------------------------------------------------- *)
+
+type stats = {
+  bytes_copied : int;
+  bytes_borrowed : int;
+  copies : int;
+  borrows : int;
+  flattens : int;
+  seals : int;
+}
+
+let stats t =
+  {
+    bytes_copied = t.st_copied;
+    bytes_borrowed = t.st_borrowed;
+    copies = t.st_copies;
+    borrows = t.st_borrows;
+    flattens = t.st_flattens;
+    seals = t.st_seals;
+  }
+
+let reset_stats t =
+  t.st_copied <- 0;
+  t.st_borrowed <- 0;
+  t.st_copies <- 0;
+  t.st_borrows <- 0;
+  t.st_flattens <- 0;
+  t.st_seals <- 0
+
+(* -- writer pool ----------------------------------------------------- *)
+
+let writer_pool : t list ref = ref []
+let writer_pool_len = ref 0
+
+let acquire ?size () =
+  let w =
+    match !writer_pool with
+    | w :: rest ->
+        writer_pool := rest;
+        decr writer_pool_len;
+        w
+    | [] -> create chunk_size
+  in
+  (match size with
+  | Some n when n > 0 ->
+      ensure w n;
+      w.promised <- 0
+  | _ -> ());
+  w
+
+let release w =
+  reset w;
+  if !writer_pool_len < pool_max then begin
+    writer_pool := w :: !writer_pool;
+    incr writer_pool_len
+  end
+
 (* -- readers --------------------------------------------------------- *)
 
-type reader = { rbuf : bytes; mutable rpos : int; rend : int }
+type reader = {
+  mutable rbuf : bytes;  (* current window *)
+  mutable rpos : int;  (* cursor inside [rbuf] *)
+  mutable rend : int;  (* window end inside [rbuf] *)
+  mutable rbase : int;  (* global position = rbase + rpos *)
+  mutable rmore : (bytes * int * int) list;  (* segments after the window *)
+  mutable rrest : int;  (* total bytes in [rmore] *)
+}
 
 let reader_of_bytes ?(off = 0) ?len b =
   let len = match len with Some l -> l | None -> Bytes.length b - off in
   if off < 0 || len < 0 || off + len > Bytes.length b then
     invalid_arg "Mbuf.reader_of_bytes";
-  { rbuf = b; rpos = off; rend = off + len }
+  { rbuf = b; rpos = off; rend = off + len; rbase = 0; rmore = []; rrest = 0 }
 
-let reader t = { rbuf = t.buf; rpos = 0; rend = t.pos }
-let rpos r = r.rpos
-let remaining r = r.rend - r.rpos
-let need r n = if r.rpos + n > r.rend then raise Short_buffer
+let fill_reader r fwd total =
+  match fwd with
+  | [] ->
+      r.rbuf <- Bytes.empty;
+      r.rpos <- 0;
+      r.rend <- 0;
+      r.rbase <- 0;
+      r.rmore <- [];
+      r.rrest <- 0
+  | (b, off, len) :: rest ->
+      r.rbuf <- b;
+      r.rpos <- off;
+      r.rend <- off + len;
+      r.rbase <- -off;
+      r.rmore <- rest;
+      r.rrest <- total - len
+
+(* Forward segment list of the first [total] bytes of [t]'s message. *)
+let segs_forward t total =
+  let rec take left = function
+    | [] -> []
+    | (b, off, slen) :: rest ->
+        if left <= 0 then []
+        else if slen >= left then [ (b, off, left) ]
+        else (b, off, slen) :: take (left - slen) rest
+  in
+  let active =
+    let alen = t.pos - t.base in
+    if alen > 0 then [ (t.buf, t.w_off, alen) ] else []
+  in
+  take total
+    (List.rev_map (fun s -> (s.s_base, s.s_off, s.s_len)) t.segs_rev @ active)
+
+let init_reader r ?len t =
+  let total =
+    match len with
+    | None -> t.pos
+    | Some l -> if l < 0 || l > t.pos then invalid_arg "Mbuf.reader" else l
+  in
+  fill_reader r (segs_forward t total) total
+
+let reader ?len t =
+  let r =
+    { rbuf = Bytes.empty; rpos = 0; rend = 0; rbase = 0; rmore = []; rrest = 0 }
+  in
+  init_reader r ?len t;
+  r
+
+let rpos r = r.rbase + r.rpos
+let remaining r = r.rend - r.rpos + r.rrest
+
+(* Step into the next segment; precondition: cursor at window end. *)
+let advance_seg r =
+  match r.rmore with
+  | (b, off, len) :: rest ->
+      let g = r.rbase + r.rpos in
+      r.rbuf <- b;
+      r.rpos <- off;
+      r.rend <- off + len;
+      r.rbase <- g - off;
+      r.rmore <- rest;
+      r.rrest <- r.rrest - len
+  | [] -> assert false
+
+(* Gather [n] bytes spanning a segment boundary into a contiguous spill
+   window so the unchecked [get_*] reads stay valid (BSD-mbuf pullup).
+   Precondition: [remaining r >= n] and the current window is short. *)
+let pullup r n =
+  let g = r.rbase + r.rpos in
+  let spill = Bytes.create n in
+  let avail = r.rend - r.rpos in
+  Bytes.blit r.rbuf r.rpos spill 0 avail;
+  let filled = ref avail in
+  while !filled < n do
+    match r.rmore with
+    | [] -> assert false
+    | (b, off, len) :: rest ->
+        let take = min len (n - !filled) in
+        Bytes.blit b off spill !filled take;
+        r.rrest <- r.rrest - take;
+        r.rmore <- (if take < len then (b, off + take, len - take) :: rest else rest);
+        filled := !filled + take
+  done;
+  r.rbuf <- spill;
+  r.rpos <- 0;
+  r.rend <- n;
+  r.rbase <- g
+
+let need r n =
+  if r.rpos + n > r.rend then begin
+    if r.rend - r.rpos + r.rrest < n then raise Short_buffer;
+    let rec go () =
+      if r.rpos + n > r.rend then
+        if r.rpos = r.rend && r.rmore <> [] then begin
+          advance_seg r;
+          go ()
+        end
+        else pullup r n
+    in
+    go ()
+  end
+
 let skip r n =
-  need r n;
-  r.rpos <- r.rpos + n
+  if n <= r.rend - r.rpos then r.rpos <- r.rpos + n
+  else begin
+    if remaining r < n then raise Short_buffer;
+    let left = ref (n - (r.rend - r.rpos)) in
+    r.rpos <- r.rend;
+    while !left > 0 do
+      advance_seg r;
+      let take = min (r.rend - r.rpos) !left in
+      r.rpos <- r.rpos + take;
+      left := !left - take
+    done
+  end
 
 let ralign r a =
-  let rem = r.rpos land (a - 1) in
+  let rem = (r.rbase + r.rpos) land (a - 1) in
   if rem <> 0 then skip r (a - rem)
 
 let get_u8 r off = Char.code (Bytes.unsafe_get r.rbuf (r.rpos + off))
@@ -224,14 +615,59 @@ let read_f64 r ~be =
   r.rpos <- r.rpos + 8;
   v
 
+(* Gather-aware bulk reads: the fast path is an in-window sub; the slow
+   path copies across segment boundaries without disturbing the window
+   (no pullup needed, the result is its own buffer). *)
 let read_bytes r len =
-  need r len;
-  let v = get_bytes r 0 len in
-  r.rpos <- r.rpos + len;
-  v
+  if len >= 0 && r.rpos + len <= r.rend then begin
+    let v = Bytes.sub r.rbuf r.rpos len in
+    r.rpos <- r.rpos + len;
+    v
+  end
+  else begin
+    if len < 0 || remaining r < len then raise Short_buffer;
+    let out = Bytes.create len in
+    let filled = ref 0 in
+    while !filled < len do
+      if r.rpos = r.rend then advance_seg r;
+      let take = min (r.rend - r.rpos) (len - !filled) in
+      Bytes.blit r.rbuf r.rpos out !filled take;
+      r.rpos <- r.rpos + take;
+      filled := !filled + take
+    done;
+    out
+  end
 
 let read_string r len =
-  need r len;
-  let v = get_string r 0 len in
-  r.rpos <- r.rpos + len;
-  v
+  if len >= 0 && r.rpos + len <= r.rend then begin
+    let v = Bytes.sub_string r.rbuf r.rpos len in
+    r.rpos <- r.rpos + len;
+    v
+  end
+  else Bytes.unsafe_to_string (read_bytes r len)
+
+(* -- reader pool ----------------------------------------------------- *)
+
+let reader_pool : reader list ref = ref []
+let reader_pool_len = ref 0
+
+let acquire_reader ?len t =
+  match !reader_pool with
+  | r :: rest ->
+      reader_pool := rest;
+      decr reader_pool_len;
+      init_reader r ?len t;
+      r
+  | [] -> reader ?len t
+
+let release_reader r =
+  r.rbuf <- Bytes.empty;
+  r.rpos <- 0;
+  r.rend <- 0;
+  r.rbase <- 0;
+  r.rmore <- [];
+  r.rrest <- 0;
+  if !reader_pool_len < pool_max then begin
+    reader_pool := r :: !reader_pool;
+    incr reader_pool_len
+  end

@@ -1,26 +1,59 @@
 (** Marshal buffers: the runtime substrate Flick-generated stubs write
     into and read from.
 
-    A writer is a growable byte buffer with an explicit
-    capacity-reservation step ({!ensure}) separated from the raw store
-    operations, exactly mirroring the split the paper's optimization
-    relies on (section 3.1): optimized stubs call {!ensure} once per
-    fixed-size message segment and then use the unchecked
-    [set_*]/[advance] operations at static offsets, while rpcgen-style
-    stubs call a checked [put_*] per datum.
+    A writer is a scatter-gather message builder (paper section 3.1,
+    "marshal buffer management").  Small writes land in pooled chunk
+    storage with an explicit capacity-reservation step ({!ensure})
+    separated from the raw store operations, exactly mirroring the
+    split the paper's optimization relies on: optimized stubs call
+    {!ensure} once per fixed-size message segment and then use the
+    unchecked [set_*]/[advance] operations at static offsets, while
+    rpcgen-style stubs call a checked [put_*] per datum.  Large
+    payloads can be {e borrowed} by reference ({!put_borrow_string},
+    {!put_borrow_bytes}): the message becomes an iovec-style list of
+    segments and the payload bytes are never copied.  Flattening to
+    contiguous bytes happens at most once per message, and only when a
+    consumer actually asks for it ({!contents}, {!unsafe_contents},
+    {!view}); length-only consumers use {!pos} and checksum-style
+    consumers use {!iter_segments}, neither of which copies.
 
     Writers are reused across invocations ({!reset}) as Flick stubs
-    reuse their dynamically allocated buffers.
+    reuse their dynamically allocated buffers, and can be pooled
+    ({!acquire}/{!release}) so steady-state encode allocates nothing
+    beyond the segment table.
 
     Multi-byte stores come in big- and little-endian variants; [set_*]
-    writes at an absolute offset without moving the cursor (chunk
+    writes at a cursor-relative offset without moving the cursor (chunk
     addressing: pointer-plus-constant-offset), [put_*] appends at the
     cursor with a bounds check and growth (the traditional stub shape).
 
     A {!reader} is a bounded view used by unmarshal code, with checked
-    reads and a batched {!need} precheck for chunked decoding.  Reads
-    past the message raise {!Short_buffer} — truncated-message failure
-    injection in the tests relies on this. *)
+    reads and a batched {!need} precheck for chunked decoding.  Readers
+    decode transparently across segment boundaries: {!need} gathers a
+    spanning datum into a contiguous window (BSD-mbuf "pullup") so the
+    unchecked [get_*] reads stay valid.  Reads past the message raise
+    {!Short_buffer} — truncated-message failure injection in the tests
+    relies on this, including truncation that lands mid-segment.
+
+    {2 Aliasing and reuse contracts}
+
+    - {!unsafe_contents} and {!view} return internal storage, but that
+      storage is {e detached} on the next {!reset}: a later
+      [reset]+encode cycle on the same writer (or a pooled reuse) never
+      mutates bytes previously handed out.  The returned bytes stay
+      valid indefinitely.
+    - A {!reader} obtained from a writer aliases the writer's live
+      storage (that is what makes it copy-free): it stays valid only
+      until the writer is next {e written to} — whether appending more
+      data or a [reset]+encode reuse.  Decode fully (or copy) before
+      reusing the writer.
+    - {!put_borrow_bytes} borrows the caller's buffer by reference: the
+      caller must not mutate it until the message has been consumed
+      (transmitted, read, flattened) or the writer reset.  Borrowed
+      bytes are never written to or recycled by this module.
+    - {!iter_segments} passes internal storage to the callback; the
+      slices are only valid during the iteration — copy anything that
+      must outlive it. *)
 
 exception Short_buffer
 
@@ -28,15 +61,43 @@ type t
 
 val create : int -> t
 val reset : t -> unit
+(** Clear the writer for a new message.  Sealed chunks are recycled to
+    the chunk pool unless the storage was exposed via
+    {!unsafe_contents}/{!view}, in which case it is detached instead
+    (see the aliasing contract above). *)
+
 val pos : t -> int
+(** Message length so far.  Length-only consumers (e.g. a simulated
+    link) should use this rather than flattening. *)
+
 val contents : t -> bytes
-(** Copy of the bytes written so far. *)
+(** Copy of the bytes written so far (always a fresh buffer). *)
 
 val unsafe_contents : t -> bytes
-(** The underlying storage (valid up to {!pos}); not a copy. *)
+(** The message as contiguous bytes (valid up to {!pos}); not a copy
+    when the message is a single segment, otherwise a cached one-time
+    flattening.  Safe across a later [reset]+encode (see contract). *)
+
+val view : t -> bytes * int
+(** [view t] = [(unsafe_contents t, pos t)]: contiguous bytes plus the
+    valid length, without the per-call copy of {!contents}. *)
+
+val iter_segments : t -> (bytes -> int -> int -> unit) -> unit
+(** [iter_segments t f] calls [f base off len] for each segment of the
+    message in order, without flattening.  Slices are valid only during
+    the iteration. *)
+
+val segment_count : t -> int
+(** Number of segments the message currently spans (1 for a fully
+    contiguous message). *)
 
 val ensure : t -> int -> unit
-(** Guarantee capacity for [n] more bytes, growing geometrically. *)
+(** Guarantee capacity for [n] more contiguous bytes: grows the single
+    chunk geometrically while the message is contiguous, otherwise
+    seals the active region and continues in a fresh pooled chunk.
+    The reservation survives interleaved borrows: unchecked stores
+    pre-reserved by an [ensure] (e.g. a hoisted [Ensure_count]) stay in
+    bounds even if a borrow seals the active chunk in between. *)
 
 val advance : t -> int -> unit
 (** Move the cursor forward over bytes already stored with [set_*]. *)
@@ -59,7 +120,8 @@ val set_f32_le : t -> int -> float -> unit
 val set_f64_be : t -> int -> float -> unit
 val set_f64_le : t -> int -> float -> unit
 val set_bytes : t -> int -> bytes -> int -> int -> unit
-(** [set_bytes t off src srcoff len] — the memcpy path. *)
+(** [set_bytes t off src srcoff len] — the memcpy path (counted in
+    {!stats}). *)
 
 val fill_zero : t -> int -> int -> unit
 (** [fill_zero t off len] zeroes a reserved span (chunk padding). *)
@@ -76,19 +138,82 @@ val put_i64 : t -> be:bool -> int64 -> unit
 val put_f32 : t -> be:bool -> float -> unit
 val put_f64 : t -> be:bool -> float -> unit
 
-(** Readers *)
+(** Zero-copy appends: splice [len] bytes of the caller's payload into
+    the message by reference (no copy, no capacity needed).  See the
+    aliasing contract for {!put_borrow_bytes}. *)
+
+val put_borrow_string : t -> string -> int -> int -> unit
+val put_borrow_bytes : t -> bytes -> int -> int -> unit
+
+(** {2 Scatter-gather configuration}
+
+    Stub engines consult these when compiling an encoder (the cached
+    closure's behaviour is fully determined by its fingerprint, which
+    includes both settings): a blit-shaped datum is borrowed only when
+    scatter-gather is enabled and the datum is at least
+    {!borrow_threshold} bytes (below that, the copy into pooled chunk
+    storage is cheaper than carrying a segment).  The [--no-sg] bench
+    flag flips {!set_sg_enabled} for ablation. *)
+
+val sg_enabled : unit -> bool
+val set_sg_enabled : bool -> unit
+val borrow_threshold : unit -> int
+val set_borrow_threshold : int -> unit
+val borrow_eligible : int -> bool
+(** [borrow_eligible len] — [sg_enabled () && len >= borrow_threshold ()]. *)
+
+(** {2 Copy accounting} *)
+
+type stats = {
+  bytes_copied : int;  (** payload bytes memcpy'd (set_bytes/set_string,
+                           plus whole-message copies by contents/flatten) *)
+  bytes_borrowed : int;  (** payload bytes spliced by reference *)
+  copies : int;
+  borrows : int;
+  flattens : int;  (** times a segmented message was flattened *)
+  seals : int;
+}
+
+val stats : t -> stats
+(** Cumulative counters since creation or {!reset_stats} ({!reset} does
+    not clear them, so steady-state loops can be measured). *)
+
+val reset_stats : t -> unit
+
+(** {2 Writer pool} *)
+
+val acquire : ?size:int -> unit -> t
+(** Take a writer from the reuse pool (or create one); [?size] is a
+    capacity hint.  The writer comes back reset. *)
+
+val release : t -> unit
+(** Reset and return a writer to the pool. *)
+
+(** {2 Readers} *)
 
 type reader
 
 val reader_of_bytes : ?off:int -> ?len:int -> bytes -> reader
-val reader : t -> reader
-(** Read back what was written (no copy). *)
+val reader : ?len:int -> t -> reader
+(** Read back what was written, directly over the writer's segments (no
+    flattening, no copy).  [?len] caps the readable prefix — used to
+    inject truncation, including mid-segment.  Valid until the writer
+    is written to again (see the aliasing contract). *)
+
+val acquire_reader : ?len:int -> t -> reader
+(** Pooled variant of {!reader}; pair with {!release_reader}. *)
+
+val release_reader : reader -> unit
 
 val rpos : reader -> int
+(** Global (message-relative) read position. *)
+
 val remaining : reader -> int
 val need : reader -> int -> unit
 (** Raise {!Short_buffer} unless [n] bytes remain — the batched check
-    unmarshal chunks use. *)
+    unmarshal chunks use.  Guarantees the next [n] bytes are contiguous
+    for the unchecked [get_*] reads, gathering across a segment
+    boundary when necessary. *)
 
 val skip : reader -> int -> unit
 val ralign : reader -> int -> unit
@@ -109,7 +234,8 @@ val get_f64_le : reader -> int -> float
 val get_bytes : reader -> int -> int -> bytes
 val get_string : reader -> int -> int -> string
 
-(** Checked sequential reads (advance the cursor). *)
+(** Checked sequential reads (advance the cursor); the bulk reads
+    gather across segment boundaries. *)
 
 val read_u8 : reader -> int
 val read_i16 : reader -> be:bool -> int

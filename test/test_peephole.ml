@@ -161,7 +161,9 @@ let structural_tests =
     test "loops with dynamic-size bodies are left alone" (fun () ->
         let body =
           [
-            Mplan.Put_string { src = Mplan.Rvar 0; nul = false; pad = 4; len_src = None };
+            Mplan.Put_string
+              { src = Mplan.Rvar 0; nul = false; pad = 4; len_src = None;
+                borrow = false };
             Mplan.Chunk { size = 4; align = 4; items = [ it_atom 0 (Mplan.Rvar 0) ]; check = true };
           ]
         in

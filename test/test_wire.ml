@@ -60,6 +60,162 @@ let mbuf_tests =
         Alcotest.(check string) "layout" "0000cafe0000beef" (hex (Mbuf.contents b)));
   ]
 
+(* Scatter-gather: borrowed segments, segmented readers, the pools, and
+   the writer-reuse aliasing contract pinned in mbuf.mli. *)
+
+let sg_tests =
+  [
+    test "borrow splices payload by reference" (fun () ->
+        let b = Mbuf.create 16 in
+        Mbuf.put_i32 b ~be:true 0xAABB;
+        let payload = String.make 600 'x' in
+        Mbuf.put_borrow_string b payload 0 600;
+        Mbuf.put_i32 b ~be:true 0xCCDD;
+        Alcotest.(check int) "pos" 608 (Mbuf.pos b);
+        Alcotest.(check int) "segments" 3 (Mbuf.segment_count b);
+        let st = Mbuf.stats b in
+        Alcotest.(check int) "borrowed bytes" 600 st.Mbuf.bytes_borrowed;
+        Alcotest.(check int) "borrows" 1 st.Mbuf.borrows;
+        let c = Mbuf.contents b in
+        Alcotest.(check int) "flat length" 608 (Bytes.length c);
+        Alcotest.(check string) "payload lands between the ints" payload
+          (Bytes.sub_string c 4 600);
+        Alcotest.(check string) "suffix" "0000ccdd"
+          (hex (Bytes.sub c 604 4)));
+    test "iter_segments walks the message in order without flattening"
+      (fun () ->
+        let b = Mbuf.create 16 in
+        Mbuf.put_u8 b 0x01;
+        Mbuf.put_borrow_string b "abc" 0 3;
+        Mbuf.put_u8 b 0x02;
+        let acc = Buffer.create 8 in
+        Mbuf.iter_segments b (fun base off len ->
+            Buffer.add_subbytes acc base off len);
+        Alcotest.(check string) "bytes" "0161626302" (hex (Buffer.to_bytes acc));
+        Alcotest.(check int) "no flatten" 0 (Mbuf.stats b).Mbuf.flattens);
+    test "multi-width reads gather across a borrow boundary" (fun () ->
+        let b = Mbuf.create 16 in
+        Mbuf.put_u8 b 0x01;
+        Mbuf.put_borrow_string b "\x02\x03\x04" 0 3;
+        Mbuf.put_u8 b 0x05;
+        Mbuf.put_i64 b ~be:true 0x1122334455667788L;
+        let r = Mbuf.reader b in
+        (* the i32 spans active/borrow/active: need pulls it together *)
+        Alcotest.(check int) "spanning i32" 0x01020304
+          (Mbuf.read_i32 r ~be:true);
+        Alcotest.(check int) "next byte" 0x05 (Mbuf.read_u8 r);
+        Alcotest.(check int64) "i64 after the span" 0x1122334455667788L
+          (Mbuf.read_i64 r ~be:true);
+        Alcotest.(check int) "global position" 13 (Mbuf.rpos r);
+        Alcotest.(check int) "fully consumed" 0 (Mbuf.remaining r));
+    test "bulk read gathers across segments" (fun () ->
+        let b = Mbuf.create 16 in
+        Mbuf.put_u8 b 0xFF;
+        Mbuf.put_borrow_string b "hello world" 0 11;
+        Mbuf.put_u8 b 0xEE;
+        let r = Mbuf.reader b in
+        Alcotest.(check int) "lead" 0xFF (Mbuf.read_u8 r);
+        Alcotest.(check string) "spanning read_string" "hello world\xee"
+          (Mbuf.read_string r 12));
+    test "truncation mid-segment raises Short_buffer" (fun () ->
+        let b = Mbuf.create 16 in
+        Mbuf.put_i32 b ~be:true 600;
+        Mbuf.put_borrow_string b (String.make 600 'y') 0 600;
+        (* cut 300 bytes into the borrowed segment *)
+        let r = Mbuf.reader ~len:304 b in
+        Alcotest.(check int) "length header" 600 (Mbuf.read_i32 r ~be:true);
+        Alcotest.(check int) "readable prefix" 300
+          (Bytes.length (Mbuf.read_bytes r 300));
+        (match Mbuf.read_u8 r with
+        | _ -> Alcotest.fail "expected Short_buffer"
+        | exception Mbuf.Short_buffer -> ());
+        (* a spanning datum cut by the truncation also fails cleanly *)
+        let r2 = Mbuf.reader ~len:6 b in
+        Mbuf.skip r2 4;
+        match Mbuf.read_i32 r2 ~be:true with
+        | _ -> Alcotest.fail "expected Short_buffer"
+        | exception Mbuf.Short_buffer -> ());
+    test "ensure reservation survives an interleaved borrow" (fun () ->
+        (* the hoisted Ensure_count shape: reserve, store, borrow, store *)
+        let b = Mbuf.create 16 in
+        Mbuf.ensure b 16;
+        Mbuf.set_i32_be b 0 0x1111;
+        Mbuf.advance b 4;
+        Mbuf.put_borrow_string b (String.make 700 'z') 0 700;
+        Mbuf.set_i32_be b 0 0x2222;
+        Mbuf.advance b 4;
+        let c = Mbuf.contents b in
+        Alcotest.(check int) "length" 708 (Bytes.length c);
+        Alcotest.(check string) "head" "00001111" (hex (Bytes.sub c 0 4));
+        Alcotest.(check string) "tail" "00002222" (hex (Bytes.sub c 704 4)));
+    (* the writer-reuse aliasing regression (mbuf.mli contract):
+       bytes handed out by unsafe_contents/view, and borrowed payloads,
+       must survive a subsequent reset+encode on the same writer *)
+    test "unsafe_contents is not corrupted by reset+reencode" (fun () ->
+        let b = Mbuf.create 16 in
+        Mbuf.put_i32 b ~be:true 0x11111111;
+        let kept, klen = Mbuf.view b in
+        Alcotest.(check int) "view length" 4 klen;
+        Mbuf.reset b;
+        Mbuf.put_i32 b ~be:true 0x22222222;
+        Mbuf.put_i32 b ~be:true 0x33333333;
+        Alcotest.(check string) "old message intact" "11111111"
+          (hex (Bytes.sub kept 0 4)));
+    test "segmented unsafe_contents survives reset+reencode" (fun () ->
+        let b = Mbuf.create 16 in
+        let payload = String.make 600 'p' in
+        Mbuf.put_i32 b ~be:true 600;
+        Mbuf.put_borrow_string b payload 0 600;
+        let kept = Mbuf.unsafe_contents b in
+        let snapshot = Bytes.sub kept 0 (Mbuf.pos b) in
+        Mbuf.reset b;
+        Mbuf.put_i32 b ~be:true 3;
+        Mbuf.put_borrow_string b "abc" 0 3;
+        ignore (Mbuf.unsafe_contents b);
+        Alcotest.(check string) "old flat message intact" (hex snapshot)
+          (hex (Bytes.sub kept 0 604));
+        Alcotest.(check string) "borrowed source never mutated"
+          (String.make 600 'p') payload);
+    test "pooled writer reuse keeps messages independent" (fun () ->
+        let w = Mbuf.acquire ~size:64 () in
+        Mbuf.put_i32 w ~be:true 0xAAAA;
+        let first = Mbuf.unsafe_contents w in
+        let fsnap = hex (Bytes.sub first 0 4) in
+        Mbuf.release w;
+        let w2 = Mbuf.acquire () in
+        Alcotest.(check bool) "pool returned the same writer" true (w == w2);
+        Alcotest.(check int) "came back reset" 0 (Mbuf.pos w2);
+        Mbuf.put_i32 w2 ~be:true 0xBBBB;
+        Alcotest.(check string) "first message intact" fsnap
+          (hex (Bytes.sub first 0 4));
+        Mbuf.release w2);
+    test "reader pool round-trips" (fun () ->
+        let b = Mbuf.create 16 in
+        Mbuf.put_i32 b ~be:true 42;
+        let r = Mbuf.acquire_reader b in
+        Alcotest.(check int) "value" 42 (Mbuf.read_i32 r ~be:true);
+        Mbuf.release_reader r;
+        let r2 = Mbuf.acquire_reader b in
+        Alcotest.(check bool) "pool returned the same reader" true (r == r2);
+        Alcotest.(check int) "value again" 42 (Mbuf.read_i32 r2 ~be:true);
+        Mbuf.release_reader r2);
+    test "borrow threshold validates and gates eligibility" (fun () ->
+        let old = Mbuf.borrow_threshold () in
+        Fun.protect
+          ~finally:(fun () -> Mbuf.set_borrow_threshold old)
+          (fun () ->
+            Mbuf.set_borrow_threshold 8;
+            Alcotest.(check bool) "8 eligible" true (Mbuf.borrow_eligible 8);
+            Alcotest.(check bool) "7 not" false (Mbuf.borrow_eligible 7);
+            (match Mbuf.set_borrow_threshold 0 with
+            | _ -> Alcotest.fail "expected Invalid_argument"
+            | exception Invalid_argument _ -> ());
+            Mbuf.set_sg_enabled false;
+            Alcotest.(check bool) "disabled gates everything" false
+              (Mbuf.borrow_eligible 1_000_000);
+            Mbuf.set_sg_enabled true));
+  ]
+
 (* golden vectors through the optimized engine *)
 let encode_with enc mint pres value =
   let encoder =
@@ -282,6 +438,7 @@ let cached_failure_tests =
 let suite =
   [
     ("wire:mbuf", mbuf_tests);
+    ("wire:scatter-gather", sg_tests);
     ("wire:xdr-golden", xdr_goldens);
     ("wire:cdr-golden", cdr_goldens);
     ("wire:fluke-golden", fluke_goldens);
