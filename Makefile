@@ -10,11 +10,12 @@ build:
 test:
 	dune runtest
 
-# The fast artifacts: the plan-optimizer/cache report (BENCH_1.json)
-# and the scatter-gather wire report (BENCH_2.json, whose engine
-# byte-equality self-checks make the run exit non-zero on failure).
+# The fast artifacts: the plan-optimizer/cache report (BENCH_1.json),
+# the scatter-gather wire report (BENCH_2.json), and the decode-plan
+# report (BENCH_3.json); the engine equality/zero-copy self-checks in
+# the latter two make the run exit non-zero on failure.
 bench-smoke:
-	dune exec bench/main.exe -- planopt sgwire --smoke
+	dune exec bench/main.exe -- planopt sgwire decplan --smoke
 
 # Every artifact at default sizes (see EXPERIMENTS.md; --full for
 # paper-scale sweeps).

@@ -109,7 +109,9 @@ let engines =
       e_encoding = Encoding.xdr;
       e_style = `Rpcgen;
       e_make_encoder = Stub_opt.compile_encoder;
-      e_make_decoder = Stub_opt.compile_decoder;
+      e_make_decoder =
+        (fun ~enc ~mint ~named droots ->
+          Stub_opt.compile_decoder ~enc ~mint ~named droots);
     };
     {
       e_name = "ORBeline";
@@ -136,7 +138,9 @@ let engines =
       e_encoding = Encoding.cdr;
       e_style = `Corba;
       e_make_encoder = Stub_opt.compile_encoder;
-      e_make_decoder = Stub_opt.compile_decoder;
+      e_make_decoder =
+        (fun ~enc ~mint ~named droots ->
+          Stub_opt.compile_decoder ~enc ~mint ~named droots);
     };
   ]
 
@@ -1045,6 +1049,429 @@ let sgwire () =
   print_endline "wrote BENCH_2.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* decplan - compiled unmarshal plans: chunked, zero-copy decode       *)
+(* ------------------------------------------------------------------ *)
+
+(* Reports, and records in BENCH_3.json:
+   - static decode-plan shape: op and bounds-check counts for the
+     chunked plan against the per-datum plan (the decode mirror of the
+     planopt node counts);
+   - decode time per message for the plan-driven decoder against the
+     closure-tree baseline it replaces and the naive and interpretive
+     engines;
+   - reader-side copy accounting for large string/byte-sequence
+     payloads decoded with zero-copy views against the copying path,
+     with throughput both ways ([--no-views] skips the view cells);
+   - small-message decode times (plan vs closure) that must not regress;
+   - decoder-closure and decode-plan cache hit rates on a repeated
+     stub-compilation workload;
+   - engine self-checks: all four decoders must agree on Value.equal,
+     truncated messages must fail to decode in both plan and closure
+     paths, a view decode must equal its copying decode, and a >=64KB
+     payload decoded with views on must copy zero payload bytes.  Any
+     failure makes the whole run exit non-zero.
+   [--smoke] shrinks the payloads so CI can run it in a few seconds. *)
+
+let decplan_failed = ref false
+let no_views = ref false
+
+let decplan () =
+  print_endline "============================================================";
+  print_endline " decplan - compiled unmarshal plans (chunked, zero-copy)";
+  print_endline "============================================================";
+  let check what ok =
+    if not ok then begin
+      decplan_failed := true;
+      Printf.printf "  SELF-CHECK FAILED: %s\n" what
+    end
+  in
+  let with_sg on f =
+    let old = Mbuf.sg_enabled () in
+    Mbuf.set_sg_enabled on;
+    Fun.protect ~finally:(fun () -> Mbuf.set_sg_enabled old) f
+  in
+  let to_droot = function
+    | Stub_opt.Dconst_int (v, k) -> Dplan_compile.Dconst_int (v, k)
+    | Stub_opt.Dconst_str s -> Dplan_compile.Dconst_str s
+    | Stub_opt.Dvalue (i, p) -> Dplan_compile.Dvalue (i, p)
+  in
+  let plan_totals (p : Dplan.plan) count =
+    count p.Dplan.d_ops
+    + List.fold_left
+        (fun acc (_, f) -> acc + count f.Dplan.f_ops)
+        0 p.Dplan.d_subs
+  in
+  let json = Buffer.create 2048 in
+  Buffer.add_string json
+    (Printf.sprintf
+       "{\n  \"artifact\": \"decplan\",\n  \"smoke\": %b,\n  \
+        \"views_enabled\": %b,\n  \"borrow_threshold\": %d"
+       !smoke (not !no_views) (Mbuf.borrow_threshold ()));
+
+  (* -- static plan shape: checks per message, chunked vs per-datum --- *)
+  Printf.printf "\n%-6s %-13s %12s %12s %12s %12s\n" "enc" "operation"
+    "ops/datum" "checks/datum" "ops/chunk" "checks/chunk";
+  Buffer.add_string json ",\n  \"plan_shape\": [";
+  let first = ref true in
+  let rects_checks_reduced = ref false in
+  List.iter
+    (fun (ename, enc, style) ->
+      let pc = Paper_fixtures.bench_presc style in
+      List.iter
+        (fun op ->
+          let spec = Paper_fixtures.request_spec pc ~op in
+          let droots = List.map to_droot spec.Paper_fixtures.ms_droots in
+          let compile chunked =
+            let p =
+              Dplan_compile.compile ~enc ~mint:spec.Paper_fixtures.ms_mint
+                ~named:spec.Paper_fixtures.ms_named ~chunked droots
+            in
+            if chunked then Peephole.optimize_dplan p else p
+          in
+          let pd = compile false and ch = compile true in
+          let ops_pd = plan_totals pd Dplan.count_ops
+          and checks_pd = plan_totals pd Dplan.count_checks
+          and ops_ch = plan_totals ch Dplan.count_ops
+          and checks_ch = plan_totals ch Dplan.count_checks in
+          (* the rectangle workload is the chunking showcase: four
+             coordinate loads share one bounds check (dirents entries
+             are a string plus one byte run — single checks already) *)
+          if op = "send_rects" && checks_ch < checks_pd then
+            rects_checks_reduced := true;
+          Printf.printf "%-6s %-13s %12d %12d %12d %12d\n" ename op ops_pd
+            checks_pd ops_ch checks_ch;
+          Buffer.add_string json
+            (Printf.sprintf
+               "%s\n    { \"encoding\": %S, \"op\": %S, \"ops_per_datum\": \
+                %d, \"checks_per_datum\": %d, \"ops_chunked\": %d, \
+                \"checks_chunked\": %d }"
+               (if !first then "" else ",")
+               ename op ops_pd checks_pd ops_ch checks_ch);
+          first := false)
+        [ "send_ints"; "send_rects"; "send_dirents" ])
+    [ ("xdr", Encoding.xdr, `Rpcgen); ("cdr", Encoding.cdr, `Corba) ];
+  Buffer.add_string json "\n  ]";
+  check "chunked rects plan has fewer bounds checks than per-datum"
+    !rects_checks_reduced;
+
+  (* -- differential self-check + decode throughput ------------------- *)
+  let bytes = if !smoke then 4096 else 65536 in
+  Printf.printf "\n%-6s %-13s %9s %10s %10s %10s %10s %9s\n" "enc" "workload"
+    "wire" "plan ns" "closure" "naive" "interp" "plan MB/s";
+  Buffer.add_string json ",\n  \"throughput\": [";
+  first := true;
+  List.iter
+    (fun (ename, enc, style) ->
+      let pc = Paper_fixtures.bench_presc style in
+      List.iter
+        (fun payload ->
+          let op = Paper_fixtures.op_of_payload payload in
+          let spec = Paper_fixtures.request_spec pc ~op in
+          let mint = spec.Paper_fixtures.ms_mint
+          and named = spec.Paper_fixtures.ms_named in
+          let value = Paper_fixtures.payload payload ~bytes in
+          let wire =
+            with_sg false (fun () ->
+                let buf = Mbuf.create (bytes + 4096) in
+                Stub_opt.compile_encoder ~enc ~mint ~named
+                  spec.Paper_fixtures.ms_roots buf [| value |];
+                Mbuf.contents buf)
+          in
+          let droots = spec.Paper_fixtures.ms_droots in
+          let dec_plan = Stub_opt.compile_decoder ~enc ~mint ~named droots in
+          let dec_closure = Stub_opt.build_decoder ~enc ~mint ~named droots in
+          let dec_naive = naive_decoder ~enc ~mint ~named droots in
+          let dec_interp =
+            Stub_interp.compile_decoder ~enc ~mint ~named droots
+          in
+          let decode d = (d (Mbuf.reader_of_bytes wire)).(0) in
+          let v_plan = decode dec_plan in
+          check
+            (Printf.sprintf "%s/%s: plan decode = input value" ename op)
+            (Value.equal v_plan value);
+          check
+            (Printf.sprintf "%s/%s: plan decode = closure decode" ename op)
+            (Value.equal v_plan (decode dec_closure));
+          check
+            (Printf.sprintf "%s/%s: plan decode = naive decode" ename op)
+            (Value.equal v_plan (decode dec_naive));
+          check
+            (Printf.sprintf "%s/%s: plan decode = interp decode" ename op)
+            (Value.equal v_plan (decode dec_interp));
+          let fails d cut =
+            match
+              d (Mbuf.reader_of_bytes ~len:cut wire)
+            with
+            | (_ : Value.t array) -> false
+            | exception (Mbuf.Short_buffer | Codec.Decode_error _) -> true
+          in
+          let wlen = Bytes.length wire in
+          check
+            (Printf.sprintf "%s/%s: plan rejects truncated input" ename op)
+            (fails dec_plan (wlen - 1) && fails dec_plan (wlen / 2));
+          check
+            (Printf.sprintf "%s/%s: closure rejects truncated input" ename op)
+            (fails dec_closure (wlen - 1) && fails dec_closure (wlen / 2));
+          let time label d =
+            let ns =
+              measure_ns label (fun () ->
+                  ignore (d (Mbuf.reader_of_bytes wire) : Value.t array))
+            in
+            if Float.is_nan ns then 0. else ns
+          in
+          let ns_plan = time (ename ^ "/" ^ op ^ "/plan") dec_plan in
+          let ns_closure = time (ename ^ "/" ^ op ^ "/closure") dec_closure in
+          let ns_naive = time (ename ^ "/" ^ op ^ "/naive") dec_naive in
+          let ns_interp = time (ename ^ "/" ^ op ^ "/interp") dec_interp in
+          let mb_plan = if ns_plan > 0. then mbps wlen ns_plan else 0. in
+          Printf.printf "%-6s %-13s %9d %10.0f %10.0f %10.0f %10.0f %9.1f\n"
+            ename op wlen ns_plan ns_closure ns_naive ns_interp mb_plan;
+          Buffer.add_string json
+            (Printf.sprintf
+               "%s\n    { \"encoding\": %S, \"op\": %S, \"bytes\": %d, \
+                \"wire_bytes\": %d, \"plan_ns\": %.0f, \"closure_ns\": %.0f, \
+                \"naive_ns\": %.0f, \"interp_ns\": %.0f, \"plan_mbps\": %.1f \
+                }"
+               (if !first then "" else ",")
+               ename op bytes wlen ns_plan ns_closure ns_naive ns_interp
+               mb_plan);
+          first := false)
+        [ `Ints; `Rects; `Dirents ])
+    [ ("xdr", Encoding.xdr, `Rpcgen); ("cdr", Encoding.cdr, `Corba) ];
+  Buffer.add_string json "\n  ]";
+
+  (* -- zero-copy views on large payloads ----------------------------- *)
+  let enc = Encoding.xdr in
+  let vmint = Mint.create () in
+  let str_t = Mint.string_ vmint ~max_len:None in
+  let seq_t =
+    Mint.array vmint ~elem:(Mint.char8 vmint) ~min_len:0 ~max_len:None
+  in
+  let seq_pres =
+    Pres.Counted_seq { len_field = "len"; buf_field = "buf"; elem = Pres.Direct }
+  in
+  let root t pres =
+    [
+      Plan_compile.Rvalue
+        (Mplan.Rparam { index = 0; name = "p"; deref = false }, t, pres);
+    ]
+  in
+  let sizes =
+    if !smoke then [ 4096; 65536 ] else [ 4096; 65536; 1048576; 4194304 ]
+  in
+  Printf.printf "\n%-10s %9s %-6s %10s %10s %5s %9s\n" "workload" "bytes"
+    "mode" "copied" "viewed" "views" "MB/s";
+  Buffer.add_string json ",\n  \"views\": [";
+  first := true;
+  List.iter
+    (fun (name, t, pres, droot, mk) ->
+      List.iter
+        (fun bytes ->
+          let value = mk bytes in
+          let wire =
+            with_sg false (fun () ->
+                let buf = Mbuf.create (bytes + 4096) in
+                Stub_opt.compile_encoder ~enc ~mint:vmint ~named:[]
+                  (root t pres) buf [| value |];
+                Mbuf.contents buf)
+          in
+          let wlen = Bytes.length wire in
+          let dec_copy =
+            Stub_opt.compile_decoder ~enc ~mint:vmint ~named:[] [ droot ]
+          in
+          (* view decisions are baked at closure-build time, so the
+             decoder must be compiled with scatter-gather on *)
+          let dec_view =
+            with_sg true (fun () ->
+                Stub_opt.compile_decoder ~enc ~mint:vmint ~named:[]
+                  ~views:true [ droot ])
+          in
+          let account d =
+            Mbuf.reset_reader_stats ();
+            let v = (d (Mbuf.reader_of_bytes wire)).(0) in
+            (v, Mbuf.reader_stats ())
+          in
+          let v_copy, st_copy = account dec_copy in
+          let time label d =
+            let ns =
+              measure_ns label (fun () ->
+                  ignore (d (Mbuf.reader_of_bytes wire) : Value.t array))
+            in
+            if Float.is_nan ns || ns <= 0. then 0. else mbps wlen ns
+          in
+          let mb_copy = time (name ^ "/copy") dec_copy in
+          let view_cell =
+            if !no_views then ""
+            else begin
+              let v_view, st_view = account dec_view in
+              check
+                (Printf.sprintf "%s/%d: view decode = copy decode" name bytes)
+                (Value.equal v_view v_copy);
+              if bytes >= 65536 then
+                check
+                  (Printf.sprintf "%s/%d: view decode copies zero payload \
+                                   bytes" name bytes)
+                  (st_view.Mbuf.rbytes_copied = 0);
+              let mb_view = time (name ^ "/view") dec_view in
+              Printf.printf "%-10s %9d %-6s %10d %10d %5d %9.1f\n" name bytes
+                "view" st_view.Mbuf.rbytes_copied st_view.Mbuf.rbytes_viewed
+                st_view.Mbuf.rviews mb_view;
+              Printf.sprintf
+                "\n      \"view\": { \"bytes_copied\": %d, \"bytes_viewed\": \
+                 %d, \"views\": %d, \"mbps\": %.1f },"
+                st_view.Mbuf.rbytes_copied st_view.Mbuf.rbytes_viewed
+                st_view.Mbuf.rviews mb_view
+            end
+          in
+          Printf.printf "%-10s %9d %-6s %10d %10d %5d %9.1f\n" name bytes
+            "copy" st_copy.Mbuf.rbytes_copied st_copy.Mbuf.rbytes_viewed
+            st_copy.Mbuf.rviews mb_copy;
+          Buffer.add_string json
+            (Printf.sprintf
+               "%s\n    { \"workload\": %S, \"bytes\": %d, \"wire_bytes\": \
+                %d,%s\n      \"copy\": { \"bytes_copied\": %d, \"mbps\": \
+                %.1f } }"
+               (if !first then "" else ",")
+               name bytes wlen view_cell st_copy.Mbuf.rbytes_copied mb_copy);
+          first := false)
+        sizes)
+    [
+      ( "string", str_t, Pres.Terminated_string,
+        Stub_opt.Dvalue (str_t, Pres.Terminated_string),
+        fun n -> Value.Vstring (String.init n (fun i -> Char.chr (97 + (i mod 23)))) );
+      ( "byteseq", seq_t, seq_pres,
+        Stub_opt.Dvalue (seq_t, seq_pres),
+        fun n -> Value.Vbytes (Bytes.init n (fun i -> Char.chr (i land 0xff))) );
+    ];
+  Buffer.add_string json "\n  ]";
+
+  (* -- small messages: the plan path must not cost on the fast path -- *)
+  Printf.printf "\n%-13s %6s %10s %10s %7s\n" "workload" "bytes" "plan ns"
+    "closure" "ratio";
+  Buffer.add_string json ",\n  \"small\": [";
+  first := true;
+  List.iter
+    (fun (payload, bytes) ->
+      let pc = Paper_fixtures.bench_presc `Rpcgen in
+      let op = Paper_fixtures.op_of_payload payload in
+      let spec = Paper_fixtures.request_spec pc ~op in
+      let mint = spec.Paper_fixtures.ms_mint
+      and named = spec.Paper_fixtures.ms_named in
+      let value = Paper_fixtures.payload payload ~bytes in
+      let wire =
+        with_sg false (fun () ->
+            let buf = Mbuf.create 4096 in
+            Stub_opt.compile_encoder ~enc:Encoding.xdr ~mint ~named
+              spec.Paper_fixtures.ms_roots buf [| value |];
+            Mbuf.contents buf)
+      in
+      let droots = spec.Paper_fixtures.ms_droots in
+      let dec_plan =
+        Stub_opt.compile_decoder ~enc:Encoding.xdr ~mint ~named droots
+      in
+      let dec_closure =
+        Stub_opt.build_decoder ~enc:Encoding.xdr ~mint ~named droots
+      in
+      let time label d =
+        (* warm both cells so measurement order does not bias the pair *)
+        ignore
+          (measure_ns (label ^ "/warm") (fun () ->
+               ignore (d (Mbuf.reader_of_bytes wire) : Value.t array))
+            : float);
+        let ns =
+          measure_ns label (fun () ->
+              ignore (d (Mbuf.reader_of_bytes wire) : Value.t array))
+        in
+        if Float.is_nan ns then 0. else ns
+      in
+      let ns_plan = time (op ^ "/small/plan") dec_plan in
+      let ns_closure = time (op ^ "/small/closure") dec_closure in
+      let ratio = if ns_closure > 0. then ns_plan /. ns_closure else 0. in
+      Printf.printf "%-13s %6d %10.0f %10.0f %7.2f\n" op bytes ns_plan
+        ns_closure ratio;
+      Buffer.add_string json
+        (Printf.sprintf
+           "%s\n    { \"op\": %S, \"bytes\": %d, \"plan_ns\": %.0f, \
+            \"closure_ns\": %.0f, \"plan_vs_closure\": %.2f }"
+           (if !first then "" else ",")
+           op bytes ns_plan ns_closure ratio);
+      first := false)
+    [ (`Ints, 64); (`Dirents, 256) ];
+  Buffer.add_string json "\n  ]";
+
+  (* -- decoder cache hit rates --------------------------------------- *)
+  Plan_cache.reset_all ();
+  let rounds = 20 in
+  for _round = 1 to rounds do
+    List.iter
+      (fun (_, enc, style) ->
+        let pc = Paper_fixtures.bench_presc style in
+        List.iter
+          (fun op ->
+            let spec = Paper_fixtures.request_spec pc ~op in
+            ignore
+              (Stub_opt.compile_decoder ~enc ~mint:spec.Paper_fixtures.ms_mint
+                 ~named:spec.Paper_fixtures.ms_named
+                 spec.Paper_fixtures.ms_droots
+                : Stub_opt.decoder);
+            (* hit the plan cache directly too: a decoder-closure cache
+               hit never reaches it (dump-plan and the C back ends do) *)
+            ignore
+              (Plan_cache.dplan ~enc ~mint:spec.Paper_fixtures.ms_mint
+                 ~named:spec.Paper_fixtures.ms_named
+                 (List.map to_droot spec.Paper_fixtures.ms_droots)
+                : Dplan.plan))
+          [ "send_ints"; "send_rects"; "send_dirents" ])
+      [ ("xdr", Encoding.xdr, `Rpcgen); ("cdr", Encoding.cdr, `Corba) ]
+  done;
+  let per_cache =
+    List.filter
+      (fun (name, _) -> name = "stub_opt.decoder" || name = "dplan")
+      (Plan_cache.all_stats ())
+  in
+  Printf.printf "\ndecoder caches over %d rounds x 6 stub compilations:\n"
+    rounds;
+  Buffer.add_string json
+    (Printf.sprintf ",\n  \"cache\": { \"rounds\": %d, \"per_cache\": ["
+       rounds);
+  first := true;
+  List.iter
+    (fun (name, st) ->
+      let rate =
+        float_of_int st.Plan_cache.hits
+        /. float_of_int (max 1 (st.Plan_cache.hits + st.Plan_cache.misses))
+      in
+      Printf.printf "  %-18s %5d hits %5d misses %5d entries (%.1f%%)\n" name
+        st.Plan_cache.hits st.Plan_cache.misses st.Plan_cache.entries
+        (100. *. rate);
+      check
+        (Printf.sprintf "%s cache: warm compilations hit" name)
+        (st.Plan_cache.hits > 0 && st.Plan_cache.misses <= st.Plan_cache.entries + 6);
+      Buffer.add_string json
+        (Printf.sprintf
+           "%s\n      { \"name\": %S, \"hits\": %d, \"misses\": %d, \
+            \"entries\": %d, \"hit_rate\": %.3f }"
+           (if !first then "" else ",")
+           name st.Plan_cache.hits st.Plan_cache.misses st.Plan_cache.entries
+           rate);
+      first := false)
+    per_cache;
+  check "decoder caches registered" (List.length per_cache = 2);
+  Buffer.add_string json "\n    ] }";
+
+  Buffer.add_string json
+    (Printf.sprintf ",\n  \"self_check_failed\": %b\n}\n" !decplan_failed);
+  let oc = open_out "BENCH_3.json" in
+  Buffer.output_buffer oc json;
+  close_out oc;
+  if !decplan_failed then
+    print_endline "\ndecplan: SELF-CHECK FAILURES above; exiting non-zero"
+  else
+    print_endline
+      "\nall differential, truncation, zero-copy, and cache self-checks passed";
+  print_endline "wrote BENCH_3.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -1053,7 +1480,7 @@ let artifacts =
     ("table1", table1); ("table2", table2); ("table3", table3);
     ("fig3", fig3); ("fig4", fig4); ("fig5", fig5); ("fig6", fig6);
     ("fig7", fig7); ("ablations", ablations); ("planopt", planopt);
-    ("sgwire", sgwire);
+    ("sgwire", sgwire); ("decplan", decplan);
   ]
 
 let () =
@@ -1068,6 +1495,9 @@ let () =
             (* ablation: disable scatter-gather borrowing everywhere,
                restoring the PR 1 contiguous-copy wire path *)
             Mbuf.set_sg_enabled false
+        | "--no-views" ->
+            (* ablation: skip the zero-copy decode cells in decplan *)
+            no_views := true
         | arg
           when String.length arg > 15
                && String.sub arg 0 15 = "--sg-threshold=" ->
@@ -1079,7 +1509,7 @@ let () =
         | name ->
             Printf.eprintf
               "unknown artifact %S (expected: %s, all, --full, --smoke, \
-               --no-sg, --sg-threshold=N)\n"
+               --no-sg, --no-views, --sg-threshold=N)\n"
               name
               (String.concat ", " (List.map fst artifacts));
             exit 1)
@@ -1090,4 +1520,4 @@ let () =
   Printf.printf "Flick reproduction benchmarks (%s sizes; see EXPERIMENTS.md)\n\n"
     (if !full then "paper-scale" else "default");
   List.iter (fun name -> (List.assoc name artifacts) ()) to_run;
-  if !sgwire_failed then exit 1
+  if !sgwire_failed || !decplan_failed then exit 1

@@ -170,7 +170,7 @@ let dump_presc_cmd =
     Term.(const run $ idl_arg $ pres_arg $ interface_arg $ source_arg)
 
 let dump_plan_cmd =
-  let run idl pres backend interface op file =
+  let run idl pres backend interface op decode file =
     handle_diag (fun () ->
         let source = read_file file in
         let pc = Driver.present idl pres ~file ~source ~interface in
@@ -185,35 +185,57 @@ let dump_plan_cmd =
         in
         List.iter
           (fun (st : Pres_c.op_stub) ->
-            let roots =
-              List.filter_map
+            let request_params =
+              List.filter
                 (fun (pi : Pres_c.param_info) ->
                   match pi.Pres_c.pi_dir with
-                  | Aoi.In | Aoi.Inout ->
-                      Some
-                        (Plan_compile.Rvalue
-                           ( Mplan.Rparam
-                               {
-                                 index = 0;
-                                 name = pi.Pres_c.pi_name;
-                                 deref = pi.Pres_c.pi_byref;
-                               },
-                             pi.Pres_c.pi_mint,
-                             pi.Pres_c.pi_pres ))
-                  | Aoi.Out -> None)
+                  | Aoi.In | Aoi.Inout -> true
+                  | Aoi.Out -> false)
                 st.Pres_c.os_params
             in
-            let plan =
-              Plan_cache.plan ~enc:tr.Backend_base.tr_enc
-                ~mint:pc.Pres_c.pc_mint ~named:pc.Pres_c.pc_named roots
-            in
-            Format.printf "=== marshal plan: %s (%s) ===@.%a@."
-              st.Pres_c.os_client_name tr.Backend_base.tr_name Mplan.pp
-              plan.Plan_compile.p_ops;
-            List.iter
-              (fun (name, ops) ->
-                Format.printf "--- subroutine %s ---@.%a@." name Mplan.pp ops)
-              plan.Plan_compile.p_subs)
+            if decode then begin
+              (* the server-side view of the same request message *)
+              let droots =
+                List.map
+                  (fun (pi : Pres_c.param_info) ->
+                    Dplan_compile.Dvalue (pi.Pres_c.pi_mint, pi.Pres_c.pi_pres))
+                  request_params
+              in
+              let plan =
+                Plan_cache.dplan ~enc:tr.Backend_base.tr_enc
+                  ~mint:pc.Pres_c.pc_mint ~named:pc.Pres_c.pc_named droots
+              in
+              Format.printf "=== unmarshal plan: %s (%s) ===@.%a@."
+                st.Pres_c.os_client_name tr.Backend_base.tr_name Dplan.pp_plan
+                plan
+            end
+            else begin
+              let roots =
+                List.map
+                  (fun (pi : Pres_c.param_info) ->
+                    Plan_compile.Rvalue
+                      ( Mplan.Rparam
+                          {
+                            index = 0;
+                            name = pi.Pres_c.pi_name;
+                            deref = pi.Pres_c.pi_byref;
+                          },
+                        pi.Pres_c.pi_mint,
+                        pi.Pres_c.pi_pres ))
+                  request_params
+              in
+              let plan =
+                Plan_cache.plan ~enc:tr.Backend_base.tr_enc
+                  ~mint:pc.Pres_c.pc_mint ~named:pc.Pres_c.pc_named roots
+              in
+              Format.printf "=== marshal plan: %s (%s) ===@.%a@."
+                st.Pres_c.os_client_name tr.Backend_base.tr_name Mplan.pp
+                plan.Plan_compile.p_ops;
+              List.iter
+                (fun (name, ops) ->
+                  Format.printf "--- subroutine %s ---@.%a@." name Mplan.pp ops)
+                plan.Plan_compile.p_subs
+            end)
           stubs)
   in
   let op_arg =
@@ -222,14 +244,22 @@ let dump_plan_cmd =
       & opt (some string) None
       & info [ "op" ] ~docv:"NAME" ~doc:"Only this operation.")
   in
+  let decode_arg =
+    Arg.(
+      value & flag
+      & info [ "decode" ]
+          ~doc:
+            "Print the decode (unmarshal) plan for the request instead of the \
+             marshal plan.")
+  in
   Cmd.v
     (Cmd.info "dump-plan"
        ~doc:
          "Print the optimized marshal plans (chunks, blits, loops) for each \
-          stub.")
+          stub; with $(b,--decode), the symmetric unmarshal plans.")
     Term.(
       const run $ idl_arg $ pres_arg $ backend_arg $ interface_arg $ op_arg
-      $ source_arg)
+      $ decode_arg $ source_arg)
 
 let list_interfaces_cmd =
   let run idl file =

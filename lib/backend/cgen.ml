@@ -523,9 +523,13 @@ and unmarshal_array ~enc ~mint ~named ~dest ~elem ~min_len ~max_len
   | Pres.Fixed_array sub -> (
       match Mint.get mint elem with
       | Mint.Char8 | Mint.Int { bits = 8; _ } ->
+          (* statically sized byte run: fold the trailing pad into the
+             blit's single bounds check (decode mirror of Put_blit) *)
+          let padded = Plan_compile.round_up min_len pad in
           [
-            Sexpr (call "flick_get_bytes" [ Eid "_msg"; dest; num min_len ]);
-            Sexpr (call "flick_msg_skip_pad" [ Eid "_msg"; num min_len; num pad ]);
+            Sexpr
+              (call "flick_get_blit"
+                 [ Eid "_msg"; dest; num min_len; num (padded - min_len) ]);
           ]
       | _ ->
           let i = fresh "i" in

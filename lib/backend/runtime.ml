@@ -305,6 +305,18 @@ static inline void flick_get_bytes(flick_msg_t *m, void *dst, size_t n)
   m->pos += n;
 }
 
+/* fixed-length packed run split out of its chunk: one bounds check
+ * covers the data and its trailing pad, mirroring flick_put_blit on
+ * the encode side.  The contiguous C runtime copies; an iovec runtime
+ * would hand back a borrowed pointer instead. */
+static inline void flick_get_blit(flick_msg_t *m, void *dst, size_t n,
+                           size_t pad)
+{
+  flick_need(m, n + pad);
+  memcpy(dst, m->data + m->pos, n);
+  m->pos += n + pad;
+}
+
 /* Reads a counted string key (operation name, exception id) into a
  * caller-supplied buffer. */
 static inline void flick_get_key(flick_msg_t *m, char *dst, size_t cap,

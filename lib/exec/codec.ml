@@ -7,8 +7,8 @@ let as_int (v : Value.t) =
   | Value.Vchar c -> Char.code c
   | Value.Vint64 n -> Int64.to_int n
   | Value.Vvoid | Value.Vfloat _ | Value.Vstring _ | Value.Vbytes _
-  | Value.Vint_array _ | Value.Varray _ | Value.Vopt _ | Value.Vstruct _
-  | Value.Vunion _ ->
+  | Value.Vstring_view _ | Value.Vbytes_view _ | Value.Vint_array _
+  | Value.Varray _ | Value.Vopt _ | Value.Vstruct _ | Value.Vunion _ ->
       invalid_arg "Codec.as_int"
 
 let as_int64 (v : Value.t) =
@@ -124,6 +124,26 @@ let read_stream r ~be (atom : Mplan.atom) =
   let v = read_at r ~be 0 atom in
   Mbuf.skip r atom.Mplan.size;
   v
+
+(* -- shared length/padding helpers ----------------------------------- *)
+
+let read_len r ~be ~align =
+  Mbuf.ralign r align;
+  let n = Mbuf.read_i32 r ~be in
+  if n < 0 then raise (Decode_error "negative length");
+  n
+
+let check_bounds ~what n ~min_len ~max_len =
+  if n < min_len then
+    raise (Decode_error (Printf.sprintf "%s shorter than minimum" what));
+  match max_len with
+  | Some m when n > m ->
+      raise (Decode_error (Printf.sprintf "%s exceeds its bound" what))
+  | Some _ | None -> ()
+
+let skip_pad r ~pad_unit n =
+  let padded = (n + pad_unit - 1) / pad_unit * pad_unit in
+  if padded > n then Mbuf.skip r (padded - n)
 
 let const_to_value (c : Mint.const) : Value.t =
   match c with

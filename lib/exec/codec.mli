@@ -29,5 +29,21 @@ val read_at : Mbuf.reader -> be:bool -> int -> Mplan.atom -> Value.t
 val as_int : Value.t -> int
 val as_int64 : Value.t -> int64
 
+(** Length/padding helpers shared by every decode engine (closure-tree,
+    plan-compiled, rpcgen-style), so the wire conventions for counted
+    data live in exactly one place. *)
+
+val read_len : Mbuf.reader -> be:bool -> align:int -> int
+(** Aligned 32-bit count read; rejects negative counts with
+    {!Decode_error}. *)
+
+val check_bounds :
+  what:string -> int -> min_len:int -> max_len:int option -> unit
+(** Enforce a decoded count against the type's declared bounds. *)
+
+val skip_pad : Mbuf.reader -> pad_unit:int -> int -> unit
+(** Skip the trailing padding of an [n]-byte variable-length run up to
+    the encoding's pad unit. *)
+
 val const_to_value : Mint.const -> Value.t
 val const_matches : Mint.const -> Value.t -> bool

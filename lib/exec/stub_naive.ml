@@ -348,11 +348,10 @@ let compile_value_decoder cfg (enc : Encoding.t) mint named :
       Mbuf.skip r 4
     end
   in
+  (* length/bounds/padding come from the shared Codec helpers, the same
+     ones the optimized engine runs — one definition of the wire rules *)
   let read_len r =
-    Mbuf.ralign r enc.Encoding.len_prefix.Encoding.align;
-    let n = Mbuf.read_i32 r ~be in
-    if n < 0 then raise (Codec.Decode_error "negative length");
-    n
+    Codec.read_len r ~be ~align:enc.Encoding.len_prefix.Encoding.align
   in
   let read_string_body r data_len =
     if cfg.per_char_strings then begin
@@ -365,10 +364,7 @@ let compile_value_decoder cfg (enc : Encoding.t) mint named :
     else Mbuf.read_bytes r data_len
   in
   let check_max what n max_len =
-    match max_len with
-    | Some m when n > m ->
-        raise (Codec.Decode_error (what ^ " exceeds its bound"))
-    | Some _ | None -> ()
+    Codec.check_bounds ~what n ~min_len:0 ~max_len
   in
   let subs : (string, (Mbuf.reader -> Value.t) ref) Hashtbl.t = Hashtbl.create 4 in
   let rec dec idx (pres : Pres.t) : Mbuf.reader -> Value.t =
@@ -445,11 +441,7 @@ let compile_value_decoder cfg (enc : Encoding.t) mint named :
                 if data_len < 0 then raise (Codec.Decode_error "bad key length");
                 let key = Bytes.to_string (read_string_body r data_len) in
                 if enc.Encoding.string_nul then Mbuf.skip r 1;
-                let padded =
-                  (wire_len + enc.Encoding.pad_unit - 1)
-                  / enc.Encoding.pad_unit * enc.Encoding.pad_unit
-                in
-                if padded > wire_len then Mbuf.skip r (padded - wire_len);
+                Codec.skip_pad r ~pad_unit:enc.Encoding.pad_unit wire_len;
                 Mint.Cstring key
           in
           let rec find = function
@@ -472,10 +464,7 @@ let compile_value_decoder cfg (enc : Encoding.t) mint named :
         invalid_arg "Stub_naive: PRES does not match MINT"
   and dec_array ~elem ~min_len ~max_len (pres : Pres.t) =
     let pad_unit = enc.Encoding.pad_unit in
-    let skip_pad r n =
-      let padded = (n + pad_unit - 1) / pad_unit * pad_unit in
-      if padded > n then Mbuf.skip r (padded - n)
-    in
+    let skip_pad r n = Codec.skip_pad r ~pad_unit n in
     match pres with
     | Pres.Terminated_string | Pres.Terminated_string_len _ ->
         fun r ->
@@ -494,10 +483,15 @@ let compile_value_decoder cfg (enc : Encoding.t) mint named :
         let d = dec elem sub in
         fun r ->
           hdr r;
+          Mbuf.ralign r enc.Encoding.len_prefix.Encoding.align;
+          let at = Mbuf.rpos r in
           match read_len r with
           | 0 -> Value.Vopt None
           | 1 -> Value.Vopt (Some (d r))
-          | n -> raise (Codec.Decode_error (Printf.sprintf "optional count %d" n)))
+          | n ->
+              raise
+                (Codec.Decode_error
+                   (Printf.sprintf "optional count %d at byte %d" n at)))
     | Pres.Fixed_array sub -> (
         match Mint.get mint elem with
         | Mint.Char8 | Mint.Int { bits = 8; _ } ->

@@ -12,6 +12,7 @@ let value_len (v : Value.t) =
   match v with
   | Value.Vstring s -> String.length s
   | Value.Vbytes b -> Bytes.length b
+  | Value.Vstring_view v | Value.Vbytes_view v -> v.Value.v_len
   | Value.Vint_array a -> Array.length a
   | Value.Varray a -> Array.length a
   | Value.Vopt None -> 0
@@ -214,6 +215,7 @@ let compile_ops ~(enc : Encoding.t) ~subs ops : (Mbuf.t -> env -> unit) list =
         fun buf env ->
           let s = match a env with
             | Value.Vstring s -> s
+            | Value.Vstring_view v -> Value.string_of_view v
             | _ -> invalid_arg "Stub_opt: Put_string over a non-string"
           in
           let slen = String.length s in
@@ -249,18 +251,20 @@ let compile_ops ~(enc : Encoding.t) ~subs ops : (Mbuf.t -> env -> unit) list =
           else max_int
         in
         fun buf env ->
-          let b = match a env with
-            | Value.Vbytes b -> b
+          (* a view re-encodes without materializing: both the borrow
+             and the copy path take (base, offset, length) ranges *)
+          let b, boff, blen = match a env with
+            | Value.Vbytes b -> (b, 0, Bytes.length b)
+            | Value.Vbytes_view v -> (v.Value.v_base, v.Value.v_off, v.Value.v_len)
             | _ -> invalid_arg "Stub_opt: Put_byteseq over non-bytes"
           in
-          let blen = Bytes.length b in
           let padded = (blen + pad - 1) / pad * pad in
           if blen >= thresh then begin
             Mbuf.ensure buf 4;
             (if be then Mbuf.set_i32_be buf 0 blen
              else Mbuf.set_i32_le buf 0 blen);
             Mbuf.advance buf 4;
-            Mbuf.put_borrow_bytes buf b 0 blen;
+            Mbuf.put_borrow_bytes buf b boff blen;
             let tail = padded - blen in
             if tail > 0 then begin
               Mbuf.ensure buf tail;
@@ -272,7 +276,7 @@ let compile_ops ~(enc : Encoding.t) ~subs ops : (Mbuf.t -> env -> unit) list =
             Mbuf.ensure buf (4 + padded);
             (if be then Mbuf.set_i32_be buf 0 blen
              else Mbuf.set_i32_le buf 0 blen);
-            Mbuf.set_bytes buf 4 b 0 blen;
+            Mbuf.set_bytes buf 4 b boff blen;
             Mbuf.fill_zero buf (4 + blen) (padded - blen);
             Mbuf.advance buf (4 + padded)
           end
@@ -292,6 +296,16 @@ let compile_ops ~(enc : Encoding.t) ~subs ops : (Mbuf.t -> env -> unit) list =
               else begin
                 Mbuf.ensure buf len;
                 Mbuf.set_bytes buf 0 b 0 len;
+                Mbuf.advance buf len
+              end
+          | Value.Vbytes_view v ->
+              if v.Value.v_len <> len then
+                invalid_arg "Stub_opt: fixed byte array length mismatch"
+              else if borrow then
+                Mbuf.put_borrow_bytes buf v.Value.v_base v.Value.v_off len
+              else begin
+                Mbuf.ensure buf len;
+                Mbuf.set_bytes buf 0 v.Value.v_base v.Value.v_off len;
                 Mbuf.advance buf len
               end
           | Value.Vstring s ->
@@ -350,6 +364,8 @@ let compile_ops ~(enc : Encoding.t) ~subs ops : (Mbuf.t -> env -> unit) list =
                        (match get v with
                        | Value.Vbytes b -> Mbuf.set_bytes buf off b 0 len
                        | Value.Vstring s -> Mbuf.set_string buf off s 0 len
+                       | Value.Vbytes_view w | Value.Vstring_view w ->
+                           Mbuf.set_bytes buf off w.Value.v_base w.Value.v_off len
                        | _ -> invalid_arg "Stub_opt: It_bytes over non-bytes");
                        if pad > 0 then Mbuf.fill_zero buf (off + len) pad))
                items)
@@ -452,6 +468,10 @@ let compile_ops ~(enc : Encoding.t) ~subs ops : (Mbuf.t -> env -> unit) list =
                 invalid_arg "Stub_opt: fixed byte array length mismatch"
               else Mbuf.set_bytes buf off b 0 len
           | Value.Vstring s -> Mbuf.set_string buf off s 0 len
+          | Value.Vbytes_view w | Value.Vstring_view w ->
+              if w.Value.v_len <> len then
+                invalid_arg "Stub_opt: fixed byte array length mismatch"
+              else Mbuf.set_bytes buf off w.Value.v_base w.Value.v_off len
           | _ -> invalid_arg "Stub_opt: It_bytes over non-bytes");
           if pad > 0 then Mbuf.fill_zero buf (off + len) pad)
     | Mplan.It_atom { off; atom; src } -> (
@@ -560,19 +580,9 @@ let compile_encoder ~enc ~mint ~named roots : encoder =
 (* Decoding                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let read_len r ~be =
-  Mbuf.ralign r 4;
-  let n = Mbuf.read_i32 r ~be in
-  if n < 0 then raise (Codec.Decode_error "negative length");
-  n
-
-let check_bounds ~what n ~min_len ~max_len =
-  if n < min_len then
-    raise (Codec.Decode_error (Printf.sprintf "%s shorter than minimum" what));
-  match max_len with
-  | Some m when n > m ->
-      raise (Codec.Decode_error (Printf.sprintf "%s exceeds its bound" what))
-  | Some _ | None -> ()
+(* The count/bounds/padding conventions live in Codec (read_len,
+   check_bounds, skip_pad), shared with the rpcgen-style and
+   interpretive engines. *)
 
 let compile_value_decoder ~(enc : Encoding.t) ~mint
     ~(named : (string * (Mint.idx * Pres.t)) list) root_idx root_pres :
@@ -631,19 +641,16 @@ let compile_value_decoder ~(enc : Encoding.t) ~mint
         invalid_arg "Stub_opt: PRES does not match MINT"
   and dec_array ~elem ~min_len ~max_len (pres : Pres.t) =
     let pad_unit = enc.Encoding.pad_unit in
-    let skip_pad r n =
-      let padded = (n + pad_unit - 1) / pad_unit * pad_unit in
-      if padded > n then Mbuf.skip r (padded - n)
-    in
+    let skip_pad r n = Codec.skip_pad r ~pad_unit n in
     match pres with
     | Pres.Terminated_string | Pres.Terminated_string_len _ ->
         let nul = enc.Encoding.string_nul in
         fun r ->
           hdr r;
-          let wire_len = read_len r ~be in
+          let wire_len = Codec.read_len r ~be ~align:4 in
           let data_len = if nul then wire_len - 1 else wire_len in
           if data_len < 0 then raise (Codec.Decode_error "bad string length");
-          check_bounds ~what:"string" data_len ~min_len:0 ~max_len;
+          Codec.check_bounds ~what:"string" data_len ~min_len:0 ~max_len;
           let s = Mbuf.read_string r data_len in
           if nul then Mbuf.skip r 1;
           skip_pad r wire_len;
@@ -673,8 +680,8 @@ let compile_value_decoder ~(enc : Encoding.t) ~mint
         | Mint.Char8 | Mint.Int { bits = 8; _ } ->
             fun r ->
               hdr r;
-              let n = read_len r ~be in
-              check_bounds ~what:"sequence" n ~min_len ~max_len;
+              let n = Codec.read_len r ~be ~align:4 in
+              Codec.check_bounds ~what:"sequence" n ~min_len ~max_len;
               let b = Mbuf.read_bytes r n in
               skip_pad r n;
               Value.Vbytes b
@@ -685,8 +692,8 @@ let compile_value_decoder ~(enc : Encoding.t) ~mint
                 let d = dec elem sub in
                 fun r ->
                   hdr r;
-                  let n = read_len r ~be in
-                  check_bounds ~what:"sequence" n ~min_len ~max_len;
+                  let n = Codec.read_len r ~be ~align:4 in
+                  Codec.check_bounds ~what:"sequence" n ~min_len ~max_len;
                   let out = Array.make n Value.Vvoid in
                   for i = 0 to n - 1 do
                     out.(i) <- d r
@@ -696,13 +703,16 @@ let compile_value_decoder ~(enc : Encoding.t) ~mint
         let d = dec elem sub in
         fun r ->
           hdr r;
-          let n = read_len r ~be in
+          Mbuf.ralign r 4;
+          let at = Mbuf.rpos r in
+          let n = Codec.read_len r ~be ~align:4 in
           (match n with
           | 0 -> Value.Vopt None
           | 1 -> Value.Vopt (Some (d r))
           | n ->
               raise
-                (Codec.Decode_error (Printf.sprintf "optional count %d" n)))
+                (Codec.Decode_error
+                   (Printf.sprintf "optional count %d at byte %d" n at)))
     | Pres.Direct | Pres.Enum_direct | Pres.Struct _ | Pres.Union _
     | Pres.Void | Pres.Ref _ ->
         invalid_arg "Stub_opt: array PRES mismatch"
@@ -718,8 +728,8 @@ let compile_value_decoder ~(enc : Encoding.t) ~mint
             match fixed with
             | Some n -> n
             | None ->
-                let n = read_len r ~be in
-                check_bounds ~what:"array" n ~min_len:0 ~max_len;
+                let n = Codec.read_len r ~be ~align:4 in
+                Codec.check_bounds ~what:"array" n ~min_len:0 ~max_len;
                 n
           in
           Mbuf.ralign r 4;
@@ -747,8 +757,8 @@ let compile_value_decoder ~(enc : Encoding.t) ~mint
             match fixed with
             | Some n -> n
             | None ->
-                let n = read_len r ~be in
-                check_bounds ~what:"array" n ~min_len:0 ~max_len;
+                let n = Codec.read_len r ~be ~align:4 in
+                Codec.check_bounds ~what:"array" n ~min_len:0 ~max_len;
                 n
           in
           let out = Array.make n Value.Vvoid in
@@ -811,7 +821,7 @@ let compile_value_decoder ~(enc : Encoding.t) ~mint
         let pad_unit = enc.Encoding.pad_unit in
         fun r ->
           hdr r;
-          let wire_len = read_len r ~be in
+          let wire_len = Codec.read_len r ~be ~align:4 in
           let data_len = if nul then wire_len - 1 else wire_len in
           if data_len < 0 then raise (Codec.Decode_error "bad key length");
           let key = Mbuf.read_string r data_len in
@@ -864,7 +874,7 @@ let build_decoder ~enc ~mint ~named droots : decoder =
             `Skip
               (fun r ->
                 hdr r;
-                let wire_len = read_len r ~be in
+                let wire_len = Codec.read_len r ~be ~align:4 in
                 let data_len = if nul then wire_len - 1 else wire_len in
                 if data_len < 0 then raise (Codec.Decode_error "bad key length");
                 let key = Mbuf.read_string r data_len in
@@ -889,17 +899,399 @@ let build_decoder ~enc ~mint ~named droots : decoder =
       steps;
     Array.of_list (List.rev !out)
 
-(* Decoder closures are likewise stateless between calls (all per-call
-   state lives in the reader), so they are memoized under the same
-   structural fingerprints.  A cached decoder that raised on one
-   malformed message decodes the next message from scratch —
-   test/test_wire.ml injects failures against reused decoders to pin
-   this. *)
+(* ------------------------------------------------------------------ *)
+(* Plan-driven decoding                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The executor for Dplan programs: each frame decodes into a slot
+   array, then its shape assembles the slots into one value.  Slot
+   frames are allocated per call (and reused across loop iterations),
+   so compiled decoders carry no cross-call state. *)
+
+type dframe_exec = {
+  fx_nslots : int;
+  fx_run : Mbuf.reader -> Value.t array -> unit;
+  fx_build : Value.t array -> Value.t;
+}
+
+let sign_extend n bits =
+  let shift = Sys.int_size - bits in
+  (n lsl shift) asr shift
+
+let rec shape_builder (sh : Dplan.shape) : Value.t array -> Value.t =
+  match sh with
+  | Dplan.Sh_void -> fun _ -> Value.Vvoid
+  | Dplan.Sh_slot i -> fun slots -> Array.unsafe_get slots i
+  | Dplan.Sh_struct shapes
+    when List.for_all
+           (function Dplan.Sh_slot _ -> true | _ -> false)
+           shapes ->
+      (* flat field list: gather by index, no per-field closure calls *)
+      let idxs =
+        Array.of_list
+          (List.map (function Dplan.Sh_slot i -> i | _ -> 0) shapes)
+      in
+      fun slots ->
+        Value.Vstruct (Array.map (fun i -> Array.unsafe_get slots i) idxs)
+  | Dplan.Sh_struct shapes -> (
+      let builders = Array.of_list (List.map shape_builder shapes) in
+      match builders with
+      | [| a; b |] -> fun slots -> Value.Vstruct [| a slots; b slots |]
+      | _ -> fun slots -> Value.Vstruct (Array.map (fun b -> b slots) builders))
+
+let decoder_of_dplan ~(enc : Encoding.t) (plan : Dplan.plan) : decoder =
+  let be = enc.Encoding.big_endian in
+  let nul = enc.Encoding.string_nul in
+  let pad_unit = enc.Encoding.pad_unit in
+  let subs : (string, dframe_exec ref) Hashtbl.t = Hashtbl.create 4 in
+  (* a view is handed out only when the payload clears the borrow
+     threshold at runtime and the segmented reader can alias it in one
+     piece; both decisions are baked per op when the closure is built,
+     and the decoder cache keys on the view/SG configuration *)
+  let view_threshold view =
+    if view && Mbuf.sg_enabled () then Mbuf.borrow_threshold () else max_int
+  in
+  let compile_item (it : Dplan.ditem) : Mbuf.reader -> Value.t array -> unit =
+    match it with
+    | Dplan.Dit_atom { off; atom; slot } -> (
+        match (atom.Mplan.kind, atom.Mplan.size) with
+        | Encoding.Kint { bits; signed }, 4 when bits <= 32 ->
+            (* the hot 32-bit load, with Codec.read_at's extension rules *)
+            let get = if be then Mbuf.get_i32_be else Mbuf.get_i32_le in
+            if signed then
+              fun r slots ->
+                slots.(slot) <- Value.Vint (sign_extend (get r off) bits)
+            else if bits >= 32 then
+              fun r slots ->
+                slots.(slot) <- Value.Vint (get r off land 0xFFFFFFFF)
+            else
+              let mask = (1 lsl bits) - 1 in
+              fun r slots -> slots.(slot) <- Value.Vint (get r off land mask)
+        | _, _ -> fun r slots -> slots.(slot) <- Codec.read_at r ~be off atom)
+    | Dplan.Dit_bytes { off; len; slot } ->
+        fun r slots -> slots.(slot) <- Value.Vbytes (Mbuf.get_bytes r off len)
+    | Dplan.Dit_const { off; atom; value = expect } ->
+        fun r _ ->
+          let got =
+            match Codec.read_at r ~be off atom with
+            | Value.Vint n -> Int64.of_int n
+            | Value.Vint64 n -> n
+            | Value.Vbool b -> if b then 1L else 0L
+            | Value.Vchar c -> Int64.of_int (Char.code c)
+            | _ -> raise (Codec.Decode_error "bad constant")
+          in
+          if got <> expect then
+            raise
+              (Codec.Decode_error
+                 (Printf.sprintf "expected constant %Ld, found %Ld" expect got))
+  in
+  let read_count (count : Dplan.dcount) : Mbuf.reader -> int =
+    match count with
+    | Dplan.Dc_fixed n -> fun _ -> n
+    | Dplan.Dc_len { min_len; max_len; what } ->
+        fun r ->
+          let n = Codec.read_len r ~be ~align:4 in
+          Codec.check_bounds ~what n ~min_len ~max_len;
+          n
+  in
+  let read_key r =
+    let wire_len = Codec.read_len r ~be ~align:4 in
+    let data_len = if nul then wire_len - 1 else wire_len in
+    if data_len < 0 then raise (Codec.Decode_error "bad key length");
+    let key = Mbuf.read_string r data_len in
+    if nul then Mbuf.skip r 1;
+    Codec.skip_pad r ~pad_unit wire_len;
+    key
+  in
+  let rec compile_op (op : Dplan.dop) : Mbuf.reader -> Value.t array -> unit =
+    match op with
+    | Dplan.D_align n -> fun r _ -> Mbuf.ralign r n
+    | Dplan.D_chunk { size; items; check } -> (
+        let readers = Array.of_list (List.map compile_item items) in
+        let n = Array.length readers in
+        (* the check decision and the common one-item shape are static:
+           keep the per-message closure branch-free *)
+        match (readers, check) with
+        | [| f |], true ->
+            fun r slots ->
+              Mbuf.need r size;
+              f r slots;
+              Mbuf.skip r size
+        | [| f |], false ->
+            fun r slots ->
+              f r slots;
+              Mbuf.skip r size
+        | _, true ->
+            fun r slots ->
+              Mbuf.need r size;
+              for k = 0 to n - 1 do
+                (Array.unsafe_get readers k) r slots
+              done;
+              Mbuf.skip r size
+        | _, false ->
+            fun r slots ->
+              for k = 0 to n - 1 do
+                (Array.unsafe_get readers k) r slots
+              done;
+              Mbuf.skip r size)
+    | Dplan.D_get_string { max_len; slot; view } ->
+        let vthresh = view_threshold view in
+        fun r slots ->
+          let wire_len = Codec.read_len r ~be ~align:4 in
+          let data_len = if nul then wire_len - 1 else wire_len in
+          if data_len < 0 then raise (Codec.Decode_error "bad string length");
+          Codec.check_bounds ~what:"string" data_len ~min_len:0 ~max_len;
+          let v =
+            if data_len >= vthresh then
+              match Mbuf.view_bytes r data_len with
+              | Some (base, off, len) ->
+                  Mbuf.pin_reader r;
+                  Value.Vstring_view
+                    { Value.v_base = base; v_off = off; v_len = len }
+              | None -> Value.Vstring (Mbuf.read_string r data_len)
+            else Value.Vstring (Mbuf.read_string r data_len)
+          in
+          if nul then Mbuf.skip r 1;
+          Codec.skip_pad r ~pad_unit wire_len;
+          slots.(slot) <- v
+    | Dplan.D_const_str expect ->
+        fun r _ ->
+          let key = read_key r in
+          if key <> expect then
+            raise
+              (Codec.Decode_error
+                 (Printf.sprintf "expected key %S, found %S" expect key))
+    | Dplan.D_get_byteseq { count; slot; view } ->
+        let get_n = read_count count in
+        let vthresh = view_threshold view in
+        fun r slots ->
+          let n = get_n r in
+          let v =
+            if n >= vthresh then
+              match Mbuf.view_bytes r n with
+              | Some (base, off, len) ->
+                  Mbuf.pin_reader r;
+                  Value.Vbytes_view
+                    { Value.v_base = base; v_off = off; v_len = len }
+              | None -> Value.Vbytes (Mbuf.read_bytes r n)
+            else Value.Vbytes (Mbuf.read_bytes r n)
+          in
+          Codec.skip_pad r ~pad_unit n;
+          slots.(slot) <- v
+    | Dplan.D_get_atom_array { count; atom; slot } -> (
+        let get_n = read_count count in
+        match (atom.Mplan.kind, atom.Mplan.size) with
+        | Encoding.Kint { bits; signed }, 4 when bits <= 32 ->
+            (* chunked read: one bounds check for the whole run *)
+            fun r slots ->
+              let n = get_n r in
+              Mbuf.ralign r 4;
+              Mbuf.need r (n * 4);
+              let out = Array.make n 0 in
+              (if be then
+                 for i = 0 to n - 1 do
+                   Array.unsafe_set out i (Mbuf.get_i32_be r (i * 4))
+                 done
+               else
+                 for i = 0 to n - 1 do
+                   Array.unsafe_set out i (Mbuf.get_i32_le r (i * 4))
+                 done);
+              Mbuf.skip r (n * 4);
+              let out =
+                if signed || bits > 32 then out
+                else if bits = 32 then
+                  Array.map (fun x -> x land 0xFFFFFFFF) out
+                else Array.map (fun x -> x land ((1 lsl bits) - 1)) out
+              in
+              slots.(slot) <- Value.Vint_array out
+        | _, _ ->
+            fun r slots ->
+              let n = get_n r in
+              let out = Array.make n Value.Vvoid in
+              for i = 0 to n - 1 do
+                out.(i) <- Codec.read_stream r ~be atom
+              done;
+              slots.(slot) <-
+                (match atom.Mplan.kind with
+                | Encoding.Kint { bits; _ } when bits <= 32 ->
+                    Value.Vint_array (Array.map Codec.as_int out)
+                | _ -> Value.Varray out))
+    | Dplan.D_loop { count; ensure; frame; slot } -> (
+        let get_n = read_count count in
+        let fx = compile_frame frame in
+        let run = fx.fx_run and build = fx.fx_build in
+        let nslots = max fx.fx_nslots 1 in
+        match ensure with
+        | Some u ->
+            fun r slots ->
+              let n = get_n r in
+              Mbuf.need r (n * u);
+              let out = Array.make n Value.Vvoid in
+              let fslots = Array.make nslots Value.Vvoid in
+              for i = 0 to n - 1 do
+                run r fslots;
+                Array.unsafe_set out i (build fslots)
+              done;
+              slots.(slot) <- Value.Varray out
+        | None ->
+            fun r slots ->
+              let n = get_n r in
+              let out = Array.make n Value.Vvoid in
+              let fslots = Array.make nslots Value.Vvoid in
+              for i = 0 to n - 1 do
+                run r fslots;
+                Array.unsafe_set out i (build fslots)
+              done;
+              slots.(slot) <- Value.Varray out)
+    | Dplan.D_opt { frame; slot } ->
+        let fx = compile_frame frame in
+        fun r slots ->
+          Mbuf.ralign r 4;
+          let at = Mbuf.rpos r in
+          let n = Codec.read_len r ~be ~align:4 in
+          (match n with
+          | 0 -> slots.(slot) <- Value.Vopt None
+          | 1 ->
+              let fslots = Array.make (max fx.fx_nslots 1) Value.Vvoid in
+              fx.fx_run r fslots;
+              slots.(slot) <- Value.Vopt (Some (fx.fx_build fslots))
+          | n ->
+              raise
+                (Codec.Decode_error
+                   (Printf.sprintf "optional count %d at byte %d" n at)))
+    | Dplan.D_switch { discrim_atom; arms; default; slot } -> (
+        let table : (Mint.const, int * dframe_exec) Hashtbl.t =
+          Hashtbl.create 16
+        in
+        List.iter
+          (fun (a : Dplan.darm) ->
+            Hashtbl.replace table a.Dplan.d_const
+              (a.Dplan.d_case, compile_frame a.Dplan.d_frame))
+          arms;
+        let default_fx = Option.map compile_frame default in
+        let run_frame (fx : dframe_exec) r =
+          let fslots = Array.make (max fx.fx_nslots 1) Value.Vvoid in
+          fx.fx_run r fslots;
+          fx.fx_build fslots
+        in
+        match discrim_atom with
+        | Some atom ->
+            fun r slots ->
+              let v = Codec.read_stream r ~be atom in
+              let const : Mint.const =
+                match v with
+                | Value.Vint n -> Mint.Cint (Int64.of_int n)
+                | Value.Vbool b -> Mint.Cbool b
+                | Value.Vchar c -> Mint.Cchar c
+                | _ -> raise (Codec.Decode_error "bad discriminator")
+              in
+              (match Hashtbl.find_opt table const with
+              | Some (case, fx) ->
+                  slots.(slot) <-
+                    Value.Vunion { case; discrim = const; payload = run_frame fx r }
+              | None -> (
+                  match default_fx with
+                  | Some fx ->
+                      slots.(slot) <-
+                        Value.Vunion
+                          { case = -1; discrim = const; payload = run_frame fx r }
+                  | None ->
+                      raise
+                        (Codec.Decode_error
+                           (Format.asprintf "unknown discriminator %a"
+                              Mint.pp_const const))))
+        | None ->
+            (* string-keyed operation union: a miss is always an unknown
+               operation (the closure decoder behaves the same) *)
+            fun r slots ->
+              let key = read_key r in
+              let const = Mint.Cstring key in
+              (match Hashtbl.find_opt table const with
+              | Some (case, fx) ->
+                  slots.(slot) <-
+                    Value.Vunion { case; discrim = const; payload = run_frame fx r }
+              | None ->
+                  raise (Codec.Decode_error ("unknown operation " ^ key))))
+    | Dplan.D_call { sub; slot } ->
+        let cell =
+          match Hashtbl.find_opt subs sub with
+          | Some c -> c
+          | None -> invalid_arg ("Stub_opt: unknown unmarshal subroutine " ^ sub)
+        in
+        fun r slots ->
+          let fx = !cell in
+          let fslots = Array.make (max fx.fx_nslots 1) Value.Vvoid in
+          fx.fx_run r fslots;
+          slots.(slot) <- fx.fx_build fslots
+  and compile_frame (frame : Dplan.frame) : dframe_exec =
+    let fns = Array.of_list (List.map compile_op frame.Dplan.f_ops) in
+    let n = Array.length fns in
+    let run =
+      (* loop bodies are usually one or two ops; skip the dispatch loop *)
+      match fns with
+      | [| f |] -> f
+      | [| f; g |] ->
+          fun r slots ->
+            f r slots;
+            g r slots
+      | _ ->
+          fun r slots ->
+            for k = 0 to n - 1 do
+              (Array.unsafe_get fns k) r slots
+            done
+    in
+    {
+      fx_nslots = frame.Dplan.f_nslots;
+      fx_run = run;
+      fx_build = shape_builder frame.Dplan.f_shape;
+    }
+  in
+  (* subroutine cells first, so D_call sites (including recursive ones)
+     can link before the bodies are compiled *)
+  List.iter
+    (fun (name, _) ->
+      Hashtbl.replace subs name
+        (ref
+           {
+             fx_nslots = 0;
+             fx_run = (fun _ _ -> ());
+             fx_build = (fun _ -> Value.Vvoid);
+           }))
+    plan.Dplan.d_subs;
+  List.iter
+    (fun (name, frame) -> Hashtbl.find subs name := compile_frame frame)
+    plan.Dplan.d_subs;
+  let top =
+    compile_frame
+      {
+        Dplan.f_nslots = plan.Dplan.d_nslots;
+        f_ops = plan.Dplan.d_ops;
+        f_shape = Dplan.Sh_void;
+      }
+  in
+  let builders = Array.of_list (List.map shape_builder plan.Dplan.d_shapes) in
+  fun r ->
+    let slots = Array.make (max plan.Dplan.d_nslots 1) Value.Vvoid in
+    top.fx_run r slots;
+    Array.map (fun b -> b slots) builders
+
+(* Compiled decoders are stateless between calls (per-call state lives
+   in the reader and the slot frames), so they are memoized under the
+   same structural fingerprints as encoders.  A cached decoder that
+   raised on one malformed message decodes the next message from
+   scratch — test/test_decplan.ml injects truncations and corrupt
+   discriminators against reused decoders to pin this. *)
 let decoder_cache : decoder Plan_cache.t =
   Plan_cache.create ~name:"stub_opt.decoder" ()
 
-let droot_key ~enc ~mint ~named droots =
+let droot_key ~enc ~mint ~named ~views droots =
   let fp = Plan_cache.fp_create ~enc ~mint ~named () in
+  (* the compiled closures bake in the plan's view decisions, so the
+     view/SG configuration is part of the decoder key, mirroring the
+     encoder's sg tag *)
+  Plan_cache.fp_tag fp
+    (Printf.sprintf "views=%b,sg=%b,%d" views (Mbuf.sg_enabled ())
+       (Mbuf.borrow_threshold ()));
   List.iter
     (fun droot ->
       match droot with
@@ -916,7 +1308,16 @@ let droot_key ~enc ~mint ~named droots =
     droots;
   Plan_cache.fp_contents fp
 
-let compile_decoder ~enc ~mint ~named droots : decoder =
+let to_dplan_droot (droot : droot) : Dplan_compile.droot =
+  match droot with
+  | Dconst_int (n, kind) -> Dplan_compile.Dconst_int (n, kind)
+  | Dconst_str s -> Dplan_compile.Dconst_str s
+  | Dvalue (idx, pres) -> Dplan_compile.Dvalue (idx, pres)
+
+let compile_decoder ~enc ~mint ~named ?(views = false) droots : decoder =
   Plan_cache.find_or_add decoder_cache
-    (droot_key ~enc ~mint ~named droots)
-    (fun () -> build_decoder ~enc ~mint ~named droots)
+    (droot_key ~enc ~mint ~named ~views droots)
+    (fun () ->
+      decoder_of_dplan ~enc
+        (Plan_cache.dplan ~enc ~mint ~named ~views
+           (List.map to_dplan_droot droots)))

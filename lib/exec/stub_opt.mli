@@ -41,12 +41,37 @@ val compile_decoder :
   enc:Encoding.t ->
   mint:Mint.t ->
   named:(string * (Mint.idx * Pres.t)) list ->
+  ?views:bool ->
   droot list ->
   decoder
-(** Memoized like {!compile_encoder}.  A cached decoder raises the same
-    typed errors as a fresh one and keeps no state across messages. *)
+(** Compile through the shared {!Plan_cache.dplan} (with the
+    {!Peephole} decode pass applied) and memoize: structurally
+    identical messages reuse one decoder closure.  A cached decoder
+    raises the same typed errors as a fresh one and keeps no state
+    across messages.  [views:true] (default false) enables zero-copy
+    decode: string/byte-sequence payloads at or above
+    {!Mbuf.borrow_threshold} come back as [Value.Vstring_view] /
+    [Vbytes_view] aliasing the receive buffer — see the [Mbuf] aliasing
+    contract and {!Value.materialize}. *)
 
 val encoder_of_plan :
   enc:Encoding.t -> Plan_compile.plan -> encoder
 (** Lower-level entry: execute an already compiled plan (used by the
     ablation benchmarks, which tweak plans). *)
+
+val decoder_of_dplan :
+  enc:Encoding.t -> Dplan.plan -> decoder
+(** Lower-level entry: execute an already compiled decode plan (used by
+    the ablation benchmarks, which tweak plans). *)
+
+val build_decoder :
+  enc:Encoding.t ->
+  mint:Mint.t ->
+  named:(string * (Mint.idx * Pres.t)) list ->
+  droot list ->
+  decoder
+(** The pre-plan closure-tree decoder, kept as the benchmark baseline:
+    per-datum alignment and bounds checking, exactly the shape
+    traditional stubs compile to.  Decodes byte-for-byte the same
+    positions as the plan-driven decoder (pinned by
+    [test/test_decplan.ml]). *)

@@ -1,3 +1,5 @@
+type view = { v_base : bytes; v_off : int; v_len : int }
+
 type t =
   | Vvoid
   | Vbool of bool
@@ -7,11 +9,31 @@ type t =
   | Vfloat of float
   | Vstring of string
   | Vbytes of bytes
+  | Vstring_view of view
+  | Vbytes_view of view
   | Vint_array of int array
   | Varray of t array
   | Vopt of t option
   | Vstruct of t array
   | Vunion of { case : int; discrim : Mint.const; payload : t }
+
+let string_of_view v = Bytes.sub_string v.v_base v.v_off v.v_len
+let bytes_of_view v = Bytes.sub v.v_base v.v_off v.v_len
+
+(* Deep-copy every zero-copy view into owned storage; identity on
+   view-free values. *)
+let rec materialize v =
+  match v with
+  | Vstring_view w -> Vstring (string_of_view w)
+  | Vbytes_view w -> Vbytes (bytes_of_view w)
+  | Varray a -> Varray (Array.map materialize a)
+  | Vopt (Some x) -> Vopt (Some (materialize x))
+  | Vstruct a -> Vstruct (Array.map materialize a)
+  | Vunion { case; discrim; payload } ->
+      Vunion { case; discrim; payload = materialize payload }
+  | Vvoid | Vbool _ | Vchar _ | Vint _ | Vint64 _ | Vfloat _ | Vstring _
+  | Vbytes _ | Vint_array _ | Vopt None ->
+      v
 
 type kind =
   | Kvoid
@@ -51,6 +73,21 @@ let rep_kind mint idx (pres : Pres.t) =
   | Mint.Struct _, _ -> Kstruct
   | Mint.Union _, _ -> Kunion
 
+(* Range-wise byte comparison, so view forms compare without copying. *)
+let range_equal xb xo xl yb yo yl =
+  xl = yl
+  &&
+  let rec go i =
+    i = xl || (Bytes.unsafe_get xb (xo + i) = Bytes.unsafe_get yb (yo + i) && go (i + 1))
+  in
+  go 0
+
+let str_range s = (Bytes.unsafe_of_string s, 0, String.length s)
+let bytes_range b = (b, 0, Bytes.length b)
+let view_range v = (v.v_base, v.v_off, v.v_len)
+
+(* Equality is by content: a view form equals the copy form holding the
+   same bytes (string-like and bytes-like stay distinct families). *)
 let rec equal a b =
   match (a, b) with
   | Vvoid, Vvoid -> true
@@ -59,8 +96,22 @@ let rec equal a b =
   | Vint x, Vint y -> x = y
   | Vint64 x, Vint64 y -> Int64.equal x y
   | Vfloat x, Vfloat y -> x = y || (x <> x && y <> y)
-  | Vstring x, Vstring y -> String.equal x y
-  | Vbytes x, Vbytes y -> Bytes.equal x y
+  | (Vstring _ | Vstring_view _), (Vstring _ | Vstring_view _) ->
+      let range = function
+        | Vstring s -> str_range s
+        | Vstring_view v -> view_range v
+        | _ -> assert false
+      in
+      let xb, xo, xl = range a and yb, yo, yl = range b in
+      range_equal xb xo xl yb yo yl
+  | (Vbytes _ | Vbytes_view _), (Vbytes _ | Vbytes_view _) ->
+      let range = function
+        | Vbytes b -> bytes_range b
+        | Vbytes_view v -> view_range v
+        | _ -> assert false
+      in
+      let xb, xo, xl = range a and yb, yo, yl = range b in
+      range_equal xb xo xl yb yo yl
   | Vint_array x, Vint_array y -> x = y
   | Varray x, Varray y ->
       Array.length x = Array.length y
@@ -82,7 +133,8 @@ let rec equal a b =
       && Mint.equal_const x.discrim y.discrim
       && equal x.payload y.payload
   | ( ( Vvoid | Vbool _ | Vchar _ | Vint _ | Vint64 _ | Vfloat _ | Vstring _
-      | Vbytes _ | Vint_array _ | Varray _ | Vopt _ | Vstruct _ | Vunion _ ),
+      | Vbytes _ | Vstring_view _ | Vbytes_view _ | Vint_array _ | Varray _
+      | Vopt _ | Vstruct _ | Vunion _ ),
       _ ) ->
       false
 
@@ -95,6 +147,8 @@ let rec pp ppf = function
   | Vfloat f -> Format.fprintf ppf "%h" f
   | Vstring s -> Format.fprintf ppf "%S" s
   | Vbytes b -> Format.fprintf ppf "bytes%S" (Bytes.to_string b)
+  | Vstring_view v -> Format.fprintf ppf "view%S" (string_of_view v)
+  | Vbytes_view v -> Format.fprintf ppf "bview%S" (string_of_view v)
   | Vint_array a ->
       Format.fprintf ppf "@[<hov 2>[|%a|]@]"
         (Format.pp_print_list
@@ -122,6 +176,7 @@ let rec byte_size = function
   | Vint64 _ -> 8
   | Vstring s -> String.length s
   | Vbytes b -> Bytes.length b
+  | Vstring_view v | Vbytes_view v -> v.v_len
   | Vint_array a -> 4 * Array.length a
   | Varray a -> Array.fold_left (fun acc v -> acc + byte_size v) 0 a
   | Vopt None -> 0

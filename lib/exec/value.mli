@@ -13,6 +13,13 @@
     boxed {!Varray} (which is why rectangle arrays marshal slower than
     integer arrays, as in the paper's Figure 3). *)
 
+type view = { v_base : bytes; v_off : int; v_len : int }
+(** A borrowed byte range.  The decoder's zero-copy forms
+    ({!Vstring_view}, {!Vbytes_view}) alias the receive buffer through
+    one of these instead of copying the payload out; see the aliasing
+    contract on [Mbuf.view_bytes] for how long the range stays valid
+    and {!materialize} for converting to owned storage. *)
+
 type t =
   | Vvoid
   | Vbool of bool
@@ -22,6 +29,10 @@ type t =
   | Vfloat of float
   | Vstring of string  (** NUL-terminated [char *] *)
   | Vbytes of bytes  (** packed octet/char array *)
+  | Vstring_view of view
+      (** zero-copy string payload aliasing the receive buffer *)
+  | Vbytes_view of view
+      (** zero-copy octet payload aliasing the receive buffer *)
   | Vint_array of int array  (** array of scalars up to 32 bits *)
   | Varray of t array
   | Vopt of t option
@@ -29,6 +40,15 @@ type t =
   | Vunion of { case : int; discrim : Mint.const; payload : t }
       (** [case] indexes the MINT union's case list; [-1] selects the
           default arm, with [discrim] carrying the wire tag *)
+
+val string_of_view : view -> string
+val bytes_of_view : view -> bytes
+
+val materialize : t -> t
+(** Deep-copy every view into owned {!Vstring}/{!Vbytes} storage.
+    Identity on view-free values.  Call this before the buffer behind a
+    view is invalidated (see the [Mbuf] aliasing contracts) or when a
+    value must outlive its message. *)
 
 type kind =
   | Kvoid
@@ -51,6 +71,11 @@ val rep_kind : Mint.t -> Mint.idx -> Pres.t -> kind
     raises [Invalid_argument]. *)
 
 val equal : t -> t -> bool
+(** Content equality: a view form equals the copy form holding the same
+    bytes ([Vstring_view] vs [Vstring], [Vbytes_view] vs [Vbytes]), so
+    differential checks compare zero-copy and copying decodes
+    directly.  Floats compare NaN-tolerantly. *)
+
 val pp : Format.formatter -> t -> unit
 
 val byte_size : t -> int

@@ -1,0 +1,215 @@
+(* The unmarshal plan: the decode-side mirror of Mplan.  Where an
+   encode plan reads runtime values through Mplan.rv paths and writes
+   wire bytes, a decode plan reads wire bytes and writes decoded values
+   into numbered *slots* of the enclosing frame; a [shape] tree then
+   assembles the frame's slots into one structured value.  The
+   slot/frame split is what lets chunking work on the decode side:
+   loads belonging to different struct fields can share one chunk (one
+   bounds check, constant offsets) because each load says where its
+   result goes, independent of any construction order. *)
+
+type shape =
+  | Sh_void
+  | Sh_slot of int
+  | Sh_struct of shape list
+
+type ditem =
+  | Dit_atom of { off : int; atom : Mplan.atom; slot : int }
+  | Dit_bytes of { off : int; len : int; slot : int }
+      (* small fixed byte run, copied out of the chunk *)
+  | Dit_const of { off : int; atom : Mplan.atom; value : int64 }
+      (* verify a constant word (message-format discriminators) *)
+
+(* How a variable-length op learns its element count. *)
+type dcount =
+  | Dc_fixed of int  (* statically known; nothing on the wire *)
+  | Dc_len of { min_len : int; max_len : int option; what : string }
+      (* 32-bit count on the wire, checked against the type's bounds *)
+
+type dop =
+  | D_align of int
+  | D_chunk of { size : int; items : ditem list; check : bool }
+      (* one [need] ([check] false under a hoisted reservation), loads
+         at constant offsets, one cursor advance; spans no item covers
+         are skipped bytes (headers, padding) *)
+  | D_get_string of { max_len : int option; slot : int; view : bool }
+  | D_const_str of string  (* verify a constant counted string *)
+  | D_get_byteseq of { count : dcount; slot : int; view : bool }
+  | D_get_atom_array of { count : dcount; atom : Mplan.atom; slot : int }
+  | D_loop of { count : dcount; ensure : int option; frame : frame; slot : int }
+      (* [ensure]: every iteration advances exactly that many bytes, so
+         one [need count * ensure] covers the whole run *)
+  | D_opt of { frame : frame; slot : int }
+  | D_switch of {
+      discrim_atom : Mplan.atom option;  (* None: string-keyed *)
+      arms : darm list;
+      default : frame option;
+      slot : int;
+    }
+  | D_call of { sub : string; slot : int }
+
+and darm = { d_const : Mint.const; d_case : int; d_frame : frame }
+and frame = { f_nslots : int; f_ops : dop list; f_shape : shape }
+
+type plan = {
+  d_nslots : int;
+  d_ops : dop list;
+  d_shapes : shape list;  (* one per decoded output value, in order *)
+  d_subs : (string * frame) list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let rec pp_shape ppf = function
+  | Sh_void -> Format.pp_print_string ppf "()"
+  | Sh_slot i -> Format.fprintf ppf "s%d" i
+  | Sh_struct shapes ->
+      Format.fprintf ppf "{%a}"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ";")
+           pp_shape)
+        shapes
+
+let pp_atom = Mplan.pp_atom
+
+let pp_item ppf = function
+  | Dit_atom { off; atom; slot } ->
+      Format.fprintf ppf "@[%d: s%d <- %a@]" off slot pp_atom atom
+  | Dit_bytes { off; len; slot } ->
+      Format.fprintf ppf "@[%d: s%d <- bytes[%d]@]" off slot len
+  | Dit_const { off; atom; value } ->
+      Format.fprintf ppf "@[%d: expect %a = %Ld@]" off pp_atom atom value
+
+let pp_count ppf = function
+  | Dc_fixed n -> Format.fprintf ppf "%d" n
+  | Dc_len { min_len; max_len; what } ->
+      Format.fprintf ppf "len(%s)[%d..%s]" what min_len
+        (match max_len with None -> "" | Some m -> string_of_int m)
+
+let rec pp_op ppf = function
+  | D_align n -> Format.fprintf ppf "align %d" n
+  | D_chunk { size; items; check } ->
+      Format.fprintf ppf "@[<v 2>chunk size=%d%s {" size
+        (if check then "" else " nocheck");
+      List.iter (fun it -> Format.fprintf ppf "@,%a" pp_item it) items;
+      Format.fprintf ppf "@]@,}"
+  | D_get_string { max_len; slot; view } ->
+      Format.fprintf ppf "s%d <- get_string%s%s" slot
+        (match max_len with
+        | None -> ""
+        | Some m -> Printf.sprintf " max=%d" m)
+        (if view then " view" else "")
+  | D_const_str s -> Format.fprintf ppf "expect_str %S" s
+  | D_get_byteseq { count; slot; view } ->
+      Format.fprintf ppf "s%d <- get_byteseq %a%s" slot pp_count count
+        (if view then " view" else "")
+  | D_get_atom_array { count; atom; slot } ->
+      Format.fprintf ppf "s%d <- get_atom_array %a %a" slot pp_count count
+        pp_atom atom
+  | D_loop { count; ensure; frame; slot } ->
+      Format.fprintf ppf "@[<v 2>s%d <- for %a%s {" slot pp_count count
+        (match ensure with
+        | None -> ""
+        | Some u -> Printf.sprintf " ensure*%d" u);
+      pp_frame_body ppf frame;
+      Format.fprintf ppf "@]@,}"
+  | D_opt { frame; slot } ->
+      Format.fprintf ppf "@[<v 2>s%d <- opt {" slot;
+      pp_frame_body ppf frame;
+      Format.fprintf ppf "@]@,}"
+  | D_switch { discrim_atom; arms; default; slot } ->
+      Format.fprintf ppf "@[<v 2>s%d <- switch%s {" slot
+        (match discrim_atom with
+        | Some a -> Format.asprintf " %a" pp_atom a
+        | None -> " key");
+      List.iter
+        (fun arm ->
+          Format.fprintf ppf "@,@[<v 2>case %a:" Mint.pp_const arm.d_const;
+          pp_frame_body ppf arm.d_frame;
+          Format.fprintf ppf "@]")
+        arms;
+      (match default with
+      | None -> ()
+      | Some frame ->
+          Format.fprintf ppf "@,@[<v 2>default:";
+          pp_frame_body ppf frame;
+          Format.fprintf ppf "@]");
+      Format.fprintf ppf "@]@,}"
+  | D_call { sub; slot } -> Format.fprintf ppf "s%d <- call %s" slot sub
+
+and pp_frame_body ppf frame =
+  List.iter (fun op -> Format.fprintf ppf "@,%a" pp_op op) frame.f_ops;
+  Format.fprintf ppf "@,=> %a" pp_shape frame.f_shape
+
+let pp ppf ops =
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun i op ->
+      if i > 0 then Format.pp_print_cut ppf ();
+      pp_op ppf op)
+    ops;
+  Format.fprintf ppf "@]"
+
+let pp_plan ppf plan =
+  Format.fprintf ppf "@[<v>%a@,=> [%a]@]" pp plan.d_ops
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+       pp_shape)
+    plan.d_shapes;
+  List.iter
+    (fun (name, frame) ->
+      Format.fprintf ppf "@.@[<v 2>sub %s:" name;
+      pp_frame_body ppf frame;
+      Format.fprintf ppf "@]")
+    plan.d_subs
+
+(* ------------------------------------------------------------------ *)
+(* Static size metrics (benchmark reporting)                           *)
+(* ------------------------------------------------------------------ *)
+
+let rec count_ops ops =
+  List.fold_left
+    (fun acc op ->
+      acc
+      +
+      match op with
+      | D_align _ | D_get_string _ | D_const_str _ | D_get_byteseq _
+      | D_get_atom_array _ | D_call _ ->
+          1
+      | D_chunk { items; _ } -> 1 + List.length items
+      | D_loop { frame; _ } | D_opt { frame; _ } -> 1 + count_ops frame.f_ops
+      | D_switch { arms; default; _ } ->
+          1
+          + List.fold_left (fun a arm -> a + count_ops arm.d_frame.f_ops) 0 arms
+          + (match default with None -> 0 | Some f -> count_ops f.f_ops))
+    0 ops
+
+(* Static count of bounds-check sites: checked chunks plus the
+   self-checking reads of the variable-length ops (a count read and a
+   payload read each perform one).  Loop and switch bodies count once —
+   a static proxy, like {!count_ops}, for comparing plan shapes. *)
+let rec count_checks ops =
+  List.fold_left
+    (fun acc op ->
+      acc
+      +
+      match op with
+      | D_align _ | D_call _ -> 0
+      | D_chunk { check; _ } -> if check then 1 else 0
+      | D_get_string _ | D_const_str _ -> 2
+      | D_get_byteseq { count; _ } | D_get_atom_array { count; _ } -> (
+          match count with Dc_fixed _ -> 1 | Dc_len _ -> 2)
+      | D_loop { count; ensure; frame; _ } ->
+          (match count with Dc_fixed _ -> 0 | Dc_len _ -> 1)
+          + (match ensure with Some _ -> 1 | None -> 0)
+          + count_checks frame.f_ops
+      | D_opt { frame; _ } -> 1 + count_checks frame.f_ops
+      | D_switch { arms; default; _ } ->
+          1
+          + List.fold_left
+              (fun a arm -> a + count_checks arm.d_frame.f_ops)
+              0 arms
+          + (match default with None -> 0 | Some f -> count_checks f.f_ops))
+    0 ops

@@ -1,0 +1,91 @@
+(** The unmarshal plan: decode-side mirror of {!Mplan}.
+
+    {!Dplan_compile} lowers a (MINT, PRES, encoding) triple into this
+    IR with the same section-3 optimizations the encode side gets:
+
+    - {b chunking}: consecutive fixed-size loads merge into a
+      {!constructor-D_chunk} — one [Mbuf.need] bounds check, loads at
+      constant offsets via the unchecked [Mbuf.get_*] reads, one cursor
+      advance.  Spans no item covers (typed headers, alignment padding)
+      are simply skipped by the advance;
+    - {b memcpy specialization}: packed byte runs are bulk reads
+      ({!constructor-D_get_byteseq}, {!constructor-Dit_bytes}) and
+      scalar arrays decode in one tight loop behind a single
+      reservation ({!constructor-D_get_atom_array});
+    - {b zero-copy views}: string/byte-sequence payloads marked [view]
+      may be returned as [Value.Vstring_view]/[Vbytes_view] slices of
+      the receive buffer instead of copies, when scatter-gather views
+      are enabled and the payload clears the borrow threshold;
+    - {b inlined control flow} with {!constructor-D_call} exactly at
+      the recursion points of self-referential types.
+
+    Decoded atoms land in numbered {e slots} of the enclosing frame; a
+    {!shape} tree assembles slots into the final structured value.
+    This indirection decouples wire order from construction order,
+    which is what lets one chunk span several struct fields. *)
+
+type shape =
+  | Sh_void
+  | Sh_slot of int
+  | Sh_struct of shape list
+
+type ditem =
+  | Dit_atom of { off : int; atom : Mplan.atom; slot : int }
+  | Dit_bytes of { off : int; len : int; slot : int }
+      (** small fixed byte run, copied out of the chunk *)
+  | Dit_const of { off : int; atom : Mplan.atom; value : int64 }
+      (** verify a constant word; mismatch raises [Codec.Decode_error] *)
+
+(** How a variable-length op learns its element count. *)
+type dcount =
+  | Dc_fixed of int  (** statically known; nothing on the wire *)
+  | Dc_len of { min_len : int; max_len : int option; what : string }
+      (** 32-bit wire count, checked against the declared bounds *)
+
+type dop =
+  | D_align of int
+  | D_chunk of { size : int; items : ditem list; check : bool }
+      (** [check] is false when a hoisted loop reservation already
+          guarantees the bytes *)
+  | D_get_string of { max_len : int option; slot : int; view : bool }
+  | D_const_str of string
+  | D_get_byteseq of { count : dcount; slot : int; view : bool }
+  | D_get_atom_array of { count : dcount; atom : Mplan.atom; slot : int }
+  | D_loop of { count : dcount; ensure : int option; frame : frame; slot : int }
+      (** [ensure = Some u]: every iteration advances exactly [u]
+          bytes, so the executor reserves [count * u] once and interior
+          chunks run check-free *)
+  | D_opt of { frame : frame; slot : int }
+      (** optional pointer: wire count 0 or 1 *)
+  | D_switch of {
+      discrim_atom : Mplan.atom option;  (** [None]: string-keyed *)
+      arms : darm list;
+      default : frame option;
+      slot : int;
+    }
+  | D_call of { sub : string; slot : int }
+
+and darm = { d_const : Mint.const; d_case : int; d_frame : frame }
+
+and frame = { f_nslots : int; f_ops : dop list; f_shape : shape }
+(** One decoding scope (loop body, union arm, subroutine, or the plan's
+    top level): ops fill the frame's slots, then [f_shape] assembles
+    them into the frame's value. *)
+
+type plan = {
+  d_nslots : int;
+  d_ops : dop list;
+  d_shapes : shape list;  (** one per decoded output value, in order *)
+  d_subs : (string * frame) list;
+}
+
+val pp_op : Format.formatter -> dop -> unit
+val pp : Format.formatter -> dop list -> unit
+val pp_plan : Format.formatter -> plan -> unit
+
+val count_ops : dop list -> int
+(** Total number of nodes — the decode analog of {!Mplan.count_ops}. *)
+
+val count_checks : dop list -> int
+(** Static count of bounds-check sites (checked chunks plus the
+    self-checking variable-length reads); loop bodies count once. *)

@@ -102,6 +102,7 @@ and arm = {
   a_body : op list;
 }
 
+val pp_atom : Format.formatter -> atom -> unit
 val pp_op : Format.formatter -> op -> unit
 val pp : Format.formatter -> op list -> unit
 val pp_rv : Format.formatter -> rv -> unit

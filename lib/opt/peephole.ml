@@ -250,6 +250,197 @@ let optimize ?stats ops =
   let st = match stats with Some st -> st | None -> fresh_stats () in
   optimize_ops st ops
 
+(* ------------------------------------------------------------------ *)
+(* The decode-plan pass                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Same rewrites over Dplan, with one crucial difference: on the decode
+   side a bounds check is [Mbuf.need], which *raises* when the bytes are
+   not there, so a hoisted loop reservation must cover *exactly* the
+   bytes the body consumes — an upper bound (fine for encode's [ensure],
+   which only reserves capacity) could reject well-formed messages.
+   [exact_advance] therefore returns the advance only when it is the
+   same for every run of the op. *)
+
+let shift_ditem delta (it : Dplan.ditem) =
+  match it with
+  | Dplan.Dit_atom a -> Dplan.Dit_atom { a with off = a.off + delta }
+  | Dplan.Dit_bytes b -> Dplan.Dit_bytes { b with off = b.off + delta }
+  | Dplan.Dit_const c -> Dplan.Dit_const { c with off = c.off + delta }
+
+let rec exact_advance_op (op : Dplan.dop) : int option =
+  match op with
+  | Dplan.D_align a -> if a <= 1 then Some 0 else None
+  | Dplan.D_chunk { size; _ } -> Some size
+  | Dplan.D_loop { count = Dplan.Dc_fixed n; frame; _ } ->
+      Option.map (fun u -> n * u) (exact_advance frame.Dplan.f_ops)
+  | Dplan.D_get_atom_array { count = Dplan.Dc_fixed n; atom; _ }
+    when atom.Mplan.align <= 1 ->
+      Some (n * atom.Mplan.size)
+  | Dplan.D_get_string _ | Dplan.D_const_str _ | Dplan.D_get_byteseq _
+  | Dplan.D_get_atom_array _ | Dplan.D_loop _ | Dplan.D_opt _
+  | Dplan.D_switch _ | Dplan.D_call _ ->
+      None
+
+and exact_advance ops =
+  List.fold_left
+    (fun acc op ->
+      match (acc, exact_advance_op op) with
+      | Some a, Some b -> Some (a + b)
+      | _, _ -> None)
+    (Some 0) ops
+
+let rec d_has_checked_chunk ops =
+  List.exists
+    (fun (op : Dplan.dop) ->
+      match op with
+      | Dplan.D_chunk { check; _ } -> check
+      | Dplan.D_loop { frame; _ } | Dplan.D_opt { frame; _ } ->
+          d_has_checked_chunk frame.Dplan.f_ops
+      | Dplan.D_switch { arms; default; _ } ->
+          List.exists
+            (fun (a : Dplan.darm) ->
+              d_has_checked_chunk a.Dplan.d_frame.Dplan.f_ops)
+            arms
+          || (match default with
+             | None -> false
+             | Some f -> d_has_checked_chunk f.Dplan.f_ops)
+      | _ -> false)
+    ops
+
+(* Under a hoisted reservation the bytes are already pulled up and
+   verified present; interior chunks (including those of nested fixed
+   loops — the only op kinds [exact_advance] admits) run check-free. *)
+let rec clear_dchecks ops =
+  List.map
+    (fun (op : Dplan.dop) ->
+      match op with
+      | Dplan.D_chunk { size; items; check = _ } ->
+          Dplan.D_chunk { size; items; check = false }
+      | Dplan.D_loop { count; ensure; frame; slot } ->
+          Dplan.D_loop
+            {
+              count;
+              ensure;
+              frame =
+                { frame with Dplan.f_ops = clear_dchecks frame.Dplan.f_ops };
+              slot;
+            }
+      | op -> op)
+    ops
+
+let d_droppable (op : Dplan.dop) =
+  match op with
+  | Dplan.D_align a -> a <= 1
+  | Dplan.D_chunk { size = 0; items = []; _ } -> true
+  | _ -> false
+
+let rec optimize_dops_st st ops =
+  merge_d st (List.concat_map (optimize_dop st) ops)
+
+and optimize_dframe st frame =
+  { frame with Dplan.f_ops = optimize_dops_st st frame.Dplan.f_ops }
+
+and optimize_dop st (op : Dplan.dop) : Dplan.dop list =
+  match op with
+  | Dplan.D_loop { count; ensure; frame; slot } -> (
+      let frame = optimize_dframe st frame in
+      match ensure with
+      | Some _ -> [ Dplan.D_loop { count; ensure; frame; slot } ]
+      | None -> (
+          if not (d_has_checked_chunk frame.Dplan.f_ops) then
+            [ Dplan.D_loop { count; ensure; frame; slot } ]
+          else
+            match exact_advance frame.Dplan.f_ops with
+            | Some u when u > 0 ->
+                st.ensures_hoisted <- st.ensures_hoisted + 1;
+                [
+                  Dplan.D_loop
+                    {
+                      count;
+                      ensure = Some u;
+                      frame =
+                        {
+                          frame with
+                          Dplan.f_ops = clear_dchecks frame.Dplan.f_ops;
+                        };
+                      slot;
+                    };
+                ]
+            | _ -> [ Dplan.D_loop { count; ensure; frame; slot } ]))
+  | Dplan.D_opt { frame; slot } ->
+      [ Dplan.D_opt { frame = optimize_dframe st frame; slot } ]
+  | Dplan.D_switch { discrim_atom; arms; default; slot } ->
+      [
+        Dplan.D_switch
+          {
+            discrim_atom;
+            arms =
+              List.map
+                (fun (a : Dplan.darm) ->
+                  { a with Dplan.d_frame = optimize_dframe st a.Dplan.d_frame })
+                arms;
+            default = Option.map (optimize_dframe st) default;
+            slot;
+          };
+      ]
+  | op -> [ op ]
+
+and merge_d st = function
+  | [] -> []
+  | [ op ] when d_droppable op ->
+      st.dead_removed <- st.dead_removed + 1;
+      []
+  | [ op ] -> [ op ]
+  | op1 :: op2 :: rest -> (
+      match rewrite_dpair st op1 op2 with
+      | Some ops -> merge_d st (ops @ rest)
+      | None -> op1 :: merge_d st (op2 :: rest))
+
+and rewrite_dpair st (op1 : Dplan.dop) (op2 : Dplan.dop) :
+    Dplan.dop list option =
+  if d_droppable op1 then (
+    st.dead_removed <- st.dead_removed + 1;
+    Some [ op2 ])
+  else if d_droppable op2 then (
+    st.dead_removed <- st.dead_removed + 1;
+    Some [ op1 ])
+  else
+    match (op1, op2) with
+    | Dplan.D_align a, Dplan.D_align b when is_pow2 a && is_pow2 b ->
+        st.aligns_removed <- st.aligns_removed + 1;
+        Some [ Dplan.D_align (max a b) ]
+    (* adjacent chunks: one [need] covers both; merging never changes
+       which messages decode (the total byte requirement is identical,
+       only checked earlier) *)
+    | Dplan.D_chunk c1, Dplan.D_chunk c2 ->
+        st.chunks_merged <- st.chunks_merged + 1;
+        Some
+          [
+            Dplan.D_chunk
+              {
+                size = c1.size + c2.size;
+                items = c1.items @ List.map (shift_ditem c1.size) c2.items;
+                check = c1.check || c2.check;
+              };
+          ]
+    | _, _ -> None
+
+let optimize_dops ?stats ops =
+  let st = match stats with Some st -> st | None -> fresh_stats () in
+  optimize_dops_st st ops
+
+let optimize_dplan ?stats (plan : Dplan.plan) =
+  let st = match stats with Some st -> st | None -> fresh_stats () in
+  {
+    plan with
+    Dplan.d_ops = optimize_dops_st st plan.Dplan.d_ops;
+    d_subs =
+      List.map
+        (fun (name, frame) -> (name, optimize_dframe st frame))
+        plan.Dplan.d_subs;
+  }
+
 let optimize_plan ?stats (plan : Plan_compile.plan) =
   let st = match stats with Some st -> st | None -> fresh_stats () in
   {

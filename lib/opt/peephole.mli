@@ -44,3 +44,18 @@ val optimize : ?stats:stats -> Mplan.op list -> Mplan.op list
 val optimize_plan : ?stats:stats -> Plan_compile.plan -> Plan_compile.plan
 (** {!optimize} applied to a plan's body and each of its marshal
     subroutines. *)
+
+val optimize_dops : ?stats:stats -> Dplan.dop list -> Dplan.dop list
+(** The same rewrites over unmarshal plans: chunk coalescing, alignment
+    merging, dead-op removal, and loop reservation hoisting.  Decode
+    hoisting is stricter than encode hoisting: [Mbuf.need] raises when
+    bytes are missing, so a reservation is hoisted only when every
+    iteration advances {e exactly} the same statically known number of
+    bytes — an upper bound would reject well-formed messages.  All
+    rewrites preserve which messages decode and to what values; on
+    truncated input a merged check may surface as [Short_buffer] where
+    the original plan failed a later, smaller check. *)
+
+val optimize_dplan : ?stats:stats -> Dplan.plan -> Dplan.plan
+(** {!optimize_dops} applied to a decode plan's body and each of its
+    unmarshal subroutines. *)

@@ -316,3 +316,59 @@ let plan ~enc ~mint ~named ?start ?unroll_limit ?chunked ?(peephole = true)
           ~sg ~sg_threshold roots
       in
       if peephole then Peephole.optimize_plan p else p)
+
+(* ------------------------------------------------------------------ *)
+(* The shared compiled-decode-plan cache                                *)
+(* ------------------------------------------------------------------ *)
+
+let dplans : Dplan.plan t = create ~name:"dplan" ()
+
+let fp_droot fp (droot : Dplan_compile.droot) =
+  match droot with
+  | Dplan_compile.Dconst_int (n, kind) ->
+      Buffer.add_string fp.buf " Di";
+      fp_str fp (Int64.to_string n);
+      fp_kind fp kind
+  | Dplan_compile.Dconst_str s ->
+      Buffer.add_string fp.buf " Ds";
+      fp_str fp s
+  | Dplan_compile.Dvalue (idx, pres) ->
+      Buffer.add_string fp.buf " Dv";
+      fp_type fp idx pres
+
+let dplan_key ~enc ~mint ~named ?start ?(chunked = true) ?(peephole = true)
+    ~views ~view_threshold droots =
+  let fp = fp_create ~enc ~mint ~named () in
+  (match start with
+  | None -> Buffer.add_char fp.buf '-'
+  | Some (base, off) ->
+      fp_int fp base;
+      fp_int fp off);
+  fp_int fp ((if chunked then 1 else 0) + if peephole then 2 else 0);
+  (* view options change the plan's structure (byte-run splitting, view
+     marks), so they are part of the key *)
+  fp_int fp (if views then 1 else 0);
+  fp_int fp view_threshold;
+  List.iter (fp_droot fp) droots;
+  fp_contents fp
+
+let dplan ~enc ~mint ~named ?start ?chunked ?(peephole = true) ?views
+    ?view_threshold droots =
+  (* as for [plan]: resolve the Mbuf-global defaults now so the key and
+     the compile agree even if the globals change between calls *)
+  let views = match views with Some b -> b | None -> false in
+  let view_threshold =
+    match view_threshold with
+    | Some n -> n
+    | None -> Mbuf.borrow_threshold ()
+  in
+  let key =
+    dplan_key ~enc ~mint ~named ?start ?chunked ~peephole ~views
+      ~view_threshold droots
+  in
+  find_or_add dplans key (fun () ->
+      let p =
+        Dplan_compile.compile ~enc ~mint ~named ?start ?chunked ~views
+          ~view_threshold droots
+      in
+      if peephole then Peephole.optimize_dplan p else p)

@@ -67,6 +67,7 @@ val fp_type : fp -> Mint.idx -> Pres.t -> unit
     depth-first with back references for cycles. *)
 
 val fp_root : fp -> Plan_compile.root -> unit
+val fp_droot : fp -> Dplan_compile.droot -> unit
 val fp_contents : fp -> string
 
 (** {1 The shared plan cache} *)
@@ -87,3 +88,19 @@ val plan :
     [peephole:false] skips the optimizer (and caches separately).  The
     scatter-gather options (defaulting to the {!Mbuf} globals) are part
     of the cache key, since they change plan structure. *)
+
+val dplan :
+  enc:Encoding.t ->
+  mint:Mint.t ->
+  named:(string * (Mint.idx * Pres.t)) list ->
+  ?start:int * int ->
+  ?chunked:bool ->
+  ?peephole:bool ->
+  ?views:bool ->
+  ?view_threshold:int ->
+  Dplan_compile.droot list ->
+  Dplan.plan
+(** Cached, peephole-optimized {!Dplan_compile.compile} (same
+    defaults).  The view options are part of the cache key — a
+    view-enabled plan splits large byte runs differently — as are
+    [chunked] and [peephole]. *)

@@ -64,6 +64,13 @@ val compile :
 val atom_of : Encoding.t -> Encoding.atom_kind -> Mplan.atom
 (** The encoding's layout for one atom, as a plan atom. *)
 
+val len_atom : Encoding.t -> Mplan.atom
+(** The encoding's length-prefix word as a plan atom (also the Mach
+    typed-header descriptor layout). *)
+
+val round_up : int -> int -> int
+(** [round_up n unit] — smallest multiple of [unit] that is [>= n]. *)
+
 val max_size :
   enc:Encoding.t ->
   mint:Mint.t ->

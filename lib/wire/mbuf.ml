@@ -406,13 +406,52 @@ type reader = {
   mutable rbase : int;  (* global position = rbase + rpos *)
   mutable rmore : (bytes * int * int) list;  (* segments after the window *)
   mutable rrest : int;  (* total bytes in [rmore] *)
+  mutable rsrc : t option;  (* the writer whose storage the windows alias
+                               (None for reader_of_bytes); lets
+                               [pin_reader] detach that storage *)
 }
+
+(* Reader-side copy accounting, module-wide (readers are pooled and
+   short-lived, so per-reader counters would be awkward to collect). *)
+let rd_copied = ref 0
+let rd_copies = ref 0
+let rd_viewed = ref 0
+let rd_views = ref 0
+
+type reader_stats = {
+  rbytes_copied : int;
+  rcopies : int;
+  rbytes_viewed : int;
+  rviews : int;
+}
+
+let reader_stats () =
+  {
+    rbytes_copied = !rd_copied;
+    rcopies = !rd_copies;
+    rbytes_viewed = !rd_viewed;
+    rviews = !rd_views;
+  }
+
+let reset_reader_stats () =
+  rd_copied := 0;
+  rd_copies := 0;
+  rd_viewed := 0;
+  rd_views := 0
 
 let reader_of_bytes ?(off = 0) ?len b =
   let len = match len with Some l -> l | None -> Bytes.length b - off in
   if off < 0 || len < 0 || off + len > Bytes.length b then
     invalid_arg "Mbuf.reader_of_bytes";
-  { rbuf = b; rpos = off; rend = off + len; rbase = 0; rmore = []; rrest = 0 }
+  {
+    rbuf = b;
+    rpos = off;
+    rend = off + len;
+    rbase = 0;
+    rmore = [];
+    rrest = 0;
+    rsrc = None;
+  }
 
 let fill_reader r fwd total =
   match fwd with
@@ -453,14 +492,28 @@ let init_reader r ?len t =
     | None -> t.pos
     | Some l -> if l < 0 || l > t.pos then invalid_arg "Mbuf.reader" else l
   in
-  fill_reader r (segs_forward t total) total
+  fill_reader r (segs_forward t total) total;
+  r.rsrc <- Some t
 
 let reader ?len t =
   let r =
-    { rbuf = Bytes.empty; rpos = 0; rend = 0; rbase = 0; rmore = []; rrest = 0 }
+    {
+      rbuf = Bytes.empty;
+      rpos = 0;
+      rend = 0;
+      rbase = 0;
+      rmore = [];
+      rrest = 0;
+      rsrc = None;
+    }
   in
   init_reader r ?len t;
   r
+
+let pin_reader r =
+  match r.rsrc with
+  | Some t -> t.exposed <- true
+  | None -> () (* reader_of_bytes: the caller owns the storage already *)
 
 let rpos r = r.rbase + r.rpos
 let remaining r = r.rend - r.rpos + r.rrest
@@ -619,6 +672,8 @@ let read_f64 r ~be =
    path copies across segment boundaries without disturbing the window
    (no pullup needed, the result is its own buffer). *)
 let read_bytes r len =
+  rd_copied := !rd_copied + max len 0;
+  incr rd_copies;
   if len >= 0 && r.rpos + len <= r.rend then begin
     let v = Bytes.sub r.rbuf r.rpos len in
     r.rpos <- r.rpos + len;
@@ -639,12 +694,40 @@ let read_bytes r len =
   end
 
 let read_string r len =
+  rd_copied := !rd_copied + max len 0;
+  incr rd_copies;
   if len >= 0 && r.rpos + len <= r.rend then begin
     let v = Bytes.sub_string r.rbuf r.rpos len in
     r.rpos <- r.rpos + len;
     v
   end
-  else Bytes.unsafe_to_string (read_bytes r len)
+  else begin
+    (* undo the copy accounting done twice through read_bytes *)
+    rd_copied := !rd_copied - max len 0;
+    decr rd_copies;
+    Bytes.unsafe_to_string (read_bytes r len)
+  end
+
+(* Zero-copy view of the next [len] bytes, when they sit whole inside
+   one segment: returns the window slice and advances the cursor.
+   [None] when the span crosses a segment boundary — the caller falls
+   back to the gathering copy ([read_bytes]).  The returned slice
+   aliases whatever backs the current window: the source writer's
+   storage, a payload borrowed into the message, or a private pullup
+   spill buffer.  See the reader-view aliasing contract in the mli. *)
+let view_bytes r len =
+  if len < 0 || remaining r < len then raise Short_buffer;
+  while r.rpos = r.rend && r.rmore <> [] do
+    advance_seg r
+  done;
+  if r.rpos + len <= r.rend then begin
+    let res = (r.rbuf, r.rpos, len) in
+    r.rpos <- r.rpos + len;
+    rd_viewed := !rd_viewed + len;
+    incr rd_views;
+    Some res
+  end
+  else None
 
 (* -- reader pool ----------------------------------------------------- *)
 
@@ -667,6 +750,7 @@ let release_reader r =
   r.rbase <- 0;
   r.rmore <- [];
   r.rrest <- 0;
+  r.rsrc <- None;
   if !reader_pool_len < pool_max then begin
     reader_pool := r :: !reader_pool;
     incr reader_pool_len

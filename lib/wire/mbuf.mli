@@ -53,7 +53,20 @@
       bytes are never written to or recycled by this module.
     - {!iter_segments} passes internal storage to the callback; the
       slices are only valid during the iteration — copy anything that
-      must outlive it. *)
+      must outlive it.
+    - {!view_bytes} returns a slice that aliases whatever backs the
+      reader's current window: the source writer's live storage, a
+      payload that was borrowed into the message, or a private pullup
+      spill buffer.  A view into a writer-backed reader is therefore
+      valid only until that writer is next written to (same rule as the
+      reader itself) — {e unless} the reader is first pinned with
+      {!pin_reader}, which marks the writer's storage exposed so the
+      next [reset]+encode detaches it instead of overwriting or
+      recycling it.  Decoders that hand out zero-copy views
+      ([Value.Vbytes_view]/[Vstring_view]) pin the reader at decode
+      time for exactly this reason; consumers that need the bytes to
+      survive the original message's lifetime must still
+      [Value.materialize] them. *)
 
 exception Short_buffer
 
@@ -245,3 +258,39 @@ val read_f32 : reader -> be:bool -> float
 val read_f64 : reader -> be:bool -> float
 val read_bytes : reader -> int -> bytes
 val read_string : reader -> int -> string
+
+(** {2 Zero-copy reader views} *)
+
+val view_bytes : reader -> int -> (bytes * int * int) option
+(** [view_bytes r len] consumes the next [len] bytes without copying
+    when they lie whole inside one segment, returning [(base, off, len)]
+    into that segment's backing storage and advancing the cursor.
+    Returns [None] (cursor unmoved) when the span crosses a segment
+    boundary — fall back to {!read_bytes}.  Raises {!Short_buffer} when
+    fewer than [len] bytes remain.  See the aliasing contract above:
+    pin the reader ({!pin_reader}) if the view must survive reuse of
+    the source writer. *)
+
+val pin_reader : reader -> unit
+(** Mark the storage behind a writer-backed reader as exposed, so the
+    writer's next [reset] detaches it rather than recycling or
+    overwriting it — the same detachment {!unsafe_contents} gets.
+    After pinning, views and the reader itself stay valid across later
+    [reset]+encode cycles on that writer.  No-op for
+    {!reader_of_bytes} readers (the caller owns that storage). *)
+
+(** {2 Reader-side copy accounting}
+
+    Module-wide counters (readers are pooled and short-lived): bulk
+    payload bytes copied out of messages ({!read_bytes},
+    {!read_string}) versus handed out by reference ({!view_bytes}). *)
+
+type reader_stats = {
+  rbytes_copied : int;
+  rcopies : int;
+  rbytes_viewed : int;
+  rviews : int;
+}
+
+val reader_stats : unit -> reader_stats
+val reset_reader_stats : unit -> unit

@@ -225,7 +225,8 @@ let property_tests =
         qtest (n ^ ": peephole-optimized plans are wire-invisible")
           (peephole_prop enc);
         qtest (n ^ ": optimized decode inverts encode")
-          (roundtrip_prop enc Stub_opt.compile_decoder);
+          (roundtrip_prop enc (fun ~enc ~mint ~named droots ->
+             Stub_opt.compile_decoder ~enc ~mint ~named droots));
         qtest (n ^ ": naive decode inverts encode")
           (roundtrip_prop enc (Stub_naive.compile_decoder ~config:Stub_naive.default_config));
         qtest (n ^ ": storage bound holds") (bound_prop enc);
