@@ -1,6 +1,6 @@
 # Build, test, and smoke-benchmark entry points (used by CI).
 
-.PHONY: all build test bench-smoke bench ci
+.PHONY: all build test test-verify bench-smoke bench ci
 
 all: build
 
@@ -10,10 +10,17 @@ build:
 test:
 	dune runtest
 
+# The whole suite again with the structural plan verifier running
+# after every optimizer pass (Opt_config.default reads the variable).
+# The verify flag is not part of plan-cache keys, so this exercises
+# exactly the same pipelines and cache behavior as the default run.
+test-verify:
+	FLICK_VERIFY_PLANS=1 dune runtest --force
+
 # The fast artifacts: the plan-optimizer/cache report (BENCH_1.json),
 # the scatter-gather wire report (BENCH_2.json), and the decode-plan
-# report (BENCH_3.json); the engine equality/zero-copy self-checks in
-# the latter two make the run exit non-zero on failure.
+# report (BENCH_3.json); the pipeline/verifier/engine-equality
+# self-checks in all three make the run exit non-zero on failure.
 bench-smoke:
 	dune exec bench/main.exe -- planopt sgwire decplan --smoke
 
@@ -22,4 +29,4 @@ bench-smoke:
 bench:
 	dune exec bench/main.exe
 
-ci: build test bench-smoke
+ci: build test test-verify bench-smoke

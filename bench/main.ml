@@ -82,6 +82,28 @@ let naive_decoder ~enc ~mint ~named droots =
   Stub_naive.compile_decoder ~config:Stub_naive.default_config ~enc ~mint
     ~named droots
 
+let flick_encoder ~enc ~mint ~named roots =
+  Stub_opt.compile_encoder ~enc ~mint ~named roots
+
+let flick_decoder ~enc ~mint ~named droots =
+  Stub_opt.compile_decoder ~enc ~mint ~named droots
+
+(* One line and one JSON object per cache, shared by the planopt and
+   decplan warm-cache reports so encode and decode caches read the same
+   way: hit rate AND eviction pressure for both sides. *)
+let cache_report_line name (st : Plan_cache.stats) =
+  Printf.printf "  %-18s %5d hits %5d misses %5d entries %4d evicted  %5.1f%%\n"
+    name st.Plan_cache.hits st.Plan_cache.misses st.Plan_cache.entries
+    st.Plan_cache.evictions
+    (100. *. Plan_cache.hit_rate st)
+
+let cache_json name (st : Plan_cache.stats) =
+  Printf.sprintf
+    "{ \"name\": %S, \"hits\": %d, \"misses\": %d, \"entries\": %d, \
+     \"evictions\": %d, \"hit_rate\": %.3f }"
+    name st.Plan_cache.hits st.Plan_cache.misses st.Plan_cache.entries
+    st.Plan_cache.evictions (Plan_cache.hit_rate st)
+
 let engines =
   [
     {
@@ -108,10 +130,8 @@ let engines =
       e_idl = "ONC";
       e_encoding = Encoding.xdr;
       e_style = `Rpcgen;
-      e_make_encoder = Stub_opt.compile_encoder;
-      e_make_decoder =
-        (fun ~enc ~mint ~named droots ->
-          Stub_opt.compile_decoder ~enc ~mint ~named droots);
+      e_make_encoder = flick_encoder;
+      e_make_decoder = flick_decoder;
     };
     {
       e_name = "ORBeline";
@@ -137,10 +157,8 @@ let engines =
       e_idl = "CORBA";
       e_encoding = Encoding.cdr;
       e_style = `Corba;
-      e_make_encoder = Stub_opt.compile_encoder;
-      e_make_decoder =
-        (fun ~enc ~mint ~named droots ->
-          Stub_opt.compile_decoder ~enc ~mint ~named droots);
+      e_make_encoder = flick_encoder;
+      e_make_decoder = flick_decoder;
     };
   ]
 
@@ -294,7 +312,7 @@ let table3 () =
   List.iter
     (fun e ->
       let standin =
-        if e.e_make_encoder == Stub_opt.compile_encoder then
+        if e.e_make_encoder == flick_encoder then
           "optimized plans (this compiler)"
         else if e.e_make_encoder == naive_encoder then "call-per-datum stubs"
         else "runtime type interpretation"
@@ -676,17 +694,37 @@ let ablations () =
 (* ------------------------------------------------------------------ *)
 
 (* Reports, and records in BENCH_1.json:
-   - plan node counts before/after the peephole pass, per workload,
+   - plan node counts before/after the optimizer pipeline, per workload,
      encoding, and compilation mode (the per-datum mode is where the
-     pass recovers the chunking the compiler was told to skip);
-   - encode throughput for the directory workload with and without the
-     pass, against the production chunked+cached path;
-   - cache hit rates on a repeated stub-compilation workload.
+     passes recover the chunking the compiler was told to skip), plus a
+     per-pass trace of the showcase workload;
+   - encode throughput for the directory workload under three pipeline
+     configurations (none / full pipeline / production chunked+cached);
+   - cache hit rates and eviction pressure on a repeated
+     stub-compilation workload.
+   Every plan this artifact executes is checked by the structural plan
+   verifier; a dirty plan fails the run.
    [--smoke] shrinks the payload so CI can run it in a few seconds. *)
+
+let planopt_failed = ref false
+
 let planopt () =
   print_endline "============================================================";
-  print_endline " planopt - peephole optimizer and compiled-plan cache";
+  print_endline " planopt - optimizer pass pipeline and compiled-plan cache";
   print_endline "============================================================";
+  let check what ok =
+    if not ok then begin
+      planopt_failed := true;
+      Printf.printf "  SELF-CHECK FAILED: %s\n" what
+    end
+  in
+  let verified (p : Plan_compile.plan) =
+    match Plan_verify.check_plan p with
+    | Ok () -> true
+    | Error e ->
+        Printf.printf "  verifier: %s\n" (Plan_verify.error_to_string e);
+        false
+  in
   let plan_nodes (p : Plan_compile.plan) =
     Mplan.count_ops p.Plan_compile.p_ops
     + List.fold_left
@@ -704,6 +742,9 @@ let planopt () =
   Buffer.add_string json ",\n  \"node_counts\": [";
   let first = ref true in
   let dirents_reduced = ref false in
+  (* per-pass trace of the showcase workload (xdr directory entries,
+     per-datum mode: the passes re-chunk what the compiler skipped) *)
+  let showcase_trace : Pass.trace list ref = ref [] in
   List.iter
     (fun (ename, enc, style) ->
       let pc = Paper_fixtures.bench_presc style in
@@ -718,7 +759,19 @@ let planopt () =
                   spec.Paper_fixtures.ms_roots
               in
               let st = Peephole.fresh_stats () in
-              let opt = Peephole.optimize_plan ~stats:st raw in
+              let showcase =
+                ename = "xdr" && op = "send_dirents" && mode = "per-datum"
+              in
+              let opt =
+                Pass.run_encode ~config:Opt_config.all ~stats:st
+                  ~on_trace:(fun tr ->
+                    if showcase then showcase_trace := !showcase_trace @ [ tr ])
+                  raw
+              in
+              check
+                (Printf.sprintf "%s/%s/%s: verifier clean after pipeline"
+                   ename op mode)
+                (verified opt);
               let before = plan_nodes raw and after = plan_nodes opt in
               if op = "send_dirents" && after < before then
                 dirents_reduced := true;
@@ -743,17 +796,49 @@ let planopt () =
   if not !dirents_reduced then
     print_endline "WARNING: no node reduction on the directory workload";
 
+  Printf.printf
+    "\npass trace, directory entries (XDR, per-datum compilation):\n";
+  List.iter
+    (fun (tr : Pass.trace) ->
+      Printf.printf "  %-18s nodes %4d -> %4d   checks %4d -> %4d   %7.1fus\n"
+        tr.Pass.tr_pass tr.Pass.tr_nodes_before tr.Pass.tr_nodes_after
+        tr.Pass.tr_checks_before tr.Pass.tr_checks_after
+        (tr.Pass.tr_wall_ns /. 1e3))
+    !showcase_trace;
+  check "showcase trace covers every encode pass"
+    (List.map (fun (tr : Pass.trace) -> tr.Pass.tr_pass) !showcase_trace
+    = Pass.encode_pass_names);
+  Buffer.add_string json
+    (Printf.sprintf ",\n  \"passes\": [%s]"
+       (String.concat ", "
+          (List.map
+             (fun (tr : Pass.trace) ->
+               Printf.sprintf
+                 "{ \"pass\": %S, \"nodes_before\": %d, \"nodes_after\": %d, \
+                  \"checks_before\": %d, \"checks_after\": %d }"
+                 tr.Pass.tr_pass tr.Pass.tr_nodes_before tr.Pass.tr_nodes_after
+                 tr.Pass.tr_checks_before tr.Pass.tr_checks_after)
+             !showcase_trace)));
+
   (* -- encode throughput on the directory workload ------------------ *)
+  (* Three pipeline configurations through the one production entry
+     point (Plan_cache.plan): the config is part of the cache key, so
+     these coexist as separate cached plans rather than hand-tweaked
+     variants. *)
   let bytes = if !smoke then 4096 else 65536 in
   let enc = Encoding.xdr in
   let pc = Paper_fixtures.bench_presc `Rpcgen in
   let spec = Paper_fixtures.request_spec pc ~op:"send_dirents" in
   let value = Paper_fixtures.payload `Dirents ~bytes in
-  let compile chunked =
-    Plan_compile.compile ~enc ~mint:spec.Paper_fixtures.ms_mint
-      ~named:spec.Paper_fixtures.ms_named ~chunked spec.Paper_fixtures.ms_roots
+  let compile ~chunked config =
+    Plan_cache.plan ~enc ~mint:spec.Paper_fixtures.ms_mint
+      ~named:spec.Paper_fixtures.ms_named ~chunked ~config
+      spec.Paper_fixtures.ms_roots
   in
   let rate name plan =
+    check
+      (Printf.sprintf "throughput plan verifier clean (%s)" name)
+      (verified plan);
     let encode = Stub_opt.encoder_of_plan ~enc plan in
     let buf = Mbuf.create (bytes + 4096) in
     encode buf [| value |];
@@ -766,14 +851,15 @@ let planopt () =
     let v = mbps wire ns in
     if Float.is_nan v then 0. else v
   in
-  let per_datum = compile false in
-  let mb_raw = rate "per-datum" per_datum in
-  let mb_peep = rate "per-datum+peephole" (Peephole.optimize_plan per_datum) in
-  let mb_chunked = rate "chunked" (compile true) in
+  let mb_raw = rate "per-datum" (compile ~chunked:false Opt_config.none) in
+  let mb_peep =
+    rate "per-datum+pipeline" (compile ~chunked:false Opt_config.all)
+  in
+  let mb_chunked = rate "chunked" (compile ~chunked:true Opt_config.all) in
   Printf.printf
     "\nencode throughput, directory entries (%dB, XDR):\n\
-    \  per-datum plan          %8.1f MB/s\n\
-    \  per-datum + peephole    %8.1f MB/s\n\
+    \  per-datum, passes off   %8.1f MB/s\n\
+    \  per-datum + pipeline    %8.1f MB/s\n\
     \  chunked (production)    %8.1f MB/s\n"
     bytes mb_raw mb_peep mb_chunked;
   Buffer.add_string json
@@ -817,11 +903,7 @@ let planopt () =
   let hit_rate = float_of_int hits /. float_of_int (max 1 (hits + misses)) in
   Printf.printf
     "\ncompiled-plan caches over %d rounds x 12 stub compilations:\n" rounds;
-  List.iter
-    (fun (name, st) ->
-      Printf.printf "  %-18s %5d hits %5d misses %5d entries\n" name
-        st.Plan_cache.hits st.Plan_cache.misses st.Plan_cache.entries)
-    per_cache;
+  List.iter (fun (name, st) -> cache_report_line name st) per_cache;
   Printf.printf "  %-18s %.1f%% hit rate\n" "overall" (100. *. hit_rate);
   Buffer.add_string json
     (Printf.sprintf
@@ -829,19 +911,17 @@ let planopt () =
         \"hit_rate\": %.3f, \"per_cache\": [%s] }"
        rounds hits misses hit_rate
        (String.concat ", "
-          (List.map
-             (fun (name, st) ->
-               Printf.sprintf
-                 "{ \"name\": %S, \"hits\": %d, \"misses\": %d, \
-                  \"entries\": %d }"
-                 name st.Plan_cache.hits st.Plan_cache.misses
-                 st.Plan_cache.entries)
-             per_cache)));
-  Buffer.add_string json "\n}\n";
+          (List.map (fun (name, st) -> cache_json name st) per_cache)));
+  Buffer.add_string json
+    (Printf.sprintf ",\n  \"self_check_failed\": %b\n}\n" !planopt_failed);
   let oc = open_out "BENCH_1.json" in
   Buffer.output_buffer oc json;
   close_out oc;
-  print_endline "\nwrote BENCH_1.json\n"
+  if !planopt_failed then
+    print_endline "\nplanopt: SELF-CHECK FAILURES above; exiting non-zero"
+  else
+    print_endline "\nall pipeline, verifier, and cache self-checks passed";
+  print_endline "wrote BENCH_1.json\n"
 
 (* ------------------------------------------------------------------ *)
 (* sgwire - zero-copy scatter-gather marshal buffers                    *)
@@ -941,6 +1021,23 @@ let sgwire () =
             Stub_opt.compile_encoder ~enc ~mint:cmint ~named roots)
       in
       let enc_sg = compile true and enc_ct = compile false in
+      (* the plans behind those encoders, re-fetched from the shared
+         cache (same keys, so no extra compilation): the structural
+         verifier must be clean on everything this artifact executes *)
+      let plan_verified on =
+        with_sg on (fun () ->
+            match
+              Plan_verify.check_plan
+                (Plan_cache.plan ~enc ~mint:cmint ~named roots)
+            with
+            | Ok () -> true
+            | Error e ->
+                Printf.printf "  verifier: %s\n"
+                  (Plan_verify.error_to_string e);
+                false)
+      in
+      check (name ^ ": verifier clean on SG plan") (plan_verified true);
+      check (name ^ ": verifier clean on contiguous plan") (plan_verified false);
       let dec_opt = Stub_opt.compile_decoder ~enc ~mint:cmint ~named droots in
       let dec_naive = naive_decoder ~enc ~mint:cmint ~named droots in
       (* one instrumented encode per mode: copy accounting + segments *)
@@ -1126,9 +1223,23 @@ let decplan () =
               Dplan_compile.compile ~enc ~mint:spec.Paper_fixtures.ms_mint
                 ~named:spec.Paper_fixtures.ms_named ~chunked droots
             in
-            if chunked then Peephole.optimize_dplan p else p
+            if chunked then Pass.run_decode ~config:Opt_config.all p else p
           in
           let pd = compile false and ch = compile true in
+          let dverified p =
+            match Plan_verify.check_dplan p with
+            | Ok () -> true
+            | Error e ->
+                Printf.printf "  verifier: %s\n"
+                  (Plan_verify.error_to_string e);
+                false
+          in
+          check
+            (Printf.sprintf "%s/%s: verifier clean (per-datum)" ename op)
+            (dverified pd);
+          check
+            (Printf.sprintf "%s/%s: verifier clean (chunked+passes)" ename op)
+            (dverified ch);
           let ops_pd = plan_totals pd Dplan.count_ops
           and checks_pd = plan_totals pd Dplan.count_checks
           and ops_ch = plan_totals ch Dplan.count_ops
@@ -1437,23 +1548,14 @@ let decplan () =
   first := true;
   List.iter
     (fun (name, st) ->
-      let rate =
-        float_of_int st.Plan_cache.hits
-        /. float_of_int (max 1 (st.Plan_cache.hits + st.Plan_cache.misses))
-      in
-      Printf.printf "  %-18s %5d hits %5d misses %5d entries (%.1f%%)\n" name
-        st.Plan_cache.hits st.Plan_cache.misses st.Plan_cache.entries
-        (100. *. rate);
+      cache_report_line name st;
       check
         (Printf.sprintf "%s cache: warm compilations hit" name)
         (st.Plan_cache.hits > 0 && st.Plan_cache.misses <= st.Plan_cache.entries + 6);
       Buffer.add_string json
-        (Printf.sprintf
-           "%s\n      { \"name\": %S, \"hits\": %d, \"misses\": %d, \
-            \"entries\": %d, \"hit_rate\": %.3f }"
+        (Printf.sprintf "%s\n      %s"
            (if !first then "" else ",")
-           name st.Plan_cache.hits st.Plan_cache.misses st.Plan_cache.entries
-           rate);
+           (cache_json name st));
       first := false)
     per_cache;
   check "decoder caches registered" (List.length per_cache = 2);
@@ -1520,4 +1622,4 @@ let () =
   Printf.printf "Flick reproduction benchmarks (%s sizes; see EXPERIMENTS.md)\n\n"
     (if !full then "paper-scale" else "default");
   List.iter (fun name -> (List.assoc name artifacts) ()) to_run;
-  if !sgwire_failed || !decplan_failed then exit 1
+  if !planopt_failed || !sgwire_failed || !decplan_failed then exit 1

@@ -170,73 +170,25 @@ let dump_presc_cmd =
     Term.(const run $ idl_arg $ pres_arg $ interface_arg $ source_arg)
 
 let dump_plan_cmd =
-  let run idl pres backend interface op decode file =
+  let run idl pres backend interface op decode trace passes file =
     handle_diag (fun () ->
         let source = read_file file in
-        let pc = Driver.present idl pres ~file ~source ~interface in
-        let tr = Driver.transport_of backend in
-        let stubs =
-          match op with
-          | None -> pc.Pres_c.pc_stubs
-          | Some name ->
-              List.filter
-                (fun st -> st.Pres_c.os_op.Aoi.op_name = name)
-                pc.Pres_c.pc_stubs
+        let config =
+          match passes with
+          | None -> None
+          | Some spec -> (
+              match Opt_config.of_string spec with
+              | Ok c -> Some c
+              | Error msg -> Diag.error "dump-plan: --passes: %s" msg)
         in
-        List.iter
-          (fun (st : Pres_c.op_stub) ->
-            let request_params =
-              List.filter
-                (fun (pi : Pres_c.param_info) ->
-                  match pi.Pres_c.pi_dir with
-                  | Aoi.In | Aoi.Inout -> true
-                  | Aoi.Out -> false)
-                st.Pres_c.os_params
-            in
-            if decode then begin
-              (* the server-side view of the same request message *)
-              let droots =
-                List.map
-                  (fun (pi : Pres_c.param_info) ->
-                    Dplan_compile.Dvalue (pi.Pres_c.pi_mint, pi.Pres_c.pi_pres))
-                  request_params
-              in
-              let plan =
-                Plan_cache.dplan ~enc:tr.Backend_base.tr_enc
-                  ~mint:pc.Pres_c.pc_mint ~named:pc.Pres_c.pc_named droots
-              in
-              Format.printf "=== unmarshal plan: %s (%s) ===@.%a@."
-                st.Pres_c.os_client_name tr.Backend_base.tr_name Dplan.pp_plan
-                plan
-            end
-            else begin
-              let roots =
-                List.map
-                  (fun (pi : Pres_c.param_info) ->
-                    Plan_compile.Rvalue
-                      ( Mplan.Rparam
-                          {
-                            index = 0;
-                            name = pi.Pres_c.pi_name;
-                            deref = pi.Pres_c.pi_byref;
-                          },
-                        pi.Pres_c.pi_mint,
-                        pi.Pres_c.pi_pres ))
-                  request_params
-              in
-              let plan =
-                Plan_cache.plan ~enc:tr.Backend_base.tr_enc
-                  ~mint:pc.Pres_c.pc_mint ~named:pc.Pres_c.pc_named roots
-              in
-              Format.printf "=== marshal plan: %s (%s) ===@.%a@."
-                st.Pres_c.os_client_name tr.Backend_base.tr_name Mplan.pp
-                plan.Plan_compile.p_ops;
-              List.iter
-                (fun (name, ops) ->
-                  Format.printf "--- subroutine %s ---@.%a@." name Mplan.pp ops)
-                plan.Plan_compile.p_subs
-            end)
-          stubs)
+        let mode =
+          if trace then Plan_dump.Trace
+          else if decode then Plan_dump.Unmarshal
+          else Plan_dump.Marshal
+        in
+        print_string
+          (Plan_dump.render ~idl ~pres ~backend ~interface ~op ~mode ?config
+             ~file ~source ()))
   in
   let op_arg =
     Arg.(
@@ -252,14 +204,35 @@ let dump_plan_cmd =
             "Print the decode (unmarshal) plan for the request instead of the \
              marshal plan.")
   in
+  let trace_arg =
+    Arg.(
+      value & flag
+      & info [ "trace-passes" ]
+          ~doc:
+            "Trace the optimizer pipeline instead of printing plans: one line \
+             per pass with node and bounds-check counts before/after and wall \
+             time, for both the encode and decode plan of each stub.  The \
+             structural plan verifier runs after every pass.")
+  in
+  let passes_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "passes" ] ~docv:"SPEC"
+          ~doc:
+            "Optimizer pass selection: $(b,all), $(b,none), or a \
+             comma-separated list of pass names; append $(b,+verify) to run \
+             the plan verifier after each pass.")
+  in
   Cmd.v
     (Cmd.info "dump-plan"
        ~doc:
          "Print the optimized marshal plans (chunks, blits, loops) for each \
-          stub; with $(b,--decode), the symmetric unmarshal plans.")
+          stub; with $(b,--decode), the symmetric unmarshal plans; with \
+          $(b,--trace-passes), the per-pass optimizer trace.")
     Term.(
       const run $ idl_arg $ pres_arg $ backend_arg $ interface_arg $ op_arg
-      $ decode_arg $ source_arg)
+      $ decode_arg $ trace_arg $ passes_arg $ source_arg)
 
 let list_interfaces_cmd =
   let run idl file =

@@ -91,7 +91,9 @@ let () =
   (* --- all three engines, same bytes -------------------------------- *)
   let engines =
     [
-      ("optimized (Flick)", Stub_opt.compile_encoder);
+      ( "optimized (Flick)",
+        fun ~enc ~mint ~named roots ->
+          Stub_opt.compile_encoder ~enc ~mint ~named roots );
       ( "rpcgen-shape",
         fun ~enc ~mint ~named roots ->
           Stub_naive.compile_encoder ~config:Stub_naive.default_config ~enc

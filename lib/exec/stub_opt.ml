@@ -566,15 +566,21 @@ let encoder_of_plan ~enc (plan : Plan_compile.plan) : encoder =
 let encoder_cache : encoder Plan_cache.t =
   Plan_cache.create ~name:"stub_opt.encoder" ()
 
-let compile_encoder ~enc ~mint ~named roots : encoder =
+let compile_encoder ?config ~enc ~mint ~named roots : encoder =
+  let config =
+    match config with Some c -> c | None -> Opt_config.default ()
+  in
   let fp = Plan_cache.fp_create ~enc ~mint ~named () in
-  (* the compiled closures bake in the plan's scatter-gather decisions,
-     so the SG configuration is part of the encoder key too *)
+  (* the compiled closures bake in the plan's scatter-gather decisions
+     and the pass pipeline that shaped the plan, so both are part of the
+     encoder key too *)
   Plan_cache.fp_tag fp
-    (Printf.sprintf "sg=%b,%d" (Mbuf.sg_enabled ()) (Mbuf.borrow_threshold ()));
+    (Printf.sprintf "sg=%b,%d,%s" (Mbuf.sg_enabled ())
+       (Mbuf.borrow_threshold ())
+       (Opt_config.selection_fingerprint config));
   List.iter (Plan_cache.fp_root fp) roots;
   Plan_cache.find_or_add encoder_cache (Plan_cache.fp_contents fp) (fun () ->
-      encoder_of_plan ~enc (Plan_cache.plan ~enc ~mint ~named roots))
+      encoder_of_plan ~enc (Plan_cache.plan ~enc ~mint ~named ~config roots))
 
 (* ------------------------------------------------------------------ *)
 (* Decoding                                                             *)
@@ -1284,14 +1290,15 @@ let decoder_of_dplan ~(enc : Encoding.t) (plan : Dplan.plan) : decoder =
 let decoder_cache : decoder Plan_cache.t =
   Plan_cache.create ~name:"stub_opt.decoder" ()
 
-let droot_key ~enc ~mint ~named ~views droots =
+let droot_key ~enc ~mint ~named ~views ~config droots =
   let fp = Plan_cache.fp_create ~enc ~mint ~named () in
-  (* the compiled closures bake in the plan's view decisions, so the
-     view/SG configuration is part of the decoder key, mirroring the
-     encoder's sg tag *)
+  (* the compiled closures bake in the plan's view decisions and its
+     pass pipeline, so the view/SG/pipeline configuration is part of
+     the decoder key, mirroring the encoder's sg tag *)
   Plan_cache.fp_tag fp
-    (Printf.sprintf "views=%b,sg=%b,%d" views (Mbuf.sg_enabled ())
-       (Mbuf.borrow_threshold ()));
+    (Printf.sprintf "views=%b,sg=%b,%d,%s" views (Mbuf.sg_enabled ())
+       (Mbuf.borrow_threshold ())
+       (Opt_config.selection_fingerprint config));
   List.iter
     (fun droot ->
       match droot with
@@ -1314,10 +1321,14 @@ let to_dplan_droot (droot : droot) : Dplan_compile.droot =
   | Dconst_str s -> Dplan_compile.Dconst_str s
   | Dvalue (idx, pres) -> Dplan_compile.Dvalue (idx, pres)
 
-let compile_decoder ~enc ~mint ~named ?(views = false) droots : decoder =
+let compile_decoder ?config ~enc ~mint ~named ?(views = false) droots :
+    decoder =
+  let config =
+    match config with Some c -> c | None -> Opt_config.default ()
+  in
   Plan_cache.find_or_add decoder_cache
-    (droot_key ~enc ~mint ~named ~views droots)
+    (droot_key ~enc ~mint ~named ~views ~config droots)
     (fun () ->
       decoder_of_dplan ~enc
-        (Plan_cache.dplan ~enc ~mint ~named ~views
+        (Plan_cache.dplan ~enc ~mint ~named ~views ~config
            (List.map to_dplan_droot droots)))

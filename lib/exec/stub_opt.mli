@@ -27,25 +27,30 @@ type droot =
   | Dvalue of Mint.idx * Pres.t
 
 val compile_encoder :
+  ?config:Opt_config.t ->
   enc:Encoding.t ->
   mint:Mint.t ->
   named:(string * (Mint.idx * Pres.t)) list ->
   Plan_compile.root list ->
   encoder
-(** Compile (through the shared {!Plan_cache}, with the {!Peephole}
-    pass applied) and memoize: structurally identical requests reuse
-    one encoder closure.  Encoders carry no per-call state, so sharing
-    is safe under any call pattern. *)
+(** Compile (through the shared {!Plan_cache}, with the {!Pass}
+    pipeline [config] selects — default {!Opt_config.default}) and
+    memoize: structurally identical requests reuse one encoder closure.
+    The config's pass selection is part of the closure-cache key, so
+    differently configured pipelines never share an encoder.  Encoders
+    carry no per-call state, so sharing is safe under any call
+    pattern. *)
 
 val compile_decoder :
+  ?config:Opt_config.t ->
   enc:Encoding.t ->
   mint:Mint.t ->
   named:(string * (Mint.idx * Pres.t)) list ->
   ?views:bool ->
   droot list ->
   decoder
-(** Compile through the shared {!Plan_cache.dplan} (with the
-    {!Peephole} decode pass applied) and memoize: structurally
+(** Compile through the shared {!Plan_cache.dplan} (with the {!Pass}
+    decode pipeline [config] selects) and memoize: structurally
     identical messages reuse one decoder closure.  A cached decoder
     raises the same typed errors as a fresh one and keeps no state
     across messages.  [views:true] (default false) enables zero-copy

@@ -151,3 +151,26 @@ let rec count_ops ops =
           + List.fold_left (fun a arm -> a + count_ops arm.a_body) 0 arms
           + (match default with None -> 0 | Some (_, b) -> count_ops b))
     0 ops
+
+(* Static count of capacity-check sites, the encode analog of
+   Dplan.count_checks: explicit reservations plus the self-ensuring
+   variable-length ops.  A static proxy for comparing plan shapes —
+   loop bodies count once, whatever the runtime trip count. *)
+let rec count_checks ops =
+  List.fold_left
+    (fun acc op ->
+      acc
+      +
+      match op with
+      | Align _ | Call _ -> 0
+      | Chunk { check; _ } -> if check then 1 else 0
+      | Ensure_count _ -> 1
+      (* each of these reserves for itself before writing *)
+      | Put_const_str _ | Put_string _ | Put_byteseq _ | Put_atom_array _
+      | Put_blit _ | Put_len _ ->
+          1
+      | Loop { body; _ } -> count_checks body
+      | Switch { arms; default; _ } ->
+          List.fold_left (fun a arm -> a + count_checks arm.a_body) 0 arms
+          + (match default with None -> 0 | Some (_, b) -> count_checks b))
+    0 ops

@@ -109,3 +109,8 @@ val pp_rv : Format.formatter -> rv -> unit
 
 val count_ops : op list -> int
 (** Total number of nodes, a rough proxy for generated code size. *)
+
+val count_checks : op list -> int
+(** Static count of capacity-check sites (checked chunks, explicit
+    reservations, and the self-ensuring variable-length ops); loop
+    bodies count once.  The encode analog of {!Dplan.count_checks}. *)

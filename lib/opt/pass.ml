@@ -1,0 +1,218 @@
+(* The instrumented pass manager over plan programs.
+
+   A pass is a named, byte-preserving transform over an encode
+   (Plan_compile.plan) or decode (Dplan.plan) program.  The manager
+   runs the selected passes in registration order and instruments each
+   one: wall time, node and bounds-check counts before and after, and
+   (optionally) the structural verifier.  Traces stream through a
+   callback so flick dump-plan --trace-passes and the bench ablations
+   can show per-pass deltas without re-deriving them.
+
+   The registered passes are the three rewrite classes of the encode
+   peephole engine and the two of the decode engine.  Composing them in
+   order reproduces the monolithic Peephole.optimize_plan /
+   optimize_dplan output exactly (pinned by test/test_passes.ml):
+   coalescing only creates bigger chunks, fusion only consumes
+   single-chunk loop bodies coalescing has already normalized, and
+   hoisting only fires on loops fusion left behind — the same
+   bottom-up order the monolith applies within its single traversal. *)
+
+type trace = {
+  tr_side : string;  (** "encode" or "decode" *)
+  tr_pass : string;
+  tr_nodes_before : int;
+  tr_nodes_after : int;
+  tr_checks_before : int;
+  tr_checks_after : int;
+  tr_wall_ns : float;
+  tr_verified : bool;
+}
+
+type 'p pass = {
+  p_name : string;
+  p_transform : ?stats:Peephole.stats -> 'p -> 'p;
+}
+
+(* Per-program-kind instrumentation hooks. *)
+type 'p side = {
+  s_name : string;
+  s_nodes : 'p -> int;
+  s_checks : 'p -> int;
+  s_verify : 'p -> (unit, Plan_verify.error) result;
+}
+
+exception
+  Verify_failed of { side : string; pass : string; error : Plan_verify.error }
+
+let () =
+  Printexc.register_printer (function
+    | Verify_failed { side; pass; error } ->
+        Some
+          (Printf.sprintf "Pass.Verify_failed(%s plan after %S: %s)" side pass
+             (Plan_verify.error_to_string error))
+    | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Registered passes                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let plan_totals (p : Plan_compile.plan) count =
+  count p.Plan_compile.p_ops
+  + List.fold_left
+      (fun acc (_, ops) -> acc + count ops)
+      0 p.Plan_compile.p_subs
+
+let dplan_totals (p : Dplan.plan) count =
+  count p.Dplan.d_ops
+  + List.fold_left
+      (fun acc (_, f) -> acc + count f.Dplan.f_ops)
+      0 p.Dplan.d_subs
+
+let encode_side =
+  {
+    s_name = "encode";
+    s_nodes = (fun p -> plan_totals p Mplan.count_ops);
+    s_checks = (fun p -> plan_totals p Mplan.count_checks);
+    s_verify = Plan_verify.check_plan;
+  }
+
+let decode_side =
+  {
+    s_name = "decode";
+    s_nodes = (fun p -> dplan_totals p Dplan.count_ops);
+    s_checks = (fun p -> dplan_totals p Dplan.count_checks);
+    s_verify = Plan_verify.check_dplan;
+  }
+
+let rw_only ~coalesce ~fuse ~hoist ~dead =
+  {
+    Peephole.rw_coalesce = coalesce;
+    rw_fuse = fuse;
+    rw_hoist = hoist;
+    rw_dead = dead;
+  }
+
+(* Dead-op removal rides with coalescing (dropping an [Align 1] between
+   two chunks is what lets them merge); the redundant-reservation drop
+   rides with fusion (only fusion creates the array op that triggers
+   it).  The registration order is load-bearing: see the head comment. *)
+let encode_passes =
+  [
+    {
+      p_name = "chunk-coalesce";
+      p_transform =
+        (fun ?stats p ->
+          Peephole.optimize_plan_with
+            (rw_only ~coalesce:true ~fuse:false ~hoist:false ~dead:true)
+            ?stats p);
+    };
+    {
+      p_name = "loop-blit-fusion";
+      p_transform =
+        (fun ?stats p ->
+          Peephole.optimize_plan_with
+            (rw_only ~coalesce:false ~fuse:true ~hoist:false ~dead:false)
+            ?stats p);
+    };
+    {
+      p_name = "ensure-hoist";
+      p_transform =
+        (fun ?stats p ->
+          Peephole.optimize_plan_with
+            (rw_only ~coalesce:false ~fuse:false ~hoist:true ~dead:false)
+            ?stats p);
+    };
+  ]
+
+let decode_passes =
+  [
+    {
+      p_name = "chunk-merge";
+      p_transform =
+        (fun ?stats p ->
+          Peephole.optimize_dplan_with
+            (rw_only ~coalesce:true ~fuse:false ~hoist:false ~dead:true)
+            ?stats p);
+    };
+    {
+      p_name = "loop-ensure-hoist";
+      p_transform =
+        (fun ?stats p ->
+          Peephole.optimize_dplan_with
+            (rw_only ~coalesce:false ~fuse:false ~hoist:true ~dead:false)
+            ?stats p);
+    };
+  ]
+
+let encode_pass_names = List.map (fun p -> p.p_name) encode_passes
+let decode_pass_names = List.map (fun p -> p.p_name) decode_passes
+let pass_names = encode_pass_names @ decode_pass_names
+
+let validate (config : Opt_config.t) =
+  match config.Opt_config.selection with
+  | Opt_config.All | Opt_config.Nothing -> Ok ()
+  | Opt_config.Only names -> (
+      match List.filter (fun n -> not (List.mem n pass_names)) names with
+      | [] -> Ok ()
+      | unknown ->
+          Error
+            (Printf.sprintf "unknown pass%s %s (known: %s)"
+               (if List.length unknown > 1 then "es" else "")
+               (String.concat ", " unknown)
+               (String.concat ", " pass_names)))
+
+let select passes (sel : Opt_config.selection) =
+  match sel with
+  | Opt_config.All -> passes
+  | Opt_config.Nothing -> []
+  | Opt_config.Only names ->
+      List.filter (fun p -> List.mem p.p_name names) passes
+
+(* ------------------------------------------------------------------ *)
+(* The runner                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let verify_or_raise side pass prog =
+  match side.s_verify prog with
+  | Ok () -> ()
+  | Error error ->
+      raise (Verify_failed { side = side.s_name; pass; error })
+
+let run ?config ?stats ?on_trace side passes prog =
+  let config =
+    match config with Some c -> c | None -> Opt_config.default ()
+  in
+  let verify = config.Opt_config.verify in
+  (* check the compiler's own output before any pass touches it *)
+  if verify then verify_or_raise side "<compile>" prog;
+  List.fold_left
+    (fun prog pass ->
+      let nodes_before = side.s_nodes prog
+      and checks_before = side.s_checks prog in
+      let t0 = Unix.gettimeofday () in
+      let prog' = pass.p_transform ?stats prog in
+      let wall_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+      if verify then verify_or_raise side pass.p_name prog';
+      (match on_trace with
+      | None -> ()
+      | Some f ->
+          f
+            {
+              tr_side = side.s_name;
+              tr_pass = pass.p_name;
+              tr_nodes_before = nodes_before;
+              tr_nodes_after = side.s_nodes prog';
+              tr_checks_before = checks_before;
+              tr_checks_after = side.s_checks prog';
+              tr_wall_ns = wall_ns;
+              tr_verified = verify;
+            });
+      prog')
+    prog
+    (select passes config.Opt_config.selection)
+
+let run_encode ?config ?stats ?on_trace plan =
+  run ?config ?stats ?on_trace encode_side encode_passes plan
+
+let run_decode ?config ?stats ?on_trace plan =
+  run ?config ?stats ?on_trace decode_side decode_passes plan

@@ -25,6 +25,20 @@ let rewrites st =
   st.chunks_merged + st.aligns_removed + st.loops_fused + st.ensures_hoisted
   + st.dead_removed
 
+(* Which rewrite classes the engine may apply.  The pass manager
+   ({!Pass}) runs the engine once per class so each registered pass is
+   observable on its own; [all_rewrites] is the historical monolithic
+   behavior (still what {!optimize} does). *)
+type rewrite_set = {
+  rw_coalesce : bool;
+  rw_fuse : bool;
+  rw_hoist : bool;
+  rw_dead : bool;
+}
+
+let all_rewrites =
+  { rw_coalesce = true; rw_fuse = true; rw_hoist = true; rw_dead = true }
+
 let is_pow2 n = n > 0 && n land (n - 1) = 0
 
 let shift_item delta (it : Mplan.item) =
@@ -139,13 +153,13 @@ let droppable (op : Mplan.op) =
   | Mplan.Chunk { size = 0; items = []; _ } -> true
   | _ -> false
 
-let rec optimize_ops st ops =
-  merge st (List.concat_map (optimize_op st) ops)
+let rec optimize_ops rw st ops =
+  merge rw st (List.concat_map (optimize_op rw st) ops)
 
-and optimize_op st (op : Mplan.op) : Mplan.op list =
+and optimize_op rw st (op : Mplan.op) : Mplan.op list =
   match op with
   | Mplan.Loop { arr; via; var; body } -> (
-      let body = optimize_ops st body in
+      let body = optimize_ops rw st body in
       match (body, via) with
       (* (b) gapless scalar loop -> one tight array blit; the engine and
          the C emitter both self-ensure in Put_atom_array *)
@@ -159,13 +173,14 @@ and optimize_op st (op : Mplan.op) : Mplan.op list =
               };
           ],
           (Mplan.Via_seq _ | Mplan.Via_fixed _) )
-        when v = var && size = atom.Mplan.size && fusable_atom atom ->
+        when rw.rw_fuse && v = var && size = atom.Mplan.size
+             && fusable_atom atom ->
           st.loops_fused <- st.loops_fused + 1;
           [ Mplan.Put_atom_array { arr; via; atom; with_len = false } ]
       (* (c) every iteration advances at most [u] bytes: one reservation
          of len * u outside the loop covers every chunk inside *)
-      | _, (Mplan.Via_seq _ | Mplan.Via_fixed _) when has_checked_chunk body
-        -> (
+      | _, (Mplan.Via_seq _ | Mplan.Via_fixed _)
+        when rw.rw_hoist && has_checked_chunk body -> (
           match bounded_advance_ops body with
           | Some u when u > 0 ->
               st.ensures_hoisted <- st.ensures_hoisted + 1;
@@ -187,43 +202,46 @@ and optimize_op st (op : Mplan.op) : Mplan.op list =
             arms =
               List.map
                 (fun (a : Mplan.arm) ->
-                  { a with Mplan.a_body = optimize_ops st a.Mplan.a_body })
+                  { a with Mplan.a_body = optimize_ops rw st a.Mplan.a_body })
                 arms;
-            default = Option.map (fun (m, b) -> (m, optimize_ops st b)) default;
+            default =
+              Option.map (fun (m, b) -> (m, optimize_ops rw st b)) default;
           };
       ]
   | op -> [ op ]
 
 (* Adjacent-op rewriting, run to a fixpoint (each rewrite shortens the
    list, so this terminates). *)
-and merge st = function
+and merge rw st = function
   | [] -> []
-  | [ op ] when droppable op ->
+  | [ op ] when rw.rw_dead && droppable op ->
       st.dead_removed <- st.dead_removed + 1;
       []
   | [ op ] -> [ op ]
   | op1 :: op2 :: rest -> (
-      match rewrite_pair st op1 op2 with
-      | Some ops -> merge st (ops @ rest)
-      | None -> op1 :: merge st (op2 :: rest))
+      match rewrite_pair rw st op1 op2 with
+      | Some ops -> merge rw st (ops @ rest)
+      | None -> op1 :: merge rw st (op2 :: rest))
 
-and rewrite_pair st (op1 : Mplan.op) (op2 : Mplan.op) : Mplan.op list option =
-  if droppable op1 then (
+and rewrite_pair rw st (op1 : Mplan.op) (op2 : Mplan.op) :
+    Mplan.op list option =
+  if rw.rw_dead && droppable op1 then (
     st.dead_removed <- st.dead_removed + 1;
     Some [ op2 ])
-  else if droppable op2 then (
+  else if rw.rw_dead && droppable op2 then (
     st.dead_removed <- st.dead_removed + 1;
     Some [ op1 ])
   else
     match (op1, op2) with
     (* consecutive power-of-two alignments: the larger one implies the
        smaller, in either order *)
-    | Mplan.Align a, Mplan.Align b when is_pow2 a && is_pow2 b ->
+    | Mplan.Align a, Mplan.Align b
+      when rw.rw_coalesce && is_pow2 a && is_pow2 b ->
         st.aligns_removed <- st.aligns_removed + 1;
         Some [ Mplan.Align (max a b) ]
     (* (a) adjacent chunks become one: offsets of the second shift by the
        first's size, one capacity check covers both *)
-    | Mplan.Chunk c1, Mplan.Chunk c2 ->
+    | Mplan.Chunk c1, Mplan.Chunk c2 when rw.rw_coalesce ->
         st.chunks_merged <- st.chunks_merged + 1;
         Some
           [
@@ -237,18 +255,22 @@ and rewrite_pair st (op1 : Mplan.op) (op2 : Mplan.op) : Mplan.op list option =
           ]
     (* a reservation made redundant by a fused array op that reserves
        for itself (compiler invariant: an Ensure_count covers exactly
-       the array op that follows it) *)
+       the array op that follows it) — part of the fusion pass, since
+       only fusion creates the [Put_atom_array] that triggers it *)
     | ( Mplan.Ensure_count { arr; via; unit_size },
         Mplan.Put_atom_array { arr = arr2; via = via2; atom; with_len = false }
       )
-      when arr = arr2 && via = via2 && unit_size = atom.Mplan.size ->
+      when rw.rw_fuse && arr = arr2 && via = via2
+           && unit_size = atom.Mplan.size ->
         st.dead_removed <- st.dead_removed + 1;
         Some [ op2 ]
     | _, _ -> None
 
-let optimize ?stats ops =
+let optimize_with rw ?stats ops =
   let st = match stats with Some st -> st | None -> fresh_stats () in
-  optimize_ops st ops
+  optimize_ops rw st ops
+
+let optimize ?stats ops = optimize_with all_rewrites ?stats ops
 
 (* ------------------------------------------------------------------ *)
 (* The decode-plan pass                                                 *)
@@ -335,21 +357,23 @@ let d_droppable (op : Dplan.dop) =
   | Dplan.D_chunk { size = 0; items = []; _ } -> true
   | _ -> false
 
-let rec optimize_dops_st st ops =
-  merge_d st (List.concat_map (optimize_dop st) ops)
+let rec optimize_dops_st rw st ops =
+  merge_d rw st (List.concat_map (optimize_dop rw st) ops)
 
-and optimize_dframe st frame =
-  { frame with Dplan.f_ops = optimize_dops_st st frame.Dplan.f_ops }
+and optimize_dframe rw st frame =
+  { frame with Dplan.f_ops = optimize_dops_st rw st frame.Dplan.f_ops }
 
-and optimize_dop st (op : Dplan.dop) : Dplan.dop list =
+and optimize_dop rw st (op : Dplan.dop) : Dplan.dop list =
   match op with
   | Dplan.D_loop { count; ensure; frame; slot } -> (
-      let frame = optimize_dframe st frame in
+      let frame = optimize_dframe rw st frame in
       match ensure with
       | Some _ -> [ Dplan.D_loop { count; ensure; frame; slot } ]
       | None -> (
-          if not (d_has_checked_chunk frame.Dplan.f_ops) then
-            [ Dplan.D_loop { count; ensure; frame; slot } ]
+          if
+            (not rw.rw_hoist)
+            || not (d_has_checked_chunk frame.Dplan.f_ops)
+          then [ Dplan.D_loop { count; ensure; frame; slot } ]
           else
             match exact_advance frame.Dplan.f_ops with
             | Some u when u > 0 ->
@@ -369,7 +393,7 @@ and optimize_dop st (op : Dplan.dop) : Dplan.dop list =
                 ]
             | _ -> [ Dplan.D_loop { count; ensure; frame; slot } ]))
   | Dplan.D_opt { frame; slot } ->
-      [ Dplan.D_opt { frame = optimize_dframe st frame; slot } ]
+      [ Dplan.D_opt { frame = optimize_dframe rw st frame; slot } ]
   | Dplan.D_switch { discrim_atom; arms; default; slot } ->
       [
         Dplan.D_switch
@@ -378,42 +402,45 @@ and optimize_dop st (op : Dplan.dop) : Dplan.dop list =
             arms =
               List.map
                 (fun (a : Dplan.darm) ->
-                  { a with Dplan.d_frame = optimize_dframe st a.Dplan.d_frame })
+                  { a with
+                    Dplan.d_frame = optimize_dframe rw st a.Dplan.d_frame
+                  })
                 arms;
-            default = Option.map (optimize_dframe st) default;
+            default = Option.map (optimize_dframe rw st) default;
             slot;
           };
       ]
   | op -> [ op ]
 
-and merge_d st = function
+and merge_d rw st = function
   | [] -> []
-  | [ op ] when d_droppable op ->
+  | [ op ] when rw.rw_dead && d_droppable op ->
       st.dead_removed <- st.dead_removed + 1;
       []
   | [ op ] -> [ op ]
   | op1 :: op2 :: rest -> (
-      match rewrite_dpair st op1 op2 with
-      | Some ops -> merge_d st (ops @ rest)
-      | None -> op1 :: merge_d st (op2 :: rest))
+      match rewrite_dpair rw st op1 op2 with
+      | Some ops -> merge_d rw st (ops @ rest)
+      | None -> op1 :: merge_d rw st (op2 :: rest))
 
-and rewrite_dpair st (op1 : Dplan.dop) (op2 : Dplan.dop) :
+and rewrite_dpair rw st (op1 : Dplan.dop) (op2 : Dplan.dop) :
     Dplan.dop list option =
-  if d_droppable op1 then (
+  if rw.rw_dead && d_droppable op1 then (
     st.dead_removed <- st.dead_removed + 1;
     Some [ op2 ])
-  else if d_droppable op2 then (
+  else if rw.rw_dead && d_droppable op2 then (
     st.dead_removed <- st.dead_removed + 1;
     Some [ op1 ])
   else
     match (op1, op2) with
-    | Dplan.D_align a, Dplan.D_align b when is_pow2 a && is_pow2 b ->
+    | Dplan.D_align a, Dplan.D_align b
+      when rw.rw_coalesce && is_pow2 a && is_pow2 b ->
         st.aligns_removed <- st.aligns_removed + 1;
         Some [ Dplan.D_align (max a b) ]
     (* adjacent chunks: one [need] covers both; merging never changes
        which messages decode (the total byte requirement is identical,
        only checked earlier) *)
-    | Dplan.D_chunk c1, Dplan.D_chunk c2 ->
+    | Dplan.D_chunk c1, Dplan.D_chunk c2 when rw.rw_coalesce ->
         st.chunks_merged <- st.chunks_merged + 1;
         Some
           [
@@ -426,27 +453,33 @@ and rewrite_dpair st (op1 : Dplan.dop) (op2 : Dplan.dop) :
           ]
     | _, _ -> None
 
-let optimize_dops ?stats ops =
+let optimize_dops_with rw ?stats ops =
   let st = match stats with Some st -> st | None -> fresh_stats () in
-  optimize_dops_st st ops
+  optimize_dops_st rw st ops
 
-let optimize_dplan ?stats (plan : Dplan.plan) =
+let optimize_dops ?stats ops = optimize_dops_with all_rewrites ?stats ops
+
+let optimize_dplan_with rw ?stats (plan : Dplan.plan) =
   let st = match stats with Some st -> st | None -> fresh_stats () in
   {
     plan with
-    Dplan.d_ops = optimize_dops_st st plan.Dplan.d_ops;
+    Dplan.d_ops = optimize_dops_st rw st plan.Dplan.d_ops;
     d_subs =
       List.map
-        (fun (name, frame) -> (name, optimize_dframe st frame))
+        (fun (name, frame) -> (name, optimize_dframe rw st frame))
         plan.Dplan.d_subs;
   }
 
-let optimize_plan ?stats (plan : Plan_compile.plan) =
+let optimize_dplan ?stats plan = optimize_dplan_with all_rewrites ?stats plan
+
+let optimize_plan_with rw ?stats (plan : Plan_compile.plan) =
   let st = match stats with Some st -> st | None -> fresh_stats () in
   {
-    Plan_compile.p_ops = optimize_ops st plan.Plan_compile.p_ops;
+    Plan_compile.p_ops = optimize_ops rw st plan.Plan_compile.p_ops;
     p_subs =
       List.map
-        (fun (name, ops) -> (name, optimize_ops st ops))
+        (fun (name, ops) -> (name, optimize_ops rw st ops))
         plan.Plan_compile.p_subs;
   }
+
+let optimize_plan ?stats plan = optimize_plan_with all_rewrites ?stats plan

@@ -37,13 +37,36 @@ val fresh_stats : unit -> stats
 val rewrites : stats -> int
 (** Total rewrites recorded in a {!stats}. *)
 
+type rewrite_set = {
+  rw_coalesce : bool;
+      (** adjacent-chunk merging and power-of-two alignment merging *)
+  rw_fuse : bool;
+      (** gapless scalar loop → {!Mplan.op.Put_atom_array}, and the
+          removal of reservations the fused op makes redundant *)
+  rw_hoist : bool;  (** loop reservation hoisting *)
+  rw_dead : bool;  (** no-op alignments and empty chunks *)
+}
+(** Which rewrite classes one run of the engine may apply.  The pass
+    manager ({!Pass}) registers one pass per class; composing them in
+    registration order reproduces {!optimize} exactly (pinned by
+    test/test_passes.ml). *)
+
+val all_rewrites : rewrite_set
+
 val optimize : ?stats:stats -> Mplan.op list -> Mplan.op list
-(** Optimize one op sequence.  Idempotent; counts rewrites into
-    [stats] when given. *)
+(** Optimize one op sequence with every rewrite enabled.  Idempotent;
+    counts rewrites into [stats] when given. *)
+
+val optimize_with :
+  rewrite_set -> ?stats:stats -> Mplan.op list -> Mplan.op list
+(** {!optimize} restricted to the given rewrite classes. *)
 
 val optimize_plan : ?stats:stats -> Plan_compile.plan -> Plan_compile.plan
 (** {!optimize} applied to a plan's body and each of its marshal
     subroutines. *)
+
+val optimize_plan_with :
+  rewrite_set -> ?stats:stats -> Plan_compile.plan -> Plan_compile.plan
 
 val optimize_dops : ?stats:stats -> Dplan.dop list -> Dplan.dop list
 (** The same rewrites over unmarshal plans: chunk coalescing, alignment
@@ -56,6 +79,15 @@ val optimize_dops : ?stats:stats -> Dplan.dop list -> Dplan.dop list
     truncated input a merged check may surface as [Short_buffer] where
     the original plan failed a later, smaller check. *)
 
+val optimize_dops_with :
+  rewrite_set -> ?stats:stats -> Dplan.dop list -> Dplan.dop list
+(** {!optimize_dops} restricted to the given rewrite classes
+    ([rw_fuse] has no decode-side effect: the compiler emits
+    [D_get_atom_array] directly). *)
+
 val optimize_dplan : ?stats:stats -> Dplan.plan -> Dplan.plan
 (** {!optimize_dops} applied to a decode plan's body and each of its
     unmarshal subroutines. *)
+
+val optimize_dplan_with :
+  rewrite_set -> ?stats:stats -> Dplan.plan -> Dplan.plan

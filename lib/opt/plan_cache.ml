@@ -11,7 +11,14 @@
 (* Generic named caches with a stats registry                           *)
 (* ------------------------------------------------------------------ *)
 
-type stats = { hits : int; misses : int; entries : int }
+(* One stats record serves every cache — encode plans, decode plans,
+   and the stub engine's closure caches — so reports (bench warm-cache
+   sections) can render them uniformly: hit rate AND eviction pressure
+   for both sides, not hit rates on one and nothing on the other. *)
+type stats = { hits : int; misses : int; entries : int; evictions : int }
+
+let hit_rate st =
+  float_of_int st.hits /. float_of_int (max 1 (st.hits + st.misses))
 
 type 'a t = {
   name : string;
@@ -19,19 +26,35 @@ type 'a t = {
   max_entries : int;
   mutable hits : int;
   mutable misses : int;
+  mutable evictions : int;
 }
 
 let registry : (string * (unit -> stats) * (unit -> unit)) list ref = ref []
 
 let cache_stats c =
-  { hits = c.hits; misses = c.misses; entries = Hashtbl.length c.tbl }
+  {
+    hits = c.hits;
+    misses = c.misses;
+    entries = Hashtbl.length c.tbl;
+    evictions = c.evictions;
+  }
 
 let create ~name ?(max_entries = 512) () =
-  let c = { name; tbl = Hashtbl.create 64; max_entries; hits = 0; misses = 0 } in
+  let c =
+    {
+      name;
+      tbl = Hashtbl.create 64;
+      max_entries;
+      hits = 0;
+      misses = 0;
+      evictions = 0;
+    }
+  in
   let reset () =
     Hashtbl.reset c.tbl;
     c.hits <- 0;
-    c.misses <- 0
+    c.misses <- 0;
+    c.evictions <- 0
   in
   registry := !registry @ [ (name, (fun () -> cache_stats c), reset) ];
   c
@@ -46,8 +69,12 @@ let find_or_add c key build =
       let v = build () in
       (* overflow policy: drop everything rather than track recency —
          stub compilation working sets are tiny and the rebuild is the
-         cached computation itself *)
-      if Hashtbl.length c.tbl >= c.max_entries then Hashtbl.reset c.tbl;
+         cached computation itself.  Every dropped entry counts as an
+         eviction so the pressure is visible in reports. *)
+      if Hashtbl.length c.tbl >= c.max_entries then begin
+        c.evictions <- c.evictions + Hashtbl.length c.tbl;
+        Hashtbl.reset c.tbl
+      end;
       Hashtbl.add c.tbl key v;
       v
 
@@ -282,7 +309,7 @@ let fp_contents fp = Buffer.contents fp.buf
 let plans : Plan_compile.plan t = create ~name:"plan" ()
 
 let plan_key ~enc ~mint ~named ?start ?(unroll_limit = 64) ?(chunked = true)
-    ?(peephole = true) ~sg ~sg_threshold roots =
+    ~config ~sg ~sg_threshold roots =
   let fp = fp_create ~enc ~mint ~named () in
   (match start with
   | None -> Buffer.add_char fp.buf '-'
@@ -290,7 +317,10 @@ let plan_key ~enc ~mint ~named ?start ?(unroll_limit = 64) ?(chunked = true)
       fp_int fp base;
       fp_int fp off);
   fp_int fp unroll_limit;
-  fp_int fp ((if chunked then 1 else 0) + if peephole then 2 else 0);
+  fp_int fp (if chunked then 1 else 0);
+  (* the pass selection changes the plan (verify does not, and is
+     deliberately left out of the key) *)
+  fp_str fp (Opt_config.selection_fingerprint config);
   (* scatter-gather options change the plan's structure (Put_blit
      splitting, borrow marks), so they are part of the key *)
   fp_int fp (if sg then 1 else 0);
@@ -298,16 +328,19 @@ let plan_key ~enc ~mint ~named ?start ?(unroll_limit = 64) ?(chunked = true)
   List.iter (fp_root fp) roots;
   fp_contents fp
 
-let plan ~enc ~mint ~named ?start ?unroll_limit ?chunked ?(peephole = true)
-    ?sg ?sg_threshold roots =
+let plan ~enc ~mint ~named ?start ?unroll_limit ?chunked ?config ?sg
+    ?sg_threshold roots =
   (* resolve the Mbuf-global defaults now so the key and the compile see
      the same values even if the globals change between calls *)
+  let config =
+    match config with Some c -> c | None -> Opt_config.default ()
+  in
   let sg = match sg with Some b -> b | None -> Mbuf.sg_enabled () in
   let sg_threshold =
     match sg_threshold with Some n -> n | None -> Mbuf.borrow_threshold ()
   in
   let key =
-    plan_key ~enc ~mint ~named ?start ?unroll_limit ?chunked ~peephole ~sg
+    plan_key ~enc ~mint ~named ?start ?unroll_limit ?chunked ~config ~sg
       ~sg_threshold roots
   in
   find_or_add plans key (fun () ->
@@ -315,7 +348,7 @@ let plan ~enc ~mint ~named ?start ?unroll_limit ?chunked ?(peephole = true)
         Plan_compile.compile ~enc ~mint ~named ?start ?unroll_limit ?chunked
           ~sg ~sg_threshold roots
       in
-      if peephole then Peephole.optimize_plan p else p)
+      Pass.run_encode ~config p)
 
 (* ------------------------------------------------------------------ *)
 (* The shared compiled-decode-plan cache                                *)
@@ -336,15 +369,17 @@ let fp_droot fp (droot : Dplan_compile.droot) =
       Buffer.add_string fp.buf " Dv";
       fp_type fp idx pres
 
-let dplan_key ~enc ~mint ~named ?start ?(chunked = true) ?(peephole = true)
-    ~views ~view_threshold droots =
+let dplan_key ~enc ~mint ~named ?start ?(chunked = true) ~config ~views
+    ~view_threshold droots =
   let fp = fp_create ~enc ~mint ~named () in
   (match start with
   | None -> Buffer.add_char fp.buf '-'
   | Some (base, off) ->
       fp_int fp base;
       fp_int fp off);
-  fp_int fp ((if chunked then 1 else 0) + if peephole then 2 else 0);
+  fp_int fp (if chunked then 1 else 0);
+  (* as for [plan_key]: the selection is keyed, the verify flag is not *)
+  fp_str fp (Opt_config.selection_fingerprint config);
   (* view options change the plan's structure (byte-run splitting, view
      marks), so they are part of the key *)
   fp_int fp (if views then 1 else 0);
@@ -352,10 +387,13 @@ let dplan_key ~enc ~mint ~named ?start ?(chunked = true) ?(peephole = true)
   List.iter (fp_droot fp) droots;
   fp_contents fp
 
-let dplan ~enc ~mint ~named ?start ?chunked ?(peephole = true) ?views
-    ?view_threshold droots =
+let dplan ~enc ~mint ~named ?start ?chunked ?config ?views ?view_threshold
+    droots =
   (* as for [plan]: resolve the Mbuf-global defaults now so the key and
      the compile agree even if the globals change between calls *)
+  let config =
+    match config with Some c -> c | None -> Opt_config.default ()
+  in
   let views = match views with Some b -> b | None -> false in
   let view_threshold =
     match view_threshold with
@@ -363,7 +401,7 @@ let dplan ~enc ~mint ~named ?start ?chunked ?(peephole = true) ?views
     | None -> Mbuf.borrow_threshold ()
   in
   let key =
-    dplan_key ~enc ~mint ~named ?start ?chunked ~peephole ~views
+    dplan_key ~enc ~mint ~named ?start ?chunked ~config ~views
       ~view_threshold droots
   in
   find_or_add dplans key (fun () ->
@@ -371,4 +409,4 @@ let dplan ~enc ~mint ~named ?start ?chunked ?(peephole = true) ?views
         Dplan_compile.compile ~enc ~mint ~named ?start ?chunked ~views
           ~view_threshold droots
       in
-      if peephole then Peephole.optimize_dplan p else p)
+      Pass.run_decode ~config p)

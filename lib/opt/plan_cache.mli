@@ -9,11 +9,14 @@
     {!Mint.set} safe: a changed graph fingerprints differently.
 
     {!plan} is the front door used by the stub engine and the C back
-    ends: compile once, run the {!Peephole} pass, and reuse the result
-    for every structurally identical request.  The generic cache type
-    below also backs the engine's encoder/decoder closure caches, all
-    visible through one stats registry (surfaced by
-    [bench/main.exe planopt]). *)
+    ends: compile once, run the {!Pass} pipeline the {!Opt_config}
+    selects, and reuse the result for every structurally identical
+    request.  The pass {e selection} is part of every key, so
+    differently configured pipelines cache separately; the verify flag
+    is not, since verification never changes a plan.  The generic cache
+    type below also backs the engine's encoder/decoder closure caches,
+    all visible through one stats registry (surfaced by
+    [bench/main.exe planopt] and [decplan]). *)
 
 (** {1 Generic named caches} *)
 
@@ -21,7 +24,13 @@ type 'a t
 (** A string-keyed memo table with hit/miss counters, registered under
     a name at creation. *)
 
-type stats = { hits : int; misses : int; entries : int }
+type stats = { hits : int; misses : int; entries : int; evictions : int }
+(** One record for every cache, encode and decode alike: [evictions]
+    counts entries dropped by overflow resets since the last
+    {!reset_all}. *)
+
+val hit_rate : stats -> float
+(** [hits / (hits + misses)], 0. when the cache was never consulted. *)
 
 val create : name:string -> ?max_entries:int -> unit -> 'a t
 (** [max_entries] (default 512) bounds the table; on overflow the whole
@@ -79,13 +88,15 @@ val plan :
   ?start:int * int ->
   ?unroll_limit:int ->
   ?chunked:bool ->
-  ?peephole:bool ->
+  ?config:Opt_config.t ->
   ?sg:bool ->
   ?sg_threshold:int ->
   Plan_compile.root list ->
   Plan_compile.plan
-(** Cached, peephole-optimized {!Plan_compile.compile} (same defaults).
-    [peephole:false] skips the optimizer (and caches separately).  The
+(** Cached, pass-optimized {!Plan_compile.compile} (same defaults).
+    [config] (default {!Opt_config.default}) selects the {!Pass}
+    pipeline; its selection fingerprints into the key, so
+    [Opt_config.none] caches separately from the full pipeline.  The
     scatter-gather options (defaulting to the {!Mbuf} globals) are part
     of the cache key, since they change plan structure. *)
 
@@ -95,12 +106,12 @@ val dplan :
   named:(string * (Mint.idx * Pres.t)) list ->
   ?start:int * int ->
   ?chunked:bool ->
-  ?peephole:bool ->
+  ?config:Opt_config.t ->
   ?views:bool ->
   ?view_threshold:int ->
   Dplan_compile.droot list ->
   Dplan.plan
-(** Cached, peephole-optimized {!Dplan_compile.compile} (same
-    defaults).  The view options are part of the cache key — a
-    view-enabled plan splits large byte runs differently — as are
-    [chunked] and [peephole]. *)
+(** Cached, pass-optimized {!Dplan_compile.compile} (same defaults).
+    The view options are part of the cache key — a view-enabled plan
+    splits large byte runs differently — as are [chunked] and the
+    [config] pass selection. *)

@@ -1,0 +1,363 @@
+(* Structural verifier for marshal (Mplan) and unmarshal (Dplan)
+   programs.
+
+   The plan compilers and the peephole passes maintain invariants that
+   no OCaml type enforces: chunk items sit at monotone, non-overlapping
+   offsets inside their chunk; a chunk whose capacity check was dropped
+   is only legal under a reservation that covers it; a hoisted decode
+   reservation must equal the frame's exact advance (decode checks
+   *raise*, so an upper bound would reject well-formed messages); loop
+   variables are referenced only in scope; decode slots are written
+   once and read only after being written; Call/D_call targets resolve.
+
+   The verifier re-derives each invariant independently of the
+   optimizer (e.g. it has its own exact-advance computation), so a bug
+   in a rewrite cannot hide behind the same bug in its checker.  It is
+   pure and raises nothing: the result is [Ok ()] or [Error e] with a
+   path into the plan.  The pass manager runs it after every pass when
+   FLICK_VERIFY_PLANS=1 (or Opt_config.verify) is set. *)
+
+type error = { ev_path : string; ev_msg : string }
+
+let error_to_string e = Printf.sprintf "%s: %s" e.ev_path e.ev_msg
+
+exception Fail of error
+
+let failv path fmt =
+  Printf.ksprintf (fun m -> raise (Fail { ev_path = path; ev_msg = m })) fmt
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+(* ------------------------------------------------------------------ *)
+(* Shared atom / rv checks                                              *)
+(* ------------------------------------------------------------------ *)
+
+let check_atom path (a : Mplan.atom) =
+  if a.Mplan.size < 1 || a.Mplan.size > 16 then
+    failv path "atom size %d out of range" a.Mplan.size;
+  if not (is_pow2 a.Mplan.align) then
+    failv path "atom alignment %d is not a power of two" a.Mplan.align
+
+(* Loop variables ([Rvar]) must be bound by an enclosing [Loop]. *)
+let rec check_rv path vars (rv : Mplan.rv) =
+  match rv with
+  | Mplan.Rparam _ -> ()
+  | Mplan.Rvar v ->
+      if not (List.mem v vars) then
+        failv path "loop variable v%d referenced out of scope" v
+  | Mplan.Rfield { base; _ }
+  | Mplan.Rarm { base; _ }
+  | Mplan.Ropt base
+  | Mplan.Rdiscrim { base; _ } ->
+      check_rv path vars base
+
+(* ------------------------------------------------------------------ *)
+(* Encode plans                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Static chunk layout: offsets monotone (no overlapping stores), every
+   item inside the chunk's span, extents consistent with atom sizes and
+   blit lengths + padding. *)
+let check_chunk_items path ~vars ~size items =
+  let _end =
+    List.fold_left
+      (fun prev_end (it : Mplan.item) ->
+        let off, extent =
+          match it with
+          | Mplan.It_atom { off; atom; src } ->
+              check_atom path atom;
+              check_rv path vars src;
+              (off, atom.Mplan.size)
+          | Mplan.It_bytes { off; len; pad; src } ->
+              if len < 0 then failv path "byte run with negative length %d" len;
+              if pad < 0 then failv path "byte run with negative padding %d" pad;
+              check_rv path vars src;
+              (off, len + pad)
+          | Mplan.It_const { off; atom; _ } ->
+              check_atom path atom;
+              (off, atom.Mplan.size)
+        in
+        if off < prev_end then
+          failv path
+            "item at offset %d overlaps the previous item (ends at %d): \
+             offsets not monotone"
+            off prev_end;
+        if off + extent > size then
+          failv path "item [%d, %d) extends past the chunk size %d" off
+            (off + extent) size;
+        off + extent)
+      0 items
+  in
+  ()
+
+(* [covered] is true inside a loop whose bytes are pre-reserved — by an
+   [Ensure_count] immediately before the [Loop] (the compiler and the
+   hoisting pass both emit exactly that shape) — and propagates into
+   nested loops and switch arms, mirroring [Peephole.clear_checks].
+   The central store-safety invariant: a chunk that skips its own
+   capacity check ([check = false]) must be covered (size-0 chunks are
+   exempt: they write nothing). *)
+let rec check_ops path ~subs ~covered ~vars ops =
+  let check_op i prev (op : Mplan.op) =
+    let path = Printf.sprintf "%s[%d]" path i in
+    match op with
+    | Mplan.Align a ->
+        if not (is_pow2 a) then
+          failv path "alignment %d is not a power of two" a
+    | Mplan.Chunk { size; align; items; check } ->
+        if size < 0 then failv path "chunk with negative size %d" size;
+        if align < 1 then failv path "chunk alignment %d < 1" align;
+        if (not check) && (not covered) && size > 0 then
+          failv path
+            "chunk skips its capacity check outside any covering \
+             reservation (dropped ensure)";
+        check_chunk_items path ~vars ~size items
+    | Mplan.Ensure_count { arr; via = _; unit_size } ->
+        if unit_size <= 0 then
+          failv path "reservation with non-positive unit size %d" unit_size;
+        check_rv path vars arr
+    | Mplan.Put_const_str { pad; _ } ->
+        if pad < 0 then failv path "negative padding %d" pad
+    | Mplan.Put_string { src; len_src; pad; _ } ->
+        if pad < 0 then failv path "negative padding unit %d" pad;
+        check_rv path vars src;
+        Option.iter (check_rv path vars) len_src
+    | Mplan.Put_byteseq { arr; pad; _ } ->
+        if pad < 0 then failv path "negative padding unit %d" pad;
+        check_rv path vars arr
+    | Mplan.Put_atom_array { arr; atom; _ } ->
+        check_atom path atom;
+        check_rv path vars arr
+    | Mplan.Put_blit { src; len; pad } ->
+        if len < 0 then failv path "blit with negative length %d" len;
+        if pad < 0 then failv path "blit with negative padding %d" pad;
+        check_rv path vars src
+    | Mplan.Put_len { arr; _ } -> check_rv path vars arr
+    | Mplan.Loop { arr; via = _; var; body } ->
+        check_rv path vars arr;
+        if List.mem var vars then
+          failv path "loop variable v%d shadows an enclosing loop's" var;
+        let covered =
+          covered
+          ||
+          (* pre-reserved iff the loop directly follows its reservation *)
+          match prev with
+          | Some (Mplan.Ensure_count { arr = e_arr; _ }) -> e_arr = arr
+          | _ -> false
+        in
+        check_ops (path ^ ".loop") ~subs ~covered ~vars:(var :: vars) body
+    | Mplan.Switch { u; arms; default; _ } ->
+        check_rv path vars u;
+        List.iter
+          (fun (a : Mplan.arm) ->
+            check_ops
+              (Printf.sprintf "%s.arm(%s)" path a.Mplan.a_member)
+              ~subs ~covered ~vars a.Mplan.a_body)
+          arms;
+        (match default with
+        | None -> ()
+        | Some (m, b) ->
+            check_ops
+              (Printf.sprintf "%s.default(%s)" path m)
+              ~subs ~covered ~vars b)
+    | Mplan.Call (name, rv) ->
+        if not (List.mem name subs) then
+          failv path "call to undefined marshal subroutine %S" name;
+        check_rv path vars rv
+  in
+  ignore
+    (List.fold_left
+       (fun (i, prev) op ->
+         check_op i prev op;
+         (i + 1, Some op))
+       (0, None) ops)
+
+let check_plan (plan : Plan_compile.plan) =
+  let subs = List.map fst plan.Plan_compile.p_subs in
+  try
+    check_ops "ops" ~subs ~covered:false ~vars:[] plan.Plan_compile.p_ops;
+    List.iter
+      (fun (name, ops) ->
+        check_ops
+          (Printf.sprintf "subs(%s)" name)
+          ~subs ~covered:false ~vars:[] ops)
+      plan.Plan_compile.p_subs;
+    Ok ()
+  with Fail e -> Error e
+
+(* ------------------------------------------------------------------ *)
+(* Decode plans                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Independent re-derivation of the decode hoisting bound: the exact
+   number of bytes one run of the ops consumes, or None when it is data
+   dependent.  Must agree with a [D_loop]'s [ensure] annotation. *)
+let rec d_exact_advance_op (op : Dplan.dop) : int option =
+  match op with
+  | Dplan.D_align a -> if a <= 1 then Some 0 else None
+  | Dplan.D_chunk { size; _ } -> Some size
+  | Dplan.D_loop { count = Dplan.Dc_fixed n; frame; _ } ->
+      Option.map (fun u -> n * u) (d_exact_advance frame.Dplan.f_ops)
+  | Dplan.D_get_atom_array { count = Dplan.Dc_fixed n; atom; _ }
+    when atom.Mplan.align <= 1 ->
+      Some (n * atom.Mplan.size)
+  | _ -> None
+
+and d_exact_advance ops =
+  List.fold_left
+    (fun acc op ->
+      match (acc, d_exact_advance_op op) with
+      | Some a, Some b -> Some (a + b)
+      | _, _ -> None)
+    (Some 0) ops
+
+let check_dcount path (c : Dplan.dcount) =
+  match c with
+  | Dplan.Dc_fixed n ->
+      if n < 0 then failv path "fixed count %d is negative" n
+  | Dplan.Dc_len { min_len; max_len; _ } -> (
+      if min_len < 0 then failv path "negative minimum length %d" min_len;
+      match max_len with
+      | Some m when m < min_len ->
+          failv path "length bounds inverted: min %d > max %d" min_len m
+      | _ -> ())
+
+(* One decoding scope.  Slot discipline: every op (and chunk item)
+   writes its slot exactly once, slots lie inside the frame, and the
+   shape tree reads only slots some op has written. *)
+let rec check_frame path ~subs ~covered (f : Dplan.frame) =
+  let written = Hashtbl.create 8 in
+  let write path slot =
+    if slot < 0 || slot >= f.Dplan.f_nslots then
+      failv path "slot %d outside the frame's %d slots" slot f.Dplan.f_nslots;
+    if Hashtbl.mem written slot then
+      failv path "slot %d written twice" slot;
+    Hashtbl.add written slot ()
+  in
+  let check_op i (op : Dplan.dop) =
+    let path = Printf.sprintf "%s[%d]" path i in
+    match op with
+    | Dplan.D_align a ->
+        if a >= 2 && not (is_pow2 a) then
+          failv path "alignment %d is not a power of two" a
+    | Dplan.D_chunk { size; items; check } ->
+        if size < 0 then failv path "chunk with negative size %d" size;
+        if (not check) && (not covered) && size > 0 then
+          failv path
+            "chunk skips its bounds check outside any hoisted reservation \
+             (dropped need)";
+        let _end =
+          List.fold_left
+            (fun prev_end (it : Dplan.ditem) ->
+              let off, extent =
+                match it with
+                | Dplan.Dit_atom { off; atom; slot } ->
+                    check_atom path atom;
+                    write path slot;
+                    (off, atom.Mplan.size)
+                | Dplan.Dit_bytes { off; len; slot } ->
+                    if len < 0 then
+                      failv path "byte run with negative length %d" len;
+                    write path slot;
+                    (off, len)
+                | Dplan.Dit_const { off; atom; _ } ->
+                    check_atom path atom;
+                    (off, atom.Mplan.size)
+              in
+              if off < prev_end then
+                failv path
+                  "item at offset %d overlaps the previous item (ends at \
+                   %d): offsets not monotone"
+                  off prev_end;
+              if off + extent > size then
+                failv path "item [%d, %d) extends past the chunk size %d" off
+                  (off + extent) size;
+              off + extent)
+            0 items
+        in
+        ()
+    | Dplan.D_get_string { max_len; slot; _ } ->
+        (match max_len with
+        | Some m when m < 0 -> failv path "negative maximum length %d" m
+        | _ -> ());
+        write path slot
+    | Dplan.D_const_str _ -> ()
+    | Dplan.D_get_byteseq { count; slot; _ } ->
+        check_dcount path count;
+        write path slot
+    | Dplan.D_get_atom_array { count; atom; slot } ->
+        check_dcount path count;
+        check_atom path atom;
+        write path slot
+    | Dplan.D_loop { count; ensure; frame; slot } ->
+        check_dcount path count;
+        write path slot;
+        (match ensure with
+        | None -> check_frame (path ^ ".loop") ~subs ~covered frame
+        | Some u ->
+            if u <= 0 then
+              failv path "hoisted reservation of %d bytes is not positive" u;
+            (match d_exact_advance frame.Dplan.f_ops with
+            | Some v when v = u -> ()
+            | Some v ->
+                failv path
+                  "hoisted reservation says %d bytes/iteration but the \
+                   frame consumes exactly %d"
+                  u v
+            | None ->
+                failv path
+                  "hoisted reservation of %d bytes over a frame whose \
+                   advance is data dependent"
+                  u);
+            check_frame (path ^ ".loop") ~subs ~covered:true frame)
+    | Dplan.D_opt { frame; slot } ->
+        write path slot;
+        check_frame (path ^ ".opt") ~subs ~covered:false frame
+    | Dplan.D_switch { arms; default; slot; _ } ->
+        write path slot;
+        List.iter
+          (fun (a : Dplan.darm) ->
+            if a.Dplan.d_case < 0 then
+              failv path "arm with negative case index %d" a.Dplan.d_case;
+            check_frame
+              (Printf.sprintf "%s.arm(%d)" path a.Dplan.d_case)
+              ~subs ~covered:false a.Dplan.d_frame)
+          arms;
+        Option.iter
+          (check_frame (path ^ ".default") ~subs ~covered:false)
+          default
+    | Dplan.D_call { sub; slot } ->
+        if not (List.mem sub subs) then
+          failv path "call to undefined unmarshal subroutine %S" sub;
+        write path slot
+  in
+  List.iteri check_op f.Dplan.f_ops;
+  let rec check_shape path (sh : Dplan.shape) =
+    match sh with
+    | Dplan.Sh_void -> ()
+    | Dplan.Sh_slot s ->
+        if s < 0 || s >= f.Dplan.f_nslots then
+          failv path "shape reads slot %d outside the frame's %d slots" s
+            f.Dplan.f_nslots;
+        if not (Hashtbl.mem written s) then
+          failv path "shape reads slot %d that no op writes" s
+    | Dplan.Sh_struct subs_sh -> List.iter (check_shape path) subs_sh
+  in
+  check_shape (path ^ ".shape") f.Dplan.f_shape
+
+let check_dplan (plan : Dplan.plan) =
+  let subs = List.map fst plan.Dplan.d_subs in
+  try
+    check_frame "ops" ~subs ~covered:false
+      {
+        Dplan.f_nslots = plan.Dplan.d_nslots;
+        f_ops = plan.Dplan.d_ops;
+        f_shape = Dplan.Sh_struct plan.Dplan.d_shapes;
+      };
+    List.iter
+      (fun (name, frame) ->
+        check_frame (Printf.sprintf "subs(%s)" name) ~subs ~covered:false
+          frame)
+      plan.Dplan.d_subs;
+    Ok ()
+  with Fail e -> Error e

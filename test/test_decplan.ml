@@ -29,7 +29,7 @@ let rng = Random.State.make [| 0xdec0de |]
 let naive_config = Stub_naive.default_config
 
 let encode enc (c : Test_engines.case) v =
-  Test_engines.encode_with Stub_opt.compile_encoder enc c
+  Test_engines.encode_with Test_engines.opt_encoder enc c
     (Test_engines.roots_of c) v
 
 let decoders enc (c : Test_engines.case) =

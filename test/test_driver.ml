@@ -175,9 +175,119 @@ let reuse_tests =
         Alcotest.(check int) "two code lines" 2 n);
   ]
 
+(* -- dump-plan: the CLI's plan and pass-trace rendering --------------- *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let occurrences hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i acc =
+    if i + nn > nh then acc
+    else go (i + 1) (if String.sub hay i nn = needle then acc + 1 else acc)
+  in
+  if nn = 0 then 0 else go 0 0
+
+let render ~op ?config mode =
+  Plan_dump.render ~idl:Driver.Idl_corba ~pres:Driver.Pres_rpcgen
+    ~backend:Driver.Back_oncrpc ~interface:None ~op ~mode ?config
+    ~file:"bench.idl" ~source:Paper_fixtures.bench_idl ()
+
+(* Wall time is the one non-deterministic token in a pass trace:
+   collapse "  123.4us" to "_us" (and with it, the column padding). *)
+let normalize_trace s =
+  let norm_token tok =
+    let n = String.length tok in
+    if
+      n > 2
+      && String.sub tok (n - 2) 2 = "us"
+      && float_of_string_opt (String.sub tok 0 (n - 2)) <> None
+    then "_us"
+    else tok
+  in
+  String.concat "\n"
+    (List.map
+       (fun line ->
+         String.concat " "
+           (List.filter
+              (fun t -> t <> "")
+              (List.map norm_token (String.split_on_char ' ' line))))
+       (String.split_on_char '\n' s))
+
+let read_golden name =
+  let path = Filename.concat "goldens" name in
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let dump_tests =
+  [
+    test "dump-plan renders one marshal plan per stub" (fun () ->
+        let out = render ~op:None Plan_dump.Marshal in
+        Alcotest.(check int) "three stubs" 3
+          (occurrences out "=== marshal plan:"));
+    test "dump-plan --decode renders the unmarshal plan" (fun () ->
+        let out = render ~op:(Some "send_dirents") Plan_dump.Unmarshal in
+        Alcotest.(check int) "one stub" 1
+          (occurrences out "=== unmarshal plan:");
+        Alcotest.(check int) "others filtered out" 0
+          (occurrences out "send_ints"));
+    test "dump-plan --trace-passes matches golden (send_dirents, oncrpc)"
+      (fun () ->
+        let out =
+          render ~op:(Some "send_dirents") ~config:Opt_config.all
+            Plan_dump.Trace
+        in
+        Alcotest.(check string) "dump_trace_dirents_oncrpc.golden"
+          (String.trim (read_golden "dump_trace_dirents_oncrpc.golden"))
+          (String.trim (normalize_trace out)));
+    test "dump-plan --trace-passes marks every pass verified" (fun () ->
+        (* Trace mode forces the verifier on, whatever the config says *)
+        let out =
+          render ~op:(Some "send_rects") ~config:Opt_config.all
+            Plan_dump.Trace
+        in
+        let n_passes =
+          List.length Pass.encode_pass_names
+          + List.length Pass.decode_pass_names
+        in
+        (* each side is traced twice: chunked and per-datum *)
+        Alcotest.(check int) "one verified mark per pass and mode"
+          (2 * n_passes)
+          (occurrences out "verified");
+        Alcotest.(check bool) "encode side traced" true
+          (contains out "encode (chunked):");
+        Alcotest.(check bool) "decode side traced" true
+          (contains out "decode (per-datum):"));
+    test "dump-plan with an unknown --op is a diagnostic, not a crash"
+      (fun () ->
+        match render ~op:(Some "nosuch") Plan_dump.Marshal with
+        | _ -> Alcotest.fail "expected a diagnostic"
+        | exception Diag.Error d ->
+            let msg = Diag.to_string d in
+            Alcotest.(check bool) "names the missing op" true
+              (contains msg "nosuch");
+            Alcotest.(check bool) "lists the operations that exist" true
+              (contains msg "send_ints"));
+    test "dump-plan with an unknown pass name is a diagnostic" (fun () ->
+        match
+          render ~op:None ~config:(Opt_config.only [ "bogus" ])
+            Plan_dump.Marshal
+        with
+        | _ -> Alcotest.fail "expected a diagnostic"
+        | exception Diag.Error d ->
+            Alcotest.(check bool) "names the bad pass" true
+              (contains (Diag.to_string d) "bogus"));
+  ]
+
 let suite =
   [
     ("driver:matrix", driver_tests);
     ("driver:fixtures", fixture_tests);
+    ("driver:dump-plan", dump_tests);
     ("driver:reuse", reuse_tests);
   ]

@@ -130,6 +130,11 @@ let encode_with compile enc (c : case) roots v =
   encoder buf [| v |];
   Bytes.to_string (Mbuf.contents buf)
 
+(* eta-expanded so [encode_with] sees the exact arrow it expects despite
+   [?config] on the real entry point *)
+let opt_encoder ~enc ~mint ~named roots =
+  Stub_opt.compile_encoder ~enc ~mint ~named roots
+
 let roots_of (c : case) =
   [
     Plan_compile.Rvalue
@@ -143,7 +148,7 @@ let hex s =
 
 let equivalence_prop enc (c : case) =
   let v = Workload.random rng c.mint ~named:c.named c.idx c.pres in
-  let opt = encode_with Stub_opt.compile_encoder enc c (roots_of c) v in
+  let opt = encode_with opt_encoder enc c (roots_of c) v in
   let naive =
     encode_with
       (Stub_naive.compile_encoder ~config:Stub_naive.default_config)
@@ -188,7 +193,7 @@ let peephole_prop enc (c : case) =
 
 let roundtrip_prop enc decoder_of (c : case) =
   let v = Workload.random rng c.mint ~named:c.named c.idx c.pres in
-  let bytes = encode_with Stub_opt.compile_encoder enc c (roots_of c) v in
+  let bytes = encode_with opt_encoder enc c (roots_of c) v in
   let decoder = decoder_of ~enc ~mint:c.mint ~named:c.named (droots_of c) in
   let r = Mbuf.reader_of_bytes (Bytes.of_string bytes) in
   match decoder r with
@@ -206,7 +211,7 @@ let bound_prop enc (c : case) =
   | None -> true
   | Some bound ->
       let v = Workload.random rng c.mint ~named:c.named c.idx c.pres in
-      let bytes = encode_with Stub_opt.compile_encoder enc c (roots_of c) v in
+      let bytes = encode_with opt_encoder enc c (roots_of c) v in
       if String.length bytes > bound then
         QCheck.Test.fail_reportf
           "encoded %d bytes exceeds analyzed bound %d on %s"
@@ -263,7 +268,12 @@ let recursive_tests =
         (fun () ->
           let c = linked_list_case () in
           let v = list_value 17 in
-          let opt = encode_with Stub_opt.compile_encoder enc c (roots_of c) v in
+          let opt =
+    encode_with
+      (fun ~enc ~mint ~named roots ->
+        Stub_opt.compile_encoder ~enc ~mint ~named roots)
+      enc c (roots_of c) v
+  in
           let naive =
             encode_with
               (Stub_naive.compile_encoder ~config:Stub_naive.default_config)
@@ -293,7 +303,7 @@ let root_tests =
         let droots = Stub_opt.Dconst_str "read_dir" :: droots_of c in
         List.iter
           (fun enc ->
-            let opt = encode_with Stub_opt.compile_encoder enc c roots v in
+            let opt = encode_with opt_encoder enc c roots v in
             let naive =
               encode_with
                 (Stub_naive.compile_encoder ~config:Stub_naive.default_config)
@@ -319,7 +329,7 @@ let root_tests =
         let droots = Stub_opt.Dconst_int (7L, kind) :: droots_of c in
         List.iter
           (fun enc ->
-            let bytes = encode_with Stub_opt.compile_encoder enc c roots v in
+            let bytes = encode_with opt_encoder enc c roots v in
             let dec =
               Stub_opt.compile_decoder ~enc ~mint:c.mint ~named:c.named droots
             in
@@ -348,7 +358,7 @@ let failure_tests =
         let c = gen_case (Random.State.make [| 3 |]) in
         let v = Workload.random rng c.mint ~named:c.named c.idx c.pres in
         let enc = Encoding.cdr in
-        let bytes = encode_with Stub_opt.compile_encoder enc c (roots_of c) v in
+        let bytes = encode_with opt_encoder enc c (roots_of c) v in
         let dec =
           Stub_opt.compile_decoder ~enc ~mint:c.mint ~named:c.named (droots_of c)
         in

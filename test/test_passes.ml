@@ -1,0 +1,497 @@
+(* The instrumented pass manager, the structural plan verifier, and the
+   pipeline configuration.
+
+   Three pins hold the refactor together:
+   1. the registered pipeline (all passes, registration order) produces
+      structurally identical plans to the monolithic Peephole entry
+      points, on the paper fixtures and on >= 500 random cases per
+      paper encoding — with the verifier running after every pass;
+   2. the verifier rejects seeded corruptions (dropped reservations,
+      non-monotone chunk items, out-of-scope loop variables, undefined
+      subroutines, bad decode hoists, slot misuse) with the expected
+      diagnostics;
+   3. Opt_config round-trips its string syntax, and the pass selection
+      — but not the verify flag — separates plan-cache entries. *)
+
+let test name f = Alcotest.test_case name `Quick f
+
+let verify_all = { Opt_config.selection = Opt_config.All; verify = true }
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* -- 1. pipeline == monolith, verified after every pass --------------- *)
+
+let fixture_specs () =
+  List.concat_map
+    (fun (enc, style) ->
+      let pc = Paper_fixtures.bench_presc style in
+      List.map
+        (fun op -> (enc, Paper_fixtures.request_spec pc ~op))
+        [ "send_ints"; "send_rects"; "send_dirents" ])
+    [
+      (Encoding.xdr, `Rpcgen);
+      (Encoding.cdr, `Corba);
+      (Encoding.mach3, `Rpcgen);
+    ]
+
+let to_droot = function
+  | Stub_opt.Dconst_int (v, k) -> Dplan_compile.Dconst_int (v, k)
+  | Stub_opt.Dconst_str s -> Dplan_compile.Dconst_str s
+  | Stub_opt.Dvalue (i, p) -> Dplan_compile.Dvalue (i, p)
+
+let fixture_tests =
+  [
+    test "default pipeline = monolithic peephole on the paper fixtures"
+      (fun () ->
+        List.iter
+          (fun (enc, spec) ->
+            let mint = spec.Paper_fixtures.ms_mint
+            and named = spec.Paper_fixtures.ms_named in
+            List.iter
+              (fun chunked ->
+                let raw =
+                  Plan_compile.compile ~enc ~mint ~named ~chunked
+                    spec.Paper_fixtures.ms_roots
+                in
+                let piped = Pass.run_encode ~config:verify_all raw in
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s chunked=%b: encode pipeline = monolith"
+                     enc.Encoding.name chunked)
+                  true
+                  (piped = Peephole.optimize_plan raw))
+              [ true; false ];
+            let draw =
+              Dplan_compile.compile ~enc ~mint ~named
+                (List.map to_droot spec.Paper_fixtures.ms_droots)
+            in
+            let dpiped = Pass.run_decode ~config:verify_all draw in
+            Alcotest.(check bool)
+              (Printf.sprintf "%s: decode pipeline = monolith"
+                 enc.Encoding.name)
+              true
+              (dpiped = Peephole.optimize_dplan draw))
+          (fixture_specs ()));
+    test "trace instrumentation: every pass, chained counts" (fun () ->
+        let pc = Paper_fixtures.bench_presc `Rpcgen in
+        let spec = Paper_fixtures.request_spec pc ~op:"send_dirents" in
+        let raw =
+          Plan_compile.compile ~enc:Encoding.xdr
+            ~mint:spec.Paper_fixtures.ms_mint
+            ~named:spec.Paper_fixtures.ms_named ~chunked:false
+            spec.Paper_fixtures.ms_roots
+        in
+        let traces = ref [] in
+        ignore
+          (Pass.run_encode ~config:verify_all
+             ~on_trace:(fun tr -> traces := !traces @ [ tr ])
+             raw);
+        let traces = !traces in
+        Alcotest.(check (list string))
+          "one trace per registered pass, in order" Pass.encode_pass_names
+          (List.map (fun (tr : Pass.trace) -> tr.Pass.tr_pass) traces);
+        let raw_nodes = Pass.encode_side.Pass.s_nodes raw in
+        (match traces with
+        | first :: _ ->
+            Alcotest.(check int)
+              "first pass sees the compiler's node count" raw_nodes
+              first.Pass.tr_nodes_before
+        | [] -> Alcotest.fail "no traces");
+        List.iter
+          (fun (tr : Pass.trace) ->
+            Alcotest.(check bool)
+              (tr.Pass.tr_pass ^ ": verified flag set") true
+              tr.Pass.tr_verified;
+            Alcotest.(check string) "side" "encode" tr.Pass.tr_side)
+          traces;
+        ignore
+          (List.fold_left
+             (fun prev (tr : Pass.trace) ->
+               (match prev with
+               | Some n ->
+                   Alcotest.(check int)
+                     (tr.Pass.tr_pass ^ ": counts chain") n
+                     tr.Pass.tr_nodes_before
+               | None -> ());
+               Some tr.Pass.tr_nodes_after)
+             None traces));
+    test "empty selection returns the compiler's plan untouched" (fun () ->
+        let pc = Paper_fixtures.bench_presc `Rpcgen in
+        let spec = Paper_fixtures.request_spec pc ~op:"send_rects" in
+        let raw =
+          Plan_compile.compile ~enc:Encoding.xdr
+            ~mint:spec.Paper_fixtures.ms_mint
+            ~named:spec.Paper_fixtures.ms_named ~chunked:false
+            spec.Paper_fixtures.ms_roots
+        in
+        let traces = ref 0 in
+        let out =
+          Pass.run_encode ~config:Opt_config.none
+            ~on_trace:(fun _ -> incr traces)
+            raw
+        in
+        Alcotest.(check bool) "identical" true (out = raw);
+        Alcotest.(check int) "no passes ran" 0 !traces);
+  ]
+
+(* -- random plans: pipeline verified pass-by-pass, equal to monolith -- *)
+
+let rng = Random.State.make [| 0x9a55 |]
+
+let pipeline_prop enc (c : Test_engines.case) =
+  let mint = c.Test_engines.mint and named = c.Test_engines.named in
+  let roots = Test_engines.roots_of c in
+  let v =
+    Workload.random rng mint ~named c.Test_engines.idx c.Test_engines.pres
+  in
+  let encode plan =
+    let buf = Mbuf.create 64 in
+    Stub_opt.encoder_of_plan ~enc plan buf [| v |];
+    Bytes.to_string (Mbuf.contents buf)
+  in
+  List.iter
+    (fun chunked ->
+      let raw = Plan_compile.compile ~enc ~mint ~named ~chunked roots in
+      (* verify_all makes the runner verify the compiler's output and
+         every pass's output; any violation raises Pass.Verify_failed,
+         which qcheck reports as the counterexample *)
+      let piped = Pass.run_encode ~config:verify_all raw in
+      if piped <> Peephole.optimize_plan raw then
+        QCheck.Test.fail_reportf
+          "encode pipeline (chunked=%b) differs from monolith on %s" chunked
+          c.Test_engines.label;
+      (* keep the wire honest too: the piped plan encodes the same bytes *)
+      if encode piped <> encode raw then
+        QCheck.Test.fail_reportf "pipeline changed bytes (chunked=%b) on %s"
+          chunked c.Test_engines.label)
+    [ true; false ];
+  let draw =
+    Dplan_compile.compile ~enc ~mint ~named
+      [ Dplan_compile.Dvalue (c.Test_engines.idx, c.Test_engines.pres) ]
+  in
+  let dpiped = Pass.run_decode ~config:verify_all draw in
+  if dpiped <> Peephole.optimize_dplan draw then
+    QCheck.Test.fail_reportf "decode pipeline differs from monolith on %s"
+      c.Test_engines.label;
+  true
+
+let property_tests =
+  List.map
+    (fun enc ->
+      QCheck_alcotest.to_alcotest
+        (QCheck.Test.make ~count:500
+           ~name:
+             (Printf.sprintf
+                "%s: 500 random plans verified after every pass, pipeline = \
+                 monolith"
+                enc.Encoding.name)
+           Test_engines.arbitrary_case (pipeline_prop enc)))
+    [ Encoding.xdr; Encoding.cdr; Encoding.mach3 ]
+
+(* -- 2. seeded corruptions are rejected ------------------------------- *)
+
+let a32 =
+  {
+    Mplan.kind = Encoding.Kint { bits = 32; signed = true };
+    size = 4;
+    align = 4;
+  }
+
+let p0 = Mplan.Rparam { index = 0; name = "p"; deref = false }
+let seq_via = Mplan.Via_seq { len_field = "len"; buf_field = "val" }
+
+let expect_reject what (result : (unit, Plan_verify.error) result) needle =
+  match result with
+  | Ok () -> Alcotest.failf "%s: verifier accepted the corrupted plan" what
+  | Error e ->
+      let msg = Plan_verify.error_to_string e in
+      if not (contains msg needle) then
+        Alcotest.failf "%s: diagnostic %S does not mention %S" what msg needle
+
+let eplan ops = { Plan_compile.p_ops = ops; p_subs = [] }
+
+let negative_tests =
+  [
+    test "corruption: unchecked chunk without covering reservation"
+      (fun () ->
+        (* the ensure the compiler would emit before the loop, dropped *)
+        let plan =
+          eplan
+            [
+              Mplan.Loop
+                {
+                  arr = p0;
+                  via = seq_via;
+                  var = 0;
+                  body =
+                    [
+                      Mplan.Chunk
+                        {
+                          size = 4;
+                          align = 4;
+                          items =
+                            [
+                              Mplan.It_atom
+                                { off = 0; atom = a32; src = Mplan.Rvar 0 };
+                            ];
+                          check = false;
+                        };
+                    ];
+                };
+            ]
+        in
+        expect_reject "dropped ensure" (Plan_verify.check_plan plan)
+          "dropped ensure";
+        (* and the same shape with the reservation present is accepted *)
+        let ok =
+          eplan
+            [
+              Mplan.Ensure_count { arr = p0; via = seq_via; unit_size = 4 };
+              Mplan.Loop
+                {
+                  arr = p0;
+                  via = seq_via;
+                  var = 0;
+                  body =
+                    [
+                      Mplan.Chunk
+                        {
+                          size = 4;
+                          align = 4;
+                          items =
+                            [
+                              Mplan.It_atom
+                                { off = 0; atom = a32; src = Mplan.Rvar 0 };
+                            ];
+                          check = false;
+                        };
+                    ];
+                };
+            ]
+        in
+        Alcotest.(check bool)
+          "covered shape accepted" true
+          (Plan_verify.check_plan ok = Ok ()));
+    test "corruption: overlapping chunk item offsets" (fun () ->
+        let plan =
+          eplan
+            [
+              Mplan.Chunk
+                {
+                  size = 8;
+                  align = 4;
+                  items =
+                    [
+                      Mplan.It_atom { off = 0; atom = a32; src = p0 };
+                      Mplan.It_atom { off = 2; atom = a32; src = p0 };
+                    ];
+                  check = true;
+                };
+            ]
+        in
+        expect_reject "overlap" (Plan_verify.check_plan plan) "not monotone");
+    test "corruption: chunk item past the chunk's span" (fun () ->
+        let plan =
+          eplan
+            [
+              Mplan.Chunk
+                {
+                  size = 2;
+                  align = 4;
+                  items = [ Mplan.It_atom { off = 0; atom = a32; src = p0 } ];
+                  check = true;
+                };
+            ]
+        in
+        expect_reject "extent" (Plan_verify.check_plan plan) "extends past");
+    test "corruption: loop variable referenced out of scope" (fun () ->
+        let plan =
+          eplan
+            [
+              Mplan.Chunk
+                {
+                  size = 4;
+                  align = 4;
+                  items =
+                    [ Mplan.It_atom { off = 0; atom = a32; src = Mplan.Rvar 3 } ];
+                  check = true;
+                };
+            ]
+        in
+        expect_reject "scope" (Plan_verify.check_plan plan) "out of scope");
+    test "corruption: call to an undefined marshal subroutine" (fun () ->
+        expect_reject "call"
+          (Plan_verify.check_plan (eplan [ Mplan.Call ("node_17", p0) ]))
+          "undefined marshal subroutine");
+    test "corruption: decode shape reads a slot no op writes" (fun () ->
+        let plan =
+          {
+            Dplan.d_nslots = 1;
+            d_ops = [];
+            d_shapes = [ Dplan.Sh_slot 0 ];
+            d_subs = [];
+          }
+        in
+        expect_reject "undefined slot" (Plan_verify.check_dplan plan)
+          "no op writes");
+    test "corruption: hoisted decode reservation with the wrong stride"
+      (fun () ->
+        let frame u =
+          {
+            Dplan.d_nslots = 1;
+            d_ops =
+              [
+                Dplan.D_loop
+                  {
+                    count = Dplan.Dc_fixed 2;
+                    ensure = Some u;
+                    frame =
+                      {
+                        Dplan.f_nslots = 1;
+                        f_ops =
+                          [
+                            Dplan.D_chunk
+                              {
+                                size = 4;
+                                items =
+                                  [
+                                    Dplan.Dit_atom
+                                      { off = 0; atom = a32; slot = 0 };
+                                  ];
+                                check = false;
+                              };
+                          ];
+                        f_shape = Dplan.Sh_slot 0;
+                      };
+                    slot = 0;
+                  };
+              ];
+            d_shapes = [ Dplan.Sh_slot 0 ];
+            d_subs = [];
+          }
+        in
+        expect_reject "bad stride"
+          (Plan_verify.check_dplan (frame 8))
+          "consumes exactly";
+        Alcotest.(check bool)
+          "correct stride accepted" true
+          (Plan_verify.check_dplan (frame 4) = Ok ()));
+    test "corruption: decode slot written twice" (fun () ->
+        let plan =
+          {
+            Dplan.d_nslots = 1;
+            d_ops =
+              [
+                Dplan.D_get_string { max_len = None; slot = 0; view = false };
+                Dplan.D_get_string { max_len = None; slot = 0; view = false };
+              ];
+            d_shapes = [ Dplan.Sh_slot 0 ];
+            d_subs = [];
+          }
+        in
+        expect_reject "double write" (Plan_verify.check_dplan plan)
+          "written twice");
+    test "the pass manager raises Verify_failed on corrupt input" (fun () ->
+        let bad = eplan [ Mplan.Call ("node_17", p0) ] in
+        match Pass.run_encode ~config:verify_all bad with
+        | _ -> Alcotest.fail "expected Verify_failed"
+        | exception Pass.Verify_failed { side; pass; error } ->
+            Alcotest.(check string) "side" "encode" side;
+            Alcotest.(check string) "blamed on the compiler" "<compile>" pass;
+            Alcotest.(check bool)
+              "diagnostic names the subroutine" true
+              (contains
+                 (Plan_verify.error_to_string error)
+                 "undefined marshal subroutine"));
+  ]
+
+(* -- 3. Opt_config syntax and cache-key behavior ---------------------- *)
+
+let config_tests =
+  [
+    test "of_string / to_string round-trips" (fun () ->
+        (* canonical spellings print back verbatim *)
+        List.iter
+          (fun s ->
+            match Opt_config.of_string s with
+            | Ok c -> Alcotest.(check string) s s (Opt_config.to_string c)
+            | Error msg -> Alcotest.failf "%S rejected: %s" s msg)
+          [
+            "all"; "none"; "all+verify"; "none+verify"; "only:chunk-coalesce";
+            "only:chunk-coalesce,ensure-hoist"; "only:loop-blit-fusion+verify";
+          ];
+        (* a bare pass list parses to the same config as its canonical form *)
+        match Opt_config.of_string "chunk-coalesce,ensure-hoist+verify" with
+        | Ok c ->
+            Alcotest.(check string) "canonicalized"
+              "only:chunk-coalesce,ensure-hoist+verify"
+              (Opt_config.to_string c)
+        | Error msg -> Alcotest.failf "bare list rejected: %s" msg);
+    test "of_string rejects the empty selection" (fun () ->
+        match Opt_config.of_string "" with
+        | Ok _ -> Alcotest.fail "empty string accepted"
+        | Error _ -> ());
+    test "validate rejects unknown pass names, listing the registry"
+      (fun () ->
+        match Pass.validate (Opt_config.only [ "chunk-coalesce"; "bogus" ]) with
+        | Ok () -> Alcotest.fail "unknown pass accepted"
+        | Error msg ->
+            Alcotest.(check bool) "names the offender" true
+              (contains msg "bogus");
+            Alcotest.(check bool) "lists known passes" true
+              (contains msg "chunk-coalesce"));
+    test "selection fingerprints distinguish pipelines, ignore verify"
+      (fun () ->
+        let fp c = Opt_config.selection_fingerprint c in
+        Alcotest.(check bool) "all <> none" true
+          (fp Opt_config.all <> fp Opt_config.none);
+        Alcotest.(check bool) "all <> subset" true
+          (fp Opt_config.all <> fp (Opt_config.only [ "chunk-coalesce" ]));
+        Alcotest.(check string) "verify not keyed"
+          (fp Opt_config.all)
+          (fp { Opt_config.all with Opt_config.verify = true }));
+    test "pass selection separates plan-cache entries" (fun () ->
+        let pc = Paper_fixtures.bench_presc `Rpcgen in
+        let spec = Paper_fixtures.request_spec pc ~op:"send_dirents" in
+        let get config =
+          Plan_cache.plan ~enc:Encoding.xdr ~mint:spec.Paper_fixtures.ms_mint
+            ~named:spec.Paper_fixtures.ms_named ~chunked:false ~config
+            spec.Paper_fixtures.ms_roots
+        in
+        (* same selection -> same cached object; different selection ->
+           different entry (and here, a genuinely different plan) *)
+        Alcotest.(check bool)
+          "all cached once" true
+          (get Opt_config.all == get Opt_config.all);
+        Alcotest.(check bool)
+          "none cached separately" true
+          (get Opt_config.none != get Opt_config.all);
+        Alcotest.(check bool)
+          "unoptimized plan really is different" true
+          (get Opt_config.none <> get Opt_config.all);
+        Alcotest.(check bool)
+          "verify flag does not split the cache" true
+          (get { Opt_config.all with Opt_config.verify = true }
+          == get Opt_config.all));
+    test "cache stats expose evictions in one record" (fun () ->
+        let c = Plan_cache.create ~name:"test.evict" ~max_entries:4 () in
+        for i = 1 to 9 do
+          ignore (Plan_cache.find_or_add c (string_of_int i) (fun () -> i))
+        done;
+        let st = Plan_cache.cache_stats c in
+        Alcotest.(check int) "misses" 9 st.Plan_cache.misses;
+        Alcotest.(check bool) "evictions counted" true
+          (st.Plan_cache.evictions >= 4);
+        Alcotest.(check bool) "hit_rate bounded" true
+          (Plan_cache.hit_rate st >= 0. && Plan_cache.hit_rate st <= 1.));
+  ]
+
+let suite =
+  [
+    ("passes:fixtures", fixture_tests);
+    ("passes:properties", property_tests);
+    ("passes:verifier-negative", negative_tests);
+    ("passes:config", config_tests);
+  ]

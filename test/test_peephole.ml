@@ -304,7 +304,7 @@ let byte_identity_prop enc (c : Test_engines.case) =
       ("per-datum", encode_plan ~enc per_datum v);
       ("peephole per-datum", encode_plan ~enc (Peephole.optimize_plan per_datum) v);
       ( "cached engine",
-        Test_engines.encode_with Stub_opt.compile_encoder enc c roots v );
+        Test_engines.encode_with Test_engines.opt_encoder enc c roots v );
       ( "naive engine",
         Test_engines.encode_with
           (Stub_naive.compile_encoder ~config:Stub_naive.default_config)

@@ -92,7 +92,12 @@ let sg_prop enc (c : Test_engines.case) =
         engines (flattening the SG message is the last step: the checks
         above must run on the live segment list) *)
   let sg_bytes = Bytes.to_string (Mbuf.contents buf) in
-  let contig = encode_contig Stub_opt.compile_encoder enc c v in
+  let contig =
+    encode_contig
+      (fun ~enc ~mint ~named roots ->
+        Stub_opt.compile_encoder ~enc ~mint ~named roots)
+      enc c v
+  in
   let naive =
     encode_contig
       (Stub_naive.compile_encoder ~config:Stub_naive.default_config)
