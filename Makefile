@@ -18,11 +18,15 @@ test-verify:
 	FLICK_VERIFY_PLANS=1 dune runtest --force
 
 # The fast artifacts: the plan-optimizer/cache report (BENCH_1.json),
-# the scatter-gather wire report (BENCH_2.json), and the decode-plan
-# report (BENCH_3.json); the pipeline/verifier/engine-equality
-# self-checks in all three make the run exit non-zero on failure.
+# the scatter-gather wire report (BENCH_2.json), the decode-plan
+# report (BENCH_3.json), and the full-matrix pass-trace report (merged
+# into BENCH_1.json); the pipeline/verifier/engine-equality/pin
+# self-checks in all four make the run exit non-zero on failure.
+# check_bench then re-parses every BENCH_*.json and fails on any
+# recorded self-check failure.
 bench-smoke:
-	dune exec bench/main.exe -- planopt sgwire decplan --smoke
+	dune exec bench/main.exe -- planopt sgwire decplan tracematrix --smoke
+	dune exec bench/check_bench.exe
 
 # Every artifact at default sizes (see EXPERIMENTS.md; --full for
 # paper-scale sweeps).

@@ -1,0 +1,73 @@
+(* CI validator for the benchmark artifact files.
+
+   Parses every BENCH_*.json in the working directory with the repo's
+   own JSON reader (Obs_json — the container ships no JSON library) and
+   requires of each:
+   - it parses as one JSON object;
+   - it names its "artifact";
+   - "self_check_failed" is present and false;
+   - every other "*_failed" member (e.g. "tracematrix_failed", merged
+     in by artifacts that share a file) is false.
+   Exits non-zero on any violation, or when no artifact files exist at
+   all — `make ci` runs the smoke benchmarks first, so an empty
+   directory means they silently wrote nothing. *)
+
+let failed = ref false
+
+let err fmt =
+  Printf.ksprintf
+    (fun s ->
+      failed := true;
+      Printf.printf "check_bench: %s\n" s)
+    fmt
+
+let read_all path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let check_file path =
+  match Obs_json.parse (read_all path) with
+  | Error msg -> err "%s: invalid JSON: %s" path msg
+  | Ok (Obs_json.Obj members as j) ->
+      (match Obs_json.member "artifact" j with
+      | Some (Obs_json.Str name) -> Printf.printf "%s: artifact %S" path name
+      | _ -> err "%s: missing \"artifact\" name" path);
+      (match Obs_json.member "self_check_failed" j with
+      | Some (Obs_json.Bool false) -> ()
+      | Some (Obs_json.Bool true) -> err "%s: self_check_failed is true" path
+      | _ -> err "%s: missing \"self_check_failed\"" path);
+      List.iter
+        (fun (key, v) ->
+          let n = String.length key in
+          if
+            n > 7
+            && String.sub key (n - 7) 7 = "_failed"
+            && key <> "self_check_failed"
+          then
+            match v with
+            | Obs_json.Bool false -> ()
+            | Obs_json.Bool true -> err "%s: %s is true" path key
+            | _ -> err "%s: %s is not a boolean" path key)
+        members;
+      if not !failed then Printf.printf ", self-checks clean\n"
+      else print_newline ()
+  | Ok _ -> err "%s: top level is not a JSON object" path
+
+let () =
+  let files =
+    Sys.readdir "." |> Array.to_list
+    |> List.filter (fun f ->
+           String.length f > 11
+           && String.sub f 0 6 = "BENCH_"
+           && Filename.check_suffix f ".json")
+    |> List.sort compare
+  in
+  if files = [] then begin
+    print_endline "check_bench: no BENCH_*.json artifact files found";
+    exit 1
+  end;
+  List.iter check_file files;
+  if !failed then exit 1;
+  Printf.printf "check_bench: %d artifact file(s) OK\n" (List.length files)

@@ -92,17 +92,19 @@ let flick_decoder ~enc ~mint ~named droots =
    decplan warm-cache reports so encode and decode caches read the same
    way: hit rate AND eviction pressure for both sides. *)
 let cache_report_line name (st : Plan_cache.stats) =
-  Printf.printf "  %-18s %5d hits %5d misses %5d entries %4d evicted  %5.1f%%\n"
+  Printf.printf
+    "  %-18s %5d hits %5d misses %5d entries %4d evicted %3d resets  %5.1f%%\n"
     name st.Plan_cache.hits st.Plan_cache.misses st.Plan_cache.entries
-    st.Plan_cache.evictions
+    st.Plan_cache.evictions st.Plan_cache.resets
     (100. *. Plan_cache.hit_rate st)
 
 let cache_json name (st : Plan_cache.stats) =
   Printf.sprintf
     "{ \"name\": %S, \"hits\": %d, \"misses\": %d, \"entries\": %d, \
-     \"evictions\": %d, \"hit_rate\": %.3f }"
+     \"evictions\": %d, \"resets\": %d, \"hit_rate\": %.3f }"
     name st.Plan_cache.hits st.Plan_cache.misses st.Plan_cache.entries
-    st.Plan_cache.evictions (Plan_cache.hit_rate st)
+    st.Plan_cache.evictions st.Plan_cache.resets
+    (Plan_cache.hit_rate st)
 
 let engines =
   [
@@ -1574,6 +1576,258 @@ let decplan () =
   print_endline "wrote BENCH_3.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* tracematrix - per-pass traces over the full compile matrix           *)
+(* ------------------------------------------------------------------ *)
+
+(* Runs the optimizer with per-pass tracing over every (encoding x
+   operation x compilation mode) cell of the paper's Bench matrix, both
+   sides, with the structural verifier after every pass, and merges the
+   result into BENCH_1.json under a "trace_matrix" key (next to the
+   planopt report; standalone if that file is absent).  Self-checks:
+   - the final (nodes, checks) of every cell matches the pinned table
+     below, so a plan-size regression anywhere in the matrix fails CI;
+   - no pass ever increases the node count;
+   - the verifier is clean after every pass of every cell.
+   Compile-only, so [--smoke] is a no-op here. *)
+
+let tracematrix_failed = ref false
+
+(* Pinned (nodes, checks) after the full pipeline, per
+   (encoding, operation, mode, side).  Regenerate by running
+   `bench/main.exe tracematrix` and copying the rows it prints for any
+   MISMATCH/MISSING cell — but first understand why the plans changed. *)
+let tracematrix_expected =
+  [
+    (("xdr", "send_ints", "chunked", "encode"), (3, 2));
+    (("xdr", "send_ints", "chunked", "decode"), (3, 3));
+    (("xdr", "send_ints", "per-datum", "encode"), (3, 2));
+    (("xdr", "send_ints", "per-datum", "decode"), (3, 3));
+    (("xdr", "send_rects", "chunked", "encode"), (10, 3));
+    (("xdr", "send_rects", "chunked", "decode"), (8, 3));
+    (("xdr", "send_rects", "per-datum", "encode"), (10, 3));
+    (("xdr", "send_rects", "per-datum", "decode"), (8, 3));
+    (("xdr", "send_dirents", "chunked", "encode"), (37, 4));
+    (("xdr", "send_dirents", "chunked", "decode"), (7, 6));
+    (("xdr", "send_dirents", "per-datum", "encode"), (37, 4));
+    (("xdr", "send_dirents", "per-datum", "decode"), (7, 6));
+    (("cdr", "send_ints", "chunked", "encode"), (2, 2));
+    (("cdr", "send_ints", "chunked", "decode"), (2, 4));
+    (("cdr", "send_ints", "per-datum", "encode"), (2, 2));
+    (("cdr", "send_ints", "per-datum", "decode"), (2, 4));
+    (("cdr", "send_rects", "chunked", "encode"), (10, 3));
+    (("cdr", "send_rects", "chunked", "decode"), (8, 4));
+    (("cdr", "send_rects", "per-datum", "encode"), (10, 3));
+    (("cdr", "send_rects", "per-datum", "decode"), (8, 4));
+    (("cdr", "send_dirents", "chunked", "encode"), (38, 4));
+    (("cdr", "send_dirents", "chunked", "decode"), (7, 7));
+    (("cdr", "send_dirents", "per-datum", "encode"), (38, 4));
+    (("cdr", "send_dirents", "per-datum", "decode"), (7, 7));
+    (("mach3", "send_ints", "chunked", "encode"), (5, 2));
+    (("mach3", "send_ints", "chunked", "decode"), (3, 3));
+    (("mach3", "send_ints", "per-datum", "encode"), (5, 2));
+    (("mach3", "send_ints", "per-datum", "decode"), (3, 3));
+    (("mach3", "send_rects", "chunked", "encode"), (17, 3));
+    (("mach3", "send_rects", "chunked", "decode"), (9, 3));
+    (("mach3", "send_rects", "per-datum", "encode"), (17, 3));
+    (("mach3", "send_rects", "per-datum", "decode"), (9, 3));
+    (("mach3", "send_dirents", "chunked", "encode"), (44, 5));
+    (("mach3", "send_dirents", "chunked", "decode"), (10, 8));
+    (("mach3", "send_dirents", "per-datum", "encode"), (44, 5));
+    (("mach3", "send_dirents", "per-datum", "decode"), (10, 8));
+  ]
+
+let tracematrix () =
+  print_endline "============================================================";
+  print_endline " tracematrix - per-pass traces over the full compile matrix";
+  print_endline "============================================================";
+  let check what ok =
+    if not ok then begin
+      tracematrix_failed := true;
+      Printf.printf "  SELF-CHECK FAILED: %s\n" what
+    end
+  in
+  let json = Buffer.create 4096 in
+  Buffer.add_string json "{ \"cells\": [";
+  let first_cell = ref true in
+  Printf.printf "\n%-6s %-13s %-10s %-6s %8s %8s %7s %6s\n" "enc" "operation"
+    "mode" "side" "nodes" "checks" "passes" "rounds";
+  let do_side ~ename ~op ~mode ~(side : _ Pass.side) ~run raw =
+    let traces : Pass.trace list ref = ref [] in
+    let config =
+      { (Opt_config.all) with Opt_config.verify = true }
+    in
+    let opt = run ~config ~on_trace:(fun tr -> traces := tr :: !traces) raw in
+    let traces = List.rev !traces in
+    let cell = Printf.sprintf "%s/%s/%s/%s" ename op mode side.Pass.s_name in
+    List.iter
+      (fun (tr : Pass.trace) ->
+        check
+          (Printf.sprintf "%s: pass %s grew the plan (%d -> %d)" cell
+             tr.Pass.tr_pass tr.Pass.tr_nodes_before tr.Pass.tr_nodes_after)
+          (tr.Pass.tr_nodes_after <= tr.Pass.tr_nodes_before);
+        check
+          (Printf.sprintf "%s: pass %s ran unverified" cell tr.Pass.tr_pass)
+          tr.Pass.tr_verified)
+      traces;
+    check
+      (Printf.sprintf "%s: verifier clean on the final plan" cell)
+      (match side.Pass.s_verify opt with
+      | Ok () -> true
+      | Error e ->
+          Printf.printf "  verifier: %s\n" (Plan_verify.error_to_string e);
+          false);
+    let nodes = side.Pass.s_nodes opt and checks = side.Pass.s_checks opt in
+    let rounds =
+      List.fold_left (fun m (tr : Pass.trace) -> max m tr.Pass.tr_round) 1
+        traces
+    in
+    Printf.printf "%-6s %-13s %-10s %-6s %8d %8d %7d %6d\n" ename op mode
+      side.Pass.s_name nodes checks (List.length traces) rounds;
+    let key = (ename, op, mode, side.Pass.s_name) in
+    (match List.assoc_opt key tracematrix_expected with
+    | Some (en, ec) when en = nodes && ec = checks -> ()
+    | Some (en, ec) ->
+        check
+          (Printf.sprintf
+             "%s: pinned (%d nodes, %d checks), got (%d, %d) — \
+              regenerate:  ((%S, %S, %S, %S), (%d, %d));"
+             cell en ec nodes checks ename op mode side.Pass.s_name nodes
+             checks)
+          false
+    | None ->
+        check
+          (Printf.sprintf
+             "%s: no pinned expectation — add:  ((%S, %S, %S, %S), (%d, %d));"
+             cell ename op mode side.Pass.s_name nodes checks)
+          false);
+    Buffer.add_string json
+      (Printf.sprintf
+         "%s\n    { \"encoding\": %S, \"op\": %S, \"mode\": %S, \"side\": \
+          %S, \"nodes\": %d, \"checks\": %d, \"rounds\": %d, \"passes\": [%s] }"
+         (if !first_cell then "" else ",")
+         ename op mode side.Pass.s_name nodes checks rounds
+         (String.concat ", "
+            (List.map
+               (fun (tr : Pass.trace) ->
+                 Printf.sprintf
+                   "{ \"pass\": %S, \"round\": %d, \"nodes_before\": %d, \
+                    \"nodes_after\": %d, \"checks_before\": %d, \
+                    \"checks_after\": %d }"
+                   tr.Pass.tr_pass tr.Pass.tr_round tr.Pass.tr_nodes_before
+                   tr.Pass.tr_nodes_after tr.Pass.tr_checks_before
+                   tr.Pass.tr_checks_after)
+               traces)));
+    first_cell := false
+  in
+  List.iter
+    (fun (ename, enc, style) ->
+      let pc = Paper_fixtures.bench_presc style in
+      List.iter
+        (fun op ->
+          let spec = Paper_fixtures.request_spec pc ~op in
+          List.iter
+            (fun (mode, chunked) ->
+              let raw =
+                Plan_compile.compile ~enc ~mint:spec.Paper_fixtures.ms_mint
+                  ~named:spec.Paper_fixtures.ms_named ~chunked
+                  spec.Paper_fixtures.ms_roots
+              in
+              do_side ~ename ~op ~mode ~side:Pass.encode_side
+                ~run:(fun ~config ~on_trace p ->
+                  Pass.run_encode ~config ~on_trace p)
+                raw;
+              let draw =
+                Dplan_compile.compile ~enc ~mint:spec.Paper_fixtures.ms_mint
+                  ~named:spec.Paper_fixtures.ms_named ~chunked
+                  (List.map
+                     (function
+                       | Stub_opt.Dconst_int (v, k) ->
+                           Dplan_compile.Dconst_int (v, k)
+                       | Stub_opt.Dconst_str s -> Dplan_compile.Dconst_str s
+                       | Stub_opt.Dvalue (i, p) -> Dplan_compile.Dvalue (i, p))
+                     spec.Paper_fixtures.ms_droots)
+              in
+              do_side ~ename ~op ~mode ~side:Pass.decode_side
+                ~run:(fun ~config ~on_trace p ->
+                  Pass.run_decode ~config ~on_trace p)
+                draw)
+            [ ("chunked", true); ("per-datum", false) ])
+        [ "send_ints"; "send_rects"; "send_dirents" ])
+    [
+      ("xdr", Encoding.xdr, `Rpcgen);
+      ("cdr", Encoding.cdr, `Corba);
+      ("mach3", Encoding.mach3, `Fluke);
+    ];
+  Buffer.add_string json "\n  ] }";
+  let tm_json = Buffer.contents json in
+  (* merge into the planopt report when one is present: BENCH_1.json is
+     the optimizer's artifact file, and consumers want one object *)
+  let marker = ",\n  \"trace_matrix\"" in
+  let read_all path =
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  let find_sub s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i =
+      if i + m > n then None
+      else if String.sub s i m = sub then Some i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let rstrip s =
+    let n = ref (String.length s) in
+    while
+      !n > 0
+      && (match s.[!n - 1] with ' ' | '\n' | '\t' | '\r' -> true | _ -> false)
+    do
+      decr n
+    done;
+    String.sub s 0 !n
+  in
+  let base =
+    if Sys.file_exists "BENCH_1.json" then begin
+      let s = read_all "BENCH_1.json" in
+      match find_sub s marker with
+      | Some i -> Some (String.sub s 0 i) (* re-run: replace our key *)
+      | None ->
+          let s = rstrip s in
+          let n = String.length s in
+          if n > 0 && s.[n - 1] = '}' then
+            Some (rstrip (String.sub s 0 (n - 1)))
+          else None
+    end
+    else None
+  in
+  let merged =
+    match base with
+    | Some b ->
+        Printf.sprintf "%s%s: %s,\n  \"tracematrix_failed\": %b\n}\n" b marker
+          tm_json !tracematrix_failed
+    | None ->
+        Printf.sprintf
+          "{\n  \"artifact\": \"tracematrix\",\n  \"trace_matrix\": %s,\n\
+          \  \"self_check_failed\": %b\n}\n"
+          tm_json !tracematrix_failed
+  in
+  (match Obs_json.parse merged with
+  | Ok _ -> ()
+  | Error msg -> check (Printf.sprintf "merged BENCH_1.json parses: %s" msg) false);
+  let oc = open_out "BENCH_1.json" in
+  output_string oc merged;
+  close_out oc;
+  if !tracematrix_failed then
+    print_endline "\ntracematrix: SELF-CHECK FAILURES above; exiting non-zero"
+  else
+    print_endline
+      "\nall matrix pins, node-monotonicity, and verifier checks passed";
+  Printf.printf "%s trace_matrix into BENCH_1.json\n\n"
+    (match base with Some _ -> "merged" | None -> "wrote")
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -1582,7 +1836,7 @@ let artifacts =
     ("table1", table1); ("table2", table2); ("table3", table3);
     ("fig3", fig3); ("fig4", fig4); ("fig5", fig5); ("fig6", fig6);
     ("fig7", fig7); ("ablations", ablations); ("planopt", planopt);
-    ("sgwire", sgwire); ("decplan", decplan);
+    ("sgwire", sgwire); ("decplan", decplan); ("tracematrix", tracematrix);
   ]
 
 let () =
@@ -1622,4 +1876,7 @@ let () =
   Printf.printf "Flick reproduction benchmarks (%s sizes; see EXPERIMENTS.md)\n\n"
     (if !full then "paper-scale" else "default");
   List.iter (fun name -> (List.assoc name artifacts) ()) to_run;
-  if !planopt_failed || !sgwire_failed || !decplan_failed then exit 1
+  if
+    !planopt_failed || !sgwire_failed || !decplan_failed
+    || !tracematrix_failed
+  then exit 1

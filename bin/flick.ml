@@ -24,6 +24,47 @@ let handle_diag f =
       Printf.eprintf "flick: %s\n" msg;
       exit 1
 
+(* ---- observability flags ------------------------------------------- *)
+
+(* Cmdliner group commands only accept options after the subcommand
+   name, but the trace/metrics output files apply to the whole run, so
+   they read naturally in either position:
+
+     flick --trace-out=t.json compile ... mail.idl
+     flick compile ... mail.idl --trace-out=t.json
+
+   We strip them from argv before cmdliner parses it. *)
+let trace_out = ref None
+let metrics_out = ref None
+
+let filter_obs_flags argv =
+  let prefixed p a =
+    String.length a > String.length p && String.sub a 0 (String.length p) = p
+  in
+  let tail p a = String.sub a (String.length p) (String.length a - String.length p) in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | "--trace-out" :: v :: rest ->
+        trace_out := Some v;
+        go acc rest
+    | "--metrics-out" :: v :: rest ->
+        metrics_out := Some v;
+        go acc rest
+    | a :: rest when prefixed "--trace-out=" a ->
+        trace_out := Some (tail "--trace-out=" a);
+        go acc rest
+    | a :: rest when prefixed "--metrics-out=" a ->
+        metrics_out := Some (tail "--metrics-out=" a);
+        go acc rest
+    | a :: rest -> go (a :: acc) rest
+  in
+  Array.of_list (go [] (Array.to_list argv))
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
 (* ---- common arguments ---------------------------------------------- *)
 
 let source_arg =
@@ -251,15 +292,106 @@ let reuse_cmd =
        ~doc:"Print the code-reuse table of this compiler (paper Table 1).")
     Term.(const run $ const ())
 
+(* Exercise the whole system once — compile the paper's Bench interface,
+   encode/decode its three workloads through the optimized stubs, push a
+   few simulated round trips — so the registry table has every row
+   populated: plan caches, wire accounting, stub latency histograms,
+   simulator counters. *)
+let run_builtin_workload () =
+  let pc = Paper_fixtures.bench_presc `Corba in
+  let enc = Encoding.xdr in
+  List.iter
+    (fun which ->
+      let op = Paper_fixtures.op_of_payload which in
+      let spec = Paper_fixtures.request_spec pc ~op in
+      let e =
+        Stub_opt.compile_encoder ~enc ~mint:spec.Paper_fixtures.ms_mint
+          ~named:spec.Paper_fixtures.ms_named spec.Paper_fixtures.ms_roots
+      in
+      let d =
+        Stub_opt.compile_decoder ~enc ~mint:spec.Paper_fixtures.ms_mint
+          ~named:spec.Paper_fixtures.ms_named spec.Paper_fixtures.ms_droots
+      in
+      let v = Paper_fixtures.payload which ~bytes:1024 in
+      let buf = Mbuf.acquire () in
+      for _ = 1 to 8 do
+        Mbuf.reset buf;
+        e buf [| v |];
+        ignore (d (Mbuf.reader buf))
+      done;
+      Mbuf.release buf)
+    [ `Ints; `Rects; `Dirents ];
+  let cost =
+    {
+      Rpc_sim.sc_name = "flick";
+      sc_marshal = (fun n -> 2e-6 +. (float_of_int n *. 2e-9));
+      sc_unmarshal = (fun n -> 2e-6 +. (float_of_int n *. 2e-9));
+      sc_per_call = 5e-6;
+    }
+  in
+  ignore
+    (Rpc_sim.round_trip_throughput ~net:Link.ethernet_10 ~cost
+       ~msg_bytes:1024 ~rounds:4 ())
+
+let stats_cmd =
+  let run file =
+    handle_diag (fun () ->
+        Obs.set_timing true;
+        let file, source =
+          match file with
+          | Some f -> (f, read_file f)
+          | None -> ("bench.idl", Paper_fixtures.bench_idl)
+        in
+        ignore
+          (Driver.compile Driver.Idl_corba Driver.Pres_corba
+             Driver.Back_oncrpc ~file ~source ~interface:None);
+        run_builtin_workload ();
+        print_string (Obs.render_table ()))
+  in
+  let file_arg =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "CORBA IDL file to compile before reporting (default: the paper's \
+             built-in Bench interface).")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Compile an interface, run the built-in encode/decode and simulated \
+          RPC workload, and print the unified metrics registry: plan-cache \
+          hit rates, wire-buffer copy/borrow accounting, per-operation stub \
+          latency and size histograms, simulator counters.")
+    Term.(const run $ file_arg)
+
 let main =
   Cmd.group
     (Cmd.info "flick" ~version:"1.0"
        ~doc:
          "A flexible, optimizing IDL compiler (OCaml reproduction of Eide et \
-          al., PLDI 1997).")
+          al., PLDI 1997).  $(b,--trace-out=FILE) (any position) writes a \
+          Chrome trace_event JSON of the run's compile stages, optimizer \
+          passes and simulated RPCs; $(b,--metrics-out=FILE) writes the \
+          metrics registry as JSON lines.")
     [
       compile_cmd; dump_aoi_cmd; dump_presc_cmd; dump_plan_cmd;
-      list_interfaces_cmd; reuse_cmd;
+      list_interfaces_cmd; reuse_cmd; stats_cmd;
     ]
 
-let () = exit (Cmd.eval main)
+let () =
+  let argv = filter_obs_flags Sys.argv in
+  if !trace_out <> None then begin
+    Obs_trace.set_enabled true;
+    Obs.set_timing true
+  end;
+  if !metrics_out <> None then Obs.set_timing true;
+  let code = Cmd.eval ~argv main in
+  (match !trace_out with
+  | Some path -> write_file path (Obs_trace.to_chrome_json ())
+  | None -> ());
+  (match !metrics_out with
+  | Some path -> write_file path (Obs.to_jsonl ())
+  | None -> ());
+  exit code

@@ -64,13 +64,19 @@ let select_stubs (pc : Pres_c.t) op =
 (* Pass traces                                                          *)
 (* ------------------------------------------------------------------ *)
 
+(* Round 1 renders exactly as the single-round manager did; extra
+   fixpoint rounds are flagged so a trace that needed them says so. *)
 let trace_line b (tr : Pass.trace) =
   Buffer.add_string b
-    (Printf.sprintf "  %-18s nodes %4d -> %4d   checks %4d -> %4d   %7.1fus%s\n"
+    (Printf.sprintf
+       "  %-18s nodes %4d -> %4d   checks %4d -> %4d   %7.1fus%s%s\n"
        tr.Pass.tr_pass tr.Pass.tr_nodes_before tr.Pass.tr_nodes_after
        tr.Pass.tr_checks_before tr.Pass.tr_checks_after
        (tr.Pass.tr_wall_ns /. 1e3)
-       (if tr.Pass.tr_verified then "   verified" else ""))
+       (if tr.Pass.tr_verified then "   verified" else "")
+       (if tr.Pass.tr_round > 1 then
+          Printf.sprintf "   round %d" tr.Pass.tr_round
+        else ""))
 
 let trace_one_side b ~label ~nodes ~checks run prog =
   Buffer.add_string b

@@ -2,6 +2,13 @@ type config = { per_char_strings : bool; per_elem_arrays : bool }
 
 let default_config = { per_char_strings = true; per_elem_arrays = true }
 
+(* Per-call latency/size histograms, same shape as Stub_opt's so
+   [flick stats] shows the engines side by side. *)
+let encode_ns = Obs.hist "stub_naive.encode_ns"
+let encode_bytes = Obs.hist "stub_naive.encode_bytes"
+let decode_ns = Obs.hist "stub_naive.decode_ns"
+let decode_bytes = Obs.hist "stub_naive.decode_bytes"
+
 let array_length (v : Value.t) =
   match v with
   | Value.Vstring s -> String.length s
@@ -326,13 +333,13 @@ let compile_encoder ?(config = default_config) ~enc ~mint ~named roots :
             `Param (index, f))
       roots
   in
-  fun buf params ->
-    List.iter
-      (fun step ->
-        match step with
-        | `Const f -> f buf
-        | `Param (i, f) -> f buf params.(i))
-      steps
+  Stub_opt.instrument_encoder encode_ns encode_bytes (fun buf params ->
+      List.iter
+        (fun step ->
+          match step with
+          | `Const f -> f buf
+          | `Param (i, f) -> f buf params.(i))
+        steps)
 
 (* ------------------------------------------------------------------ *)
 (* Decoding: one closure and one checked read per datum                 *)
@@ -605,10 +612,10 @@ let compile_decoder ?(config = default_config) ~enc ~mint ~named droots :
         | Stub_opt.Dvalue (idx, pres) -> `Value (dec_val idx pres))
       droots
   in
-  fun r ->
-    let out = ref [] in
-    List.iter
-      (fun step ->
-        match step with `Skip f -> f r | `Value d -> out := d r :: !out)
-      steps;
-    Array.of_list (List.rev !out)
+  Stub_opt.instrument_decoder decode_ns decode_bytes (fun r ->
+      let out = ref [] in
+      List.iter
+        (fun step ->
+          match step with `Skip f -> f r | `Value d -> out := d r :: !out)
+        steps;
+      Array.of_list (List.rev !out))

@@ -559,6 +559,39 @@ let encoder_of_plan ~enc (plan : Plan_compile.plan) : encoder =
       (Array.unsafe_get fns k) buf env
     done
 
+(* Per-call latency and message-size histograms, shared shape across
+   engines (Stub_naive registers its own set).  The closures test the
+   Obs gate on every call: off (the default, and during benches) they
+   cost one load and branch; on, two clock reads and two observations
+   per operation. *)
+let instrument_encoder ns bytes (e : encoder) : encoder =
+ fun buf params ->
+  if not (Obs.timing_enabled ()) then e buf params
+  else begin
+    let p0 = Mbuf.pos buf in
+    let t0 = Obs.now_ns () in
+    e buf params;
+    Obs.observe ns (Obs.now_ns () -. t0);
+    Obs.observe bytes (float_of_int (Mbuf.pos buf - p0))
+  end
+
+let instrument_decoder ns bytes (d : decoder) : decoder =
+ fun r ->
+  if not (Obs.timing_enabled ()) then d r
+  else begin
+    let r0 = Mbuf.remaining r in
+    let t0 = Obs.now_ns () in
+    let v = d r in
+    Obs.observe ns (Obs.now_ns () -. t0);
+    Obs.observe bytes (float_of_int (r0 - Mbuf.remaining r));
+    v
+  end
+
+let encode_ns = Obs.hist "stub_opt.encode_ns"
+let encode_bytes = Obs.hist "stub_opt.encode_bytes"
+let decode_ns = Obs.hist "stub_opt.decode_ns"
+let decode_bytes = Obs.hist "stub_opt.decode_bytes"
+
 (* Compiled encoders are memoized: the closure chains carry no per-call
    state (each invocation allocates its own env), so one encoder safely
    serves every request with the same message structure.  The key is the
@@ -579,8 +612,14 @@ let compile_encoder ?config ~enc ~mint ~named roots : encoder =
        (Mbuf.borrow_threshold ())
        (Opt_config.selection_fingerprint config));
   List.iter (Plan_cache.fp_root fp) roots;
-  Plan_cache.find_or_add encoder_cache (Plan_cache.fp_contents fp) (fun () ->
-      encoder_of_plan ~enc (Plan_cache.plan ~enc ~mint ~named ~config roots))
+  (* instrumented inside the cache: the cached closure IS the
+     instrumented one, so repeat compilations return the same physical
+     closure (pinned by the cache tests) and the gate check at call
+     time keeps the wrapper free when timing is off *)
+  Plan_cache.find_or_add encoder_cache (Plan_cache.fp_contents fp)
+    (fun () ->
+      instrument_encoder encode_ns encode_bytes
+        (encoder_of_plan ~enc (Plan_cache.plan ~enc ~mint ~named ~config roots)))
 
 (* ------------------------------------------------------------------ *)
 (* Decoding                                                             *)
@@ -1326,9 +1365,12 @@ let compile_decoder ?config ~enc ~mint ~named ?(views = false) droots :
   let config =
     match config with Some c -> c | None -> Opt_config.default ()
   in
+  (* as for encoders: instrumented inside the cache so repeat
+     compilations share one physical closure *)
   Plan_cache.find_or_add decoder_cache
     (droot_key ~enc ~mint ~named ~views ~config droots)
     (fun () ->
-      decoder_of_dplan ~enc
-        (Plan_cache.dplan ~enc ~mint ~named ~views ~config
-           (List.map to_dplan_droot droots)))
+      instrument_decoder decode_ns decode_bytes
+        (decoder_of_dplan ~enc
+           (Plan_cache.dplan ~enc ~mint ~named ~views ~config
+              (List.map to_dplan_droot droots))))

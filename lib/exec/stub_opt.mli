@@ -18,6 +18,17 @@ type decoder = Mbuf.reader -> Value.t array
     {!Plan_compile.root.Rvalue}/[Dvalue] root.  Raises
     {!Mbuf.Short_buffer} or {!Codec.Decode_error} on malformed input. *)
 
+val instrument_encoder : Obs.hist -> Obs.hist -> encoder -> encoder
+(** [instrument_encoder ns bytes e]: when {!Obs.timing_enabled}, each
+    call observes its latency into [ns] and its produced message bytes
+    into [bytes]; when the gate is off the wrapper costs one load and
+    branch.  Shared with {!Stub_naive}, which wraps its own histograms
+    around the same helper. *)
+
+val instrument_decoder : Obs.hist -> Obs.hist -> decoder -> decoder
+(** Decode-side twin of {!instrument_encoder}: latency plus consumed
+    wire bytes. *)
+
 (** Decoder-side description of a message body, mirroring
     {!Plan_compile.root}. *)
 type droot =

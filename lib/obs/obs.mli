@@ -1,0 +1,118 @@
+(** Process-wide metrics registry with an injectable clock.
+
+    One flat namespace of named instruments — monotonic {!counter}s,
+    {!gauge}s with high-water marks, and log-scale {!hist}ograms — that
+    every layer records into, so one exporter ({!render_table},
+    {!to_jsonl}) can show the whole system at once.  Registration is
+    first-come-owns-the-name: registering a name twice raises
+    {!Duplicate_metric}, which catches two subsystems silently sharing
+    an instrument.
+
+    All time flows through {!now_ns}.  Tests install {!fake_clock} via
+    {!with_clock} and every duration in every export becomes
+    deterministic — the trace goldens contain no real nanosecond
+    values. *)
+
+(** {1 Clock} *)
+
+type clock = unit -> float
+(** Nanoseconds since an arbitrary origin. *)
+
+val real_clock : clock
+(** Wall time ([Unix.gettimeofday], scaled to ns). *)
+
+val fake_clock : ?start:float -> ?step:float -> unit -> clock
+(** A deterministic clock advancing [step] ns (default 1000) per
+    reading, first reading [start] (default 0). *)
+
+val set_clock : clock -> unit
+val clock : unit -> clock
+val now_ns : unit -> float
+
+val with_clock : clock -> (unit -> 'a) -> 'a
+(** Run [f] with the given clock installed, restoring the previous one
+    afterwards (also on exceptions). *)
+
+(** {1 Hot-path gate} *)
+
+val timing_enabled : unit -> bool
+
+val set_timing : bool -> unit
+(** Per-call stub timing (two clock reads per encode/decode) is off by
+    default so benchmarks measure the marshal code, not the meter.
+    [flick stats] and [--trace-out] switch it on. *)
+
+(** {1 Instruments} *)
+
+exception Duplicate_metric of string
+
+type counter
+
+val counter : string -> counter
+(** Register a monotonic counter.  @raise Duplicate_metric. *)
+
+val incr : counter -> int -> unit
+val counter_value : counter -> int
+
+type gauge
+
+val gauge : string -> gauge
+val set_gauge : gauge -> float -> unit
+(** Sets the value and raises the high-water mark when exceeded. *)
+
+val gauge_value : gauge -> float
+val gauge_high_water : gauge -> float
+
+type hist
+(** Log-2-bucketed histogram (64 buckets, the last one absorbing
+    overflow) — the right shape for nanoseconds and byte sizes. *)
+
+val hist : string -> hist
+val observe : hist -> float -> unit
+
+val percentile : hist -> float -> float
+(** Bucket-resolution estimate clamped into the observed [min, max]:
+    empty histograms report 0, a single sample reports itself, and the
+    overflow bucket reports the true maximum. *)
+
+type hist_summary = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+val hist_summary : hist -> hist_summary
+
+val probe : string -> (unit -> (string * float) list) -> unit
+(** Register a pull-based source sampled at {!snapshot} time; each
+    [(key, value)] pair renders as [name.key].  Lets existing stat
+    registries (e.g. {!Plan_cache.all_stats}) surface here without
+    double bookkeeping.  @raise Duplicate_metric. *)
+
+(** {1 Snapshots and exporters} *)
+
+type sample =
+  | Scounter of string * int
+  | Sgauge of string * float * float  (** value, high-water *)
+  | Svalue of string * float  (** one probe reading *)
+  | Shist of string * hist_summary
+
+val snapshot : unit -> sample list
+(** All instruments in registration order, probes sampled now. *)
+
+val reset_all : unit -> unit
+(** Zero every instrument's state; registrations survive. *)
+
+val render_table : unit -> string
+(** Human-readable table ([flick stats]). *)
+
+val to_jsonl : unit -> string
+(** One JSON object per line per instrument ([--metrics-out]). *)
+
+val json_escape : string -> string
+(** Escape a string for embedding in a JSON string literal (shared by
+    the exporters here and in {!Obs_trace}). *)

@@ -1,0 +1,25 @@
+(** A minimal JSON reader (the container ships no JSON library).
+
+    Strict recursive-descent parser covering everything the repo's
+    exporters generate plus standard escapes; used by the exporter
+    round-trip tests and [bench/check_bench.ml].  Never on a hot
+    path. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Whole-input parse; trailing non-whitespace is an error. *)
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] on other constructors. *)
+
+val to_float : t -> float option
+val to_string : t -> string option
+val to_bool : t -> bool option
+val to_list : t -> t list option

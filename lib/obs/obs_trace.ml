@@ -1,0 +1,146 @@
+(* Span-based tracing with nested scopes.
+
+   A span is entered, does work, and is left; leaving records one
+   complete event with the duration between the two clock readings.
+   Spans must nest: leaving a span that is not the innermost open one
+   raises, because a trace with interleaved scopes renders as garbage
+   in every flame-graph viewer and the bug is always in the caller.
+
+   Disabled (the default), [enter] returns a no-op token without
+   reading the clock, so instrumented code costs one load and branch.
+   [emit] records an event with caller-supplied timestamps — the RPC
+   simulator uses it to trace simulated (virtual) time. *)
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_ts_ns : float;
+  ev_dur_ns : float;
+  ev_depth : int;
+  ev_args : (string * string) list;
+}
+
+exception Unbalanced_span of string
+
+let () =
+  Printexc.register_printer (function
+    | Unbalanced_span name ->
+        Some (Printf.sprintf "Obs_trace.Unbalanced_span(%S)" name)
+    | _ -> None)
+
+type open_span = {
+  sp_name : string;
+  sp_cat : string;
+  sp_args : (string * string) list;
+  sp_start : float;
+  sp_depth : int;
+}
+
+type span = open_span option
+
+let enabled_flag = ref false
+let set_enabled b = enabled_flag := b
+let enabled () = !enabled_flag
+
+let events_rev : event list ref = ref []
+let stack : open_span list ref = ref []
+
+let clear () =
+  events_rev := [];
+  stack := []
+
+let depth () = List.length !stack
+let events () = List.rev !events_rev
+
+let enter ?(cat = "flick") ?(args = []) name : span =
+  if not !enabled_flag then None
+  else begin
+    let sp =
+      {
+        sp_name = name;
+        sp_cat = cat;
+        sp_args = args;
+        sp_start = Obs.now_ns ();
+        sp_depth = List.length !stack;
+      }
+    in
+    stack := sp :: !stack;
+    Some sp
+  end
+
+let leave (s : span) =
+  match s with
+  | None -> ()
+  | Some sp -> (
+      match !stack with
+      | top :: rest when top == sp ->
+          stack := rest;
+          events_rev :=
+            {
+              ev_name = sp.sp_name;
+              ev_cat = sp.sp_cat;
+              ev_ts_ns = sp.sp_start;
+              ev_dur_ns = Obs.now_ns () -. sp.sp_start;
+              ev_depth = sp.sp_depth;
+              ev_args = sp.sp_args;
+            }
+            :: !events_rev
+      | _ -> raise (Unbalanced_span sp.sp_name))
+
+let with_span ?cat ?args name f =
+  let sp = enter ?cat ?args name in
+  match f () with
+  | v ->
+      leave sp;
+      v
+  | exception e ->
+      (* pop without recording: a span that died mid-flight must not
+         leave the stack poisoned for its parent's [leave] *)
+      (match (sp, !stack) with
+      | Some s, top :: rest when top == s -> stack := rest
+      | _ -> ());
+      raise e
+
+let emit ?(cat = "flick") ?(args = []) ~name ~ts_ns ~dur_ns () =
+  if !enabled_flag then
+    events_rev :=
+      {
+        ev_name = name;
+        ev_cat = cat;
+        ev_ts_ns = ts_ns;
+        ev_dur_ns = dur_ns;
+        ev_depth = List.length !stack;
+        ev_args = args;
+      }
+      :: !events_rev
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace_event export                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The JSON Object Format of the trace_event spec: complete ("X")
+   events with microsecond timestamps, loadable by chrome://tracing and
+   Perfetto. *)
+let to_chrome_json () =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\":[";
+  List.iteri
+    (fun i ev ->
+      if i > 0 then Buffer.add_string b ",";
+      Buffer.add_string b
+        (Printf.sprintf
+           "\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":1,\"args\":{"
+           (Obs.json_escape ev.ev_name)
+           (Obs.json_escape ev.ev_cat)
+           (ev.ev_ts_ns /. 1e3) (ev.ev_dur_ns /. 1e3));
+      List.iteri
+        (fun j (k, v) ->
+          if j > 0 then Buffer.add_string b ",";
+          Buffer.add_string b
+            (Printf.sprintf "\"%s\":\"%s\"" (Obs.json_escape k)
+               (Obs.json_escape v)))
+        ev.ev_args;
+      Buffer.add_string b "}}")
+    (events ());
+  Buffer.add_string b "\n],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents b

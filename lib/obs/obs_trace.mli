@@ -1,0 +1,62 @@
+(** Span-based tracing with nested scopes and Chrome trace_event export.
+
+    Spans read the {!Obs} clock at {!enter} and {!leave} and record one
+    complete event per span.  Scopes must nest — leaving a span that is
+    not the innermost open one raises {!Unbalanced_span}.  Disabled
+    (the default), every entry point is a load-and-branch no-op. *)
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_ts_ns : float;  (** start, on the {!Obs} clock *)
+  ev_dur_ns : float;
+  ev_depth : int;  (** nesting depth at entry *)
+  ev_args : (string * string) list;
+}
+
+exception Unbalanced_span of string
+
+type span
+(** Token returned by {!enter}; a no-op when tracing is disabled. *)
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val enter : ?cat:string -> ?args:(string * string) list -> string -> span
+(** Open a span (category defaults to ["flick"]). *)
+
+val leave : span -> unit
+(** Close the span and record its event.
+    @raise Unbalanced_span when the span is not the innermost open
+    one. *)
+
+val with_span :
+  ?cat:string -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [enter]/[leave] around [f]; on an exception the span is popped
+    without recording so the parent's scope stays balanced. *)
+
+val emit :
+  ?cat:string ->
+  ?args:(string * string) list ->
+  name:string ->
+  ts_ns:float ->
+  dur_ns:float ->
+  unit ->
+  unit
+(** Record a complete event with caller-supplied timestamps — for
+    clocks the tracer does not own, e.g. the RPC simulator's virtual
+    time. *)
+
+val events : unit -> event list
+(** Recorded events in completion order. *)
+
+val clear : unit -> unit
+(** Drop all events and any open spans. *)
+
+val depth : unit -> int
+(** Number of currently open spans. *)
+
+val to_chrome_json : unit -> string
+(** The trace as Chrome [trace_event] JSON (complete ["X"] events,
+    microsecond timestamps) — loadable by chrome://tracing or
+    Perfetto. *)

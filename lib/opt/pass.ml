@@ -20,6 +20,7 @@
 type trace = {
   tr_side : string;  (** "encode" or "decode" *)
   tr_pass : string;
+  tr_round : int;
   tr_nodes_before : int;
   tr_nodes_after : int;
   tr_checks_before : int;
@@ -161,12 +162,19 @@ let validate (config : Opt_config.t) =
                (String.concat ", " unknown)
                (String.concat ", " pass_names)))
 
+(* [Only] honors the caller's order, not registration order: the order
+   is fingerprinted into cache keys anyway (differing spellings already
+   cache separately), and an explicit list exists to experiment with
+   pipelines — including ones that need a later-registered pass to run
+   first (see the fixpoint test, where fusion precedes coalescing). *)
 let select passes (sel : Opt_config.selection) =
   match sel with
   | Opt_config.All -> passes
   | Opt_config.Nothing -> []
   | Opt_config.Only names ->
-      List.filter (fun p -> List.mem p.p_name names) passes
+      List.filter_map
+        (fun n -> List.find_opt (fun p -> p.p_name = n) passes)
+        names
 
 (* ------------------------------------------------------------------ *)
 (* The runner                                                           *)
@@ -178,38 +186,79 @@ let verify_or_raise side pass prog =
   | Error error ->
       raise (Verify_failed { side = side.s_name; pass; error })
 
+let max_rounds = 4
+
+(* Iterate the selected pipeline to a fixpoint: one pass can expose
+   work for another that already ran this round (chunk-coalesce
+   normalizing a loop body that loop-blit-fusion then consumes), so the
+   whole sequence repeats until a round records zero Peephole rewrites,
+   bounded by [max_rounds] against a rewrite ping-pong.
+
+   Trace policy: round 1 streams unconditionally; a later round's rows
+   are flushed only when that round actually rewrote something.  A
+   pipeline that converges immediately therefore traces exactly as the
+   single-round manager did, and extra rounds show up as extra rows
+   (tagged [tr_round]) only when they earned their keep. *)
 let run ?config ?stats ?on_trace side passes prog =
   let config =
     match config with Some c -> c | None -> Opt_config.default ()
   in
   let verify = config.Opt_config.verify in
+  let selected = select passes config.Opt_config.selection in
   (* check the compiler's own output before any pass touches it *)
   if verify then verify_or_raise side "<compile>" prog;
-  List.fold_left
-    (fun prog pass ->
-      let nodes_before = side.s_nodes prog
-      and checks_before = side.s_checks prog in
-      let t0 = Unix.gettimeofday () in
-      let prog' = pass.p_transform ?stats prog in
-      let wall_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
-      if verify then verify_or_raise side pass.p_name prog';
-      (match on_trace with
+  (* one stats record threads through every round: the caller sees the
+     grand total, the runner reads per-round deltas off it *)
+  let st =
+    match stats with Some s -> s | None -> Peephole.fresh_stats ()
+  in
+  let rec rounds round prog =
+    let rewrites_before = Peephole.rewrites st in
+    let buffered = ref [] in
+    let prog' =
+      List.fold_left
+        (fun prog pass ->
+          let nodes_before = side.s_nodes prog
+          and checks_before = side.s_checks prog in
+          let sp =
+            Obs_trace.enter ~cat:"opt"
+              ~args:
+                [ ("side", side.s_name); ("round", string_of_int round) ]
+              ("pass:" ^ pass.p_name)
+          in
+          let t0 = Obs.now_ns () in
+          let prog' = pass.p_transform ~stats:st prog in
+          let wall_ns = Obs.now_ns () -. t0 in
+          Obs_trace.leave sp;
+          if verify then verify_or_raise side pass.p_name prog';
+          (match on_trace with
+          | None -> ()
+          | Some _ ->
+              buffered :=
+                {
+                  tr_side = side.s_name;
+                  tr_pass = pass.p_name;
+                  tr_round = round;
+                  tr_nodes_before = nodes_before;
+                  tr_nodes_after = side.s_nodes prog';
+                  tr_checks_before = checks_before;
+                  tr_checks_after = side.s_checks prog';
+                  tr_wall_ns = wall_ns;
+                  tr_verified = verify;
+                }
+                :: !buffered);
+          prog')
+        prog selected
+    in
+    let rewrote = Peephole.rewrites st - rewrites_before in
+    if round = 1 || rewrote > 0 then (
+      match on_trace with
       | None -> ()
-      | Some f ->
-          f
-            {
-              tr_side = side.s_name;
-              tr_pass = pass.p_name;
-              tr_nodes_before = nodes_before;
-              tr_nodes_after = side.s_nodes prog';
-              tr_checks_before = checks_before;
-              tr_checks_after = side.s_checks prog';
-              tr_wall_ns = wall_ns;
-              tr_verified = verify;
-            });
-      prog')
-    prog
-    (select passes config.Opt_config.selection)
+      | Some f -> List.iter f (List.rev !buffered));
+    if rewrote > 0 && round < max_rounds then rounds (round + 1) prog'
+    else prog'
+  in
+  rounds 1 prog
 
 let run_encode ?config ?stats ?on_trace plan =
   run ?config ?stats ?on_trace encode_side encode_passes plan

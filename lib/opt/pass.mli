@@ -17,6 +17,7 @@
 type trace = {
   tr_side : string;  (** "encode" or "decode" *)
   tr_pass : string;
+  tr_round : int;  (** fixpoint round, 1-based *)
   tr_nodes_before : int;
   tr_nodes_after : int;
   tr_checks_before : int;
@@ -64,8 +65,15 @@ val validate : Opt_config.t -> (unit, string) result
     error). *)
 
 val select : 'p pass list -> Opt_config.selection -> 'p pass list
-(** The subset of [passes] the selection enables, in registration
-    order.  Unknown names select nothing (see {!validate}). *)
+(** The subset of [passes] the selection enables.  [All] runs in
+    registration order; an explicit [Only] list runs in the {e
+    caller's} order (the spelling is fingerprinted into cache keys, so
+    reorderings cache separately and never alias).  Unknown names
+    select nothing (see {!validate}). *)
+
+val max_rounds : int
+(** Fixpoint bound: {!run} repeats the selected pipeline until a round
+    records zero {!Peephole} rewrites, at most this many rounds. *)
 
 val run :
   ?config:Opt_config.t ->
@@ -75,12 +83,18 @@ val run :
   'p pass list ->
   'p ->
   'p
-(** Run the selected passes ([config] defaults to
+(** Run the selected passes to a fixpoint ([config] defaults to
     {!Opt_config.default}, so [FLICK_VERIFY_PLANS=1] turns the verifier
-    on everywhere).  When verifying, the input program is checked once
-    before the first pass, then after every pass.  [stats] accumulates
-    {!Peephole} rewrite counters across all passes; [on_trace] receives
-    one record per executed pass. *)
+    on everywhere): the whole pipeline repeats until a round records
+    zero rewrites, bounded by {!max_rounds} — one pass can expose work
+    for an earlier-ordered one (pinned in test/test_passes.ml).  When
+    verifying, the input program is checked once before the first pass,
+    then after every pass of every round.  [stats] accumulates
+    {!Peephole} rewrite counters across all rounds; [on_trace] receives
+    one record per executed pass for round 1 and for any later round
+    that rewrote something ([tr_round] tags them).  Wall times read the
+    {!Obs} clock, and each pass runs under an [Obs_trace] span
+    ([pass:<name>], category ["opt"]) when tracing is enabled. *)
 
 val run_encode :
   ?config:Opt_config.t ->

@@ -37,6 +37,14 @@ val fresh_stats : unit -> stats
 val rewrites : stats -> int
 (** Total rewrites recorded in a {!stats}. *)
 
+val bounded_advance_ops : Mplan.op list -> int option
+(** Static worst-case bound on how far one execution of the op
+    sequence advances the buffer position ([None] = unbounded, e.g. a
+    dynamic-length string or a [Via_seq] loop).  Used by the
+    ensure-hoisting rewrite to size loop reservations and by
+    {!Plan_verify} to reject reservations smaller than the body they
+    claim to cover. *)
+
 type rewrite_set = {
   rw_coalesce : bool;
       (** adjacent-chunk merging and power-of-two alignment merging *)

@@ -14,8 +14,17 @@
 (* One stats record serves every cache — encode plans, decode plans,
    and the stub engine's closure caches — so reports (bench warm-cache
    sections) can render them uniformly: hit rate AND eviction pressure
-   for both sides, not hit rates on one and nothing on the other. *)
-type stats = { hits : int; misses : int; entries : int; evictions : int }
+   for both sides, not hit rates on one and nothing on the other.
+   [evictions] counts entries lost; [resets] counts the overflow events
+   that lost them, so one mass-eviction is distinguishable from
+   sustained churn. *)
+type stats = {
+  hits : int;
+  misses : int;
+  entries : int;
+  evictions : int;
+  resets : int;
+}
 
 let hit_rate st =
   float_of_int st.hits /. float_of_int (max 1 (st.hits + st.misses))
@@ -27,6 +36,7 @@ type 'a t = {
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  mutable resets : int;
 }
 
 let registry : (string * (unit -> stats) * (unit -> unit)) list ref = ref []
@@ -37,6 +47,7 @@ let cache_stats c =
     misses = c.misses;
     entries = Hashtbl.length c.tbl;
     evictions = c.evictions;
+    resets = c.resets;
   }
 
 let create ~name ?(max_entries = 512) () =
@@ -48,13 +59,15 @@ let create ~name ?(max_entries = 512) () =
       hits = 0;
       misses = 0;
       evictions = 0;
+      resets = 0;
     }
   in
   let reset () =
     Hashtbl.reset c.tbl;
     c.hits <- 0;
     c.misses <- 0;
-    c.evictions <- 0
+    c.evictions <- 0;
+    c.resets <- 0
   in
   registry := !registry @ [ (name, (fun () -> cache_stats c), reset) ];
   c
@@ -73,6 +86,7 @@ let find_or_add c key build =
          eviction so the pressure is visible in reports. *)
       if Hashtbl.length c.tbl >= c.max_entries then begin
         c.evictions <- c.evictions + Hashtbl.length c.tbl;
+        c.resets <- c.resets + 1;
         Hashtbl.reset c.tbl
       end;
       Hashtbl.add c.tbl key v;
@@ -80,6 +94,23 @@ let find_or_add c key build =
 
 let all_stats () = List.map (fun (n, st, _) -> (n, st ())) !registry
 let reset_all () = List.iter (fun (_, _, reset) -> reset ()) !registry
+
+(* Re-export the whole cache registry through the metrics registry as
+   one pull-based probe: caches created after this still appear, since
+   the probe walks [registry] at snapshot time. *)
+let () =
+  Obs.probe "cache" (fun () ->
+      List.concat_map
+        (fun (name, (st : stats)) ->
+          [
+            (name ^ ".hits", float_of_int st.hits);
+            (name ^ ".misses", float_of_int st.misses);
+            (name ^ ".entries", float_of_int st.entries);
+            (name ^ ".evictions", float_of_int st.evictions);
+            (name ^ ".resets", float_of_int st.resets);
+            (name ^ ".hit_rate", hit_rate st);
+          ])
+        (all_stats ()))
 
 (* ------------------------------------------------------------------ *)
 (* Structural fingerprints                                              *)
@@ -344,11 +375,12 @@ let plan ~enc ~mint ~named ?start ?unroll_limit ?chunked ?config ?sg
       ~sg_threshold roots
   in
   find_or_add plans key (fun () ->
-      let p =
-        Plan_compile.compile ~enc ~mint ~named ?start ?unroll_limit ?chunked
-          ~sg ~sg_threshold roots
-      in
-      Pass.run_encode ~config p)
+      Obs_trace.with_span ~cat:"opt" "plan-compile" (fun () ->
+          let p =
+            Plan_compile.compile ~enc ~mint ~named ?start ?unroll_limit
+              ?chunked ~sg ~sg_threshold roots
+          in
+          Pass.run_encode ~config p))
 
 (* ------------------------------------------------------------------ *)
 (* The shared compiled-decode-plan cache                                *)
@@ -405,8 +437,9 @@ let dplan ~enc ~mint ~named ?start ?chunked ?config ?views ?view_threshold
       ~view_threshold droots
   in
   find_or_add dplans key (fun () ->
-      let p =
-        Dplan_compile.compile ~enc ~mint ~named ?start ?chunked ~views
-          ~view_threshold droots
-      in
-      Pass.run_decode ~config p)
+      Obs_trace.with_span ~cat:"opt" "dplan-compile" (fun () ->
+          let p =
+            Dplan_compile.compile ~enc ~mint ~named ?start ?chunked ~views
+              ~view_threshold droots
+          in
+          Pass.run_decode ~config p))

@@ -24,10 +24,19 @@ type 'a t
 (** A string-keyed memo table with hit/miss counters, registered under
     a name at creation. *)
 
-type stats = { hits : int; misses : int; entries : int; evictions : int }
+type stats = {
+  hits : int;
+  misses : int;
+  entries : int;
+  evictions : int;
+  resets : int;
+}
 (** One record for every cache, encode and decode alike: [evictions]
     counts entries dropped by overflow resets since the last
-    {!reset_all}. *)
+    {!reset_all}; [resets] counts the overflow events themselves, so
+    one mass-eviction reads differently from sustained churn.  Every
+    cache is also re-exported through the {!Obs} registry as the
+    ["cache"] probe ([cache.<name>.hits] and friends). *)
 
 val hit_rate : stats -> float
 (** [hits / (hits + misses)], 0. when the cache was never consulted. *)

@@ -89,7 +89,11 @@ let max_size ~enc ~mint idx pres =
           match Encoding.atom_of_mint (Mint.get mint discrim) with
           | Some kind ->
               let a = atom_of enc kind in
-              Some (a.Mplan.size + a.Mplan.align - 1)
+              (* the discriminator is emitted like any other scalar:
+                 under a typed-header encoding it carries its own
+                 descriptor word (4 bytes, 4-aligned) *)
+              let header = if enc.Encoding.typed_headers then 7 else 0 in
+              Some (header + a.Mplan.size + a.Mplan.align - 1)
           | None -> None
         in
         let arm_sizes =

@@ -140,9 +140,24 @@ let rec check_ops path ~subs ~covered ~vars ops =
         let covered =
           covered
           ||
-          (* pre-reserved iff the loop directly follows its reservation *)
+          (* pre-reserved iff the loop directly follows its reservation —
+             and the reservation must be big enough: whenever the body's
+             per-iteration advance has a static bound, the unit size must
+             meet it (a smaller unit is exactly the under-reservation
+             that lets unchecked stores run off the chunk).  An unbounded
+             body is accepted: the compiler sizes those from the type's
+             [max_len] bound, which the plan no longer carries. *)
           match prev with
-          | Some (Mplan.Ensure_count { arr = e_arr; _ }) -> e_arr = arr
+          | Some (Mplan.Ensure_count { arr = e_arr; unit_size; _ })
+            when e_arr = arr ->
+              (match Peephole.bounded_advance_ops body with
+              | Some u when u > unit_size ->
+                  failv path
+                    "loop reservation of %d bytes/element under-covers a \
+                     worst-case per-element advance of %d"
+                    unit_size u
+              | _ -> ());
+              true
           | _ -> false
         in
         check_ops (path ^ ".loop") ~subs ~covered ~vars:(var :: vars) body

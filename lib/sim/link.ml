@@ -13,7 +13,14 @@ let make ~sim ~name ~bandwidth_bps ~latency ~per_msg_cpu =
 
 let name t = t.lname
 
+(* Process-wide link accounting for the metrics registry: how many
+   messages and payload bytes crossed any simulated wire. *)
+let g_msgs = Obs.counter "sim.link.msgs"
+let g_bytes = Obs.counter "sim.link.bytes"
+
 let transmit t ~bytes k =
+  Obs.incr g_msgs 1;
+  Obs.incr g_bytes bytes;
   let serialization = float_of_int (8 * bytes) /. t.bandwidth in
   let start = Float.max (Sim_core.now t.sim) t.busy_until in
   let done_sending = start +. serialization in

@@ -5,20 +5,46 @@ type stub_cost = {
   sc_per_call : float;
 }
 
+(* Process-wide RPC accounting for the metrics registry. *)
+let round_trips = Obs.counter "sim.rpc.round_trips"
+let retransmits = Obs.counter "sim.rpc.retransmits"
+
+(* A lost request is retried after a fixed timeout, the mid-90s
+   coarse-grained kind (SunRPC defaulted to whole seconds; we use 10ms
+   so simulated sweeps stay readable). *)
+let retransmit_timeout = 0.01
+
 let round_trip_throughput ~net ~cost ~msg_bytes ?(reply_bytes = 64)
-    ?(rounds = 32) () =
+    ?(rounds = 32) ?drop_every () =
   let sim = Sim_core.create () in
   let link = net ~sim in
   let finished = ref 0. in
+  let sent = ref 0 in
+  (* every [drop_every]-th request is lost on first transmission and
+     retransmitted after the timeout; the deterministic schedule keeps
+     figures reproducible (None: the paper's loss-free links) *)
+  let send_request k =
+    incr sent;
+    let lost =
+      match drop_every with Some n when n > 0 -> !sent mod n = 0 | _ -> false
+    in
+    if lost then begin
+      Obs.incr retransmits 1;
+      Sim_core.schedule sim ~delay:retransmit_timeout (fun () ->
+          Link.transmit link ~bytes:msg_bytes k)
+    end
+    else Link.transmit link ~bytes:msg_bytes k
+  in
   (* one round trip: client marshal -> wire -> server unmarshal ->
      server marshal reply -> wire -> client unmarshal -> next *)
   let rec round n =
     if n = 0 then finished := Sim_core.now sim
-    else
+    else begin
+      let t_start = Sim_core.now sim in
       Sim_core.schedule sim
         ~delay:(cost.sc_per_call +. cost.sc_marshal msg_bytes)
         (fun () ->
-          Link.transmit link ~bytes:msg_bytes (fun () ->
+          send_request (fun () ->
               Sim_core.schedule sim ~delay:(cost.sc_unmarshal msg_bytes)
                 (fun () ->
                   Sim_core.schedule sim ~delay:(cost.sc_marshal reply_bytes)
@@ -26,7 +52,24 @@ let round_trip_throughput ~net ~cost ~msg_bytes ?(reply_bytes = 64)
                       Link.transmit link ~bytes:reply_bytes (fun () ->
                           Sim_core.schedule sim
                             ~delay:(cost.sc_unmarshal reply_bytes) (fun () ->
+                              Obs.incr round_trips 1;
+                              (* simulated (virtual) time, flagged by
+                                 the category: these spans coexist with
+                                 wall-clock compile spans in one trace
+                                 but live on the simulator's clock *)
+                              Obs_trace.emit ~cat:"sim"
+                                ~args:
+                                  [
+                                    ("stub", cost.sc_name);
+                                    ("link", Link.name link);
+                                    ("bytes", string_of_int msg_bytes);
+                                  ]
+                                ~name:"round-trip" ~ts_ns:(t_start *. 1e9)
+                                ~dur_ns:
+                                  ((Sim_core.now sim -. t_start) *. 1e9)
+                                ();
                               round (n - 1)))))))
+    end
   in
   round rounds;
   Sim_core.run sim;

@@ -27,7 +27,15 @@ val round_trip_throughput :
   msg_bytes:int ->
   ?reply_bytes:int ->
   ?rounds:int ->
+  ?drop_every:int ->
   unit ->
   float
 (** Simulated end-to-end throughput in Mbit/s of payload, running
-    [rounds] back-to-back round trips (default 32, reply 64 bytes). *)
+    [rounds] back-to-back round trips (default 32, reply 64 bytes).
+    [drop_every:n] loses every [n]-th request on first transmission and
+    retransmits it after a fixed timeout (deterministic, so figures
+    stay reproducible; default: no loss, the paper's model).  Each
+    completed round trip increments the [sim.rpc.round_trips] counter
+    (retransmissions count into [sim.rpc.retransmits]) and — when
+    tracing is enabled — emits a [round-trip] span on the simulator's
+    {e virtual} clock (category ["sim"]). *)

@@ -28,6 +28,24 @@ let set_borrow_threshold n =
 
 let borrow_eligible len = !sg_on && len >= !sg_thresh
 
+(* -- module-wide accounting ----------------------------------------- *)
+
+(* Writer stats are per-writer (see [stats]); these mirrors accumulate
+   the same events across every writer in the process so the metrics
+   registry can report the wire layer as a whole.  Plain refs: the
+   per-event cost is one integer add on paths that already do a blit. *)
+let g_copied = ref 0
+let g_copies = ref 0
+let g_borrowed = ref 0
+let g_borrows = ref 0
+let g_flattens = ref 0
+let g_seals = ref 0
+
+(* Pool occupancy high-water marks, maxed at each release. *)
+let chunk_pool_hw = ref 0
+let writer_pool_hw = ref 0
+let reader_pool_hw = ref 0
+
 (* -- pooled chunk storage ------------------------------------------- *)
 
 let chunk_size = 8192
@@ -47,7 +65,8 @@ let chunk_get n =
 let chunk_put b =
   if Bytes.length b >= chunk_size && !chunk_pool_len < pool_max then begin
     chunk_pool := b :: !chunk_pool;
-    incr chunk_pool_len
+    incr chunk_pool_len;
+    if !chunk_pool_len > !chunk_pool_hw then chunk_pool_hw := !chunk_pool_len
   end
 
 (* -- writer ---------------------------------------------------------- *)
@@ -145,6 +164,7 @@ let seal t =
       :: t.segs_rev;
     t.nsegs <- t.nsegs + 1;
     t.st_seals <- t.st_seals + 1;
+    incr g_seals;
     t.w_off <- t.w_off + len;
     t.base <- t.pos
   end
@@ -229,14 +249,18 @@ let set_f64_le t off v =
 let set_bytes t off src srcoff len =
   Bytes.blit src srcoff t.buf (apos t off) len;
   t.st_copied <- t.st_copied + len;
-  t.st_copies <- t.st_copies + 1
+  t.st_copies <- t.st_copies + 1;
+  g_copied := !g_copied + len;
+  incr g_copies
 
 let fill_zero t off len = Bytes.fill t.buf (apos t off) len '\000'
 
 let set_string t off src srcoff len =
   Bytes.blit_string src srcoff t.buf (apos t off) len;
   t.st_copied <- t.st_copied + len;
-  t.st_copies <- t.st_copies + 1
+  t.st_copies <- t.st_copies + 1;
+  g_copied := !g_copied + len;
+  incr g_copies
 
 (* -- checked appends ------------------------------------------------ *)
 
@@ -286,7 +310,9 @@ let put_borrow_string t s off len =
     t.pos <- t.pos + len;
     t.base <- t.pos;
     t.st_borrowed <- t.st_borrowed + len;
-    t.st_borrows <- t.st_borrows + 1
+    t.st_borrows <- t.st_borrows + 1;
+    g_borrowed := !g_borrowed + len;
+    incr g_borrows
   end
 
 let put_borrow_bytes t b off len =
@@ -315,6 +341,8 @@ let flatten t =
         blit_all t out;
         t.st_flattens <- t.st_flattens + 1;
         t.st_copied <- t.st_copied + t.pos;
+        incr g_flattens;
+        g_copied := !g_copied + t.pos;
         t.flat <- Some out;
         out
 
@@ -323,6 +351,8 @@ let contents t =
   blit_all t out;
   t.st_copied <- t.st_copied + t.pos;
   t.st_copies <- t.st_copies + 1;
+  g_copied := !g_copied + t.pos;
+  incr g_copies;
   out
 
 let unsafe_contents t =
@@ -394,7 +424,9 @@ let release w =
   reset w;
   if !writer_pool_len < pool_max then begin
     writer_pool := w :: !writer_pool;
-    incr writer_pool_len
+    incr writer_pool_len;
+    if !writer_pool_len > !writer_pool_hw then
+      writer_pool_hw := !writer_pool_len
   end
 
 (* -- readers --------------------------------------------------------- *)
@@ -753,5 +785,35 @@ let release_reader r =
   r.rsrc <- None;
   if !reader_pool_len < pool_max then begin
     reader_pool := r :: !reader_pool;
-    incr reader_pool_len
+    incr reader_pool_len;
+    if !reader_pool_len > !reader_pool_hw then
+      reader_pool_hw := !reader_pool_len
   end
+
+(* -- metrics-registry export ----------------------------------------- *)
+
+(* One pull-based probe for the whole wire layer: process-wide writer
+   accounting, the module-global reader accounting, and pool occupancy
+   with high-water marks.  Registered at module initialization, so any
+   program linking the wire layer reports it in [flick stats]. *)
+let () =
+  Obs.probe "wire" (fun () ->
+      let rs = reader_stats () in
+      [
+        ("bytes_copied", float_of_int !g_copied);
+        ("copies", float_of_int !g_copies);
+        ("bytes_borrowed", float_of_int !g_borrowed);
+        ("borrows", float_of_int !g_borrows);
+        ("flattens", float_of_int !g_flattens);
+        ("seals", float_of_int !g_seals);
+        ("read_bytes_copied", float_of_int rs.rbytes_copied);
+        ("read_copies", float_of_int rs.rcopies);
+        ("read_bytes_viewed", float_of_int rs.rbytes_viewed);
+        ("read_views", float_of_int rs.rviews);
+        ("pool.chunks", float_of_int !chunk_pool_len);
+        ("pool.chunks_hw", float_of_int !chunk_pool_hw);
+        ("pool.writers", float_of_int !writer_pool_len);
+        ("pool.writers_hw", float_of_int !writer_pool_hw);
+        ("pool.readers", float_of_int !reader_pool_len);
+        ("pool.readers_hw", float_of_int !reader_pool_hw);
+      ])

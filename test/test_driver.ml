@@ -190,31 +190,16 @@ let occurrences hay needle =
   in
   if nn = 0 then 0 else go 0 0
 
+(* Rendered under the injected fake clock, every wall time in a pass
+   trace is a deterministic step count (two readings bracket each
+   transform: exactly 1000ns = 1.0us per pass), so the golden below
+   pins timing columns byte-for-byte — no real nanosecond ever lands in
+   a golden. *)
 let render ~op ?config mode =
-  Plan_dump.render ~idl:Driver.Idl_corba ~pres:Driver.Pres_rpcgen
-    ~backend:Driver.Back_oncrpc ~interface:None ~op ~mode ?config
-    ~file:"bench.idl" ~source:Paper_fixtures.bench_idl ()
-
-(* Wall time is the one non-deterministic token in a pass trace:
-   collapse "  123.4us" to "_us" (and with it, the column padding). *)
-let normalize_trace s =
-  let norm_token tok =
-    let n = String.length tok in
-    if
-      n > 2
-      && String.sub tok (n - 2) 2 = "us"
-      && float_of_string_opt (String.sub tok 0 (n - 2)) <> None
-    then "_us"
-    else tok
-  in
-  String.concat "\n"
-    (List.map
-       (fun line ->
-         String.concat " "
-           (List.filter
-              (fun t -> t <> "")
-              (List.map norm_token (String.split_on_char ' ' line))))
-       (String.split_on_char '\n' s))
+  Obs.with_clock (Obs.fake_clock ()) (fun () ->
+      Plan_dump.render ~idl:Driver.Idl_corba ~pres:Driver.Pres_rpcgen
+        ~backend:Driver.Back_oncrpc ~interface:None ~op ~mode ?config
+        ~file:"bench.idl" ~source:Paper_fixtures.bench_idl ())
 
 let read_golden name =
   let path = Filename.concat "goldens" name in
@@ -242,9 +227,18 @@ let dump_tests =
           render ~op:(Some "send_dirents") ~config:Opt_config.all
             Plan_dump.Trace
         in
+        (* Golden regeneration aid (DESIGN.md §8): the output is
+           deterministic under the fake clock, so dumping it *is* the
+           new golden. *)
+        (match Sys.getenv_opt "FLICK_REGEN_GOLDENS" with
+        | Some path ->
+            let oc = open_out path in
+            output_string oc out;
+            close_out oc
+        | None -> ());
         Alcotest.(check string) "dump_trace_dirents_oncrpc.golden"
           (String.trim (read_golden "dump_trace_dirents_oncrpc.golden"))
-          (String.trim (normalize_trace out)));
+          (String.trim out));
     test "dump-plan --trace-passes marks every pass verified" (fun () ->
         (* Trace mode forces the verifier on, whatever the config says *)
         let out =

@@ -488,10 +488,286 @@ let config_tests =
           (Plan_cache.hit_rate st >= 0. && Plan_cache.hit_rate st <= 1.));
   ]
 
+(* -- fixpoint iteration ----------------------------------------------- *)
+
+(* The manager repeats the selected pipeline until a round records zero
+   rewrites (bounded by max_rounds).  The pin: run fusion BEFORE
+   coalescing on a loop whose body only fuses after coalescing has
+   normalized it — round 1 coalesces, round 2 fuses, round 3 finds
+   nothing and is silent.  A single-round manager would miss the fusion
+   entirely. *)
+
+let a32 =
+  { Mplan.kind = Encoding.Kint { bits = 32; signed = false }; size = 4; align = 4 }
+
+let two_chunk_loop () =
+  let arr = Mplan.Rparam { index = 0; name = "xs"; deref = false } in
+  {
+    Plan_compile.p_ops =
+      [
+        Mplan.Loop
+          {
+            arr;
+            via = Mplan.Via_seq { len_field = "len"; buf_field = "val" };
+            var = 0;
+            body =
+              [
+                Mplan.Chunk
+                  {
+                    size = 4;
+                    align = 4;
+                    items =
+                      [ Mplan.It_atom { off = 0; atom = a32; src = Mplan.Rvar 0 } ];
+                    check = true;
+                  };
+                (* the no-op chunk coalescing deletes; until it does,
+                   the two-op body blocks fusion *)
+                Mplan.Chunk { size = 0; align = 1; items = []; check = false };
+              ];
+          };
+      ];
+    p_subs = [];
+  }
+
+let fixpoint_tests =
+  [
+    test "chunk-coalesce exposes loop-blit-fusion on round 2" (fun () ->
+        let config =
+          {
+            (Opt_config.only [ "loop-blit-fusion"; "chunk-coalesce" ]) with
+            Opt_config.verify = true;
+          }
+        in
+        let traces = ref [] in
+        let out =
+          Pass.run_encode ~config
+            ~on_trace:(fun tr -> traces := !traces @ [ tr ])
+            (two_chunk_loop ())
+        in
+        (* the fused result: one tight array blit, no loop left *)
+        (match out.Plan_compile.p_ops with
+        | [ Mplan.Put_atom_array { atom; with_len = false; _ } ] ->
+            Alcotest.(check int) "fused atom size" 4 atom.Mplan.size
+        | ops ->
+            Alcotest.failf "expected a fused Put_atom_array, got %d ops"
+              (List.length ops));
+        (* rounds 1 and 2 both rewrote, so both are traced in caller
+           order; the silent round 3 leaves no rows *)
+        Alcotest.(check (list (pair string int)))
+          "pipeline order and rounds"
+          [
+            ("loop-blit-fusion", 1); ("chunk-coalesce", 1);
+            ("loop-blit-fusion", 2); ("chunk-coalesce", 2);
+          ]
+          (List.map
+             (fun (tr : Pass.trace) -> (tr.Pass.tr_pass, tr.Pass.tr_round))
+             !traces);
+        (* round 2's fusion is the row that did the work *)
+        match
+          List.find_opt
+            (fun (tr : Pass.trace) ->
+              tr.Pass.tr_pass = "loop-blit-fusion" && tr.Pass.tr_round = 2)
+            !traces
+        with
+        | Some tr ->
+            Alcotest.(check bool) "round-2 fusion shrank the plan" true
+              (tr.Pass.tr_nodes_after < tr.Pass.tr_nodes_before)
+        | None -> Alcotest.fail "no round-2 fusion row");
+    test "registration order converges in one round on the same plan"
+      (fun () ->
+        (* the default order (coalesce before fuse) needs no second
+           round: its round 2 does zero rewrites and is suppressed, so
+           the trace shows exactly the registered passes once *)
+        let traces = ref [] in
+        let out =
+          Pass.run_encode ~config:verify_all
+            ~on_trace:(fun tr -> traces := !traces @ [ tr ])
+            (two_chunk_loop ())
+        in
+        (match out.Plan_compile.p_ops with
+        | [ Mplan.Put_atom_array _ ] -> ()
+        | _ -> Alcotest.fail "expected the same fused result");
+        Alcotest.(check (list string))
+          "single traced round" Pass.encode_pass_names
+          (List.map (fun (tr : Pass.trace) -> tr.Pass.tr_pass) !traces));
+    test "a pass that always rewrites stops at max_rounds" (fun () ->
+        let calls = ref 0 in
+        let spin =
+          {
+            Pass.p_name = "spin";
+            p_transform =
+              (fun ?stats p ->
+                incr calls;
+                (match stats with
+                | Some st ->
+                    st.Peephole.chunks_merged <- st.Peephole.chunks_merged + 1
+                | None -> ());
+                p);
+          }
+        in
+        let side =
+          {
+            Pass.s_name = "encode";
+            s_nodes = (fun _ -> 1);
+            s_checks = (fun _ -> 0);
+            s_verify = (fun _ -> Ok ());
+          }
+        in
+        let rounds = ref [] in
+        ignore
+          (Pass.run
+             ~config:{ Opt_config.selection = Opt_config.All; verify = false }
+             ~on_trace:(fun tr -> rounds := !rounds @ [ tr.Pass.tr_round ])
+             side [ spin ] ());
+        Alcotest.(check int) "transform ran max_rounds times" Pass.max_rounds
+          !calls;
+        Alcotest.(check (list int))
+          "every round traced (each one rewrote)"
+          [ 1; 2; 3; 4 ] !rounds);
+  ]
+
+(* -- cache overflow resets -------------------------------------------- *)
+
+let reset_tests =
+  [
+    test "overflow resets are counted separately from evictions" (fun () ->
+        let c = Plan_cache.create ~name:"test.resets" ~max_entries:2 () in
+        for i = 1 to 5 do
+          ignore (Plan_cache.find_or_add c (string_of_int i) (fun () -> i))
+        done;
+        (* inserting 3 drops {1,2} (2 evictions, 1 reset); inserting 5
+           drops {3,4} (2 more evictions, 1 more reset) *)
+        let st = Plan_cache.cache_stats c in
+        Alcotest.(check int) "misses" 5 st.Plan_cache.misses;
+        Alcotest.(check int) "evictions" 4 st.Plan_cache.evictions;
+        Alcotest.(check int) "resets" 2 st.Plan_cache.resets;
+        Alcotest.(check int) "entries" 1 st.Plan_cache.entries;
+        (* reset_all zeroes the odometer too *)
+        Plan_cache.reset_all ();
+        let st = Plan_cache.cache_stats c in
+        Alcotest.(check int) "resets cleared" 0 st.Plan_cache.resets);
+  ]
+
+(* -- 2b. reservation sizing: the mach3 union-in-sequence overrun ------ *)
+
+(* A sequence of 13-byte union elements under a 4-alignment advances 16
+   bytes per iteration (3 bytes of leading pad), so a reservation sized
+   from the unpadded element under-covers and the loop's unchecked
+   stores run off the chunk.  The compiler bug was omitting the typed
+   descriptor word from the union discriminator's max-size; both the
+   type-level fix and the verifier's sufficiency check pin here. *)
+
+let seq_union_case () =
+  let mint = Mint.create () in
+  let ch = Mint.char8 mint in
+  let discrim = Mint.int32 mint in
+  let u =
+    Mint.union mint ~discrim
+      ~cases:[ { Mint.c_const = Mint.Cint 0L; c_body = ch } ]
+      ~default:None
+  in
+  let sequ = Mint.array mint ~elem:u ~min_len:0 ~max_len:(Some 8) in
+  let upres =
+    Pres.Union
+      {
+        discrim_field = "_d";
+        union_field = "_u";
+        arms = [ ("a0", Pres.Direct) ];
+        default_arm = None;
+      }
+  in
+  let pres =
+    Pres.Counted_seq { len_field = "len"; buf_field = "val"; elem = upres }
+  in
+  (mint, sequ, pres)
+
+let reservation_tests =
+  [
+    test "verifier rejects an under-sized loop reservation" (fun () ->
+        (* per-iteration worst case: 3 (align pad) + 13 (chunk) = 16 *)
+        let body =
+          [
+            Mplan.Align 4;
+            Mplan.Chunk
+              {
+                size = 13;
+                align = 1;
+                items =
+                  [ Mplan.It_atom { off = 0; atom = a32; src = Mplan.Rvar 0 } ];
+                check = false;
+              };
+          ]
+        in
+        let plan unit_size =
+          eplan
+            [
+              Mplan.Ensure_count { arr = p0; via = seq_via; unit_size };
+              Mplan.Loop { arr = p0; via = seq_via; var = 0; body };
+            ]
+        in
+        expect_reject "15-byte unit" (Plan_verify.check_plan (plan 15))
+          "under-covers";
+        Alcotest.(check bool)
+          "16-byte unit accepted" true
+          (Plan_verify.check_plan (plan 16) = Ok ()));
+    test "mach3 reservation covers a sequence of unions end to end"
+      (fun () ->
+        let mint, sequ, pres = seq_union_case () in
+        let enc = Encoding.mach3 in
+        let roots =
+          [
+            Plan_compile.Rvalue
+              (Mplan.Rparam { index = 0; name = "v"; deref = false }, sequ, pres);
+          ]
+        in
+        let plan = Plan_compile.compile ~enc ~mint ~named:[] roots in
+        (match Plan_verify.check_plan plan with
+        | Ok () -> ()
+        | Error e ->
+            Alcotest.failf "compiler output rejected: %s"
+              (Plan_verify.error_to_string e));
+        (* 8 elements overran a per-element reservation that forgot the
+           discriminator's descriptor word; [Mbuf.contents] then died on
+           an out-of-bounds flatten *)
+        let v =
+          Value.Varray
+            (Array.init 8 (fun i ->
+                 Value.Vunion
+                   {
+                     case = 0;
+                     discrim = Mint.Cint 0L;
+                     payload = Value.Vchar (Char.chr (65 + i));
+                   }))
+        in
+        let encode = Stub_opt.compile_encoder ~enc ~mint ~named:[] roots in
+        let buf = Mbuf.create 64 in
+        encode buf [| v |];
+        let opt_bytes = Bytes.to_string (Mbuf.contents buf) in
+        let naive =
+          Stub_naive.compile_encoder ~config:Stub_naive.default_config ~enc
+            ~mint ~named:[] roots
+        in
+        let nbuf = Mbuf.create 64 in
+        naive nbuf [| v |];
+        Alcotest.(check string)
+          "optimized bytes match naive"
+          (Bytes.to_string (Mbuf.contents nbuf))
+          opt_bytes;
+        let decode =
+          Stub_opt.compile_decoder ~enc ~mint ~named:[]
+            [ Stub_opt.Dvalue (sequ, pres) ]
+        in
+        let out = decode (Mbuf.reader_of_bytes (Bytes.of_string opt_bytes)) in
+        Alcotest.(check bool) "roundtrips" true (Value.equal v out.(0)));
+  ]
+
 let suite =
   [
     ("passes:fixtures", fixture_tests);
     ("passes:properties", property_tests);
     ("passes:verifier-negative", negative_tests);
+    ("passes:reservation", reservation_tests);
+    ("passes:fixpoint", fixpoint_tests);
     ("passes:config", config_tests);
+    ("passes:cache-resets", reset_tests);
   ]
