@@ -19,13 +19,14 @@ test-verify:
 
 # The fast artifacts: the plan-optimizer/cache report (BENCH_1.json),
 # the scatter-gather wire report (BENCH_2.json), the decode-plan
-# report (BENCH_3.json), and the full-matrix pass-trace report (merged
-# into BENCH_1.json); the pipeline/verifier/engine-equality/pin
-# self-checks in all four make the run exit non-zero on failure.
+# report (BENCH_3.json), the full-matrix pass-trace report (merged
+# into BENCH_1.json), and the concurrent-server sweep (BENCH_4.json);
+# the pipeline/verifier/engine-equality/pin/scaling/backpressure
+# self-checks make the run exit non-zero on any regression.
 # check_bench then re-parses every BENCH_*.json and fails on any
-# recorded self-check failure.
+# recorded self-check failure or malformed serve sweep.
 bench-smoke:
-	dune exec bench/main.exe -- planopt sgwire decplan tracematrix --smoke
+	dune exec bench/main.exe -- planopt sgwire decplan tracematrix serve --smoke
 	dune exec bench/check_bench.exe
 
 # Every artifact at default sizes (see EXPERIMENTS.md; --full for

@@ -7,7 +7,11 @@
    - it names its "artifact";
    - "self_check_failed" is present and false;
    - every other "*_failed" member (e.g. "tracematrix_failed", merged
-     in by artifacts that share a file) is false.
+     in by artifacts that share a file) is false;
+   - the server-loop artifact ("serve", BENCH_4.json) additionally
+     carries a structurally sound sweep: at least 4 points with
+     strictly increasing connection counts, positive throughput
+     everywhere, and shed rates inside [0, 1].
    Exits non-zero on any violation, or when no artifact files exist at
    all — `make ci` runs the smoke benchmarks first, so an empty
    directory means they silently wrote nothing. *)
@@ -27,12 +31,48 @@ let read_all path =
   close_in ic;
   s
 
+(* The serve artifact feeds regression gating, so its shape is pinned
+   here too: a malformed sweep must fail CI even if the benchmark's own
+   self-checks were green. *)
+let check_serve_sweep path j =
+  match Obs_json.member "sweep" j with
+  | None -> err "%s: serve artifact is missing its \"sweep\"" path
+  | Some sweep -> (
+      match Obs_json.to_list sweep with
+      | None -> err "%s: \"sweep\" is not an array" path
+      | Some points ->
+          if List.length points < 4 then
+            err "%s: sweep has %d points, want >= 4" path (List.length points);
+          let last_conns = ref 0 in
+          List.iteri
+            (fun i p ->
+              let num key =
+                match Obs_json.member key p with
+                | Some v -> Obs_json.to_float v
+                | None -> None
+              in
+              match (num "conns", num "rps", num "shed_rate") with
+              | Some conns, Some rps, Some shed ->
+                  if int_of_float conns <= !last_conns then
+                    err "%s: sweep[%d]: conns %.0f not increasing" path i conns;
+                  last_conns := int_of_float conns;
+                  if rps <= 0. then
+                    err "%s: sweep[%d]: non-positive rps %.1f" path i rps;
+                  if shed < 0. || shed > 1. then
+                    err "%s: sweep[%d]: shed_rate %.4f outside [0,1]" path i
+                      shed
+              | _ ->
+                  err "%s: sweep[%d]: missing conns/rps/shed_rate" path i)
+            points)
+
 let check_file path =
   match Obs_json.parse (read_all path) with
   | Error msg -> err "%s: invalid JSON: %s" path msg
   | Ok (Obs_json.Obj members as j) ->
       (match Obs_json.member "artifact" j with
-      | Some (Obs_json.Str name) -> Printf.printf "%s: artifact %S" path name
+      | Some (Obs_json.Str name) ->
+          Printf.printf "%s: artifact %S" path name;
+          if name = "serve" then check_serve_sweep path j
       | _ -> err "%s: missing \"artifact\" name" path);
       (match Obs_json.member "self_check_failed" j with
       | Some (Obs_json.Bool false) -> ()

@@ -1828,6 +1828,160 @@ let tracematrix () =
     (match base with Some _ -> "merged" | None -> "wrote")
 
 (* ------------------------------------------------------------------ *)
+
+(* The server-loop artifact: the concurrent RPC server (lib/serve) under
+   a closed-loop echo workload, swept across connection counts.  Writes
+   BENCH_4.json with requests/sec, shed rate, and latency percentiles
+   per point.  Self-checks:
+   - every Ok reply byte-identical to its request payload (diff_ok);
+   - request accounting closed (frames = accepted + shed + errors, and
+     every logical request ends Ok or shed-final);
+   - throughput scales with connections until the server saturates
+     (rps grows 1 -> 8 -> 32, then holds within 10% at 64);
+   - no shedding at 1 connection, shedding present at 64 (the in-flight
+     budget is 32, so 64 closed-loop clients must overrun it);
+   - the in-flight high-water mark respects the budget;
+   - pooled writers/readers all return (no leak across the sweep);
+   - the sweep hits the compiled-plan caches (hot-path reuse).
+   [--smoke] shrinks requests-per-connection so CI runs in seconds. *)
+
+let serve_failed = ref false
+
+let serve () =
+  print_endline "============================================================";
+  print_endline " serve - concurrent RPC server loop vs connection count";
+  print_endline "============================================================";
+  let check what ok =
+    if not ok then begin
+      serve_failed := true;
+      Printf.printf "  SELF-CHECK FAILED: %s\n" what
+    end
+  in
+  let requests_per_conn = if !smoke then 60 else 300 in
+  let cfg = Rpc_serve.default_config in
+  let pool_before = Mbuf.pool_stats () in
+  let cache_hits_before =
+    List.fold_left
+      (fun acc (_, s) -> acc + s.Plan_cache.hits)
+      0 (Plan_cache.all_stats ())
+  in
+  Printf.printf "\n%d requests/connection, budget %d in flight, echo on %s\n"
+    requests_per_conn cfg.Rpc_serve.max_in_flight "xdr send_ints (1 KiB)";
+  Printf.printf "\n%6s %9s %8s %7s %9s %9s %9s %6s\n" "conns" "requests"
+    "ok" "shed" "rps" "p50us" "p99us" "hw";
+  let sweep =
+    List.map
+      (fun conns ->
+        let p = Rpc_serve.run_workload ~requests_per_conn ~conns () in
+        Printf.printf "%6d %9d %8d %7d %9.0f %9.0f %9.0f %6d\n" conns
+          p.Rpc_serve.sp_requests p.Rpc_serve.sp_ok
+          p.Rpc_serve.sp_stats.Rpc_serve.st_shed p.Rpc_serve.sp_rps
+          p.Rpc_serve.sp_p50_us p.Rpc_serve.sp_p99_us
+          p.Rpc_serve.sp_stats.Rpc_serve.st_in_flight_hw;
+        p)
+      [ 1; 8; 32; 64 ]
+  in
+  List.iter
+    (fun (p : Rpc_serve.sweep_point) ->
+      let st = p.Rpc_serve.sp_stats in
+      let tag = Printf.sprintf "%d conns" p.Rpc_serve.sp_conns in
+      check (tag ^ ": every Ok reply byte-identical to its request")
+        p.Rpc_serve.sp_diff_ok;
+      check (tag ^ ": frame accounting closed")
+        (st.Rpc_serve.st_frames_in
+        = st.Rpc_serve.st_accepted + st.Rpc_serve.st_shed
+          + st.Rpc_serve.st_bad_request + st.Rpc_serve.st_unknown_op);
+      check (tag ^ ": every logical request resolved")
+        (p.Rpc_serve.sp_ok + p.Rpc_serve.sp_shed_final
+        = p.Rpc_serve.sp_requests);
+      check (tag ^ ": no protocol errors on a clean workload")
+        (st.Rpc_serve.st_bad_request = 0 && st.Rpc_serve.st_unknown_op = 0
+        && st.Rpc_serve.st_killed_conns = 0);
+      check (tag ^ ": in-flight high water within budget")
+        (st.Rpc_serve.st_in_flight_hw <= cfg.Rpc_serve.max_in_flight))
+    sweep;
+  let rps n =
+    match
+      List.find_opt (fun p -> p.Rpc_serve.sp_conns = n) sweep
+    with
+    | Some p -> p.Rpc_serve.sp_rps
+    | None -> 0.
+  in
+  let shed_rate n =
+    match
+      List.find_opt (fun p -> p.Rpc_serve.sp_conns = n) sweep
+    with
+    | Some p -> p.Rpc_serve.sp_shed_rate
+    | None -> 1.
+  in
+  check "throughput scales 1 -> 8 connections (> 1.3x)"
+    (rps 8 > 1.3 *. rps 1);
+  check "throughput still grows 8 -> 32 connections" (rps 32 > rps 8);
+  check "saturated throughput holds at 64 connections (>= 0.9x of 32)"
+    (rps 64 >= 0.9 *. rps 32);
+  check "no shedding at 1 connection" (shed_rate 1 = 0.);
+  check "backpressure sheds at 64 connections" (shed_rate 64 > 0.);
+  let pool_after = Mbuf.pool_stats () in
+  check "no pooled writers leaked across the sweep"
+    (pool_after.Mbuf.writers_outstanding
+    = pool_before.Mbuf.writers_outstanding);
+  check "no pooled readers leaked across the sweep"
+    (pool_after.Mbuf.readers_outstanding
+    = pool_before.Mbuf.readers_outstanding);
+  let cache_hits_after =
+    List.fold_left
+      (fun acc (_, s) -> acc + s.Plan_cache.hits)
+      0 (Plan_cache.all_stats ())
+  in
+  check "the sweep reuses compiled plans through the cache"
+    (cache_hits_after > cache_hits_before);
+  let json = Buffer.create 4096 in
+  Buffer.add_string json
+    (Printf.sprintf
+       "{\n  \"artifact\": \"serve\",\n  \"smoke\": %b,\n\
+       \  \"config\": { \"max_in_flight\": %d, \"service_fixed_us\": %.1f, \
+        \"flush_delay_us\": %.1f, \"requests_per_conn\": %d },\n\
+       \  \"sweep\": ["
+       !smoke cfg.Rpc_serve.max_in_flight
+       (cfg.Rpc_serve.service_fixed_s *. 1e6)
+       (cfg.Rpc_serve.flush_delay_s *. 1e6)
+       requests_per_conn);
+  List.iteri
+    (fun i (p : Rpc_serve.sweep_point) ->
+      let st = p.Rpc_serve.sp_stats in
+      Buffer.add_string json
+        (Printf.sprintf
+           "%s\n    { \"conns\": %d, \"requests\": %d, \"ok\": %d, \
+            \"shed\": %d, \"shed_final\": %d, \"retransmits\": %d, \
+            \"rps\": %.1f, \"shed_rate\": %.4f, \"p50_us\": %.1f, \
+            \"p99_us\": %.1f, \"in_flight_hw\": %d, \"flushes\": %d, \
+            \"coalesced\": %d, \"bytes_in\": %d, \"bytes_out\": %d }"
+           (if i = 0 then "" else ",")
+           p.Rpc_serve.sp_conns p.Rpc_serve.sp_requests p.Rpc_serve.sp_ok
+           st.Rpc_serve.st_shed p.Rpc_serve.sp_shed_final
+           p.Rpc_serve.sp_retransmits p.Rpc_serve.sp_rps
+           p.Rpc_serve.sp_shed_rate p.Rpc_serve.sp_p50_us
+           p.Rpc_serve.sp_p99_us st.Rpc_serve.st_in_flight_hw
+           st.Rpc_serve.st_flushes st.Rpc_serve.st_coalesced
+           st.Rpc_serve.st_bytes_in st.Rpc_serve.st_bytes_out))
+    sweep;
+  Buffer.add_string json
+    (Printf.sprintf "\n  ],\n  \"self_check_failed\": %b\n}\n" !serve_failed);
+  (match Obs_json.parse (Buffer.contents json) with
+  | Ok _ -> ()
+  | Error msg -> check (Printf.sprintf "BENCH_4.json parses: %s" msg) false);
+  let oc = open_out "BENCH_4.json" in
+  Buffer.output_buffer oc json;
+  close_out oc;
+  if !serve_failed then
+    print_endline "\nserve: SELF-CHECK FAILURES above; exiting non-zero"
+  else
+    print_endline
+      "\nall differential, accounting, scaling, backpressure, and \
+       pool-leak checks passed";
+  print_endline "wrote BENCH_4.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -1837,6 +1991,7 @@ let artifacts =
     ("fig3", fig3); ("fig4", fig4); ("fig5", fig5); ("fig6", fig6);
     ("fig7", fig7); ("ablations", ablations); ("planopt", planopt);
     ("sgwire", sgwire); ("decplan", decplan); ("tracematrix", tracematrix);
+    ("serve", serve);
   ]
 
 let () =
@@ -1878,5 +2033,5 @@ let () =
   List.iter (fun name -> (List.assoc name artifacts) ()) to_run;
   if
     !planopt_failed || !sgwire_failed || !decplan_failed
-    || !tracematrix_failed
+    || !tracematrix_failed || !serve_failed
   then exit 1

@@ -1,0 +1,652 @@
+(* The server loop.  See the .mli for the wire format and policies; the
+   implementation notes that matter:
+
+   - The server CPU is serial, modelled exactly like Link's wire
+     ([cpu_busy_until]): an accepted request starts service when the CPU
+     frees up, so a burst builds a queue and the in-flight count is that
+     queue plus the request being served.  Backpressure falls out: once
+     the queue reaches [max_in_flight], arrivals are shed with a header
+     parse only.
+
+   - A reply payload is encoded into its own pooled writer and copied
+     segment-wise into the connection's outgoing writer under the frame
+     header.  The copy is unavoidable — the frame's length word must
+     precede a payload of unknown size, and borrowing from the payload
+     writer would dangle once it is released back to the pool — but it
+     is one segment walk, never a flatten.
+
+   - Flushes coalesce per connection with a cancellable timer: the
+     first reply arms it, replies landing inside the window ride along,
+     connection death cancels it.  All reply frames queued at fire time
+     leave as one wire message. *)
+
+type status = Sok | Sshed | Sbad_request | Sunknown_op
+
+let status_code = function
+  | Sok -> 0
+  | Sshed -> 1
+  | Sbad_request -> 2
+  | Sunknown_op -> 3
+
+let status_of_code = function
+  | 0 -> Some Sok
+  | 1 -> Some Sshed
+  | 2 -> Some Sbad_request
+  | 3 -> Some Sunknown_op
+  | _ -> None
+
+type config = {
+  max_in_flight : int;
+  max_frame : int;
+  service_fixed_s : float;
+  service_per_byte_s : float;
+  flush_delay_s : float;
+}
+
+let default_config =
+  {
+    max_in_flight = 32;
+    max_frame = 1 lsl 20;
+    service_fixed_s = 150e-6;
+    service_per_byte_s = 1e-9;
+    flush_delay_s = 50e-6;
+  }
+
+type op_spec = {
+  os_iface : int;
+  os_op : int;
+  os_name : string;
+  os_enc : Encoding.t;
+  os_mint : Mint.t;
+  os_named : (string * (Mint.idx * Pres.t)) list;
+  os_req_roots : Plan_compile.root list;
+  os_req_droots : Stub_opt.droot list;
+  os_reply_roots : Plan_compile.root list;
+  os_handler : Value.t array -> Value.t array;
+}
+
+let echo_op ~iface ~op ~enc (ms : Paper_fixtures.method_spec) =
+  {
+    os_iface = iface;
+    os_op = op;
+    os_name = ms.Paper_fixtures.ms_name;
+    os_enc = enc;
+    os_mint = ms.Paper_fixtures.ms_mint;
+    os_named = ms.Paper_fixtures.ms_named;
+    os_req_roots = ms.Paper_fixtures.ms_roots;
+    os_req_droots = ms.Paper_fixtures.ms_droots;
+    os_reply_roots = ms.Paper_fixtures.ms_roots;
+    os_handler = (fun vs -> vs);
+  }
+
+(* Process-wide instruments (the registry owns names for the process
+   lifetime, so these register once at module load).  Per-connection
+   latency histograms are memoized by connection id for the same
+   reason: servers come and go within a process — every bench sweep
+   point builds one — and re-registering "serve.conn.N.latency_ns"
+   would raise Duplicate_metric. *)
+let c_frames_in = Obs.counter "serve.frames_in"
+let c_accepted = Obs.counter "serve.accepted"
+let c_shed = Obs.counter "serve.shed"
+let c_errors = Obs.counter "serve.errors"
+let c_flushes = Obs.counter "serve.flushes"
+let c_retransmits = Obs.counter "serve.retransmits"
+let g_in_flight = Obs.gauge "serve.in_flight"
+let h_latency = Obs.hist "serve.latency_ns"
+
+let conn_hists : (int, Obs.hist) Hashtbl.t = Hashtbl.create 16
+
+let conn_hist id =
+  match Hashtbl.find_opt conn_hists id with
+  | Some h -> h
+  | None ->
+      let h = Obs.hist (Printf.sprintf "serve.conn.%d.latency_ns" id) in
+      Hashtbl.add conn_hists id h;
+      h
+
+type op_entry = {
+  oe_spec : op_spec;
+  oe_decode : Stub_opt.decoder;
+  oe_encode : Stub_opt.encoder;
+}
+
+type t = {
+  sim : Sim_core.t;
+  cfg : config;
+  ingress : Link.t;
+  egress : Link.t;
+  ops : (int * int, op_entry) Hashtbl.t;
+  mutable next_conn : int;
+  mutable in_flight : int;
+  mutable cpu_busy_until : float;
+  mutable diag_log : Diag.t list;  (* newest first *)
+  mutable s_frames_in : int;
+  mutable s_bytes_in : int;
+  mutable s_bytes_out : int;
+  mutable s_accepted : int;
+  mutable s_shed : int;
+  mutable s_bad_request : int;
+  mutable s_unknown_op : int;
+  mutable s_ok_replies : int;
+  mutable s_flushes : int;
+  mutable s_coalesced : int;
+  mutable s_dropped_replies : int;
+  mutable s_killed_conns : int;
+  mutable s_in_flight_hw : int;
+}
+
+type conn = {
+  c_id : int;
+  c_server : t;
+  c_deliver : bytes -> unit;
+  mutable c_closed : bool;
+  mutable c_buf : bytes;  (* partial-frame input buffer *)
+  mutable c_off : int;  (* consumed prefix of c_buf *)
+  mutable c_len : int;  (* valid prefix of c_buf *)
+  mutable c_out : Mbuf.t option;  (* queued reply frames *)
+  mutable c_out_count : int;  (* replies queued in c_out *)
+  mutable c_flush : Sim_core.handle option;
+}
+
+let create ~sim ?(config = default_config) ~ingress ~egress () =
+  {
+    sim;
+    cfg = config;
+    ingress;
+    egress;
+    ops = Hashtbl.create 8;
+    next_conn = 0;
+    in_flight = 0;
+    cpu_busy_until = 0.;
+    diag_log = [];
+    s_frames_in = 0;
+    s_bytes_in = 0;
+    s_bytes_out = 0;
+    s_accepted = 0;
+    s_shed = 0;
+    s_bad_request = 0;
+    s_unknown_op = 0;
+    s_ok_replies = 0;
+    s_flushes = 0;
+    s_coalesced = 0;
+    s_dropped_replies = 0;
+    s_killed_conns = 0;
+    s_in_flight_hw = 0;
+  }
+
+let register t spec =
+  let decode =
+    Stub_opt.compile_decoder ~enc:spec.os_enc ~mint:spec.os_mint
+      ~named:spec.os_named spec.os_req_droots
+  in
+  let encode =
+    Stub_opt.compile_encoder ~enc:spec.os_enc ~mint:spec.os_mint
+      ~named:spec.os_named spec.os_reply_roots
+  in
+  Hashtbl.replace t.ops
+    (spec.os_iface, spec.os_op)
+    { oe_spec = spec; oe_decode = decode; oe_encode = encode }
+
+let connect t ~deliver =
+  let id = t.next_conn in
+  t.next_conn <- id + 1;
+  {
+    c_id = id;
+    c_server = t;
+    c_deliver = deliver;
+    c_closed = false;
+    c_buf = Bytes.create 256;
+    c_off = 0;
+    c_len = 0;
+    c_out = None;
+    c_out_count = 0;
+    c_flush = None;
+  }
+
+let conn_id c = c.c_id
+let in_flight t = t.in_flight
+let diags t = List.rev_map Diag.to_string t.diag_log
+
+let record_diag t fmt =
+  Printf.ksprintf
+    (fun msg ->
+      t.diag_log <-
+        { Diag.severity = Diag.Error_sev; loc = Loc.dummy;
+          message = "serve: " ^ msg }
+        :: t.diag_log;
+      Obs.incr c_errors 1)
+    fmt
+
+(* -- framing ------------------------------------------------------- *)
+
+let body_min = 12 (* iface + op + seq *)
+let reply_body_min = 8 (* status + seq *)
+
+let get_u32 b off = Int32.to_int (Bytes.get_int32_be b off) land 0xffffffff
+
+let set_gauge_in_flight t =
+  Obs.set_gauge g_in_flight (float_of_int t.in_flight);
+  if t.in_flight > t.s_in_flight_hw then t.s_in_flight_hw <- t.in_flight
+
+(* Tear a connection down: discard buffered input, cancel the pending
+   flush, release the outgoing writer (counting its queued replies as
+   dropped).  Shared by voluntary close and protocol-error kill. *)
+let teardown c =
+  let t = c.c_server in
+  c.c_closed <- true;
+  c.c_off <- 0;
+  c.c_len <- 0;
+  (match c.c_flush with
+  | Some h ->
+      Sim_core.cancel h;
+      c.c_flush <- None
+  | None -> ());
+  match c.c_out with
+  | Some f ->
+      t.s_dropped_replies <- t.s_dropped_replies + c.c_out_count;
+      c.c_out <- None;
+      c.c_out_count <- 0;
+      Mbuf.release f
+  | None -> ()
+
+let close_conn c =
+  if not c.c_closed then begin
+    let t = c.c_server in
+    let pending = c.c_len - c.c_off in
+    if pending > 0 then
+      record_diag t
+        "connection %d closed mid-frame (%d buffered bytes discarded)" c.c_id
+        pending;
+    teardown c
+  end
+
+let kill c fmt =
+  Printf.ksprintf
+    (fun msg ->
+      let t = c.c_server in
+      record_diag t "connection %d: %s" c.c_id msg;
+      t.s_killed_conns <- t.s_killed_conns + 1;
+      teardown c)
+    fmt
+
+(* -- reply path ---------------------------------------------------- *)
+
+let flush c =
+  let t = c.c_server in
+  c.c_flush <- None;
+  match c.c_out with
+  | None -> ()
+  | Some f ->
+      c.c_out <- None;
+      c.c_out_count <- 0;
+      let data = Mbuf.contents f in
+      Mbuf.release f;
+      t.s_flushes <- t.s_flushes + 1;
+      Obs.incr c_flushes 1;
+      t.s_bytes_out <- t.s_bytes_out + Bytes.length data;
+      Link.transmit t.egress ~bytes:(Bytes.length data) (fun () ->
+          if not c.c_closed then c.c_deliver data)
+
+(* Append one reply frame to the connection's outgoing writer and make
+   sure a flush is armed.  [payload] (when present) is copied segment
+   by segment — the caller releases it. *)
+let enqueue_reply c status seq (payload : Mbuf.t option) =
+  let t = c.c_server in
+  if c.c_closed then t.s_dropped_replies <- t.s_dropped_replies + 1
+  else begin
+    let f =
+      match c.c_out with
+      | Some f ->
+          t.s_coalesced <- t.s_coalesced + 1;
+          f
+      | None ->
+          let f = Mbuf.acquire () in
+          c.c_out <- Some f;
+          f
+    in
+    c.c_out_count <- c.c_out_count + 1;
+    let plen = match payload with Some p -> Mbuf.pos p | None -> 0 in
+    Mbuf.put_i32 f ~be:true (reply_body_min + plen);
+    Mbuf.put_i32 f ~be:true (status_code status);
+    Mbuf.put_i32 f ~be:true seq;
+    (match payload with
+    | None -> ()
+    | Some p ->
+        Mbuf.iter_segments p (fun b off len ->
+            Mbuf.ensure f len;
+            (* set_* offsets are cursor-relative *)
+            Mbuf.set_bytes f 0 b off len;
+            Mbuf.advance f len));
+    match c.c_flush with
+    | Some _ -> ()
+    | None ->
+        c.c_flush <-
+          Some
+            (Sim_core.schedule_cancellable t.sim ~delay:t.cfg.flush_delay_s
+               (fun () -> flush c))
+  end
+
+(* Service completion: runs on the virtual CPU once the request's slot
+   comes up.  The work was spent either way; a connection that died in
+   the meantime just loses the reply. *)
+let complete c (entry : op_entry) ~seq ~body ~arrival =
+  let t = c.c_server in
+  t.in_flight <- t.in_flight - 1;
+  set_gauge_in_flight t;
+  if c.c_closed then t.s_dropped_replies <- t.s_dropped_replies + 1
+  else begin
+    let rd = Mbuf.reader_of_bytes body in
+    match entry.oe_decode rd with
+    | exception (Mbuf.Short_buffer | Codec.Decode_error _) ->
+        t.s_bad_request <- t.s_bad_request + 1;
+        record_diag t "connection %d: undecodable %s request (seq %d, %d bytes)"
+          c.c_id entry.oe_spec.os_name seq (Bytes.length body);
+        enqueue_reply c Sbad_request seq None
+    | vals ->
+        let out = entry.oe_spec.os_handler vals in
+        let p = Mbuf.acquire () in
+        (match entry.oe_encode p out with
+        | () ->
+            enqueue_reply c Sok seq (Some p);
+            Mbuf.release p;
+            t.s_ok_replies <- t.s_ok_replies + 1;
+            let lat_ns = (Sim_core.now t.sim -. arrival) *. 1e9 in
+            Obs.observe h_latency lat_ns;
+            Obs.observe (conn_hist c.c_id) lat_ns
+        | exception e ->
+            Mbuf.release p;
+            raise e)
+  end
+
+(* -- request path -------------------------------------------------- *)
+
+let handle_frame c ~body_off ~body_len =
+  let t = c.c_server in
+  t.s_frames_in <- t.s_frames_in + 1;
+  Obs.incr c_frames_in 1;
+  let iface = get_u32 c.c_buf body_off in
+  let op = get_u32 c.c_buf (body_off + 4) in
+  let seq = get_u32 c.c_buf (body_off + 8) in
+  match Hashtbl.find_opt t.ops (iface, op) with
+  | None ->
+      t.s_unknown_op <- t.s_unknown_op + 1;
+      record_diag t "connection %d: unknown operation (iface %d, op %d)" c.c_id
+        iface op;
+      enqueue_reply c Sunknown_op seq None
+  | Some entry ->
+      if t.in_flight >= t.cfg.max_in_flight then begin
+        t.s_shed <- t.s_shed + 1;
+        Obs.incr c_shed 1;
+        enqueue_reply c Sshed seq None
+      end else begin
+        t.s_accepted <- t.s_accepted + 1;
+        Obs.incr c_accepted 1;
+        t.in_flight <- t.in_flight + 1;
+        set_gauge_in_flight t;
+        (* the input buffer is reused for the next frame, so the body
+           must outlive it *)
+        let body =
+          Bytes.sub c.c_buf (body_off + body_min) (body_len - body_min)
+        in
+        let arrival = Sim_core.now t.sim in
+        let service =
+          t.cfg.service_fixed_s
+          +. (t.cfg.service_per_byte_s *. float_of_int body_len)
+        in
+        let start = Float.max arrival t.cpu_busy_until in
+        let finish = start +. service in
+        t.cpu_busy_until <- finish;
+        Sim_core.schedule t.sim ~delay:(finish -. arrival) (fun () ->
+            complete c entry ~seq ~body ~arrival)
+      end
+
+let rec parse_loop c =
+  let t = c.c_server in
+  if not c.c_closed then begin
+    let avail = c.c_len - c.c_off in
+    if avail >= 4 then begin
+      let body_len = get_u32 c.c_buf c.c_off in
+      if body_len < body_min || body_len > t.cfg.max_frame then
+        kill c "bad frame length %d (min %d, max %d)" body_len body_min
+          t.cfg.max_frame
+      else if avail >= 4 + body_len then begin
+        let body_off = c.c_off + 4 in
+        c.c_off <- c.c_off + 4 + body_len;
+        handle_frame c ~body_off ~body_len;
+        parse_loop c
+      end
+    end
+  end
+
+let feed c data =
+  if not c.c_closed then begin
+    let t = c.c_server in
+    let n = Bytes.length data in
+    t.s_bytes_in <- t.s_bytes_in + n;
+    (* compact, then grow if the tail still does not fit *)
+    if c.c_len + n > Bytes.length c.c_buf && c.c_off > 0 then begin
+      Bytes.blit c.c_buf c.c_off c.c_buf 0 (c.c_len - c.c_off);
+      c.c_len <- c.c_len - c.c_off;
+      c.c_off <- 0
+    end;
+    if c.c_len + n > Bytes.length c.c_buf then begin
+      let cap = ref (2 * Bytes.length c.c_buf) in
+      while c.c_len + n > !cap do
+        cap := 2 * !cap
+      done;
+      let bigger = Bytes.create !cap in
+      Bytes.blit c.c_buf 0 bigger 0 c.c_len;
+      c.c_buf <- bigger
+    end;
+    Bytes.blit data 0 c.c_buf c.c_len n;
+    c.c_len <- c.c_len + n;
+    parse_loop c
+  end
+
+let send c data =
+  let t = c.c_server in
+  Link.transmit t.ingress ~bytes:(Bytes.length data) (fun () -> feed c data)
+
+(* -- client-side frame helpers ------------------------------------- *)
+
+let request_frame spec ~seq vals =
+  let encode =
+    Stub_opt.compile_encoder ~enc:spec.os_enc ~mint:spec.os_mint
+      ~named:spec.os_named spec.os_req_roots
+  in
+  let m = Mbuf.acquire () in
+  encode m vals;
+  let plen = Mbuf.pos m in
+  let frame = Bytes.create (4 + body_min + plen) in
+  Bytes.set_int32_be frame 0 (Int32.of_int (body_min + plen));
+  Bytes.set_int32_be frame 4 (Int32.of_int spec.os_iface);
+  Bytes.set_int32_be frame 8 (Int32.of_int spec.os_op);
+  Bytes.set_int32_be frame 12 (Int32.of_int seq);
+  let at = ref (4 + body_min) in
+  Mbuf.iter_segments m (fun b off len ->
+      Bytes.blit b off frame !at len;
+      at := !at + len);
+  Mbuf.release m;
+  frame
+
+let parse_replies data =
+  let total = Bytes.length data in
+  let rec go off acc =
+    if off >= total then List.rev acc
+    else begin
+      if off + 4 > total then invalid_arg "Rpc_serve.parse_replies: torn frame";
+      let body_len = get_u32 data off in
+      if body_len < reply_body_min || off + 4 + body_len > total then
+        invalid_arg "Rpc_serve.parse_replies: torn frame";
+      let status =
+        match status_of_code (get_u32 data (off + 4)) with
+        | Some s -> s
+        | None -> invalid_arg "Rpc_serve.parse_replies: bad status"
+      in
+      let seq = get_u32 data (off + 8) in
+      let payload = Bytes.sub data (off + 12) (body_len - reply_body_min) in
+      go (off + 4 + body_len) ((status, seq, payload) :: acc)
+    end
+  in
+  go 0 []
+
+(* -- accounting ---------------------------------------------------- *)
+
+type stats = {
+  st_frames_in : int;
+  st_bytes_in : int;
+  st_bytes_out : int;
+  st_accepted : int;
+  st_shed : int;
+  st_bad_request : int;
+  st_unknown_op : int;
+  st_ok_replies : int;
+  st_flushes : int;
+  st_coalesced : int;
+  st_dropped_replies : int;
+  st_killed_conns : int;
+  st_in_flight_hw : int;
+}
+
+let stats t =
+  {
+    st_frames_in = t.s_frames_in;
+    st_bytes_in = t.s_bytes_in;
+    st_bytes_out = t.s_bytes_out;
+    st_accepted = t.s_accepted;
+    st_shed = t.s_shed;
+    st_bad_request = t.s_bad_request;
+    st_unknown_op = t.s_unknown_op;
+    st_ok_replies = t.s_ok_replies;
+    st_flushes = t.s_flushes;
+    st_coalesced = t.s_coalesced;
+    st_dropped_replies = t.s_dropped_replies;
+    st_killed_conns = t.s_killed_conns;
+    st_in_flight_hw = t.s_in_flight_hw;
+  }
+
+(* -- the bundled closed-loop workload ------------------------------ *)
+
+type sweep_point = {
+  sp_conns : int;
+  sp_requests : int;
+  sp_ok : int;
+  sp_shed_final : int;
+  sp_retransmits : int;
+  sp_duration_s : float;
+  sp_rps : float;
+  sp_shed_rate : float;
+  sp_p50_us : float;
+  sp_p99_us : float;
+  sp_diff_ok : bool;
+  sp_stats : stats;
+}
+
+let style_of_enc (enc : Encoding.t) =
+  match enc.Encoding.name with
+  | "cdr" -> `Corba
+  | "xdr" -> `Rpcgen
+  | _ -> `Fluke
+
+let run_workload ?(enc = Encoding.xdr) ?(payload = `Ints) ?(payload_bytes = 1024)
+    ?(requests_per_conn = 100) ?(config = default_config) ?(retry = true)
+    ~conns () =
+  let sim = Sim_core.create () in
+  let ingress = Link.ethernet_100 ~sim in
+  let egress = Link.ethernet_100 ~sim in
+  let t = create ~sim ~config ~ingress ~egress () in
+  let pc = Paper_fixtures.bench_presc (style_of_enc enc) in
+  let op_name = Paper_fixtures.op_of_payload payload in
+  let ms = Paper_fixtures.request_spec pc ~op:op_name in
+  let spec = echo_op ~iface:1 ~op:1 ~enc ms in
+  register t spec;
+  let vals = [| Paper_fixtures.payload payload ~bytes:payload_bytes |] in
+  let frame = request_frame spec ~seq:0 vals in
+  let expect =
+    Bytes.sub frame (4 + body_min) (Bytes.length frame - 4 - body_min)
+  in
+  let ok = ref 0
+  and shed_final = ref 0
+  and retransmits = ref 0
+  and diff_ok = ref true
+  and last_reply = ref 0.
+  and latencies = ref [] in
+  for cid = 0 to conns - 1 do
+    let issued = ref 0 in
+    let retried = ref false in
+    let send_time = ref 0. in
+    let the_conn = ref None in
+    let send_current () =
+      let seq = (cid * 1_000_000) + !issued in
+      let f = Bytes.copy frame in
+      Bytes.set_int32_be f 12 (Int32.of_int seq);
+      send_time := Sim_core.now sim;
+      send (Option.get !the_conn) f
+    in
+    let send_next () =
+      if !issued < requests_per_conn then begin
+        incr issued;
+        retried := false;
+        send_current ()
+      end
+    in
+    let deliver data =
+      List.iter
+        (fun (status, _seq, pl) ->
+          match status with
+          | Sok ->
+              incr ok;
+              let now = Sim_core.now sim in
+              latencies := (now -. !send_time) :: !latencies;
+              if now > !last_reply then last_reply := now;
+              if not (Bytes.equal pl expect) then diff_ok := false;
+              send_next ()
+          | Sshed ->
+              if retry && not !retried then begin
+                retried := true;
+                incr retransmits;
+                Obs.incr c_retransmits 1;
+                (* back off a couple of round trips before retrying *)
+                Sim_core.schedule sim ~delay:2e-3 send_current
+              end else begin
+                incr shed_final;
+                send_next ()
+              end
+          | Sbad_request | Sunknown_op ->
+              diff_ok := false;
+              send_next ())
+        (parse_replies data)
+    in
+    let conn = connect t ~deliver in
+    the_conn := Some conn;
+    (* stagger the first requests so connections do not move in
+       lockstep *)
+    Sim_core.schedule sim ~delay:(float_of_int cid *. 10e-6) send_next
+  done;
+  Sim_core.run sim;
+  let lat = Array.of_list !latencies in
+  Array.sort compare lat;
+  let pct p =
+    let n = Array.length lat in
+    if n = 0 then 0.
+    else lat.(min (n - 1) (int_of_float (p *. float_of_int n)))
+  in
+  let st = stats t in
+  let duration = if !last_reply > 0. then !last_reply else Sim_core.now sim in
+  let duration = if duration <= 0. then 1e-9 else duration in
+  {
+    sp_conns = conns;
+    sp_requests = conns * requests_per_conn;
+    sp_ok = !ok;
+    sp_shed_final = !shed_final;
+    sp_retransmits = !retransmits;
+    sp_duration_s = duration;
+    sp_rps = float_of_int !ok /. duration;
+    sp_shed_rate =
+      (if st.st_frames_in = 0 then 0.
+       else float_of_int st.st_shed /. float_of_int st.st_frames_in);
+    sp_p50_us = pct 0.5 *. 1e6;
+    sp_p99_us = pct 0.99 *. 1e6;
+    sp_diff_ok = !diff_ok;
+    sp_stats = st;
+  }

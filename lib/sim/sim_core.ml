@@ -58,6 +58,25 @@ let schedule t ~delay action =
   t.size <- t.size + 1;
   sift_up t (t.size - 1)
 
+(* Cancellable events: the heap entry is not removed (heap deletion is
+   not worth its bookkeeping for the handful of timers a server carries
+   per connection); the wrapper just refuses to fire.  [h_fired] keeps
+   [cancel]-after-fire a no-op that still reads back as "not
+   cancelled". *)
+type handle = { mutable h_cancelled : bool; mutable h_fired : bool }
+
+let schedule_cancellable t ~delay action =
+  let h = { h_cancelled = false; h_fired = false } in
+  schedule t ~delay (fun () ->
+      if not h.h_cancelled then begin
+        h.h_fired <- true;
+        action ()
+      end);
+  h
+
+let cancel h = if not h.h_fired then h.h_cancelled <- true
+let cancelled h = h.h_cancelled
+
 let pop t =
   let top = t.heap.(0) in
   t.size <- t.size - 1;

@@ -16,6 +16,26 @@ val schedule : t -> delay:float -> (unit -> unit) -> unit
 (** Schedule a callback [delay] seconds from now.  Negative delays are
     rejected. *)
 
+(** {2 Cancellable events}
+
+    Long-lived producers (per-connection request generators, coalesced
+    flush timers) need to withdraw work that is already on the heap when
+    their connection dies.  A {!handle} names one scheduled event; the
+    heap entry stays put but fires as a no-op once cancelled. *)
+
+type handle
+
+val schedule_cancellable : t -> delay:float -> (unit -> unit) -> handle
+(** Like {!schedule}, returning a handle the caller can {!cancel}. *)
+
+val cancel : handle -> unit
+(** Withdraw the event: if it has not fired yet it never will.
+    Cancelling an already-fired or already-cancelled event is a
+    no-op. *)
+
+val cancelled : handle -> bool
+(** True once {!cancel} was called before the event fired. *)
+
 val run : t -> unit
 (** Process events until none remain. *)
 

@@ -404,7 +404,17 @@ let reset_stats t =
 let writer_pool : t list ref = ref []
 let writer_pool_len = ref 0
 
+(* Acquire/release counters for both pools: the difference is the
+   number of pooled objects currently checked out, which leak checks
+   (the server fault-injection tests) pin back to baseline after every
+   request, reply, and failure path. *)
+let writer_acquires = ref 0
+let writer_releases = ref 0
+let reader_acquires = ref 0
+let reader_releases = ref 0
+
 let acquire ?size () =
+  incr writer_acquires;
   let w =
     match !writer_pool with
     | w :: rest ->
@@ -421,6 +431,7 @@ let acquire ?size () =
   w
 
 let release w =
+  incr writer_releases;
   reset w;
   if !writer_pool_len < pool_max then begin
     writer_pool := w :: !writer_pool;
@@ -767,6 +778,7 @@ let reader_pool : reader list ref = ref []
 let reader_pool_len = ref 0
 
 let acquire_reader ?len t =
+  incr reader_acquires;
   match !reader_pool with
   | r :: rest ->
       reader_pool := rest;
@@ -776,6 +788,7 @@ let acquire_reader ?len t =
   | [] -> reader ?len t
 
 let release_reader r =
+  incr reader_releases;
   r.rbuf <- Bytes.empty;
   r.rpos <- 0;
   r.rend <- 0;
@@ -789,6 +802,25 @@ let release_reader r =
     if !reader_pool_len > !reader_pool_hw then
       reader_pool_hw := !reader_pool_len
   end
+
+(* -- pool accounting -------------------------------------------------- *)
+
+type pool_stats = {
+  writers_pooled : int;
+  writers_outstanding : int;
+  readers_pooled : int;
+  readers_outstanding : int;
+  chunks_pooled : int;
+}
+
+let pool_stats () =
+  {
+    writers_pooled = !writer_pool_len;
+    writers_outstanding = !writer_acquires - !writer_releases;
+    readers_pooled = !reader_pool_len;
+    readers_outstanding = !reader_acquires - !reader_releases;
+    chunks_pooled = !chunk_pool_len;
+  }
 
 (* -- metrics-registry export ----------------------------------------- *)
 
@@ -816,4 +848,8 @@ let () =
         ("pool.writers_hw", float_of_int !writer_pool_hw);
         ("pool.readers", float_of_int !reader_pool_len);
         ("pool.readers_hw", float_of_int !reader_pool_hw);
+        ("pool.writers_outstanding",
+         float_of_int (!writer_acquires - !writer_releases));
+        ("pool.readers_outstanding",
+         float_of_int (!reader_acquires - !reader_releases));
       ])

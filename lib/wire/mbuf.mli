@@ -202,6 +202,26 @@ val acquire : ?size:int -> unit -> t
 val release : t -> unit
 (** Reset and return a writer to the pool. *)
 
+(** {2 Pool accounting}
+
+    Checked-out object counts for the writer and reader pools:
+    [*_outstanding] is acquires minus releases since process start, so a
+    code path that takes a pooled object on every request must leave the
+    outstanding counts exactly where it found them — the leak check the
+    server fault-injection tests pin after every failure path.  Objects
+    built with {!create}/{!reader_of_bytes} and never released are
+    invisible here (they were never the pool's to reclaim). *)
+
+type pool_stats = {
+  writers_pooled : int;  (** writers currently resting in the pool *)
+  writers_outstanding : int;  (** {!acquire} minus {!release} calls *)
+  readers_pooled : int;
+  readers_outstanding : int;  (** {!acquire_reader} minus {!release_reader} *)
+  chunks_pooled : int;
+}
+
+val pool_stats : unit -> pool_stats
+
 (** {2 Readers} *)
 
 type reader

@@ -150,10 +150,105 @@ let mach_model_tests =
         | exception Invalid_argument _ -> ());
   ]
 
+(* Pin the retransmit accounting of the lossy round-trip model: every
+   n-th logical request is lost exactly once and retried exactly once,
+   so [sim.rpc.retransmits] must grow by floor(rounds / n) — in
+   particular [drop_every:1] (back-to-back drops on every round) counts
+   one retransmit per round, never two, because the retransmission
+   itself bypasses the loss schedule. *)
+let counter_of name =
+  List.fold_left
+    (fun acc s ->
+      match s with Obs.Scounter (n, v) when n = name -> v | _ -> acc)
+    0 (Obs.snapshot ())
+
+let retransmit_tests =
+  let run_lossy ~rounds ~drop_every =
+    let before = counter_of "sim.rpc.retransmits" in
+    let trips_before = counter_of "sim.rpc.round_trips" in
+    let cost =
+      {
+        Rpc_sim.sc_name = "t";
+        sc_marshal = (fun _ -> 1e-6);
+        sc_unmarshal = (fun _ -> 1e-6);
+        sc_per_call = 1e-6;
+      }
+    in
+    let tput =
+      Rpc_sim.round_trip_throughput ~net:Link.ethernet_100 ~cost
+        ~msg_bytes:1024 ~rounds ~drop_every ()
+    in
+    ( counter_of "sim.rpc.retransmits" - before,
+      counter_of "sim.rpc.round_trips" - trips_before,
+      tput )
+  in
+  [
+    test "every 3rd of 9 rounds retransmits once" (fun () ->
+        let retx, trips, _ = run_lossy ~rounds:9 ~drop_every:3 in
+        Alcotest.(check int) "retransmits" 3 retx;
+        Alcotest.(check int) "all rounds still complete" 9 trips);
+    test "back-to-back drops count one retransmit each" (fun () ->
+        let retx, trips, _ = run_lossy ~rounds:4 ~drop_every:1 in
+        (* the naive double-count bug would report 8 here *)
+        Alcotest.(check int) "retransmits" 4 retx;
+        Alcotest.(check int) "all rounds still complete" 4 trips);
+    test "loss-free run leaves the counter alone" (fun () ->
+        let before = counter_of "sim.rpc.retransmits" in
+        let cost =
+          {
+            Rpc_sim.sc_name = "t";
+            sc_marshal = (fun _ -> 1e-6);
+            sc_unmarshal = (fun _ -> 1e-6);
+            sc_per_call = 1e-6;
+          }
+        in
+        ignore
+          (Rpc_sim.round_trip_throughput ~net:Link.ethernet_100 ~cost
+             ~msg_bytes:1024 ~rounds:4 ());
+        Alcotest.(check int) "retransmits" before
+          (counter_of "sim.rpc.retransmits"));
+    test "retransmission delays the lossy run" (fun () ->
+        let _, _, lossy = run_lossy ~rounds:8 ~drop_every:2 in
+        let _, _, clean = run_lossy ~rounds:8 ~drop_every:1_000_000 in
+        Alcotest.(check bool) "lossy is slower" true (lossy < clean));
+  ]
+
+let cancellable_tests =
+  [
+    test "cancelled events do not fire" (fun () ->
+        let sim = Sim_core.create () in
+        let fired = ref [] in
+        let h1 =
+          Sim_core.schedule_cancellable sim ~delay:1. (fun () ->
+              fired := 1 :: !fired)
+        in
+        let _h2 =
+          Sim_core.schedule_cancellable sim ~delay:2. (fun () ->
+              fired := 2 :: !fired)
+        in
+        Sim_core.cancel h1;
+        Alcotest.(check bool) "reads back cancelled" true (Sim_core.cancelled h1);
+        Sim_core.run sim;
+        Alcotest.(check (list int)) "only the live event fired" [ 2 ] !fired);
+    test "cancel after firing is a no-op" (fun () ->
+        let sim = Sim_core.create () in
+        let fired = ref 0 in
+        let h =
+          Sim_core.schedule_cancellable sim ~delay:1. (fun () -> incr fired)
+        in
+        Sim_core.run sim;
+        Sim_core.cancel h;
+        Alcotest.(check int) "fired once" 1 !fired;
+        Alcotest.(check bool) "not reported cancelled" false
+          (Sim_core.cancelled h));
+  ]
+
 let suite =
   [
     ("sim:core", sim_core_tests);
+    ("sim:cancellable", cancellable_tests);
     ("sim:link", link_tests);
     ("sim:rpc", rpc_sim_tests);
+    ("sim:retransmit", retransmit_tests);
     ("sim:mach-model", mach_model_tests);
   ]
