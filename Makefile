@@ -1,6 +1,6 @@
 # Build, test, and smoke-benchmark entry points (used by CI).
 
-.PHONY: all build test test-verify bench-smoke bench ci
+.PHONY: all build test test-verify test-tier0 bench-smoke bench ci
 
 all: build
 
@@ -17,16 +17,25 @@ test:
 test-verify:
 	FLICK_VERIFY_PLANS=1 dune runtest --force
 
+# The whole suite with the tier-1 staged specializer disabled
+# (FLICK_STAGE=0), so the tier-0 interpreter path — the permanent
+# fallback for unstageable plans — stays fully tested even though
+# staging is on by default.
+test-tier0:
+	FLICK_STAGE=0 dune runtest --force
+
 # The fast artifacts: the plan-optimizer/cache report (BENCH_1.json),
 # the scatter-gather wire report (BENCH_2.json), the decode-plan
 # report (BENCH_3.json), the full-matrix pass-trace report (merged
-# into BENCH_1.json), and the concurrent-server sweep (BENCH_4.json);
-# the pipeline/verifier/engine-equality/pin/scaling/backpressure
-# self-checks make the run exit non-zero on any regression.
-# check_bench then re-parses every BENCH_*.json and fails on any
-# recorded self-check failure or malformed serve sweep.
+# into BENCH_1.json), the concurrent-server sweep (BENCH_4.json), and
+# the tiered-execution report (BENCH_5.json) with its staged-vs-tier-0
+# speedup gate; the pipeline/verifier/engine-equality/pin/scaling/
+# backpressure/byte-identity self-checks make the run exit non-zero on
+# any regression.  check_bench then re-parses every BENCH_*.json and
+# fails on any recorded self-check failure, malformed serve sweep, or
+# missing/failed stage gate.
 bench-smoke:
-	dune exec bench/main.exe -- planopt sgwire decplan tracematrix serve --smoke
+	dune exec bench/main.exe -- planopt sgwire decplan tracematrix serve stage --smoke
 	dune exec bench/check_bench.exe
 
 # Every artifact at default sizes (see EXPERIMENTS.md; --full for
@@ -34,4 +43,4 @@ bench-smoke:
 bench:
 	dune exec bench/main.exe
 
-ci: build test test-verify bench-smoke
+ci: build test test-verify test-tier0 bench-smoke

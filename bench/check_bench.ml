@@ -11,7 +11,11 @@
    - the server-loop artifact ("serve", BENCH_4.json) additionally
      carries a structurally sound sweep: at least 4 points with
      strictly increasing connection counts, positive throughput
-     everywhere, and shed rates inside [0, 1].
+     everywhere, and shed rates inside [0, 1];
+   - the tiered-execution artifact ("stage", BENCH_5.json) additionally
+     carries its full measurement matrix (>= 9 rows, each with both
+     per-side speedups present and positive) and a passed speedup gate
+     with its threshold keys intact.
    Exits non-zero on any violation, or when no artifact files exist at
    all — `make ci` runs the smoke benchmarks first, so an empty
    directory means they silently wrote nothing. *)
@@ -65,6 +69,52 @@ let check_serve_sweep path j =
                   err "%s: sweep[%d]: missing conns/rps/shed_rate" path i)
             points)
 
+(* The stage artifact carries the tentpole's speedup gate, so its shape
+   is pinned: the gate keys and a full measurement matrix must be
+   present and sound even when the benchmark's own checks were green. *)
+let check_stage path j =
+  let num obj key =
+    match Obs_json.member key obj with
+    | Some v -> Obs_json.to_float v
+    | None -> None
+  in
+  (match Obs_json.member "rows" j with
+  | None -> err "%s: stage artifact is missing its \"rows\"" path
+  | Some rows -> (
+      match Obs_json.to_list rows with
+      | None -> err "%s: \"rows\" is not an array" path
+      | Some rows ->
+          (* 3 encodings x 3 workloads x >= 1 size, each row carrying
+             both sides; the smoke run measures one size, --full two *)
+          if List.length rows < 9 then
+            err "%s: stage matrix has %d rows, want >= 9" path
+              (List.length rows);
+          List.iteri
+            (fun i row ->
+              match
+                (num row "encode_speedup", num row "decode_speedup")
+              with
+              | Some e, Some d ->
+                  if e <= 0. || d <= 0. then
+                    err "%s: rows[%d]: non-positive speedup (%.3f, %.3f)"
+                      path i e d
+              | _ -> err "%s: rows[%d]: missing per-side speedups" path i)
+            rows));
+  match Obs_json.member "gate" j with
+  | None -> err "%s: stage artifact is missing its \"gate\"" path
+  | Some gate -> (
+      (match (num gate "min_speedup", num gate "required_encodings") with
+      | Some ms, Some req ->
+          if ms < 1.15 then
+            err "%s: gate min_speedup %.2f below the pinned 1.15" path ms;
+          if int_of_float req < 2 then
+            err "%s: gate required_encodings %.0f below the pinned 2" path req
+      | _ -> err "%s: gate is missing min_speedup/required_encodings" path);
+      match Obs_json.member "passed" gate with
+      | Some (Obs_json.Bool true) -> ()
+      | Some (Obs_json.Bool false) -> err "%s: speedup gate failed" path
+      | _ -> err "%s: gate is missing \"passed\"" path)
+
 let check_file path =
   match Obs_json.parse (read_all path) with
   | Error msg -> err "%s: invalid JSON: %s" path msg
@@ -72,7 +122,8 @@ let check_file path =
       (match Obs_json.member "artifact" j with
       | Some (Obs_json.Str name) ->
           Printf.printf "%s: artifact %S" path name;
-          if name = "serve" then check_serve_sweep path j
+          if name = "serve" then check_serve_sweep path j;
+          if name = "stage" then check_stage path j
       | _ -> err "%s: missing \"artifact\" name" path);
       (match Obs_json.member "self_check_failed" j with
       | Some (Obs_json.Bool false) -> ()

@@ -24,18 +24,36 @@ let handle_diag f =
       Printf.eprintf "flick: %s\n" msg;
       exit 1
 
-(* ---- observability flags ------------------------------------------- *)
+(* ---- observability and staging flags -------------------------------- *)
 
 (* Cmdliner group commands only accept options after the subcommand
-   name, but the trace/metrics output files apply to the whole run, so
-   they read naturally in either position:
+   name, but the trace/metrics output files and the staged-specializer
+   policy apply to the whole run, so they read naturally in either
+   position:
 
      flick --trace-out=t.json compile ... mail.idl
      flick compile ... mail.idl --trace-out=t.json
+     flick --stage=off stats
 
    We strip them from argv before cmdliner parses it. *)
 let trace_out = ref None
 let metrics_out = ref None
+
+let set_stage v =
+  match v with
+  | "on" | "true" | "1" -> Opt_config.set_stage_enabled true
+  | "off" | "false" | "0" -> Opt_config.set_stage_enabled false
+  | v ->
+      Printf.eprintf "flick: --stage expects on or off, got %S\n" v;
+      exit 2
+
+let set_stage_threshold v =
+  match int_of_string_opt v with
+  | Some n when n >= 1 -> Opt_config.set_stage_threshold n
+  | _ ->
+      Printf.eprintf
+        "flick: --stage-threshold expects a positive integer, got %S\n" v;
+      exit 2
 
 let filter_obs_flags argv =
   let prefixed p a =
@@ -50,11 +68,23 @@ let filter_obs_flags argv =
     | "--metrics-out" :: v :: rest ->
         metrics_out := Some v;
         go acc rest
+    | "--stage" :: v :: rest ->
+        set_stage v;
+        go acc rest
+    | "--stage-threshold" :: v :: rest ->
+        set_stage_threshold v;
+        go acc rest
     | a :: rest when prefixed "--trace-out=" a ->
         trace_out := Some (tail "--trace-out=" a);
         go acc rest
     | a :: rest when prefixed "--metrics-out=" a ->
         metrics_out := Some (tail "--metrics-out=" a);
+        go acc rest
+    | a :: rest when prefixed "--stage=" a ->
+        set_stage (tail "--stage=" a);
+        go acc rest
+    | a :: rest when prefixed "--stage-threshold=" a ->
+        set_stage_threshold (tail "--stage-threshold=" a);
         go acc rest
     | a :: rest -> go (a :: acc) rest
   in
@@ -346,6 +376,9 @@ let stats_cmd =
           (Driver.compile Driver.Idl_corba Driver.Pres_corba
              Driver.Back_oncrpc ~file ~source ~interface:None);
         run_builtin_workload ();
+        Printf.printf "staged specialization: %s (promotion threshold %d calls)\n\n"
+          (if Opt_config.stage_enabled () then "on" else "off")
+          (Opt_config.stage_threshold ());
         print_string (Obs.render_table ()))
   in
   let file_arg =
@@ -446,7 +479,10 @@ let main =
           al., PLDI 1997).  $(b,--trace-out=FILE) (any position) writes a \
           Chrome trace_event JSON of the run's compile stages, optimizer \
           passes and simulated RPCs; $(b,--metrics-out=FILE) writes the \
-          metrics registry as JSON lines.")
+          metrics registry as JSON lines.  $(b,--stage=on|off) and \
+          $(b,--stage-threshold=N) (any position) control the tier-1 \
+          staged plan specializer: whether hot plans are promoted to \
+          flat closures, and after how many calls.")
     [
       compile_cmd; dump_aoi_cmd; dump_presc_cmd; dump_plan_cmd;
       list_interfaces_cmd; reuse_cmd; stats_cmd; serve_cmd;

@@ -97,6 +97,19 @@ let trace_one_side b ~label ~nodes ~checks run prog =
 (* Rendering                                                            *)
 (* ------------------------------------------------------------------ *)
 
+(* One line under each plan header saying which execution tier the stub
+   engine will run it at: whether the staged (tier 1) specializer is
+   enabled, and whether this particular plan has a flat-closure form. *)
+let tier_line stageable =
+  if not (Opt_config.stage_enabled ()) then
+    "tier: 0 interpreted (staging disabled)\n"
+  else if stageable then
+    Printf.sprintf
+      "tier: 0 -> 1 staged flat closure after %d calls\n"
+      (Opt_config.stage_threshold ())
+  else
+    "tier: 0 interpreted (subroutines block staging)\n"
+
 let render ~idl ~pres ~backend ~interface ~op ~mode ?config ~file ~source () =
   let config =
     match config with Some c -> c | None -> Opt_config.default ()
@@ -119,9 +132,11 @@ let render ~idl ~pres ~backend ~interface ~op ~mode ?config ~file ~source () =
                 Plan_cache.plan ~enc ~mint ~named ~config (roots_of st))
           in
           Buffer.add_string b
-            (Format.asprintf "=== marshal plan: %s (%s) ===@.%a@."
-               st.Pres_c.os_client_name tr.Backend_base.tr_name Mplan.pp
-               plan.Plan_compile.p_ops);
+            (Format.asprintf "=== marshal plan: %s (%s) ===@."
+               st.Pres_c.os_client_name tr.Backend_base.tr_name);
+          Buffer.add_string b (tier_line (Plan_stage.stageable plan));
+          Buffer.add_string b
+            (Format.asprintf "%a@." Mplan.pp plan.Plan_compile.p_ops);
           List.iter
             (fun (name, ops) ->
               Buffer.add_string b
@@ -134,9 +149,10 @@ let render ~idl ~pres ~backend ~interface ~op ~mode ?config ~file ~source () =
                 Plan_cache.dplan ~enc ~mint ~named ~config (droots_of st))
           in
           Buffer.add_string b
-            (Format.asprintf "=== unmarshal plan: %s (%s) ===@.%a@."
-               st.Pres_c.os_client_name tr.Backend_base.tr_name Dplan.pp_plan
-               plan)
+            (Format.asprintf "=== unmarshal plan: %s (%s) ===@."
+               st.Pres_c.os_client_name tr.Backend_base.tr_name);
+          Buffer.add_string b (tier_line (Dplan_stage.stageable plan));
+          Buffer.add_string b (Format.asprintf "%a@." Dplan.pp_plan plan)
       | Trace ->
           (* compile outside the cache so the passes actually run, and
              verify after each one: a trace that lies about plan health

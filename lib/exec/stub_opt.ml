@@ -159,13 +159,44 @@ let rec compile_elem_path ~var (rv : Mplan.rv) : Value.t -> Value.t =
         | _ -> invalid_arg "Stub_opt: Rfield over a non-aggregate")
   | _ -> invalid_arg "Stub_opt: unsupported fused path"
 
+(* One chunk item, compiled to a store at its constant offset.  Shared
+   between the tier-0 chunk writer and the tier-1 staged chunks (which
+   regroup items but keep this form for whatever does not fuse). *)
+let compile_item ~be (it : Mplan.item) : Mbuf.t -> env -> unit =
+  match it with
+  | Mplan.It_const { off; atom; value } ->
+      fun buf _ -> Codec.write_const_at buf ~be off atom value
+  | Mplan.It_bytes { off; len; pad; src } -> (
+      let a = compile_rv src in
+      fun buf env ->
+        (match a env with
+        | Value.Vbytes b ->
+            if Bytes.length b <> len then
+              invalid_arg "Stub_opt: fixed byte array length mismatch"
+            else Mbuf.set_bytes buf off b 0 len
+        | Value.Vstring s -> Mbuf.set_string buf off s 0 len
+        | Value.Vbytes_view w | Value.Vstring_view w ->
+            if w.Value.v_len <> len then
+              invalid_arg "Stub_opt: fixed byte array length mismatch"
+            else Mbuf.set_bytes buf off w.Value.v_base w.Value.v_off len
+        | _ -> invalid_arg "Stub_opt: It_bytes over non-bytes");
+        if pad > 0 then Mbuf.fill_zero buf (off + len) pad)
+  | Mplan.It_atom { off; atom; src } -> (
+      let a = compile_rv src in
+      (* specialize the hot 32-bit case *)
+      match (atom.Mplan.kind, atom.Mplan.size) with
+      | Encoding.Kint { bits; _ }, 4 when bits <= 32 ->
+          if be then fun buf env -> Mbuf.set_i32_be buf off (Codec.as_int (a env))
+          else fun buf env -> Mbuf.set_i32_le buf off (Codec.as_int (a env))
+      | _, _ -> fun buf env -> Codec.write_at buf ~be off atom (a env))
+
 let compile_ops ~(enc : Encoding.t) ~subs ops : (Mbuf.t -> env -> unit) list =
   let be = enc.Encoding.big_endian in
   let rec compile_op (op : Mplan.op) : Mbuf.t -> env -> unit =
     match op with
     | Mplan.Align n -> fun buf _ -> Mbuf.align buf n
     | Mplan.Chunk { size; items; check; align = _ } ->
-        let writers = List.map compile_item items in
+        let writers = List.map (compile_item ~be) items in
         (* zero the spans items do not cover (alignment gaps) *)
         let gaps =
           let covered =
@@ -455,33 +486,6 @@ let compile_ops ~(enc : Encoding.t) ~subs ops : (Mbuf.t -> env -> unit) list =
         fun buf env ->
           let v = a env in
           !cell buf { params = [| v |]; vars = env.vars })
-  and compile_item (it : Mplan.item) : Mbuf.t -> env -> unit =
-    match it with
-    | Mplan.It_const { off; atom; value } ->
-        fun buf _ -> Codec.write_const_at buf ~be off atom value
-    | Mplan.It_bytes { off; len; pad; src } -> (
-        let a = compile_rv src in
-        fun buf env ->
-          (match a env with
-          | Value.Vbytes b ->
-              if Bytes.length b <> len then
-                invalid_arg "Stub_opt: fixed byte array length mismatch"
-              else Mbuf.set_bytes buf off b 0 len
-          | Value.Vstring s -> Mbuf.set_string buf off s 0 len
-          | Value.Vbytes_view w | Value.Vstring_view w ->
-              if w.Value.v_len <> len then
-                invalid_arg "Stub_opt: fixed byte array length mismatch"
-              else Mbuf.set_bytes buf off w.Value.v_base w.Value.v_off len
-          | _ -> invalid_arg "Stub_opt: It_bytes over non-bytes");
-          if pad > 0 then Mbuf.fill_zero buf (off + len) pad)
-    | Mplan.It_atom { off; atom; src } -> (
-        let a = compile_rv src in
-        (* specialize the hot 32-bit case *)
-        match (atom.Mplan.kind, atom.Mplan.size) with
-        | Encoding.Kint { bits; _ }, 4 when bits <= 32 ->
-            if be then fun buf env -> Mbuf.set_i32_be buf off (Codec.as_int (a env))
-            else fun buf env -> Mbuf.set_i32_le buf off (Codec.as_int (a env))
-        | _, _ -> fun buf env -> Codec.write_at buf ~be off atom (a env))
   and compile_atom_array arr (atom : Mplan.atom) with_len =
     let a = compile_rv arr in
     let size = atom.Mplan.size in
@@ -559,6 +563,224 @@ let encoder_of_plan ~enc (plan : Plan_compile.plan) : encoder =
       (Array.unsafe_get fns k) buf env
     done
 
+(* ------------------------------------------------------------------ *)
+(* Tier 1: staged encoding                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Arity-specialized sequencing: a staged op list becomes one flat
+   closure calling its parts directly, instead of the tier-0 shape of a
+   dispatch loop over a closure array (longer sequences split in half,
+   so the dispatch cost stays logarithmic). *)
+let rec seq_fns (fns : ('a -> 'b -> unit) array) : 'a -> 'b -> unit =
+  match fns with
+  | [||] -> fun _ _ -> ()
+  | [| f |] -> f
+  | [| f; g |] ->
+      fun a b ->
+        f a b;
+        g a b
+  | [| f; g; h |] ->
+      fun a b ->
+        f a b;
+        g a b;
+        h a b
+  | [| f; g; h; i |] ->
+      fun a b ->
+        f a b;
+        g a b;
+        h a b;
+        i a b
+  | fns ->
+      let n = Array.length fns in
+      let m = n / 2 in
+      let l = seq_fns (Array.sub fns 0 m)
+      and r = seq_fns (Array.sub fns m (n - m)) in
+      fun a b ->
+        l a b;
+        r a b
+
+(* The staged specializer: partially evaluate the plan into flat
+   closures.  Chunks regroup through Plan_stage — constants fold into
+   precomputed byte images written with one blit, runs of 32-bit fields
+   of one aggregate resolve their base once and store through
+   offset/index arrays — and loop/switch bodies become single fused
+   closures instead of op-dispatch loops.  Ops with no fused form keep
+   their tier-0 compilation, so every staged plan writes byte-identical
+   messages (pinned by test/test_stage.ml and the stage bench
+   self-checks).  Plans with marshal subroutines do not stage (None):
+   recursion has no flat-closure form, and the caller falls back to
+   tier 0. *)
+let staged_encoder_of_plan ~(enc : Encoding.t) (plan : Plan_compile.plan) :
+    encoder option =
+  if not (Plan_stage.stageable plan) then None
+  else begin
+    let be = enc.Encoding.big_endian in
+    let subs : (string, (Mbuf.t -> env -> unit) ref) Hashtbl.t =
+      Hashtbl.create 1
+    in
+    (* stageable plans have no Call ops, so the empty table is safe *)
+    let delegate op =
+      match compile_ops ~enc ~subs [ op ] with
+      | [ f ] -> f
+      | _ -> assert false
+    in
+    let stage_seg (seg : Plan_stage.seg) : Mbuf.t -> env -> unit =
+      match seg with
+      | Plan_stage.Seg_image { off; image } ->
+          let n = Bytes.length image in
+          fun buf _ -> Mbuf.set_bytes buf off image 0 n
+      | Plan_stage.Seg_run { base; offs; idxs } -> (
+          let b = compile_rv base in
+          let n = Array.length offs in
+          let set = if be then Mbuf.set_i32_be else Mbuf.set_i32_le in
+          fun buf env ->
+            match b env with
+            | Value.Vstruct fs ->
+                for k = 0 to n - 1 do
+                  set buf
+                    (Array.unsafe_get offs k)
+                    (Codec.as_int
+                       (Array.unsafe_get fs (Array.unsafe_get idxs k)))
+                done
+            | Value.Vint_array a ->
+                for k = 0 to n - 1 do
+                  set buf
+                    (Array.unsafe_get offs k)
+                    (Array.unsafe_get a (Array.unsafe_get idxs k))
+                done
+            | Value.Varray a ->
+                for k = 0 to n - 1 do
+                  set buf
+                    (Array.unsafe_get offs k)
+                    (Codec.as_int (Array.unsafe_get a (Array.unsafe_get idxs k)))
+                done
+            | Value.Vbytes s ->
+                for k = 0 to n - 1 do
+                  set buf offs.(k) (Char.code (Bytes.get s idxs.(k)))
+                done
+            | _ -> invalid_arg "Stub_opt: staged field run over non-aggregate")
+      | Plan_stage.Seg_item it -> compile_item ~be it
+    in
+    let rec stage_op (op : Mplan.op) : Mbuf.t -> env -> unit =
+      match op with
+      | Mplan.Chunk { size; items; check; align = _ } -> (
+          let run =
+            seq_fns
+              (Array.of_list
+                 (List.map stage_seg (Plan_stage.chunk_segments ~be items)))
+          in
+          match (check, Plan_stage.chunk_gaps size items) with
+          | false, [] ->
+              fun buf env ->
+                run buf env;
+                Mbuf.advance buf size
+          | true, [] ->
+              fun buf env ->
+                Mbuf.ensure buf size;
+                run buf env;
+                Mbuf.advance buf size
+          | check, gaps ->
+              fun buf env ->
+                if check then Mbuf.ensure buf size;
+                List.iter (fun (off, len) -> Mbuf.fill_zero buf off len) gaps;
+                run buf env;
+                Mbuf.advance buf size)
+      | Mplan.Loop { var; body; _ } when fused_loop_body ~var body <> None ->
+          (* tier 0 already compiles this shape to flat per-element
+             stores; nothing further to fold *)
+          delegate op
+      | Mplan.Loop { arr; var; body; via } -> (
+          let a = compile_rv arr in
+          let run = seq_fns (Array.of_list (List.map stage_op body)) in
+          let run_elem buf env v =
+            env.vars.(var) <- v;
+            run buf env
+          in
+          let generic buf env v =
+            match v with
+            | Value.Varray elems ->
+                for i = 0 to Array.length elems - 1 do
+                  run_elem buf env (Array.unsafe_get elems i)
+                done
+            | Value.Vopt None -> ()
+            | Value.Vopt (Some v) -> run_elem buf env v
+            | Value.Vint_array elems ->
+                for i = 0 to Array.length elems - 1 do
+                  run_elem buf env (Value.Vint (Array.unsafe_get elems i))
+                done
+            | _ -> invalid_arg "Stub_opt: Loop over non-array"
+          in
+          (* tiny fixed trip counts unroll into straight-line calls *)
+          match Plan_stage.fixed_count via with
+          | Some 2 ->
+              fun buf env -> (
+                match a env with
+                | Value.Varray [| v0; v1 |] ->
+                    run_elem buf env v0;
+                    run_elem buf env v1
+                | v -> generic buf env v)
+          | Some 3 ->
+              fun buf env -> (
+                match a env with
+                | Value.Varray [| v0; v1; v2 |] ->
+                    run_elem buf env v0;
+                    run_elem buf env v1;
+                    run_elem buf env v2
+                | v -> generic buf env v)
+          | Some 4 ->
+              fun buf env -> (
+                match a env with
+                | Value.Varray [| v0; v1; v2; v3 |] ->
+                    run_elem buf env v0;
+                    run_elem buf env v1;
+                    run_elem buf env v2;
+                    run_elem buf env v3
+                | v -> generic buf env v)
+          | _ -> fun buf env -> generic buf env (a env))
+      | Mplan.Switch { u; arms; default; _ } -> (
+          let sel = compile_rv u in
+          let n_cases =
+            List.fold_left
+              (fun acc (a : Mplan.arm) -> max acc a.Mplan.a_case)
+              (-1) arms
+            + 1
+          in
+          let table = Array.make (max n_cases 1) None in
+          List.iter
+            (fun (a : Mplan.arm) ->
+              table.(a.Mplan.a_case) <-
+                Some (seq_fns (Array.of_list (List.map stage_op a.Mplan.a_body))))
+            arms;
+          let default_fn =
+            Option.map
+              (fun (_, body) ->
+                seq_fns (Array.of_list (List.map stage_op body)))
+              default
+          in
+          fun buf env ->
+            match sel env with
+            | Value.Vunion { case; _ } -> (
+                if case >= 0 && case < Array.length table then
+                  match table.(case) with
+                  | Some f -> f buf env
+                  | None -> invalid_arg "Stub_opt: missing union arm"
+                else
+                  match default_fn with
+                  | Some f -> f buf env
+                  | None -> invalid_arg "Stub_opt: union case out of range")
+            | _ -> invalid_arg "Stub_opt: Switch over a non-union")
+      | op -> delegate op
+    in
+    let run =
+      seq_fns (Array.of_list (List.map stage_op plan.Plan_compile.p_ops))
+    in
+    let nvars = max_var plan.Plan_compile.p_ops + 1 in
+    Some
+      (fun buf params ->
+        let env = { params; vars = Array.make (max nvars 1) Value.Vvoid } in
+        run buf env)
+  end
+
 (* Per-call latency and message-size histograms, shared shape across
    engines (Stub_naive registers its own set).  The closures test the
    Obs gate on every call: off (the default, and during benches) they
@@ -592,6 +814,20 @@ let encode_bytes = Obs.hist "stub_opt.encode_bytes"
 let decode_ns = Obs.hist "stub_opt.decode_ns"
 let decode_bytes = Obs.hist "stub_opt.decode_bytes"
 
+(* Tier bookkeeping: how many stubs were promoted, how calls split
+   across tiers, and how often staging declined a plan — plus per-tier
+   latency histograms (timing-gated like the per-engine ones above), so
+   [flick stats] shows the interpreted-vs-staged latency gap
+   directly. *)
+let stage_promotions = Obs.counter "stage.promotions"
+let stage_staged_calls = Obs.counter "stage.staged_calls"
+let stage_interp_calls = Obs.counter "stage.interp_calls"
+let stage_fallbacks = Obs.counter "stage.fallbacks"
+let stage_encode_interp_ns = Obs.hist "stage.encode_interp_ns"
+let stage_encode_staged_ns = Obs.hist "stage.encode_staged_ns"
+let stage_decode_interp_ns = Obs.hist "stage.decode_interp_ns"
+let stage_decode_staged_ns = Obs.hist "stage.decode_staged_ns"
+
 (* Compiled encoders are memoized: the closure chains carry no per-call
    state (each invocation allocates its own env), so one encoder safely
    serves every request with the same message structure.  The key is the
@@ -599,27 +835,84 @@ let decode_bytes = Obs.hist "stub_opt.decode_bytes"
 let encoder_cache : encoder Plan_cache.t =
   Plan_cache.create ~name:"stub_opt.encoder" ()
 
+(* Tier promotion: the cached closure is a stable wrapper (so the
+   physical-equality hot path of repeat compilations survives every
+   tier change) that counts calls through the cache's per-fingerprint
+   hotness counter and, when the counter reaches the threshold, swaps
+   its target from the tier-0 interpreter to the staged closure and
+   re-installs itself via Plan_cache.promote — counted under
+   promotions, never inflating the hit rate.  The first [threshold]
+   calls run interpreted; every later call runs staged.  Hotness
+   counters survive cache eviction, so a hot plan recompiled after
+   churn starts promoted. *)
+let tiered_encoder ~key (tier0 : encoder) (staged : encoder) : encoder =
+  let threshold = Opt_config.stage_threshold () in
+  let calls = Plan_cache.hotness encoder_cache key in
+  let promoted = ref (!calls >= threshold) in
+  if !promoted then Obs.incr stage_promotions 1;
+  let self = ref tier0 in
+  let wrapper buf params =
+    if !promoted then begin
+      Obs.incr stage_staged_calls 1;
+      if Obs.timing_enabled () then begin
+        let t0 = Obs.now_ns () in
+        staged buf params;
+        Obs.observe stage_encode_staged_ns (Obs.now_ns () -. t0)
+      end
+      else staged buf params
+    end
+    else begin
+      Obs.incr stage_interp_calls 1;
+      incr calls;
+      (if Obs.timing_enabled () then begin
+         let t0 = Obs.now_ns () in
+         tier0 buf params;
+         Obs.observe stage_encode_interp_ns (Obs.now_ns () -. t0)
+       end
+       else tier0 buf params);
+      if !calls >= threshold then begin
+        promoted := true;
+        Obs.incr stage_promotions 1;
+        Plan_cache.promote encoder_cache key !self
+      end
+    end
+  in
+  self := wrapper;
+  wrapper
+
 let compile_encoder ?config ~enc ~mint ~named roots : encoder =
   let config =
     match config with Some c -> c | None -> Opt_config.default ()
   in
   let fp = Plan_cache.fp_create ~enc ~mint ~named () in
-  (* the compiled closures bake in the plan's scatter-gather decisions
-     and the pass pipeline that shaped the plan, so both are part of the
-     encoder key too *)
+  (* the compiled closures bake in the plan's scatter-gather decisions,
+     the pass pipeline that shaped the plan, and the tier policy, so
+     all three are part of the encoder key too *)
   Plan_cache.fp_tag fp
-    (Printf.sprintf "sg=%b,%d,%s" (Mbuf.sg_enabled ())
+    (Printf.sprintf "sg=%b,%d,%s,%s" (Mbuf.sg_enabled ())
        (Mbuf.borrow_threshold ())
-       (Opt_config.selection_fingerprint config));
+       (Opt_config.selection_fingerprint config)
+       (Opt_config.stage_fingerprint ()));
   List.iter (Plan_cache.fp_root fp) roots;
+  let key = Plan_cache.fp_contents fp in
   (* instrumented inside the cache: the cached closure IS the
      instrumented one, so repeat compilations return the same physical
      closure (pinned by the cache tests) and the gate check at call
      time keeps the wrapper free when timing is off *)
-  Plan_cache.find_or_add encoder_cache (Plan_cache.fp_contents fp)
-    (fun () ->
-      instrument_encoder encode_ns encode_bytes
-        (encoder_of_plan ~enc (Plan_cache.plan ~enc ~mint ~named ~config roots)))
+  Plan_cache.find_or_add encoder_cache key (fun () ->
+      let plan = Plan_cache.plan ~enc ~mint ~named ~config roots in
+      let tier0 =
+        instrument_encoder encode_ns encode_bytes (encoder_of_plan ~enc plan)
+      in
+      if not (Opt_config.stage_enabled ()) then tier0
+      else
+        match staged_encoder_of_plan ~enc plan with
+        | None ->
+            Obs.incr stage_fallbacks 1;
+            tier0
+        | Some staged ->
+            tiered_encoder ~key tier0
+              (instrument_encoder encode_ns encode_bytes staged))
 
 (* ------------------------------------------------------------------ *)
 (* Decoding                                                             *)
@@ -984,11 +1277,22 @@ let rec shape_builder (sh : Dplan.shape) : Value.t array -> Value.t =
       | [| a; b |] -> fun slots -> Value.Vstruct [| a slots; b slots |]
       | _ -> fun slots -> Value.Vstruct (Array.map (fun b -> b slots) builders))
 
-let decoder_of_dplan ~(enc : Encoding.t) (plan : Dplan.plan) : decoder =
+(* The dplan op compiler, shared by the tier-0 executor and the tier-1
+   staged specializer (which fuses what it can and compiles the rest
+   through these). *)
+type dcompiler = {
+  c_op : Dplan.dop -> Mbuf.reader -> Value.t array -> unit;
+  c_item : Dplan.ditem -> Mbuf.reader -> Value.t array -> unit;
+  c_frame : Dplan.frame -> dframe_exec;
+  c_count : Dplan.dcount -> Mbuf.reader -> int;
+  c_key : Mbuf.reader -> string;
+}
+
+let dcompiler ~(enc : Encoding.t) ~(subs : (string, dframe_exec ref) Hashtbl.t)
+    : dcompiler =
   let be = enc.Encoding.big_endian in
   let nul = enc.Encoding.string_nul in
   let pad_unit = enc.Encoding.pad_unit in
-  let subs : (string, dframe_exec ref) Hashtbl.t = Hashtbl.create 4 in
   (* a view is handed out only when the payload clears the borrow
      threshold at runtime and the segmented reader can alias it in one
      piece; both decisions are baked per op when the closure is built,
@@ -1291,6 +1595,17 @@ let decoder_of_dplan ~(enc : Encoding.t) (plan : Dplan.plan) : decoder =
       fx_build = shape_builder frame.Dplan.f_shape;
     }
   in
+  {
+    c_op = compile_op;
+    c_item = compile_item;
+    c_frame = compile_frame;
+    c_count = read_count;
+    c_key = read_key;
+  }
+
+let decoder_of_dplan ~(enc : Encoding.t) (plan : Dplan.plan) : decoder =
+  let subs : (string, dframe_exec ref) Hashtbl.t = Hashtbl.create 4 in
+  let c = dcompiler ~enc ~subs in
   (* subroutine cells first, so D_call sites (including recursive ones)
      can link before the bodies are compiled *)
   List.iter
@@ -1304,10 +1619,10 @@ let decoder_of_dplan ~(enc : Encoding.t) (plan : Dplan.plan) : decoder =
            }))
     plan.Dplan.d_subs;
   List.iter
-    (fun (name, frame) -> Hashtbl.find subs name := compile_frame frame)
+    (fun (name, frame) -> Hashtbl.find subs name := c.c_frame frame)
     plan.Dplan.d_subs;
   let top =
-    compile_frame
+    c.c_frame
       {
         Dplan.f_nslots = plan.Dplan.d_nslots;
         f_ops = plan.Dplan.d_ops;
@@ -1319,6 +1634,232 @@ let decoder_of_dplan ~(enc : Encoding.t) (plan : Dplan.plan) : decoder =
     let slots = Array.make (max plan.Dplan.d_nslots 1) Value.Vvoid in
     top.fx_run r slots;
     Array.map (fun b -> b slots) builders
+
+(* ------------------------------------------------------------------ *)
+(* Tier 1: staged decoding                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* The decode-side specializer, mirroring staged_encoder_of_plan: chunk
+   loads regroup through Dplan_stage (runs of 32-bit integer loads
+   share one extension rule and a tight offset/slot loop), frame and
+   arm op lists become single fused closures, and everything without a
+   fused form keeps its tier-0 compilation.  Value results are
+   identical to tier 0 on well-formed and malformed input alike
+   (differential-tested in test/test_stage.ml). *)
+let staged_decoder_of_dplan ~(enc : Encoding.t) (plan : Dplan.plan) :
+    decoder option =
+  if not (Dplan_stage.stageable plan) then None
+  else begin
+    let be = enc.Encoding.big_endian in
+    (* stageable plans have no D_call ops, so the empty table is safe *)
+    let subs : (string, dframe_exec ref) Hashtbl.t = Hashtbl.create 1 in
+    let c = dcompiler ~enc ~subs in
+    let stage_dseg (seg : Dplan_stage.dseg) :
+        Mbuf.reader -> Value.t array -> unit =
+      match seg with
+      | Dplan_stage.Dseg_run { offs; slots; bits; signed } ->
+          let n = Array.length offs in
+          let get = if be then Mbuf.get_i32_be else Mbuf.get_i32_le in
+          if signed then
+            fun r sl ->
+              for k = 0 to n - 1 do
+                Array.unsafe_set sl
+                  (Array.unsafe_get slots k)
+                  (Value.Vint
+                     (sign_extend (get r (Array.unsafe_get offs k)) bits))
+              done
+          else if bits >= 32 then
+            fun r sl ->
+              for k = 0 to n - 1 do
+                Array.unsafe_set sl
+                  (Array.unsafe_get slots k)
+                  (Value.Vint (get r (Array.unsafe_get offs k) land 0xFFFFFFFF))
+              done
+          else
+            let mask = (1 lsl bits) - 1 in
+            fun r sl ->
+              for k = 0 to n - 1 do
+                Array.unsafe_set sl
+                  (Array.unsafe_get slots k)
+                  (Value.Vint (get r (Array.unsafe_get offs k) land mask))
+              done
+      | Dplan_stage.Dseg_item it -> c.c_item it
+    in
+    let rec stage_op (op : Dplan.dop) : Mbuf.reader -> Value.t array -> unit =
+      match op with
+      | Dplan.D_chunk { size; items; check } ->
+          let run =
+            seq_fns
+              (Array.of_list
+                 (List.map stage_dseg (Dplan_stage.chunk_dsegments items)))
+          in
+          if check then fun r slots ->
+            Mbuf.need r size;
+            run r slots;
+            Mbuf.skip r size
+          else fun r slots ->
+            run r slots;
+            Mbuf.skip r size
+      | Dplan.D_loop { count; ensure; frame; slot } -> (
+          let get_n = c.c_count count in
+          let fx = stage_frame frame in
+          let run = fx.fx_run and build = fx.fx_build in
+          let nslots = max fx.fx_nslots 1 in
+          match ensure with
+          | Some u ->
+              fun r slots ->
+                let n = get_n r in
+                Mbuf.need r (n * u);
+                let out = Array.make n Value.Vvoid in
+                let fslots = Array.make nslots Value.Vvoid in
+                for i = 0 to n - 1 do
+                  run r fslots;
+                  Array.unsafe_set out i (build fslots)
+                done;
+                slots.(slot) <- Value.Varray out
+          | None ->
+              fun r slots ->
+                let n = get_n r in
+                let out = Array.make n Value.Vvoid in
+                let fslots = Array.make nslots Value.Vvoid in
+                for i = 0 to n - 1 do
+                  run r fslots;
+                  Array.unsafe_set out i (build fslots)
+                done;
+                slots.(slot) <- Value.Varray out)
+      | Dplan.D_opt { frame; slot } ->
+          let fx = stage_frame frame in
+          fun r slots ->
+            Mbuf.ralign r 4;
+            let at = Mbuf.rpos r in
+            let n = Codec.read_len r ~be ~align:4 in
+            (match n with
+            | 0 -> slots.(slot) <- Value.Vopt None
+            | 1 ->
+                let fslots = Array.make (max fx.fx_nslots 1) Value.Vvoid in
+                fx.fx_run r fslots;
+                slots.(slot) <- Value.Vopt (Some (fx.fx_build fslots))
+            | n ->
+                raise
+                  (Codec.Decode_error
+                     (Printf.sprintf "optional count %d at byte %d" n at)))
+      | Dplan.D_switch { discrim_atom; arms; default; slot } -> (
+          let table : (Mint.const, int * dframe_exec) Hashtbl.t =
+            Hashtbl.create 16
+          in
+          List.iter
+            (fun (a : Dplan.darm) ->
+              Hashtbl.replace table a.Dplan.d_const
+                (a.Dplan.d_case, stage_frame a.Dplan.d_frame))
+            arms;
+          let default_fx = Option.map stage_frame default in
+          let run_frame (fx : dframe_exec) r =
+            let fslots = Array.make (max fx.fx_nslots 1) Value.Vvoid in
+            fx.fx_run r fslots;
+            fx.fx_build fslots
+          in
+          match discrim_atom with
+          | Some atom ->
+              fun r slots ->
+                let v = Codec.read_stream r ~be atom in
+                let const : Mint.const =
+                  match v with
+                  | Value.Vint n -> Mint.Cint (Int64.of_int n)
+                  | Value.Vbool b -> Mint.Cbool b
+                  | Value.Vchar ch -> Mint.Cchar ch
+                  | _ -> raise (Codec.Decode_error "bad discriminator")
+                in
+                (match Hashtbl.find_opt table const with
+                | Some (case, fx) ->
+                    slots.(slot) <-
+                      Value.Vunion
+                        { case; discrim = const; payload = run_frame fx r }
+                | None -> (
+                    match default_fx with
+                    | Some fx ->
+                        slots.(slot) <-
+                          Value.Vunion
+                            {
+                              case = -1;
+                              discrim = const;
+                              payload = run_frame fx r;
+                            }
+                    | None ->
+                        raise
+                          (Codec.Decode_error
+                             (Format.asprintf "unknown discriminator %a"
+                                Mint.pp_const const))))
+          | None ->
+              fun r slots ->
+                let key = c.c_key r in
+                let const = Mint.Cstring key in
+                (match Hashtbl.find_opt table const with
+                | Some (case, fx) ->
+                    slots.(slot) <-
+                      Value.Vunion
+                        { case; discrim = const; payload = run_frame fx r }
+                | None ->
+                    raise (Codec.Decode_error ("unknown operation " ^ key))))
+      | Dplan.D_get_atom_array
+          {
+            count = Dplan.Dc_fixed n;
+            atom =
+              { Mplan.kind = Encoding.Kint { bits; signed }; size = 4; _ };
+            slot;
+          }
+        when bits <= 32 ->
+          (* fold the fixed element count: the byte total becomes a
+             compile-time constant and the per-message count call
+             disappears; extension rules match the tier-0 path *)
+          let total = n * 4 in
+          let fill =
+            if be then fun r out ->
+              for i = 0 to n - 1 do
+                Array.unsafe_set out i (Mbuf.get_i32_be r (i * 4))
+              done
+            else fun r out ->
+              for i = 0 to n - 1 do
+                Array.unsafe_set out i (Mbuf.get_i32_le r (i * 4))
+              done
+          in
+          let extend =
+            if signed || bits > 32 then fun out -> out
+            else if bits = 32 then
+              fun out -> Array.map (fun x -> x land 0xFFFFFFFF) out
+            else
+              let mask = (1 lsl bits) - 1 in
+              fun out -> Array.map (fun x -> x land mask) out
+          in
+          fun r slots ->
+            Mbuf.ralign r 4;
+            Mbuf.need r total;
+            let out = Array.make n 0 in
+            fill r out;
+            Mbuf.skip r total;
+            slots.(slot) <- Value.Vint_array (extend out)
+      | op -> c.c_op op
+    and stage_frame (frame : Dplan.frame) : dframe_exec =
+      {
+        fx_nslots = frame.Dplan.f_nslots;
+        fx_run = seq_fns (Array.of_list (List.map stage_op frame.Dplan.f_ops));
+        fx_build = shape_builder frame.Dplan.f_shape;
+      }
+    in
+    let top =
+      stage_frame
+        {
+          Dplan.f_nslots = plan.Dplan.d_nslots;
+          f_ops = plan.Dplan.d_ops;
+          f_shape = Dplan.Sh_void;
+        }
+    in
+    let builders = Array.of_list (List.map shape_builder plan.Dplan.d_shapes) in
+    Some
+      (fun r ->
+        let slots = Array.make (max plan.Dplan.d_nslots 1) Value.Vvoid in
+        top.fx_run r slots;
+        Array.map (fun b -> b slots) builders)
+  end
 
 (* Compiled decoders are stateless between calls (per-call state lives
    in the reader and the slot frames), so they are memoized under the
@@ -1335,9 +1876,10 @@ let droot_key ~enc ~mint ~named ~views ~config droots =
      pass pipeline, so the view/SG/pipeline configuration is part of
      the decoder key, mirroring the encoder's sg tag *)
   Plan_cache.fp_tag fp
-    (Printf.sprintf "views=%b,sg=%b,%d,%s" views (Mbuf.sg_enabled ())
+    (Printf.sprintf "views=%b,sg=%b,%d,%s,%s" views (Mbuf.sg_enabled ())
        (Mbuf.borrow_threshold ())
-       (Opt_config.selection_fingerprint config));
+       (Opt_config.selection_fingerprint config)
+       (Opt_config.stage_fingerprint ()));
   List.iter
     (fun droot ->
       match droot with
@@ -1360,17 +1902,70 @@ let to_dplan_droot (droot : droot) : Dplan_compile.droot =
   | Dconst_str s -> Dplan_compile.Dconst_str s
   | Dvalue (idx, pres) -> Dplan_compile.Dvalue (idx, pres)
 
+(* Decode-side twin of tiered_encoder: same stable-wrapper promotion
+   protocol against the decoder cache's hotness counters. *)
+let tiered_decoder ~key (tier0 : decoder) (staged : decoder) : decoder =
+  let threshold = Opt_config.stage_threshold () in
+  let calls = Plan_cache.hotness decoder_cache key in
+  let promoted = ref (!calls >= threshold) in
+  if !promoted then Obs.incr stage_promotions 1;
+  let self = ref tier0 in
+  let wrapper r =
+    if !promoted then begin
+      Obs.incr stage_staged_calls 1;
+      if Obs.timing_enabled () then begin
+        let t0 = Obs.now_ns () in
+        let v = staged r in
+        Obs.observe stage_decode_staged_ns (Obs.now_ns () -. t0);
+        v
+      end
+      else staged r
+    end
+    else begin
+      Obs.incr stage_interp_calls 1;
+      incr calls;
+      let v =
+        if Obs.timing_enabled () then begin
+          let t0 = Obs.now_ns () in
+          let v = tier0 r in
+          Obs.observe stage_decode_interp_ns (Obs.now_ns () -. t0);
+          v
+        end
+        else tier0 r
+      in
+      if !calls >= threshold then begin
+        promoted := true;
+        Obs.incr stage_promotions 1;
+        Plan_cache.promote decoder_cache key !self
+      end;
+      v
+    end
+  in
+  self := wrapper;
+  wrapper
+
 let compile_decoder ?config ~enc ~mint ~named ?(views = false) droots :
     decoder =
   let config =
     match config with Some c -> c | None -> Opt_config.default ()
   in
+  let key = droot_key ~enc ~mint ~named ~views ~config droots in
   (* as for encoders: instrumented inside the cache so repeat
      compilations share one physical closure *)
-  Plan_cache.find_or_add decoder_cache
-    (droot_key ~enc ~mint ~named ~views ~config droots)
-    (fun () ->
-      instrument_decoder decode_ns decode_bytes
-        (decoder_of_dplan ~enc
-           (Plan_cache.dplan ~enc ~mint ~named ~views ~config
-              (List.map to_dplan_droot droots))))
+  Plan_cache.find_or_add decoder_cache key (fun () ->
+      let dplan =
+        Plan_cache.dplan ~enc ~mint ~named ~views ~config
+          (List.map to_dplan_droot droots)
+      in
+      let tier0 =
+        instrument_decoder decode_ns decode_bytes (decoder_of_dplan ~enc dplan)
+      in
+      if not (Opt_config.stage_enabled ()) then tier0
+      else
+        match staged_decoder_of_dplan ~enc dplan with
+        | None ->
+            Obs.incr stage_fallbacks 1;
+            tier0
+        | Some staged ->
+            tiered_decoder ~key tier0
+              (instrument_decoder decode_ns decode_bytes staged))

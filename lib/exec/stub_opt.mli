@@ -75,6 +75,27 @@ val encoder_of_plan :
 (** Lower-level entry: execute an already compiled plan (used by the
     ablation benchmarks, which tweak plans). *)
 
+val staged_encoder_of_plan :
+  enc:Encoding.t -> Plan_compile.plan -> encoder option
+(** The tier-1 staged specializer: partially evaluate the plan into
+    flat closures — constants folded into precomputed byte images, runs
+    of 32-bit fields of one aggregate stored through offset/index
+    arrays after resolving the base once, loop/switch bodies fused into
+    single closures, tiny fixed loops unrolled.  Byte-identical to
+    {!encoder_of_plan} on every input.  [None] when the plan has
+    marshal subroutines (recursion has no flat-closure form); callers
+    fall back to tier 0.  {!compile_encoder} installs this
+    automatically once a plan's hotness counter passes
+    {!Opt_config.stage_threshold}. *)
+
+val staged_decoder_of_dplan :
+  enc:Encoding.t -> Dplan.plan -> decoder option
+(** Decode-side twin of {!staged_encoder_of_plan}: chunk loads regroup
+    into fused integer runs, frame op lists become single closures.
+    Decodes identically to {!decoder_of_dplan} on well-formed and
+    malformed input alike; [None] on plans with unmarshal
+    subroutines. *)
+
 val decoder_of_dplan :
   enc:Encoding.t -> Dplan.plan -> decoder
 (** Lower-level entry: execute an already compiled decode plan (used by

@@ -148,11 +148,17 @@ let observe h v =
   end;
   h.h_count <- h.h_count + 1
 
-(* Bucket-resolution estimate: walk the cumulative distribution to the
-   bucket holding the requested rank and report its upper bound,
-   clamped into the observed [min, max] so degenerate shapes come out
-   exact: empty -> 0, a single sample -> that sample, and the overflow
-   bucket -> the true maximum. *)
+(* Sub-bucket estimate: walk the cumulative distribution to the bucket
+   holding the requested rank, then interpolate linearly inside it —
+   samples within a bucket are assumed uniform over (lo, hi], so a rank
+   landing k-th of n in a bucket reads as lo + k/n * (hi - lo) rather
+   than the bucket's upper bound.  On tight distributions (every sample
+   in one or two power-of-two buckets — exactly the shape of per-tier
+   stub latencies) this recovers sub-bucket resolution without touching
+   recording cost.  The result is clamped into the observed [min, max]
+   so degenerate shapes come out exact: empty -> 0, a single sample ->
+   that sample; the overflow bucket has no meaningful width, so it
+   still reports the true maximum. *)
 let percentile h p =
   if h.h_count = 0 then 0.
   else begin
@@ -160,11 +166,18 @@ let percentile h p =
     let rec go i acc =
       if i >= n_buckets then h.h_max
       else
-        let acc = acc + h.h_buckets.(i) in
-        if float_of_int acc >= rank then
+        let n = h.h_buckets.(i) in
+        let acc' = acc + n in
+        if float_of_int acc' >= rank then
           if i = n_buckets - 1 then h.h_max
-          else Float.min h.h_max (Float.max h.h_min (2. ** float_of_int i))
-        else go (i + 1) acc
+          else begin
+            let lo = if i = 0 then 0. else 2. ** float_of_int (i - 1) in
+            let hi = 2. ** float_of_int i in
+            let pos = (rank -. float_of_int acc) /. float_of_int n in
+            Float.min h.h_max
+              (Float.max h.h_min (lo +. (pos *. (hi -. lo))))
+          end
+        else go (i + 1) acc'
     in
     go 0 0
   end

@@ -71,9 +71,13 @@ val hist : string -> hist
 val observe : hist -> float -> unit
 
 val percentile : hist -> float -> float
-(** Bucket-resolution estimate clamped into the observed [min, max]:
-    empty histograms report 0, a single sample reports itself, and the
-    overflow bucket reports the true maximum. *)
+(** Sub-bucket estimate: the rank's bucket is found on the cumulative
+    distribution, then interpolated linearly inside — samples are
+    assumed uniform over the bucket's (lo, hi] span, recovering
+    resolution on tight distributions that land in one or two buckets.
+    Clamped into the observed [min, max]: empty histograms report 0, a
+    single sample reports itself, and the overflow bucket reports the
+    true maximum. *)
 
 type hist_summary = {
   count : int;

@@ -1,0 +1,95 @@
+(* Tier-1 staging analysis for decode plans — the unmarshal twin of
+   Plan_stage.
+
+   Within a D_chunk every item loads from a distinct static offset and
+   fills a distinct slot, with bounds established by the chunk's single
+   capacity check, so items regroup freely: runs of 32-bit integer
+   loads sharing one extension rule collapse into offset/slot arrays
+   driven by a tight loop, eliminating the per-item closure dispatch.
+   The closure emission lives in the stub engine. *)
+
+(* ------------------------------------------------------------------ *)
+(* Stageability                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* As on the encode side: recursion (D_call / d_subs) has no
+   flat-closure form; such plans stay at tier 0. *)
+let rec frame_stageable (f : Dplan.frame) = ops_stageable f.Dplan.f_ops
+
+and ops_stageable (ops : Dplan.dop list) =
+  List.for_all
+    (fun (op : Dplan.dop) ->
+      match op with
+      | Dplan.D_call _ -> false
+      | Dplan.D_loop { frame; _ } | Dplan.D_opt { frame; _ } ->
+          frame_stageable frame
+      | Dplan.D_switch { arms; default; _ } ->
+          List.for_all
+            (fun (a : Dplan.darm) -> frame_stageable a.Dplan.d_frame)
+            arms
+          && (match default with
+             | None -> true
+             | Some f -> frame_stageable f)
+      | Dplan.D_align _ | Dplan.D_chunk _ | Dplan.D_get_string _
+      | Dplan.D_const_str _ | Dplan.D_get_byteseq _
+      | Dplan.D_get_atom_array _ ->
+          true)
+    ops
+
+let stageable (p : Dplan.plan) =
+  p.Dplan.d_subs = [] && ops_stageable p.Dplan.d_ops
+
+(* ------------------------------------------------------------------ *)
+(* Chunk segmentation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type dseg =
+  | Dseg_run of {
+      offs : int array;
+      slots : int array;
+      bits : int;
+      signed : bool;
+    }
+      (* a run of 4-byte integer loads sharing one extension rule:
+         slot [slots.(k)] receives the word at [offs.(k)] *)
+  | Dseg_item of Dplan.ditem  (* tier-0 single-item form *)
+
+let run_candidate (it : Dplan.ditem) =
+  match it with
+  | Dplan.Dit_atom
+      { off; atom = { Mplan.kind = Encoding.Kint { bits; signed }; size = 4; _ };
+        slot }
+    when bits <= 32 ->
+      Some ((bits, signed), off, slot, it)
+  | _ -> None
+
+let chunk_dsegments (items : Dplan.ditem list) : dseg list =
+  let cands = List.filter_map run_candidate items in
+  let rest = List.filter (fun it -> run_candidate it = None) items in
+  (* group by extension rule, preserving first-seen order *)
+  let groups : ((int * bool) * (int * int * Dplan.ditem) list ref) list ref =
+    ref []
+  in
+  List.iter
+    (fun (key, off, slot, it) ->
+      match List.find_opt (fun (k, _) -> k = key) !groups with
+      | Some (_, cell) -> cell := (off, slot, it) :: !cell
+      | None -> groups := !groups @ [ (key, ref [ (off, slot, it) ]) ])
+    cands;
+  let runs =
+    List.map
+      (fun ((bits, signed), cell) ->
+        match !cell with
+        | [ (_, _, it) ] -> Dseg_item it
+        | loads ->
+            let loads =
+              List.sort (fun (o1, _, _) (o2, _, _) -> compare o1 o2) loads
+            in
+            Dseg_run
+              { offs = Array.of_list (List.map (fun (o, _, _) -> o) loads);
+                slots = Array.of_list (List.map (fun (_, s, _) -> s) loads);
+                bits;
+                signed })
+      !groups
+  in
+  runs @ List.map (fun it -> Dseg_item it) rest

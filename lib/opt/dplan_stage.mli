@@ -1,0 +1,28 @@
+(** Tier-1 staging analysis for decode plans — the unmarshal twin of
+    {!Plan_stage}.
+
+    Pure analyses over the {!Dplan} IR deciding which chunk loads fuse
+    into flat runs; the stub engine emits the closures.  Items within a
+    [D_chunk] load from distinct static offsets into distinct slots
+    under one capacity check, so regrouping never changes decode
+    results. *)
+
+val stageable : Dplan.plan -> bool
+(** True iff the plan has no unmarshal subroutines ([D_call] targets
+    recursion); non-stageable plans stay at tier 0. *)
+
+type dseg =
+  | Dseg_run of {
+      offs : int array;
+      slots : int array;
+      bits : int;
+      signed : bool;
+    }
+      (** a run of 4-byte integer loads sharing one extension rule:
+          slot [slots.(k)] receives the word at [offs.(k)] *)
+  | Dseg_item of Dplan.ditem  (** tier-0 single-item form *)
+
+val chunk_dsegments : Dplan.ditem list -> dseg list
+(** Regroup a chunk's items: 32-bit integer loads group by their
+    (bits, signed) extension rule into offset/slot arrays, the rest
+    stay single items. *)

@@ -136,6 +136,14 @@ let decode_passes =
             ?stats p);
     };
     {
+      p_name = "loop-scalar-fusion";
+      p_transform =
+        (fun ?stats p ->
+          Peephole.optimize_dplan_with
+            (rw_only ~coalesce:false ~fuse:true ~hoist:false ~dead:false)
+            ?stats p);
+    };
+    {
       p_name = "loop-ensure-hoist";
       p_transform =
         (fun ?stats p ->

@@ -363,10 +363,39 @@ let rec optimize_dops_st rw st ops =
 and optimize_dframe rw st frame =
   { frame with Dplan.f_ops = optimize_dops_st rw st frame.Dplan.f_ops }
 
+(* A scalar loop fuses into one D_get_atom_array only when the array op
+   reads the same bytes (no per-element re-alignment, so align <= 1)
+   and builds the same value shape (the array op builds Vint_array for
+   Kint bits <= 32 where the loop builds an array of Vint, so integer
+   loops stay loops — the compiler lowers those to array ops directly
+   anyway). *)
+and d_fusable_atom (atom : Mplan.atom) =
+  atom.Mplan.align <= 1
+  && (match atom.Mplan.kind with
+     | Encoding.Kint { bits; _ } -> bits > 32
+     | Encoding.Kbool | Encoding.Kchar | Encoding.Kfloat _ -> true)
+
 and optimize_dop rw st (op : Dplan.dop) : Dplan.dop list =
   match op with
   | Dplan.D_loop { count; ensure; frame; slot } -> (
       let frame = optimize_dframe rw st frame in
+      match frame with
+      | {
+       Dplan.f_nslots = 1;
+       f_ops =
+         [
+           Dplan.D_chunk
+             { size; items = [ Dplan.Dit_atom { off = 0; atom; slot = 0 } ]; _ };
+         ];
+       f_shape = Dplan.Sh_slot 0;
+      }
+        when rw.rw_fuse && size = atom.Mplan.size && d_fusable_atom atom ->
+          (* one scalar load covering the whole stride: the loop IS an
+             atom array read (decode twin of the encode loop-blit
+             fusion) *)
+          st.loops_fused <- st.loops_fused + 1;
+          [ Dplan.D_get_atom_array { count; atom; slot } ]
+      | _ -> (
       match ensure with
       | Some _ -> [ Dplan.D_loop { count; ensure; frame; slot } ]
       | None -> (
@@ -391,7 +420,7 @@ and optimize_dop rw st (op : Dplan.dop) : Dplan.dop list =
                       slot;
                     };
                 ]
-            | _ -> [ Dplan.D_loop { count; ensure; frame; slot } ]))
+            | _ -> [ Dplan.D_loop { count; ensure; frame; slot } ])))
   | Dplan.D_opt { frame; slot } ->
       [ Dplan.D_opt { frame = optimize_dframe rw st frame; slot } ]
   | Dplan.D_switch { discrim_atom; arms; default; slot } ->

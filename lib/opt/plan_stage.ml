@@ -1,0 +1,206 @@
+(* Tier-1 staging analysis for encode plans.
+
+   The staged specializer partially evaluates a plan into flat closures:
+   constant items fold into precomputed byte images, runs of 32-bit
+   integer fields sharing one aggregate base collapse into offset/index
+   arrays driven by a single tight loop, and everything else keeps its
+   tier-0 shape.  This module is the analysis half — pure functions
+   over the plan IR deciding what fuses and precomputing the fused
+   forms — so it can live beside the plan compiler; the closure
+   emission lives in the stub engine (Stub_opt), which owns the value
+   representation.
+
+   Within a chunk every item stores at a distinct static offset into
+   space reserved by one capacity check, so items may be reordered
+   freely: the segments below regroup a chunk's items by kind without
+   changing the bytes produced. *)
+
+(* Fixed loops at or below this many elements are unrolled into a
+   straight-line sequence by the staged compiler. *)
+let unroll_limit = 4
+
+(* ------------------------------------------------------------------ *)
+(* Stageability                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* A plan stages iff it contains no marshal subroutines: Call targets
+   recursion, whose unbounded depth has no flat-closure form.  The
+   staged engine keeps behaviour total by falling back to tier 0 for
+   such plans. *)
+let rec ops_stageable (ops : Mplan.op list) =
+  List.for_all
+    (fun (op : Mplan.op) ->
+      match op with
+      | Mplan.Call _ -> false
+      | Mplan.Loop { body; _ } -> ops_stageable body
+      | Mplan.Switch { arms; default; _ } ->
+          List.for_all
+            (fun (a : Mplan.arm) -> ops_stageable a.Mplan.a_body)
+            arms
+          && (match default with
+             | None -> true
+             | Some (_, body) -> ops_stageable body)
+      | Mplan.Align _ | Mplan.Chunk _ | Mplan.Ensure_count _
+      | Mplan.Put_const_str _ | Mplan.Put_string _ | Mplan.Put_byteseq _
+      | Mplan.Put_atom_array _ | Mplan.Put_blit _ | Mplan.Put_len _ ->
+          true)
+    ops
+
+let stageable (p : Plan_compile.plan) =
+  p.Plan_compile.p_subs = [] && ops_stageable p.Plan_compile.p_ops
+
+(* ------------------------------------------------------------------ *)
+(* Chunk segmentation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type seg =
+  | Seg_image of { off : int; image : Bytes.t }
+      (* a run of constant items folded into one precomputed byte
+         image, written with a single blit *)
+  | Seg_run of { base : Mplan.rv; offs : int array; idxs : int array }
+      (* a run of 4-byte integer fields of one aggregate: resolve
+         [base] once, then store each field at its constant offset *)
+  | Seg_item of Mplan.item  (* anything else: tier-0 single-item form *)
+
+(* A constant folds into pure bytes exactly when the tier-0 writer
+   (Codec.write_const_at) dispatches on size alone: 1/2/4-byte stores
+   of the truncated value, or the 64-bit integer store. *)
+let foldable_const (atom : Mplan.atom) =
+  match atom.Mplan.size with
+  | 1 | 2 | 4 -> true
+  | 8 -> ( match atom.Mplan.kind with
+           | Encoding.Kint { bits = 64; _ } -> true
+           | _ -> false)
+  | _ -> false
+
+let write_const ~be (b : Bytes.t) off (atom : Mplan.atom) (v : int64) =
+  match atom.Mplan.size with
+  | 1 -> Bytes.set_uint8 b off (Int64.to_int v land 0xFF)
+  | 2 ->
+      if be then Bytes.set_int16_be b off (Int64.to_int v)
+      else Bytes.set_int16_le b off (Int64.to_int v)
+  | 4 ->
+      if be then Bytes.set_int32_be b off (Int64.to_int32 v)
+      else Bytes.set_int32_le b off (Int64.to_int32 v)
+  | 8 ->
+      if be then Bytes.set_int64_be b off v else Bytes.set_int64_le b off v
+  | n -> invalid_arg (Printf.sprintf "Plan_stage: const size %d" n)
+
+(* A groupable field store: the hot 32-bit integer case whose source is
+   one member of an aggregate.  Runs sharing a structurally equal base
+   resolve that base once and loop over (offset, index) pairs. *)
+let run_candidate (it : Mplan.item) =
+  match it with
+  | Mplan.It_atom
+      { off; atom = { Mplan.kind = Encoding.Kint { bits; _ }; size = 4; _ };
+        src = Mplan.Rfield { base; index; _ } }
+    when bits <= 32 ->
+      Some (base, off, index, it)
+  | _ -> None
+
+let const_candidate (it : Mplan.item) =
+  match it with
+  | Mplan.It_const { off; atom; value } when foldable_const atom ->
+      Some (off, atom, value)
+  | _ -> None
+
+(* Merge byte-adjacent constants into images (left-to-right over the
+   offset-sorted list); only multi-item images pay for the blit. *)
+let const_images ~be consts =
+  let consts =
+    List.sort (fun (o1, _, _) (o2, _, _) -> compare o1 o2) consts
+  in
+  let flush acc run =
+    match List.rev run with
+    | [] -> acc
+    | [ (off, atom, value) ] -> Seg_item (Mplan.It_const { off; atom; value }) :: acc
+    | (off0, _, _) :: _ as run ->
+        let last_off, last_atom, _ = List.nth run (List.length run - 1) in
+        let total = last_off + last_atom.Mplan.size - off0 in
+        let image = Bytes.make total '\000' in
+        List.iter
+          (fun (off, atom, value) ->
+            write_const ~be image (off - off0) atom value)
+          run;
+        Seg_image { off = off0; image } :: acc
+  in
+  let acc, run =
+    List.fold_left
+      (fun (acc, run) ((off, _, _) as c) ->
+        match run with
+        | [] -> (acc, [ c ])
+        | (poff, (patom : Mplan.atom), _) :: _
+          when poff + patom.Mplan.size = off ->
+            (acc, c :: run)
+        | _ -> (flush acc run, [ c ]))
+      ([], []) consts
+  in
+  List.rev (flush acc run)
+
+(* Group field candidates by structural base, preserving first-seen
+   order of the bases; within a run, store in offset order. *)
+let field_runs cands =
+  let groups : (Mplan.rv * (int * int * Mplan.item) list ref) list ref =
+    ref []
+  in
+  List.iter
+    (fun (base, off, idx, it) ->
+      match List.find_opt (fun (b, _) -> b = base) !groups with
+      | Some (_, cell) -> cell := (off, idx, it) :: !cell
+      | None -> groups := !groups @ [ (base, ref [ (off, idx, it) ]) ])
+    cands;
+  List.map
+    (fun (base, cell) ->
+      match !cell with
+      | [ (_, _, it) ] ->
+          (* a lone field is cheaper as a direct store *)
+          Seg_item it
+      | pairs ->
+          let pairs =
+            List.sort (fun (o1, _, _) (o2, _, _) -> compare o1 o2) pairs
+          in
+          Seg_run
+            { base;
+              offs = Array.of_list (List.map (fun (o, _, _) -> o) pairs);
+              idxs = Array.of_list (List.map (fun (_, i, _) -> i) pairs) })
+    !groups
+
+let chunk_segments ~be (items : Mplan.item list) : seg list =
+  let consts = List.filter_map const_candidate items in
+  let fields = List.filter_map run_candidate items in
+  let rest =
+    List.filter
+      (fun it -> const_candidate it = None && run_candidate it = None)
+      items
+  in
+  const_images ~be consts
+  @ field_runs fields
+  @ List.map (fun it -> Seg_item it) rest
+
+(* The spans items do not cover (alignment gaps), zero-filled by the
+   chunk writer — same walk as the tier-0 engine. *)
+let chunk_gaps size (items : Mplan.item list) =
+  let covered =
+    List.map
+      (fun (it : Mplan.item) ->
+        match it with
+        | Mplan.It_atom { off; atom; _ } -> (off, off + atom.Mplan.size)
+        | Mplan.It_bytes { off; len; pad; _ } -> (off, off + len + pad)
+        | Mplan.It_const { off; atom; _ } -> (off, off + atom.Mplan.size))
+      items
+    |> List.sort compare
+  in
+  let rec walk pos acc = function
+    | [] -> if pos < size then (pos, size - pos) :: acc else acc
+    | (s, e) :: rest ->
+        let acc = if s > pos then (pos, s - pos) :: acc else acc in
+        walk (max pos e) acc rest
+  in
+  List.rev (walk 0 [] covered)
+
+(* Fixed trip count, when the loop can be unrolled. *)
+let fixed_count (via : Mplan.via) =
+  match via with
+  | Mplan.Via_fixed n when n <= unroll_limit -> Some n
+  | Mplan.Via_fixed _ | Mplan.Via_seq _ | Mplan.Via_string | Mplan.Via_opt ->
+      None

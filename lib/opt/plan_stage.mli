@@ -1,0 +1,43 @@
+(** Tier-1 staging analysis for encode plans.
+
+    The analysis half of the staged plan specializer: pure functions
+    over the {!Mplan} IR that decide what fuses into flat closures and
+    precompute the fused forms.  The stub engine ([Stub_opt]) consumes
+    these to emit the tier-1 closures; the split keeps this module free
+    of the runtime value representation.
+
+    Items within a chunk store at distinct static offsets into space
+    reserved by one capacity check, so {!chunk_segments} may regroup
+    them freely without changing the bytes produced. *)
+
+val unroll_limit : int
+(** Fixed loops at or below this many elements (4) are unrolled into a
+    straight-line sequence by the staged compiler. *)
+
+val stageable : Plan_compile.plan -> bool
+(** A plan stages iff it has no marshal subroutines ([Call] targets
+    recursion, which has no flat-closure form); the staged engine falls
+    back to tier 0 otherwise, keeping behaviour total. *)
+
+type seg =
+  | Seg_image of { off : int; image : Bytes.t }
+      (** byte-adjacent constant items folded into one precomputed
+          image, written with a single blit *)
+  | Seg_run of { base : Mplan.rv; offs : int array; idxs : int array }
+      (** a run of 4-byte integer fields of one aggregate: resolve
+          [base] once, then store field [idxs.(k)] at [offs.(k)] *)
+  | Seg_item of Mplan.item  (** tier-0 single-item form *)
+
+val chunk_segments : be:bool -> Mplan.item list -> seg list
+(** Regroup a chunk's items: constants fold into images, integer-field
+    runs sharing a structurally equal base group into offset/index
+    arrays, the rest stay single items.  Byte-identical to writing the
+    items in order. *)
+
+val chunk_gaps : int -> Mplan.item list -> (int * int) list
+(** [(off, len)] spans of a [size]-byte chunk not covered by any item —
+    the zero-filled alignment gaps, same walk as the tier-0 engine. *)
+
+val fixed_count : Mplan.via -> int option
+(** The static trip count when a loop is small enough to unroll
+    ([Via_fixed n] with [n <= unroll_limit]). *)

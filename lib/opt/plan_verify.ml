@@ -303,6 +303,15 @@ let rec check_frame path ~subs ~covered (f : Dplan.frame) =
     | Dplan.D_get_atom_array { count; atom; slot } ->
         check_dcount path count;
         check_atom path atom;
+        (* the array op reads elements at a fixed stride of [size]
+           bytes with at most one leading alignment; a size that is not
+           a multiple of the alignment would need per-element
+           re-alignment the op does not perform *)
+        if atom.Mplan.align > 1 && atom.Mplan.size mod atom.Mplan.align <> 0
+        then
+          failv path
+            "atom array stride %d is not a multiple of its alignment %d"
+            atom.Mplan.size atom.Mplan.align;
         write path slot
     | Dplan.D_loop { count; ensure; frame; slot } ->
         check_dcount path count;

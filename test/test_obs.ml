@@ -98,6 +98,39 @@ let hist_tests =
         Alcotest.(check bool)
           "p50 <= p99" true
           (Obs.percentile h 0.5 <= Obs.percentile h 0.99));
+    test "sub-bucket interpolation pins exact quantiles across buckets"
+      (fun () ->
+        (* 4 samples in (8, 16] and 6 in (16, 32]; ranks interpolate
+           linearly inside each bucket: p50 is rank 5, the 1st of 6 in
+           (16, 32] -> 16 + 1/6 * 16; p90 is rank 9, the 5th of 6 ->
+           16 + 5/6 * 16; p99 is rank 10, the last -> the bucket's
+           upper bound, which is also the observed max *)
+        let h = Obs.hist "test.obs.h.interp" in
+        List.iter (Obs.observe h)
+          [ 9.; 10.; 12.; 16.; 17.; 20.; 24.; 28.; 30.; 32. ];
+        Alcotest.check fl "p50" (16. +. (16. /. 6.)) (Obs.percentile h 50.);
+        Alcotest.check fl "p90" (16. +. (5. /. 6. *. 16.))
+          (Obs.percentile h 90.);
+        Alcotest.check fl "p99" 32. (Obs.percentile h 99.);
+        let s = Obs.hist_summary h in
+        Alcotest.check fl "summary p50" (16. +. (16. /. 6.)) s.Obs.p50;
+        Alcotest.check fl "summary p90" (16. +. (5. /. 6. *. 16.)) s.Obs.p90);
+    test "one-bucket distribution recovers sub-bucket resolution"
+      (fun () ->
+        (* all 10 samples land in (1024, 2048] — the shape of a tight
+           latency distribution.  Without interpolation every quantile
+           would report the bucket bound 2048; with it, p50 reads the
+           bucket midpoint and p99 clamps to the observed max *)
+        let h = Obs.hist "test.obs.h.tight" in
+        List.iter
+          (fun i -> Obs.observe h (1100. +. (100. *. float_of_int i)))
+          [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ];
+        Alcotest.check fl "p50 = bucket midpoint" 1536.
+          (Obs.percentile h 50.);
+        Alcotest.check fl "p90" (1024. +. (0.9 *. 1024.))
+          (Obs.percentile h 90.);
+        Alcotest.check fl "p99 clamps to the observed max" 2000.
+          (Obs.percentile h 99.));
   ]
 
 (* -- span tracer ------------------------------------------------------ *)

@@ -407,6 +407,136 @@ let negative_tests =
                  "undefined marshal subroutine"));
   ]
 
+(* -- 2b. Decode-side loop-scalar fusion ------------------------------- *)
+
+(* The compiler lowers scalar arrays to D_get_atom_array directly, so
+   this pass only ever fires on loops produced by hand or by other
+   rewrites — the goldens here are hand-built, with node counts pinned
+   so a change in what fuses is a diff, not a silent drift. *)
+
+let achar = { Mplan.kind = Encoding.Kchar; size = 1; align = 1 }
+
+let scalar_loop ?(atom = achar) ?(size = atom.Mplan.size) ?(check = true) ()
+    =
+  {
+    Dplan.d_nslots = 1;
+    d_ops =
+      [
+        Dplan.D_loop
+          {
+            count = Dplan.Dc_fixed 3;
+            ensure = None;
+            frame =
+              {
+                Dplan.f_nslots = 1;
+                f_ops =
+                  [
+                    Dplan.D_chunk
+                      {
+                        size;
+                        items =
+                          [ Dplan.Dit_atom { off = 0; atom; slot = 0 } ];
+                        check;
+                      };
+                  ];
+                f_shape = Dplan.Sh_slot 0;
+              };
+            slot = 0;
+          };
+      ];
+    d_shapes = [ Dplan.Sh_slot 0 ];
+    d_subs = [];
+  }
+
+let fusion_tests =
+  [
+    test "gapless scalar char loop fuses into one atom-array read" (fun () ->
+        let plan = scalar_loop () in
+        Alcotest.(check int) "node count before" 3
+          (Dplan.count_ops plan.Dplan.d_ops);
+        let fused =
+          Pass.run_decode
+            ~config:
+              {
+                Opt_config.selection =
+                  Opt_config.Only [ "loop-scalar-fusion" ];
+                verify = true;
+              }
+            plan
+        in
+        (match fused.Dplan.d_ops with
+        | [ Dplan.D_get_atom_array
+              { count = Dplan.Dc_fixed 3; atom; slot = 0 } ] ->
+            Alcotest.(check bool) "atom preserved" true (atom = achar)
+        | _ -> Alcotest.fail "expected one D_get_atom_array");
+        Alcotest.(check int) "node count after" 1
+          (Dplan.count_ops fused.Dplan.d_ops);
+        Alcotest.(check bool) "fused plan verifies" true
+          (Plan_verify.check_dplan fused = Ok ());
+        (* loop and fused forms decode the same bytes to the same value *)
+        let wire = Bytes.of_string "abc" in
+        let dec p = Stub_opt.decoder_of_dplan ~enc:Encoding.xdr p in
+        Alcotest.(check bool) "same decode" true
+          (dec plan (Mbuf.reader_of_bytes wire)
+          = dec fused (Mbuf.reader_of_bytes wire)));
+    test "integer loops do not fuse (array reads build Vint_array)"
+      (fun () ->
+        let plan = scalar_loop ~atom:a32 ~size:4 () in
+        let fused =
+          Pass.run_decode
+            ~config:
+              {
+                Opt_config.selection =
+                  Opt_config.Only [ "loop-scalar-fusion" ];
+                verify = true;
+              }
+            plan
+        in
+        match fused.Dplan.d_ops with
+        | [ Dplan.D_loop _ ] -> ()
+        | _ -> Alcotest.fail "expected the loop to survive");
+    test "strided frames do not fuse (chunk wider than the atom)" (fun () ->
+        let plan = scalar_loop ~size:2 () in
+        let fused =
+          Pass.run_decode
+            ~config:
+              {
+                Opt_config.selection =
+                  Opt_config.Only [ "loop-scalar-fusion" ];
+                verify = true;
+              }
+            plan
+        in
+        match fused.Dplan.d_ops with
+        | [ Dplan.D_loop _ ] -> ()
+        | _ -> Alcotest.fail "expected the loop to survive");
+    test "verifier: atom-array stride must be a multiple of its alignment"
+      (fun () ->
+        let bad =
+          {
+            Dplan.d_nslots = 1;
+            d_ops =
+              [
+                Dplan.D_get_atom_array
+                  {
+                    count = Dplan.Dc_fixed 1;
+                    atom =
+                      {
+                        Mplan.kind = Encoding.Kfloat { bits = 48 };
+                        size = 6;
+                        align = 4;
+                      };
+                    slot = 0;
+                  };
+              ];
+            d_shapes = [ Dplan.Sh_slot 0 ];
+            d_subs = [];
+          }
+        in
+        expect_reject "bad stride" (Plan_verify.check_dplan bad)
+          "multiple of its alignment");
+  ]
+
 (* -- 3. Opt_config syntax and cache-key behavior ---------------------- *)
 
 let config_tests =
@@ -766,6 +896,7 @@ let suite =
     ("passes:fixtures", fixture_tests);
     ("passes:properties", property_tests);
     ("passes:verifier-negative", negative_tests);
+    ("passes:loop-scalar-fusion", fusion_tests);
     ("passes:reservation", reservation_tests);
     ("passes:fixpoint", fixpoint_tests);
     ("passes:config", config_tests);

@@ -408,7 +408,8 @@ let test_cache_churn_counters () =
   let hits = ref 0
   and misses = ref 0
   and evictions = ref 0
-  and resets = ref 0 in
+  and resets = ref 0
+  and promotions = ref 0 in
   let lookups = ref 0 in
   for round = 0 to 9 do
     for k = 0 to 19 do
@@ -428,7 +429,14 @@ let test_cache_churn_counters () =
         end;
         Hashtbl.add model key ()
       end;
-      ignore (Plan_cache.find_or_add cache key (fun () -> key))
+      ignore (Plan_cache.find_or_add cache key (fun () -> key));
+      (* tier promotions re-install a present key in place (the staged
+         closure swap); model them as replaces that never touch the
+         lookup counters *)
+      if k mod 4 = 0 then begin
+        incr promotions;
+        Plan_cache.promote cache key key
+      end
     done
   done;
   let st = Plan_cache.cache_stats cache in
@@ -437,8 +445,13 @@ let test_cache_churn_counters () =
   checki "entries" (Hashtbl.length model) st.Plan_cache.entries;
   checki "evictions" !evictions st.Plan_cache.evictions;
   checki "resets" !resets st.Plan_cache.resets;
+  checki "promotions counted apart from hits" !promotions
+    st.Plan_cache.promotions;
   checki "every lookup is a hit or a miss" !lookups
     (st.Plan_cache.hits + st.Plan_cache.misses);
+  check (Alcotest.float 1e-9) "hit rate sees only real lookups"
+    (float_of_int !hits /. float_of_int !lookups)
+    (Plan_cache.hit_rate st);
   checkb "the pattern actually overflowed" true (st.Plan_cache.resets > 0)
 
 (* The server's hot path reuses compiled closures: registering the same
