@@ -29,13 +29,19 @@ test-tier0:
 # report (BENCH_3.json), the full-matrix pass-trace report (merged
 # into BENCH_1.json), the concurrent-server sweep (BENCH_4.json), and
 # the tiered-execution report (BENCH_5.json) with its staged-vs-tier-0
-# speedup gate; the pipeline/verifier/engine-equality/pin/scaling/
-# backpressure/byte-identity self-checks make the run exit non-zero on
-# any regression.  check_bench then re-parses every BENCH_*.json and
+# speedup gate, and the forward-relay report (BENCH_6.json) with its
+# fused-vs-materialize throughput and zero-copy gates; the pipeline/
+# verifier/engine-equality/pin/scaling/backpressure/byte-identity
+# self-checks make the run exit non-zero on any regression.  The
+# gateway artifact runs twice: first with fusion forced off
+# (--no-forward), proving the materialize fallback still relays every
+# cell byte-identically, then fused, which is the BENCH_6.json that
+# check_bench gates on.  check_bench re-parses every BENCH_*.json and
 # fails on any recorded self-check failure, malformed serve sweep, or
-# missing/failed stage gate.
+# missing/failed stage or gateway gate.
 bench-smoke:
-	dune exec bench/main.exe -- planopt sgwire decplan tracematrix serve stage --smoke
+	dune exec bench/main.exe -- gateway --smoke --no-forward
+	dune exec bench/main.exe -- planopt sgwire decplan tracematrix serve stage gateway --smoke
 	dune exec bench/check_bench.exe
 
 # Every artifact at default sizes (see EXPERIMENTS.md; --full for

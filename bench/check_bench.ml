@@ -15,7 +15,12 @@
    - the tiered-execution artifact ("stage", BENCH_5.json) additionally
      carries its full measurement matrix (>= 9 rows, each with both
      per-side speedups present and positive) and a passed speedup gate
-     with its threshold keys intact.
+     with its threshold keys intact;
+   - the forward-relay artifact ("gateway", BENCH_6.json) additionally
+     carries byte-identical measurement cells, a clean simulator round
+     trip, and — whenever fusion was enabled — a passed throughput +
+     zero-copy gate with its 1.5x threshold intact (a --no-forward run
+     records the gate as not applied, which is accepted).
    Exits non-zero on any violation, or when no artifact files exist at
    all — `make ci` runs the smoke benchmarks first, so an empty
    directory means they silently wrote nothing. *)
@@ -115,6 +120,79 @@ let check_stage path j =
       | Some (Obs_json.Bool false) -> err "%s: speedup gate failed" path
       | _ -> err "%s: gate is missing \"passed\"" path)
 
+(* The gateway artifact carries the forwarding tentpole's gates, so its
+   shape is pinned: every measured cell must have relayed
+   byte-identically, the simulator round trip must have answered every
+   request, and when fusion was on the throughput/zero-copy gate must
+   exist with its pinned threshold and have passed. *)
+let check_gateway path j =
+  let num obj key =
+    match Obs_json.member key obj with
+    | Some v -> Obs_json.to_float v
+    | None -> None
+  in
+  (match Obs_json.member "rows" j with
+  | None -> err "%s: gateway artifact is missing its \"rows\"" path
+  | Some rows -> (
+      match Obs_json.to_list rows with
+      | None -> err "%s: \"rows\" is not an array" path
+      | Some rows ->
+          (* >= 3 encoding pairs x >= 1 workload x >= 1 size even in
+             smoke mode *)
+          if List.length rows < 3 then
+            err "%s: gateway sweep has %d rows, want >= 3" path
+              (List.length rows);
+          List.iteri
+            (fun i row ->
+              (match Obs_json.member "identical" row with
+              | Some (Obs_json.Bool true) -> ()
+              | Some (Obs_json.Bool false) ->
+                  err "%s: rows[%d]: relayed bytes differ from the baseline"
+                    path i
+              | _ -> err "%s: rows[%d]: missing \"identical\"" path i);
+              match
+                (num row "baseline_ns", num row "fused_ns",
+                 num row "borrowed_bytes", num row "copied_bytes")
+              with
+              | Some b, Some f, Some bor, Some cop ->
+                  if b <= 0. || f <= 0. then
+                    err "%s: rows[%d]: non-positive timing (%.0f, %.0f)" path
+                      i b f;
+                  if bor < 0. || cop < 0. then
+                    err "%s: rows[%d]: negative byte accounting" path i
+              | _ ->
+                  err "%s: rows[%d]: missing timing/accounting keys" path i)
+            rows));
+  (match Obs_json.member "gate" j with
+  | None -> err "%s: gateway artifact is missing its \"gate\"" path
+  | Some gate -> (
+      (match num gate "min_speedup" with
+      | Some ms ->
+          if ms < 1.5 then
+            err "%s: gate min_speedup %.2f below the pinned 1.5" path ms
+      | None -> err "%s: gate is missing min_speedup" path);
+      match (Obs_json.member "applied" gate, Obs_json.member "passed" gate) with
+      | Some (Obs_json.Bool false), _ -> ()  (* --no-forward run *)
+      | Some (Obs_json.Bool true), Some (Obs_json.Bool true) -> (
+          match Obs_json.member "rows" gate with
+          | Some rows -> (
+              match Obs_json.to_list rows with
+              | Some (_ :: _) -> ()
+              | _ -> err "%s: applied gate carries no measurement rows" path)
+          | None -> err "%s: applied gate carries no measurement rows" path)
+      | Some (Obs_json.Bool true), Some (Obs_json.Bool false) ->
+          err "%s: forwarding gate failed" path
+      | _ -> err "%s: gate is missing \"applied\"/\"passed\"" path));
+  match Obs_json.member "gateway_roundtrip" j with
+  | None -> err "%s: gateway artifact is missing its round-trip record" path
+  | Some rt -> (
+      match (num rt "requests", num rt "ok", num rt "relay_errors") with
+      | Some q, Some ok, Some e ->
+          if ok <> q then
+            err "%s: round trip answered %.0f of %.0f requests" path ok q;
+          if e <> 0. then err "%s: round trip saw %.0f relay errors" path e
+      | _ -> err "%s: round-trip record is missing its keys" path)
+
 let check_file path =
   match Obs_json.parse (read_all path) with
   | Error msg -> err "%s: invalid JSON: %s" path msg
@@ -123,7 +201,8 @@ let check_file path =
       | Some (Obs_json.Str name) ->
           Printf.printf "%s: artifact %S" path name;
           if name = "serve" then check_serve_sweep path j;
-          if name = "stage" then check_stage path j
+          if name = "stage" then check_stage path j;
+          if name = "gateway" then check_gateway path j
       | _ -> err "%s: missing \"artifact\" name" path);
       (match Obs_json.member "self_check_failed" j with
       | Some (Obs_json.Bool false) -> ()

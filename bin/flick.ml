@@ -241,7 +241,7 @@ let dump_presc_cmd =
     Term.(const run $ idl_arg $ pres_arg $ interface_arg $ source_arg)
 
 let dump_plan_cmd =
-  let run idl pres backend interface op decode trace passes file =
+  let run idl pres backend interface op decode trace forward passes file =
     handle_diag (fun () ->
         let source = read_file file in
         let config =
@@ -253,9 +253,19 @@ let dump_plan_cmd =
               | Error msg -> Diag.error "dump-plan: --passes: %s" msg)
         in
         let mode =
-          if trace then Plan_dump.Trace
-          else if decode then Plan_dump.Unmarshal
-          else Plan_dump.Marshal
+          match forward with
+          | Some name -> (
+              match Driver.backend_of_string name with
+              | Some dst -> Plan_dump.Forward dst
+              | None ->
+                  Diag.error
+                    "dump-plan: --forward: unknown backend %S (one of %s)"
+                    name
+                    (String.concat ", " Driver.backend_names))
+          | None ->
+              if trace then Plan_dump.Trace
+              else if decode then Plan_dump.Unmarshal
+              else Plan_dump.Marshal
         in
         print_string
           (Plan_dump.render ~idl ~pres ~backend ~interface ~op ~mode ?config
@@ -285,6 +295,19 @@ let dump_plan_cmd =
              time, for both the encode and decode plan of each stub.  The \
              structural plan verifier runs after every pass.")
   in
+  let forward_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "forward" ] ~docv:"BACKEND"
+          ~doc:
+            "Print the fused forward (gateway relay) plan that re-emits the \
+             request under this destination backend's encoding, instead of \
+             the marshal plan.  Every op line carries its copy-elision \
+             provenance ($(b,# blit), $(b,# borrow), $(b,# convert), \
+             $(b,# fixup), $(b,# fallback)); the footer rolls the classes \
+             up.")
+  in
   let passes_arg =
     Arg.(
       value
@@ -300,10 +323,11 @@ let dump_plan_cmd =
        ~doc:
          "Print the optimized marshal plans (chunks, blits, loops) for each \
           stub; with $(b,--decode), the symmetric unmarshal plans; with \
-          $(b,--trace-passes), the per-pass optimizer trace.")
+          $(b,--trace-passes), the per-pass optimizer trace; with \
+          $(b,--forward), the fused gateway relay plan.")
     Term.(
       const run $ idl_arg $ pres_arg $ backend_arg $ interface_arg $ op_arg
-      $ decode_arg $ trace_arg $ passes_arg $ source_arg)
+      $ decode_arg $ trace_arg $ forward_arg $ passes_arg $ source_arg)
 
 let list_interfaces_cmd =
   let run idl file =

@@ -11,6 +11,9 @@ type mode =
   | Marshal  (** the client-side encode plan (default) *)
   | Unmarshal  (** the server-side decode plan ([--decode]) *)
   | Trace  (** per-pass optimizer trace for both sides ([--trace-passes]) *)
+  | Forward of Driver.backend
+      (** the fused relay plan into this destination backend's encoding
+          ([--forward]) *)
 
 let request_params (st : Pres_c.op_stub) =
   List.filter
@@ -110,6 +113,45 @@ let tier_line stageable =
   else
     "tier: 0 interpreted (subroutines block staging)\n"
 
+(* Forward plans stage unless a materialize fallback is embedded (its
+   plans may carry recursive subroutines). *)
+let forward_tier_line plan =
+  if not (Opt_config.stage_enabled ()) then
+    "tier: 0 interpreted (staging disabled)\n"
+  else if Option.is_some (Stub_forward.staged_forward_of_plan plan) then
+    Printf.sprintf "tier: 0 -> 1 staged flat closure after %d calls\n"
+      (Opt_config.stage_threshold ())
+  else "tier: 0 interpreted (materialize fallbacks block staging)\n"
+
+(* The copy-elision tally: how many ops of each provenance class the
+   relay executes, counting through loop and optional bodies.  The
+   per-op provenance is already on every rendered line (pp_op's
+   [# tag]); this is the rollup the EXPERIMENTS table quotes. *)
+let elision_summary (plan : Fplan.plan) =
+  let tally = Hashtbl.create 8 in
+  let bump tag =
+    Hashtbl.replace tally tag
+      (1 + Option.value ~default:0 (Hashtbl.find_opt tally tag))
+  in
+  let rec walk op =
+    bump (Fplan.provenance op);
+    match op with
+    | Fplan.F_loop { body; _ } | Fplan.F_opt { body } -> List.iter walk body
+    | _ -> ()
+  in
+  List.iter walk plan.Fplan.f_ops;
+  let parts =
+    List.filter_map
+      (fun tag ->
+        match Hashtbl.find_opt tally tag with
+        | Some n -> Some (Printf.sprintf "%s %d" tag n)
+        | None -> None)
+      [ "borrow"; "blit"; "convert"; "fixup"; "fallback"; "align"; "loop";
+        "opt" ]
+  in
+  Printf.sprintf "elision: %s\n"
+    (if parts = [] then "(empty plan)" else String.concat ", " parts)
+
 let render ~idl ~pres ~backend ~interface ~op ~mode ?config ~file ~source () =
   let config =
     match config with Some c -> c | None -> Opt_config.default ()
@@ -153,6 +195,21 @@ let render ~idl ~pres ~backend ~interface ~op ~mode ?config ~file ~source () =
                st.Pres_c.os_client_name tr.Backend_base.tr_name);
           Buffer.add_string b (tier_line (Dplan_stage.stageable plan));
           Buffer.add_string b (Format.asprintf "%a@." Dplan.pp_plan plan)
+      | Forward dst_backend ->
+          let dtr = Driver.transport_of dst_backend in
+          let dst = dtr.Backend_base.tr_enc in
+          let plan =
+            guarded "forward plan" (fun () ->
+                Stub_forward.forward_plan ~config ~src:enc ~dst ~mint ~named
+                  (droots_of st) (roots_of st))
+          in
+          Buffer.add_string b
+            (Format.asprintf "=== forward plan: %s (%s -> %s) ===@."
+               st.Pres_c.os_client_name tr.Backend_base.tr_name
+               dtr.Backend_base.tr_name);
+          Buffer.add_string b (forward_tier_line plan);
+          Buffer.add_string b (Format.asprintf "%a@." Fplan.pp_plan plan);
+          Buffer.add_string b (elision_summary plan)
       | Trace ->
           (* compile outside the cache so the passes actually run, and
              verify after each one: a trace that lies about plan health

@@ -15,6 +15,13 @@ type mode =
           each stub, in both chunked and per-datum compilation modes
           ([--trace-passes]): node and bounds-check counts before/after
           every pass plus wall time, with the verifier forced on *)
+  | Forward of Driver.backend
+      (** the fused gateway relay plan ([--forward BACKEND]): the
+          request message arriving under the source backend's encoding
+          re-emitted under the destination backend's, every op line
+          annotated with its copy-elision provenance ([# blit] /
+          [# borrow] / [# convert] / [# fixup] / [# fallback]), with an
+          execution-tier line and a rolled-up elision tally *)
 
 val render :
   idl:Driver.idl ->

@@ -1,0 +1,75 @@
+(** Forward stubs: fused decode→encode relaying for gateways.
+
+    A forward stub consumes a [src]-encoded message from a reader and
+    emits the same message [dst]-encoded into a writer, executing a
+    fused {!Fplan.plan} instead of the decode-then-reencode pair:
+    same-encoding runs move as bulk blits (or scatter-gather borrows of
+    the receive buffer — zero bytes touched), differing-encoding
+    scalars convert in place, and only genuinely reshaped fields
+    materialize values through the embedded fallback plans.
+
+    Parity contract: on each buffer separately the engine performs
+    exactly what {!Stub_opt}'s decoder does on the source and its
+    encoder does on the destination — same reads, masks,
+    length/padding conventions, and typed errors ({!Codec.Decode_error}
+    / [Mbuf.Short_buffer]).  Relayed output is byte-identical to
+    decode-then-reencode; on malformed input both engines fail (the
+    exception class may differ when fusion reorders a bounds check, as
+    with the decode rewrites — see peephole.mli).
+
+    Observability ({!Obs} counters): [forward.fused_runs] (executed
+    fused runs), [forward.borrowed_bytes] / [forward.copied_bytes]
+    (payload bytes relayed by reference vs. through memcpy — fixed
+    header fields moved inside runs are not payload),
+    [forward.fallback_fields] (materialize executions), and
+    [forward.{promotions,staged_calls,interp_calls}] for the tier
+    machinery. *)
+
+type forward = Mbuf.reader -> Mbuf.t -> unit
+(** Relay one message: consume it from the reader, emit it into the
+    writer.  Raises {!Codec.Decode_error} or [Mbuf.Short_buffer] on
+    malformed input; the writer's contents are then unspecified
+    (gateways discard the in-progress reply frame). *)
+
+val forward_plan :
+  ?config:Opt_config.t ->
+  src:Encoding.t ->
+  dst:Encoding.t ->
+  mint:Mint.t ->
+  named:(string * (Mint.idx * Pres.t)) list ->
+  ?sg:bool ->
+  ?sg_threshold:int ->
+  Dplan_compile.droot list ->
+  Plan_compile.root list ->
+  Fplan.plan
+(** {!Fplan_compile.fuse} followed by the forward pass pipeline
+    ({!Pass.run_forward}): move coalescing, then loop collapse to
+    counted blits.  This is what [flick dump-plan --forward] prints and
+    what the differential tests execute. *)
+
+val forward_of_plan : Fplan.plan -> forward
+(** Tier 0: direct interpretation of the (already optimized) plan. *)
+
+val staged_forward_of_plan : Fplan.plan -> forward option
+(** Tier 1: the op closures fused into one call chain (no dispatch on
+    the hot path).  [None] when the plan contains materialize fallbacks
+    (their embedded plans may carry recursive subroutines); callers
+    fall back to tier 0.  Byte-identical to {!forward_of_plan}. *)
+
+val compile_forward :
+  ?config:Opt_config.t ->
+  src:Encoding.t ->
+  dst:Encoding.t ->
+  mint:Mint.t ->
+  named:(string * (Mint.idx * Pres.t)) list ->
+  Dplan_compile.droot list ->
+  Plan_compile.root list ->
+  forward
+(** The front door: fuse, optimize, and cache.  Closures are cached
+    under a key covering {e both} fingerprints (source message
+    structure + destination encoding name), the scatter-gather policy,
+    the pass selection, the tier policy, and the fusion enable flag —
+    flipping any of them compiles fresh.  When staging is enabled
+    ([FLICK_STAGE]), the returned closure self-promotes to the staged
+    tier at {!Opt_config.stage_threshold} calls, with hotness surviving
+    cache eviction (same contract as {!Stub_opt.compile_encoder}). *)

@@ -37,6 +37,10 @@ type droot =
   | Dconst_str of string
   | Dvalue of Mint.idx * Pres.t
 
+val to_dplan_droot : droot -> Dplan_compile.droot
+(** The plan-compiler spelling of a decode root ({!Stub_forward} keys
+    fused relays off the same roots the decoder compiles from). *)
+
 val compile_encoder :
   ?config:Opt_config.t ->
   enc:Encoding.t ->

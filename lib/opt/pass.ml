@@ -153,9 +153,37 @@ let decode_passes =
     };
   ]
 
+(* The forward side: fused decode+encode programs for gateway relaying.
+   Coalescing must precede collapsing — the single-copy loop bodies the
+   collapse matches are what move coalescing creates. *)
+let forward_side =
+  {
+    s_name = "forward";
+    s_nodes = (fun (p : Fplan.plan) -> Fplan.count_ops p.Fplan.f_ops);
+    s_checks = (fun (p : Fplan.plan) -> Fplan.count_checks p.Fplan.f_ops);
+    s_verify = Plan_verify.check_fplan;
+  }
+
+let forward_passes =
+  [
+    {
+      p_name = "forward-run-coalesce";
+      p_transform =
+        (fun ?stats (p : Fplan.plan) ->
+          { p with Fplan.f_ops = Peephole.forward_coalesce ?stats p.Fplan.f_ops });
+    };
+    {
+      p_name = "forward-loop-collapse";
+      p_transform =
+        (fun ?stats (p : Fplan.plan) ->
+          { p with Fplan.f_ops = Peephole.forward_collapse ?stats p.Fplan.f_ops });
+    };
+  ]
+
 let encode_pass_names = List.map (fun p -> p.p_name) encode_passes
 let decode_pass_names = List.map (fun p -> p.p_name) decode_passes
-let pass_names = encode_pass_names @ decode_pass_names
+let forward_pass_names = List.map (fun p -> p.p_name) forward_passes
+let pass_names = encode_pass_names @ decode_pass_names @ forward_pass_names
 
 let validate (config : Opt_config.t) =
   match config.Opt_config.selection with
@@ -273,3 +301,6 @@ let run_encode ?config ?stats ?on_trace plan =
 
 let run_decode ?config ?stats ?on_trace plan =
   run ?config ?stats ?on_trace decode_side decode_passes plan
+
+let run_forward ?config ?stats ?on_trace plan =
+  run ?config ?stats ?on_trace forward_side forward_passes plan

@@ -47,6 +47,7 @@ exception
 
 val encode_side : Plan_compile.plan side
 val decode_side : Dplan.plan side
+val forward_side : Fplan.plan side
 
 val encode_passes : Plan_compile.plan pass list
 (** ["chunk-coalesce"]; ["loop-blit-fusion"]; ["ensure-hoist"]. *)
@@ -54,8 +55,14 @@ val encode_passes : Plan_compile.plan pass list
 val decode_passes : Dplan.plan pass list
 (** ["chunk-merge"]; ["loop-ensure-hoist"]. *)
 
+val forward_passes : Fplan.plan pass list
+(** ["forward-run-coalesce"]; ["forward-loop-collapse"] — the order is
+    load-bearing: collapsing matches the single-copy loop bodies
+    coalescing creates. *)
+
 val encode_pass_names : string list
 val decode_pass_names : string list
+val forward_pass_names : string list
 val pass_names : string list
 (** All registered pass names, encode first. *)
 
@@ -109,3 +116,10 @@ val run_decode :
   ?on_trace:(trace -> unit) ->
   Dplan.plan ->
   Dplan.plan
+
+val run_forward :
+  ?config:Opt_config.t ->
+  ?stats:Peephole.stats ->
+  ?on_trace:(trace -> unit) ->
+  Fplan.plan ->
+  Fplan.plan

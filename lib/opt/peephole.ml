@@ -512,3 +512,114 @@ let optimize_plan_with rw ?stats (plan : Plan_compile.plan) =
   }
 
 let optimize_plan ?stats plan = optimize_plan_with all_rewrites ?stats plan
+
+(* ------------------------------------------------------------------ *)
+(* Forward-plan rewrites                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Same contract as the plan rewrites above: destination bytes are
+   preserved exactly, and the accepted message set is unchanged — only
+   check timing may move earlier (the decode-side caveat applies). *)
+
+let shift_fmove ~dsrc ~ddst (m : Fplan.fmove) =
+  match m with
+  | Fplan.Fm_copy c ->
+      Fplan.Fm_copy
+        { c with src_off = c.src_off + dsrc; dst_off = c.dst_off + ddst }
+  | Fplan.Fm_convert c ->
+      Fplan.Fm_convert
+        { c with src_off = c.src_off + dsrc; dst_off = c.dst_off + ddst }
+  | Fplan.Fm_check c -> Fplan.Fm_check { c with src_off = c.src_off + dsrc }
+  | Fplan.Fm_const c -> Fplan.Fm_const { c with dst_off = c.dst_off + ddst }
+  | Fplan.Fm_zero z -> Fplan.Fm_zero { z with dst_off = z.dst_off + ddst }
+
+(* Contiguous same-delta copies (and contiguous zero fills) become one
+   move — this is what turns a fused chunk of word-by-word copies into
+   a single memcpy span. *)
+let rec coalesce_fmoves st = function
+  | Fplan.Fm_copy a :: Fplan.Fm_copy b :: rest
+    when b.src_off = a.src_off + a.len && b.dst_off = a.dst_off + a.len ->
+      st.chunks_merged <- st.chunks_merged + 1;
+      coalesce_fmoves st (Fplan.Fm_copy { a with len = a.len + b.len } :: rest)
+  | Fplan.Fm_zero a :: Fplan.Fm_zero b :: rest
+    when b.dst_off = a.dst_off + a.len ->
+      st.chunks_merged <- st.chunks_merged + 1;
+      coalesce_fmoves st (Fplan.Fm_zero { a with len = a.len + b.len } :: rest)
+  | m :: rest -> m :: coalesce_fmoves st rest
+  | [] -> []
+
+(* Adjacent runs merge like adjacent chunks: no op separates them, so
+   both sides' static offsets stay valid after shifting. *)
+let rec fwd_merge st = function
+  | Fplan.F_run r1 :: Fplan.F_run r2 :: rest ->
+      st.chunks_merged <- st.chunks_merged + 1;
+      let moves2 =
+        List.map (shift_fmove ~dsrc:r1.src_size ~ddst:r1.dst_size) r2.moves
+      in
+      fwd_merge st
+        (Fplan.F_run
+           {
+             src_size = r1.src_size + r2.src_size;
+             dst_size = r1.dst_size + r2.dst_size;
+             src_check = r1.src_check || r2.src_check;
+             dst_check = r1.dst_check || r2.dst_check;
+             moves = coalesce_fmoves st (r1.moves @ moves2);
+           }
+        :: rest)
+  | op :: rest -> op :: fwd_merge st rest
+  | [] -> []
+
+let rec fwd_coalesce_ops st ops =
+  fwd_merge st
+    (List.map
+       (fun (op : Fplan.fop) ->
+         match op with
+         | Fplan.F_run r ->
+             Fplan.F_run { r with moves = coalesce_fmoves st r.moves }
+         | Fplan.F_loop l -> Fplan.F_loop { l with body = fwd_coalesce_ops st l.body }
+         | Fplan.F_opt o -> Fplan.F_opt { body = fwd_coalesce_ops st o.body }
+         | op -> op)
+       ops)
+
+let forward_coalesce ?stats ops =
+  let st = match stats with Some st -> st | None -> fresh_stats () in
+  fwd_coalesce_ops st ops
+
+(* A loop whose body is one whole-stride copy under exact reservations
+   on both sides is a counted memcpy: count * unit bytes in one
+   transfer, borrowable by reference above the threshold. *)
+let rec fwd_collapse_ops st ops =
+  List.map
+    (fun (op : Fplan.fop) ->
+      match op with
+      | Fplan.F_opt o -> Fplan.F_opt { body = fwd_collapse_ops st o.body }
+      | Fplan.F_loop l -> (
+          let body = fwd_collapse_ops st l.body in
+          match (l.src_ensure, l.dst_ensure, body) with
+          | ( Some u,
+              Some u',
+              [
+                Fplan.F_run
+                  {
+                    src_size;
+                    dst_size;
+                    moves = [ Fplan.Fm_copy { src_off = 0; dst_off = 0; len } ];
+                    _;
+                  };
+              ] )
+            when u = u' && src_size = u && dst_size = u && len = u ->
+              st.loops_fused <- st.loops_fused + 1;
+              Fplan.F_counted_blit
+                {
+                  count = l.count;
+                  emit_len = l.emit_len;
+                  unit_size = u;
+                  borrow = true;
+                }
+          | _ -> Fplan.F_loop { l with body })
+      | op -> op)
+    ops
+
+let forward_collapse ?stats ops =
+  let st = match stats with Some st -> st | None -> fresh_stats () in
+  fwd_collapse_ops st ops

@@ -99,3 +99,26 @@ val optimize_dplan : ?stats:stats -> Dplan.plan -> Dplan.plan
 
 val optimize_dplan_with :
   rewrite_set -> ?stats:stats -> Dplan.plan -> Dplan.plan
+
+(** {1 Forward-plan rewrites}
+
+    The same engine over {!Fplan} programs, registered as the
+    [forward-*] passes.  Both transforms are byte-preserving on the
+    destination and accept exactly the messages the input plan accepts,
+    with the same check-motion caveat as the decode rewrites: a merged
+    bounds check may surface as [Short_buffer] where the original plan
+    failed a later, smaller check. *)
+
+val forward_coalesce : ?stats:stats -> Fplan.fop list -> Fplan.fop list
+(** Merge adjacent {!Fplan.fop.F_run}s (the second run's moves shift by
+    the first's sizes; one check per side covers both — counted under
+    [chunks_merged]) and then merge contiguous [Fm_copy] / [Fm_zero]
+    moves inside each run, recursing into loop and optional bodies. *)
+
+val forward_collapse : ?stats:stats -> Fplan.fop list -> Fplan.fop list
+(** Collapse a loop whose body is a single whole-stride copy run under
+    exact reservations on both sides into one
+    {!Fplan.fop.F_counted_blit} — [count * unit] bytes move in a single
+    transfer, borrowable above the threshold (counted under
+    [loops_fused]).  Runs after {!forward_coalesce}, which creates the
+    single-copy bodies it matches. *)

@@ -385,3 +385,243 @@ let check_dplan (plan : Dplan.plan) =
       plan.Dplan.d_subs;
     Ok ()
   with Fail e -> Error e
+
+(* ------------------------------------------------------------------ *)
+(* Forward plans                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Forward-plan obligations, re-derived independently of Fplan_compile
+   and the forward-* rewrites:
+
+   - inside a run, every source-touching move lies at monotone,
+     non-overlapping offsets within [0, src_size), and likewise every
+     destination-touching move within [0, dst_size) — so one [need] and
+     one [ensure] really do cover every blit;
+   - a run that skips a check on a side it touches is only legal under
+     a loop reservation covering that side;
+   - a loop's source reservation must equal the body's *exact* static
+     source advance (decode checks raise — the encode analogy of an
+     upper bound would reject well-formed messages), while the
+     destination reservation only needs to bound the body's static
+     advance from above ([ensure] merely reserves capacity). *)
+
+let check_fcount path (c : Fplan.fcount) =
+  match c with
+  | Fplan.Fc_fixed n ->
+      if n < 0 then failv path "fixed count %d is negative" n
+  | Fplan.Fc_wire { min_len; max_len; _ } -> (
+      if min_len < 0 then failv path "negative minimum length %d" min_len;
+      match max_len with
+      | Some m when m < min_len ->
+          failv path "length bounds inverted: min %d > max %d" min_len m
+      | _ -> ())
+
+let check_fmoves path ~src_size ~dst_size moves =
+  let _ =
+    List.fold_left
+      (fun (src_end, dst_end) (m : Fplan.fmove) ->
+        let src_span, dst_span =
+          match m with
+          | Fplan.Fm_copy { src_off; dst_off; len } ->
+              if len <= 0 then
+                failv path "copy with non-positive length %d" len;
+              (Some (src_off, len), Some (dst_off, len))
+          | Fplan.Fm_convert { src_off; src_atom; dst_off; dst_atom } ->
+              check_atom path src_atom;
+              check_atom path dst_atom;
+              if src_atom.Mplan.kind <> dst_atom.Mplan.kind then
+                failv path "convert changes the atom kind";
+              ( Some (src_off, src_atom.Mplan.size),
+                Some (dst_off, dst_atom.Mplan.size) )
+          | Fplan.Fm_check { src_off; atom; _ } ->
+              check_atom path atom;
+              (Some (src_off, atom.Mplan.size), None)
+          | Fplan.Fm_const { dst_off; atom; _ } ->
+              check_atom path atom;
+              (None, Some (dst_off, atom.Mplan.size))
+          | Fplan.Fm_zero { dst_off; len } ->
+              if len <= 0 then
+                failv path "zero fill with non-positive length %d" len;
+              (None, Some (dst_off, len))
+        in
+        let advance side side_end size = function
+          | None -> side_end
+          | Some (off, len) ->
+              if off < side_end then
+                failv path
+                  "%s move at offset %d overlaps the previous move (ends at \
+                   %d): offsets not monotone"
+                  side off side_end;
+              if off + len > size then
+                failv path "%s move [%d, %d) extends past the run size %d"
+                  side off (off + len) size;
+              off + len
+        in
+        ( advance "source" src_end src_size src_span,
+          advance "destination" dst_end dst_size dst_span ))
+      (0, 0) moves
+  in
+  ()
+
+(* Exact static source consumption of a forward op sequence — the
+   forward twin of [d_exact_advance], admitting only the op kinds a
+   reservation-carrying loop body can contain. *)
+let rec f_src_exact_op (op : Fplan.fop) : int option =
+  match op with
+  | Fplan.F_src_align a -> if a <= 1 then Some 0 else None
+  | Fplan.F_dst_align _ -> Some 0 (* destination-only: no source bytes *)
+  | Fplan.F_run { src_size; _ } -> Some src_size
+  | Fplan.F_loop { count = Fplan.Fc_fixed n; body; _ } ->
+      Option.map (fun u -> n * u) (f_src_exact body)
+  | _ -> None
+
+and f_src_exact ops =
+  List.fold_left
+    (fun acc op ->
+      match (acc, f_src_exact_op op) with
+      | Some a, Some b -> Some (a + b)
+      | _, _ -> None)
+    (Some 0) ops
+
+(* Static upper bound on destination bytes one run of the body emits. *)
+let rec f_dst_bound_op (op : Fplan.fop) : int option =
+  match op with
+  | Fplan.F_dst_align a -> if is_pow2 a then Some (a - 1) else None
+  | Fplan.F_src_align _ -> Some 0
+  | Fplan.F_run { dst_size; _ } -> Some dst_size
+  | Fplan.F_loop { count = Fplan.Fc_fixed n; body; _ } ->
+      Option.map (fun u -> n * u) (f_dst_bound body)
+  | _ -> None
+
+and f_dst_bound ops =
+  List.fold_left
+    (fun acc op ->
+      match (acc, f_dst_bound_op op) with
+      | Some a, Some b -> Some (a + b)
+      | _, _ -> None)
+    (Some 0) ops
+
+let rec check_fops path ~covered_src ~covered_dst ops =
+  List.iteri
+    (fun i (op : Fplan.fop) ->
+      let path = Printf.sprintf "%s[%d]" path i in
+      match op with
+      | Fplan.F_src_align a | Fplan.F_dst_align a ->
+          if a >= 2 && not (is_pow2 a) then
+            failv path "alignment %d is not a power of two" a
+      | Fplan.F_run { src_size; dst_size; src_check; dst_check; moves } ->
+          if src_size < 0 then
+            failv path "run with negative source size %d" src_size;
+          if dst_size < 0 then
+            failv path "run with negative destination size %d" dst_size;
+          if (not src_check) && (not covered_src) && src_size > 0 then
+            failv path
+              "run skips its source bounds check outside any loop \
+               reservation (dropped need)";
+          if (not dst_check) && (not covered_dst) && dst_size > 0 then
+            failv path
+              "run skips its destination capacity check outside any loop \
+               reservation (dropped ensure)";
+          check_fmoves path ~src_size ~dst_size moves
+      | Fplan.F_blit { len; src_pad; dst_tail; _ } ->
+          if len < 0 then failv path "blit with negative length %d" len;
+          if src_pad < 1 then
+            failv path "blit source pad unit %d < 1" src_pad;
+          if dst_tail < 0 then
+            failv path "blit with negative destination tail %d" dst_tail
+      | Fplan.F_string { max_len; src_pad; dst_pad; _ } ->
+          (match max_len with
+          | Some m when m < 0 -> failv path "negative maximum length %d" m
+          | _ -> ());
+          if src_pad < 1 then failv path "source pad unit %d < 1" src_pad;
+          if dst_pad < 1 then failv path "destination pad unit %d < 1" dst_pad
+      | Fplan.F_const_str { s; src_pad; image; _ } ->
+          if src_pad < 1 then failv path "source pad unit %d < 1" src_pad;
+          if String.length image < 4 + String.length s then
+            failv path
+              "constant image of %d bytes cannot hold the length word plus \
+               %d payload bytes"
+              (String.length image) (String.length s)
+      | Fplan.F_byteseq { count; src_pad; dst_pad; _ } ->
+          check_fcount path count;
+          if src_pad < 1 then failv path "source pad unit %d < 1" src_pad;
+          if dst_pad < 1 then failv path "destination pad unit %d < 1" dst_pad
+      | Fplan.F_atom_array
+          { count; src_atom; dst_atom; dst_packed; emit_len; blit; _ } ->
+          check_fcount path count;
+          check_atom path src_atom;
+          check_atom path dst_atom;
+          if src_atom.Mplan.kind <> dst_atom.Mplan.kind then
+            failv path "scalar array changes the atom kind";
+          if blit && src_atom.Mplan.size <> dst_atom.Mplan.size then
+            failv path "blitted scalar array with differing atom sizes %d/%d"
+              src_atom.Mplan.size dst_atom.Mplan.size;
+          if dst_packed && emit_len then
+            failv path
+              "packed destination run cannot also emit a length word";
+          if
+            src_atom.Mplan.align > 1
+            && src_atom.Mplan.size mod src_atom.Mplan.align <> 0
+          then
+            failv path
+              "atom array stride %d is not a multiple of its alignment %d"
+              src_atom.Mplan.size src_atom.Mplan.align
+      | Fplan.F_counted_blit { count; unit_size; _ } ->
+          check_fcount path count;
+          if unit_size <= 0 then
+            failv path "counted blit with non-positive unit size %d" unit_size
+      | Fplan.F_loop { count; src_ensure; dst_ensure; body; _ } ->
+          check_fcount path count;
+          (match src_ensure with
+          | None -> ()
+          | Some u -> (
+              if u <= 0 then
+                failv path "source reservation of %d bytes is not positive" u;
+              match f_src_exact body with
+              | Some v when v = u -> ()
+              | Some v ->
+                  failv path
+                    "source reservation says %d bytes/iteration but the body \
+                     consumes exactly %d"
+                    u v
+              | None ->
+                  failv path
+                    "source reservation of %d bytes over a body whose \
+                     advance is data dependent"
+                    u));
+          (match dst_ensure with
+          | None -> ()
+          | Some u -> (
+              if u <= 0 then
+                failv path
+                  "destination reservation of %d bytes is not positive" u;
+              match f_dst_bound body with
+              | Some v when v > u ->
+                  failv path
+                    "destination reservation of %d bytes/element \
+                     under-covers a worst-case per-element advance of %d"
+                    u v
+              | _ -> ()));
+          check_fops (path ^ ".loop")
+            ~covered_src:(covered_src || src_ensure <> None)
+            ~covered_dst:(covered_dst || dst_ensure <> None)
+            body
+      | Fplan.F_opt { body } ->
+          check_fops (path ^ ".opt") ~covered_src:false ~covered_dst:false
+            body
+      | Fplan.F_materialize { dplan; mplan; _ } -> (
+          (match check_dplan dplan with
+          | Ok () -> ()
+          | Error e ->
+              failv path "embedded decode plan: %s" (error_to_string e));
+          match check_plan mplan with
+          | Ok () -> ()
+          | Error e ->
+              failv path "embedded encode plan: %s" (error_to_string e)))
+    ops
+
+let check_fplan (plan : Fplan.plan) =
+  try
+    check_fops "fwd" ~covered_src:false ~covered_dst:false plan.Fplan.f_ops;
+    Ok ()
+  with Fail e -> Error e

@@ -33,3 +33,14 @@ val error_to_string : error -> string
 
 val check_plan : Plan_compile.plan -> (unit, error) result
 val check_dplan : Dplan.plan -> (unit, error) result
+
+val check_fplan : Fplan.plan -> (unit, error) result
+(** Forward-plan obligations, in the same spirit: every blit inside a
+    fused run lies at monotone, non-overlapping offsets covered by the
+    run's single source check and destination reservation; a run that
+    skips a check on a side it touches appears only under a loop
+    reservation for that side; a loop's source reservation equals the
+    body's exact static consumption while its destination reservation
+    bounds the body's emission from above; embedded
+    {!Fplan.fop.F_materialize} fallbacks re-check their decode and
+    encode plans recursively. *)

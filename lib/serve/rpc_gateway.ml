@@ -1,0 +1,342 @@
+(* A gateway topology on the simulator: clients speak the [src]
+   encoding to a proxy, which relays each request to an echo backend
+   speaking the [dst] encoding and relays the reply back.  The proxy
+   never materializes values on the relay path: it executes fused
+   forward stubs (Stub_forward) over the request and reply payloads —
+   or, with [forward:false], the decode-then-reencode baseline the
+   bench compares against.
+
+   Framing is Rpc_serve's wire format on both hops.  The proxy owns the
+   sequence space on the backend hop (one backend connection funnels
+   every client), demultiplexing replies through a pending table back
+   to the originating client connection and its original sequence
+   number. *)
+
+type route = {
+  rt_name : string;
+  rt_relay_req : Stub_forward.forward;  (* src payload -> dst payload *)
+  rt_relay_rep : Stub_forward.forward;  (* dst payload -> src payload *)
+}
+
+type t = {
+  src : Encoding.t;
+  dst : Encoding.t;
+  forward : bool;
+  mf : int;  (* frame-length sanity bound, both hops *)
+  cl_ingress : Link.t;  (* client -> proxy *)
+  cl_egress : Link.t;  (* proxy -> client *)
+  backend : Rpc_serve.t;
+  bconn : Rpc_serve.conn;
+  routes : (int * int, route) Hashtbl.t;
+  pending : (int, gconn * int * route) Hashtbl.t;  (* proxy seq -> origin *)
+  mutable next_pseq : int;
+  mutable next_conn : int;
+  mutable g_requests_in : int;
+  mutable g_relayed_req : int;
+  mutable g_relayed_rep : int;
+  mutable g_relay_errors : int;
+  mutable g_unknown_op : int;
+  mutable g_killed_conns : int;
+  mutable g_bytes_in : int;
+  mutable g_bytes_out : int;
+}
+
+and gconn = {
+  g_id : int;
+  g_gw : t;
+  g_deliver : bytes -> unit;
+  mutable g_closed : bool;
+  mutable g_buf : bytes;  (* partial-frame input buffer *)
+  mutable g_off : int;
+  mutable g_len : int;
+}
+
+let c_gw_requests = Obs.counter "gateway.requests"
+let c_gw_relay_errors = Obs.counter "gateway.relay_errors"
+
+let get_u32 b off = Int32.to_int (Bytes.get_int32_be b off) land 0xffffffff
+let body_min = 12 (* iface + op + seq *)
+let reply_body_min = 8 (* status + seq *)
+
+(* The decode-then-reencode baseline the fused path is measured
+   against: materialize every value, re-encode under the destination
+   encoding.  Compiled through the same caches as any server stub. *)
+let baseline_relay ~src ~dst ~mint ~named droots roots : Stub_forward.forward
+    =
+  let dec = Stub_opt.compile_decoder ~enc:src ~mint ~named droots in
+  let re = Stub_opt.compile_encoder ~enc:dst ~mint ~named roots in
+  fun r w -> re w (dec r)
+
+let relay_for t ~(from_enc : Encoding.t) ~(to_enc : Encoding.t)
+    (ms : Paper_fixtures.method_spec) : Stub_forward.forward =
+  if t.forward then
+    Stub_forward.compile_forward ~src:from_enc ~dst:to_enc
+      ~mint:ms.Paper_fixtures.ms_mint ~named:ms.Paper_fixtures.ms_named
+      (List.map Stub_opt.to_dplan_droot ms.Paper_fixtures.ms_droots)
+      ms.Paper_fixtures.ms_roots
+  else
+    baseline_relay ~src:from_enc ~dst:to_enc ~mint:ms.Paper_fixtures.ms_mint
+      ~named:ms.Paper_fixtures.ms_named ms.Paper_fixtures.ms_droots
+      ms.Paper_fixtures.ms_roots
+
+(* -- reply hop: backend -> proxy -> client -------------------------- *)
+
+let deliver_to_client t (g : gconn) data =
+  t.g_bytes_out <- t.g_bytes_out + Bytes.length data;
+  Link.transmit t.cl_egress ~bytes:(Bytes.length data) (fun () ->
+      if not g.g_closed then g.g_deliver data)
+
+let error_frame status seq =
+  let f = Bytes.create (4 + reply_body_min) in
+  Bytes.set_int32_be f 0 (Int32.of_int reply_body_min);
+  Bytes.set_int32_be f 4 (Int32.of_int (Rpc_serve.status_code status));
+  Bytes.set_int32_be f 8 (Int32.of_int seq);
+  f
+
+(* Assemble one reply frame around a relayed payload writer: header,
+   then one segment walk (the scatter-gather DMA of a real NIC; the
+   relay engine's own copy accounting is already settled). *)
+let payload_frame ~head ~fill (w : Mbuf.t) =
+  let plen = Mbuf.pos w in
+  let f = Bytes.create (4 + head + plen) in
+  Bytes.set_int32_be f 0 (Int32.of_int (head + plen));
+  fill f;
+  let at = ref (4 + head) in
+  Mbuf.iter_segments w (fun b off len ->
+      Bytes.blit b off f !at len;
+      at := !at + len);
+  f
+
+let on_backend_flush t data =
+  List.iter
+    (fun (status, pseq, payload) ->
+      match Hashtbl.find_opt t.pending pseq with
+      | None -> () (* originating client connection is gone *)
+      | Some (g, seq, rt) -> (
+          Hashtbl.remove t.pending pseq;
+          match status with
+          | Rpc_serve.Sok -> (
+              let r = Mbuf.reader_of_bytes payload in
+              let w = Mbuf.acquire () in
+              match rt.rt_relay_rep r w with
+              | exception (Mbuf.Short_buffer | Codec.Decode_error _) ->
+                  Mbuf.release w;
+                  t.g_relay_errors <- t.g_relay_errors + 1;
+                  Obs.incr c_gw_relay_errors 1;
+                  deliver_to_client t g
+                    (error_frame Rpc_serve.Sbad_request seq)
+              | () ->
+                  let f =
+                    payload_frame ~head:reply_body_min
+                      ~fill:(fun f ->
+                        Bytes.set_int32_be f 4
+                          (Int32.of_int (Rpc_serve.status_code Rpc_serve.Sok));
+                        Bytes.set_int32_be f 8 (Int32.of_int seq))
+                      w
+                  in
+                  Mbuf.release w;
+                  t.g_relayed_rep <- t.g_relayed_rep + 1;
+                  deliver_to_client t g f)
+          | err ->
+              (* shed / error statuses pass through untouched *)
+              deliver_to_client t g (error_frame err seq)))
+    (Rpc_serve.parse_replies data)
+
+(* -- request hop: client -> proxy -> backend ------------------------ *)
+
+let handle_frame t (g : gconn) ~body_off ~body_len =
+  t.g_requests_in <- t.g_requests_in + 1;
+  Obs.incr c_gw_requests 1;
+  let iface = get_u32 g.g_buf body_off in
+  let op = get_u32 g.g_buf (body_off + 4) in
+  let seq = get_u32 g.g_buf (body_off + 8) in
+  match Hashtbl.find_opt t.routes (iface, op) with
+  | None ->
+      t.g_unknown_op <- t.g_unknown_op + 1;
+      deliver_to_client t g (error_frame Rpc_serve.Sunknown_op seq)
+  | Some rt -> (
+      let r =
+        Mbuf.reader_of_bytes ~off:(body_off + body_min)
+          ~len:(body_len - body_min) g.g_buf
+      in
+      let w = Mbuf.acquire () in
+      match rt.rt_relay_req r w with
+      | exception (Mbuf.Short_buffer | Codec.Decode_error _) ->
+          Mbuf.release w;
+          t.g_relay_errors <- t.g_relay_errors + 1;
+          Obs.incr c_gw_relay_errors 1;
+          deliver_to_client t g (error_frame Rpc_serve.Sbad_request seq)
+      | () ->
+          let pseq = t.next_pseq land 0xffffffff in
+          t.next_pseq <- t.next_pseq + 1;
+          Hashtbl.add t.pending pseq (g, seq, rt);
+          let f =
+            payload_frame ~head:body_min
+              ~fill:(fun f ->
+                Bytes.set_int32_be f 4 (Int32.of_int iface);
+                Bytes.set_int32_be f 8 (Int32.of_int op);
+                Bytes.set_int32_be f 12 (Int32.of_int pseq))
+              w
+          in
+          Mbuf.release w;
+          t.g_relayed_req <- t.g_relayed_req + 1;
+          Rpc_serve.send t.bconn f)
+
+let rec parse_loop t (g : gconn) =
+  if not g.g_closed then begin
+    let avail = g.g_len - g.g_off in
+    if avail >= 4 then begin
+      let body_len = get_u32 g.g_buf g.g_off in
+      if body_len < body_min || body_len > t.mf then begin
+        (* protocol error: this client connection dies, others live *)
+        t.g_killed_conns <- t.g_killed_conns + 1;
+        g.g_closed <- true;
+        g.g_off <- 0;
+        g.g_len <- 0
+      end
+      else if avail >= 4 + body_len then begin
+        let body_off = g.g_off + 4 in
+        g.g_off <- g.g_off + 4 + body_len;
+        handle_frame t g ~body_off ~body_len;
+        parse_loop t g
+      end
+    end
+  end
+
+let feed (g : gconn) data =
+  if not g.g_closed then begin
+    let t = g.g_gw in
+    let n = Bytes.length data in
+    t.g_bytes_in <- t.g_bytes_in + n;
+    if g.g_len + n > Bytes.length g.g_buf && g.g_off > 0 then begin
+      Bytes.blit g.g_buf g.g_off g.g_buf 0 (g.g_len - g.g_off);
+      g.g_len <- g.g_len - g.g_off;
+      g.g_off <- 0
+    end;
+    if g.g_len + n > Bytes.length g.g_buf then begin
+      let cap = ref (2 * Bytes.length g.g_buf) in
+      while g.g_len + n > !cap do
+        cap := 2 * !cap
+      done;
+      let bigger = Bytes.create !cap in
+      Bytes.blit g.g_buf 0 bigger 0 g.g_len;
+      g.g_buf <- bigger
+    end;
+    Bytes.blit data 0 g.g_buf g.g_len n;
+    g.g_len <- g.g_len + n;
+    parse_loop t g
+  end
+
+let send (g : gconn) data =
+  Link.transmit g.g_gw.cl_ingress ~bytes:(Bytes.length data) (fun () ->
+      feed g data)
+
+let connect t ~deliver =
+  let id = t.next_conn in
+  t.next_conn <- id + 1;
+  {
+    g_id = id;
+    g_gw = t;
+    g_deliver = deliver;
+    g_closed = false;
+    g_buf = Bytes.create 256;
+    g_off = 0;
+    g_len = 0;
+  }
+
+let conn_id (g : gconn) = g.g_id
+
+let close_conn (g : gconn) =
+  g.g_closed <- true;
+  g.g_off <- 0;
+  g.g_len <- 0
+
+(* -- construction --------------------------------------------------- *)
+
+let create ~sim ?(forward = true) ?(config = Rpc_serve.default_config) ~src
+    ~dst () =
+  let cl_ingress = Link.ethernet_100 ~sim in
+  let cl_egress = Link.ethernet_100 ~sim in
+  let b_ingress = Link.ethernet_100 ~sim in
+  let b_egress = Link.ethernet_100 ~sim in
+  let backend =
+    Rpc_serve.create ~sim ~config ~ingress:b_ingress ~egress:b_egress ()
+  in
+  let tref = ref None in
+  let bconn =
+    Rpc_serve.connect backend ~deliver:(fun data ->
+        match !tref with Some t -> on_backend_flush t data | None -> ())
+  in
+  let t =
+    {
+      src;
+      dst;
+      forward;
+      mf = config.Rpc_serve.max_frame;
+      cl_ingress;
+      cl_egress;
+      backend;
+      bconn;
+      routes = Hashtbl.create 8;
+      pending = Hashtbl.create 64;
+      next_pseq = 0;
+      next_conn = 0;
+      g_requests_in = 0;
+      g_relayed_req = 0;
+      g_relayed_rep = 0;
+      g_relay_errors = 0;
+      g_unknown_op = 0;
+      g_killed_conns = 0;
+      g_bytes_in = 0;
+      g_bytes_out = 0;
+    }
+  in
+  tref := Some t;
+  t
+
+let register t (ms : Paper_fixtures.method_spec) ~iface ~op =
+  (* the backend serves the echo under the destination encoding *)
+  Rpc_serve.register t.backend (Rpc_serve.echo_op ~iface ~op ~enc:t.dst ms);
+  Hashtbl.replace t.routes (iface, op)
+    {
+      rt_name = ms.Paper_fixtures.ms_name;
+      rt_relay_req = relay_for t ~from_enc:t.src ~to_enc:t.dst ms;
+      rt_relay_rep = relay_for t ~from_enc:t.dst ~to_enc:t.src ms;
+    }
+
+let backend t = t.backend
+let route_name t ~iface ~op =
+  Option.map (fun rt -> rt.rt_name) (Hashtbl.find_opt t.routes (iface, op))
+
+let client_frame t (ms : Paper_fixtures.method_spec) ~iface ~op ~seq vals =
+  Rpc_serve.request_frame (Rpc_serve.echo_op ~iface ~op ~enc:t.src ms) ~seq
+    vals
+
+(* -- accounting ----------------------------------------------------- *)
+
+type stats = {
+  gs_requests_in : int;
+  gs_relayed_req : int;
+  gs_relayed_rep : int;
+  gs_relay_errors : int;
+  gs_unknown_op : int;
+  gs_killed_conns : int;
+  gs_pending : int;
+  gs_bytes_in : int;
+  gs_bytes_out : int;
+  gs_backend : Rpc_serve.stats;
+}
+
+let stats t =
+  {
+    gs_requests_in = t.g_requests_in;
+    gs_relayed_req = t.g_relayed_req;
+    gs_relayed_rep = t.g_relayed_rep;
+    gs_relay_errors = t.g_relay_errors;
+    gs_unknown_op = t.g_unknown_op;
+    gs_killed_conns = t.g_killed_conns;
+    gs_pending = Hashtbl.length t.pending;
+    gs_bytes_in = t.g_bytes_in;
+    gs_bytes_out = t.g_bytes_out;
+    gs_backend = Rpc_serve.stats t.backend;
+  }

@@ -37,6 +37,7 @@ let status_of_code = function
 
 type config = {
   max_in_flight : int;
+  max_in_flight_per_conn : int option;
   max_frame : int;
   service_fixed_s : float;
   service_per_byte_s : float;
@@ -46,6 +47,7 @@ type config = {
 let default_config =
   {
     max_in_flight = 32;
+    max_in_flight_per_conn = None;
     max_frame = 1 lsl 20;
     service_fixed_s = 150e-6;
     service_per_byte_s = 1e-9;
@@ -125,6 +127,7 @@ type t = {
   mutable s_bytes_out : int;
   mutable s_accepted : int;
   mutable s_shed : int;
+  mutable s_shed_per_conn : int;
   mutable s_bad_request : int;
   mutable s_unknown_op : int;
   mutable s_ok_replies : int;
@@ -140,6 +143,7 @@ type conn = {
   c_server : t;
   c_deliver : bytes -> unit;
   mutable c_closed : bool;
+  mutable c_in_flight : int;  (* this connection's share of the budget *)
   mutable c_buf : bytes;  (* partial-frame input buffer *)
   mutable c_off : int;  (* consumed prefix of c_buf *)
   mutable c_len : int;  (* valid prefix of c_buf *)
@@ -164,6 +168,7 @@ let create ~sim ?(config = default_config) ~ingress ~egress () =
     s_bytes_out = 0;
     s_accepted = 0;
     s_shed = 0;
+    s_shed_per_conn = 0;
     s_bad_request = 0;
     s_unknown_op = 0;
     s_ok_replies = 0;
@@ -195,6 +200,7 @@ let connect t ~deliver =
     c_server = t;
     c_deliver = deliver;
     c_closed = false;
+    c_in_flight = 0;
     c_buf = Bytes.create 256;
     c_off = 0;
     c_len = 0;
@@ -332,6 +338,7 @@ let enqueue_reply c status seq (payload : Mbuf.t option) =
 let complete c (entry : op_entry) ~seq ~body ~arrival =
   let t = c.c_server in
   t.in_flight <- t.in_flight - 1;
+  c.c_in_flight <- c.c_in_flight - 1;
   set_gauge_in_flight t;
   if c.c_closed then t.s_dropped_replies <- t.s_dropped_replies + 1
   else begin
@@ -374,14 +381,25 @@ let handle_frame c ~body_off ~body_len =
         iface op;
       enqueue_reply c Sunknown_op seq None
   | Some entry ->
-      if t.in_flight >= t.cfg.max_in_flight then begin
+      (* fairness: one connection cannot pipeline its way to the whole
+         budget — past its per-connection share it sheds even while
+         global slots remain, so its peers' requests still land *)
+      let conn_capped =
+        match t.cfg.max_in_flight_per_conn with
+        | Some cap -> c.c_in_flight >= cap
+        | None -> false
+      in
+      if t.in_flight >= t.cfg.max_in_flight || conn_capped then begin
         t.s_shed <- t.s_shed + 1;
+        if conn_capped && t.in_flight < t.cfg.max_in_flight then
+          t.s_shed_per_conn <- t.s_shed_per_conn + 1;
         Obs.incr c_shed 1;
         enqueue_reply c Sshed seq None
       end else begin
         t.s_accepted <- t.s_accepted + 1;
         Obs.incr c_accepted 1;
         t.in_flight <- t.in_flight + 1;
+        c.c_in_flight <- c.c_in_flight + 1;
         set_gauge_in_flight t;
         (* the input buffer is reused for the next frame, so the body
            must outlive it *)
@@ -498,6 +516,7 @@ type stats = {
   st_bytes_out : int;
   st_accepted : int;
   st_shed : int;
+  st_shed_per_conn : int;
   st_bad_request : int;
   st_unknown_op : int;
   st_ok_replies : int;
@@ -515,6 +534,7 @@ let stats t =
     st_bytes_out = t.s_bytes_out;
     st_accepted = t.s_accepted;
     st_shed = t.s_shed;
+    st_shed_per_conn = t.s_shed_per_conn;
     st_bad_request = t.s_bad_request;
     st_unknown_op = t.s_unknown_op;
     st_ok_replies = t.s_ok_replies;

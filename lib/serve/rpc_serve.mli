@@ -46,6 +46,12 @@ type t
 type config = {
   max_in_flight : int;
       (** backpressure budget: accepted requests not yet replied *)
+  max_in_flight_per_conn : int option;
+      (** fairness cap on one connection's share of the budget: a
+          connection already holding this many in-flight requests is
+          shed even while global slots remain, so a pipelining hog
+          cannot starve its peers ([None] = global budget only; the
+          hog-vs-peers latency test pins the effect). *)
   max_frame : int;  (** bodies larger than this are a protocol error *)
   service_fixed_s : float;
       (** virtual seconds of server CPU per request, fixed part *)
@@ -56,7 +62,8 @@ type config = {
 }
 
 val default_config : config
-(** 32 in flight, 1 MiB frames, 150us + 1ns/B service, 50us flush. *)
+(** 32 in flight (no per-connection cap), 1 MiB frames, 150us + 1ns/B
+    service, 50us flush. *)
 
 (** One registered operation: the request/reply marshal specs plus the
     handler.  The encoder and decoder are compiled through the shared
@@ -143,6 +150,9 @@ type stats = {
   st_bytes_out : int;
   st_accepted : int;
   st_shed : int;  (** requests refused at the in-flight budget *)
+  st_shed_per_conn : int;
+      (** of those, refused by the per-connection fairness cap while
+          global slots were still free *)
   st_bad_request : int;  (** well-framed bodies that failed to decode *)
   st_unknown_op : int;
   st_ok_replies : int;

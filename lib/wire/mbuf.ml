@@ -772,6 +772,46 @@ let view_bytes r len =
   end
   else None
 
+(* -- reader -> writer forwarding ------------------------------------ *)
+
+(* Unchecked span copy for fused forward runs: the caller has already
+   made the source span contiguous with [need] and reserved the
+   destination with [ensure], so both sides are plain blits. *)
+let copy_at r soff w doff len =
+  if len > 0 then set_bytes w doff r.rbuf (r.rpos + soff) len
+
+(* Move [len] bytes from the read cursor to the write cursor, the bulk
+   primitive behind fused forward stubs.  Returns the number of bytes
+   spliced by reference (0 when the span was copied). *)
+let transfer ?(borrow = false) r w len =
+  if len < 0 || remaining r < len then raise Short_buffer;
+  let copy_spans () =
+    ensure w len;
+    let filled = ref 0 in
+    while !filled < len do
+      if r.rpos = r.rend then advance_seg r;
+      let take = min (r.rend - r.rpos) (len - !filled) in
+      set_bytes w !filled r.rbuf r.rpos take;
+      r.rpos <- r.rpos + take;
+      filled := !filled + take
+    done;
+    rd_copied := !rd_copied + len;
+    incr rd_copies;
+    advance w len;
+    0
+  in
+  if len = 0 then 0
+  else if borrow && borrow_eligible len then
+    match view_bytes r len with
+    | Some (base, off, n) ->
+        (* The borrowed segment aliases the receive buffer: pin it so
+           the source writer's next reset detaches the storage. *)
+        pin_reader r;
+        put_borrow_bytes w base off n;
+        n
+    | None -> copy_spans () (* span straddles a segment boundary *)
+  else copy_spans ()
+
 (* -- reader pool ----------------------------------------------------- *)
 
 let reader_pool : reader list ref = ref []

@@ -299,6 +299,29 @@ val pin_reader : reader -> unit
     [reset]+encode cycles on that writer.  No-op for
     {!reader_of_bytes} readers (the caller owns that storage). *)
 
+(** {2 Reader → writer forwarding}
+
+    The primitives behind fused forward stubs (gateway relaying): bytes
+    move straight from a receive buffer to a transmit buffer without an
+    intermediate value. *)
+
+val copy_at : reader -> int -> t -> int -> int -> unit
+(** [copy_at r soff w doff len] blits [len] bytes at [rpos r + soff]
+    into the writer at [pos w + doff].  Unchecked on both sides: call
+    {!need} covering the source span and {!ensure} covering the
+    destination span first (a fused run does one of each for the whole
+    run).  Counted as a writer copy in {!stats}. *)
+
+val transfer : ?borrow:bool -> reader -> t -> int -> int
+(** [transfer ?borrow r w len] moves the next [len] bytes from the read
+    cursor to the write cursor, advancing both.  With [~borrow:true],
+    when the span is {!borrow_eligible} and lies whole inside one
+    segment, it is spliced by reference ({!put_borrow_bytes}) with the
+    reader pinned — zero bytes touched; otherwise the span is copied
+    segment by segment (no intermediate allocation).  Returns the
+    number of bytes borrowed (0 when copied).  Raises {!Short_buffer}
+    when fewer than [len] bytes remain, cursor unmoved. *)
+
 (** {2 Reader-side copy accounting}
 
     Module-wide counters (readers are pooled and short-lived): bulk

@@ -257,6 +257,37 @@ let dump_tests =
           (contains out "encode (chunked):");
         Alcotest.(check bool) "decode side traced" true
           (contains out "decode (per-datum):"));
+    test "dump-plan --forward annotates ops with copy-elision provenance"
+      (fun () ->
+        (* oncrpc -> oncrpc: the dirents relay is pure copy propagation,
+           so nothing may materialize and the string payloads borrow or
+           blit *)
+        let out =
+          render ~op:(Some "send_dirents")
+            (Plan_dump.Forward Driver.Back_oncrpc)
+        in
+        Alcotest.(check int) "one stub" 1
+          (occurrences out "=== forward plan:");
+        Alcotest.(check bool) "names both transports" true
+          (contains out "(oncrpc -> oncrpc)");
+        Alcotest.(check bool) "per-op provenance rendered" true
+          (contains out "# blit" || contains out "# borrow");
+        Alcotest.(check bool) "same-encoding relay never materializes" true
+          (not (contains out "# fallback"));
+        Alcotest.(check bool) "elision rollup present" true
+          (contains out "elision: "));
+    test "dump-plan --forward cross-encoding converts scalars in place"
+      (fun () ->
+        let out =
+          render ~op:(Some "send_ints") (Plan_dump.Forward Driver.Back_fluke)
+        in
+        Alcotest.(check bool) "names both transports" true
+          (contains out "(oncrpc -> fluke)");
+        (* BE -> LE integers: the array relays as convert, not blit *)
+        Alcotest.(check bool) "scalar conversion surfaces" true
+          (contains out "# convert");
+        Alcotest.(check bool) "no materialize fallback" true
+          (not (contains out "# fallback")));
     test "dump-plan with an unknown --op is a diagnostic, not a crash"
       (fun () ->
         match render ~op:(Some "nosuch") Plan_dump.Marshal with

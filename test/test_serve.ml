@@ -396,6 +396,86 @@ let test_shed_reply () =
       checki "shed counted" 1 st.Rpc_serve.st_shed;
       checki "budget never exceeded" 1 st.Rpc_serve.st_in_flight_hw)
 
+(* -- fairness: per-connection share of the budget ------------------ *)
+
+(* One hog pipelines a 16-request burst while four peers each want one
+   request.  Uncapped, the burst fits the global budget and owns the
+   serial CPU queue, so the peers wait behind all of it; with a
+   per-connection cap of 4 the hog is shed down to its share while
+   global slots remain (counted under st_shed_per_conn) and every peer
+   round-trips strictly sooner.  All time is virtual, so the latency
+   comparison is exact. *)
+let run_hog_case ~cap =
+  let sim = Sim_core.create () in
+  let ingress = Link.ethernet_100 ~sim in
+  let egress = Link.ethernet_100 ~sim in
+  let config =
+    {
+      Rpc_serve.default_config with
+      Rpc_serve.max_in_flight = 16;
+      max_in_flight_per_conn = cap;
+    }
+  in
+  let t = Rpc_serve.create ~sim ~config ~ingress ~egress () in
+  register_all t Encoding.xdr;
+  let hog_ok = ref 0 and hog_shed = ref 0 in
+  let hog =
+    Rpc_serve.connect t ~deliver:(fun d ->
+        List.iter
+          (fun (st, _, _) ->
+            match st with
+            | Rpc_serve.Sok -> incr hog_ok
+            | Rpc_serve.Sshed -> incr hog_shed
+            | _ -> ())
+          (Rpc_serve.parse_replies d))
+  in
+  Sim_core.schedule sim ~delay:0. (fun () ->
+      for i = 0 to 15 do
+        Rpc_serve.send hog (ints_frame ~seq:i ~bytes:1024)
+      done);
+  let peer_lat = ref [] in
+  for p = 0 to 3 do
+    let sent = ref 0. in
+    let c =
+      Rpc_serve.connect t ~deliver:(fun d ->
+          List.iter
+            (fun (st, _, _) ->
+              if st = Rpc_serve.Sok then
+                peer_lat := (Sim_core.now sim -. !sent) :: !peer_lat)
+            (Rpc_serve.parse_replies d))
+    in
+    Sim_core.schedule sim
+      ~delay:(1e-3 +. (float_of_int p *. 20e-6))
+      (fun () ->
+        sent := Sim_core.now sim;
+        Rpc_serve.send c (ints_frame ~seq:(100 + p) ~bytes:1024))
+  done;
+  Sim_core.run sim;
+  (Rpc_serve.stats t, !hog_ok, !hog_shed, !peer_lat)
+
+let test_fairness_hog_vs_peers () =
+  with_pool_check (fun () ->
+      let st_cap, ok_cap, shed_cap, lat_cap = run_hog_case ~cap:(Some 4) in
+      let st_none, ok_none, shed_none, lat_none = run_hog_case ~cap:None in
+      checki "four peers answered (capped)" 4 (List.length lat_cap);
+      checki "four peers answered (uncapped)" 4 (List.length lat_none);
+      (* uncapped: the burst fits the global budget, nothing sheds *)
+      checki "uncapped run sheds nothing" 0 st_none.Rpc_serve.st_shed;
+      checki "uncapped fairness counter stays zero" 0
+        st_none.Rpc_serve.st_shed_per_conn;
+      checki "uncapped hog completes everything" 16 ok_none;
+      checki "uncapped hog saw no shed replies" 0 shed_none;
+      (* capped: the hog is shed down to its share with room to spare *)
+      checkb "hog shed by the fairness cap" true (shed_cap > 0);
+      checki "every shed happened with global slots free"
+        st_cap.Rpc_serve.st_shed st_cap.Rpc_serve.st_shed_per_conn;
+      checki "hog's accepted requests all complete" (16 - shed_cap) ok_cap;
+      checkb "in-flight high water respects hog share + peers" true
+        (st_cap.Rpc_serve.st_in_flight_hw <= 8);
+      let worst l = List.fold_left Float.max 0. l in
+      checkb "peers round-trip strictly sooner under the cap" true
+        (worst lat_cap < worst lat_none))
+
 (* -- plan-cache churn ---------------------------------------------- *)
 
 (* Shadow-model the cache policy (hit; or miss, with the whole table
@@ -484,6 +564,8 @@ let suite =
       differential_tests
       @ [
           Alcotest.test_case "shed reply below budget 1" `Quick test_shed_reply;
+          Alcotest.test_case "per-connection fairness: hog vs peers" `Quick
+            test_fairness_hog_vs_peers;
         ] );
     ( "serve.faults",
       [
