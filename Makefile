@@ -36,12 +36,15 @@ test-tier0:
 # gateway artifact runs twice: first with fusion forced off
 # (--no-forward), proving the materialize fallback still relays every
 # cell byte-identically, then fused, which is the BENCH_6.json that
-# check_bench gates on.  check_bench re-parses every BENCH_*.json and
-# fails on any recorded self-check failure, malformed serve sweep, or
-# missing/failed stage or gateway gate.
+# check_bench gates on.  The value-dependent-encoding report
+# (BENCH_7.json) runs the {msgpack,cbor} parity matrix with verifier,
+# byte-identity, decode-equality and whole-message-consumption checks
+# per cell.  check_bench re-parses every BENCH_*.json and fails on any
+# recorded self-check failure, malformed serve sweep, missing/failed
+# stage or gateway gate, or unsound selfdesc matrix.
 bench-smoke:
 	dune exec bench/main.exe -- gateway --smoke --no-forward
-	dune exec bench/main.exe -- planopt sgwire decplan tracematrix serve stage gateway --smoke
+	dune exec bench/main.exe -- planopt sgwire decplan tracematrix serve stage gateway selfdesc --smoke
 	dune exec bench/check_bench.exe
 
 # Every artifact at default sizes (see EXPERIMENTS.md; --full for

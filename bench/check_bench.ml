@@ -20,7 +20,12 @@
      carries byte-identical measurement cells, a clean simulator round
      trip, and — whenever fusion was enabled — a passed throughput +
      zero-copy gate with its 1.5x threshold intact (a --no-forward run
-     records the gate as not applied, which is accepted).
+     records the gate as not applied, which is accepted);
+   - the value-dependent-encoding artifact ("selfdesc", BENCH_7.json)
+     additionally carries its full {msgpack,cbor} x workload x size
+     matrix (>= 12 rows), every cell byte-identical across engine
+     tiers, decoded back to an equal value with the whole message
+     consumed, and both plans clean under the verifier.
    Exits non-zero on any violation, or when no artifact files exist at
    all — `make ci` runs the smoke benchmarks first, so an empty
    directory means they silently wrote nothing. *)
@@ -193,6 +198,47 @@ let check_gateway path j =
           if e <> 0. then err "%s: round trip saw %.0f relay errors" path e
       | _ -> err "%s: round-trip record is missing its keys" path)
 
+(* The selfdesc artifact carries the variable-header parity matrix: a
+   cell that is not byte-identical, decodes unequal, or leaves
+   reservation slack on the wire must fail CI even if the benchmark's
+   own self-checks were green. *)
+let check_selfdesc path j =
+  let num obj key =
+    match Obs_json.member key obj with
+    | Some v -> Obs_json.to_float v
+    | None -> None
+  in
+  match Obs_json.member "rows" j with
+  | None -> err "%s: selfdesc artifact is missing its \"rows\"" path
+  | Some rows -> (
+      match Obs_json.to_list rows with
+      | None -> err "%s: \"rows\" is not an array" path
+      | Some rows ->
+          (* 2 encodings x 3 workloads x 2 sizes in every mode *)
+          if List.length rows < 12 then
+            err "%s: selfdesc matrix has %d rows, want >= 12" path
+              (List.length rows);
+          List.iteri
+            (fun i row ->
+              List.iter
+                (fun key ->
+                  match Obs_json.member key row with
+                  | Some (Obs_json.Bool true) -> ()
+                  | Some (Obs_json.Bool false) ->
+                      err "%s: rows[%d]: %s is false" path i key
+                  | _ -> err "%s: rows[%d]: missing %S" path i key)
+                [
+                  "identical"; "decoded_equal"; "consumed"; "plan_verified";
+                  "dplan_verified";
+                ];
+              match (num row "encode_ns", num row "decode_ns") with
+              | Some e, Some d ->
+                  if e <= 0. || d <= 0. then
+                    err "%s: rows[%d]: non-positive timing (%.0f, %.0f)" path
+                      i e d
+              | _ -> err "%s: rows[%d]: missing timing keys" path i)
+            rows)
+
 let check_file path =
   match Obs_json.parse (read_all path) with
   | Error msg -> err "%s: invalid JSON: %s" path msg
@@ -202,7 +248,8 @@ let check_file path =
           Printf.printf "%s: artifact %S" path name;
           if name = "serve" then check_serve_sweep path j;
           if name = "stage" then check_stage path j;
-          if name = "gateway" then check_gateway path j
+          if name = "gateway" then check_gateway path j;
+          if name = "selfdesc" then check_selfdesc path j
       | _ -> err "%s: missing \"artifact\" name" path);
       (match Obs_json.member "self_check_failed" j with
       | Some (Obs_json.Bool false) -> ()

@@ -2353,11 +2353,13 @@ let gateway () =
               let base_out = run_once baseline in
               let bor0 = obs_counter "forward.borrowed_bytes"
               and cop0 = obs_counter "forward.copied_bytes"
-              and fb0 = obs_counter "forward.fallback_fields" in
+              and fb0 = obs_counter "forward.fallback_fields"
+              and bsw0 = obs_counter "forward.bswap_bytes" in
               let fused_out = run_once fused in
               let borrowed = obs_counter "forward.borrowed_bytes" - bor0
               and copied = obs_counter "forward.copied_bytes" - cop0
-              and fallbacks = obs_counter "forward.fallback_fields" - fb0 in
+              and fallbacks = obs_counter "forward.fallback_fields" - fb0
+              and bswapped = obs_counter "forward.bswap_bytes" - bsw0 in
               let identical = Bytes.equal fused_out base_out in
               check (tag ^ ": fused byte-identical to decode-then-reencode")
                 identical;
@@ -2389,10 +2391,11 @@ let gateway () =
                     \"bytes\": %d, \"wire_bytes\": %d, \"baseline_ns\": \
                     %.0f, \"fused_ns\": %.0f, \"speedup\": %.3f, \
                     \"borrowed_bytes\": %d, \"copied_bytes\": %d, \
-                    \"fallback_fields\": %d, \"identical\": %b }"
+                    \"fallback_fields\": %d, \"bswap_bytes\": %d, \
+                    \"identical\": %b }"
                    (if !first then "" else ",")
                    sname dname op bytes wlen ns_b ns_f sp borrowed copied
-                   fallbacks identical);
+                   fallbacks bswapped identical);
               first := false)
             sizes)
         payloads)
@@ -2513,6 +2516,180 @@ let gateway () =
   print_endline "wrote BENCH_6.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* selfdesc - the value-dependent encodings (msgpack, cbor)             *)
+(* ------------------------------------------------------------------ *)
+
+(* The variable-header artifact: the paper's three workloads through
+   the self-describing encodings added by the Put_varhead /
+   D_get_varhead op class, both directions, at 4KB and 64KB.  Writes
+   BENCH_7.json.  Every cell self-checks:
+   - the encode and decode plans are clean under {!Plan_verify}
+     (variable emits dominated by covering worst-case reservations);
+   - the plan executor's bytes are identical to the naive
+     walk-the-types engine's, and to the staged flat closure's when the
+     plan has one;
+   - tier-0 decode returns the input value ({!Value.equal}) and
+     consumes the whole message — no worst-case slack may leak into
+     the stream position.
+   There is no speedup gate: these encodings trade throughput for
+   self-description, so the artifact records absolute rates only. *)
+
+let selfdesc_failed = ref false
+
+let selfdesc () =
+  print_endline "============================================================";
+  print_endline " selfdesc - value-dependent wire formats (msgpack, cbor)";
+  print_endline "============================================================";
+  let check what ok =
+    if not ok then begin
+      selfdesc_failed := true;
+      Printf.printf "  SELF-CHECK FAILED: %s\n" what
+    end
+  in
+  let sizes = [ 4096; 65536 ] in
+  let json = Buffer.create 4096 in
+  Buffer.add_string json
+    (Printf.sprintf
+       "{\n  \"artifact\": \"selfdesc\",\n  \"smoke\": %b,\n  \"rows\": ["
+       !smoke);
+  Printf.printf "\n%-8s %-13s %9s %12s %10s %10s %10s\n" "enc" "workload"
+    "wire" "encode ns" "MB/s" "decode ns" "MB/s";
+  let first = ref true in
+  let pc = Paper_fixtures.bench_presc `Corba in
+  List.iter
+    (fun (ename, enc) ->
+      List.iter
+        (fun payload ->
+          let op = Paper_fixtures.op_of_payload payload in
+          let spec = Paper_fixtures.request_spec pc ~op in
+          let mint = spec.Paper_fixtures.ms_mint
+          and named = spec.Paper_fixtures.ms_named in
+          List.iter
+            (fun bytes ->
+              let tag = Printf.sprintf "%s/%s/%dB" ename op bytes in
+              let value = Paper_fixtures.payload payload ~bytes in
+              let plan =
+                Plan_cache.plan ~enc ~mint ~named spec.Paper_fixtures.ms_roots
+              in
+              let plan_ok =
+                match Plan_verify.check_plan plan with
+                | Ok () -> true
+                | Error e ->
+                    check
+                      (tag ^ ": encode plan verifies: "
+                      ^ Plan_verify.error_to_string e)
+                      false;
+                    false
+              in
+              let droots =
+                List.map
+                  (function
+                    | Stub_opt.Dconst_int (v, k) ->
+                        Dplan_compile.Dconst_int (v, k)
+                    | Stub_opt.Dconst_str s -> Dplan_compile.Dconst_str s
+                    | Stub_opt.Dvalue (i, p) -> Dplan_compile.Dvalue (i, p))
+                  spec.Paper_fixtures.ms_droots
+              in
+              let dplan = Plan_cache.dplan ~enc ~mint ~named droots in
+              let dplan_ok =
+                match Plan_verify.check_dplan dplan with
+                | Ok () -> true
+                | Error e ->
+                    check
+                      (tag ^ ": decode plan verifies: "
+                      ^ Plan_verify.error_to_string e)
+                      false;
+                    false
+              in
+              (* -- byte identity across the engine tiers ------------- *)
+              let enc0 = Stub_opt.encoder_of_plan ~enc plan in
+              let buf0 = Mbuf.create (bytes + 8192) in
+              enc0 buf0 [| value |];
+              let wire = Mbuf.contents buf0 in
+              let wlen = Bytes.length wire in
+              let naive =
+                Stub_naive.compile_encoder ~enc ~mint ~named
+                  spec.Paper_fixtures.ms_roots
+              in
+              let bufn = Mbuf.create (bytes + 8192) in
+              naive bufn [| value |];
+              let identical = Bytes.equal wire (Mbuf.contents bufn) in
+              check (tag ^ ": plan bytes identical to naive bytes") identical;
+              (match Stub_opt.staged_encoder_of_plan ~enc plan with
+              | Some staged ->
+                  let bufs = Mbuf.create (bytes + 8192) in
+                  staged bufs [| value |];
+                  check
+                    (tag ^ ": staged bytes identical to plan bytes")
+                    (Bytes.equal wire (Mbuf.contents bufs))
+              | None -> ());
+              (* -- decode: value equality, whole-message consumption - *)
+              let dec0 = Stub_opt.decoder_of_dplan ~enc dplan in
+              let r = Mbuf.reader_of_bytes wire in
+              let decoded = (dec0 r).(0) in
+              let decoded_equal = Value.equal decoded value in
+              check (tag ^ ": decode returns the input value") decoded_equal;
+              let consumed = Mbuf.remaining r = 0 in
+              check
+                (tag
+               ^ ": decode consumes the whole message (no reservation slack \
+                  on the wire)")
+                consumed;
+              (* -- rates --------------------------------------------- *)
+              let time_encode () =
+                let buf = Mbuf.create (bytes + 8192) in
+                let ns =
+                  measure_ns (tag ^ "/encode") (fun () ->
+                      Mbuf.reset buf;
+                      enc0 buf [| value |])
+                in
+                if Float.is_nan ns then 0. else ns
+              in
+              let time_decode () =
+                let ns =
+                  measure_ns (tag ^ "/decode") (fun () ->
+                      ignore
+                        (dec0 (Mbuf.reader_of_bytes wire) : Value.t array))
+                in
+                if Float.is_nan ns then 0. else ns
+              in
+              let ns_e = time_encode () in
+              let ns_d = time_decode () in
+              Printf.printf
+                "%-8s %-13s %9d %12.0f %10.1f %10.0f %10.1f\n" ename op wlen
+                ns_e (mbps wlen ns_e) ns_d (mbps wlen ns_d);
+              Buffer.add_string json
+                (Printf.sprintf
+                   "%s\n    { \"encoding\": %S, \"op\": %S, \"bytes\": %d, \
+                    \"wire_bytes\": %d, \"encode_ns\": %.0f, \
+                    \"decode_ns\": %.0f, \"identical\": %b, \
+                    \"decoded_equal\": %b, \"consumed\": %b, \
+                    \"plan_verified\": %b, \"dplan_verified\": %b }"
+                   (if !first then "" else ",")
+                   ename op bytes wlen ns_e ns_d identical decoded_equal
+                   consumed plan_ok dplan_ok);
+              first := false)
+            sizes)
+        [ `Ints; `Rects; `Dirents ])
+    [ ("msgpack", Encoding.msgpack); ("cbor", Encoding.cbor) ];
+  Buffer.add_string json "\n  ]";
+  Buffer.add_string json
+    (Printf.sprintf ",\n  \"self_check_failed\": %b\n}\n" !selfdesc_failed);
+  (match Obs_json.parse (Buffer.contents json) with
+  | Ok _ -> ()
+  | Error msg -> check (Printf.sprintf "BENCH_7.json parses: %s" msg) false);
+  let oc = open_out "BENCH_7.json" in
+  Buffer.output_buffer oc json;
+  close_out oc;
+  if !selfdesc_failed then
+    print_endline "\nselfdesc: SELF-CHECK FAILURES above; exiting non-zero"
+  else
+    print_endline
+      "\nall verifier, byte-identity, decode-equality, and consumption \
+       checks passed";
+  print_endline "wrote BENCH_7.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -2523,6 +2700,7 @@ let artifacts =
     ("fig7", fig7); ("ablations", ablations); ("planopt", planopt);
     ("sgwire", sgwire); ("decplan", decplan); ("tracematrix", tracematrix);
     ("serve", serve); ("stage", stage); ("gateway", gateway);
+    ("selfdesc", selfdesc);
   ]
 
 let () =
@@ -2570,5 +2748,5 @@ let () =
   if
     !planopt_failed || !sgwire_failed || !decplan_failed
     || !tracematrix_failed || !serve_failed || !stage_failed
-    || !gateway_failed
+    || !gateway_failed || !selfdesc_failed
   then exit 1

@@ -171,6 +171,28 @@ let backend_arg =
     & info [ "b"; "backend" ] ~docv:"BACKEND"
         ~doc:"Message format and transport: iiop, oncrpc, mach3, or fluke.")
 
+(* every Encoding.t is addressable by name; the list (and so every
+   diagnostic and --help string below) includes the value-dependent
+   formats msgpack and cbor *)
+let encoding_names =
+  List.map (fun (e : Encoding.t) -> e.Encoding.name) Encoding.all
+
+let encoding_conv =
+  Arg.conv
+    ( (fun s ->
+        match Encoding.by_name s with
+        | Some e -> Ok e
+        | None ->
+            Error
+              (`Msg
+                 (Printf.sprintf "unknown encoding %S (expected %s)" s
+                    (String.concat ", " encoding_names)))),
+      fun ppf (e : Encoding.t) ->
+        Format.pp_print_string ppf e.Encoding.name )
+
+let encoding_doc what =
+  Printf.sprintf "%s: %s." what (String.concat ", " encoding_names)
+
 let interface_arg =
   Arg.(
     value
@@ -241,7 +263,8 @@ let dump_presc_cmd =
     Term.(const run $ idl_arg $ pres_arg $ interface_arg $ source_arg)
 
 let dump_plan_cmd =
-  let run idl pres backend interface op decode trace forward passes file =
+  let run idl pres backend interface op decode trace forward passes encoding
+      file =
     handle_diag (fun () ->
         let source = read_file file in
         let config =
@@ -269,7 +292,7 @@ let dump_plan_cmd =
         in
         print_string
           (Plan_dump.render ~idl ~pres ~backend ~interface ~op ~mode ?config
-             ~file ~source ()))
+             ?encoding ~file ~source ()))
   in
   let op_arg =
     Arg.(
@@ -318,6 +341,16 @@ let dump_plan_cmd =
              comma-separated list of pass names; append $(b,+verify) to run \
              the plan verifier after each pass.")
   in
+  let dump_encoding_arg =
+    Arg.(
+      value
+      & opt (some encoding_conv) None
+      & info [ "encoding" ] ~docv:"ENC"
+          ~doc:
+            (encoding_doc
+               "Override the backend's wire encoding (how to see the \
+                value-dependent msgpack/cbor plans)"))
+  in
   Cmd.v
     (Cmd.info "dump-plan"
        ~doc:
@@ -327,7 +360,8 @@ let dump_plan_cmd =
           $(b,--forward), the fused gateway relay plan.")
     Term.(
       const run $ idl_arg $ pres_arg $ backend_arg $ interface_arg $ op_arg
-      $ decode_arg $ trace_arg $ forward_arg $ passes_arg $ source_arg)
+      $ decode_arg $ trace_arg $ forward_arg $ passes_arg $ dump_encoding_arg
+      $ source_arg)
 
 let list_interfaces_cmd =
   let run idl file =
@@ -351,9 +385,8 @@ let reuse_cmd =
    few simulated round trips — so the registry table has every row
    populated: plan caches, wire accounting, stub latency histograms,
    simulator counters. *)
-let run_builtin_workload () =
+let run_builtin_workload ~enc () =
   let pc = Paper_fixtures.bench_presc `Corba in
-  let enc = Encoding.xdr in
   List.iter
     (fun which ->
       let op = Paper_fixtures.op_of_payload which in
@@ -388,7 +421,7 @@ let run_builtin_workload () =
        ~msg_bytes:1024 ~rounds:4 ())
 
 let stats_cmd =
-  let run file =
+  let run encoding file =
     handle_diag (fun () ->
         Obs.set_timing true;
         let file, source =
@@ -399,11 +432,19 @@ let stats_cmd =
         ignore
           (Driver.compile Driver.Idl_corba Driver.Pres_corba
              Driver.Back_oncrpc ~file ~source ~interface:None);
-        run_builtin_workload ();
+        run_builtin_workload ~enc:encoding ();
+        Printf.printf "workload encoding: %s\n" encoding.Encoding.name;
         Printf.printf "staged specialization: %s (promotion threshold %d calls)\n\n"
           (if Opt_config.stage_enabled () then "on" else "off")
           (Opt_config.stage_threshold ());
         print_string (Obs.render_table ()))
+  in
+  let stats_encoding_arg =
+    Arg.(
+      value
+      & opt encoding_conv Encoding.xdr
+      & info [ "encoding" ] ~docv:"ENC"
+          ~doc:(encoding_doc "Wire encoding for the built-in workload"))
   in
   let file_arg =
     Arg.(
@@ -421,19 +462,11 @@ let stats_cmd =
           RPC workload, and print the unified metrics registry: plan-cache \
           hit rates, wire-buffer copy/borrow accounting, per-operation stub \
           latency and size histograms, simulator counters.")
-    Term.(const run $ file_arg)
+    Term.(const run $ stats_encoding_arg $ file_arg)
 
 let serve_cmd =
-  let run conns requests encoding max_in_flight =
+  let run conns requests enc max_in_flight =
     handle_diag (fun () ->
-        let enc =
-          match Encoding.by_name encoding with
-          | Some e -> e
-          | None ->
-              Printf.eprintf "unknown encoding %S (try xdr, cdr, mach3)\n"
-                encoding;
-              exit 1
-        in
         let config =
           { Rpc_serve.default_config with Rpc_serve.max_in_flight }
         in
@@ -474,9 +507,10 @@ let serve_cmd =
   in
   let encoding_arg =
     Arg.(
-      value & opt string "xdr"
+      value
+      & opt encoding_conv Encoding.xdr
       & info [ "encoding" ] ~docv:"ENC"
-          ~doc:"Wire encoding: xdr, cdr, or mach3.")
+          ~doc:(encoding_doc "Wire encoding"))
   in
   let budget_arg =
     Arg.(

@@ -341,6 +341,11 @@ let rec marshal_op ~enc ~vars (op : Mplan.op) : stmt list =
           (* string-keyed unions are dispatched per stub; a data union
              with string keys cannot be presented in C *)
           [ Sexpr (call "flick_fail" [ Estr "string-keyed data union" ]) ])
+  | Mplan.Put_varhead _ ->
+      (* value-dependent headers only appear in plans for self-describing
+         encodings (msgpack/cbor), which the C back end does not target;
+         the driver restricts C generation to fixed-layout encodings *)
+      invalid_arg "Cgen: variable-width header in a C-targeted plan"
   | Mplan.Call (name, rv) ->
       [
         Sexpr

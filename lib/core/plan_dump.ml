@@ -152,7 +152,8 @@ let elision_summary (plan : Fplan.plan) =
   Printf.sprintf "elision: %s\n"
     (if parts = [] then "(empty plan)" else String.concat ", " parts)
 
-let render ~idl ~pres ~backend ~interface ~op ~mode ?config ~file ~source () =
+let render ~idl ~pres ~backend ~interface ~op ~mode ?config ?encoding ~file
+    ~source () =
   let config =
     match config with Some c -> c | None -> Opt_config.default ()
   in
@@ -161,9 +162,18 @@ let render ~idl ~pres ~backend ~interface ~op ~mode ?config ~file ~source () =
   | Error msg -> Diag.error "dump-plan: %s" msg);
   let pc = Driver.present idl pres ~file ~source ~interface in
   let tr = Driver.transport_of backend in
-  let enc = tr.Backend_base.tr_enc
-  and mint = pc.Pres_c.pc_mint
-  and named = pc.Pres_c.pc_named in
+  (* [--encoding] swaps the wire format under the backend's message
+     shape — the way to inspect msgpack/cbor plans, which no transport
+     selects on its own *)
+  let enc =
+    match encoding with Some e -> e | None -> tr.Backend_base.tr_enc
+  in
+  let enc_label =
+    match encoding with
+    | Some e -> Printf.sprintf "%s, %s" tr.Backend_base.tr_name e.Encoding.name
+    | None -> tr.Backend_base.tr_name
+  in
+  let mint = pc.Pres_c.pc_mint and named = pc.Pres_c.pc_named in
   let b = Buffer.create 1024 in
   List.iter
     (fun (st : Pres_c.op_stub) ->
@@ -175,7 +185,7 @@ let render ~idl ~pres ~backend ~interface ~op ~mode ?config ~file ~source () =
           in
           Buffer.add_string b
             (Format.asprintf "=== marshal plan: %s (%s) ===@."
-               st.Pres_c.os_client_name tr.Backend_base.tr_name);
+               st.Pres_c.os_client_name enc_label);
           Buffer.add_string b (tier_line (Plan_stage.stageable plan));
           Buffer.add_string b
             (Format.asprintf "%a@." Mplan.pp plan.Plan_compile.p_ops);
@@ -192,7 +202,7 @@ let render ~idl ~pres ~backend ~interface ~op ~mode ?config ~file ~source () =
           in
           Buffer.add_string b
             (Format.asprintf "=== unmarshal plan: %s (%s) ===@."
-               st.Pres_c.os_client_name tr.Backend_base.tr_name);
+               st.Pres_c.os_client_name enc_label);
           Buffer.add_string b (tier_line (Dplan_stage.stageable plan));
           Buffer.add_string b (Format.asprintf "%a@." Dplan.pp_plan plan)
       | Forward dst_backend ->
@@ -205,7 +215,7 @@ let render ~idl ~pres ~backend ~interface ~op ~mode ?config ~file ~source () =
           in
           Buffer.add_string b
             (Format.asprintf "=== forward plan: %s (%s -> %s) ===@."
-               st.Pres_c.os_client_name tr.Backend_base.tr_name
+               st.Pres_c.os_client_name enc_label
                dtr.Backend_base.tr_name);
           Buffer.add_string b (forward_tier_line plan);
           Buffer.add_string b (Format.asprintf "%a@." Fplan.pp_plan plan);
@@ -217,7 +227,7 @@ let render ~idl ~pres ~backend ~interface ~op ~mode ?config ~file ~source () =
           let config = { config with Opt_config.verify = true } in
           Buffer.add_string b
             (Printf.sprintf "=== pass trace: %s (%s) ===\n"
-               st.Pres_c.os_client_name tr.Backend_base.tr_name);
+               st.Pres_c.os_client_name enc_label);
           (* both compilation modes: the production chunked plan is
              born mostly optimal, so the per-datum trace is where the
              passes visibly earn their keep *)

@@ -31,6 +31,7 @@ val render :
   op:string option ->
   mode:mode ->
   ?config:Opt_config.t ->
+  ?encoding:Encoding.t ->
   file:string ->
   source:string ->
   unit ->
@@ -39,4 +40,7 @@ val render :
     output to one operation and raises {!Diag.Error} when no stub has
     that name, listing the operations that exist.  [config] (default
     {!Opt_config.default}) selects the {!Pass} pipeline; an unknown
-    pass name in an [Only] selection is a diagnostic too. *)
+    pass name in an [Only] selection is a diagnostic too.  [encoding]
+    overrides the backend transport's wire format — the way to inspect
+    the value-dependent msgpack/cbor plans, which no transport selects
+    on its own; the plan headers then carry both names. *)

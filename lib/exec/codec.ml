@@ -145,6 +145,64 @@ let skip_pad r ~pad_unit n =
   let padded = (n + pad_unit - 1) / pad_unit * pad_unit in
   if padded > n then Mbuf.skip r (padded - n)
 
+(* -- value-dependent wire formats ------------------------------------ *)
+
+(* Encoding's variable-header hooks speak primitives (int64, bool,
+   float); these wrappers fix the Value.t mapping once so every engine
+   (plan-driven, staged, rpcgen-style, interpretive) emits and accepts
+   exactly the same bytes.  Malformed-header errors surface as
+   [Decode_error] like every other wire fault; truncation stays
+   [Mbuf.Short_buffer]. *)
+
+let wrap_var f = try f () with Encoding.Var_error m -> raise (Decode_error m)
+
+let write_var (vc : Encoding.varcodec) ~check (kind : Encoding.atom_kind) buf v
+    =
+  match kind with
+  | Encoding.Kbool ->
+      let b = match v with Value.Vbool b -> b | _ -> as_int v <> 0 in
+      vc.Encoding.v_put_bool ~check buf b
+  | Encoding.Kchar ->
+      let code =
+        match v with
+        | Value.Vchar c -> Char.code c
+        | _ -> as_int v land 0xFF
+      in
+      vc.Encoding.v_put_int ~check ~signed:false buf (Int64.of_int code)
+  | Encoding.Kint { bits; signed } ->
+      (* truncate to the declared width first, the same round trip a
+         fixed-size store performs *)
+      let n = Encoding.canon_int ~bits ~signed (as_int64 v) in
+      vc.Encoding.v_put_int ~check ~signed buf n
+  | Encoding.Kfloat { bits } ->
+      vc.Encoding.v_put_float ~check ~bits buf (as_float v)
+
+let read_var (vc : Encoding.varcodec) (kind : Encoding.atom_kind) r : Value.t =
+  wrap_var (fun () ->
+      match kind with
+      | Encoding.Kbool -> Value.Vbool (vc.Encoding.v_get_bool r)
+      | Encoding.Kchar ->
+          let n = vc.Encoding.v_get_int ~signed:false r in
+          if Int64.unsigned_compare n 255L > 0 then
+            raise (Decode_error (Printf.sprintf "invalid character %Ld" n));
+          Value.Vchar (Char.chr (Int64.to_int n))
+      | Encoding.Kint { bits; signed } ->
+          let n = vc.Encoding.v_get_int ~signed r in
+          if Encoding.canon_int ~bits ~signed n <> n then
+            raise
+              (Decode_error
+                 (Printf.sprintf "integer %Ld out of range for %d-bit field" n
+                    bits));
+          if bits <= 32 then Value.Vint (Int64.to_int n) else Value.Vint64 n
+      | Encoding.Kfloat { bits } ->
+          Value.Vfloat (vc.Encoding.v_get_float ~bits r))
+
+let write_vlen (vc : Encoding.varcodec) ~check (lk : Encoding.lenkind) buf n =
+  vc.Encoding.v_put_len ~check buf lk n
+
+let read_vlen (vc : Encoding.varcodec) (lk : Encoding.lenkind) r =
+  wrap_var (fun () -> vc.Encoding.v_get_len r lk)
+
 let const_to_value (c : Mint.const) : Value.t =
   match c with
   | Mint.Cint n -> Value.Vint (Int64.to_int n)

@@ -45,5 +45,31 @@ val skip_pad : Mbuf.reader -> pad_unit:int -> int -> unit
 (** Skip the trailing padding of an [n]-byte variable-length run up to
     the encoding's pad unit. *)
 
+(** Value-dependent wire formats (msgpack, CBOR).  One mapping from
+    {!Value.t} to the encoding's primitive hooks, shared by every
+    engine, so differential parity across tiers holds by construction.
+    All four translate {!Encoding.Var_error} into {!Decode_error};
+    truncation surfaces as [Mbuf.Short_buffer] like the fixed paths. *)
+
+val write_var :
+  Encoding.varcodec -> check:bool -> Encoding.atom_kind -> Mbuf.t ->
+  Value.t -> unit
+(** Emit one scalar in canonical minimal-width form.  Integers are
+    truncated to the declared field width first (the round trip a
+    fixed-size store performs).  [check:false] requires the caller to
+    have reserved the atom's worst case. *)
+
+val read_var :
+  Encoding.varcodec -> Encoding.atom_kind -> Mbuf.reader -> Value.t
+(** Checked parse of one scalar; rejects non-minimal encodings and
+    values outside the declared field width, so every decoder tier
+    accepts exactly the same inputs. *)
+
+val write_vlen :
+  Encoding.varcodec -> check:bool -> Encoding.lenkind -> Mbuf.t -> int ->
+  unit
+
+val read_vlen : Encoding.varcodec -> Encoding.lenkind -> Mbuf.reader -> int
+
 val const_to_value : Mint.const -> Value.t
 val const_matches : Mint.const -> Value.t -> bool

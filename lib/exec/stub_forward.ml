@@ -20,6 +20,8 @@ let fused_runs = Obs.counter "forward.fused_runs"
 let borrowed_bytes = Obs.counter "forward.borrowed_bytes"
 let copied_bytes = Obs.counter "forward.copied_bytes"
 let fallback_fields = Obs.counter "forward.fallback_fields"
+let bswap_runs = Obs.counter "forward.bswap_runs"
+let bswap_bytes = Obs.counter "forward.bswap_bytes"
 let fwd_promotions = Obs.counter "forward.promotions"
 let fwd_staged_calls = Obs.counter "forward.staged_calls"
 let fwd_interp_calls = Obs.counter "forward.interp_calls"
@@ -29,6 +31,18 @@ let account ~len borrowed =
   if len - borrowed > 0 then Obs.incr copied_bytes (len - borrowed)
 
 let round_up n u = (n + u - 1) / u * u
+
+(* Byte-reverse each 32-bit lane of a 64-bit word: two array elements
+   endian-swapped per load on the relay's hottest convert shape. *)
+let swap32x2 x =
+  let open Int64 in
+  logor
+    (logor
+       (shift_left (logand x 0x000000FF000000FFL) 24)
+       (shift_left (logand x 0x0000FF000000FF00L) 8))
+    (logor
+       (logand (shift_right_logical x 8) 0x0000FF000000FF00L)
+       (logand (shift_right_logical x 24) 0x000000FF000000FFL))
 
 let counter_of ~be (c : Fplan.fcount) : Mbuf.reader -> int =
   match c with
@@ -191,6 +205,20 @@ let rec compile_op ~(src : Encoding.t) ~(dst : Encoding.t) (op : Fplan.fop) :
         if (not d_fast) && (not dst_packed) && n > 0 then
           Mbuf.align w dst_atom.Mplan.align
       in
+      (* a convert run whose two layouts differ only in byte order is a
+         pure per-element byte reversal (cdr -> fluke ints): swap two
+         32-bit lanes per 64-bit word instead of materializing an int
+         array and re-encoding element by element.  Same alignment,
+         bounds checks and advances as the s_fast/d_fast convert path,
+         so the relayed bytes and failure behavior are identical. *)
+      let pure_swap32 =
+        (not blit) && s_fast && d_fast && src_be <> dst_be
+        &&
+        match (src_atom.Mplan.kind, dst_atom.Mplan.kind) with
+        | Encoding.Kint { bits = 32; _ }, Encoding.Kint { bits = 32; _ } ->
+            true
+        | _, _ -> false
+      in
       if blit then
         (* same bytes under both encodings: bulk transfer, with the
            source side's alignment behavior replicated per path *)
@@ -200,6 +228,25 @@ let rec compile_op ~(src : Encoding.t) ~(dst : Encoding.t) (op : Fplan.fop) :
           if s_fast then Mbuf.ralign r 4
           else if n > 0 then Mbuf.ralign r src_atom.Mplan.align;
           account ~len:(n * ssize) (Mbuf.transfer ~borrow r w (n * ssize))
+      else if pure_swap32 then
+        fun r w ->
+          let n = get_n r in
+          dst_pre w n;
+          Mbuf.ralign r 4;
+          let total = n * 4 in
+          Mbuf.need r total;
+          Mbuf.ensure w total;
+          for i = 0 to (n / 2) - 1 do
+            Mbuf.set_i64_be w (i * 8) (swap32x2 (Mbuf.get_i64_be r (i * 8)))
+          done;
+          if n land 1 = 1 then begin
+            let off = n / 2 * 8 in
+            Mbuf.set_i32_le w off (Mbuf.get_i32_be r off)
+          end;
+          Mbuf.skip r total;
+          Mbuf.advance w total;
+          Obs.incr bswap_runs 1;
+          Obs.incr bswap_bytes total
       else
         (* convert: read exactly as the decoder, write exactly as the
            encoder, per-element *)

@@ -12,9 +12,18 @@ let rec encode ~(enc : Encoding.t) ~mint ~named idx (pres : Pres.t) buf
       Mbuf.put_i32 buf ~be (Int64.to_int 0x4D544450L)
     end
   in
-  let put_len n =
-    Mbuf.align buf enc.Encoding.len_prefix.Encoding.align;
-    Mbuf.put_i32 buf ~be n
+  let put_len_k lk n =
+    match enc.Encoding.var with
+    | Some vcc -> Codec.write_vlen vcc ~check:true lk buf n
+    | None ->
+        Mbuf.align buf enc.Encoding.len_prefix.Encoding.align;
+        Mbuf.put_i32 buf ~be n
+  in
+  let put_len n = put_len_k Encoding.Larr n in
+  let put_scalar kind v =
+    match enc.Encoding.var with
+    | Some vcc -> Codec.write_var vcc ~check:true kind buf v
+    | None -> Codec.write_stream buf ~be (Plan_compile.atom_of enc kind) v
   in
   let def = Mint.get mint idx in
   match (def, pres) with
@@ -28,7 +37,7 @@ let rec encode ~(enc : Encoding.t) ~mint ~named idx (pres : Pres.t) buf
       match Encoding.atom_of_mint def with
       | Some kind ->
           hdr ();
-          Codec.write_stream buf ~be (Plan_compile.atom_of enc kind) v
+          put_scalar kind v
       | None -> assert false)
   | Mint.Array { elem; min_len; max_len = _ }, _ -> (
       let pad_unit = enc.Encoding.pad_unit in
@@ -40,7 +49,7 @@ let rec encode ~(enc : Encoding.t) ~mint ~named idx (pres : Pres.t) buf
               let data =
                 String.length s + if enc.Encoding.string_nul then 1 else 0
               in
-              put_len data;
+              put_len_k Encoding.Lstr data;
               String.iter (fun c -> Mbuf.put_u8 buf (Char.code c)) s;
               for _ = 1 to round_up data pad_unit - String.length s do
                 Mbuf.put_u8 buf 0
@@ -64,7 +73,7 @@ let rec encode ~(enc : Encoding.t) ~mint ~named idx (pres : Pres.t) buf
               let len = Bytes.length b in
               if (not counted) && len <> min_len then
                 invalid_arg "Stub_interp: fixed array length mismatch";
-              if counted then put_len len;
+              if counted then put_len_k Encoding.Lbin len;
               Bytes.iter (fun c -> Mbuf.put_u8 buf (Char.code c)) b;
               for _ = 1 to round_up len pad_unit - len do
                 Mbuf.put_u8 buf 0
@@ -72,23 +81,19 @@ let rec encode ~(enc : Encoding.t) ~mint ~named idx (pres : Pres.t) buf
           | _, Value.Vint_array a ->
               hdr ();
               if counted then put_len (Array.length a);
-              let atom =
+              let kind =
                 match Encoding.atom_of_mint (Mint.get mint elem) with
-                | Some kind -> Plan_compile.atom_of enc kind
+                | Some kind -> kind
                 | None -> invalid_arg "Stub_interp: int array of aggregates"
               in
-              Array.iter
-                (fun x -> Codec.write_stream buf ~be atom (Value.Vint x))
-                a
+              Array.iter (fun x -> put_scalar kind (Value.Vint x)) a
           | _, Value.Varray a -> (
               hdr ();
               if counted then put_len (Array.length a);
               (* one descriptor covers the whole run: atomic elements do
                  not repeat it *)
               match Encoding.atom_of_mint (Mint.get mint elem) with
-              | Some kind ->
-                  let atom = Plan_compile.atom_of enc kind in
-                  Array.iter (fun e -> Codec.write_stream buf ~be atom e) a
+              | Some kind -> Array.iter (fun e -> put_scalar kind e) a
               | None ->
                   Array.iter (fun e -> encode ~enc ~mint ~named elem sub buf e) a)
           | _, _ -> invalid_arg "Stub_interp: expected an array")
@@ -109,16 +114,14 @@ let rec encode ~(enc : Encoding.t) ~mint ~named idx (pres : Pres.t) buf
       | Value.Vunion u -> (
           hdr ();
           (match Encoding.atom_of_mint (Mint.get mint discrim) with
-          | Some kind ->
-              Codec.write_stream buf ~be (Plan_compile.atom_of enc kind)
-                (Codec.const_to_value u.discrim)
+          | Some kind -> put_scalar kind (Codec.const_to_value u.discrim)
           | None -> (
               match u.discrim with
               | Mint.Cstring key ->
                   let data =
                     String.length key + if enc.Encoding.string_nul then 1 else 0
                   in
-                  put_len data;
+                  put_len_k Encoding.Lstr data;
                   String.iter (fun c -> Mbuf.put_u8 buf (Char.code c)) key;
                   for _ = 1 to round_up data enc.Encoding.pad_unit - String.length key do
                     Mbuf.put_u8 buf 0
@@ -145,25 +148,37 @@ let compile_encoder ~enc ~mint ~named roots : Stub_opt.encoder =
     List.iter
       (fun (root : Plan_compile.root) ->
         match root with
-        | Plan_compile.Rconst_int (value, kind) ->
-            if enc.Encoding.typed_headers then begin
-              Mbuf.align buf 4;
-              Mbuf.put_i32 buf ~be (Int64.to_int 0x4D544450L)
-            end;
-            Codec.write_stream buf ~be (Plan_compile.atom_of enc kind)
-              (Value.Vint (Int64.to_int value))
-        | Plan_compile.Rconst_str s ->
-            if enc.Encoding.typed_headers then begin
-              Mbuf.align buf 4;
-              Mbuf.put_i32 buf ~be (Int64.to_int 0x4D544450L)
-            end;
-            let data = String.length s + if enc.Encoding.string_nul then 1 else 0 in
-            Mbuf.align buf enc.Encoding.len_prefix.Encoding.align;
-            Mbuf.put_i32 buf ~be data;
-            String.iter (fun c -> Mbuf.put_u8 buf (Char.code c)) s;
-            for _ = 1 to round_up data enc.Encoding.pad_unit - String.length s do
-              Mbuf.put_u8 buf 0
-            done
+        | Plan_compile.Rconst_int (value, kind) -> (
+            match enc.Encoding.var with
+            | Some vcc ->
+                Codec.write_var vcc ~check:true kind buf (Value.Vint64 value)
+            | None ->
+                if enc.Encoding.typed_headers then begin
+                  Mbuf.align buf 4;
+                  Mbuf.put_i32 buf ~be (Int64.to_int 0x4D544450L)
+                end;
+                Codec.write_stream buf ~be (Plan_compile.atom_of enc kind)
+                  (Value.Vint (Int64.to_int value)))
+        | Plan_compile.Rconst_str s -> (
+            match enc.Encoding.var with
+            | Some vcc ->
+                Codec.write_vlen vcc ~check:true Encoding.Lstr buf
+                  (String.length s);
+                String.iter (fun c -> Mbuf.put_u8 buf (Char.code c)) s
+            | None ->
+                if enc.Encoding.typed_headers then begin
+                  Mbuf.align buf 4;
+                  Mbuf.put_i32 buf ~be (Int64.to_int 0x4D544450L)
+                end;
+                let data =
+                  String.length s + if enc.Encoding.string_nul then 1 else 0
+                in
+                Mbuf.align buf enc.Encoding.len_prefix.Encoding.align;
+                Mbuf.put_i32 buf ~be data;
+                String.iter (fun c -> Mbuf.put_u8 buf (Char.code c)) s;
+                for _ = 1 to round_up data enc.Encoding.pad_unit - String.length s do
+                  Mbuf.put_u8 buf 0
+                done)
         | Plan_compile.Rvalue (rv, idx, pres) -> (
             match rv with
             | Mplan.Rparam { index; _ } ->

@@ -26,6 +26,7 @@ let array_length (v : Value.t) =
 let compile_value_encoder cfg (enc : Encoding.t) mint named :
     Mint.idx -> Pres.t -> Mbuf.t -> Value.t -> unit =
   let be = enc.Encoding.big_endian in
+  let vc = enc.Encoding.var in
   let atom_of kind = Plan_compile.atom_of enc kind in
   let len_align = enc.Encoding.len_prefix.Encoding.align in
   let hdr buf =
@@ -34,9 +35,22 @@ let compile_value_encoder cfg (enc : Encoding.t) mint named :
       Mbuf.put_i32 buf ~be (Int64.to_int 0x4D544450L)
     end
   in
-  let put_len buf n =
-    Mbuf.align buf len_align;
-    Mbuf.put_i32 buf ~be n
+  (* counts carry their container kind under a value-dependent encoding
+     (string/bytes/array heads differ); fixed encodings ignore it *)
+  let put_len_k lk buf n =
+    match vc with
+    | Some vcc -> Codec.write_vlen vcc ~check:true lk buf n
+    | None ->
+        Mbuf.align buf len_align;
+        Mbuf.put_i32 buf ~be n
+  in
+  let put_len = put_len_k Encoding.Larr in
+  let put_scalar kind : Mbuf.t -> Value.t -> unit =
+    match vc with
+    | Some vcc -> fun buf v -> Codec.write_var vcc ~check:true kind buf v
+    | None ->
+        let atom = atom_of kind in
+        fun buf v -> Codec.write_stream buf ~be atom v
   in
   let put_pad buf n =
     (* traditional stubs emit pad bytes one at a time too *)
@@ -81,10 +95,10 @@ let compile_value_encoder cfg (enc : Encoding.t) mint named :
     | (Mint.Bool | Mint.Char8 | Mint.Int _ | Mint.Float _), _ -> (
         match Encoding.atom_of_mint def with
         | Some kind ->
-            let atom = atom_of kind in
+            let put = put_scalar kind in
             fun buf v ->
               hdr buf;
-              Codec.write_stream buf ~be atom v
+              put buf v
         | None -> assert false)
     | Mint.Array { elem; min_len; max_len }, _ ->
         enc_array ~elem ~min_len ~max_len pres
@@ -122,8 +136,7 @@ let compile_value_encoder cfg (enc : Encoding.t) mint named :
               hdr buf;
               (match datom with
               | Some kind ->
-                  let atom = atom_of kind in
-                  Codec.write_stream buf ~be atom (Codec.const_to_value u.discrim)
+                  put_scalar kind buf (Codec.const_to_value u.discrim)
               | None -> (
                   match u.discrim with
                   | Mint.Cstring key ->
@@ -135,7 +148,7 @@ let compile_value_encoder cfg (enc : Encoding.t) mint named :
                         (data + enc.Encoding.pad_unit - 1)
                         / enc.Encoding.pad_unit * enc.Encoding.pad_unit
                       in
-                      put_len buf data;
+                      put_len_k Encoding.Lstr buf data;
                       put_string_body buf key data;
                       put_pad buf (padded - data)
                   | Mint.Cint _ | Mint.Cbool _ | Mint.Cchar _ ->
@@ -161,7 +174,7 @@ let compile_value_encoder cfg (enc : Encoding.t) mint named :
           hdr buf;
           let data = String.length s + if enc.Encoding.string_nul then 1 else 0 in
           let padded = (data + pad_unit - 1) / pad_unit * pad_unit in
-          put_len buf data;
+          put_len_k Encoding.Lstr buf data;
           put_string_body buf s data;
           put_pad buf (padded - data)
     | Pres.Opt_ptr sub ->
@@ -200,7 +213,7 @@ let compile_value_encoder cfg (enc : Encoding.t) mint named :
                 Mbuf.advance buf padded
               end
         | Mint.Int { bits; _ }
-          when bits = 32 && not cfg.per_elem_arrays ->
+          when bits = 32 && not cfg.per_elem_arrays && enc.Encoding.var = None ->
             (* ablation: the single-reservation tight loop of section 3.1 *)
             let atom = atom_of (Encoding.Kint { bits; signed = true }) in
             tight_int_loop atom ~with_len:false
@@ -220,7 +233,7 @@ let compile_value_encoder cfg (enc : Encoding.t) mint named :
               in
               let len = Bytes.length b in
               let padded = (len + pad_unit - 1) / pad_unit * pad_unit in
-              put_len buf len;
+              put_len_k Encoding.Lbin buf len;
               if cfg.per_char_strings then begin
                 for i = 0 to len - 1 do
                   Mbuf.put_u8 buf (Char.code (Bytes.unsafe_get b i))
@@ -234,7 +247,7 @@ let compile_value_encoder cfg (enc : Encoding.t) mint named :
                 Mbuf.advance buf padded
               end
         | Mint.Int { bits; _ }
-          when bits = 32 && not cfg.per_elem_arrays ->
+          when bits = 32 && not cfg.per_elem_arrays && enc.Encoding.var = None ->
             let atom = atom_of (Encoding.Kint { bits; signed = true }) in
             tight_int_loop atom ~with_len:true
         | _ ->
@@ -250,9 +263,7 @@ let compile_value_encoder cfg (enc : Encoding.t) mint named :
      descriptor covers the whole run *)
   and elem_encoder elem sub =
     match Encoding.atom_of_mint (Mint.get mint elem) with
-    | Some kind ->
-        let atom = atom_of kind in
-        fun buf v -> Codec.write_stream buf ~be atom v
+    | Some kind -> put_scalar kind
     | None -> enc_val elem sub
   and tight_int_loop atom ~with_len buf v =
     match v with
@@ -302,12 +313,19 @@ let compile_encoder ?(config = default_config) ~enc ~mint ~named roots :
     List.map
       (fun (root : Plan_compile.root) ->
         match root with
-        | Plan_compile.Rconst_int (value, kind) ->
-            let atom = atom_of kind in
-            `Const
-              (fun buf ->
-                hdr buf;
-                Codec.write_stream buf ~be atom (Value.Vint (Int64.to_int value)))
+        | Plan_compile.Rconst_int (value, kind) -> (
+            match enc.Encoding.var with
+            | Some vcc ->
+                `Const
+                  (fun buf ->
+                    Codec.write_var vcc ~check:true kind buf (Value.Vint64 value))
+            | None ->
+                let atom = atom_of kind in
+                `Const
+                  (fun buf ->
+                    hdr buf;
+                    Codec.write_stream buf ~be atom
+                      (Value.Vint (Int64.to_int value))))
         | Plan_compile.Rconst_str s ->
             let data = String.length s + if enc.Encoding.string_nul then 1 else 0 in
             let padded =
@@ -315,14 +333,21 @@ let compile_encoder ?(config = default_config) ~enc ~mint ~named roots :
               / enc.Encoding.pad_unit * enc.Encoding.pad_unit
             in
             `Const
-              (fun buf ->
-                hdr buf;
-                Mbuf.align buf enc.Encoding.len_prefix.Encoding.align;
-                Mbuf.put_i32 buf ~be data;
-                String.iter (fun c -> Mbuf.put_u8 buf (Char.code c)) s;
-                for _ = 1 to padded - String.length s do
-                  Mbuf.put_u8 buf 0
-                done)
+              (match enc.Encoding.var with
+              | Some vcc ->
+                  fun buf ->
+                    Codec.write_vlen vcc ~check:true Encoding.Lstr buf
+                      (String.length s);
+                    String.iter (fun c -> Mbuf.put_u8 buf (Char.code c)) s
+              | None ->
+                  fun buf ->
+                    hdr buf;
+                    Mbuf.align buf enc.Encoding.len_prefix.Encoding.align;
+                    Mbuf.put_i32 buf ~be data;
+                    String.iter (fun c -> Mbuf.put_u8 buf (Char.code c)) s;
+                    for _ = 1 to padded - String.length s do
+                      Mbuf.put_u8 buf 0
+                    done)
         | Plan_compile.Rvalue (rv, idx, pres) ->
             let index =
               match rv with
@@ -357,8 +382,20 @@ let compile_value_decoder cfg (enc : Encoding.t) mint named :
   in
   (* length/bounds/padding come from the shared Codec helpers, the same
      ones the optimized engine runs — one definition of the wire rules *)
-  let read_len r =
-    Codec.read_len r ~be ~align:enc.Encoding.len_prefix.Encoding.align
+  let vc = enc.Encoding.var in
+  let read_len_k lk r =
+    match vc with
+    | Some vcc -> Codec.read_vlen vcc lk r
+    | None ->
+        Codec.read_len r ~be ~align:enc.Encoding.len_prefix.Encoding.align
+  in
+  let read_len = read_len_k Encoding.Larr in
+  let read_scalar kind : Mbuf.reader -> Value.t =
+    match vc with
+    | Some vcc -> fun r -> Codec.read_var vcc kind r
+    | None ->
+        let atom = atom_of kind in
+        fun r -> Codec.read_stream r ~be atom
   in
   let read_string_body r data_len =
     if cfg.per_char_strings then begin
@@ -393,10 +430,10 @@ let compile_value_decoder cfg (enc : Encoding.t) mint named :
     | (Mint.Bool | Mint.Char8 | Mint.Int _ | Mint.Float _), _ -> (
         match Encoding.atom_of_mint def with
         | Some kind ->
-            let atom = atom_of kind in
+            let get = read_scalar kind in
             fun r ->
               hdr r;
-              Codec.read_stream r ~be atom
+              get r
         | None -> assert false)
     | Mint.Array { elem; min_len; max_len }, _ ->
         dec_array ~elem ~min_len ~max_len pres
@@ -434,14 +471,13 @@ let compile_value_decoder cfg (enc : Encoding.t) mint named :
           let const : Mint.const =
             match datom with
             | Some kind -> (
-                let atom = atom_of kind in
-                match Codec.read_stream r ~be atom with
+                match read_scalar kind r with
                 | Value.Vint n -> Mint.Cint (Int64.of_int n)
                 | Value.Vbool b -> Mint.Cbool b
                 | Value.Vchar c -> Mint.Cchar c
                 | _ -> raise (Codec.Decode_error "bad discriminator"))
             | None ->
-                let wire_len = read_len r in
+                let wire_len = read_len_k Encoding.Lstr r in
                 let data_len =
                   if enc.Encoding.string_nul then wire_len - 1 else wire_len
                 in
@@ -476,7 +512,7 @@ let compile_value_decoder cfg (enc : Encoding.t) mint named :
     | Pres.Terminated_string | Pres.Terminated_string_len _ ->
         fun r ->
           hdr r;
-          let wire_len = read_len r in
+          let wire_len = read_len_k Encoding.Lstr r in
           let data_len =
             if enc.Encoding.string_nul then wire_len - 1 else wire_len
           in
@@ -522,7 +558,7 @@ let compile_value_decoder cfg (enc : Encoding.t) mint named :
         | Mint.Char8 | Mint.Int { bits = 8; _ } ->
             fun r ->
               hdr r;
-              let n = read_len r in
+              let n = read_len_k Encoding.Lbin r in
               check_max "sequence" n max_len;
               let b = read_string_body r n in
               skip_pad r n;
@@ -545,9 +581,7 @@ let compile_value_decoder cfg (enc : Encoding.t) mint named :
   and elem_decoder elem sub =
     (* array elements carry no Mach descriptor of their own *)
     match Encoding.atom_of_mint (Mint.get mint elem) with
-    | Some kind ->
-        let atom = atom_of kind in
-        fun r -> Codec.read_stream r ~be atom
+    | Some kind -> read_scalar kind
     | None -> dec elem sub
   and decode_elements d r n as_int_array =
     if as_int_array then begin
@@ -583,13 +617,35 @@ let compile_decoder ?(config = default_config) ~enc ~mint ~named droots :
       (fun (droot : Stub_opt.droot) ->
         match droot with
         | Stub_opt.Dconst_int (expect, kind) ->
-            let atom = atom_of kind in
+            let get =
+              match enc.Encoding.var with
+              | Some vcc -> fun r -> Codec.read_var vcc kind r
+              | None ->
+                  let atom = atom_of kind in
+                  fun r -> Codec.read_stream r ~be atom
+            in
             `Skip
               (fun r ->
                 hdr r;
-                let got = Codec.as_int64 (Codec.read_stream r ~be atom) in
+                let got =
+                  match get r with
+                  | Value.Vint n -> Int64.of_int n
+                  | Value.Vint64 n -> n
+                  | Value.Vbool b -> if b then 1L else 0L
+                  | Value.Vchar c -> Int64.of_int (Char.code c)
+                  | _ -> raise (Codec.Decode_error "bad constant")
+                in
                 if got <> expect then
                   raise (Codec.Decode_error "constant mismatch"))
+        | Stub_opt.Dconst_str expect when enc.Encoding.var <> None ->
+            let vcc = Option.get enc.Encoding.var in
+            `Skip
+              (fun r ->
+                hdr r;
+                let n = Codec.read_vlen vcc Encoding.Lstr r in
+                let key = Mbuf.read_string r n in
+                if key <> expect then
+                  raise (Codec.Decode_error "operation key mismatch"))
         | Stub_opt.Dconst_str expect ->
             `Skip
               (fun r ->

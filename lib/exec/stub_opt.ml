@@ -79,7 +79,7 @@ let max_var ops =
         | Mplan.Align _ | Mplan.Chunk _ | Mplan.Ensure_count _
         | Mplan.Put_const_str _ | Mplan.Put_string _ | Mplan.Put_byteseq _
         | Mplan.Put_atom_array _ | Mplan.Put_blit _ | Mplan.Put_len _
-        | Mplan.Call _ ->
+        | Mplan.Put_varhead _ | Mplan.Call _ ->
             ())
       ops
   in
@@ -192,6 +192,19 @@ let compile_item ~be (it : Mplan.item) : Mbuf.t -> env -> unit =
 
 let compile_ops ~(enc : Encoding.t) ~subs ops : (Mbuf.t -> env -> unit) list =
   let be = enc.Encoding.big_endian in
+  let vc = enc.Encoding.var in
+  (* emit a precomputed wire image; with [check:false] the bytes ride a
+     covering reservation, exactly like an unchecked chunk *)
+  let put_image ~check img =
+    let n = String.length img in
+    if check then fun buf (_ : env) ->
+      Mbuf.ensure buf n;
+      Mbuf.set_string buf 0 img 0 n;
+      Mbuf.advance buf n
+    else fun buf (_ : env) ->
+      Mbuf.set_string buf 0 img 0 n;
+      Mbuf.advance buf n
+  in
   let rec compile_op (op : Mplan.op) : Mbuf.t -> env -> unit =
     match op with
     | Mplan.Align n -> fun buf _ -> Mbuf.align buf n
@@ -225,12 +238,33 @@ let compile_ops ~(enc : Encoding.t) ~subs ops : (Mbuf.t -> env -> unit) list =
     | Mplan.Ensure_count { arr; unit_size; via = _ } ->
         let a = compile_rv arr in
         fun buf env -> Mbuf.ensure buf (value_len (a env) * unit_size)
+    | Mplan.Put_const_str { s; nul = _; pad = _ } when vc <> None ->
+        let vcc = Option.get vc in
+        put_image ~check:true
+          (vcc.Encoding.v_len_image Encoding.Lstr (String.length s) ^ s)
     | Mplan.Put_const_str { s; nul; pad } ->
         let image = const_str_image ~be s nul pad in
         let n = Bytes.length image in
         fun buf _ ->
           Mbuf.ensure buf n;
           Mbuf.set_bytes buf 0 image 0 n;
+          Mbuf.advance buf n
+    | Mplan.Put_string { src; _ } when vc <> None ->
+        let vcc = Option.get vc in
+        let a = compile_rv src in
+        (* value-dependent header, then the unpadded payload; the header
+           emit carries its own worst-case check *)
+        fun buf env ->
+          let s =
+            match a env with
+            | Value.Vstring s -> s
+            | Value.Vstring_view v -> Value.string_of_view v
+            | _ -> invalid_arg "Stub_opt: Put_string over a non-string"
+          in
+          let n = String.length s in
+          Codec.write_vlen vcc ~check:true Encoding.Lstr buf n;
+          Mbuf.ensure buf n;
+          Mbuf.set_string buf 0 s 0 n;
           Mbuf.advance buf n
     | Mplan.Put_string { src; nul; pad; len_src = _; borrow } ->
         let a = compile_rv src in
@@ -275,6 +309,21 @@ let compile_ops ~(enc : Encoding.t) ~subs ops : (Mbuf.t -> env -> unit) list =
             Mbuf.fill_zero buf (4 + slen) (padded - slen);
             Mbuf.advance buf (4 + padded)
           end
+    | Mplan.Put_byteseq { arr; _ } when vc <> None ->
+        let vcc = Option.get vc in
+        let a = compile_rv arr in
+        fun buf env ->
+          let b, boff, blen =
+            match a env with
+            | Value.Vbytes b -> (b, 0, Bytes.length b)
+            | Value.Vbytes_view v ->
+                (v.Value.v_base, v.Value.v_off, v.Value.v_len)
+            | _ -> invalid_arg "Stub_opt: Put_byteseq over non-bytes"
+          in
+          Codec.write_vlen vcc ~check:true Encoding.Lbin buf blen;
+          Mbuf.ensure buf blen;
+          Mbuf.set_bytes buf 0 b boff blen;
+          Mbuf.advance buf blen
     | Mplan.Put_byteseq { arr; pad; via = _; borrow } ->
         let a = compile_rv arr in
         let thresh =
@@ -311,6 +360,30 @@ let compile_ops ~(enc : Encoding.t) ~subs ops : (Mbuf.t -> env -> unit) list =
             Mbuf.fill_zero buf (4 + blen) (padded - blen);
             Mbuf.advance buf (4 + padded)
           end
+    | Mplan.Put_atom_array { arr; atom; with_len; via = _ } when vc <> None ->
+        let vcc = Option.get vc in
+        let a = compile_rv arr in
+        let kind = atom.Mplan.kind in
+        (* one worst-case reservation for the whole run, then unchecked
+           minimal-width emits per element *)
+        let worst =
+          match vcc.Encoding.v_size kind with
+          | Encoding.Var { worst } -> worst
+          | Encoding.Fixed n -> n
+        in
+        fun buf env ->
+          let v = a env in
+          let n = value_len v in
+          if with_len then Codec.write_vlen vcc ~check:true Encoding.Larr buf n;
+          Mbuf.ensure buf (n * worst);
+          let write_elem (e : Value.t) =
+            Codec.write_var vcc ~check:false kind buf e
+          in
+          (match v with
+          | Value.Vint_array elems ->
+              Array.iter (fun x -> write_elem (Value.Vint x)) elems
+          | Value.Varray elems -> Array.iter write_elem elems
+          | _ -> invalid_arg "Stub_opt: atom array over non-array")
     | Mplan.Put_atom_array { arr; atom; with_len; via = _ } ->
         (* never borrowed: the copy doubles as the byte-order transform *)
         compile_atom_array arr atom with_len
@@ -353,6 +426,12 @@ let compile_ops ~(enc : Encoding.t) ~subs ops : (Mbuf.t -> env -> unit) list =
             Mbuf.fill_zero buf 0 pad;
             Mbuf.advance buf pad
           end
+    | Mplan.Put_len { arr; via = _ } when vc <> None ->
+        let vcc = Option.get vc in
+        let a = compile_rv arr in
+        fun buf env ->
+          Codec.write_vlen vcc ~check:true Encoding.Larr buf
+            (value_len (a env))
     | Mplan.Put_len { arr; via = _ } ->
         let a = compile_rv arr in
         fun buf env ->
@@ -361,6 +440,21 @@ let compile_ops ~(enc : Encoding.t) ~subs ops : (Mbuf.t -> env -> unit) list =
           let n = value_len (a env) in
           (if be then Mbuf.set_i32_be buf 0 n else Mbuf.set_i32_le buf 0 n);
           Mbuf.advance buf 4
+    | Mplan.Put_varhead { vh_kind; vh_check; vh_src; vh_image; vh_worst = _ }
+      -> (
+        let vcc =
+          match vc with
+          | Some v -> v
+          | None -> invalid_arg "Stub_opt: Put_varhead under a fixed encoding"
+        in
+        match (vh_image, vh_src) with
+        | Some img, _ -> put_image ~check:vh_check img
+        | None, Mplan.Vh_const v ->
+            put_image ~check:vh_check (vcc.Encoding.v_const_image vh_kind v)
+        | None, Mplan.Vh_value rv ->
+            let a = compile_rv rv in
+            fun buf env ->
+              Codec.write_var vcc ~check:vh_check vh_kind buf (a env))
     | Mplan.Loop { arr; var; body; via = _ }
       when fused_loop_body ~var body <> None -> (
         (* the shape inlined C compiles a struct-array loop into: one
@@ -926,12 +1020,55 @@ let compile_value_decoder ~(enc : Encoding.t) ~mint
     ~(named : (string * (Mint.idx * Pres.t)) list) root_idx root_pres :
     Mbuf.reader -> Value.t =
   let be = enc.Encoding.big_endian in
+  let vc = enc.Encoding.var in
   let atom_of kind = Plan_compile.atom_of enc kind in
   let hdr =
     if enc.Encoding.typed_headers then fun r ->
       Mbuf.ralign r 4;
       Mbuf.skip r 4
     else fun _ -> ()
+  in
+  (* the var-aware primitives, shared with the plan-driven decoder so
+     this closure-tree baseline accepts exactly the same inputs *)
+  let read_scalar kind : Mbuf.reader -> Value.t =
+    match vc with
+    | Some vcc -> fun r -> Codec.read_var vcc kind r
+    | None ->
+        let atom = atom_of kind in
+        fun r -> Codec.read_stream r ~be atom
+  in
+  let get_arr_len =
+    match vc with
+    | Some vcc -> fun r -> Codec.read_vlen vcc Encoding.Larr r
+    | None -> fun r -> Codec.read_len r ~be ~align:4
+  in
+  let read_opt =
+    match vc with
+    | Some vcc ->
+        fun r ->
+          let at = Mbuf.rpos r in
+          (Codec.read_vlen vcc Encoding.Larr r, at)
+    | None ->
+        fun r ->
+          Mbuf.ralign r 4;
+          let at = Mbuf.rpos r in
+          (Codec.read_len r ~be ~align:4, at)
+  in
+  let read_key =
+    match vc with
+    | Some vcc ->
+        fun r -> Mbuf.read_string r (Codec.read_vlen vcc Encoding.Lstr r)
+    | None ->
+        let nul = enc.Encoding.string_nul in
+        let pad_unit = enc.Encoding.pad_unit in
+        fun r ->
+          let wire_len = Codec.read_len r ~be ~align:4 in
+          let data_len = if nul then wire_len - 1 else wire_len in
+          if data_len < 0 then raise (Codec.Decode_error "bad key length");
+          let key = Mbuf.read_string r data_len in
+          if nul then Mbuf.skip r 1;
+          Codec.skip_pad r ~pad_unit wire_len;
+          key
   in
   let subs : (string, (Mbuf.reader -> Value.t) ref) Hashtbl.t = Hashtbl.create 4 in
   let rec dec idx (pres : Pres.t) : Mbuf.reader -> Value.t =
@@ -953,10 +1090,10 @@ let compile_value_decoder ~(enc : Encoding.t) ~mint
     | (Mint.Bool | Mint.Char8 | Mint.Int _ | Mint.Float _), _ -> (
         match Encoding.atom_of_mint def with
         | Some kind ->
-            let atom = atom_of kind in
+            let get = read_scalar kind in
             fun r ->
               hdr r;
-              Codec.read_stream r ~be atom
+              get r
         | None -> assert false)
     | Mint.Array { elem; min_len; max_len }, _ ->
         dec_array ~elem ~min_len ~max_len pres
@@ -981,6 +1118,14 @@ let compile_value_decoder ~(enc : Encoding.t) ~mint
     let pad_unit = enc.Encoding.pad_unit in
     let skip_pad r n = Codec.skip_pad r ~pad_unit n in
     match pres with
+    | (Pres.Terminated_string | Pres.Terminated_string_len _)
+      when vc <> None ->
+        let vcc = Option.get vc in
+        fun r ->
+          hdr r;
+          let n = Codec.read_vlen vcc Encoding.Lstr r in
+          Codec.check_bounds ~what:"string" n ~min_len:0 ~max_len;
+          Value.Vstring (Mbuf.read_string r n)
     | Pres.Terminated_string | Pres.Terminated_string_len _ ->
         let nul = enc.Encoding.string_nul in
         fun r ->
@@ -1015,6 +1160,13 @@ let compile_value_decoder ~(enc : Encoding.t) ~mint
                   Value.Varray out))
     | Pres.Counted_seq { elem = sub; _ } -> (
         match Mint.get mint elem with
+        | (Mint.Char8 | Mint.Int { bits = 8; _ }) when vc <> None ->
+            let vcc = Option.get vc in
+            fun r ->
+              hdr r;
+              let n = Codec.read_vlen vcc Encoding.Lbin r in
+              Codec.check_bounds ~what:"sequence" n ~min_len ~max_len;
+              Value.Vbytes (Mbuf.read_bytes r n)
         | Mint.Char8 | Mint.Int { bits = 8; _ } ->
             fun r ->
               hdr r;
@@ -1030,7 +1182,7 @@ let compile_value_decoder ~(enc : Encoding.t) ~mint
                 let d = dec elem sub in
                 fun r ->
                   hdr r;
-                  let n = Codec.read_len r ~be ~align:4 in
+                  let n = get_arr_len r in
                   Codec.check_bounds ~what:"sequence" n ~min_len ~max_len;
                   let out = Array.make n Value.Vvoid in
                   for i = 0 to n - 1 do
@@ -1041,9 +1193,7 @@ let compile_value_decoder ~(enc : Encoding.t) ~mint
         let d = dec elem sub in
         fun r ->
           hdr r;
-          Mbuf.ralign r 4;
-          let at = Mbuf.rpos r in
-          let n = Codec.read_len r ~be ~align:4 in
+          let n, at = read_opt r in
           (match n with
           | 0 -> Value.Vopt None
           | 1 -> Value.Vopt (Some (d r))
@@ -1055,6 +1205,28 @@ let compile_value_decoder ~(enc : Encoding.t) ~mint
     | Pres.Void | Pres.Ref _ ->
         invalid_arg "Stub_opt: array PRES mismatch"
   and dec_scalar_array ~fixed ~max_len kind =
+    match vc with
+    | Some vcc ->
+        fun r ->
+          hdr r;
+          let n =
+            match fixed with
+            | Some n -> n
+            | None ->
+                let n = Codec.read_vlen vcc Encoding.Larr r in
+                Codec.check_bounds ~what:"array" n ~min_len:0 ~max_len;
+                n
+          in
+          let out = Array.make n Value.Vvoid in
+          for i = 0 to n - 1 do
+            out.(i) <- Codec.read_var vcc kind r
+          done;
+          (match kind with
+          | Encoding.Kint { bits; _ } when bits <= 32 ->
+              Value.Vint_array (Array.map Codec.as_int out)
+          | _ -> Value.Varray out)
+    | None -> dec_fixed_scalar_array ~fixed ~max_len kind
+  and dec_fixed_scalar_array ~fixed ~max_len kind =
     let atom = atom_of kind in
     let size = atom.Mplan.size in
     match (kind, size) with
@@ -1130,10 +1302,10 @@ let compile_value_decoder ~(enc : Encoding.t) ~mint
     List.iter (fun (c, i, d) -> Hashtbl.replace table c (i, d)) arm_decs;
     match datom with
     | Some kind ->
-        let atom = atom_of kind in
+        let get_d = read_scalar kind in
         fun r ->
           hdr r;
-          let v = Codec.read_stream r ~be atom in
+          let v = get_d r in
           let const : Mint.const =
             match v with
             | Value.Vint n -> Mint.Cint (Int64.of_int n)
@@ -1155,17 +1327,9 @@ let compile_value_decoder ~(enc : Encoding.t) ~mint
                           const))))
     | None ->
         (* string-keyed operation union *)
-        let nul = enc.Encoding.string_nul in
-        let pad_unit = enc.Encoding.pad_unit in
         fun r ->
           hdr r;
-          let wire_len = Codec.read_len r ~be ~align:4 in
-          let data_len = if nul then wire_len - 1 else wire_len in
-          if data_len < 0 then raise (Codec.Decode_error "bad key length");
-          let key = Mbuf.read_string r data_len in
-          if nul then Mbuf.skip r 1;
-          let padded = (wire_len + pad_unit - 1) / pad_unit * pad_unit in
-          if padded > wire_len then Mbuf.skip r (padded - wire_len);
+          let key = read_key r in
           let const = Mint.Cstring key in
           (match Hashtbl.find_opt table const with
           | Some (case, d) ->
@@ -1177,6 +1341,7 @@ let compile_value_decoder ~(enc : Encoding.t) ~mint
 
 let build_decoder ~enc ~mint ~named droots : decoder =
   let be = enc.Encoding.big_endian in
+  let vc = enc.Encoding.var in
   let hdr =
     if enc.Encoding.typed_headers then fun r ->
       Mbuf.ralign r 4;
@@ -1188,11 +1353,17 @@ let build_decoder ~enc ~mint ~named droots : decoder =
       (fun droot ->
         match droot with
         | Dconst_int (expect, kind) ->
-            let atom = Plan_compile.atom_of enc kind in
+            let get =
+              match vc with
+              | Some vcc -> fun r -> Codec.read_var vcc kind r
+              | None ->
+                  let atom = Plan_compile.atom_of enc kind in
+                  fun r -> Codec.read_stream r ~be atom
+            in
             `Skip
               (fun r ->
                 hdr r;
-                let v = Codec.read_stream r ~be atom in
+                let v = get r in
                 let got =
                   match v with
                   | Value.Vint n -> Int64.of_int n
@@ -1209,16 +1380,29 @@ let build_decoder ~enc ~mint ~named droots : decoder =
         | Dconst_str expect ->
             let nul = enc.Encoding.string_nul in
             let pad_unit = enc.Encoding.pad_unit in
+            let read_key =
+              match vc with
+              | Some vcc ->
+                  fun r ->
+                    Mbuf.read_string r (Codec.read_vlen vcc Encoding.Lstr r)
+              | None ->
+                  fun r ->
+                    let wire_len = Codec.read_len r ~be ~align:4 in
+                    let data_len = if nul then wire_len - 1 else wire_len in
+                    if data_len < 0 then
+                      raise (Codec.Decode_error "bad key length");
+                    let key = Mbuf.read_string r data_len in
+                    if nul then Mbuf.skip r 1;
+                    let padded =
+                      (wire_len + pad_unit - 1) / pad_unit * pad_unit
+                    in
+                    if padded > wire_len then Mbuf.skip r (padded - wire_len);
+                    key
+            in
             `Skip
               (fun r ->
                 hdr r;
-                let wire_len = Codec.read_len r ~be ~align:4 in
-                let data_len = if nul then wire_len - 1 else wire_len in
-                if data_len < 0 then raise (Codec.Decode_error "bad key length");
-                let key = Mbuf.read_string r data_len in
-                if nul then Mbuf.skip r 1;
-                let padded = (wire_len + pad_unit - 1) / pad_unit * pad_unit in
-                if padded > wire_len then Mbuf.skip r (padded - wire_len);
+                let key = read_key r in
                 if key <> expect then
                   raise
                     (Codec.Decode_error
@@ -1286,11 +1470,16 @@ type dcompiler = {
   c_frame : Dplan.frame -> dframe_exec;
   c_count : Dplan.dcount -> Mbuf.reader -> int;
   c_key : Mbuf.reader -> string;
+  c_opt : Mbuf.reader -> int * int;
+      (* optional-count read: (count, byte position for diagnostics) *)
+  c_discrim : Mplan.atom -> Mbuf.reader -> Value.t;
+      (* union discriminator read, value-dependent under var codecs *)
 }
 
 let dcompiler ~(enc : Encoding.t) ~(subs : (string, dframe_exec ref) Hashtbl.t)
     : dcompiler =
   let be = enc.Encoding.big_endian in
+  let vc = enc.Encoding.var in
   let nul = enc.Encoding.string_nul in
   let pad_unit = enc.Encoding.pad_unit in
   (* a view is handed out only when the payload clears the borrow
@@ -1334,23 +1523,55 @@ let dcompiler ~(enc : Encoding.t) ~(subs : (string, dframe_exec ref) Hashtbl.t)
               (Codec.Decode_error
                  (Printf.sprintf "expected constant %Ld, found %Ld" expect got))
   in
-  let read_count (count : Dplan.dcount) : Mbuf.reader -> int =
+  let read_count_lk lk (count : Dplan.dcount) : Mbuf.reader -> int =
     match count with
     | Dplan.Dc_fixed n -> fun _ -> n
-    | Dplan.Dc_len { min_len; max_len; what } ->
-        fun r ->
-          let n = Codec.read_len r ~be ~align:4 in
-          Codec.check_bounds ~what n ~min_len ~max_len;
-          n
+    | Dplan.Dc_len { min_len; max_len; what } -> (
+        match vc with
+        | Some vcc ->
+            fun r ->
+              let n = Codec.read_vlen vcc lk r in
+              Codec.check_bounds ~what n ~min_len ~max_len;
+              n
+        | None ->
+            fun r ->
+              let n = Codec.read_len r ~be ~align:4 in
+              Codec.check_bounds ~what n ~min_len ~max_len;
+              n)
   in
-  let read_key r =
-    let wire_len = Codec.read_len r ~be ~align:4 in
-    let data_len = if nul then wire_len - 1 else wire_len in
-    if data_len < 0 then raise (Codec.Decode_error "bad key length");
-    let key = Mbuf.read_string r data_len in
-    if nul then Mbuf.skip r 1;
-    Codec.skip_pad r ~pad_unit wire_len;
-    key
+  let read_count = read_count_lk Encoding.Larr in
+  let read_key =
+    match vc with
+    | Some vcc ->
+        fun r ->
+          let n = Codec.read_vlen vcc Encoding.Lstr r in
+          Mbuf.read_string r n
+    | None ->
+        fun r ->
+          let wire_len = Codec.read_len r ~be ~align:4 in
+          let data_len = if nul then wire_len - 1 else wire_len in
+          if data_len < 0 then raise (Codec.Decode_error "bad key length");
+          let key = Mbuf.read_string r data_len in
+          if nul then Mbuf.skip r 1;
+          Codec.skip_pad r ~pad_unit wire_len;
+          key
+  in
+  let read_opt =
+    match vc with
+    | Some vcc ->
+        fun r ->
+          let at = Mbuf.rpos r in
+          (Codec.read_vlen vcc Encoding.Larr r, at)
+    | None ->
+        fun r ->
+          Mbuf.ralign r 4;
+          let at = Mbuf.rpos r in
+          (Codec.read_len r ~be ~align:4, at)
+  in
+  let read_discrim (atom : Mplan.atom) : Mbuf.reader -> Value.t =
+    match vc with
+    | Some vcc -> fun r -> Codec.read_var vcc atom.Mplan.kind r
+    | None -> fun r -> Codec.read_stream r ~be atom
   in
   let rec compile_op (op : Dplan.dop) : Mbuf.reader -> Value.t array -> unit =
     match op with
@@ -1383,6 +1604,23 @@ let dcompiler ~(enc : Encoding.t) ~(subs : (string, dframe_exec ref) Hashtbl.t)
                 (Array.unsafe_get readers k) r slots
               done;
               Mbuf.skip r size)
+    | Dplan.D_get_string { max_len; slot; view } when vc <> None ->
+        let vcc = Option.get vc in
+        let vthresh = view_threshold view in
+        fun r slots ->
+          let n = Codec.read_vlen vcc Encoding.Lstr r in
+          Codec.check_bounds ~what:"string" n ~min_len:0 ~max_len;
+          let v =
+            if n >= vthresh then
+              match Mbuf.view_bytes r n with
+              | Some (base, off, len) ->
+                  Mbuf.pin_reader r;
+                  Value.Vstring_view
+                    { Value.v_base = base; v_off = off; v_len = len }
+              | None -> Value.Vstring (Mbuf.read_string r n)
+            else Value.Vstring (Mbuf.read_string r n)
+          in
+          slots.(slot) <- v
     | Dplan.D_get_string { max_len; slot; view } ->
         let vthresh = view_threshold view in
         fun r slots ->
@@ -1411,7 +1649,7 @@ let dcompiler ~(enc : Encoding.t) ~(subs : (string, dframe_exec ref) Hashtbl.t)
               (Codec.Decode_error
                  (Printf.sprintf "expected key %S, found %S" expect key))
     | Dplan.D_get_byteseq { count; slot; view } ->
-        let get_n = read_count count in
+        let get_n = read_count_lk Encoding.Lbin count in
         let vthresh = view_threshold view in
         fun r slots ->
           let n = get_n r in
@@ -1427,6 +1665,23 @@ let dcompiler ~(enc : Encoding.t) ~(subs : (string, dframe_exec ref) Hashtbl.t)
           in
           Codec.skip_pad r ~pad_unit n;
           slots.(slot) <- v
+    | Dplan.D_get_atom_array { count; atom; slot } when vc <> None ->
+        let vcc = Option.get vc in
+        let get_n = read_count count in
+        let kind = atom.Mplan.kind in
+        (* every element is header-checked on its own: the advance is
+           data-dependent, so no run-wide reservation is possible *)
+        fun r slots ->
+          let n = get_n r in
+          let out = Array.make n Value.Vvoid in
+          for i = 0 to n - 1 do
+            out.(i) <- Codec.read_var vcc kind r
+          done;
+          slots.(slot) <-
+            (match kind with
+            | Encoding.Kint { bits; _ } when bits <= 32 ->
+                Value.Vint_array (Array.map Codec.as_int out)
+            | _ -> Value.Varray out)
     | Dplan.D_get_atom_array { count; atom; slot } -> (
         let get_n = read_count count in
         match (atom.Mplan.kind, atom.Mplan.size) with
@@ -1495,9 +1750,7 @@ let dcompiler ~(enc : Encoding.t) ~(subs : (string, dframe_exec ref) Hashtbl.t)
     | Dplan.D_opt { frame; slot } ->
         let fx = compile_frame frame in
         fun r slots ->
-          Mbuf.ralign r 4;
-          let at = Mbuf.rpos r in
-          let n = Codec.read_len r ~be ~align:4 in
+          let n, at = read_opt r in
           (match n with
           | 0 -> slots.(slot) <- Value.Vopt None
           | 1 ->
@@ -1525,8 +1778,9 @@ let dcompiler ~(enc : Encoding.t) ~(subs : (string, dframe_exec ref) Hashtbl.t)
         in
         match discrim_atom with
         | Some atom ->
+            let get_d = read_discrim atom in
             fun r slots ->
-              let v = Codec.read_stream r ~be atom in
+              let v = get_d r in
               let const : Mint.const =
                 match v with
                 | Value.Vint n -> Mint.Cint (Int64.of_int n)
@@ -1561,6 +1815,32 @@ let dcompiler ~(enc : Encoding.t) ~(subs : (string, dframe_exec ref) Hashtbl.t)
                     Value.Vunion { case; discrim = const; payload = run_frame fx r }
               | None ->
                   raise (Codec.Decode_error ("unknown operation " ^ key))))
+    | Dplan.D_get_varhead { vh_kind; vh_slot; vh_expect; _ } -> (
+        let vcc =
+          match vc with
+          | Some v -> v
+          | None ->
+              invalid_arg "Stub_opt: D_get_varhead under a fixed encoding"
+        in
+        match (vh_slot, vh_expect) with
+        | Some slot, None ->
+            fun r slots -> slots.(slot) <- Codec.read_var vcc vh_kind r
+        | None, Some expect ->
+            fun r _ ->
+              let got =
+                match Codec.read_var vcc vh_kind r with
+                | Value.Vint n -> Int64.of_int n
+                | Value.Vint64 n -> n
+                | Value.Vbool b -> if b then 1L else 0L
+                | Value.Vchar c -> Int64.of_int (Char.code c)
+                | _ -> raise (Codec.Decode_error "bad constant")
+              in
+              if got <> expect then
+                raise
+                  (Codec.Decode_error
+                     (Printf.sprintf "expected constant %Ld, found %Ld" expect
+                        got))
+        | _, _ -> invalid_arg "Stub_opt: D_get_varhead needs slot xor expect")
     | Dplan.D_call { sub; slot } ->
         let cell =
           match Hashtbl.find_opt subs sub with
@@ -1601,6 +1881,8 @@ let dcompiler ~(enc : Encoding.t) ~(subs : (string, dframe_exec ref) Hashtbl.t)
     c_frame = compile_frame;
     c_count = read_count;
     c_key = read_key;
+    c_opt = read_opt;
+    c_discrim = read_discrim;
   }
 
 let decoder_of_dplan ~(enc : Encoding.t) (plan : Dplan.plan) : decoder =
@@ -1730,9 +2012,7 @@ let staged_decoder_of_dplan ~(enc : Encoding.t) (plan : Dplan.plan) :
       | Dplan.D_opt { frame; slot } ->
           let fx = stage_frame frame in
           fun r slots ->
-            Mbuf.ralign r 4;
-            let at = Mbuf.rpos r in
-            let n = Codec.read_len r ~be ~align:4 in
+            let n, at = c.c_opt r in
             (match n with
             | 0 -> slots.(slot) <- Value.Vopt None
             | 1 ->
@@ -1760,8 +2040,9 @@ let staged_decoder_of_dplan ~(enc : Encoding.t) (plan : Dplan.plan) :
           in
           match discrim_atom with
           | Some atom ->
+              let get_d = c.c_discrim atom in
               fun r slots ->
-                let v = Codec.read_stream r ~be atom in
+                let v = get_d r in
                 let const : Mint.const =
                   match v with
                   | Value.Vint n -> Mint.Cint (Int64.of_int n)
@@ -1807,10 +2088,12 @@ let staged_decoder_of_dplan ~(enc : Encoding.t) (plan : Dplan.plan) :
               { Mplan.kind = Encoding.Kint { bits; signed }; size = 4; _ };
             slot;
           }
-        when bits <= 32 ->
+        when bits <= 32 && enc.Encoding.var = None ->
           (* fold the fixed element count: the byte total becomes a
              compile-time constant and the per-message count call
-             disappears; extension rules match the tier-0 path *)
+             disappears; extension rules match the tier-0 path.
+             Value-dependent encodings fall through to the tier-0
+             per-element reader: their elements are variable-width. *)
           let total = n * 4 in
           let fill =
             if be then fun r out ->

@@ -32,6 +32,17 @@ type dop =
       (* one [need] ([check] false under a hoisted reservation), loads
          at constant offsets, one cursor advance; spans no item covers
          are skipped bytes (headers, padding) *)
+  | D_get_varhead of {
+      vh_kind : Encoding.atom_kind;
+      vh_worst : int;
+      vh_slot : int option;  (* None for constant expectations *)
+      vh_expect : int64 option;  (* constant to verify (discriminator) *)
+      vh_image : string option;  (* canonical bytes, for narrowing *)
+      vh_what : string;
+    }
+      (* parse a value-dependent scalar header (self-describing
+         encodings); always self-checking — the advance is data
+         dependent, so it never rides a hoisted reservation *)
   | D_get_string of { max_len : int option; slot : int; view : bool }
   | D_const_str of string  (* verify a constant counted string *)
   | D_get_byteseq of { count : dcount; slot : int; view : bool }
@@ -90,6 +101,15 @@ let pp_count ppf = function
 
 let rec pp_op ppf = function
   | D_align n -> Format.fprintf ppf "align %d" n
+  | D_get_varhead { vh_kind; vh_worst; vh_slot; vh_expect; vh_what; _ } ->
+      Format.fprintf ppf "%s <- get_varhead %a worst=%d (%s)"
+        (match vh_slot with
+        | Some s -> Printf.sprintf "s%d" s
+        | None -> (
+            match vh_expect with
+            | Some v -> Printf.sprintf "expect %Ld" v
+            | None -> "_"))
+        Mplan.pp_kind vh_kind vh_worst vh_what
   | D_chunk { size; items; check } ->
       Format.fprintf ppf "@[<v 2>chunk size=%d%s {" size
         (if check then "" else " nocheck");
@@ -176,7 +196,7 @@ let rec count_ops ops =
       +
       match op with
       | D_align _ | D_get_string _ | D_const_str _ | D_get_byteseq _
-      | D_get_atom_array _ | D_call _ ->
+      | D_get_atom_array _ | D_call _ | D_get_varhead _ ->
           1
       | D_chunk { items; _ } -> 1 + List.length items
       | D_loop { frame; _ } | D_opt { frame; _ } -> 1 + count_ops frame.f_ops
@@ -198,6 +218,7 @@ let rec count_checks ops =
       match op with
       | D_align _ | D_call _ -> 0
       | D_chunk { check; _ } -> if check then 1 else 0
+      | D_get_varhead _ -> 1
       | D_get_string _ | D_const_str _ -> 2
       | D_get_byteseq { count; _ } | D_get_atom_array { count; _ } -> (
           match count with Dc_fixed _ -> 1 | Dc_len _ -> 2)

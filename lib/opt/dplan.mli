@@ -47,6 +47,21 @@ type dop =
   | D_chunk of { size : int; items : ditem list; check : bool }
       (** [check] is false when a hoisted loop reservation already
           guarantees the bytes *)
+  | D_get_varhead of {
+      vh_kind : Encoding.atom_kind;
+      vh_worst : int;
+      vh_slot : int option;  (** [None] for constant expectations *)
+      vh_expect : int64 option;
+          (** constant the wire value must equal (discriminators,
+              constant roots); mismatch raises [Codec.Decode_error] *)
+      vh_image : string option;
+          (** canonical wire bytes of the expected constant — the
+              narrowing pass folds this into a byte-compare chunk *)
+      vh_what : string;
+    }
+      (** parse a value-dependent scalar header of a self-describing
+          encoding; always self-checking (its advance is data
+          dependent, so it can never ride a hoisted reservation) *)
   | D_get_string of { max_len : int option; slot : int; view : bool }
   | D_const_str of string
   | D_get_byteseq of { count : dcount; slot : int; view : bool }

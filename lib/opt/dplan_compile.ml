@@ -190,6 +190,55 @@ let compile_frame st ~abase ~aoff build =
   st.next_slot <- saved_slot;
   frame
 
+(* Value-dependent scalars (msgpack, CBOR) — the decode mirror of
+   Plan_compile.put_var_scalar/put_var_const.  Floats keep a static
+   wire image (tag byte + big-endian IEEE payload) and stay chunkable;
+   everything else parses through a self-checking [D_get_varhead]. *)
+
+let take_var_scalar st (vcc : Encoding.varcodec) kind =
+  match kind with
+  | Encoding.Kfloat { bits } ->
+      let slot = fresh_slot st in
+      take_atom st Plan_compile.u8_atom (fun off ->
+          Some
+            (Dplan.Dit_const
+               {
+                 off;
+                 atom = Plan_compile.u8_atom;
+                 value = Int64.of_int (vcc.Encoding.v_float_tag ~bits);
+               }));
+      let payload = { Mplan.kind; size = bits / 8; align = 1 } in
+      take_atom st payload (fun off ->
+          Some (Dplan.Dit_atom { off; atom = payload; slot }));
+      slot
+  | Encoding.Kbool | Encoding.Kchar | Encoding.Kint _ ->
+      let slot = fresh_slot st in
+      emit st
+        (Dplan.D_get_varhead
+           {
+             vh_kind = kind;
+             vh_worst = Plan_compile.vh_worst_of vcc kind;
+             vh_slot = Some slot;
+             vh_expect = None;
+             vh_image = None;
+             vh_what = "scalar";
+           });
+      lose_alignment st 1;
+      slot
+
+let take_var_const st (vcc : Encoding.varcodec) kind value ~what =
+  emit st
+    (Dplan.D_get_varhead
+       {
+         vh_kind = kind;
+         vh_worst = Plan_compile.vh_worst_of vcc kind;
+         vh_slot = None;
+         vh_expect = Some value;
+         vh_image = Some (vcc.Encoding.v_const_image kind value);
+         vh_what = what;
+       });
+  lose_alignment st 1
+
 let is_byte_elem mint elem =
   match Mint.get mint elem with
   | Mint.Char8 | Mint.Int { bits = 8; _ } -> true
@@ -214,13 +263,16 @@ let rec compile_value st idx (pres : Pres.t) : Dplan.shape =
   | Mint.Void, _ -> Dplan.Sh_void
   | (Mint.Bool | Mint.Char8 | Mint.Int _ | Mint.Float _), _ -> (
       match Encoding.atom_of_mint def with
-      | Some kind ->
-          take_header st;
-          let atom = atom_of st kind in
-          let slot = fresh_slot st in
-          take_atom st atom (fun off ->
-              Some (Dplan.Dit_atom { off; atom; slot }));
-          Dplan.Sh_slot slot
+      | Some kind -> (
+          match st.enc.Encoding.var with
+          | Some vcc -> Dplan.Sh_slot (take_var_scalar st vcc kind)
+          | None ->
+              take_header st;
+              let atom = atom_of st kind in
+              let slot = fresh_slot st in
+              take_atom st atom (fun off ->
+                  Some (Dplan.Dit_atom { off; atom; slot }));
+              Dplan.Sh_slot slot)
       | None -> assert false)
   | Mint.Array { elem; min_len; max_len }, _ ->
       compile_array st ~elem ~min_len ~max_len pres
@@ -338,6 +390,9 @@ and compile_union st ~discrim ~cases ~default ~arms ~default_arm =
   take_header st;
   flush st;
   (match discrim_atom with
+  | Some _ when enc.Encoding.var <> None ->
+      (* value-dependent discriminator: data-dependent advance *)
+      lose_alignment st 1
   | Some atom ->
       sim_align st atom.Mplan.align;
       advance_static st atom.Mplan.size
@@ -415,11 +470,14 @@ let compile ~enc ~mint ~named ?(start = (8, 0)) ?(chunked = true)
   List.iter
     (fun droot ->
       match droot with
-      | Dconst_int (value, kind) ->
-          take_header st;
-          let atom = atom_of st kind in
-          take_atom st atom (fun off ->
-              Some (Dplan.Dit_const { off; atom; value }))
+      | Dconst_int (value, kind) -> (
+          match enc.Encoding.var with
+          | Some vcc -> take_var_const st vcc kind value ~what:"constant"
+          | None ->
+              take_header st;
+              let atom = atom_of st kind in
+              take_atom st atom (fun off ->
+                  Some (Dplan.Dit_const { off; atom; value })))
       | Dconst_str s ->
           take_header st;
           take_const_str st s

@@ -32,7 +32,7 @@ and ops_stageable (ops : Dplan.dop list) =
              | Some f -> frame_stageable f)
       | Dplan.D_align _ | Dplan.D_chunk _ | Dplan.D_get_string _
       | Dplan.D_const_str _ | Dplan.D_get_byteseq _
-      | Dplan.D_get_atom_array _ ->
+      | Dplan.D_get_atom_array _ | Dplan.D_get_varhead _ ->
           true)
     ops
 

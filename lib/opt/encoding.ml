@@ -6,6 +6,36 @@ type atom_kind =
 
 type layout = { size : int; align : int }
 
+(* A self-describing format (msgpack, CBOR) sizes a scalar by its
+   *value*: the compiler can only reserve the worst case and let the
+   emit advance by the actual width.  [Fixed] atoms keep the static
+   story (chunks, blits) intact. *)
+type size_class = Fixed of int | Var of { worst : int }
+
+(* Which length-header family a count belongs to.  The three families
+   differ on the wire (msgpack fixstr vs bin8 vs fixarray; CBOR major
+   types 3/2/4), so every call site fixes its kind statically. *)
+type lenkind = Lstr | Lbin | Larr
+
+exception Var_error of string
+
+type varcodec = {
+  v_size : atom_kind -> size_class;
+  v_float_tag : bits:int -> int;
+      (** the canonical one-byte tag preceding a big-endian IEEE payload
+          — floats are the one var scalar whose wire size is static *)
+  v_put_int : check:bool -> signed:bool -> Mbuf.t -> int64 -> unit;
+  v_get_int : signed:bool -> Mbuf.reader -> int64;
+  v_put_bool : check:bool -> Mbuf.t -> bool -> unit;
+  v_get_bool : Mbuf.reader -> bool;
+  v_put_float : check:bool -> bits:int -> Mbuf.t -> float -> unit;
+  v_get_float : bits:int -> Mbuf.reader -> float;
+  v_put_len : check:bool -> Mbuf.t -> lenkind -> int -> unit;
+  v_get_len : Mbuf.reader -> lenkind -> int;
+  v_const_image : atom_kind -> int64 -> string;
+  v_len_image : lenkind -> int -> string;
+}
+
 type t = {
   name : string;
   big_endian : bool;
@@ -16,6 +46,7 @@ type t = {
   typed_headers : bool;
   max_align : int;
   granularity : int;
+  var : varcodec option;
 }
 
 let natural = function
@@ -46,6 +77,7 @@ let cdr =
     typed_headers = false;
     max_align = 8;
     granularity = 1;
+    var = None;
   }
 
 let xdr =
@@ -59,6 +91,7 @@ let xdr =
     typed_headers = false;
     max_align = 4;
     granularity = 4;
+    var = None;
   }
 
 let mach3 =
@@ -72,6 +105,7 @@ let mach3 =
     typed_headers = true;
     max_align = 8;
     granularity = 1;
+    var = None;
   }
 
 let fluke =
@@ -85,9 +119,391 @@ let fluke =
     typed_headers = false;
     max_align = 8;
     granularity = 1;
+    var = None;
   }
 
-let all = [ cdr; xdr; mach3; fluke ]
+(* ------------------------------------------------------------------ *)
+(* Variable-header codecs                                               *)
+(* ------------------------------------------------------------------ *)
+
+let verr fmt = Printf.ksprintf (fun m -> raise (Var_error m)) fmt
+
+(* canonicalize a constant to the wire semantics of its declared width:
+   keep the low [bits], then sign- or zero-extend (what a fixed-size
+   encoding's store-then-load round trip does) *)
+let canon_int ~bits ~signed v =
+  if bits >= 64 then v
+  else
+    let shift = 64 - bits in
+    let low = Int64.shift_right_logical (Int64.shift_left v shift) shift in
+    if signed then Int64.shift_right (Int64.shift_left v shift) shift else low
+
+let u_le a b = Int64.unsigned_compare a b <= 0
+let u_ge a b = Int64.unsigned_compare a b >= 0
+
+(* big-endian image of the low [n] bytes of [v] *)
+let be_bytes n v =
+  String.init n (fun i ->
+      Char.chr
+        (Int64.to_int
+           (Int64.logand (Int64.shift_right_logical v (8 * (n - 1 - i))) 0xFFL)))
+
+let worst_of = function
+  | Kbool -> Var { worst = 1 }
+  | Kchar -> Var { worst = 2 }
+  | Kint { bits = 8; _ } -> Var { worst = 2 }
+  | Kint { bits = 16; _ } -> Var { worst = 3 }
+  | Kint { bits = 32; _ } -> Var { worst = 5 }
+  | Kint _ -> Var { worst = 9 }
+  | Kfloat { bits } -> Fixed (1 + (bits / 8))
+
+let put_image ~check b s =
+  let n = String.length s in
+  if check then Mbuf.ensure b n;
+  Mbuf.set_string b 0 s 0 n;
+  Mbuf.advance b n
+
+(* read the [width]-byte big-endian payload that follows a one-byte tag,
+   zero-extended; checks tag+payload are in bounds *)
+let head_payload r width =
+  Mbuf.need r (1 + width);
+  let rec go acc i =
+    if i = width then acc
+    else
+      go
+        (Int64.logor (Int64.shift_left acc 8)
+           (Int64.of_int (Mbuf.get_u8 r (1 + i))))
+        (i + 1)
+  in
+  go 0L 0
+
+let sext width v =
+  let s = 64 - (8 * width) in
+  Int64.shift_right (Int64.shift_left v s) s
+
+(* ---------------------------- msgpack ----------------------------- *)
+
+let mp_uint_image v =
+  if u_le v 0x7fL then String.make 1 (Char.chr (Int64.to_int v))
+  else if u_le v 0xffL then "\xcc" ^ be_bytes 1 v
+  else if u_le v 0xffffL then "\xcd" ^ be_bytes 2 v
+  else if u_le v 0xffff_ffffL then "\xce" ^ be_bytes 4 v
+  else "\xcf" ^ be_bytes 8 v
+
+let mp_int_image ~signed v =
+  if (not signed) || Int64.compare v 0L >= 0 then mp_uint_image v
+  else if Int64.compare v (-32L) >= 0 then be_bytes 1 v
+  else if Int64.compare v (-128L) >= 0 then "\xd0" ^ be_bytes 1 v
+  else if Int64.compare v (-32768L) >= 0 then "\xd1" ^ be_bytes 2 v
+  else if Int64.compare v (-2147483648L) >= 0 then "\xd2" ^ be_bytes 4 v
+  else "\xd3" ^ be_bytes 8 v
+
+let mp_bool_image b = if b then "\xc3" else "\xc2"
+
+let mp_len_image kind n =
+  let v = Int64.of_int n in
+  match kind with
+  | Lstr ->
+      if n <= 31 then String.make 1 (Char.chr (0xa0 lor n))
+      else if n <= 0xff then "\xd9" ^ be_bytes 1 v
+      else if n <= 0xffff then "\xda" ^ be_bytes 2 v
+      else "\xdb" ^ be_bytes 4 v
+  | Lbin ->
+      if n <= 0xff then "\xc4" ^ be_bytes 1 v
+      else if n <= 0xffff then "\xc5" ^ be_bytes 2 v
+      else "\xc6" ^ be_bytes 4 v
+  | Larr ->
+      if n <= 15 then String.make 1 (Char.chr (0x90 lor n))
+      else if n <= 0xffff then "\xdc" ^ be_bytes 2 v
+      else "\xdd" ^ be_bytes 4 v
+
+let mp_get_int ~signed r =
+  Mbuf.need r 1;
+  let t = Mbuf.get_u8 r 0 in
+  let fin width v =
+    Mbuf.skip r (1 + width);
+    v
+  in
+  if t <= 0x7f then (
+    Mbuf.skip r 1;
+    Int64.of_int t)
+  else if t >= 0xe0 then (
+    if not signed then verr "msgpack: negative integer for unsigned field";
+    Mbuf.skip r 1;
+    Int64.of_int (t - 256))
+  else
+    match t with
+    | 0xcc ->
+        let v = head_payload r 1 in
+        if not (u_ge v 0x80L) then verr "msgpack: non-minimal uint8";
+        fin 1 v
+    | 0xcd ->
+        let v = head_payload r 2 in
+        if not (u_ge v 0x100L) then verr "msgpack: non-minimal uint16";
+        fin 2 v
+    | 0xce ->
+        let v = head_payload r 4 in
+        if not (u_ge v 0x10000L) then verr "msgpack: non-minimal uint32";
+        fin 4 v
+    | 0xcf ->
+        let v = head_payload r 8 in
+        if not (u_ge v 0x1_0000_0000L) then verr "msgpack: non-minimal uint64";
+        if signed && Int64.compare v 0L < 0 then
+          verr "msgpack: integer out of range";
+        fin 8 v
+    | 0xd0 ->
+        if not signed then verr "msgpack: negative integer for unsigned field";
+        let v = sext 1 (head_payload r 1) in
+        if Int64.compare v (-33L) > 0 then verr "msgpack: non-minimal int8";
+        fin 1 v
+    | 0xd1 ->
+        if not signed then verr "msgpack: negative integer for unsigned field";
+        let v = sext 2 (head_payload r 2) in
+        if Int64.compare v (-129L) > 0 then verr "msgpack: non-minimal int16";
+        fin 2 v
+    | 0xd2 ->
+        if not signed then verr "msgpack: negative integer for unsigned field";
+        let v = sext 4 (head_payload r 4) in
+        if Int64.compare v (-32769L) > 0 then verr "msgpack: non-minimal int32";
+        fin 4 v
+    | 0xd3 ->
+        if not signed then verr "msgpack: negative integer for unsigned field";
+        let v = head_payload r 8 in
+        if Int64.compare v (-2147483649L) > 0 then
+          verr "msgpack: non-minimal int64";
+        fin 8 v
+    | _ -> verr "msgpack: expected integer, got tag 0x%02x" t
+
+let mp_get_bool r =
+  Mbuf.need r 1;
+  match Mbuf.get_u8 r 0 with
+  | 0xc2 ->
+      Mbuf.skip r 1;
+      false
+  | 0xc3 ->
+      Mbuf.skip r 1;
+      true
+  | t -> verr "msgpack: expected bool, got tag 0x%02x" t
+
+let mp_get_len r kind =
+  Mbuf.need r 1;
+  let t = Mbuf.get_u8 r 0 in
+  let fin width n64 =
+    if Int64.compare n64 0x7fff_ffffL > 0 then
+      verr "msgpack: length %Ld out of range" n64;
+    Mbuf.skip r (1 + width);
+    Int64.to_int n64
+  in
+  match kind with
+  | Lstr -> (
+      if t land 0xe0 = 0xa0 then (
+        Mbuf.skip r 1;
+        t land 0x1f)
+      else
+        match t with
+        | 0xd9 ->
+            let n = head_payload r 1 in
+            if not (u_ge n 32L) then verr "msgpack: non-minimal str8 length";
+            fin 1 n
+        | 0xda ->
+            let n = head_payload r 2 in
+            if not (u_ge n 0x100L) then verr "msgpack: non-minimal str16 length";
+            fin 2 n
+        | 0xdb ->
+            let n = head_payload r 4 in
+            if not (u_ge n 0x10000L) then
+              verr "msgpack: non-minimal str32 length";
+            fin 4 n
+        | _ -> verr "msgpack: expected string, got tag 0x%02x" t)
+  | Lbin -> (
+      match t with
+      | 0xc4 -> fin 1 (head_payload r 1)
+      | 0xc5 ->
+          let n = head_payload r 2 in
+          if not (u_ge n 0x100L) then verr "msgpack: non-minimal bin16 length";
+          fin 2 n
+      | 0xc6 ->
+          let n = head_payload r 4 in
+          if not (u_ge n 0x10000L) then verr "msgpack: non-minimal bin32 length";
+          fin 4 n
+      | _ -> verr "msgpack: expected binary, got tag 0x%02x" t)
+  | Larr -> (
+      if t land 0xf0 = 0x90 then (
+        Mbuf.skip r 1;
+        t land 0x0f)
+      else
+        match t with
+        | 0xdc ->
+            let n = head_payload r 2 in
+            if not (u_ge n 16L) then verr "msgpack: non-minimal array16 length";
+            fin 2 n
+        | 0xdd ->
+            let n = head_payload r 4 in
+            if not (u_ge n 0x10000L) then
+              verr "msgpack: non-minimal array32 length";
+            fin 4 n
+        | _ -> verr "msgpack: expected array, got tag 0x%02x" t)
+
+(* ----------------------------- CBOR ------------------------------- *)
+
+(* RFC 8949 preferred (minimal-width) heads: 3-bit major type, 5-bit
+   additional info, then a 1/2/4/8-byte big-endian argument. *)
+let cbor_head major n =
+  let mt = major lsl 5 in
+  if u_le n 23L then String.make 1 (Char.chr (mt lor Int64.to_int n))
+  else if u_le n 0xffL then String.make 1 (Char.chr (mt lor 24)) ^ be_bytes 1 n
+  else if u_le n 0xffffL then String.make 1 (Char.chr (mt lor 25)) ^ be_bytes 2 n
+  else if u_le n 0xffff_ffffL then
+    String.make 1 (Char.chr (mt lor 26)) ^ be_bytes 4 n
+  else String.make 1 (Char.chr (mt lor 27)) ^ be_bytes 8 n
+
+let cbor_int_image ~signed v =
+  if (not signed) || Int64.compare v 0L >= 0 then cbor_head 0 v
+  else cbor_head 1 (Int64.lognot v)
+
+let cbor_bool_image b = if b then "\xf5" else "\xf4"
+
+let cbor_len_image kind n =
+  let major = match kind with Lbin -> 2 | Lstr -> 3 | Larr -> 4 in
+  cbor_head major (Int64.of_int n)
+
+(* parse one head: returns (major, argument) with the cursor advanced;
+   rejects non-minimal arguments and indefinite lengths *)
+let cbor_get_head r =
+  Mbuf.need r 1;
+  let t = Mbuf.get_u8 r 0 in
+  let major = t lsr 5 and info = t land 0x1f in
+  if info <= 23 then (
+    Mbuf.skip r 1;
+    (major, Int64.of_int info))
+  else
+    let width, floor =
+      match info with
+      | 24 -> (1, 24L)
+      | 25 -> (2, 0x100L)
+      | 26 -> (4, 0x10000L)
+      | 27 -> (8, 0x1_0000_0000L)
+      | _ -> verr "cbor: malformed head 0x%02x" t
+    in
+    let n = head_payload r width in
+    if not (u_ge n floor) then
+      verr "cbor: non-minimal argument in head 0x%02x" t;
+    Mbuf.skip r (1 + width);
+    (major, n)
+
+let cbor_get_int ~signed r =
+  match cbor_get_head r with
+  | 0, n ->
+      if signed && Int64.compare n 0L < 0 then
+        verr "cbor: integer out of range";
+      n
+  | 1, n ->
+      if not signed then verr "cbor: negative integer for unsigned field";
+      if Int64.compare n 0L < 0 then verr "cbor: integer out of range";
+      Int64.lognot n
+  | major, _ -> verr "cbor: expected integer, got major type %d" major
+
+let cbor_get_bool r =
+  Mbuf.need r 1;
+  match Mbuf.get_u8 r 0 with
+  | 0xf4 ->
+      Mbuf.skip r 1;
+      false
+  | 0xf5 ->
+      Mbuf.skip r 1;
+      true
+  | t -> verr "cbor: expected bool, got tag 0x%02x" t
+
+let cbor_get_len r kind =
+  let want = match kind with Lbin -> 2 | Lstr -> 3 | Larr -> 4 in
+  match cbor_get_head r with
+  | major, n when major = want ->
+      if Int64.compare n 0x7fff_ffffL > 0 then
+        verr "cbor: length %Ld out of range" n;
+      Int64.to_int n
+  | major, _ ->
+      verr "cbor: expected major type %d, got %d" want major
+
+(* ------------------------- shared plumbing ------------------------ *)
+
+let mk_varcodec ~int_image ~bool_image ~len_image ~get_int ~get_bool ~get_len
+    ~float_tag =
+  let const_image kind v =
+    match kind with
+    | Kbool -> bool_image (Int64.compare v 0L <> 0)
+    | Kchar -> int_image ~signed:false (Int64.logand v 0xffL)
+    | Kint { bits; signed } -> int_image ~signed (canon_int ~bits ~signed v)
+    | Kfloat _ -> invalid_arg "Encoding: float constants have no var image"
+  in
+  let put_float ~check ~bits b f =
+    let n = bits / 8 in
+    if check then Mbuf.ensure b (1 + n);
+    Mbuf.set_u8 b 0 (float_tag ~bits);
+    if bits = 32 then Mbuf.set_f32_be b 1 f else Mbuf.set_f64_be b 1 f;
+    Mbuf.advance b (1 + n)
+  in
+  let get_float ~bits r =
+    let n = bits / 8 in
+    Mbuf.need r 1;
+    let t = Mbuf.get_u8 r 0 in
+    if t <> float_tag ~bits then
+      verr "expected %d-bit float tag 0x%02x, got 0x%02x" bits
+        (float_tag ~bits) t;
+    Mbuf.need r (1 + n);
+    let f = if bits = 32 then Mbuf.get_f32_be r 1 else Mbuf.get_f64_be r 1 in
+    Mbuf.skip r (1 + n);
+    f
+  in
+  {
+    v_size = worst_of;
+    v_float_tag = float_tag;
+    v_put_int =
+      (fun ~check ~signed b v -> put_image ~check b (int_image ~signed v));
+    v_get_int = get_int;
+    v_put_bool = (fun ~check b v -> put_image ~check b (bool_image v));
+    v_get_bool = get_bool;
+    v_put_float = (fun ~check ~bits b f -> put_float ~check ~bits b f);
+    v_get_float = (fun ~bits r -> get_float ~bits r);
+    v_put_len = (fun ~check b kind n -> put_image ~check b (len_image kind n));
+    v_get_len = (fun r kind -> get_len r kind);
+    v_const_image = const_image;
+    v_len_image = len_image;
+  }
+
+let msgpack_codec =
+  mk_varcodec ~int_image:mp_int_image ~bool_image:mp_bool_image
+    ~len_image:mp_len_image ~get_int:mp_get_int ~get_bool:mp_get_bool
+    ~get_len:mp_get_len
+    ~float_tag:(fun ~bits -> if bits = 32 then 0xca else 0xcb)
+
+let cbor_codec =
+  mk_varcodec ~int_image:cbor_int_image ~bool_image:cbor_bool_image
+    ~len_image:cbor_len_image ~get_int:cbor_get_int ~get_bool:cbor_get_bool
+    ~get_len:cbor_get_len
+    ~float_tag:(fun ~bits -> if bits = 32 then 0xfa else 0xfb)
+
+(* Both self-describing encodings are byte-granular: every alignment
+   field is 1, so the plan compilers' congruence machinery is inert
+   (no pads, no Align ops).  [len_prefix.size] is the worst-case length
+   head, used only for conservative reservations. *)
+let selfdesc name var =
+  {
+    name;
+    big_endian = true;
+    atom = (fun k -> { size = (natural k).size; align = 1 });
+    len_prefix = { size = 5; align = 1 };
+    pad_unit = 1;
+    string_nul = false;
+    typed_headers = false;
+    max_align = 1;
+    granularity = 1;
+    var = Some var;
+  }
+
+let msgpack = selfdesc "msgpack" msgpack_codec
+let cbor = selfdesc "cbor" cbor_codec
+
+let all = [ cdr; xdr; mach3; fluke; msgpack; cbor ]
 let by_name n = List.find_opt (fun e -> e.name = n) all
 
 let atom_of_mint (def : Mint.def) =

@@ -3,8 +3,10 @@
 
     An encoding fixes everything MINT deliberately leaves open: sizes,
     alignment, byte order, length-prefix format, padding, and whether
-    items carry Mach-style type descriptors.  The four encodings
-    correspond to the paper's four back ends. *)
+    items carry Mach-style type descriptors.  The first four encodings
+    correspond to the paper's four back ends; [msgpack] and [cbor] are
+    self-describing formats whose scalar widths depend on the value —
+    they carry a {!varcodec} and classify their atoms {!Var}. *)
 
 type atom_kind =
   | Kbool
@@ -13,6 +15,49 @@ type atom_kind =
   | Kfloat of { bits : int }
 
 type layout = { size : int; align : int }
+
+type size_class = Fixed of int | Var of { worst : int }
+(** How many wire bytes an atom occupies: a static size (every fixed
+    encoding, and var-encoding floats: one tag byte plus the IEEE
+    payload), or a value-dependent width bounded by [worst] — the
+    compiler reserves [worst] and the emit advances by the actual. *)
+
+type lenkind = Lstr | Lbin | Larr
+(** The three length-header families of the self-describing formats
+    (msgpack fixstr/str8.. vs bin8.. vs fixarray/array16..; CBOR major
+    types 3, 2, 4).  Fixed per call site: strings use [Lstr], byte
+    sequences [Lbin], element counts (arrays, sequences, options)
+    [Larr]. *)
+
+exception Var_error of string
+(** Malformed variable-header input (wrong tag family, non-minimal
+    width, out-of-range value).  Truncation raises
+    {!Mbuf.Short_buffer} instead, exactly as the fixed readers do.
+    Executors translate this to [Codec.Decode_error]. *)
+
+type varcodec = {
+  v_size : atom_kind -> size_class;
+  v_float_tag : bits:int -> int;
+      (** the canonical tag byte before a big-endian IEEE payload *)
+  v_put_int : check:bool -> signed:bool -> Mbuf.t -> int64 -> unit;
+      (** minimal-width emit; [check:false] requires the caller to have
+          reserved the atom's worst case *)
+  v_get_int : signed:bool -> Mbuf.reader -> int64;
+      (** incremental checked parse; rejects non-minimal encodings so
+          every decoder tier accepts exactly the same inputs *)
+  v_put_bool : check:bool -> Mbuf.t -> bool -> unit;
+  v_get_bool : Mbuf.reader -> bool;
+  v_put_float : check:bool -> bits:int -> Mbuf.t -> float -> unit;
+  v_get_float : bits:int -> Mbuf.reader -> float;
+  v_put_len : check:bool -> Mbuf.t -> lenkind -> int -> unit;
+  v_get_len : Mbuf.reader -> lenkind -> int;
+      (** rejects lengths that do not fit in a 31-bit int *)
+  v_const_image : atom_kind -> int64 -> string;
+      (** the exact bytes [v_put_int]/[v_put_bool] would emit for a
+          compile-time constant — what reservation narrowing folds into
+          a fixed chunk *)
+  v_len_image : lenkind -> int -> string;
+}
 
 type t = {
   name : string;
@@ -32,6 +77,8 @@ type t = {
       (** every layout advances the position by a multiple of this (XDR:
           4, others: 1); the plan compiler's static-position tracking
           survives loops and unions exactly at this granularity *)
+  var : varcodec option;
+      (** value-dependent header hooks; [None] for the fixed formats *)
 }
 
 val cdr : t
@@ -50,7 +97,23 @@ val fluke : t
 (** Fluke kernel IPC: packed little-endian words, no descriptors — the
     lean format whose small messages travel in registers. *)
 
+val msgpack : t
+(** MessagePack: positive/negative fixints, uint8..64 / int8..64,
+    fixstr/str8..32, bin8..32, fixarray/array16/32; multi-byte fields
+    big-endian; minimal-width (canonical) forms only. *)
+
+val cbor : t
+(** CBOR (RFC 8949) with preferred serialization: 3-bit major type plus
+    5-bit additional info, arguments 1/2/4/8 bytes big-endian, minimal
+    width enforced on both sides. *)
+
 val all : t list
 val by_name : string -> t option
+
 val atom_of_mint : Mint.def -> atom_kind option
 (** The atom for a MINT leaf ([None] for aggregates and [Void]). *)
+
+val canon_int : bits:int -> signed:bool -> int64 -> int64
+(** Reduce a constant to its wire value at the declared width: keep the
+    low [bits], then sign- or zero-extend — the same round trip a
+    fixed-size store-then-load performs. *)

@@ -433,6 +433,8 @@ let plan_param_indexes (p : Plan_compile.plan) =
         rv src;
         Option.iter rv len_src
     | Mplan.Put_blit { src; _ } -> rv src
+    | Mplan.Put_varhead { vh_src = Mplan.Vh_value r; _ } -> rv r
+    | Mplan.Put_varhead { vh_src = Mplan.Vh_const _; _ } -> ()
     | Mplan.Loop { arr; body; _ } ->
         rv arr;
         List.iter op body
@@ -482,7 +484,14 @@ let fuse ?config ~(src : Encoding.t) ~(dst : Encoding.t) ~mint ~named
       f_dst = dst;
     }
   in
-  if not (enabled ()) then full_fallback ()
+  (* value-dependent wire formats carry no fixed per-atom layout to pair
+     token streams over: any self-describing side degrades the whole
+     message to one decode + re-encode pair *)
+  if
+    (not (enabled ()))
+    || src.Encoding.var <> None
+    || dst.Encoding.var <> None
+  then full_fallback ()
   else
     let ctx = { src; dst; sg } in
     let fuse_root i droot root =

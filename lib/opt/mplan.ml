@@ -19,9 +19,18 @@ type item =
   | It_bytes of { off : int; len : int; pad : int; src : rv }
   | It_const of { off : int; atom : atom; value : int64 }
 
+type vh_src = Vh_value of rv | Vh_const of int64
+
 type op =
   | Align of int
   | Chunk of { size : int; align : int; items : item list; check : bool }
+  | Put_varhead of {
+      vh_kind : Encoding.atom_kind;
+      vh_worst : int;
+      vh_check : bool;
+      vh_src : vh_src;
+      vh_image : string option;
+    }
   | Ensure_count of { arr : rv; via : via; unit_size : int }
   | Put_const_str of { s : string; nul : bool; pad : int }
   | Put_string of {
@@ -82,8 +91,29 @@ let pp_item ppf = function
   | It_const { off; atom; value } ->
       Format.fprintf ppf "@[%d: %a <- const %Ld@]" off pp_atom atom value
 
+let pp_kind ppf (k : Encoding.atom_kind) =
+  let s =
+    match k with
+    | Encoding.Kbool -> "bool"
+    | Encoding.Kchar -> "char"
+    | Encoding.Kint { bits; signed } ->
+        Printf.sprintf "%sint%d" (if signed then "" else "u") bits
+    | Encoding.Kfloat { bits } -> Printf.sprintf "float%d" bits
+  in
+  Format.pp_print_string ppf s
+
 let rec pp_op ppf = function
   | Align n -> Format.fprintf ppf "align %d" n
+  | Put_varhead { vh_kind; vh_worst; vh_check; vh_src; vh_image } ->
+      Format.fprintf ppf "put_varhead %a worst=%d%s <- %s%s" pp_kind vh_kind
+        vh_worst
+        (if vh_check then "" else " nocheck")
+        (match vh_src with
+        | Vh_const v -> Printf.sprintf "const %Ld" v
+        | Vh_value rv -> Format.asprintf "%a" pp_rv rv)
+        (match vh_image with
+        | None -> ""
+        | Some s -> Printf.sprintf " image=%d bytes" (String.length s))
   | Chunk { size; align; items; check } ->
       Format.fprintf ppf "@[<v 2>chunk size=%d align=%d%s {" size align
         (if check then "" else " nocheck");
@@ -142,7 +172,8 @@ let rec count_ops ops =
       +
       match op with
       | Align _ | Ensure_count _ | Put_const_str _ | Put_string _
-      | Put_byteseq _ | Put_atom_array _ | Put_blit _ | Put_len _ | Call _ ->
+      | Put_byteseq _ | Put_atom_array _ | Put_blit _ | Put_len _ | Call _
+      | Put_varhead _ ->
           1
       | Chunk { items; _ } -> 1 + List.length items
       | Loop { body; _ } -> 1 + count_ops body
@@ -164,6 +195,7 @@ let rec count_checks ops =
       match op with
       | Align _ | Call _ -> 0
       | Chunk { check; _ } -> if check then 1 else 0
+      | Put_varhead { vh_check; _ } -> if vh_check then 1 else 0
       | Ensure_count _ -> 1
       (* each of these reserves for itself before writing *)
       | Put_const_str _ | Put_string _ | Put_byteseq _ | Put_atom_array _

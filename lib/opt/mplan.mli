@@ -56,11 +56,28 @@ type item =
   | It_const of { off : int; atom : atom; value : int64 }
       (** constant word (discriminators, Mach type descriptors) *)
 
+(** What a variable-width header emits: a runtime scalar or a
+    compile-time constant (union discriminators, constant roots). *)
+type vh_src = Vh_value of rv | Vh_const of int64
+
 type op =
   | Align of int  (** dynamic alignment to a power of two *)
   | Chunk of { size : int; align : int; items : item list; check : bool }
       (** one capacity check ([check] false inside pre-ensured loops),
           zero-filled span, stores at static offsets, single advance *)
+  | Put_varhead of {
+      vh_kind : Encoding.atom_kind;
+      vh_worst : int;
+          (** bytes reserved; the emit advances by the actual width *)
+      vh_check : bool;
+          (** false only under a covering worst-case reservation *)
+      vh_src : vh_src;
+      vh_image : string option;
+          (** canonical wire bytes when [vh_src] is a constant — the
+              narrowing pass folds this into a fixed chunk *)
+    }
+      (** value-dependent scalar emit for a self-describing encoding:
+          reserve [vh_worst], write the minimal-width form *)
   | Ensure_count of { arr : rv; via : via; unit_size : int }
       (** reserve length * unit once for a whole array *)
   | Put_const_str of { s : string; nul : bool; pad : int }
@@ -103,6 +120,7 @@ and arm = {
 }
 
 val pp_atom : Format.formatter -> atom -> unit
+val pp_kind : Format.formatter -> Encoding.atom_kind -> unit
 val pp_op : Format.formatter -> op -> unit
 val pp : Format.formatter -> op list -> unit
 val pp_rv : Format.formatter -> rv -> unit

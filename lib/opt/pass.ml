@@ -85,12 +85,13 @@ let decode_side =
     s_verify = Plan_verify.check_dplan;
   }
 
-let rw_only ~coalesce ~fuse ~hoist ~dead =
+let rw_only ?(narrow = false) ~coalesce ~fuse ~hoist ~dead () =
   {
     Peephole.rw_coalesce = coalesce;
     rw_fuse = fuse;
     rw_hoist = hoist;
     rw_dead = dead;
+    rw_narrow = narrow;
   }
 
 (* Dead-op removal rides with coalescing (dropping an [Align 1] between
@@ -100,11 +101,23 @@ let rw_only ~coalesce ~fuse ~hoist ~dead =
 let encode_passes =
   [
     {
+      (* before chunk-coalesce: folding a constant variable-width
+         header into a fixed chunk is what lets coalescing absorb it
+         into the surrounding static run in the same round *)
+      p_name = "varhead-narrow";
+      p_transform =
+        (fun ?stats p ->
+          Peephole.optimize_plan_with
+            (rw_only ~narrow:true ~coalesce:false ~fuse:false ~hoist:false
+               ~dead:false ())
+            ?stats p);
+    };
+    {
       p_name = "chunk-coalesce";
       p_transform =
         (fun ?stats p ->
           Peephole.optimize_plan_with
-            (rw_only ~coalesce:true ~fuse:false ~hoist:false ~dead:true)
+            (rw_only ~coalesce:true ~fuse:false ~hoist:false ~dead:true ())
             ?stats p);
     };
     {
@@ -112,7 +125,7 @@ let encode_passes =
       p_transform =
         (fun ?stats p ->
           Peephole.optimize_plan_with
-            (rw_only ~coalesce:false ~fuse:true ~hoist:false ~dead:false)
+            (rw_only ~coalesce:false ~fuse:true ~hoist:false ~dead:false ())
             ?stats p);
     };
     {
@@ -120,7 +133,7 @@ let encode_passes =
       p_transform =
         (fun ?stats p ->
           Peephole.optimize_plan_with
-            (rw_only ~coalesce:false ~fuse:false ~hoist:true ~dead:false)
+            (rw_only ~coalesce:false ~fuse:false ~hoist:true ~dead:false ())
             ?stats p);
     };
   ]
@@ -128,11 +141,20 @@ let encode_passes =
 let decode_passes =
   [
     {
+      p_name = "dvarhead-narrow";
+      p_transform =
+        (fun ?stats p ->
+          Peephole.optimize_dplan_with
+            (rw_only ~narrow:true ~coalesce:false ~fuse:false ~hoist:false
+               ~dead:false ())
+            ?stats p);
+    };
+    {
       p_name = "chunk-merge";
       p_transform =
         (fun ?stats p ->
           Peephole.optimize_dplan_with
-            (rw_only ~coalesce:true ~fuse:false ~hoist:false ~dead:true)
+            (rw_only ~coalesce:true ~fuse:false ~hoist:false ~dead:true ())
             ?stats p);
     };
     {
@@ -140,7 +162,7 @@ let decode_passes =
       p_transform =
         (fun ?stats p ->
           Peephole.optimize_dplan_with
-            (rw_only ~coalesce:false ~fuse:true ~hoist:false ~dead:false)
+            (rw_only ~coalesce:false ~fuse:true ~hoist:false ~dead:false ())
             ?stats p);
     };
     {
@@ -148,7 +170,7 @@ let decode_passes =
       p_transform =
         (fun ?stats p ->
           Peephole.optimize_dplan_with
-            (rw_only ~coalesce:false ~fuse:false ~hoist:true ~dead:false)
+            (rw_only ~coalesce:false ~fuse:false ~hoist:true ~dead:false ())
             ?stats p);
     };
   ]

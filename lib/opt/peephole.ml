@@ -10,6 +10,7 @@ type stats = {
   mutable loops_fused : int;
   mutable ensures_hoisted : int;
   mutable dead_removed : int;
+  mutable heads_narrowed : int;
 }
 
 let fresh_stats () =
@@ -19,11 +20,12 @@ let fresh_stats () =
     loops_fused = 0;
     ensures_hoisted = 0;
     dead_removed = 0;
+    heads_narrowed = 0;
   }
 
 let rewrites st =
   st.chunks_merged + st.aligns_removed + st.loops_fused + st.ensures_hoisted
-  + st.dead_removed
+  + st.dead_removed + st.heads_narrowed
 
 (* Which rewrite classes the engine may apply.  The pass manager
    ({!Pass}) runs the engine once per class so each registered pass is
@@ -34,10 +36,17 @@ type rewrite_set = {
   rw_fuse : bool;
   rw_hoist : bool;
   rw_dead : bool;
+  rw_narrow : bool;
 }
 
 let all_rewrites =
-  { rw_coalesce = true; rw_fuse = true; rw_hoist = true; rw_dead = true }
+  {
+    rw_coalesce = true;
+    rw_fuse = true;
+    rw_hoist = true;
+    rw_dead = true;
+    rw_narrow = true;
+  }
 
 let is_pow2 n = n > 0 && n land (n - 1) = 0
 
@@ -60,7 +69,9 @@ let rec bounded_advance (op : Mplan.op) : int option =
   | Mplan.Put_const_str { s; nul; pad } ->
       Some (4 + String.length s + (if nul then 1 else 0) + pad)
   | Mplan.Put_blit { len; pad; _ } -> Some (len + pad)
-  | Mplan.Put_len _ -> Some 7 (* align 4 (≤ 3 bytes) + the 4-byte count *)
+  | Mplan.Put_len _ -> Some 7 (* align 4 (≤ 3 bytes) + the 4-byte count;
+                                 var encodings' worst length head is 5 *)
+  | Mplan.Put_varhead { vh_worst; _ } -> Some vh_worst
   | Mplan.Loop { via = Mplan.Via_fixed n; body; _ } ->
       Option.map (fun u -> n * u) (bounded_advance_ops body)
   | Mplan.Switch { arms; default; _ } ->
@@ -91,6 +102,7 @@ let rec has_checked_chunk ops =
     (fun (op : Mplan.op) ->
       match op with
       | Mplan.Chunk { check; _ } -> check
+      | Mplan.Put_varhead { vh_check; _ } -> vh_check
       | Mplan.Loop { body; _ } -> has_checked_chunk body
       | Mplan.Switch { arms; default; _ } ->
           List.exists (fun (a : Mplan.arm) -> has_checked_chunk a.Mplan.a_body) arms
@@ -108,6 +120,7 @@ let rec clear_checks ops =
       match op with
       | Mplan.Chunk { size; align; items; check = _ } ->
           Mplan.Chunk { size; align; items; check = false }
+      | Mplan.Put_varhead vh -> Mplan.Put_varhead { vh with vh_check = false }
       | Mplan.Loop { arr; via; var; body } ->
           Mplan.Loop { arr; via; var; body = clear_checks body }
       | Mplan.Switch { u; discrim_atom; arms; default; union_field; discrim_field }
@@ -142,6 +155,30 @@ let fusable_atom (atom : Mplan.atom) =
   match (atom.Mplan.kind, atom.Mplan.size) with
   | Encoding.Kint { bits; _ }, 4 -> bits <= 32
   | _, _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Reservation narrowing                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* A variable-width header whose value is a compile-time constant has a
+   statically known wire image (the compiler records it).  Narrowing
+   replaces the Var reservation with a Fixed chunk of per-byte constant
+   stores, which chunk coalescing then merges with its neighbors —
+   e.g. an enum discriminator <= 127 becomes a one-byte fixint inside
+   the surrounding chunk, re-enabling the single-check static run. *)
+
+let u8_atom : Mplan.atom =
+  { Mplan.kind = Encoding.Kint { bits = 8; signed = false }; size = 1; align = 1 }
+
+let const_byte_items img =
+  List.init (String.length img) (fun i ->
+      Mplan.It_const
+        { off = i; atom = u8_atom; value = Int64.of_int (Char.code img.[i]) })
+
+let const_byte_ditems img =
+  List.init (String.length img) (fun i ->
+      Dplan.Dit_const
+        { off = i; atom = u8_atom; value = Int64.of_int (Char.code img.[i]) })
 
 (* ------------------------------------------------------------------ *)
 (* The rewrite engine                                                   *)
@@ -206,6 +243,17 @@ and optimize_op rw st (op : Mplan.op) : Mplan.op list =
                 arms;
             default =
               Option.map (fun (m, b) -> (m, optimize_ops rw st b)) default;
+          };
+      ]
+  | Mplan.Put_varhead { vh_image = Some img; vh_check; _ } when rw.rw_narrow ->
+      st.heads_narrowed <- st.heads_narrowed + 1;
+      [
+        Mplan.Chunk
+          {
+            size = String.length img;
+            align = 1;
+            items = const_byte_items img;
+            check = vh_check;
           };
       ]
   | op -> [ op ]
@@ -301,7 +349,7 @@ let rec exact_advance_op (op : Dplan.dop) : int option =
       Some (n * atom.Mplan.size)
   | Dplan.D_get_string _ | Dplan.D_const_str _ | Dplan.D_get_byteseq _
   | Dplan.D_get_atom_array _ | Dplan.D_loop _ | Dplan.D_opt _
-  | Dplan.D_switch _ | Dplan.D_call _ ->
+  | Dplan.D_switch _ | Dplan.D_call _ | Dplan.D_get_varhead _ ->
       None
 
 and exact_advance ops =
@@ -438,6 +486,16 @@ and optimize_dop rw st (op : Dplan.dop) : Dplan.dop list =
             default = Option.map (optimize_dframe rw st) default;
             slot;
           };
+      ]
+  (* decode twin of constant-header narrowing: the expected image
+     becomes a byte-compare chunk; the var readers reject non-minimal
+     forms, so the accepted message set is unchanged *)
+  | Dplan.D_get_varhead { vh_image = Some img; vh_slot = None; _ }
+    when rw.rw_narrow ->
+      st.heads_narrowed <- st.heads_narrowed + 1;
+      [
+        Dplan.D_chunk
+          { size = String.length img; items = const_byte_ditems img; check = true };
       ]
   | op -> [ op ]
 

@@ -31,6 +31,8 @@ type stats = {
   mutable loops_fused : int;
   mutable ensures_hoisted : int;
   mutable dead_removed : int;
+  mutable heads_narrowed : int;
+      (** constant variable-width headers folded into fixed chunks *)
 }
 
 val fresh_stats : unit -> stats
@@ -53,6 +55,10 @@ type rewrite_set = {
           removal of reservations the fused op makes redundant *)
   rw_hoist : bool;  (** loop reservation hoisting *)
   rw_dead : bool;  (** no-op alignments and empty chunks *)
+  rw_narrow : bool;
+      (** narrow constant [Put_varhead]/[D_get_varhead] reservations to
+          fixed chunks of their canonical wire image, re-enabling chunk
+          coalescing across them (self-describing encodings only) *)
 }
 (** Which rewrite classes one run of the engine may apply.  The pass
     manager ({!Pass}) registers one pass per class; composing them in

@@ -34,10 +34,18 @@ let max_size ~enc ~mint idx pres =
     | Mint.Void, _ -> Some 0
     | (Mint.Bool | Mint.Char8 | Mint.Int _ | Mint.Float _), _ -> (
         match Encoding.atom_of_mint def with
-        | Some kind ->
-            let a = atom_of enc kind in
-            let header = if enc.Encoding.typed_headers then 7 else 0 in
-            Some (header + a.Mplan.size + a.Mplan.align - 1)
+        | Some kind -> (
+            match enc.Encoding.var with
+            | Some vcc ->
+                (* value-dependent scalar: reserve its worst-case width *)
+                Some
+                  (match vcc.Encoding.v_size kind with
+                  | Encoding.Fixed n -> n
+                  | Encoding.Var { worst } -> worst)
+            | None ->
+                let a = atom_of enc kind in
+                let header = if enc.Encoding.typed_headers then 7 else 0 in
+                Some (header + a.Mplan.size + a.Mplan.align - 1))
         | None -> None)
     | Mint.Array { elem; max_len; min_len = _ }, _ -> (
         match max_len with
@@ -87,13 +95,20 @@ let max_size ~enc ~mint idx pres =
         Pres.Union { arms; default_arm; _ } ) ->
         let discrim_sz =
           match Encoding.atom_of_mint (Mint.get mint discrim) with
-          | Some kind ->
-              let a = atom_of enc kind in
-              (* the discriminator is emitted like any other scalar:
-                 under a typed-header encoding it carries its own
-                 descriptor word (4 bytes, 4-aligned) *)
-              let header = if enc.Encoding.typed_headers then 7 else 0 in
-              Some (header + a.Mplan.size + a.Mplan.align - 1)
+          | Some kind -> (
+              match enc.Encoding.var with
+              | Some vcc ->
+                  Some
+                    (match vcc.Encoding.v_size kind with
+                    | Encoding.Fixed n -> n
+                    | Encoding.Var { worst } -> worst)
+              | None ->
+                  let a = atom_of enc kind in
+                  (* the discriminator is emitted like any other scalar:
+                     under a typed-header encoding it carries its own
+                     descriptor word (4 bytes, 4-aligned) *)
+                  let header = if enc.Encoding.typed_headers then 7 else 0 in
+                  Some (header + a.Mplan.size + a.Mplan.align - 1))
           | None -> None
         in
         let arm_sizes =
@@ -256,6 +271,56 @@ let emit_const_str st s =
     Mplan.Put_const_str { s; nul; pad = padded - data } :: st.ops_rev;
   advance_static st (pad_pre + st.enc.Encoding.len_prefix.Encoding.size + padded)
 
+(* Value-dependent scalars (msgpack, CBOR).  Floats keep a static wire
+   image — a one-byte tag then a big-endian IEEE payload — so they stay
+   chunkable; everything else becomes a [Put_varhead] that reserves its
+   worst case and advances by the actual minimal width. *)
+
+let vh_worst_of (vcc : Encoding.varcodec) kind =
+  match vcc.Encoding.v_size kind with
+  | Encoding.Fixed n -> n
+  | Encoding.Var { worst } -> worst
+
+let u8_atom : Mplan.atom =
+  { Mplan.kind = Encoding.Kint { bits = 8; signed = false }; size = 1; align = 1 }
+
+let put_var_scalar st (vcc : Encoding.varcodec) kind src =
+  match kind with
+  | Encoding.Kfloat { bits } ->
+      put_atom st u8_atom (fun off ->
+          Mplan.It_const
+            {
+              off;
+              atom = u8_atom;
+              value = Int64.of_int (vcc.Encoding.v_float_tag ~bits);
+            });
+      let payload = { Mplan.kind; size = bits / 8; align = 1 } in
+      put_atom st payload (fun off ->
+          Mplan.It_atom { off; atom = payload; src })
+  | Encoding.Kbool | Encoding.Kchar | Encoding.Kint _ ->
+      emit st
+        (Mplan.Put_varhead
+           {
+             vh_kind = kind;
+             vh_worst = vh_worst_of vcc kind;
+             vh_check = not st.covered;
+             vh_src = Mplan.Vh_value src;
+             vh_image = None;
+           });
+      lose_alignment st 1
+
+let put_var_const st (vcc : Encoding.varcodec) kind value =
+  emit st
+    (Mplan.Put_varhead
+       {
+         vh_kind = kind;
+         vh_worst = vh_worst_of vcc kind;
+         vh_check = not st.covered;
+         vh_src = Mplan.Vh_const value;
+         vh_image = Some (vcc.Encoding.v_const_image kind value);
+       });
+  lose_alignment st 1
+
 (* ------------------------------------------------------------------ *)
 (* Main recursion                                                       *)
 (* ------------------------------------------------------------------ *)
@@ -286,10 +351,13 @@ let rec compile_value st (rv : Mplan.rv) idx (pres : Pres.t) =
   | Mint.Void, _ -> ()
   | (Mint.Bool | Mint.Char8 | Mint.Int _ | Mint.Float _), _ -> (
       match Encoding.atom_of_mint def with
-      | Some kind ->
-          put_header st;
-          let atom = atom_of st.enc kind in
-          put_atom st atom (fun off -> Mplan.It_atom { off; atom; src = rv })
+      | Some kind -> (
+          match st.enc.Encoding.var with
+          | Some vcc -> put_var_scalar st vcc kind rv
+          | None ->
+              put_header st;
+              let atom = atom_of st.enc kind in
+              put_atom st atom (fun off -> Mplan.It_atom { off; atom; src = rv }))
       | None -> assert false)
   | Mint.Array { elem; min_len; max_len }, _ ->
       compile_array st rv ~elem ~min_len ~max_len pres
@@ -339,7 +407,8 @@ and compile_array st rv ~elem ~min_len ~max_len (pres : Pres.t) =
   | Pres.Fixed_array sub -> (
       put_header st;
       match scalar_atom st.mint enc elem with
-      | Some atom when min_len <= st.unroll_limit ->
+      | Some atom
+        when enc.Encoding.var = None && min_len <= st.unroll_limit ->
           (* unroll small scalar arrays into the surrounding chunk *)
           let rec unroll i =
             if i < min_len then begin
@@ -464,11 +533,14 @@ and compile_union st rv ~discrim ~cases ~default ~discrim_field ~union_field
           compile_arm
             ~discrim_write:(fun () ->
               match discrim_atom with
-              | Some atom ->
-                  put_header st;
+              | Some atom -> (
                   let value = const_value case.Mint.c_const in
-                  put_atom st atom (fun off ->
-                      Mplan.It_const { off; atom; value })
+                  match enc.Encoding.var with
+                  | Some vcc -> put_var_const st vcc atom.Mplan.kind value
+                  | None ->
+                      put_header st;
+                      put_atom st atom (fun off ->
+                          Mplan.It_const { off; atom; value }))
               | None -> (
                   match case.Mint.c_const with
                   | Mint.Cstring key ->
@@ -494,15 +566,16 @@ and compile_union st rv ~discrim ~cases ~default ~discrim_field ~union_field
           compile_arm
             ~discrim_write:(fun () ->
               match discrim_atom with
-              | Some atom ->
-                  put_header st;
-                  put_atom st atom (fun off ->
-                      Mplan.It_atom
-                        {
-                          off;
-                          atom;
-                          src = Mplan.Rdiscrim { base = rv; member = discrim_field };
-                        })
+              | Some atom -> (
+                  let src =
+                    Mplan.Rdiscrim { base = rv; member = discrim_field }
+                  in
+                  match enc.Encoding.var with
+                  | Some vcc -> put_var_scalar st vcc atom.Mplan.kind src
+                  | None ->
+                      put_header st;
+                      put_atom st atom (fun off ->
+                          Mplan.It_atom { off; atom; src }))
               | None ->
                   invalid_arg
                     "Plan_compile: default arm with string discriminator")
@@ -580,10 +653,13 @@ let compile ~enc ~mint ~named ?(start = (8, 0)) ?(unroll_limit = 64)
   List.iter
     (fun root ->
       match root with
-      | Rconst_int (value, kind) ->
-          put_header st;
-          let atom = atom_of enc kind in
-          put_atom st atom (fun o -> Mplan.It_const { off = o; atom; value })
+      | Rconst_int (value, kind) -> (
+          match enc.Encoding.var with
+          | Some vcc -> put_var_const st vcc kind value
+          | None ->
+              put_header st;
+              let atom = atom_of enc kind in
+              put_atom st atom (fun o -> Mplan.It_const { off = o; atom; value }))
       | Rconst_str s ->
           put_header st;
           emit_const_str st s

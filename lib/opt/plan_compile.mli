@@ -64,6 +64,14 @@ val compile :
 val atom_of : Encoding.t -> Encoding.atom_kind -> Mplan.atom
 (** The encoding's layout for one atom, as a plan atom. *)
 
+val u8_atom : Mplan.atom
+(** One unaligned byte — the tag slot preceding a float payload under a
+    value-dependent encoding. *)
+
+val vh_worst_of : Encoding.varcodec -> Encoding.atom_kind -> int
+(** Worst-case wire width of one value-dependent scalar (the
+    reservation a [Put_varhead]/[D_get_varhead] carries). *)
+
 val len_atom : Encoding.t -> Mplan.atom
 (** The encoding's length-prefix word as a plan atom (also the Mach
     typed-header descriptor layout). *)

@@ -42,7 +42,11 @@ let rec ops_stageable (ops : Mplan.op list) =
              | Some (_, body) -> ops_stageable body)
       | Mplan.Align _ | Mplan.Chunk _ | Mplan.Ensure_count _
       | Mplan.Put_const_str _ | Mplan.Put_string _ | Mplan.Put_byteseq _
-      | Mplan.Put_atom_array _ | Mplan.Put_blit _ | Mplan.Put_len _ ->
+      | Mplan.Put_atom_array _ | Mplan.Put_blit _ | Mplan.Put_len _
+      (* variable headers stage as branchy-but-flat closures: the staged
+         compiler binds the source path and worst-case once and defers
+         the width branch to run time *)
+      | Mplan.Put_varhead _ ->
           true)
     ops
 

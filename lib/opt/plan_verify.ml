@@ -112,6 +112,33 @@ let rec check_ops path ~subs ~covered ~vars ops =
             "chunk skips its capacity check outside any covering \
              reservation (dropped ensure)";
         check_chunk_items path ~vars ~size items
+    | Mplan.Put_varhead { vh_kind = _; vh_worst; vh_check; vh_src; vh_image }
+      ->
+        if vh_worst < 1 || vh_worst > 9 then
+          failv path "variable header worst-case %d out of range" vh_worst;
+        if (not vh_check) && not covered then
+          failv path
+            "variable header skips its worst-case reservation outside any \
+             covering reservation (dropped ensure)";
+        (match vh_src with
+        | Mplan.Vh_value rv -> (
+            check_rv path vars rv;
+            match vh_image with
+            | Some _ ->
+                failv path
+                  "variable header carries a constant image but a runtime \
+                   source"
+            | None -> ())
+        | Mplan.Vh_const _ -> ());
+        (match vh_image with
+        | Some img ->
+            let n = String.length img in
+            if n < 1 || n > vh_worst then
+              failv path
+                "variable header image of %d bytes exceeds its worst-case \
+                 reservation of %d"
+                n vh_worst
+        | None -> ())
     | Mplan.Ensure_count { arr; via = _; unit_size } ->
         if unit_size <= 0 then
           failv path "reservation with non-positive unit size %d" unit_size;
@@ -291,6 +318,31 @@ let rec check_frame path ~subs ~covered (f : Dplan.frame) =
             0 items
         in
         ()
+    | Dplan.D_get_varhead { vh_worst; vh_slot; vh_expect; vh_image; _ } -> (
+        if vh_worst < 1 || vh_worst > 9 then
+          failv path "variable header worst-case %d out of range" vh_worst;
+        (match (vh_slot, vh_expect) with
+        | Some slot, None -> write path slot
+        | None, Some _ -> ()
+        | Some _, Some _ ->
+            failv path
+              "variable header both writes a slot and expects a constant"
+        | None, None ->
+            failv path
+              "variable header neither writes a slot nor expects a constant");
+        match vh_image with
+        | Some img ->
+            if vh_expect = None then
+              failv path
+                "variable header carries a constant image but no expected \
+                 value";
+            let n = String.length img in
+            if n < 1 || n > vh_worst then
+              failv path
+                "variable header image of %d bytes exceeds its worst-case \
+                 reservation of %d"
+                n vh_worst
+        | None -> ())
     | Dplan.D_get_string { max_len; slot; _ } ->
         (match max_len with
         | Some m when m < 0 -> failv path "negative maximum length %d" m

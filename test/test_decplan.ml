@@ -140,7 +140,15 @@ let qtest enc =
     (QCheck.Test.make ~count:1000 ~name Test_engines.arbitrary_case
        (decode_prop enc))
 
-let property_tests = List.map qtest [ Encoding.xdr; Encoding.cdr; Encoding.mach3 ]
+let property_tests =
+  List.map qtest
+    [
+      Encoding.xdr; Encoding.cdr; Encoding.mach3;
+      (* the value-dependent formats run the same 1000-case
+         differential: variable headers must truncate and corrupt with
+         the same typed failures as the fixed layouts *)
+      Encoding.msgpack; Encoding.cbor;
+    ]
 
 (* -- targeted failure injection --------------------------------------- *)
 

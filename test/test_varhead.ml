@@ -1,0 +1,397 @@
+(* Boundary-value coverage for the value-dependent wire formats.
+
+   The msgpack and cbor codecs pick their header width from the value,
+   so every width transition is a potential off-by-one: a value encoded
+   one byte wider than canonical must be rejected on parse, and a value
+   at the last width must not spill into the next.  Each transition is
+   pinned here byte-for-byte through the shared {!Codec} mapping (the
+   single Value.t <-> varcodec bridge every engine tier uses), then
+   round-tripped, then truncated inside the header to prove the typed
+   failure is the same for the plan executor and the naive engine.
+
+   The last group pins the verifier's rejection of an under-reserved
+   variable header — the new corruption class the Put_varhead op adds:
+   an emit whose worst case was never ensured. *)
+
+let test name f = Alcotest.test_case name `Quick f
+
+let hex b =
+  String.concat ""
+    (List.map (Printf.sprintf "%02x")
+       (List.map Char.code (List.of_seq (String.to_seq (Bytes.to_string b)))))
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let vcc_of (enc : Encoding.t) =
+  match enc.Encoding.var with
+  | Some v -> v
+  | None -> Alcotest.fail (enc.Encoding.name ^ " has no varcodec")
+
+let i32 = Encoding.Kint { bits = 32; signed = true }
+let u32 = Encoding.Kint { bits = 32; signed = false }
+
+(* emit one scalar through the shared mapping and return its hex *)
+let emit_var enc kind v =
+  let buf = Mbuf.create 16 in
+  Codec.write_var (vcc_of enc) ~check:true kind buf v;
+  Mbuf.contents buf
+
+let emit_len enc lk n =
+  let buf = Mbuf.create 16 in
+  Codec.write_vlen (vcc_of enc) ~check:true lk buf n;
+  Mbuf.contents buf
+
+(* canonical image pinned, round trip equal, whole image consumed, and
+   every proper prefix (truncation inside the header) raises the typed
+   short-buffer error *)
+let pin_scalar enc kind v expect () =
+  let img = emit_var enc kind v in
+  Alcotest.(check string) "canonical image" expect (hex img);
+  let r = Mbuf.reader_of_bytes img in
+  let got = Codec.read_var (vcc_of enc) kind r in
+  if not (Value.equal got v) then
+    Alcotest.failf "round trip: wrote %a, read %a" Value.pp v Value.pp got;
+  Alcotest.(check int) "whole image consumed" 0 (Mbuf.remaining r);
+  for cut = 0 to Bytes.length img - 1 do
+    match Codec.read_var (vcc_of enc) kind (Mbuf.reader_of_bytes ~len:cut img)
+    with
+    | (_ : Value.t) ->
+        Alcotest.failf "accepted a header truncated at %d/%d bytes" cut
+          (Bytes.length img)
+    | exception Mbuf.Short_buffer -> ()
+  done
+
+let pin_len enc lk n expect () =
+  let img = emit_len enc lk n in
+  Alcotest.(check string) "canonical image" expect (hex img);
+  let r = Mbuf.reader_of_bytes img in
+  Alcotest.(check int) "round trip" n (Codec.read_vlen (vcc_of enc) lk r);
+  Alcotest.(check int) "whole image consumed" 0 (Mbuf.remaining r);
+  for cut = 0 to Bytes.length img - 1 do
+    match Codec.read_vlen (vcc_of enc) lk (Mbuf.reader_of_bytes ~len:cut img)
+    with
+    | (_ : int) ->
+        Alcotest.failf "accepted a header truncated at %d/%d bytes" cut
+          (Bytes.length img)
+    | exception Mbuf.Short_buffer -> ()
+  done
+
+let vi n = Value.Vint n
+
+(* -- msgpack: every width transition ---------------------------------- *)
+
+let msgpack_int_tests =
+  List.map
+    (fun (v, expect) ->
+      test
+        (Printf.sprintf "msgpack int %d -> %s" v expect)
+        (pin_scalar Encoding.msgpack i32 (vi v) expect))
+    [
+      (0, "00"); (127, "7f"); (128, "cc80"); (255, "ccff"); (256, "cd0100");
+      (65535, "cdffff"); (65536, "ce00010000");
+      (-32, "e0"); (-33, "d0df"); (-128, "d080"); (-129, "d1ff7f");
+      (-32768, "d18000"); (-32769, "d2ffff7fff");
+    ]
+
+let msgpack_len_tests =
+  List.map
+    (fun (lk, lname, n, expect) ->
+      test
+        (Printf.sprintf "msgpack %s len %d -> %s" lname n expect)
+        (pin_len Encoding.msgpack lk n expect))
+    [
+      (Encoding.Lstr, "fixstr", 31, "bf");
+      (Encoding.Lstr, "str8", 32, "d920");
+      (Encoding.Lstr, "str8", 255, "d9ff");
+      (Encoding.Lstr, "str16", 256, "da0100");
+      (Encoding.Lstr, "str16", 65535, "daffff");
+      (Encoding.Lstr, "str32", 65536, "db00010000");
+      (Encoding.Lbin, "bin8", 255, "c4ff");
+      (Encoding.Lbin, "bin16", 256, "c50100");
+      (Encoding.Lbin, "bin16", 65535, "c5ffff");
+      (Encoding.Lbin, "bin32", 65536, "c600010000");
+      (Encoding.Larr, "fixarray", 15, "9f");
+      (Encoding.Larr, "array16", 16, "dc0010");
+      (Encoding.Larr, "array16", 65535, "dcffff");
+      (Encoding.Larr, "array32", 65536, "dd00010000");
+    ]
+
+(* -- cbor: 23/24, 255/256, 65535/65536 on every major type ------------ *)
+
+let cbor_int_tests =
+  List.map
+    (fun (v, expect) ->
+      test
+        (Printf.sprintf "cbor int %d -> %s" v expect)
+        (pin_scalar Encoding.cbor i32 (vi v) expect))
+    [
+      (0, "00"); (23, "17"); (24, "1818"); (255, "18ff"); (256, "190100");
+      (65535, "19ffff"); (65536, "1a00010000");
+      (-24, "37"); (-25, "3818"); (-256, "38ff"); (-257, "390100");
+      (-65536, "39ffff"); (-65537, "3a00010000");
+    ]
+
+let cbor_len_tests =
+  List.map
+    (fun (lk, lname, n, expect) ->
+      test
+        (Printf.sprintf "cbor %s len %d -> %s" lname n expect)
+        (pin_len Encoding.cbor lk n expect))
+    [
+      (Encoding.Lbin, "bytes", 23, "57");
+      (Encoding.Lbin, "bytes", 24, "5818");
+      (Encoding.Lbin, "bytes", 255, "58ff");
+      (Encoding.Lbin, "bytes", 256, "590100");
+      (Encoding.Lbin, "bytes", 65535, "59ffff");
+      (Encoding.Lbin, "bytes", 65536, "5a00010000");
+      (Encoding.Lstr, "text", 23, "77");
+      (Encoding.Lstr, "text", 24, "7818");
+      (Encoding.Lstr, "text", 255, "78ff");
+      (Encoding.Lstr, "text", 256, "790100");
+      (Encoding.Lstr, "text", 65535, "79ffff");
+      (Encoding.Lstr, "text", 65536, "7a00010000");
+      (Encoding.Larr, "array", 23, "97");
+      (Encoding.Larr, "array", 24, "9818");
+      (Encoding.Larr, "array", 255, "98ff");
+      (Encoding.Larr, "array", 256, "990100");
+      (Encoding.Larr, "array", 65535, "99ffff");
+      (Encoding.Larr, "array", 65536, "9a00010000");
+    ]
+
+(* -- non-minimal headers are rejected on parse ------------------------ *)
+
+let non_minimal_tests =
+  List.map
+    (fun (enc, name, img) ->
+      test (name ^ " rejects a non-minimal header") (fun () ->
+          let img = Bytes.of_string img in
+          match Codec.read_var (vcc_of enc) i32 (Mbuf.reader_of_bytes img) with
+          | (_ : Value.t) ->
+              Alcotest.failf "accepted non-minimal %s" (hex img)
+          | exception Codec.Decode_error _ -> ()))
+    [
+      (* 127 as uint8: one width too wide *)
+      (Encoding.msgpack, "msgpack", "\xcc\x7f");
+      (* 255 as uint16 *)
+      (Encoding.msgpack, "msgpack 16-bit", "\xcd\x00\xff");
+      (* 23 with a one-byte argument *)
+      (Encoding.cbor, "cbor", "\x18\x17");
+      (* 255 with a two-byte argument *)
+      (Encoding.cbor, "cbor 16-bit", "\x19\x00\xff");
+    ]
+
+(* -- scalar boundaries through the full pipeline ---------------------- *)
+
+(* one i32 parameter: the plan path emits Put_varhead, the naive path
+   calls Codec.write_var — both must produce exactly the pinned image *)
+let pipeline_scalar_tests =
+  List.map
+    (fun (enc, v, expect) ->
+      test
+        (Printf.sprintf "%s pipeline i32 %d -> %s" enc.Encoding.name v expect)
+        (fun () ->
+          let m = Mint.create () in
+          let idx = Mint.int32 m in
+          let roots =
+            [
+              Plan_compile.Rvalue
+                ( Mplan.Rparam { index = 0; name = "v"; deref = false },
+                  idx, Pres.Direct );
+            ]
+          in
+          let e_plan = Stub_opt.compile_encoder ~enc ~mint:m ~named:[] roots in
+          let e_naive =
+            Stub_naive.compile_encoder ~enc ~mint:m ~named:[] roots
+          in
+          let run e =
+            let buf = Mbuf.create 16 in
+            e buf [| vi v |];
+            hex (Mbuf.contents buf)
+          in
+          Alcotest.(check string) "plan bytes" expect (run e_plan);
+          Alcotest.(check string) "naive bytes" expect (run e_naive);
+          let d =
+            Stub_opt.compile_decoder ~enc ~mint:m ~named:[]
+              [ Stub_opt.Dvalue (idx, Pres.Direct) ]
+          in
+          let wire = emit_var enc i32 (vi v) in
+          match d (Mbuf.reader_of_bytes wire) with
+          | [| got |] when Value.equal got (vi v) -> ()
+          | _ -> Alcotest.fail "plan decode disagrees"))
+    (List.concat_map
+       (fun enc -> [ (enc, 127, ""); (enc, 128, ""); (enc, 65536, "") ])
+       [ Encoding.msgpack; Encoding.cbor ]
+    |> List.map (fun (enc, v, _) ->
+           let buf = Mbuf.create 16 in
+           Codec.write_var (vcc_of enc) ~check:true i32 buf (vi v);
+           (enc, v, hex (Mbuf.contents buf))))
+
+(* -- truncation mid-header parity across engine tiers ----------------- *)
+
+(* A 300-char string forces a multi-byte length header (msgpack str16,
+   cbor text+2).  Cut the wire at EVERY byte — including each byte
+   inside the header — and require the plan decoder and the naive
+   decoder to fail (or succeed) identically. *)
+let truncation_parity_tests =
+  List.map
+    (fun (enc : Encoding.t) ->
+      test
+        (enc.Encoding.name ^ ": mid-header truncation parity across tiers")
+        (fun () ->
+          let m = Mint.create () in
+          let s = Mint.string_ m ~max_len:(Some 512) in
+          let roots =
+            [
+              Plan_compile.Rvalue
+                ( Mplan.Rparam { index = 0; name = "s"; deref = false },
+                  s, Pres.Terminated_string );
+            ]
+          in
+          let droots = [ Stub_opt.Dvalue (s, Pres.Terminated_string) ] in
+          let v = Value.Vstring (String.make 300 'x') in
+          let e = Stub_opt.compile_encoder ~enc ~mint:m ~named:[] roots in
+          let buf = Mbuf.create 512 in
+          e buf [| v |];
+          let wire = Mbuf.contents buf in
+          let d_plan = Stub_opt.compile_decoder ~enc ~mint:m ~named:[] droots
+          and d_naive =
+            Stub_naive.compile_decoder ~enc ~mint:m ~named:[] droots
+          in
+          let outcome d cut =
+            match d (Mbuf.reader_of_bytes ~len:cut wire) with
+            | [| v' |] -> Some v'
+            | _ -> None
+            | exception (Mbuf.Short_buffer | Codec.Decode_error _) -> None
+          in
+          for cut = 0 to Bytes.length wire do
+            let a = outcome d_plan cut and b = outcome d_naive cut in
+            match (a, b) with
+            | None, None -> ()
+            | Some x, Some y when Value.equal x y -> ()
+            | _ ->
+                Alcotest.failf "tiers disagree at cut %d/%d" cut
+                  (Bytes.length wire)
+          done;
+          match outcome d_plan (Bytes.length wire) with
+          | Some v' when Value.equal v' v -> ()
+          | _ -> Alcotest.fail "full wire did not decode to the input"))
+    [ Encoding.msgpack; Encoding.cbor ]
+
+(* -- the verifier rejects a dropped worst-case reservation ------------ *)
+
+let verifier_tests =
+  [
+    test "generated msgpack/cbor plans verify clean" (fun () ->
+        List.iter
+          (fun enc ->
+            let m = Mint.create () in
+            let s = Mint.string_ m ~max_len:(Some 64) in
+            let arr = Mint.array m ~elem:(Mint.int32 m) ~min_len:0
+                ~max_len:(Some 16) in
+            let payload = Mint.struct_ m [ ("name", s); ("xs", arr) ] in
+            let pres =
+              Pres.Struct
+                [
+                  ("name", Pres.Terminated_string);
+                  ( "xs",
+                    Pres.Counted_seq
+                      {
+                        len_field = "_length";
+                        buf_field = "_buffer";
+                        elem = Pres.Direct;
+                      } );
+                ]
+            in
+            let roots =
+              [
+                Plan_compile.Rvalue
+                  ( Mplan.Rparam { index = 0; name = "v"; deref = false },
+                    payload, pres );
+              ]
+            in
+            let plan = Plan_compile.compile ~enc ~mint:m ~named:[] roots in
+            (match Plan_verify.check_plan plan with
+            | Ok () -> ()
+            | Error e ->
+                Alcotest.failf "%s plan rejected: %s" enc.Encoding.name
+                  (Plan_verify.error_to_string e));
+            let dplan =
+              Dplan_compile.compile ~enc ~mint:m ~named:[]
+                [ Dplan_compile.Dvalue (payload, pres) ]
+            in
+            match Plan_verify.check_dplan dplan with
+            | Ok () -> ()
+            | Error e ->
+                Alcotest.failf "%s dplan rejected: %s" enc.Encoding.name
+                  (Plan_verify.error_to_string e))
+          [ Encoding.msgpack; Encoding.cbor ]);
+    test "under-reserved variable header is rejected (pinned diagnostic)"
+      (fun () ->
+        (* vh_check = false with no covering Ensure ahead of it: the
+           emit could overrun the buffer by up to vh_worst bytes *)
+        let bad =
+          {
+            Plan_compile.p_ops =
+              [
+                Mplan.Put_varhead
+                  {
+                    vh_kind = i32;
+                    vh_worst = 5;
+                    vh_check = false;
+                    vh_src = Mplan.Vh_const 7L;
+                    vh_image = Some "\x07";
+                  };
+              ];
+            p_subs = [];
+          }
+        in
+        match Plan_verify.check_plan bad with
+        | Ok () -> Alcotest.fail "verifier accepted an under-reserved varhead"
+        | Error e ->
+            let msg = Plan_verify.error_to_string e in
+            if
+              not
+                (contains msg
+                   "variable header skips its worst-case reservation outside \
+                    any covering reservation (dropped ensure)")
+            then Alcotest.failf "wrong diagnostic: %s" msg);
+    test "self-checking variable header is accepted" (fun () ->
+        let ok =
+          {
+            Plan_compile.p_ops =
+              [
+                Mplan.Put_varhead
+                  {
+                    vh_kind = i32;
+                    vh_worst = 5;
+                    vh_check = true;
+                    vh_src = Mplan.Vh_const 7L;
+                    vh_image = Some "\x07";
+                  };
+              ];
+            p_subs = [];
+          }
+        in
+        match Plan_verify.check_plan ok with
+        | Ok () -> ()
+        | Error e ->
+            Alcotest.failf "verifier rejected a self-checking varhead: %s"
+              (Plan_verify.error_to_string e));
+    test "unsigned kinds pin the same transitions" (fun () ->
+        Alcotest.(check string) "msgpack u32 128" "cc80"
+          (hex (emit_var Encoding.msgpack u32 (vi 128)));
+        Alcotest.(check string) "cbor u32 24" "1818"
+          (hex (emit_var Encoding.cbor u32 (vi 24))));
+  ]
+
+let suite =
+  [
+    ( "varhead:boundaries",
+      msgpack_int_tests @ msgpack_len_tests @ cbor_int_tests @ cbor_len_tests
+      @ non_minimal_tests );
+    ("varhead:pipeline", pipeline_scalar_tests @ truncation_parity_tests);
+    ("varhead:verifier", verifier_tests);
+  ]
