@@ -39,12 +39,18 @@ test-tier0:
 # check_bench gates on.  The value-dependent-encoding report
 # (BENCH_7.json) runs the {msgpack,cbor} parity matrix with verifier,
 # byte-identity, decode-equality and whole-message-consumption checks
-# per cell.  check_bench re-parses every BENCH_*.json and fails on any
-# recorded self-check failure, malformed serve sweep, missing/failed
-# stage or gateway gate, or unsound selfdesc matrix.
+# per cell.  The request-tracing report (BENCH_8.json) runs the phase
+# attribution sweep with its exact phase-sum == client-RTT
+# reconciliation (direct and two-hop gateway), exemplar-coverage, and
+# disabled-recorder overhead gates; it must run last in the process,
+# since its recorder-absent baseline is the state before the recorder
+# is ever enabled.  check_bench re-parses every BENCH_*.json and fails
+# on any recorded self-check failure, malformed serve sweep,
+# missing/failed stage or gateway gate, unsound selfdesc matrix, or
+# unreconciled/uncovered tail report.
 bench-smoke:
 	dune exec bench/main.exe -- gateway --smoke --no-forward
-	dune exec bench/main.exe -- planopt sgwire decplan tracematrix serve stage gateway selfdesc --smoke
+	dune exec bench/main.exe -- planopt sgwire decplan tracematrix serve stage gateway selfdesc tail --smoke
 	dune exec bench/check_bench.exe
 
 # Every artifact at default sizes (see EXPERIMENTS.md; --full for

@@ -25,7 +25,12 @@
      additionally carries its full {msgpack,cbor} x workload x size
      matrix (>= 12 rows), every cell byte-identical across engine
      tiers, decoded back to an equal value with the whole message
-     consumed, and both plans clean under the verifier.
+     consumed, and both plans clean under the verifier;
+   - the request-tracing artifact ("tail", BENCH_8.json) additionally
+     carries a sweep whose phase shares sum to 1 with p99 exemplar
+     coverage, exact phase-sum == client-RTT reconciliation records
+     (direct and two-hop gateway, zero failures), and a passed
+     disabled-recorder overhead gate at the pinned 3%.
    Exits non-zero on any violation, or when no artifact files exist at
    all — `make ci` runs the smoke benchmarks first, so an empty
    directory means they silently wrote nothing. *)
@@ -239,6 +244,107 @@ let check_selfdesc path j =
               | _ -> err "%s: rows[%d]: missing timing keys" path i)
             rows)
 
+(* The tail artifact carries the tracing tentpole's reconciliation and
+   overhead gates, so its shape is pinned: every sweep point must
+   attribute all of its round-trip time to phases (shares summing to 1)
+   with exemplar coverage, the phase sums must have reconciled exactly
+   against the client's own clock on both the direct and the two-hop
+   gateway topology, and the disabled recorder must have cost nothing. *)
+let check_tail path j =
+  let num obj key =
+    match Obs_json.member key obj with
+    | Some v -> Obs_json.to_float v
+    | None -> None
+  in
+  (match Obs_json.member "sweep" j with
+  | None -> err "%s: tail artifact is missing its \"sweep\"" path
+  | Some sweep -> (
+      match Obs_json.to_list sweep with
+      | None -> err "%s: \"sweep\" is not an array" path
+      | Some points ->
+          if List.length points < 4 then
+            err "%s: sweep has %d points, want >= 4" path (List.length points);
+          let last_conns = ref 0 in
+          List.iteri
+            (fun i p ->
+              (match (num p "conns", num p "rps") with
+              | Some conns, Some rps ->
+                  if int_of_float conns <= !last_conns then
+                    err "%s: sweep[%d]: conns %.0f not increasing" path i conns;
+                  last_conns := int_of_float conns;
+                  if rps <= 0. then
+                    err "%s: sweep[%d]: non-positive rps %.1f" path i rps
+              | _ -> err "%s: sweep[%d]: missing conns/rps" path i);
+              (match num p "share_sum" with
+              | Some s ->
+                  if Float.abs (s -. 1.) > 0.01 then
+                    err
+                      "%s: sweep[%d]: phase shares sum to %.4f, want 1 \
+                       (unattributed time)"
+                      path i s
+              | None -> err "%s: sweep[%d]: missing share_sum" path i);
+              (match num p "exemplar_coverage" with
+              | Some c ->
+                  if c < 0.9 then
+                    err "%s: sweep[%d]: exemplar coverage %.2f below 0.9"
+                      path i c
+              | None -> err "%s: sweep[%d]: missing exemplar_coverage" path i);
+              match Obs_json.member "phases" p with
+              | None -> err "%s: sweep[%d]: missing \"phases\"" path i
+              | Some phases -> (
+                  match Obs_json.to_list phases with
+                  | Some rows when List.length rows = 8 ->
+                      List.iteri
+                        (fun k row ->
+                          match num row "share" with
+                          | Some s ->
+                              if s < 0. || s > 1. then
+                                err
+                                  "%s: sweep[%d].phases[%d]: share %.4f \
+                                   outside [0,1]"
+                                  path i k s
+                          | None ->
+                              err "%s: sweep[%d].phases[%d]: missing share"
+                                path i k)
+                        rows
+                  | Some rows ->
+                      err "%s: sweep[%d]: %d phase rows, want 8" path i
+                        (List.length rows)
+                  | None -> err "%s: sweep[%d]: \"phases\" not an array" path i))
+            points));
+  let reconcile key =
+    match Obs_json.member key j with
+    | None -> err "%s: tail artifact is missing %S" path key
+    | Some r -> (
+        match (num r "checked", num r "failures") with
+        | Some c, Some f ->
+            if c <= 0. then
+              err "%s: %s checked nothing (%.0f records)" path key c;
+            if f <> 0. then
+              err "%s: %s: %.0f phase sums did not reconcile exactly" path
+                key f
+        | _ -> err "%s: %s is missing checked/failures" path key)
+  in
+  reconcile "reconcile";
+  reconcile "gateway_reconcile";
+  match Obs_json.member "overhead_gate" j with
+  | None -> err "%s: tail artifact is missing its \"overhead_gate\"" path
+  | Some gate -> (
+      (match num gate "max_overhead" with
+      | Some m ->
+          if m > 0.03 then
+            err "%s: overhead gate loosened to %.2f (pinned 0.03)" path m
+      | None -> err "%s: overhead gate is missing max_overhead" path);
+      (match (num gate "overhead_off", num gate "max_overhead") with
+      | Some o, Some m ->
+          if o > m then
+            err "%s: disabled-recorder overhead %.4f exceeds %.2f" path o m
+      | _ -> ());
+      match Obs_json.member "passed" gate with
+      | Some (Obs_json.Bool true) -> ()
+      | Some (Obs_json.Bool false) -> err "%s: overhead gate failed" path
+      | _ -> err "%s: overhead gate is missing \"passed\"" path)
+
 let check_file path =
   match Obs_json.parse (read_all path) with
   | Error msg -> err "%s: invalid JSON: %s" path msg
@@ -249,7 +355,8 @@ let check_file path =
           if name = "serve" then check_serve_sweep path j;
           if name = "stage" then check_stage path j;
           if name = "gateway" then check_gateway path j;
-          if name = "selfdesc" then check_selfdesc path j
+          if name = "selfdesc" then check_selfdesc path j;
+          if name = "tail" then check_tail path j
       | _ -> err "%s: missing \"artifact\" name" path);
       (match Obs_json.member "self_check_failed" j with
       | Some (Obs_json.Bool false) -> ()

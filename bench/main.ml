@@ -2690,6 +2690,371 @@ let selfdesc () =
   print_endline "wrote BENCH_7.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* tail - request tracing, phase attribution, and the flight recorder  *)
+(* ------------------------------------------------------------------ *)
+
+(* The observability artifact: the request recorder ({!Obs_request})
+   over the serve and gateway stacks.  Writes BENCH_8.json with:
+   - the per-phase attribution matrix for the serve sweep: p50/p99 of
+     each of the eight request phases plus each phase's share of total
+     round-trip time, per connection count (shares must sum to 1 — the
+     phases telescope exactly, so unattributed time is a bug);
+   - reconciliation self-checks: a hand-rolled client records its own
+     send/deliver instants with the recorder's rounding rule, and every
+     completed record's eight phase durations must sum to the
+     client-observed round trip to the exact nanosecond — on the direct
+     server, and across both gateway hops stitched by trace id;
+   - exemplar coverage: every populated phase histogram must retain a
+     trace-id exemplar at its p99 bucket, so a tail report always names
+     a concrete request (gated >= 0.9);
+   - flight-recorder behavior under 1-in-8 head sampling: shed records
+     always land in the ring, Ok records are sampled, the ring stays
+     bounded;
+   - the overhead gate: with the recorder merely disabled (the
+     load-and-branch no-op path) workload throughput must sit within 3%
+     of a run in a process state that never enabled it.  Time is
+     virtual, so any difference at all means the recorder leaked
+     virtual-time cost into the serve path.
+   Any failure makes the whole run exit non-zero.
+   [--smoke] shrinks the sweeps so CI runs in seconds. *)
+
+let tail_failed = ref false
+
+let tail () =
+  print_endline "============================================================";
+  print_endline " tail - request tracing, phase attribution, flight recorder";
+  print_endline "============================================================";
+  let check what ok =
+    if not ok then begin
+      tail_failed := true;
+      Printf.printf "  SELF-CHECK FAILED: %s\n" what
+    end
+  in
+  let obs_hist name =
+    List.fold_left
+      (fun acc s ->
+        match s with Obs.Shist (n, v) when n = name -> Some v | _ -> acc)
+      None (Obs.snapshot ())
+  in
+  let all_phases =
+    [
+      Obs_request.Ingress_wire; Obs_request.Header_parse;
+      Obs_request.Queue_wait; Obs_request.Decode; Obs_request.Handler;
+      Obs_request.Encode; Obs_request.Flush_wait; Obs_request.Egress_wire;
+    ]
+  in
+  let requests_per_conn = if !smoke then 60 else 300 in
+  let rps_point () =
+    (Rpc_serve.run_workload ~requests_per_conn ~conns:32 ())
+      .Rpc_serve.sp_rps
+  in
+  (* -- recorder-absent baseline --------------------------------------- *)
+  (* Must run before this process first enables the recorder: this is
+     the reference the disabled-recorder gate compares against. *)
+  let rps_absent = rps_point () in
+
+  (* -- phase attribution sweep, recorder on --------------------------- *)
+  Obs_request.set_enabled true;
+  Obs_request.configure ~sample_every:8 ();
+  let json = Buffer.create 4096 in
+  Buffer.add_string json
+    (Printf.sprintf
+       "{\n  \"artifact\": \"tail\",\n  \"smoke\": %b,\n\
+       \  \"requests_per_conn\": %d,\n  \"sweep\": ["
+       !smoke requests_per_conn);
+  let first_point = ref true in
+  List.iter
+    (fun conns ->
+      Obs_request.clear ();
+      Obs_request.reset_metrics ();
+      let p = Rpc_serve.run_workload ~requests_per_conn ~conns () in
+      let tag = Printf.sprintf "%d conns" conns in
+      match obs_hist "serve.phase.rtt_ns" with
+      | None -> check (tag ^ ": rtt histogram registered") false
+      | Some rtt ->
+          check (tag ^ ": rtt histogram populated") (rtt.Obs.count > 0);
+          let rows =
+            List.map
+              (fun ph ->
+                let name = Obs_request.phase_name ph in
+                match obs_hist (Printf.sprintf "serve.phase.%s_ns" name) with
+                | None ->
+                    check
+                      (Printf.sprintf "%s: %s histogram registered" tag name)
+                      false;
+                    (name, None)
+                | Some s -> (name, Some s))
+              all_phases
+          in
+          Printf.printf
+            "\n-- %d conns: %.0f rps, rtt p50 %.0f ns p99 %.0f ns --\n" conns
+            p.Rpc_serve.sp_rps rtt.Obs.p50 rtt.Obs.p99;
+          Printf.printf "  %-14s %12s %12s %8s\n" "phase" "p50_ns" "p99_ns"
+            "share";
+          let share_sum = ref 0. in
+          let populated = ref 1 and with_exemplar = ref 0 in
+          (match rtt.Obs.p99_exemplar with
+          | Some _ -> incr with_exemplar
+          | None -> ());
+          let phase_json =
+            String.concat ", "
+              (List.filter_map
+                 (fun (name, s) ->
+                   match s with
+                   | None -> None
+                   | Some s ->
+                       let share =
+                         if rtt.Obs.sum > 0. then s.Obs.sum /. rtt.Obs.sum
+                         else 0.
+                       in
+                       share_sum := !share_sum +. share;
+                       if s.Obs.count > 0 then begin
+                         incr populated;
+                         match s.Obs.p99_exemplar with
+                         | Some _ -> incr with_exemplar
+                         | None -> ()
+                       end;
+                       Printf.printf "  %-14s %12.0f %12.0f %7.1f%%\n" name
+                         s.Obs.p50 s.Obs.p99 (100. *. share);
+                       Some
+                         (Printf.sprintf
+                            "{ \"phase\": %S, \"p50_ns\": %.0f, \"p99_ns\": \
+                             %.0f, \"share\": %.4f }"
+                            name s.Obs.p50 s.Obs.p99 share))
+                 rows)
+          in
+          let coverage =
+            float_of_int !with_exemplar /. float_of_int (max 1 !populated)
+          in
+          check
+            (tag ^ ": phase shares sum to 1 (exact attribution)")
+            (Float.abs (!share_sum -. 1.) < 1e-6);
+          check
+            (Printf.sprintf "%s: p99 exemplar coverage %.2f >= 0.9" tag
+               coverage)
+            (coverage >= 0.9);
+          Buffer.add_string json
+            (Printf.sprintf
+               "%s\n    { \"conns\": %d, \"rps\": %.1f, \"ok\": %d, \
+                \"requests\": %d, \"rtt_p50_ns\": %.0f, \"rtt_p99_ns\": \
+                %.0f, \"share_sum\": %.6f, \"exemplar_coverage\": %.4f, \
+                \"flight\": { \"sampled\": %d, \"dropped\": %d, \"ring\": \
+                %d, \"capacity\": %d },\n\
+               \      \"phases\": [ %s ] }"
+               (if !first_point then "" else ",")
+               conns p.Rpc_serve.sp_rps p.Rpc_serve.sp_ok
+               p.Rpc_serve.sp_requests rtt.Obs.p50 rtt.Obs.p99 !share_sum
+               coverage
+               (Obs_request.sampled_count ())
+               (Obs_request.dropped_count ())
+               (List.length (Obs_request.ring_records ()))
+               (Obs_request.ring_capacity ())
+               phase_json);
+          first_point := false;
+          (* the 64-connection point overruns the budget, so shed
+             records must have been force-pushed past head sampling *)
+          if conns = 64 then begin
+            check "64 conns: head sampling drops some Ok records"
+              (Obs_request.dropped_count () > 0);
+            check "64 conns: shed outcomes always land in the ring"
+              (List.exists
+                 (fun r -> Obs_request.outcome r = Obs_request.Rshed)
+                 (Obs_request.ring_records ()));
+            check "64 conns: flight ring stays bounded"
+              (List.length (Obs_request.ring_records ())
+              <= Obs_request.ring_capacity ())
+          end)
+    [ 1; 8; 32; 64 ];
+  Buffer.add_string json "\n  ]";
+
+  (* -- exact reconciliation: direct serve ----------------------------- *)
+  Obs_request.configure ();
+  let rec_checked = ref 0 and rec_failures = ref 0 in
+  let conns = 8 and per_conn = if !smoke then 20 else 50 in
+  let finished : (int * int, Obs_request.record) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  Obs_request.set_sink
+    (Some
+       (fun r ->
+         Hashtbl.replace finished (Obs_request.conn r, Obs_request.seq r) r));
+  let sim = Sim_core.create () in
+  let server =
+    Rpc_serve.create ~sim ~ingress:(Link.ethernet_100 ~sim)
+      ~egress:(Link.ethernet_100 ~sim) ()
+  in
+  let pc = Paper_fixtures.bench_presc `Rpcgen in
+  let ms = Paper_fixtures.request_spec pc ~op:"send_ints" in
+  let spec = Rpc_serve.echo_op ~iface:1 ~op:1 ~enc:Encoding.xdr ms in
+  Rpc_serve.register server spec;
+  let value = Paper_fixtures.payload `Ints ~bytes:1024 in
+  for c = 0 to conns - 1 do
+    let cid = ref (-1) in
+    let send_ns : (int, int) Hashtbl.t = Hashtbl.create 64 in
+    let conn =
+      Rpc_serve.connect server ~deliver:(fun data ->
+          let now = Obs_request.ns_of_s (Sim_core.now sim) in
+          List.iter
+            (fun (status, seq, _payload) ->
+              if status = Rpc_serve.Sok then begin
+                let rtt = now - Hashtbl.find send_ns seq in
+                incr rec_checked;
+                match Hashtbl.find_opt finished (!cid, seq) with
+                | Some r ->
+                    if
+                      not
+                        (Obs_request.phase_total_ns r = rtt
+                        && Obs_request.rtt_ns r = rtt)
+                    then incr rec_failures
+                | None -> incr rec_failures
+              end)
+            (Rpc_serve.parse_replies data))
+    in
+    cid := Rpc_serve.conn_id conn;
+    for k = 0 to per_conn - 1 do
+      Sim_core.schedule sim
+        ~delay:
+          ((float_of_int k *. 2e-3) +. (float_of_int c *. 160e-6))
+        (fun () ->
+          Hashtbl.replace send_ns k
+            (Obs_request.ns_of_s (Sim_core.now sim));
+          Rpc_serve.send conn (Rpc_serve.request_frame spec ~seq:k [| value |]))
+    done
+  done;
+  Sim_core.run sim;
+  Printf.printf
+    "\nreconciliation, direct serve: %d/%d Ok requests, phase sums == \
+     client RTT exactly: %s\n"
+    !rec_checked (conns * per_conn)
+    (if !rec_failures = 0 then "yes" else
+       Printf.sprintf "NO (%d mismatches)" !rec_failures);
+  check "direct serve: reconciliation covered the workload"
+    (!rec_checked >= conns * per_conn * 9 / 10);
+  check "direct serve: every phase sum equals the client RTT exactly"
+    (!rec_failures = 0);
+  Buffer.add_string json
+    (Printf.sprintf
+       ",\n  \"reconcile\": { \"requests\": %d, \"checked\": %d, \
+        \"failures\": %d }"
+       (conns * per_conn) !rec_checked !rec_failures);
+
+  (* -- exact reconciliation: both gateway hops ------------------------ *)
+  Obs_request.clear ();
+  let by_trace : (int, Obs_request.record list) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  Obs_request.set_sink
+    (Some
+       (fun r ->
+         let t = Obs_request.trace_id r in
+         Hashtbl.replace by_trace t
+           (r :: Option.value ~default:[] (Hashtbl.find_opt by_trace t))));
+  let gw_requests = if !smoke then 8 else 32 in
+  let sim = Sim_core.create () in
+  let gw =
+    Rpc_gateway.create ~sim ~src:Encoding.cdr ~dst:Encoding.xdr ()
+  in
+  let pcg = Paper_fixtures.bench_presc `Corba in
+  let msg = Paper_fixtures.request_spec pcg ~op:"send_ints" in
+  Rpc_gateway.register gw msg ~iface:1 ~op:1;
+  let gvals = [| Paper_fixtures.payload `Ints ~bytes:1024 |] in
+  let gsend_ns : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let client_rtt : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let gconn =
+    Rpc_gateway.connect gw ~deliver:(fun data ->
+        let now = Obs_request.ns_of_s (Sim_core.now sim) in
+        List.iter
+          (fun (status, seq, _payload) ->
+            if status = Rpc_serve.Sok then
+              Hashtbl.replace client_rtt seq (now - Hashtbl.find gsend_ns seq))
+          (Rpc_serve.parse_replies data))
+  in
+  for seq = 0 to gw_requests - 1 do
+    Sim_core.schedule sim ~delay:(float_of_int seq *. 2e-3) (fun () ->
+        let f = Rpc_gateway.client_frame gw msg ~iface:1 ~op:1 ~seq gvals in
+        Hashtbl.replace gsend_ns seq (Obs_request.ns_of_s (Sim_core.now sim));
+        Rpc_gateway.send gconn f)
+  done;
+  Sim_core.run sim;
+  let gw_checked = ref 0 and gw_failures = ref 0 in
+  Hashtbl.iter
+    (fun _t recs ->
+      let hop0 = List.find_opt (fun r -> Obs_request.hop r = 0) recs in
+      let hop1 = List.find_opt (fun r -> Obs_request.hop r = 1) recs in
+      match (hop0, hop1) with
+      | Some h0, Some h1 -> (
+          match Hashtbl.find_opt client_rtt (Obs_request.seq h0) with
+          | Some rtt ->
+              incr gw_checked;
+              if
+                not
+                  (Obs_request.phase_total_ns h0
+                   + Obs_request.phase_total_ns h1
+                   = rtt
+                  && Obs_request.backend_ns h0
+                     = Obs_request.phase_total_ns h1)
+              then incr gw_failures
+          | None -> incr gw_failures)
+      | _ -> incr gw_failures)
+    by_trace;
+  Printf.printf
+    "reconciliation, gateway (cdr -> xdr): %d/%d traces, hop0 + hop1 phase \
+     sums == client RTT exactly: %s\n"
+    !gw_checked gw_requests
+    (if !gw_failures = 0 then "yes" else
+       Printf.sprintf "NO (%d mismatches)" !gw_failures);
+  check "gateway: every request produced both hop records"
+    (!gw_checked = gw_requests);
+  check "gateway: two-hop phase sums equal the client RTT exactly"
+    (!gw_failures = 0);
+  Buffer.add_string json
+    (Printf.sprintf
+       ",\n  \"gateway_reconcile\": { \"requests\": %d, \"checked\": %d, \
+        \"failures\": %d }"
+       gw_requests !gw_checked !gw_failures);
+
+  (* -- overhead gate: disabled recorder must be free ------------------ *)
+  Obs_request.set_sink None;
+  Obs_request.clear ();
+  let rps_on = rps_point () in
+  Obs_request.set_enabled false;
+  let rps_off = rps_point () in
+  let max_overhead = 0.03 in
+  let overhead_off = Float.abs (rps_off -. rps_absent) /. rps_absent in
+  Printf.printf
+    "\noverhead gate: %.0f rps recorder-absent, %.0f disabled (%.2f%% \
+     apart, gate %.0f%%), %.0f enabled\n"
+    rps_absent rps_off (100. *. overhead_off) (100. *. max_overhead) rps_on;
+  check
+    (Printf.sprintf
+       "recorder-off throughput within %.0f%% of recorder-absent"
+       (100. *. max_overhead))
+    (overhead_off <= max_overhead);
+  Buffer.add_string json
+    (Printf.sprintf
+       ",\n  \"overhead_gate\": { \"rps_absent\": %.1f, \"rps_off\": %.1f, \
+        \"rps_on\": %.1f, \"overhead_off\": %.6f, \"max_overhead\": %.2f, \
+        \"passed\": %b }"
+       rps_absent rps_off rps_on overhead_off max_overhead
+       (overhead_off <= max_overhead));
+  Obs_request.clear ();
+  Buffer.add_string json
+    (Printf.sprintf ",\n  \"self_check_failed\": %b\n}\n" !tail_failed);
+  (match Obs_json.parse (Buffer.contents json) with
+  | Ok _ -> ()
+  | Error msg -> check (Printf.sprintf "BENCH_8.json parses: %s" msg) false);
+  let oc = open_out "BENCH_8.json" in
+  Buffer.output_buffer oc json;
+  close_out oc;
+  if !tail_failed then
+    print_endline "\ntail: SELF-CHECK FAILURES above; exiting non-zero"
+  else
+    print_endline
+      "\nall attribution, reconciliation, exemplar, sampling, and \
+       overhead checks passed";
+  print_endline "wrote BENCH_8.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -2700,7 +3065,7 @@ let artifacts =
     ("fig7", fig7); ("ablations", ablations); ("planopt", planopt);
     ("sgwire", sgwire); ("decplan", decplan); ("tracematrix", tracematrix);
     ("serve", serve); ("stage", stage); ("gateway", gateway);
-    ("selfdesc", selfdesc);
+    ("selfdesc", selfdesc); ("tail", tail);
   ]
 
 let () =
@@ -2748,5 +3113,5 @@ let () =
   if
     !planopt_failed || !sgwire_failed || !decplan_failed
     || !tracematrix_failed || !serve_failed || !stage_failed
-    || !gateway_failed || !selfdesc_failed
+    || !gateway_failed || !selfdesc_failed || !tail_failed
   then exit 1

@@ -38,6 +38,7 @@ let handle_diag f =
    We strip them from argv before cmdliner parses it. *)
 let trace_out = ref None
 let metrics_out = ref None
+let flight_out = ref None
 
 let set_stage v =
   match v with
@@ -68,6 +69,9 @@ let filter_obs_flags argv =
     | "--metrics-out" :: v :: rest ->
         metrics_out := Some v;
         go acc rest
+    | "--flight-out" :: v :: rest ->
+        flight_out := Some v;
+        go acc rest
     | "--stage" :: v :: rest ->
         set_stage v;
         go acc rest
@@ -79,6 +83,9 @@ let filter_obs_flags argv =
         go acc rest
     | a :: rest when prefixed "--metrics-out=" a ->
         metrics_out := Some (tail "--metrics-out=" a);
+        go acc rest
+    | a :: rest when prefixed "--flight-out=" a ->
+        flight_out := Some (tail "--flight-out=" a);
         go acc rest
     | a :: rest when prefixed "--stage=" a ->
         set_stage (tail "--stage=" a);
@@ -433,6 +440,12 @@ let stats_cmd =
           (Driver.compile Driver.Idl_corba Driver.Pres_corba
              Driver.Back_oncrpc ~file ~source ~interface:None);
         run_builtin_workload ~enc:encoding ();
+        (* A short traced serve run so the request-phase breakdown section
+           of the registry has data to report. *)
+        Obs_request.set_enabled true;
+        ignore
+          (Rpc_serve.run_workload ~enc:encoding ~requests_per_conn:32
+             ~conns:4 ());
         Printf.printf "workload encoding: %s\n" encoding.Encoding.name;
         Printf.printf "staged specialization: %s (promotion threshold %d calls)\n\n"
           (if Opt_config.stage_enabled () then "on" else "off")
@@ -467,6 +480,7 @@ let stats_cmd =
 let serve_cmd =
   let run conns requests enc max_in_flight =
     handle_diag (fun () ->
+        Obs_request.set_enabled true;
         let config =
           { Rpc_serve.default_config with Rpc_serve.max_in_flight }
         in
@@ -493,7 +507,20 @@ let serve_cmd =
           st.Rpc_serve.st_flushes st.Rpc_serve.st_coalesced;
         Printf.printf "  wire        %8d bytes in, %d bytes out\n\n"
           st.Rpc_serve.st_bytes_in st.Rpc_serve.st_bytes_out;
-        print_string (Obs.render_table ()))
+        print_string (Obs.render_table ());
+        (* Fault paths always land in the flight ring; if any did and no
+           explicit --flight-out was given, dump the ring anyway so the
+           evidence is not lost when the process exits. *)
+        let faulted =
+          List.exists
+            (fun r -> Obs_request.outcome r <> Obs_request.Rok)
+            (Obs_request.ring_records ())
+        in
+        if !flight_out = None && faulted then begin
+          let path = "flick-flight.json" in
+          write_file path (Obs_request.flight_to_json ());
+          Printf.printf "\nfaulted requests in flight ring; wrote %s\n" path
+        end)
   in
   let conns_arg =
     Arg.(
@@ -537,7 +564,9 @@ let main =
           al., PLDI 1997).  $(b,--trace-out=FILE) (any position) writes a \
           Chrome trace_event JSON of the run's compile stages, optimizer \
           passes and simulated RPCs; $(b,--metrics-out=FILE) writes the \
-          metrics registry as JSON lines.  $(b,--stage=on|off) and \
+          metrics registry as JSON lines; $(b,--flight-out=FILE) enables \
+          the request flight recorder and writes its ring as JSON.  \
+          $(b,--stage=on|off) and \
           $(b,--stage-threshold=N) (any position) control the tier-1 \
           staged plan specializer: whether hot plans are promoted to \
           flat closures, and after how many calls.")
@@ -553,11 +582,15 @@ let () =
     Obs.set_timing true
   end;
   if !metrics_out <> None then Obs.set_timing true;
+  if !flight_out <> None then Obs_request.set_enabled true;
   let code = Cmd.eval ~argv main in
   (match !trace_out with
   | Some path -> write_file path (Obs_trace.to_chrome_json ())
   | None -> ());
   (match !metrics_out with
   | Some path -> write_file path (Obs.to_jsonl ())
+  | None -> ());
+  (match !flight_out with
+  | Some path -> write_file path (Obs_request.flight_to_json ())
   | None -> ());
   exit code

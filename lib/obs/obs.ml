@@ -73,6 +73,9 @@ type hist = {
   mutable h_sum : float;
   mutable h_min : float;
   mutable h_max : float;
+  (* One representative trace id per bucket (0 = none), allocated on the
+     first exemplared observation so plain histograms pay nothing. *)
+  mutable h_exemplars : int array option;
 }
 
 type metric =
@@ -117,6 +120,7 @@ let hist name =
       h_sum = 0.;
       h_min = 0.;
       h_max = 0.;
+      h_exemplars = None;
     }
   in
   register name (Hist h);
@@ -147,6 +151,35 @@ let observe h v =
     if v > h.h_max then h.h_max <- v
   end;
   h.h_count <- h.h_count + 1
+
+(* An exemplared observation additionally remembers which request landed
+   in the bucket: the latest trace id wins, so a p99 bucket always names
+   a concrete request timeline from the current run. *)
+let observe_ex h v ~exemplar =
+  observe h v;
+  if exemplar <> 0 then begin
+    let ex =
+      match h.h_exemplars with
+      | Some a -> a
+      | None ->
+          let a = Array.make n_buckets 0 in
+          h.h_exemplars <- Some a;
+          a
+    in
+    ex.(bucket_of (if Float.is_nan v then 0. else v)) <- exemplar
+  end
+
+let bucket_counts h = Array.copy h.h_buckets
+
+let exemplars h =
+  match h.h_exemplars with
+  | None -> []
+  | Some ex ->
+      let acc = ref [] in
+      for i = n_buckets - 1 downto 0 do
+        if ex.(i) <> 0 then acc := (i, ex.(i)) :: !acc
+      done;
+      !acc
 
 (* Sub-bucket estimate: walk the cumulative distribution to the bucket
    holding the requested rank, then interpolate linearly inside it —
@@ -182,6 +215,23 @@ let percentile h p =
     go 0 0
   end
 
+(* The exemplar backing a percentile: the trace id retained in the
+   bucket the percentile estimate falls into (or the nearest populated
+   bucket below it, since clamping can pull the estimate under its
+   rank's bucket boundary). *)
+let exemplar_at h p =
+  match h.h_exemplars with
+  | None -> None
+  | Some ex ->
+      if h.h_count = 0 then None
+      else begin
+        let b = ref (bucket_of (percentile h p)) in
+        while !b > 0 && ex.(!b) = 0 do
+          decr b
+        done;
+        if ex.(!b) = 0 then None else Some ex.(!b)
+      end
+
 type hist_summary = {
   count : int;
   sum : float;
@@ -190,6 +240,8 @@ type hist_summary = {
   p50 : float;
   p90 : float;
   p99 : float;
+  p99_exemplar : int option;
+      (* trace id retained in the p99 bucket, when one was recorded *)
 }
 
 let hist_summary h =
@@ -201,6 +253,7 @@ let hist_summary h =
     p50 = percentile h 50.;
     p90 = percentile h 90.;
     p99 = percentile h 99.;
+    p99_exemplar = exemplar_at h 99.;
   }
 
 let probe name f = register name (Probe f)
@@ -226,6 +279,14 @@ let snapshot () =
           List.map (fun (k, v) -> Svalue (name ^ "." ^ k, v)) (f ()))
     !metrics
 
+let reset_hist h =
+  Array.fill h.h_buckets 0 n_buckets 0;
+  h.h_count <- 0;
+  h.h_sum <- 0.;
+  h.h_min <- 0.;
+  h.h_max <- 0.;
+  h.h_exemplars <- None
+
 let reset_all () =
   List.iter
     (fun (_, m) ->
@@ -234,12 +295,7 @@ let reset_all () =
       | Gauge g ->
           g.g_value <- 0.;
           g.g_high <- 0.
-      | Hist h ->
-          Array.fill h.h_buckets 0 n_buckets 0;
-          h.h_count <- 0;
-          h.h_sum <- 0.;
-          h.h_min <- 0.;
-          h.h_max <- 0.
+      | Hist h -> reset_hist h
       | Probe _ -> ())
     !metrics
 
@@ -249,6 +305,13 @@ let pp_value v =
   if Float.is_integer v && Float.abs v < 1e15 then
     Printf.sprintf "%.0f" v
   else Printf.sprintf "%.1f" v
+
+(* Extra report sections appended to the table by other layers (the
+   request recorder's phase breakdown registers one).  A section
+   renderer returning "" contributes nothing, so the table only grows
+   when a section has data. *)
+let sections : (unit -> string) list ref = ref []
+let add_section f = sections := !sections @ [ f ]
 
 let render_table () =
   let b = Buffer.create 1024 in
@@ -273,6 +336,7 @@ let render_table () =
                name h.count (pp_value h.sum) (pp_value h.min) (pp_value h.p50)
                (pp_value h.p90) (pp_value h.p99) (pp_value h.max)))
     (snapshot ());
+  List.iter (fun f -> Buffer.add_string b (f ())) !sections;
   Buffer.contents b
 
 let json_escape s =
@@ -312,10 +376,17 @@ let to_jsonl () =
           line "{\"metric\":\"%s\",\"type\":\"value\",\"value\":%s}"
             (json_escape name) (json_num v)
       | Shist (name, h) ->
+          (* the exemplar member only appears when one was recorded, so
+             exemplar-free exports stay byte-identical *)
+          let ex =
+            match h.p99_exemplar with
+            | Some tr -> Printf.sprintf ",\"p99_exemplar\":%d" tr
+            | None -> ""
+          in
           line
-            "{\"metric\":\"%s\",\"type\":\"histogram\",\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s,\"p50\":%s,\"p90\":%s,\"p99\":%s}"
+            "{\"metric\":\"%s\",\"type\":\"histogram\",\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s,\"p50\":%s,\"p90\":%s,\"p99\":%s%s}"
             (json_escape name) h.count (json_num h.sum) (json_num h.min)
             (json_num h.max) (json_num h.p50) (json_num h.p90)
-            (json_num h.p99))
+            (json_num h.p99) ex)
     (snapshot ());
   Buffer.contents b

@@ -70,6 +70,28 @@ type hist
 val hist : string -> hist
 val observe : hist -> float -> unit
 
+val observe_ex : hist -> float -> exemplar:int -> unit
+(** {!observe}, additionally retaining [exemplar] (a trace id; 0 means
+    none) as the representative of the bucket the value lands in — the
+    latest observation wins, so a p99 bucket always names a concrete
+    request from the current run.  The per-bucket exemplar array is
+    allocated on first use; plain histograms pay nothing. *)
+
+val exemplar_at : hist -> float -> int option
+(** The trace id retained in the bucket the given percentile's estimate
+    falls into (falling back to the nearest populated bucket below when
+    clamping moved the estimate), or [None] when no exemplar was
+    recorded. *)
+
+val exemplars : hist -> (int * int) list
+(** All retained [(bucket index, trace id)] exemplars, ascending. *)
+
+val bucket_counts : hist -> int array
+(** A copy of the per-bucket occupancy counts (64 log-2 buckets). *)
+
+val reset_hist : hist -> unit
+(** Zero one histogram's samples and exemplars in place. *)
+
 val percentile : hist -> float -> float
 (** Sub-bucket estimate: the rank's bucket is found on the cumulative
     distribution, then interpolated linearly inside — samples are
@@ -87,6 +109,8 @@ type hist_summary = {
   p50 : float;
   p90 : float;
   p99 : float;
+  p99_exemplar : int option;
+      (** trace id retained in the p99 bucket, when one was recorded *)
 }
 
 val hist_summary : hist -> hist_summary
@@ -112,7 +136,14 @@ val reset_all : unit -> unit
 (** Zero every instrument's state; registrations survive. *)
 
 val render_table : unit -> string
-(** Human-readable table ([flick stats]). *)
+(** Human-readable table ([flick stats]), followed by any registered
+    {!add_section} renderings that return non-empty text. *)
+
+val add_section : (unit -> string) -> unit
+(** Append a report section to {!render_table}'s output.  The renderer
+    runs at render time and should return [""] when it has nothing to
+    show, so unused subsystems leave the table untouched (the request
+    recorder's phase breakdown registers itself this way). *)
 
 val to_jsonl : unit -> string
 (** One JSON object per line per instrument ([--metrics-out]). *)

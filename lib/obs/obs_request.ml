@@ -1,0 +1,478 @@
+(* Request-scoped tracing: per-request phase timelines on the
+   simulator's virtual clock, plus the bounded flight-recorder ring.
+
+   A record is created when the client transmits a frame and keyed by
+   (domain, connection, sequence number) — the same correlation triple
+   the server and gateway already demultiplex on, so trace context
+   crosses hops without touching the wire format.  As the request moves
+   through the system the owning layer marks phase boundaries; every
+   boundary is rounded to integer virtual nanoseconds, and each phase
+   duration is the integer difference of consecutive boundaries, so the
+   eight phases telescope: their sum is exactly (end - t0), which is
+   exactly the client-observed round trip when the client rounds its
+   own clock readings the same way.  No float summation order can break
+   the reconciliation — it is integer arithmetic by construction.
+
+   A two-hop (gateway) request is two records sharing one trace id: the
+   client-facing hop 0 skips over the backend window with [skip_to]
+   (the skipped nanoseconds are the backend hop 1's own record), so
+   hop-0 phases + hop-1 phases still telescope to the client RTT.
+
+   Sampling: records with a fault outcome (shed, bad request, unknown
+   op, killed or vanished connection) are always pushed into the ring;
+   Ok records are head-sampled 1-in-N at creation time.  The ring keeps
+   the last [ring_capacity] pushed records.
+
+   Disabled (the default), nothing here runs: every instrumentation
+   site in the server loop checks [enabled ()] — one load and a branch
+   — before touching this module, so the recorder costs the hot path
+   nothing and allocates nothing. *)
+
+(* ------------------------------------------------------------------ *)
+(* Phases                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type phase =
+  | Ingress_wire  (* client send -> frame at the server's parser *)
+  | Header_parse  (* frame header decode (instantaneous in virtual time) *)
+  | Queue_wait  (* admission + waiting for the serial CPU *)
+  | Decode  (* unmarshal share of the service window *)
+  | Handler  (* fixed dispatch/handler share of the service window *)
+  | Encode  (* marshal share of the service window *)
+  | Flush_wait  (* reply queued until its coalesced flush fires *)
+  | Egress_wire  (* flush transmit -> delivery at the client *)
+
+let n_phases = 8
+
+let phase_index = function
+  | Ingress_wire -> 0
+  | Header_parse -> 1
+  | Queue_wait -> 2
+  | Decode -> 3
+  | Handler -> 4
+  | Encode -> 5
+  | Flush_wait -> 6
+  | Egress_wire -> 7
+
+let phase_names =
+  [|
+    "ingress_wire"; "header_parse"; "queue_wait"; "decode"; "handler";
+    "encode"; "flush_wait"; "egress_wire";
+  |]
+
+let phase_name p = phase_names.(phase_index p)
+
+type outcome = Rok | Rshed | Rbad_request | Runknown_op | Rdropped | Rkilled
+
+let outcome_name = function
+  | Rok -> "ok"
+  | Rshed -> "shed"
+  | Rbad_request -> "bad_request"
+  | Runknown_op -> "unknown_op"
+  | Rdropped -> "dropped"
+  | Rkilled -> "killed_conn"
+
+(* ------------------------------------------------------------------ *)
+(* Records                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type record = {
+  rq_trace : int;
+  rq_hop : int;  (* 0 = client-facing hop, 1 = backend hop *)
+  rq_domain : int;
+  rq_conn : int;
+  rq_seq : int;
+  rq_t0_ns : int;  (* client transmit instant *)
+  rq_phases : int array;  (* ns per phase, length n_phases *)
+  mutable rq_end_ns : int;  (* last boundary recorded *)
+  mutable rq_skip_ns : int;  (* hop-0 window owned by the other hop *)
+  mutable rq_wire_queue_ns : int;  (* link-queueing share of the wire phases *)
+  mutable rq_outcome : outcome;
+  mutable rq_sampled : bool;  (* head-sampling decision, made at creation *)
+  mutable rq_done : bool;
+}
+
+let trace_id r = r.rq_trace
+let hop r = r.rq_hop
+let conn r = r.rq_conn
+let seq r = r.rq_seq
+let outcome r = r.rq_outcome
+let t0_ns r = r.rq_t0_ns
+let end_ns r = r.rq_end_ns
+let rtt_ns r = r.rq_end_ns - r.rq_t0_ns
+let backend_ns r = r.rq_skip_ns
+let wire_queue_ns r = r.rq_wire_queue_ns
+let phase_ns r p = r.rq_phases.(phase_index p)
+let phase_total_ns r = Array.fold_left ( + ) 0 r.rq_phases
+
+(* Boundaries round half-up to integer virtual nanoseconds; the client
+   and every hop round the same virtual-clock floats with this same
+   function, so a shared instant always lands on the same integer. *)
+let ns_of_s s = int_of_float (Float.round (s *. 1e9))
+
+(* ------------------------------------------------------------------ *)
+(* Recorder state                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let enabled_flag = ref false
+let enabled () = !enabled_flag
+
+let sample_every = ref 1
+let next_trace = ref 0
+let next_domain = ref 0
+let head_tick = ref 0
+let n_sampled = ref 0
+let n_dropped = ref 0
+
+let sampled_count () = !n_sampled
+let dropped_count () = !n_dropped
+
+let new_domain () =
+  incr next_domain;
+  !next_domain
+
+(* In-flight records and propagated (pre-registered) trace contexts,
+   both keyed by the correlation triple. *)
+let inflight : (int * int * int, record) Hashtbl.t = Hashtbl.create 64
+
+let pending_ctx : (int * int * int, int * int * bool) Hashtbl.t =
+  Hashtbl.create 16
+
+let sink : (record -> unit) option ref = ref None
+let set_sink f = sink := f
+
+(* The flight ring: last N pushed records, oldest overwritten first. *)
+let ring_buf : record option array ref = ref (Array.make 256 None)
+let ring_next = ref 0
+let ring_count = ref 0
+
+let ring_capacity () = Array.length !ring_buf
+
+let ring_push r =
+  let buf = !ring_buf in
+  let cap = Array.length buf in
+  buf.(!ring_next) <- Some r;
+  ring_next := (!ring_next + 1) mod cap;
+  if !ring_count < cap then incr ring_count
+
+let ring_records () =
+  let buf = !ring_buf in
+  let cap = Array.length buf in
+  let start = (!ring_next - !ring_count + cap) mod cap in
+  List.init !ring_count (fun i ->
+      match buf.((start + i) mod cap) with
+      | Some r -> r
+      | None -> assert false)
+
+let clear () =
+  Hashtbl.reset inflight;
+  Hashtbl.reset pending_ctx;
+  (* trace ids restart; recorder domains do not — live servers hold
+     theirs, and colliding domains would cross-wire correlation *)
+  next_trace := 0;
+  Array.fill !ring_buf 0 (Array.length !ring_buf) None;
+  ring_next := 0;
+  ring_count := 0;
+  head_tick := 0;
+  n_sampled := 0;
+  n_dropped := 0
+
+let configure ?ring_capacity ?sample_every:se () =
+  (match ring_capacity with
+  | Some n when n >= 1 -> ring_buf := Array.make n None
+  | _ -> ());
+  (match se with Some n when n >= 1 -> sample_every := n | _ -> ());
+  clear ()
+
+(* ------------------------------------------------------------------ *)
+(* Registry instruments (registered on first enable, so processes that
+   never record keep their metric tables unchanged)                     *)
+(* ------------------------------------------------------------------ *)
+
+type inst = { i_phase : Obs.hist array; i_rtt : Obs.hist }
+
+let inst =
+  lazy
+    (Obs.probe "serve.flight" (fun () ->
+         [
+           ("sampled", float_of_int !n_sampled);
+           ("dropped", float_of_int !n_dropped);
+         ]);
+     {
+       i_phase =
+         Array.map
+           (fun n -> Obs.hist (Printf.sprintf "serve.phase.%s_ns" n))
+           phase_names;
+       i_rtt = Obs.hist "serve.phase.rtt_ns";
+     })
+
+let set_enabled b =
+  if b then ignore (Lazy.force inst);
+  enabled_flag := b
+
+let reset_metrics () =
+  if Lazy.is_val inst then begin
+    let i = Lazy.force inst in
+    Array.iter Obs.reset_hist i.i_phase;
+    Obs.reset_hist i.i_rtt
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let find ~domain ~conn ~seq = Hashtbl.find_opt inflight (domain, conn, seq)
+
+(* Pre-register trace context for a request about to be transmitted on
+   another hop: the gateway calls this with the backend connection and
+   proxy sequence number before relaying, so the backend hop's record
+   joins the client's trace instead of starting a fresh one. *)
+let propagate ~domain ~conn ~seq ~trace ~hop ~sampled =
+  if !enabled_flag then
+    Hashtbl.replace pending_ctx (domain, conn, seq) (trace, hop, sampled)
+
+let client_send ~domain ~conn ~seq ~now_s =
+  let key = (domain, conn, seq) in
+  let trace, hop, sampled =
+    match Hashtbl.find_opt pending_ctx key with
+    | Some (tr, hp, sm) ->
+        Hashtbl.remove pending_ctx key;
+        (tr, hp, sm)
+    | None ->
+        incr next_trace;
+        let tick = !head_tick in
+        incr head_tick;
+        (!next_trace, 0, tick mod !sample_every = 0)
+  in
+  let n = ns_of_s now_s in
+  let r =
+    {
+      rq_trace = trace;
+      rq_hop = hop;
+      rq_domain = domain;
+      rq_conn = conn;
+      rq_seq = seq;
+      rq_t0_ns = n;
+      rq_phases = Array.make n_phases 0;
+      rq_end_ns = n;
+      rq_skip_ns = 0;
+      rq_wire_queue_ns = 0;
+      rq_outcome = Rok;
+      rq_sampled = sampled;
+      rq_done = false;
+    }
+  in
+  Hashtbl.replace inflight key r;
+  r
+
+let is_sampled r = r.rq_sampled
+
+(* Advance the boundary cursor to [now], charging the elapsed interval
+   to [p].  Marking the same phase twice accumulates. *)
+let mark r p ~now_s =
+  if not r.rq_done then begin
+    let n = ns_of_s now_s in
+    if n > r.rq_end_ns then begin
+      r.rq_phases.(phase_index p) <- r.rq_phases.(phase_index p)
+                                     + (n - r.rq_end_ns);
+      r.rq_end_ns <- n
+    end
+  end
+
+(* Charge an explicit duration to [p] (the service-window split hands
+   out its decode/handler/encode shares this way). *)
+let add_ns r p ns =
+  if (not r.rq_done) && ns > 0 then begin
+    r.rq_phases.(phase_index p) <- r.rq_phases.(phase_index p) + ns;
+    r.rq_end_ns <- r.rq_end_ns + ns
+  end
+
+(* Advance the cursor without charging any phase: the skipped window
+   belongs to the other hop's record (the gateway's backend round
+   trip). *)
+let skip_to r ~now_s =
+  if not r.rq_done then begin
+    let n = ns_of_s now_s in
+    if n > r.rq_end_ns then begin
+      r.rq_skip_ns <- r.rq_skip_ns + (n - r.rq_end_ns);
+      r.rq_end_ns <- n
+    end
+  end
+
+let add_wire_queue_ns r ns =
+  if (not r.rq_done) && ns > 0 then
+    r.rq_wire_queue_ns <- r.rq_wire_queue_ns + ns
+
+let set_outcome r o = if not r.rq_done then r.rq_outcome <- o
+
+let outcome_of_fault_status = function
+  | 1 -> Rshed
+  | 2 -> Rbad_request
+  | 3 -> Runknown_op
+  | _ -> Rok
+
+(* Reconstruct the phase spans into the Chrome trace, one (pid, tid)
+   lane per (hop, connection): the cursor starts at t0 and walks the
+   phases in order, inserting the hop-0 skip window after Decode —
+   which is where the gateway parks while the backend hop runs.  The
+   first span of hop 0 starts the request's flow arrow, the first span
+   of hop 1 terminates it, stitching the two hops in the viewer. *)
+let emit_chrome r =
+  if Obs_trace.enabled () then begin
+    let lane = (r.rq_hop + 1, r.rq_conn + 1) in
+    let cursor = ref r.rq_t0_ns in
+    let first = ref true in
+    Array.iteri
+      (fun i ns ->
+        if ns > 0 then begin
+          let flow =
+            if not !first then None
+            else if r.rq_hop = 0 then Some (Obs_trace.Flow_out r.rq_trace)
+            else Some (Obs_trace.Flow_in r.rq_trace)
+          in
+          first := false;
+          Obs_trace.emit ~cat:"request" ~lane ?flow
+            ~args:
+              [
+                ("trace", string_of_int r.rq_trace);
+                ("seq", string_of_int r.rq_seq);
+              ]
+            ~name:phase_names.(i)
+            ~ts_ns:(float_of_int !cursor)
+            ~dur_ns:(float_of_int ns) ();
+          cursor := !cursor + ns
+        end;
+        if i = phase_index Decode then cursor := !cursor + r.rq_skip_ns)
+      r.rq_phases
+  end
+
+let finish r =
+  if (not r.rq_done) && !enabled_flag then begin
+    r.rq_done <- true;
+    Hashtbl.remove inflight (r.rq_domain, r.rq_conn, r.rq_seq);
+    if r.rq_outcome = Rok then begin
+      let i = Lazy.force inst in
+      Array.iteri
+        (fun p ns ->
+          Obs.observe_ex i.i_phase.(p) (float_of_int ns) ~exemplar:r.rq_trace)
+        r.rq_phases;
+      if r.rq_hop = 0 then
+        Obs.observe_ex i.i_rtt (float_of_int (rtt_ns r)) ~exemplar:r.rq_trace
+    end;
+    emit_chrome r;
+    (match !sink with Some f -> f r | None -> ());
+    if r.rq_outcome <> Rok || r.rq_sampled then begin
+      ring_push r;
+      incr n_sampled
+    end
+    else incr n_dropped
+  end
+
+(* Flush every in-flight record of one connection into the ring with a
+   terminal outcome — the killed/closed-connection paths call this so
+   diagnostics carry the partial timelines.  [ensure_marker] records a
+   synthetic seq -1 marker when the connection had nothing in flight
+   (a garbage frame killed it before any request existed), so the ring
+   always carries evidence of the kill. *)
+let abort_conn ~domain ~conn ?(ensure_marker = false) ~outcome:o ~now_s () =
+  if !enabled_flag then begin
+    let victims =
+      Hashtbl.fold
+        (fun (d, c, _) r acc ->
+          if d = domain && c = conn && not r.rq_done then r :: acc else acc)
+        inflight []
+      |> List.sort (fun a b -> compare a.rq_trace b.rq_trace)
+    in
+    List.iter
+      (fun r ->
+        r.rq_outcome <- o;
+        finish r)
+      victims;
+    if ensure_marker && victims = [] then begin
+      let r = client_send ~domain ~conn ~seq:(-1) ~now_s in
+      r.rq_outcome <- o;
+      finish r
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Exports                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let record_to_json r =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"trace\":%d,\"hop\":%d,\"conn\":%d,\"seq\":%d,\"outcome\":\"%s\",\"t0_ns\":%d,\"rtt_ns\":%d,\"backend_ns\":%d,\"wire_queue_ns\":%d,\"phases\":{"
+       r.rq_trace r.rq_hop r.rq_conn r.rq_seq
+       (outcome_name r.rq_outcome)
+       r.rq_t0_ns (rtt_ns r) r.rq_skip_ns r.rq_wire_queue_ns);
+  Array.iteri
+    (fun i ns ->
+      if i > 0 then Buffer.add_string b ",";
+      Buffer.add_string b
+        (Printf.sprintf "\"%s_ns\":%d" phase_names.(i) ns))
+    r.rq_phases;
+  Buffer.add_string b "}}";
+  Buffer.contents b
+
+let flight_to_json () =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"flight\":{\"capacity\":%d,\"sample_every\":%d,\"sampled\":%d,\"dropped\":%d,\"records\":["
+       (ring_capacity ()) !sample_every !n_sampled !n_dropped);
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string b ",";
+      Buffer.add_string b "\n";
+      Buffer.add_string b (record_to_json r))
+    (ring_records ());
+  Buffer.add_string b "\n]}}\n";
+  Buffer.contents b
+
+(* The phase-breakdown section of Obs.render_table: per-phase p50/p99
+   and each phase's share of the total round-trip mass.  Shares sum to
+   1 because a two-hop request's hop-0 record skips exactly the window
+   the hop-1 record owns.  Renders nothing until a request completed,
+   so recorder-free reports are unchanged. *)
+let phase_section () =
+  if not (Lazy.is_val inst) then ""
+  else begin
+    let i = Lazy.force inst in
+    let rtt = Obs.hist_summary i.i_rtt in
+    if rtt.Obs.count = 0 then ""
+    else begin
+      let b = Buffer.create 512 in
+      Buffer.add_string b
+        (Printf.sprintf
+           "\nrequest phase breakdown (%d requests, mean RTT %.0f ns)\n"
+           rtt.Obs.count
+           (rtt.Obs.sum /. float_of_int rtt.Obs.count));
+      Buffer.add_string b
+        (Printf.sprintf "%-24s %12s %12s %8s  %s\n" "phase" "p50_ns" "p99_ns"
+           "share" "p99 exemplar");
+      Array.iteri
+        (fun p h ->
+          let s = Obs.hist_summary h in
+          let share =
+            if rtt.Obs.sum > 0. then s.Obs.sum /. rtt.Obs.sum else 0.
+          in
+          Buffer.add_string b
+            (Printf.sprintf "%-24s %12.0f %12.0f %7.1f%%  %s\n"
+               phase_names.(p) s.Obs.p50 s.Obs.p99 (100. *. share)
+               (match s.Obs.p99_exemplar with
+               | Some tr -> Printf.sprintf "trace %d" tr
+               | None -> "-")))
+        i.i_phase;
+      Buffer.add_string b
+        (Printf.sprintf "%-24s %12.0f %12.0f %7.1f%%  %s\n" "rtt"
+           rtt.Obs.p50 rtt.Obs.p99 100.
+           (match rtt.Obs.p99_exemplar with
+           | Some tr -> Printf.sprintf "trace %d" tr
+           | None -> "-"));
+      Buffer.contents b
+    end
+  end
+
+let () = Obs.add_section phase_section

@@ -1,0 +1,182 @@
+(** Request-scoped tracing and the flight recorder.
+
+    Every client-transmitted request gets a {!record} keyed by the
+    correlation triple [(domain, connection, sequence)] the server
+    stack already demultiplexes on — trace context crosses the gateway
+    without touching the wire format.  Phase boundaries are rounded to
+    integer virtual nanoseconds, so the eight phase durations telescope
+    exactly: for every completed request their sum equals the
+    client-observed round trip to the nanosecond, including across both
+    gateway hops (the client-facing record {!skip_to}s over the backend
+    window that the backend hop's record owns).
+
+    Completed Ok records feed the [serve.phase.*_ns] histograms (with
+    the trace id as each bucket's exemplar); fault outcomes are always
+    pushed into the bounded flight ring, Ok records head-sampled 1-in-N.
+    Disabled (the default), every entry point behind {!enabled} is
+    skipped by the callers' load-and-branch guard and nothing is
+    allocated or registered. *)
+
+(** {1 Phases and outcomes} *)
+
+type phase =
+  | Ingress_wire  (** client send -> frame at the server's parser *)
+  | Header_parse  (** frame header decode *)
+  | Queue_wait  (** admission + waiting for the serial CPU *)
+  | Decode  (** unmarshal share of the service window *)
+  | Handler  (** dispatch/handler share of the service window *)
+  | Encode  (** marshal share of the service window *)
+  | Flush_wait  (** reply queued until its coalesced flush fires *)
+  | Egress_wire  (** flush transmit -> delivery at the client *)
+
+val n_phases : int
+val phase_name : phase -> string
+
+type outcome = Rok | Rshed | Rbad_request | Runknown_op | Rdropped | Rkilled
+
+val outcome_name : outcome -> string
+
+val outcome_of_fault_status : int -> outcome
+(** Map a non-zero wire reply status (shed / bad request / unknown op)
+    to its outcome; status 0 maps to {!Rok}. *)
+
+(** {1 Recorder control} *)
+
+val set_enabled : bool -> unit
+(** Enabling registers the phase histograms and flight probe in {!Obs}
+    on first use; processes that never enable keep their registries
+    unchanged. *)
+
+val enabled : unit -> bool
+(** The hot-path gate: one load and a branch. *)
+
+val configure : ?ring_capacity:int -> ?sample_every:int -> unit -> unit
+(** Resize the flight ring and/or set Ok-record head sampling to 1 in
+    [sample_every] (defaults 256 and 1); clears all recorder state. *)
+
+val clear : unit -> unit
+(** Drop in-flight records, propagated contexts, the ring, and the
+    sampled/dropped counters.  Histograms are left alone — see
+    {!reset_metrics}. *)
+
+val reset_metrics : unit -> unit
+(** Zero the phase histograms in place (bench sweeps call this between
+    load points). *)
+
+type record
+(** One hop of one request's timeline.  Mutable until {!finish}; all
+    further marks on a finished record are no-ops. *)
+
+val set_sink : (record -> unit) option -> unit
+(** Test hook: called with every finished record before sampling. *)
+
+val new_domain : unit -> int
+(** A fresh recorder domain — one per server or gateway instance, so
+    their connection ids never collide in the correlation tables. *)
+
+(** {1 Lifecycle} *)
+
+val client_send : domain:int -> conn:int -> seq:int -> now_s:float -> record
+(** Open a record at the client-transmit instant.  Adopts a context
+    pre-registered by {!propagate} for this triple (joining an existing
+    trace) or starts a fresh trace at hop 0, making the head-sampling
+    decision.  Only call while {!enabled}. *)
+
+val propagate :
+  domain:int -> conn:int -> seq:int -> trace:int -> hop:int -> sampled:bool ->
+  unit
+(** Pre-register trace context for a request about to be transmitted on
+    another hop — the gateway calls this with the backend connection
+    and proxy sequence before relaying. *)
+
+val find : domain:int -> conn:int -> seq:int -> record option
+(** Look up the in-flight record for a correlation triple. *)
+
+val mark : record -> phase -> now_s:float -> unit
+(** Advance the record's boundary cursor to [now], charging the
+    elapsed interval to the phase.  Marking a phase twice
+    accumulates. *)
+
+val add_ns : record -> phase -> int -> unit
+(** Charge an explicit duration — the service-window split hands out
+    its decode/handler/encode shares this way. *)
+
+val skip_to : record -> now_s:float -> unit
+(** Advance the cursor without charging any phase: the skipped window
+    belongs to the other hop's record. *)
+
+val add_wire_queue_ns : record -> int -> unit
+(** Attribute link-queueing time (transmit start minus request) inside
+    the wire phases. *)
+
+val set_outcome : record -> outcome -> unit
+
+val finish : record -> unit
+(** Close the record: drop it from the in-flight table, feed the phase
+    histograms (Ok outcomes; the RTT histogram additionally for hop 0),
+    emit its Chrome spans when {!Obs_trace} is live, hand it to the
+    sink, then ring-push (forced for fault outcomes, head-sampled for
+    Ok).  Idempotent. *)
+
+val abort_conn :
+  domain:int ->
+  conn:int ->
+  ?ensure_marker:bool ->
+  outcome:outcome ->
+  now_s:float ->
+  unit ->
+  unit
+(** Flush every in-flight record of one connection into the ring with a
+    terminal outcome — the killed/closed-connection paths call this so
+    diagnostics keep the partial timelines.  [ensure_marker] (default
+    false) records a synthetic seq [-1] marker when nothing was in
+    flight, so a kill always leaves ring evidence. *)
+
+(** {1 Record accessors} *)
+
+val trace_id : record -> int
+val hop : record -> int
+val conn : record -> int
+val seq : record -> int
+val outcome : record -> outcome
+val is_sampled : record -> bool
+val t0_ns : record -> int
+val end_ns : record -> int
+
+val rtt_ns : record -> int
+(** [end_ns - t0_ns]; for a finished Ok hop-0 record this is exactly
+    the client-observed round trip. *)
+
+val backend_ns : record -> int
+(** Nanoseconds skipped over for the other hop (0 on direct serves). *)
+
+val wire_queue_ns : record -> int
+val phase_ns : record -> phase -> int
+
+val phase_total_ns : record -> int
+(** Sum of the eight phases; equals [rtt_ns - backend_ns] by
+    construction. *)
+
+val ns_of_s : float -> int
+(** Round seconds of virtual time to integer nanoseconds — the one
+    rounding rule every boundary (and the reconciling client) shares. *)
+
+(** {1 Flight ring and exports} *)
+
+val ring_capacity : unit -> int
+
+val ring_records : unit -> record list
+(** Ring contents, oldest first. *)
+
+val sampled_count : unit -> int
+val dropped_count : unit -> int
+
+val record_to_json : record -> string
+
+val flight_to_json : unit -> string
+(** The ring as a JSON document ([flick serve --flight-out]). *)
+
+val phase_section : unit -> string
+(** The phase-breakdown section appended to {!Obs.render_table}
+    (registered at module-load time); [""] until a request
+    completes. *)

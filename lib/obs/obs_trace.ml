@@ -11,6 +11,12 @@
    [emit] records an event with caller-supplied timestamps — the RPC
    simulator uses it to trace simulated (virtual) time. *)
 
+(* Flow arrows stitch one logical request's spans across lanes: the
+   span carrying [Flow_out id] starts arrow [id], the span carrying
+   [Flow_in id] terminates it.  Chrome/Perfetto draw the arrow between
+   the two slices. *)
+type flow = Flow_out of int | Flow_in of int
+
 type event = {
   ev_name : string;
   ev_cat : string;
@@ -18,6 +24,9 @@ type event = {
   ev_dur_ns : float;
   ev_depth : int;
   ev_args : (string * string) list;
+  ev_pid : int;  (* trace lane: process row (default 1) *)
+  ev_tid : int;  (* trace lane: thread row (default 1) *)
+  ev_flow : flow option;
 }
 
 exception Unbalanced_span of string
@@ -83,6 +92,9 @@ let leave (s : span) =
               ev_dur_ns = Obs.now_ns () -. sp.sp_start;
               ev_depth = sp.sp_depth;
               ev_args = sp.sp_args;
+              ev_pid = 1;
+              ev_tid = 1;
+              ev_flow = None;
             }
             :: !events_rev
       | _ -> raise (Unbalanced_span sp.sp_name))
@@ -101,7 +113,8 @@ let with_span ?cat ?args name f =
       | _ -> ());
       raise e
 
-let emit ?(cat = "flick") ?(args = []) ~name ~ts_ns ~dur_ns () =
+let emit ?(cat = "flick") ?(args = []) ?(lane = (1, 1)) ?flow ~name ~ts_ns
+    ~dur_ns () =
   if !enabled_flag then
     events_rev :=
       {
@@ -111,6 +124,9 @@ let emit ?(cat = "flick") ?(args = []) ~name ~ts_ns ~dur_ns () =
         ev_dur_ns = dur_ns;
         ev_depth = List.length !stack;
         ev_args = args;
+        ev_pid = fst lane;
+        ev_tid = snd lane;
+        ev_flow = flow;
       }
       :: !events_rev
 
@@ -120,19 +136,28 @@ let emit ?(cat = "flick") ?(args = []) ~name ~ts_ns ~dur_ns () =
 
 (* The JSON Object Format of the trace_event spec: complete ("X")
    events with microsecond timestamps, loadable by chrome://tracing and
-   Perfetto. *)
+   Perfetto.  Events carrying lane metadata land on their own pid/tid
+   row, and a flow annotation additionally emits the "s"/"f" flow
+   record binding the slice into its request's arrow — events without
+   either render exactly as they always did, so lane-free traces stay
+   byte-identical. *)
 let to_chrome_json () =
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\"traceEvents\":[";
-  List.iteri
-    (fun i ev ->
-      if i > 0 then Buffer.add_string b ",";
-      Buffer.add_string b
+  let first = ref true in
+  let elem s =
+    if not !first then Buffer.add_string b ",";
+    first := false;
+    Buffer.add_string b s
+  in
+  List.iter
+    (fun ev ->
+      elem
         (Printf.sprintf
-           "\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":1,\"args\":{"
+           "\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,\"tid\":%d,\"args\":{"
            (Obs.json_escape ev.ev_name)
            (Obs.json_escape ev.ev_cat)
-           (ev.ev_ts_ns /. 1e3) (ev.ev_dur_ns /. 1e3));
+           (ev.ev_ts_ns /. 1e3) (ev.ev_dur_ns /. 1e3) ev.ev_pid ev.ev_tid);
       List.iteri
         (fun j (k, v) ->
           if j > 0 then Buffer.add_string b ",";
@@ -140,7 +165,23 @@ let to_chrome_json () =
             (Printf.sprintf "\"%s\":\"%s\"" (Obs.json_escape k)
                (Obs.json_escape v)))
         ev.ev_args;
-      Buffer.add_string b "}}")
+      Buffer.add_string b "}}";
+      match ev.ev_flow with
+      | None -> ()
+      | Some (Flow_out id) ->
+          elem
+            (Printf.sprintf
+               "\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"s\",\"ts\":%.3f,\"pid\":%d,\"tid\":%d,\"id\":%d}"
+               (Obs.json_escape ev.ev_name)
+               (Obs.json_escape ev.ev_cat)
+               (ev.ev_ts_ns /. 1e3) ev.ev_pid ev.ev_tid id)
+      | Some (Flow_in id) ->
+          elem
+            (Printf.sprintf
+               "\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"f\",\"bp\":\"e\",\"ts\":%.3f,\"pid\":%d,\"tid\":%d,\"id\":%d}"
+               (Obs.json_escape ev.ev_name)
+               (Obs.json_escape ev.ev_cat)
+               (ev.ev_ts_ns /. 1e3) ev.ev_pid ev.ev_tid id))
     (events ());
   Buffer.add_string b "\n],\"displayTimeUnit\":\"ms\"}\n";
   Buffer.contents b

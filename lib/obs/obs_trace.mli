@@ -5,6 +5,12 @@
     not the innermost open one raises {!Unbalanced_span}.  Disabled
     (the default), every entry point is a load-and-branch no-op. *)
 
+type flow = Flow_out of int | Flow_in of int
+(** Flow-arrow endpoints: the span carrying [Flow_out id] starts arrow
+    [id], the one carrying [Flow_in id] terminates it — Chrome/Perfetto
+    draw the arrow between the two slices, stitching one request's
+    spans across lanes. *)
+
 type event = {
   ev_name : string;
   ev_cat : string;
@@ -12,6 +18,9 @@ type event = {
   ev_dur_ns : float;
   ev_depth : int;  (** nesting depth at entry *)
   ev_args : (string * string) list;
+  ev_pid : int;  (** trace lane: process row (default 1) *)
+  ev_tid : int;  (** trace lane: thread row (default 1) *)
+  ev_flow : flow option;
 }
 
 exception Unbalanced_span of string
@@ -38,6 +47,8 @@ val with_span :
 val emit :
   ?cat:string ->
   ?args:(string * string) list ->
+  ?lane:int * int ->
+  ?flow:flow ->
   name:string ->
   ts_ns:float ->
   dur_ns:float ->
@@ -45,7 +56,9 @@ val emit :
   unit
 (** Record a complete event with caller-supplied timestamps — for
     clocks the tracer does not own, e.g. the RPC simulator's virtual
-    time. *)
+    time.  [lane] places the event on its own [(pid, tid)] row of the
+    Chrome export (default [(1, 1)], the shared row); [flow] binds it
+    into a flow arrow. *)
 
 val events : unit -> event list
 (** Recorded events in completion order. *)
@@ -59,4 +72,7 @@ val depth : unit -> int
 val to_chrome_json : unit -> string
 (** The trace as Chrome [trace_event] JSON (complete ["X"] events,
     microsecond timestamps) — loadable by chrome://tracing or
-    Perfetto. *)
+    Perfetto.  Events carrying lane metadata render on their own
+    pid/tid row, flow annotations add the "s"/"f" records; traces
+    without either are byte-identical to the historical single-lane
+    output. *)

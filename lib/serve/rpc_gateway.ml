@@ -19,6 +19,7 @@ type route = {
 }
 
 type t = {
+  gsim : Sim_core.t;
   src : Encoding.t;
   dst : Encoding.t;
   forward : bool;
@@ -28,7 +29,9 @@ type t = {
   backend : Rpc_serve.t;
   bconn : Rpc_serve.conn;
   routes : (int * int, route) Hashtbl.t;
-  pending : (int, gconn * int * route) Hashtbl.t;  (* proxy seq -> origin *)
+  pending : (int, gconn * int * route * Obs_request.record option) Hashtbl.t;
+      (* proxy seq -> origin (plus the client hop's trace record) *)
+  gw_domain : int;  (* request-recorder correlation domain, client hop *)
   mutable next_pseq : int;
   mutable next_conn : int;
   mutable g_requests_in : int;
@@ -81,10 +84,24 @@ let relay_for t ~(from_enc : Encoding.t) ~(to_enc : Encoding.t)
 
 (* -- reply hop: backend -> proxy -> client -------------------------- *)
 
-let deliver_to_client t (g : gconn) data =
+(* [rec_] is the client hop's trace record: delivery closes its egress
+   phase and finishes it (the relay itself is instantaneous in virtual
+   time, so there is no flush-wait on this hop). *)
+let deliver_to_client ?rec_ t (g : gconn) data =
   t.g_bytes_out <- t.g_bytes_out + Bytes.length data;
-  Link.transmit t.cl_egress ~bytes:(Bytes.length data) (fun () ->
-      if not g.g_closed then g.g_deliver data)
+  match rec_ with
+  | None ->
+      Link.transmit t.cl_egress ~bytes:(Bytes.length data) (fun () ->
+          if not g.g_closed then g.g_deliver data)
+  | Some r ->
+      let tm =
+        Link.transmit_timed t.cl_egress ~bytes:(Bytes.length data) (fun () ->
+            Obs_request.mark r Obs_request.Egress_wire
+              ~now_s:(Sim_core.now t.gsim);
+            Obs_request.finish r;
+            if not g.g_closed then g.g_deliver data)
+      in
+      Obs_request.add_wire_queue_ns r (Obs_request.ns_of_s tm.Link.tx_queue_s)
 
 let error_frame status seq =
   let f = Bytes.create (4 + reply_body_min) in
@@ -112,8 +129,14 @@ let on_backend_flush t data =
     (fun (status, pseq, payload) ->
       match Hashtbl.find_opt t.pending pseq with
       | None -> () (* originating client connection is gone *)
-      | Some (g, seq, rt) -> (
+      | Some (g, seq, rt, rec_) -> (
           Hashtbl.remove t.pending pseq;
+          (* the backend window just closed: the hop-1 record (finished
+             at this same instant) owns it, so the client hop's record
+             skips to now without charging a phase *)
+          (match rec_ with
+          | Some r -> Obs_request.skip_to r ~now_s:(Sim_core.now t.gsim)
+          | None -> ());
           match status with
           | Rpc_serve.Sok -> (
               let r = Mbuf.reader_of_bytes payload in
@@ -123,7 +146,11 @@ let on_backend_flush t data =
                   Mbuf.release w;
                   t.g_relay_errors <- t.g_relay_errors + 1;
                   Obs.incr c_gw_relay_errors 1;
-                  deliver_to_client t g
+                  (match rec_ with
+                  | Some r ->
+                      Obs_request.set_outcome r Obs_request.Rbad_request
+                  | None -> ());
+                  deliver_to_client ?rec_ t g
                     (error_frame Rpc_serve.Sbad_request seq)
               | () ->
                   let f =
@@ -136,10 +163,16 @@ let on_backend_flush t data =
                   in
                   Mbuf.release w;
                   t.g_relayed_rep <- t.g_relayed_rep + 1;
-                  deliver_to_client t g f)
+                  deliver_to_client ?rec_ t g f)
           | err ->
               (* shed / error statuses pass through untouched *)
-              deliver_to_client t g (error_frame err seq)))
+              (match rec_ with
+              | Some r ->
+                  Obs_request.set_outcome r
+                    (Obs_request.outcome_of_fault_status
+                       (Rpc_serve.status_code err))
+              | None -> ());
+              deliver_to_client ?rec_ t g (error_frame err seq)))
     (Rpc_serve.parse_replies data)
 
 (* -- request hop: client -> proxy -> backend ------------------------ *)
@@ -150,10 +183,30 @@ let handle_frame t (g : gconn) ~body_off ~body_len =
   let iface = get_u32 g.g_buf body_off in
   let op = get_u32 g.g_buf (body_off + 4) in
   let seq = get_u32 g.g_buf (body_off + 8) in
+  let rec_ =
+    if Obs_request.enabled () then begin
+      let now = Sim_core.now t.gsim in
+      let r =
+        match Obs_request.find ~domain:t.gw_domain ~conn:g.g_id ~seq with
+        | Some r -> r
+        | None ->
+            (* fed straight into the parser: the timeline starts here *)
+            Obs_request.client_send ~domain:t.gw_domain ~conn:g.g_id ~seq
+              ~now_s:now
+      in
+      Obs_request.mark r Obs_request.Ingress_wire ~now_s:now;
+      Obs_request.mark r Obs_request.Header_parse ~now_s:now;
+      Some r
+    end
+    else None
+  in
   match Hashtbl.find_opt t.routes (iface, op) with
   | None ->
       t.g_unknown_op <- t.g_unknown_op + 1;
-      deliver_to_client t g (error_frame Rpc_serve.Sunknown_op seq)
+      (match rec_ with
+      | Some r -> Obs_request.set_outcome r Obs_request.Runknown_op
+      | None -> ());
+      deliver_to_client ?rec_ t g (error_frame Rpc_serve.Sunknown_op seq)
   | Some rt -> (
       let r =
         Mbuf.reader_of_bytes ~off:(body_off + body_min)
@@ -165,11 +218,14 @@ let handle_frame t (g : gconn) ~body_off ~body_len =
           Mbuf.release w;
           t.g_relay_errors <- t.g_relay_errors + 1;
           Obs.incr c_gw_relay_errors 1;
-          deliver_to_client t g (error_frame Rpc_serve.Sbad_request seq)
+          (match rec_ with
+          | Some r -> Obs_request.set_outcome r Obs_request.Rbad_request
+          | None -> ());
+          deliver_to_client ?rec_ t g (error_frame Rpc_serve.Sbad_request seq)
       | () ->
           let pseq = t.next_pseq land 0xffffffff in
           t.next_pseq <- t.next_pseq + 1;
-          Hashtbl.add t.pending pseq (g, seq, rt);
+          Hashtbl.add t.pending pseq (g, seq, rt, rec_);
           let f =
             payload_frame ~head:body_min
               ~fill:(fun f ->
@@ -180,6 +236,20 @@ let handle_frame t (g : gconn) ~body_off ~body_len =
           in
           Mbuf.release w;
           t.g_relayed_req <- t.g_relayed_req + 1;
+          (* hand the trace to the backend hop before relaying: its
+             record (keyed by the backend's domain, the shared backend
+             connection, and the proxy sequence) joins this trace at
+             hop 1, so the two timelines stitch in the export *)
+          (match rec_ with
+          | Some r ->
+              Obs_request.propagate
+                ~domain:(Rpc_serve.trace_domain t.backend)
+                ~conn:(Rpc_serve.conn_id t.bconn)
+                ~seq:pseq
+                ~trace:(Obs_request.trace_id r)
+                ~hop:1
+                ~sampled:(Obs_request.is_sampled r)
+          | None -> ());
           Rpc_serve.send t.bconn f)
 
 let rec parse_loop t (g : gconn) =
@@ -192,7 +262,11 @@ let rec parse_loop t (g : gconn) =
         t.g_killed_conns <- t.g_killed_conns + 1;
         g.g_closed <- true;
         g.g_off <- 0;
-        g.g_len <- 0
+        g.g_len <- 0;
+        if Obs_request.enabled () then
+          Obs_request.abort_conn ~domain:t.gw_domain ~conn:g.g_id
+            ~ensure_marker:true ~outcome:Obs_request.Rkilled
+            ~now_s:(Sim_core.now t.gsim) ()
       end
       else if avail >= 4 + body_len then begin
         let body_off = g.g_off + 4 in
@@ -228,8 +302,22 @@ let feed (g : gconn) data =
   end
 
 let send (g : gconn) data =
-  Link.transmit g.g_gw.cl_ingress ~bytes:(Bytes.length data) (fun () ->
-      feed g data)
+  let t = g.g_gw in
+  if not (Obs_request.enabled ()) then
+    Link.transmit t.cl_ingress ~bytes:(Bytes.length data) (fun () ->
+        feed g data)
+  else begin
+    let recs =
+      Rpc_serve.trace_request_frames ~domain:t.gw_domain ~conn_id:g.g_id
+        ~now_s:(Sim_core.now t.gsim) data
+    in
+    let tm =
+      Link.transmit_timed t.cl_ingress ~bytes:(Bytes.length data) (fun () ->
+          feed g data)
+    in
+    let qns = Obs_request.ns_of_s tm.Link.tx_queue_s in
+    List.iter (fun r -> Obs_request.add_wire_queue_ns r qns) recs
+  end
 
 let connect t ~deliver =
   let id = t.next_conn in
@@ -249,7 +337,12 @@ let conn_id (g : gconn) = g.g_id
 let close_conn (g : gconn) =
   g.g_closed <- true;
   g.g_off <- 0;
-  g.g_len <- 0
+  g.g_len <- 0;
+  if Obs_request.enabled () then begin
+    let t = g.g_gw in
+    Obs_request.abort_conn ~domain:t.gw_domain ~conn:g.g_id
+      ~outcome:Obs_request.Rdropped ~now_s:(Sim_core.now t.gsim) ()
+  end
 
 (* -- construction --------------------------------------------------- *)
 
@@ -269,6 +362,7 @@ let create ~sim ?(forward = true) ?(config = Rpc_serve.default_config) ~src
   in
   let t =
     {
+      gsim = sim;
       src;
       dst;
       forward;
@@ -281,6 +375,7 @@ let create ~sim ?(forward = true) ?(config = Rpc_serve.default_config) ~src
       pending = Hashtbl.create 64;
       next_pseq = 0;
       next_conn = 0;
+      gw_domain = Obs_request.new_domain ();
       g_requests_in = 0;
       g_relayed_req = 0;
       g_relayed_rep = 0;
@@ -305,6 +400,8 @@ let register t (ms : Paper_fixtures.method_spec) ~iface ~op =
     }
 
 let backend t = t.backend
+let trace_domain t = t.gw_domain
+
 let route_name t ~iface ~op =
   Option.map (fun rt -> rt.rt_name) (Hashtbl.find_opt t.routes (iface, op))
 

@@ -47,6 +47,15 @@ val register : t -> Paper_fixtures.method_spec -> iface:int -> op:int -> unit
 val backend : t -> Rpc_serve.t
 val route_name : t -> iface:int -> op:int -> string option
 
+val trace_domain : t -> int
+(** The client hop's {!Obs_request} correlation domain.  When the
+    request recorder is enabled, {!send} opens one trace record per
+    request frame here, and the proxy hands the trace id to the backend
+    hop through the pending table — the backend's record (under
+    {!Rpc_serve.trace_domain} of {!backend}) joins the same trace at
+    hop 1, so the two per-hop timelines stitch to the exact
+    client-observed round trip. *)
+
 val connect : t -> deliver:(bytes -> unit) -> gconn
 (** A client connection; reply frames arrive at [deliver] after the
     proxy→client link delay. *)

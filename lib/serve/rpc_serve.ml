@@ -136,6 +136,7 @@ type t = {
   mutable s_dropped_replies : int;
   mutable s_killed_conns : int;
   mutable s_in_flight_hw : int;
+  rec_domain : int;  (* request-recorder correlation domain *)
 }
 
 type conn = {
@@ -150,6 +151,8 @@ type conn = {
   mutable c_out : Mbuf.t option;  (* queued reply frames *)
   mutable c_out_count : int;  (* replies queued in c_out *)
   mutable c_flush : Sim_core.handle option;
+  mutable c_recs : Obs_request.record list;
+      (* newest first: trace records of the replies queued in c_out *)
 }
 
 let create ~sim ?(config = default_config) ~ingress ~egress () =
@@ -177,7 +180,10 @@ let create ~sim ?(config = default_config) ~ingress ~egress () =
     s_dropped_replies = 0;
     s_killed_conns = 0;
     s_in_flight_hw = 0;
+    rec_domain = Obs_request.new_domain ();
   }
+
+let trace_domain t = t.rec_domain
 
 let register t spec =
   let decode =
@@ -207,6 +213,7 @@ let connect t ~deliver =
     c_out = None;
     c_out_count = 0;
     c_flush = None;
+    c_recs = [];
   }
 
 let conn_id c = c.c_id
@@ -236,8 +243,13 @@ let set_gauge_in_flight t =
 
 (* Tear a connection down: discard buffered input, cancel the pending
    flush, release the outgoing writer (counting its queued replies as
-   dropped).  Shared by voluntary close and protocol-error kill. *)
-let teardown c =
+   dropped).  Shared by voluntary close and protocol-error kill.  The
+   flight recorder gets every in-flight record of the connection before
+   the state is discarded — queued replies, requests still on the CPU
+   queue, replies riding the egress wire — with the terminal outcome,
+   so a dead connection's partial timelines land in the ring instead of
+   vanishing with it. *)
+let teardown c ~outcome =
   let t = c.c_server in
   c.c_closed <- true;
   c.c_off <- 0;
@@ -247,13 +259,18 @@ let teardown c =
       Sim_core.cancel h;
       c.c_flush <- None
   | None -> ());
-  match c.c_out with
+  c.c_recs <- [];
+  (match c.c_out with
   | Some f ->
       t.s_dropped_replies <- t.s_dropped_replies + c.c_out_count;
       c.c_out <- None;
       c.c_out_count <- 0;
       Mbuf.release f
-  | None -> ()
+  | None -> ());
+  if Obs_request.enabled () then
+    Obs_request.abort_conn ~domain:t.rec_domain ~conn:c.c_id
+      ~ensure_marker:(outcome = Obs_request.Rkilled)
+      ~outcome ~now_s:(Sim_core.now t.sim) ()
 
 let close_conn c =
   if not c.c_closed then begin
@@ -263,7 +280,7 @@ let close_conn c =
       record_diag t
         "connection %d closed mid-frame (%d buffered bytes discarded)" c.c_id
         pending;
-    teardown c
+    teardown c ~outcome:Obs_request.Rdropped
   end
 
 let kill c fmt =
@@ -272,7 +289,7 @@ let kill c fmt =
       let t = c.c_server in
       record_diag t "connection %d: %s" c.c_id msg;
       t.s_killed_conns <- t.s_killed_conns + 1;
-      teardown c)
+      teardown c ~outcome:Obs_request.Rkilled)
     fmt
 
 (* -- reply path ---------------------------------------------------- *)
@@ -285,20 +302,55 @@ let flush c =
   | Some f ->
       c.c_out <- None;
       c.c_out_count <- 0;
+      let recs = List.rev c.c_recs in
+      c.c_recs <- [];
       let data = Mbuf.contents f in
       Mbuf.release f;
       t.s_flushes <- t.s_flushes + 1;
       Obs.incr c_flushes 1;
       t.s_bytes_out <- t.s_bytes_out + Bytes.length data;
-      Link.transmit t.egress ~bytes:(Bytes.length data) (fun () ->
-          if not c.c_closed then c.c_deliver data)
+      if recs = [] then
+        Link.transmit t.egress ~bytes:(Bytes.length data) (fun () ->
+            if not c.c_closed then c.c_deliver data)
+      else begin
+        (* the records' cursors sit at enqueue time; the flush firing
+           closes their flush-wait phase, delivery closes egress *)
+        let now = Sim_core.now t.sim in
+        List.iter
+          (fun r -> Obs_request.mark r Obs_request.Flush_wait ~now_s:now)
+          recs;
+        let tm =
+          Link.transmit_timed t.egress ~bytes:(Bytes.length data) (fun () ->
+              let now = Sim_core.now t.sim in
+              List.iter
+                (fun r ->
+                  Obs_request.mark r Obs_request.Egress_wire ~now_s:now;
+                  if c.c_closed then
+                    Obs_request.set_outcome r Obs_request.Rdropped;
+                  Obs_request.finish r)
+                recs;
+              if not c.c_closed then c.c_deliver data)
+        in
+        let qns = Obs_request.ns_of_s tm.Link.tx_queue_s in
+        List.iter (fun r -> Obs_request.add_wire_queue_ns r qns) recs
+      end
 
 (* Append one reply frame to the connection's outgoing writer and make
    sure a flush is armed.  [payload] (when present) is copied segment
-   by segment — the caller releases it. *)
-let enqueue_reply c status seq (payload : Mbuf.t option) =
+   by segment — the caller releases it.  [rec_] is the request's trace
+   record: it rides the connection's reply queue until the coalesced
+   flush carries it out (fault statuses stamp their outcome here, which
+   is what forces the record into the flight ring at finish). *)
+let enqueue_reply ?rec_ c status seq (payload : Mbuf.t option) =
   let t = c.c_server in
-  if c.c_closed then t.s_dropped_replies <- t.s_dropped_replies + 1
+  if c.c_closed then begin
+    t.s_dropped_replies <- t.s_dropped_replies + 1;
+    match rec_ with
+    | Some r ->
+        Obs_request.set_outcome r Obs_request.Rdropped;
+        Obs_request.finish r
+    | None -> ()
+  end
   else begin
     let f =
       match c.c_out with
@@ -323,6 +375,15 @@ let enqueue_reply c status seq (payload : Mbuf.t option) =
             (* set_* offsets are cursor-relative *)
             Mbuf.set_bytes f 0 b off len;
             Mbuf.advance f len));
+    (match rec_ with
+    | Some r ->
+        (match status with
+        | Sok -> ()
+        | s ->
+            Obs_request.set_outcome r
+              (Obs_request.outcome_of_fault_status (status_code s)));
+        c.c_recs <- r :: c.c_recs
+    | None -> ());
     match c.c_flush with
     | Some _ -> ()
     | None ->
@@ -332,33 +393,76 @@ let enqueue_reply c status seq (payload : Mbuf.t option) =
                (fun () -> flush c))
   end
 
+(* Split the service window into its marshal and handler shares for the
+   phase timeline: the per-byte cost is marshal work, halved between
+   decode and encode, and the fixed cost is the handler.  All shares
+   are integer nanoseconds computed against the record's cursor, so
+   they telescope exactly with the surrounding boundaries.  A request
+   that died in decode burned the whole window there. *)
+let charge_service t r ~start ~body_len ~decode_only =
+  Obs_request.mark r Obs_request.Queue_wait ~now_s:start;
+  let service_ns =
+    Obs_request.ns_of_s (Sim_core.now t.sim) - Obs_request.end_ns r
+  in
+  if decode_only then Obs_request.add_ns r Obs_request.Decode service_ns
+  else begin
+    let marshal_ns =
+      min service_ns
+        (Obs_request.ns_of_s
+           (t.cfg.service_per_byte_s *. float_of_int body_len))
+    in
+    let dec = marshal_ns / 2 in
+    Obs_request.add_ns r Obs_request.Decode dec;
+    Obs_request.add_ns r Obs_request.Handler (service_ns - marshal_ns);
+    Obs_request.add_ns r Obs_request.Encode (marshal_ns - dec)
+  end
+
 (* Service completion: runs on the virtual CPU once the request's slot
    comes up.  The work was spent either way; a connection that died in
    the meantime just loses the reply. *)
-let complete c (entry : op_entry) ~seq ~body ~arrival =
+let complete c (entry : op_entry) ~seq ~body ~arrival ~start rec_ =
   let t = c.c_server in
   t.in_flight <- t.in_flight - 1;
   c.c_in_flight <- c.c_in_flight - 1;
   set_gauge_in_flight t;
-  if c.c_closed then t.s_dropped_replies <- t.s_dropped_replies + 1
+  let body_len = Bytes.length body + body_min in
+  if c.c_closed then begin
+    t.s_dropped_replies <- t.s_dropped_replies + 1;
+    match rec_ with
+    | Some r ->
+        charge_service t r ~start ~body_len ~decode_only:false;
+        Obs_request.set_outcome r Obs_request.Rdropped;
+        Obs_request.finish r
+    | None -> ()
+  end
   else begin
     let rd = Mbuf.reader_of_bytes body in
     match entry.oe_decode rd with
     | exception (Mbuf.Short_buffer | Codec.Decode_error _) ->
+        (match rec_ with
+        | Some r -> charge_service t r ~start ~body_len ~decode_only:true
+        | None -> ());
         t.s_bad_request <- t.s_bad_request + 1;
         record_diag t "connection %d: undecodable %s request (seq %d, %d bytes)"
           c.c_id entry.oe_spec.os_name seq (Bytes.length body);
-        enqueue_reply c Sbad_request seq None
+        enqueue_reply ?rec_ c Sbad_request seq None
     | vals ->
         let out = entry.oe_spec.os_handler vals in
         let p = Mbuf.acquire () in
         (match entry.oe_encode p out with
         | () ->
-            enqueue_reply c Sok seq (Some p);
+            (match rec_ with
+            | Some r -> charge_service t r ~start ~body_len ~decode_only:false
+            | None -> ());
+            enqueue_reply ?rec_ c Sok seq (Some p);
             Mbuf.release p;
             t.s_ok_replies <- t.s_ok_replies + 1;
             let lat_ns = (Sim_core.now t.sim -. arrival) *. 1e9 in
-            Obs.observe h_latency lat_ns;
+            (match rec_ with
+            | Some r ->
+                Obs.observe_ex h_latency lat_ns
+                  ~exemplar:(Obs_request.trace_id r)
+            | None -> Obs.observe h_latency lat_ns);
             Obs.observe (conn_hist c.c_id) lat_ns
         | exception e ->
             Mbuf.release p;
@@ -374,12 +478,32 @@ let handle_frame c ~body_off ~body_len =
   let iface = get_u32 c.c_buf body_off in
   let op = get_u32 c.c_buf (body_off + 4) in
   let seq = get_u32 c.c_buf (body_off + 8) in
+  (* correlate with the client-transmit record and close its wire and
+     header phases — both boundaries land on this instant.  A frame fed
+     straight into the parser (no client transmit) starts its timeline
+     here, so fault-injected requests still reach the flight ring. *)
+  let rec_ =
+    if Obs_request.enabled () then begin
+      let now = Sim_core.now t.sim in
+      let r =
+        match Obs_request.find ~domain:t.rec_domain ~conn:c.c_id ~seq with
+        | Some r -> r
+        | None ->
+            Obs_request.client_send ~domain:t.rec_domain ~conn:c.c_id ~seq
+              ~now_s:now
+      in
+      Obs_request.mark r Obs_request.Ingress_wire ~now_s:now;
+      Obs_request.mark r Obs_request.Header_parse ~now_s:now;
+      Some r
+    end
+    else None
+  in
   match Hashtbl.find_opt t.ops (iface, op) with
   | None ->
       t.s_unknown_op <- t.s_unknown_op + 1;
       record_diag t "connection %d: unknown operation (iface %d, op %d)" c.c_id
         iface op;
-      enqueue_reply c Sunknown_op seq None
+      enqueue_reply ?rec_ c Sunknown_op seq None
   | Some entry ->
       (* fairness: one connection cannot pipeline its way to the whole
          budget — past its per-connection share it sheds even while
@@ -394,7 +518,7 @@ let handle_frame c ~body_off ~body_len =
         if conn_capped && t.in_flight < t.cfg.max_in_flight then
           t.s_shed_per_conn <- t.s_shed_per_conn + 1;
         Obs.incr c_shed 1;
-        enqueue_reply c Sshed seq None
+        enqueue_reply ?rec_ c Sshed seq None
       end else begin
         t.s_accepted <- t.s_accepted + 1;
         Obs.incr c_accepted 1;
@@ -415,7 +539,7 @@ let handle_frame c ~body_off ~body_len =
         let finish = start +. service in
         t.cpu_busy_until <- finish;
         Sim_core.schedule t.sim ~delay:(finish -. arrival) (fun () ->
-            complete c entry ~seq ~body ~arrival)
+            complete c entry ~seq ~body ~arrival ~start rec_)
       end
 
 let rec parse_loop c =
@@ -461,9 +585,45 @@ let feed c data =
     parse_loop c
   end
 
+(* Open a trace record for every complete request frame in [data] at
+   the client-transmit instant — the gateway reuses this for the frames
+   it sends over its own client link.  Returns the records oldest
+   first; [] when the recorder is off or nothing parsed. *)
+let trace_request_frames ~domain ~conn_id ~now_s data =
+  if not (Obs_request.enabled ()) then []
+  else begin
+    let total = Bytes.length data in
+    let rec go off acc =
+      if off + 4 > total then acc
+      else begin
+        let body_len = get_u32 data off in
+        if body_len < body_min || off + 4 + body_len > total then acc
+        else begin
+          let seq = get_u32 data (off + 12) in
+          let r = Obs_request.client_send ~domain ~conn:conn_id ~seq ~now_s in
+          go (off + 4 + body_len) (r :: acc)
+        end
+      end
+    in
+    List.rev (go 0 [])
+  end
+
 let send c data =
   let t = c.c_server in
-  Link.transmit t.ingress ~bytes:(Bytes.length data) (fun () -> feed c data)
+  if not (Obs_request.enabled ()) then
+    Link.transmit t.ingress ~bytes:(Bytes.length data) (fun () -> feed c data)
+  else begin
+    let recs =
+      trace_request_frames ~domain:t.rec_domain ~conn_id:c.c_id
+        ~now_s:(Sim_core.now t.sim) data
+    in
+    let tm =
+      Link.transmit_timed t.ingress ~bytes:(Bytes.length data) (fun () ->
+          feed c data)
+    in
+    let qns = Obs_request.ns_of_s tm.Link.tx_queue_s in
+    List.iter (fun r -> Obs_request.add_wire_queue_ns r qns) recs
+  end
 
 (* -- client-side frame helpers ------------------------------------- *)
 

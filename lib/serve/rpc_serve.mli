@@ -101,6 +101,12 @@ val register : t -> op_spec -> unit
 (** Add the operation to the demux table (replacing any previous entry
     for the same (iface, op)), compiling its plans through the cache. *)
 
+val trace_domain : t -> int
+(** This server's {!Obs_request} correlation domain: trace records for
+    its requests are keyed [(trace_domain, conn id, seq)].  Unique per
+    server instance, so gateways and backends sharing a process never
+    collide. *)
+
 (** {1 Connections} *)
 
 type conn
@@ -113,7 +119,17 @@ val conn_id : conn -> int
 
 val send : conn -> bytes -> unit
 (** Transmit raw bytes from the client over the ingress link; they are
-    fed to the server's frame parser on arrival. *)
+    fed to the server's frame parser on arrival.  When the request
+    recorder is enabled, a trace record is opened per complete request
+    frame at this (client-transmit) instant — the recorder-off path is
+    the historical one, untouched. *)
+
+val trace_request_frames :
+  domain:int -> conn_id:int -> now_s:float -> bytes -> Obs_request.record list
+(** Open a trace record for every complete request frame in the buffer
+    (oldest first), as {!send} does — exposed for callers that transmit
+    over their own links, e.g. the gateway's client side.  [] when the
+    recorder is disabled. *)
 
 val feed : conn -> bytes -> unit
 (** Hand bytes straight to the server's frame parser, bypassing the

@@ -31,6 +31,24 @@ let transmit t ~bytes k =
   in
   Sim_core.schedule t.sim ~delay:arrival k
 
+(* Like [transmit], but reports when the message reaches the receiver
+   and how long it queued behind earlier traffic on the serialized
+   wire.  The request tracer uses this to timestamp wire phases; the
+   plain [transmit] stays allocation-free for untraced sends. *)
+type timing = { tx_arrival_s : float; tx_queue_s : float }
+
+let transmit_timed t ~bytes k =
+  Obs.incr g_msgs 1;
+  Obs.incr g_bytes bytes;
+  let now = Sim_core.now t.sim in
+  let serialization = float_of_int (8 * bytes) /. t.bandwidth in
+  let start = Float.max now t.busy_until in
+  let done_sending = start +. serialization in
+  t.busy_until <- done_sending;
+  let arrival_abs = done_sending +. t.latency +. (2. *. t.per_msg_cpu) in
+  Sim_core.schedule t.sim ~delay:(arrival_abs -. now) k;
+  { tx_arrival_s = arrival_abs; tx_queue_s = start -. now }
+
 (* Scatter-gather send: the link only needs the message length — a real
    kernel would writev the iovec list — so a segmented message is
    transmitted without ever being flattened. *)

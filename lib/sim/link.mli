@@ -25,6 +25,16 @@ val transmit : t -> bytes:int -> (unit -> unit) -> unit
     receiver when the last byte (plus per-message CPU cost at each end)
     has arrived. *)
 
+type timing = {
+  tx_arrival_s : float;  (** absolute arrival instant at the receiver *)
+  tx_queue_s : float;  (** time spent queued behind earlier messages *)
+}
+
+val transmit_timed : t -> bytes:int -> (unit -> unit) -> timing
+(** {!transmit}, additionally reporting the delivery timing — the
+    request tracer timestamps wire phases with it.  Identical schedule
+    to [transmit] for the same arguments. *)
+
 val transmit_mbuf : t -> msg:Mbuf.t -> (unit -> unit) -> unit
 (** Transmit a marshal buffer as it stands ({!Mbuf.pos} bytes).  Only
     the length is read — the segment list is handed to the (simulated)

@@ -1,0 +1,384 @@
+(* The request recorder, end to end:
+
+   1. Exact attribution: for every Ok request under random 1-64
+      connection interleavings, the eight phase durations (integer
+      virtual nanoseconds) sum to exactly the client-observed round
+      trip — the client and the recorder round the same virtual-clock
+      instants with the same rule, so the telescoped sum reconciles to
+      the nanosecond, with no float tolerance (>= 300 random cases).
+
+   2. The flight ring: fault outcomes (killed connection, bad request,
+      shed, dropped reply) are always sampled into the ring even when
+      Ok head-sampling would drop everything; the ring keeps exactly
+      its configured capacity, newest records winning; and with the
+      recorder disabled nothing is recorded at all.
+
+   3. Gateway stitching: one request through the proxy yields two
+      records sharing a trace id whose per-hop phase sums telescope to
+      the exact client round trip; the two-hop timeline is pinned as a
+      golden. *)
+
+module Q = QCheck
+
+let check = Alcotest.check
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* Every scenario runs with the recorder freshly configured and leaves
+   it disabled and empty, so the rest of the suite (and the recorder's
+   global state) is unaffected. *)
+let with_recorder ?(capacity = 256) ?(sample_every = 1) f =
+  Obs_request.configure ~ring_capacity:capacity ~sample_every ();
+  Obs_request.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs_request.set_enabled false;
+      Obs_request.set_sink None;
+      Obs_request.reset_metrics ();
+      Obs_request.configure ~ring_capacity:256 ~sample_every:1 ())
+    f
+
+let spec_for = Test_serve.spec_for
+
+let ints_frame ~seq ~bytes =
+  let spec = spec_for Encoding.xdr `Ints in
+  Rpc_serve.request_frame spec ~seq [| Paper_fixtures.payload `Ints ~bytes |]
+
+(* -- 1. exact phase-sum reconciliation ------------------------------ *)
+
+(* A closed-open client: every request is transmitted through [send]
+   at a random virtual time on a random connection, and each reply is
+   reconciled on delivery against the request's finished record. *)
+let reconcile_prop (case : Test_serve.case) =
+  with_recorder (fun () ->
+      let sim = Sim_core.create () in
+      let ingress = Link.ethernet_100 ~sim in
+      let egress = Link.ethernet_100 ~sim in
+      let total = List.length case.Test_serve.k_reqs in
+      let config =
+        { Rpc_serve.default_config with Rpc_serve.max_in_flight = total }
+      in
+      let t = Rpc_serve.create ~sim ~config ~ingress ~egress () in
+      List.iter
+        (fun p -> Rpc_serve.register t (spec_for Encoding.xdr p))
+        [ `Ints; `Rects; `Dirents ];
+      (* finished records by seq, via the sink *)
+      let finished = Hashtbl.create 64 in
+      Obs_request.set_sink
+        (Some (fun r -> Hashtbl.replace finished (Obs_request.seq r) r));
+      let send_ns = Hashtbl.create 64 in
+      let checked = ref 0 in
+      let deliver data =
+        let now_ns = Obs_request.ns_of_s (Sim_core.now sim) in
+        List.iter
+          (fun (status, seq, _) ->
+            if status = Rpc_serve.Sok then begin
+              let rtt = now_ns - Hashtbl.find send_ns seq in
+              match Hashtbl.find_opt finished seq with
+              | None -> Q.Test.fail_reportf "seq %d: no finished record" seq
+              | Some r ->
+                  if Obs_request.outcome r <> Obs_request.Rok then
+                    Q.Test.fail_reportf "seq %d: outcome %s" seq
+                      (Obs_request.outcome_name (Obs_request.outcome r));
+                  let sum = Obs_request.phase_total_ns r in
+                  if sum <> rtt then
+                    Q.Test.fail_reportf
+                      "seq %d: phase sum %d ns <> client RTT %d ns" seq sum
+                      rtt;
+                  if Obs_request.rtt_ns r <> rtt then
+                    Q.Test.fail_reportf
+                      "seq %d: record rtt %d ns <> client RTT %d ns" seq
+                      (Obs_request.rtt_ns r) rtt;
+                  incr checked
+            end)
+          (Rpc_serve.parse_replies data)
+      in
+      let conns = case.Test_serve.k_conns in
+      let cs = Array.init conns (fun _ -> Rpc_serve.connect t ~deliver) in
+      List.iter
+        (fun r ->
+          let spec = spec_for Encoding.xdr r.Test_serve.r_payload in
+          let vals =
+            [| Paper_fixtures.payload r.Test_serve.r_payload
+                 ~bytes:r.Test_serve.r_bytes |]
+          in
+          let frame =
+            Rpc_serve.request_frame spec ~seq:r.Test_serve.r_seq vals
+          in
+          Sim_core.schedule sim ~delay:r.Test_serve.r_at (fun () ->
+              Hashtbl.replace send_ns r.Test_serve.r_seq
+                (Obs_request.ns_of_s (Sim_core.now sim));
+              Rpc_serve.send cs.(r.Test_serve.r_conn mod conns) frame))
+        case.Test_serve.k_reqs;
+      Sim_core.run sim;
+      if !checked <> total then
+        Q.Test.fail_reportf "reconciled %d of %d requests" !checked total;
+      true)
+
+let reconcile_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (Q.Test.make ~name:"phase sums == client RTT exactly (xdr)" ~count:300
+         Test_serve.arbitrary_case reconcile_prop);
+  ]
+
+(* -- 2. the flight ring --------------------------------------------- *)
+
+let ring_outcomes () =
+  List.map
+    (fun r -> (Obs_request.outcome r, Obs_request.seq r))
+    (Obs_request.ring_records ())
+
+(* A garbage length prefix with a request already in flight: the kill
+   flushes the victim's partial record into the ring; with nothing in
+   flight it leaves a synthetic seq -1 marker instead. *)
+let test_killed_conn_sampled () =
+  with_recorder ~sample_every:1_000_000 (fun () ->
+      let sim, t = Test_serve.make_server () in
+      let c = Rpc_serve.connect t ~deliver:(fun _ -> ()) in
+      let garbage = Bytes.create 4 in
+      Bytes.set_int32_be garbage 0 0x7fffffffl;
+      Rpc_serve.send c (ints_frame ~seq:9 ~bytes:64);
+      Rpc_serve.send c garbage;
+      Sim_core.run sim;
+      check
+        (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+        "in-flight record flushed into the ring as killed"
+        [ ("killed_conn", 9) ]
+        (List.map (fun (o, s) -> (Obs_request.outcome_name o, s))
+           (ring_outcomes ()));
+      (* and on a fresh connection with nothing in flight: the marker *)
+      let c2 = Rpc_serve.connect t ~deliver:(fun _ -> ()) in
+      Rpc_serve.feed c2 garbage;
+      check
+        (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+        "kill with nothing in flight leaves a marker"
+        [ ("killed_conn", 9); ("killed_conn", -1) ]
+        (List.map (fun (o, s) -> (Obs_request.outcome_name o, s))
+           (ring_outcomes ())))
+
+let test_fault_outcomes_always_sampled () =
+  (* head-sampling would drop every Ok record; the faults must land in
+     the ring regardless *)
+  with_recorder ~sample_every:1_000_000 (fun () ->
+      let sim = Sim_core.create () in
+      let ingress = Link.ethernet_100 ~sim in
+      let egress = Link.ethernet_100 ~sim in
+      let config =
+        { Rpc_serve.default_config with Rpc_serve.max_in_flight = 1 }
+      in
+      let t = Rpc_serve.create ~sim ~config ~ingress ~egress () in
+      Rpc_serve.register t (spec_for Encoding.xdr `Ints);
+      let c = Rpc_serve.connect t ~deliver:(fun _ -> ()) in
+      (* a truncated body: parses as a frame, fails to decode *)
+      let frame = ints_frame ~seq:11 ~bytes:256 in
+      let cut = Bytes.length frame - 100 in
+      let short = Bytes.sub frame 0 cut in
+      Bytes.set_int32_be short 0 (Int32.of_int (cut - 4));
+      (* pipelined against a budget of 1: seq 13 sheds behind 11, and
+         seq 12 lands later, completes Ok, and is head-sampled away *)
+      Rpc_serve.feed c short;
+      Rpc_serve.feed c (ints_frame ~seq:13 ~bytes:64);
+      Sim_core.schedule sim ~delay:1e-3 (fun () ->
+          Rpc_serve.feed c (ints_frame ~seq:12 ~bytes:64));
+      Sim_core.run sim;
+      let outcomes =
+        List.sort compare
+          (List.map (fun (o, s) -> (Obs_request.outcome_name o, s))
+             (ring_outcomes ()))
+      in
+      check
+        (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+        "bad request and shed forced into the ring, Ok head-sampled away"
+        [ ("bad_request", 11); ("shed", 13) ]
+        outcomes;
+      checki "first Ok reply counted as dropped from the ring" 1
+        (Obs_request.dropped_count ());
+      checki "two forced samples" 2 (Obs_request.sampled_count ()))
+
+let test_close_flushes_pending_reply () =
+  with_recorder (fun () ->
+      let sim, t = Test_serve.make_server () in
+      let c = Rpc_serve.connect t ~deliver:(fun _ -> ()) in
+      Rpc_serve.feed c (ints_frame ~seq:6 ~bytes:64);
+      (* past service completion (reply queued, flush armed), then the
+         client vanishes *)
+      Sim_core.run_until sim 180e-6;
+      Rpc_serve.close_conn c;
+      Sim_core.run sim;
+      match Obs_request.ring_records () with
+      | [ r ] ->
+          checki "the queued reply's record" 6 (Obs_request.seq r);
+          check Alcotest.string "dropped outcome" "dropped"
+            (Obs_request.outcome_name (Obs_request.outcome r));
+          (* service ran: the timeline reaches into the service split *)
+          checkb "service phases recorded" true
+            (Obs_request.phase_ns r Obs_request.Handler > 0)
+      | rs -> Alcotest.failf "expected exactly 1 ring record, got %d"
+                (List.length rs))
+
+let test_ring_bound () =
+  with_recorder ~capacity:8 (fun () ->
+      let sim, t = Test_serve.make_server () in
+      let c = Rpc_serve.connect t ~deliver:(fun _ -> ()) in
+      for seq = 0 to 99 do
+        Sim_core.schedule sim
+          ~delay:(float_of_int seq *. 1e-3)
+          (fun () -> Rpc_serve.send c (ints_frame ~seq ~bytes:64))
+      done;
+      Sim_core.run sim;
+      checki "100 records sampled" 100 (Obs_request.sampled_count ());
+      let seqs = List.map Obs_request.seq (Obs_request.ring_records ()) in
+      check
+        (Alcotest.list Alcotest.int)
+        "ring keeps the last 8, oldest first"
+        [ 92; 93; 94; 95; 96; 97; 98; 99 ]
+        seqs)
+
+let test_disabled_records_nothing () =
+  (* recorder off (the default): a full workload leaves no recorder
+     state behind — no in-flight records, no ring entries, no counter
+     movement *)
+  Obs_request.clear ();
+  let before_sampled = Obs_request.sampled_count () in
+  let sp = Rpc_serve.run_workload ~conns:4 ~requests_per_conn:10 () in
+  checki "workload ran" 40 sp.Rpc_serve.sp_ok;
+  checki "ring empty" 0 (List.length (Obs_request.ring_records ()));
+  checki "nothing sampled" before_sampled (Obs_request.sampled_count ());
+  checki "nothing dropped" 0 (Obs_request.dropped_count ())
+
+(* -- 3. gateway stitching ------------------------------------------- *)
+
+let run_gateway_once () =
+  let sim = Sim_core.create () in
+  let gw = Rpc_gateway.create ~sim ~src:Encoding.xdr ~dst:Encoding.cdr () in
+  let pc = Paper_fixtures.bench_presc `Rpcgen in
+  let ms = Paper_fixtures.request_spec pc ~op:"send_ints" in
+  Rpc_gateway.register gw ms ~iface:1 ~op:1;
+  let vals = [| Paper_fixtures.payload `Ints ~bytes:64 |] in
+  let frame = Rpc_gateway.client_frame gw ms ~iface:1 ~op:1 ~seq:0 vals in
+  let finished = ref [] in
+  Obs_request.set_sink (Some (fun r -> finished := r :: !finished));
+  let send_ns = ref 0 and rtt = ref (-1) in
+  let conn =
+    Rpc_gateway.connect gw ~deliver:(fun data ->
+        List.iter
+          (fun (status, _, _) ->
+            if status = Rpc_serve.Sok then
+              rtt := Obs_request.ns_of_s (Sim_core.now sim) - !send_ns)
+          (Rpc_serve.parse_replies data))
+  in
+  Sim_core.schedule sim ~delay:0. (fun () ->
+      send_ns := Obs_request.ns_of_s (Sim_core.now sim);
+      Rpc_gateway.send conn frame);
+  Sim_core.run sim;
+  (List.rev !finished, !rtt)
+
+let test_gateway_two_hop_reconciles () =
+  with_recorder (fun () ->
+      let finished, rtt = run_gateway_once () in
+      checkb "client saw the reply" true (rtt >= 0);
+      match finished with
+      | [ hop1; hop0 ] ->
+          (* the backend hop finishes first (its flush delivery is what
+             un-parks the proxy) *)
+          checki "backend record is hop 1" 1 (Obs_request.hop hop1);
+          checki "client-facing record is hop 0" 0 (Obs_request.hop hop0);
+          checki "one trace id across both hops"
+            (Obs_request.trace_id hop0)
+            (Obs_request.trace_id hop1);
+          checki "hop-0 skip window == hop-1 timeline"
+            (Obs_request.phase_total_ns hop1)
+            (Obs_request.backend_ns hop0);
+          checki "two-hop phase sums == client RTT exactly" rtt
+            (Obs_request.phase_total_ns hop0
+            + Obs_request.phase_total_ns hop1)
+      | rs -> Alcotest.failf "expected 2 finished records, got %d"
+                (List.length rs))
+
+(* The stitched two-hop timeline of one deterministic gateway request,
+   pinned byte for byte: every boundary below is virtual time, so any
+   drift in link modelling, service accounting, or the recorder's
+   rounding shows up as a diff here. *)
+let test_gateway_golden_timeline () =
+  with_recorder (fun () ->
+      let finished, rtt = run_gateway_once () in
+      check
+        (Alcotest.list Alcotest.string)
+        "pinned two-hop timeline"
+        [
+          "{\"trace\":1,\"hop\":1,\"conn\":0,\"seq\":0,\"outcome\":\"ok\",\"t0_ns\":910057,\"rtt_ns\":2019741,\"backend_ns\":0,\"wire_queue_ns\":0,\"phases\":{\"ingress_wire_ns\":910057,\"header_parse_ns\":0,\"queue_wait_ns\":0,\"decode_ns\":42,\"handler_ns\":150000,\"encode_ns\":42,\"flush_wait_ns\":50000,\"egress_wire_ns\":909600}}";
+          "{\"trace\":1,\"hop\":0,\"conn\":0,\"seq\":0,\"outcome\":\"ok\",\"t0_ns\":0,\"rtt_ns\":3839398,\"backend_ns\":2019741,\"wire_queue_ns\":0,\"phases\":{\"ingress_wire_ns\":910057,\"header_parse_ns\":0,\"queue_wait_ns\":0,\"decode_ns\":0,\"handler_ns\":0,\"encode_ns\":0,\"flush_wait_ns\":0,\"egress_wire_ns\":909600}}";
+        ]
+        (List.map Obs_request.record_to_json finished);
+      checki "golden timeline reconciles" rtt
+        (List.fold_left
+           (fun acc r -> acc + Obs_request.phase_total_ns r)
+           0 finished))
+
+(* -- Chrome export: lanes and flow arrows --------------------------- *)
+
+let test_chrome_lanes_and_flows () =
+  with_recorder (fun () ->
+      Obs_trace.clear ();
+      Obs_trace.set_enabled true;
+      Fun.protect
+        ~finally:(fun () ->
+          Obs_trace.set_enabled false;
+          Obs_trace.clear ())
+        (fun () ->
+          let _, rtt = run_gateway_once () in
+          checkb "request completed" true (rtt >= 0);
+          let evs = Obs_trace.events () in
+          let hop0 =
+            List.filter (fun e -> e.Obs_trace.ev_pid = 1) evs
+          and hop1 =
+            List.filter (fun e -> e.Obs_trace.ev_pid = 2) evs
+          in
+          checkb "client hop rendered on pid 1" true (hop0 <> []);
+          checkb "backend hop rendered on pid 2" true (hop1 <> []);
+          let flows = List.filter_map (fun e -> e.Obs_trace.ev_flow) evs in
+          checkb "flow starts at hop 0" true
+            (List.mem (Obs_trace.Flow_out 1) flows);
+          checkb "flow terminates at hop 1" true
+            (List.mem (Obs_trace.Flow_in 1) flows);
+          let js = Obs_trace.to_chrome_json () in
+          checkb "chrome export carries the s record" true
+            (let rec has i =
+               i >= 0
+               && (String.sub js i 9 = "\"ph\":\"s\"," || has (i - 1))
+             in
+             has (String.length js - 9));
+          checkb "chrome export carries the f record" true
+            (let rec has i =
+               i >= 0
+               && (String.sub js i 9 = "\"ph\":\"f\"," || has (i - 1))
+             in
+             has (String.length js - 9))))
+
+let suite =
+  [
+    ("request_trace.reconcile", reconcile_tests);
+    ( "request_trace.flight_ring",
+      [
+        Alcotest.test_case "killed connection always sampled" `Quick
+          test_killed_conn_sampled;
+        Alcotest.test_case "fault outcomes bypass head sampling" `Quick
+          test_fault_outcomes_always_sampled;
+        Alcotest.test_case "close_conn flushes the pending reply's record"
+          `Quick test_close_flushes_pending_reply;
+        Alcotest.test_case "ring keeps exactly its capacity" `Quick
+          test_ring_bound;
+        Alcotest.test_case "disabled recorder records nothing" `Quick
+          test_disabled_records_nothing;
+      ] );
+    ( "request_trace.gateway",
+      [
+        Alcotest.test_case "two-hop stitching reconciles" `Quick
+          test_gateway_two_hop_reconciles;
+        Alcotest.test_case "pinned two-hop golden timeline" `Quick
+          test_gateway_golden_timeline;
+        Alcotest.test_case "chrome lanes and flow arrows" `Quick
+          test_chrome_lanes_and_flows;
+      ] );
+  ]

@@ -254,7 +254,28 @@ let test_unknown_interface () =
       checki "counted as unknown_op" 1 st.Rpc_serve.st_unknown_op;
       checki "connection not killed" 0 st.Rpc_serve.st_killed_conns)
 
+(* Run [f] with the request recorder live (sampling everything into a
+   small ring) and leave it disabled and empty afterwards — the fault
+   tests pin that kill/close paths flush their records into the flight
+   ring before discarding connection state. *)
+let with_recorder f =
+  Obs_request.configure ~ring_capacity:64 ~sample_every:1 ();
+  Obs_request.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs_request.set_enabled false;
+      Obs_request.reset_metrics ();
+      Obs_request.configure ~ring_capacity:256 ~sample_every:1 ())
+    f
+
+let ring_pin () =
+  List.map
+    (fun r ->
+      (Obs_request.outcome_name (Obs_request.outcome r), Obs_request.seq r))
+    (Obs_request.ring_records ())
+
 let test_bad_length_prefix () =
+  with_recorder @@ fun () ->
   with_pool_check (fun () ->
       let sim, t = make_server () in
       let got_bad = ref None and got_ok = ref None in
@@ -264,6 +285,11 @@ let test_bad_length_prefix () =
       let garbage = Bytes.create 4 in
       Bytes.set_int32_be garbage 0 0x7fffffffl;
       Rpc_serve.feed bad garbage;
+      check
+        Alcotest.(list (pair string int))
+        "the kill left a flight-ring marker before any request existed"
+        [ ("killed_conn", -1) ]
+        (ring_pin ());
       (* the other connection must be unaffected *)
       Rpc_serve.feed ok (ints_frame ~seq:1 ~bytes:64);
       Sim_core.run sim;
@@ -282,7 +308,12 @@ let test_bad_length_prefix () =
       (* frames after death are ignored, without new diags *)
       Rpc_serve.feed bad (ints_frame ~seq:2 ~bytes:64);
       Sim_core.run sim;
-      checki "dead connection stays dead" 1 (List.length (Rpc_serve.diags t)))
+      checki "dead connection stays dead" 1 (List.length (Rpc_serve.diags t));
+      check
+        Alcotest.(list (pair string int))
+        "ring: the kill marker, then the healthy request"
+        [ ("killed_conn", -1); ("ok", 1) ]
+        (ring_pin ()))
 
 let test_undersized_length_prefix () =
   with_pool_check (fun () ->
@@ -354,6 +385,7 @@ let test_truncated_body () =
       | _ -> Alcotest.fail "connection should recover after a bad body"))
 
 let test_death_with_pending_reply () =
+  with_recorder @@ fun () ->
   with_pool_check (fun () ->
       let sim, t = make_server () in
       let got = ref None in
@@ -366,7 +398,13 @@ let test_death_with_pending_reply () =
       Rpc_serve.close_conn c;
       Sim_core.run sim;
       checkb "queued reply was dropped" true (!got = None);
-      checki "drop accounted" 1 (Rpc_serve.stats t).Rpc_serve.st_dropped_replies)
+      checki "drop accounted" 1 (Rpc_serve.stats t).Rpc_serve.st_dropped_replies;
+      (* the close flushed the queued reply's record into the ring *)
+      check
+        Alcotest.(list (pair string int))
+        "pending reply's record reaches the ring on close"
+        [ ("dropped", 6) ]
+        (ring_pin ()))
 
 let test_shed_reply () =
   with_pool_check (fun () ->
